@@ -1,0 +1,52 @@
+//! Criterion ablations: how much each QP model refinement buys on TPC-C.
+//!
+//! Compares solve time with/without the reasonable-cuts reduction,
+//! linearization pruning and symmetry breaking (all solve to the same
+//! optimum — the correctness of that equivalence is asserted in tests;
+//! here we measure effort).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vpart_core::qp::{QpConfig, QpSolver};
+use vpart_core::CostConfig;
+
+fn qp_variants(c: &mut Criterion) {
+    let ins = vpart_instances::tpcc();
+    let cfg = CostConfig::default();
+    let mut g = c.benchmark_group("qp-ablation/tpcc-2-sites");
+    g.sample_size(10);
+    let variants: [(&str, fn(&mut QpConfig)); 4] = [
+        ("baseline", |_| {}),
+        ("no-cuts", |c| c.reasonable_cuts = false),
+        ("no-prune", |c| c.options.prune_linearization = false),
+        ("no-symmetry", |c| c.options.symmetry_breaking = false),
+    ];
+    for (name, tweak) in variants {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut qc = QpConfig::with_time_limit(300.0);
+                tweak(&mut qc);
+                let r = QpSolver::new(qc).solve(&ins, 2, &cfg).unwrap();
+                black_box(r.breakdown.objective4)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn model_build_only(c: &mut Criterion) {
+    use vpart_core::qp::builder::{build_qp_model, QpOptions};
+    use vpart_core::CostCoefficients;
+    let ins = vpart_instances::tpcc();
+    let cfg = CostConfig::default();
+    let coeffs = CostCoefficients::compute(&ins, &cfg);
+    c.bench_function("qp-build/tpcc-3-sites-unreduced", |b| {
+        b.iter(|| {
+            let art = build_qp_model(&ins, &coeffs, 3, &cfg, &QpOptions::default());
+            black_box(art.model.n_cons())
+        })
+    });
+}
+
+criterion_group!(benches, qp_variants, model_build_only);
+criterion_main!(benches);

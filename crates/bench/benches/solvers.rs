@@ -1,0 +1,117 @@
+//! Criterion micro-benchmarks of the core pipeline stages:
+//! coefficient computation, cost evaluation, reasonable-cuts reduction,
+//! the two solvers on TPC-C, the raw LP substrate, and engine execution.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use vpart_core::qp::{QpConfig, QpSolver};
+use vpart_core::sa::{SaConfig, SaSolver};
+use vpart_core::{evaluate, CostCoefficients, CostConfig};
+use vpart_engine::{Deployment, Trace};
+use vpart_ilp::{Cmp, Model, SolveParams};
+use vpart_model::Partitioning;
+
+fn bench_cost_model(c: &mut Criterion) {
+    let ins = vpart_instances::tpcc();
+    let cfg = CostConfig::default();
+    c.bench_function("coefficients/tpcc", |b| {
+        b.iter(|| black_box(CostCoefficients::compute(&ins, &cfg)))
+    });
+    let part = Partitioning::single_site(&ins, 1).unwrap();
+    c.bench_function("evaluate/tpcc-single-site", |b| {
+        b.iter(|| black_box(evaluate(&ins, &part, &cfg)))
+    });
+    c.bench_function("reduce/tpcc", |b| {
+        b.iter(|| black_box(vpart_core::reduce::Reduction::compute(&ins)))
+    });
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let ins = vpart_instances::tpcc();
+    let cfg = CostConfig::default();
+    let mut g = c.benchmark_group("solvers");
+    g.sample_size(10);
+    g.bench_function("qp/tpcc-2-sites", |b| {
+        b.iter(|| {
+            let r = QpSolver::new(QpConfig::with_time_limit(120.0))
+                .solve(&ins, 2, &cfg)
+                .unwrap();
+            black_box(r.breakdown.objective4)
+        })
+    });
+    g.bench_function("sa/tpcc-2-sites", |b| {
+        b.iter(|| {
+            let r = SaSolver::new(SaConfig::fast_deterministic(1))
+                .solve(&ins, 2, &cfg)
+                .unwrap();
+            black_box(r.breakdown.objective4)
+        })
+    });
+    let rnd = vpart_instances::by_name("rndAt16x15").unwrap();
+    g.bench_function("sa/rndAt16x15-4-sites", |b| {
+        b.iter(|| {
+            let r = SaSolver::new(SaConfig::fast_deterministic(1))
+                .solve(&rnd, 4, &cfg)
+                .unwrap();
+            black_box(r.breakdown.objective4)
+        })
+    });
+    g.finish();
+}
+
+fn bench_ilp_substrate(c: &mut Criterion) {
+    // A 12×12 assignment problem: pure LP + branch & bound exercise.
+    let n = 12usize;
+    let build = || {
+        let mut m = Model::minimize();
+        let mut vars = vec![vec![]; n];
+        for (i, row) in vars.iter_mut().enumerate() {
+            for j in 0..n {
+                let cost = ((i * 7 + j * 13) % 17) as f64 + 1.0;
+                row.push(m.binary(format!("x{i}_{j}"), cost));
+            }
+        }
+        for i in 0..n {
+            let r: Vec<_> = (0..n).map(|j| (vars[i][j], 1.0)).collect();
+            m.add_constraint(format!("r{i}"), r, Cmp::Eq, 1.0);
+            let col: Vec<_> = (0..n).map(|j| (vars[j][i], 1.0)).collect();
+            m.add_constraint(format!("c{i}"), col, Cmp::Eq, 1.0);
+        }
+        m
+    };
+    let mut g = c.benchmark_group("ilp");
+    g.sample_size(10);
+    g.bench_function("assignment-12x12", |b| {
+        b.iter_batched(
+            build,
+            |m| black_box(m.solve(&SolveParams::default()).unwrap().objective),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let ins = vpart_instances::tpcc();
+    let cfg = CostConfig::default();
+    let r = SaSolver::new(SaConfig::fast_deterministic(2))
+        .solve(&ins, 3, &cfg)
+        .unwrap();
+    let trace = Trace::uniform(&ins, 20);
+    c.bench_function("engine/tpcc-3-sites-100-executions", |b| {
+        b.iter_batched(
+            || Deployment::new(&ins, &r.partitioning, 64).unwrap(),
+            |mut dep| black_box(dep.execute(&trace).unwrap().checksum),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cost_model,
+    bench_solvers,
+    bench_ilp_substrate,
+    bench_engine
+);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Table 2 — the random instance classes used by Tables 3, 5 and 6.
+//!
+//! Prints each class's A–F parameters plus the dimensions of the concrete
+//! seeded instance this reproduction generates (the paper's own draws are
+//! unpublished, so |A| differs slightly from its listing).
+//!
+//! ```sh
+//! cargo run --release -p vpart-bench --bin table2
+//! ```
+
+use vpart_bench::row;
+use vpart_instances::by_name;
+
+fn main() {
+    println!("Table 2 — random instance classes (A=max queries/txn, B=%updates,");
+    println!("C=max attrs/table, D=max table refs/query, E=max attr refs/query)\n");
+    let widths = [14usize, 3, 3, 3, 3, 3, 12, 5, 7, 5];
+    println!(
+        "{}",
+        row(
+            &[
+                "name".into(),
+                "A".into(),
+                "B".into(),
+                "C".into(),
+                "D".into(),
+                "E".into(),
+                "F".into(),
+                "|T|".into(),
+                "tables".into(),
+                "|A|".into(),
+            ],
+            &widths
+        )
+    );
+    for name in vpart_instances::names() {
+        if name == "tpcc" {
+            continue;
+        }
+        let instance = by_name(name).expect("catalog name");
+        let class_a = name.starts_with("rndA");
+        let update_pct = if name.ends_with("u50") { 50 } else { 10 };
+        let (c, d, e) = if class_a { (30, 3, 8) } else { (5, 6, 28) };
+        println!(
+            "{}",
+            row(
+                &[
+                    name.into(),
+                    "3".into(),
+                    update_pct.to_string(),
+                    c.to_string(),
+                    d.to_string(),
+                    e.to_string(),
+                    "{2,4,8,16}".into(),
+                    instance.n_txns().to_string(),
+                    instance.n_tables().to_string(),
+                    instance.n_attrs().to_string(),
+                ],
+                &widths
+            )
+        );
+    }
+    println!("\nrndA…: many attributes per table, few references per query");
+    println!("        → large expected cost reduction.");
+    println!("rndB…: narrow tables, many references per query");
+    println!("        → small expected cost reduction.");
+}

@@ -1,0 +1,37 @@
+//! Table 4 — the actual TPC-C partitioning produced by the QP solver for
+//! three sites, in the paper's per-site listing format (transactions, then
+//! qualified attribute names).
+//!
+//! ```sh
+//! cargo run --release -p vpart-bench --bin table4 [-- --full]
+//! ```
+
+use vpart_bench::Mode;
+use vpart_core::qp::QpSolver;
+use vpart_core::CostConfig;
+use vpart_model::report::render_partitioning;
+
+fn main() {
+    let mode = Mode::from_args();
+    let instance = vpart_instances::tpcc();
+    let cost = CostConfig::default();
+    let report = QpSolver::new(mode.qp_config())
+        .solve(&instance, 3, &cost)
+        .expect("TPC-C/3 sites solves within any reasonable budget");
+    println!(
+        "Table 4 — TPC-C partitioning, QP solver, 3 sites (cost {:.0}, optimal: {})\n",
+        report.cost(),
+        report.is_optimal()
+    );
+    println!("{}", render_partitioning(&instance, &report.partitioning));
+    println!(
+        "{} attribute placements, {} replicated attributes",
+        report.partitioning.total_placements(),
+        (0..instance.n_attrs())
+            .filter(|&a| report
+                .partitioning
+                .replication(vpart_model::AttrId::from_index(a))
+                > 1)
+            .count()
+    );
+}

@@ -1,0 +1,90 @@
+//! The latency extension of Appendix A.
+//!
+//! For each query `q`, the indicator `ψ_q` is 1 iff `q` accesses any
+//! remotely placed attribute. Because read queries are single-sited by
+//! construction, only *write* queries can touch remote replicas, which the
+//! appendix encodes with the `δ_q` factor in its constraints. The total
+//! latency estimate is `p_l · Σ_q f_q · ψ_q`, assuming remote accesses of a
+//! query happen in parallel with a constant number of round trips.
+
+use crate::config::CostConfig;
+use vpart_model::{Instance, Partitioning, QueryId};
+
+/// `ψ_q`: does write query `q` touch any attribute replica placed on a site
+/// other than its transaction's executing site?
+pub fn psi(instance: &Instance, part: &Partitioning, q: QueryId) -> bool {
+    let query = instance.workload().query(q);
+    if !query.kind.is_write() {
+        return false;
+    }
+    let home = part.site_of(instance.gamma(q));
+    query
+        .attrs
+        .iter()
+        .any(|&a| part.attr_sites(a).any(|s| s != home))
+}
+
+/// The Appendix A latency term `p_l · Σ_q f_q · ψ_q`; 0 when the latency
+/// penalty is disabled in `config`.
+pub fn latency_term(instance: &Instance, part: &Partitioning, config: &CostConfig) -> f64 {
+    let Some(pl) = config.latency_penalty else {
+        return 0.0;
+    };
+    let mut total = 0.0;
+    for qi in 0..instance.n_queries() {
+        let q = QueryId::from_index(qi);
+        if psi(instance, part, q) {
+            total += instance.workload().query(q).frequency;
+        }
+    }
+    pl * total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpart_model::workload::QuerySpec;
+    use vpart_model::{AttrId, Schema, SiteId, Workload};
+
+    fn instance() -> Instance {
+        let mut sb = Schema::builder();
+        sb.table("R", &[("a", 4.0), ("b", 4.0)]).unwrap();
+        let schema = sb.build().unwrap();
+        let mut wb = Workload::builder(&schema);
+        let qr = wb
+            .add_query(QuerySpec::read("qr").access(&[AttrId(0)]))
+            .unwrap();
+        let qw = wb
+            .add_query(QuerySpec::write("qw").access(&[AttrId(1)]).frequency(3.0))
+            .unwrap();
+        wb.transaction("T", &[qr, qw]).unwrap();
+        Instance::new("lat", schema, wb.build().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn psi_zero_without_remote_replicas() {
+        let ins = instance();
+        let p = Partitioning::single_site(&ins, 2).unwrap();
+        assert!(!psi(&ins, &p, QueryId(0)));
+        assert!(!psi(&ins, &p, QueryId(1)));
+        let cfg = CostConfig::default().with_latency(5.0);
+        assert_eq!(latency_term(&ins, &p, &cfg), 0.0);
+    }
+
+    #[test]
+    fn psi_counts_remote_write_replicas_only() {
+        let ins = instance();
+        let mut p = Partitioning::single_site(&ins, 2).unwrap();
+        // Replicate the *written* attribute b to site 1 (txn runs on 0).
+        p.add_replica(AttrId(1), SiteId(1));
+        assert!(psi(&ins, &p, QueryId(1)));
+        // Reads never count, even with replicas of their attributes.
+        p.add_replica(AttrId(0), SiteId(1));
+        assert!(!psi(&ins, &p, QueryId(0)));
+        // latency = pl · f_qw = 5 · 3.
+        let cfg = CostConfig::default().with_latency(5.0);
+        assert_eq!(latency_term(&ins, &p, &cfg), 15.0);
+        // Disabled by default.
+        assert_eq!(latency_term(&ins, &p, &CostConfig::default()), 0.0);
+    }
+}

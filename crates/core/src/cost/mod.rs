@@ -1,0 +1,12 @@
+//! The cost model of §2.1–2.2 and Appendix A.
+//!
+//! * [`coeffs`] — the static coefficients `c1(a,t)`, `c2(a)`, `c3(a,t)`,
+//!   `c4(a)` induced by schema, workload and statistics,
+//! * [`objective`] — evaluation of the reported objective (4), the
+//!   optimized objective (6) and the full cost breakdown for a given
+//!   partitioning,
+//! * [`latency`] — the ψ-indicator latency term of Appendix A.
+
+pub mod coeffs;
+pub mod latency;
+pub mod objective;

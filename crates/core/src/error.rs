@@ -1,0 +1,69 @@
+//! Error type for the core solvers.
+
+use std::fmt;
+
+/// Errors raised by the cost model and solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Invalid configuration parameter.
+    BadConfig(String),
+    /// The underlying model rejected an input.
+    Model(vpart_model::ModelError),
+    /// The MILP solver failed.
+    Ilp(String),
+    /// The MILP search found no integer-feasible point (paper's "t/o").
+    NoSolution,
+    /// Instance too large for the exhaustive reference solver.
+    TooLarge {
+        what: &'static str,
+        limit: usize,
+        got: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+            Self::Model(e) => write!(f, "model error: {e}"),
+            Self::Ilp(msg) => write!(f, "ilp solver error: {msg}"),
+            Self::NoSolution => write!(f, "no integer-feasible solution found within limits"),
+            Self::TooLarge { what, limit, got } => {
+                write!(
+                    f,
+                    "instance too large for exhaustive solve: {what} = {got} > {limit}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<vpart_model::ModelError> for CoreError {
+    fn from(e: vpart_model::ModelError) -> Self {
+        Self::Model(e)
+    }
+}
+
+impl From<vpart_ilp::IlpError> for CoreError {
+    fn from(e: vpart_ilp::IlpError) -> Self {
+        Self::Ilp(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = vpart_model::ModelError::EmptyWorkload.into();
+        assert!(e.to_string().contains("workload"));
+        let e: CoreError = vpart_ilp::IlpError::IterationLimit.into();
+        assert!(e.to_string().contains("iteration"));
+        assert!(CoreError::NoSolution
+            .to_string()
+            .contains("no integer-feasible"));
+    }
+}

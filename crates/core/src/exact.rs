@@ -1,0 +1,210 @@
+//! Exhaustive reference solver for tiny instances.
+//!
+//! Enumerates every canonical transaction assignment (restricted-growth
+//! strings, so site-permutation symmetric duplicates are skipped) and pairs
+//! each with the exact per-attribute optimal `y`
+//! ([`crate::sa::subproblem::optimal_y_for_x`]).
+//!
+//! For `λ = 1` this provably finds the minimum of objective (4) — it is the
+//! ground truth the QP and SA solvers are tested against. For `λ < 1` the
+//! `y` step optimizes the cost part exactly and the load term is only
+//! evaluated, so the result is a (usually optimal, not guaranteed)
+//! upper bound.
+
+use crate::config::CostConfig;
+use crate::cost::coeffs::CostCoefficients;
+use crate::cost::objective::{evaluate, fast_objective6};
+use crate::error::CoreError;
+use crate::report::{SolveReport, Termination};
+use crate::sa::subproblem::optimal_y_for_x;
+use std::time::Instant;
+use vpart_model::{Instance, SiteId};
+
+/// Size guards for the exhaustive enumeration.
+#[derive(Debug, Clone)]
+pub struct ExactConfig {
+    /// Maximum number of transactions (enumeration is ~`|S|^|T|`).
+    pub max_txns: usize,
+    /// Maximum number of sites.
+    pub max_sites: usize,
+}
+
+impl Default for ExactConfig {
+    fn default() -> Self {
+        Self {
+            max_txns: 12,
+            max_sites: 4,
+        }
+    }
+}
+
+/// The exhaustive solver.
+#[derive(Debug, Clone, Default)]
+pub struct ExactSolver {
+    /// Size guards.
+    pub config: ExactConfig,
+}
+
+impl ExactSolver {
+    /// Creates a solver with custom size guards.
+    pub fn new(config: ExactConfig) -> Self {
+        Self { config }
+    }
+
+    /// Exhaustively minimizes objective (6) (exact for `λ = 1`; see module
+    /// docs).
+    pub fn solve(
+        &self,
+        instance: &Instance,
+        n_sites: usize,
+        cost: &CostConfig,
+    ) -> Result<SolveReport, CoreError> {
+        cost.validate()?;
+        if n_sites == 0 {
+            return Err(CoreError::Model(vpart_model::ModelError::NoSites));
+        }
+        let n_txns = instance.n_txns();
+        if n_txns > self.config.max_txns {
+            return Err(CoreError::TooLarge {
+                what: "transactions",
+                limit: self.config.max_txns,
+                got: n_txns,
+            });
+        }
+        if n_sites > self.config.max_sites {
+            return Err(CoreError::TooLarge {
+                what: "sites",
+                limit: self.config.max_sites,
+                got: n_sites,
+            });
+        }
+        let start = Instant::now();
+        let coeffs = CostCoefficients::compute(instance, cost);
+
+        let mut best: Option<(f64, vpart_model::Partitioning)> = None;
+        let mut assignment = vec![0usize; n_txns];
+        let mut enumerated = 0usize;
+        loop {
+            enumerated += 1;
+            let x: Vec<SiteId> = assignment.iter().map(|&s| SiteId::from_index(s)).collect();
+            let part = optimal_y_for_x(instance, &coeffs, &x, n_sites, cost);
+            let obj = fast_objective6(instance, &coeffs, &part, cost);
+            if best.as_ref().map_or(true, |(b, _)| obj < *b) {
+                best = Some((obj, part));
+            }
+            // Next canonical (restricted-growth) assignment: transaction t
+            // may use site s only if some earlier transaction used s−1.
+            let mut advanced = false;
+            for t in (0..n_txns).rev() {
+                let prefix_max = assignment[..t].iter().copied().max().map_or(0, |m| m + 1);
+                let cap = prefix_max.min(n_sites - 1);
+                if assignment[t] < cap {
+                    assignment[t] += 1;
+                    for slot in assignment.iter_mut().skip(t + 1) {
+                        *slot = 0;
+                    }
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                break; // enumeration exhausted
+            }
+        }
+
+        let (_, part) = best.expect("at least one assignment enumerated");
+        part.validate(instance, false)?;
+        let breakdown = evaluate(instance, &part, cost);
+        Ok(SolveReport {
+            partitioning: part,
+            breakdown,
+            termination: Termination::Optimal,
+            elapsed: start.elapsed(),
+            detail: format!("exhaustive: {enumerated} canonical assignments"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qp::QpSolver;
+    use vpart_model::workload::QuerySpec;
+    use vpart_model::{AttrId, Schema, Workload};
+
+    fn instance() -> Instance {
+        let mut sb = Schema::builder();
+        sb.table("R", &[("a", 10.0), ("b", 2.0)]).unwrap();
+        sb.table("S", &[("c", 6.0), ("d", 1.0)]).unwrap();
+        let schema = sb.build().unwrap();
+        let mut wb = Workload::builder(&schema);
+        let q0 = wb
+            .add_query(QuerySpec::read("q0").access(&[AttrId(0)]).frequency(2.0))
+            .unwrap();
+        let q1 = wb
+            .add_query(QuerySpec::read("q1").access(&[AttrId(2)]))
+            .unwrap();
+        let q2 = wb
+            .add_query(
+                QuerySpec::write("q2")
+                    .access(&[AttrId(1), AttrId(3)])
+                    .rows(vpart_model::TableId(0), 1.0),
+            )
+            .unwrap();
+        wb.transaction("T0", &[q0]).unwrap();
+        wb.transaction("T1", &[q1]).unwrap();
+        wb.transaction("T2", &[q2]).unwrap();
+        Instance::new("exact", schema, wb.build().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn agrees_with_qp_at_lambda_one() {
+        let ins = instance();
+        let cost = CostConfig::default().with_lambda(1.0);
+        let exact = ExactSolver::default().solve(&ins, 2, &cost).unwrap();
+        let mut qc = crate::qp::QpConfig::default();
+        qc.mip_gap = 0.0;
+        let qp = QpSolver::new(qc).solve(&ins, 2, &cost).unwrap();
+        assert!(
+            (exact.breakdown.objective4 - qp.breakdown.objective4).abs() < 1e-6,
+            "exhaustive {} vs qp {}",
+            exact.breakdown.objective4,
+            qp.breakdown.objective4
+        );
+    }
+
+    #[test]
+    fn enumerates_canonical_assignments_only() {
+        let ins = instance();
+        let cost = CostConfig::default().with_lambda(1.0);
+        let r = ExactSolver::default().solve(&ins, 2, &cost).unwrap();
+        // 3 txns over ≤2 interchangeable sites → 4 canonical assignments
+        // (000, 001, 010, 011).
+        assert!(r.detail.contains("4 canonical"), "detail: {}", r.detail);
+    }
+
+    #[test]
+    fn size_guards() {
+        let ins = instance();
+        let cost = CostConfig::default();
+        let tiny_guard = ExactSolver::new(ExactConfig {
+            max_txns: 1,
+            max_sites: 4,
+        });
+        assert!(matches!(
+            tiny_guard.solve(&ins, 2, &cost),
+            Err(CoreError::TooLarge {
+                what: "transactions",
+                ..
+            })
+        ));
+        let site_guard = ExactSolver::new(ExactConfig {
+            max_txns: 12,
+            max_sites: 1,
+        });
+        assert!(matches!(
+            site_guard.solve(&ins, 2, &cost),
+            Err(CoreError::TooLarge { what: "sites", .. })
+        ));
+    }
+}

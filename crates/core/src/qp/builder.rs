@@ -1,0 +1,449 @@
+//! Construction of the linearized MIP (7).
+//!
+//! Model recap (minimization):
+//!
+//! ```text
+//!   min  λ·Σ c1(a,t)·u[t,a,s] + λ·Σ c2(a)·y[a,s] + (1−λ)·m
+//!   s.t. Σ_s x[t,s] = 1                               ∀t
+//!        Σ_s y[a,s] ≥ 1                               ∀a   (= 1 disjoint)
+//!        y[a,s] − x[t,s] ≥ 0                          ∀(a,t): φ[a,t], ∀s
+//!        Σ c3(a,t)·u[t,a,s] + Σ c4(a)·y[a,s] ≤ m      ∀s   (λ < 1 only)
+//!        u ≤ x,  u ≤ y,  u ≥ x + y − 1                (per-sign pruning)
+//!        x, y binary;  u ∈ [0,1];  m ≥ 0
+//! ```
+//!
+//! `u[t,a,s]` exists only for `(a,t)` pairs with a nonzero `c1`/`c3`
+//! coefficient. The three linearization rows force `u = x·y` at binary
+//! points; per-sign pruning keeps only the side the optimizer pushes
+//! against (minimizing with a positive coefficient needs the lower
+//! envelope, a negative one the upper), which roughly halves the row count
+//! and is validated against the unpruned model in tests.
+
+use crate::config::CostConfig;
+use crate::cost::coeffs::CostCoefficients;
+use vpart_ilp::{Cmp, LinExpr, Model, VarRef};
+use vpart_model::{Instance, Partitioning, TxnId};
+
+/// Structural options of the MIP (everything except solve limits).
+#[derive(Debug, Clone)]
+pub struct QpOptions {
+    /// Allow attribute replication (`Σ_s y ≥ 1`); `false` forces a disjoint
+    /// partitioning (`Σ_s y = 1`) as in Table 5's right half.
+    pub allow_replication: bool,
+    /// Fix `x[t,s] = 0` for `s > t` (sites are interchangeable, so some
+    /// canonical solution always satisfies this).
+    pub symmetry_breaking: bool,
+    /// Emit only the linearization rows required by coefficient signs.
+    pub prune_linearization: bool,
+}
+
+impl Default for QpOptions {
+    fn default() -> Self {
+        Self {
+            allow_replication: true,
+            symmetry_breaking: true,
+            prune_linearization: true,
+        }
+    }
+}
+
+/// The built model plus the variable layout needed to read solutions back.
+#[derive(Debug)]
+pub struct QpArtifacts {
+    /// The MILP.
+    pub model: Model,
+    /// `x[t][s]` variables.
+    pub x: Vec<Vec<VarRef>>,
+    /// `y[a][s]` variables.
+    pub y: Vec<Vec<VarRef>>,
+    /// `u` variables: per transaction, per sparse term index, per site
+    /// (`u[t][k][s]` corresponds to `coeffs.txn_terms(t)[k]`).
+    pub u: Vec<Vec<Vec<VarRef>>>,
+    /// The max-load variable (present iff `λ < 1`).
+    pub m: Option<VarRef>,
+    /// Number of sites.
+    pub n_sites: usize,
+}
+
+/// Builds the linearized program for `instance` over `n_sites` sites.
+pub fn build_qp_model(
+    instance: &Instance,
+    coeffs: &CostCoefficients,
+    n_sites: usize,
+    cost: &CostConfig,
+    opts: &QpOptions,
+) -> QpArtifacts {
+    let n_txns = instance.n_txns();
+    let n_attrs = instance.n_attrs();
+    let lambda = cost.lambda;
+    let balance = lambda < 1.0;
+
+    let mut model = Model::minimize();
+
+    // x[t][s]
+    let x: Vec<Vec<VarRef>> = (0..n_txns)
+        .map(|t| {
+            (0..n_sites)
+                .map(|s| model.binary(format!("x_{t}_{s}"), 0.0))
+                .collect()
+        })
+        .collect();
+    // y[a][s] carries the λ·c2 objective term.
+    let y: Vec<Vec<VarRef>> = (0..n_attrs)
+        .map(|a| {
+            let c2 = coeffs.c2(vpart_model::AttrId::from_index(a));
+            (0..n_sites)
+                .map(|s| model.binary(format!("y_{a}_{s}"), lambda * c2))
+                .collect()
+        })
+        .collect();
+    // m
+    let m = balance.then(|| {
+        model.add_var(
+            "m",
+            vpart_ilp::VarKind::Continuous,
+            0.0,
+            f64::INFINITY,
+            1.0 - lambda,
+        )
+    });
+
+    // u[t][k][s] for sparse (t, a) pairs; objective λ·c1.
+    let mut u: Vec<Vec<Vec<VarRef>>> = Vec::with_capacity(n_txns);
+    for t in 0..n_txns {
+        let terms = coeffs.txn_terms(TxnId::from_index(t));
+        let mut per_term = Vec::with_capacity(terms.len());
+        for &(a, c1, c3) in terms {
+            let needed = c1 != 0.0 || (balance && c3 != 0.0);
+            let vars: Vec<VarRef> = (0..n_sites)
+                .map(|s| {
+                    if needed {
+                        model.add_var(
+                            format!("u_{t}_{}_{s}", a.index()),
+                            vpart_ilp::VarKind::Continuous,
+                            0.0,
+                            1.0,
+                            lambda * c1,
+                        )
+                    } else {
+                        // Placeholder, never constrained nor in objective.
+                        VarRef(usize::MAX)
+                    }
+                })
+                .collect();
+            per_term.push(vars);
+        }
+        u.push(per_term);
+    }
+
+    // Assignment: each transaction on exactly one site.
+    for t in 0..n_txns {
+        let expr: LinExpr = (0..n_sites).map(|s| (x[t][s], 1.0)).collect();
+        model.add_constraint(format!("assign_{t}"), expr, Cmp::Eq, 1.0);
+    }
+    // Coverage: each attribute somewhere (exactly one site when disjoint).
+    for a in 0..n_attrs {
+        let expr: LinExpr = (0..n_sites).map(|s| (y[a][s], 1.0)).collect();
+        let cmp = if opts.allow_replication {
+            Cmp::Ge
+        } else {
+            Cmp::Eq
+        };
+        model.add_constraint(format!("cover_{a}"), expr, cmp, 1.0);
+    }
+    // Single-sitedness of reads: y[a,s] ≥ x[t,s] for φ[a,t] = 1.
+    for t in 0..n_txns {
+        for &a in instance.read_set(TxnId::from_index(t)) {
+            for s in 0..n_sites {
+                model.add_constraint(
+                    format!("ss_{t}_{}_{s}", a.index()),
+                    [(y[a.index()][s], 1.0), (x[t][s], -1.0)],
+                    Cmp::Ge,
+                    0.0,
+                );
+            }
+        }
+    }
+    // Linearization rows. For pairs with φ[a,t] = 1, single-sitedness
+    // already forces y[a,s] = 1 wherever x[t,s] = 1, so the standard
+    // McCormick lower envelope `u ≥ x + y − 1` can be strengthened to
+    // `u ≥ x` — a much tighter LP relaxation of the load constraints
+    // (otherwise the LP zeroes the read-work term by splitting x and y).
+    for t in 0..n_txns {
+        let txn = TxnId::from_index(t);
+        let terms = coeffs.txn_terms(txn);
+        for (k, &(a, c1, c3)) in terms.iter().enumerate() {
+            if u[t][k][0].0 == usize::MAX {
+                continue;
+            }
+            let phi = instance.phi(a, txn);
+            let need_lower =
+                !opts.prune_linearization || lambda * c1 > 0.0 || (balance && c3 > 0.0);
+            let need_upper = !opts.prune_linearization || lambda * c1 < 0.0;
+            if need_upper {
+                // Σ_s u ≤ Σ_s x = 1: stops the LP from collecting the
+                // (negative-c1) write-transfer saving on several fractional
+                // sites at once.
+                let expr: LinExpr = (0..n_sites).map(|s| (u[t][k][s], 1.0)).collect();
+                model.add_constraint(format!("usum_{t}_{}", a.index()), expr, Cmp::Le, 1.0);
+            }
+            for s in 0..n_sites {
+                let uv = u[t][k][s];
+                if need_upper {
+                    model.add_constraint(
+                        format!("ux_{t}_{}_{s}", a.index()),
+                        [(uv, 1.0), (x[t][s], -1.0)],
+                        Cmp::Le,
+                        0.0,
+                    );
+                    model.add_constraint(
+                        format!("uy_{t}_{}_{s}", a.index()),
+                        [(uv, 1.0), (y[a.index()][s], -1.0)],
+                        Cmp::Le,
+                        0.0,
+                    );
+                }
+                if need_lower {
+                    if phi {
+                        model.add_constraint(
+                            format!("ul_{t}_{}_{s}", a.index()),
+                            [(uv, 1.0), (x[t][s], -1.0)],
+                            Cmp::Ge,
+                            0.0,
+                        );
+                    } else {
+                        model.add_constraint(
+                            format!("ul_{t}_{}_{s}", a.index()),
+                            [(uv, 1.0), (x[t][s], -1.0), (y[a.index()][s], -1.0)],
+                            Cmp::Ge,
+                            -1.0,
+                        );
+                    }
+                }
+            }
+        }
+    }
+    // Load-balancing rows: work(s) ≤ m.
+    if let Some(mv) = m {
+        for s in 0..n_sites {
+            let mut expr = LinExpr::new();
+            for t in 0..n_txns {
+                let terms = coeffs.txn_terms(TxnId::from_index(t));
+                for (k, &(_, _, c3)) in terms.iter().enumerate() {
+                    if c3 != 0.0 && u[t][k][s].0 != usize::MAX {
+                        expr.push(u[t][k][s], c3);
+                    }
+                }
+            }
+            for a in 0..n_attrs {
+                let c4 = coeffs.c4(vpart_model::AttrId::from_index(a));
+                if c4 != 0.0 {
+                    expr.push(y[a][s], c4);
+                }
+            }
+            expr.push(mv, -1.0);
+            model.add_constraint(format!("load_{s}"), expr, Cmp::Le, 0.0);
+        }
+        // Aggregate cut: the total unavoidable work — reads of φ-pairs are
+        // always paid at the executing site, and every attribute has at
+        // least one replica — spread over |S| sites bounds m from below.
+        let mut unavoidable = 0.0;
+        for t in 0..n_txns {
+            let txn = TxnId::from_index(t);
+            for &(a, _, c3) in coeffs.txn_terms(txn) {
+                if instance.phi(a, txn) {
+                    unavoidable += c3;
+                }
+            }
+        }
+        for a in 0..n_attrs {
+            unavoidable += coeffs.c4(vpart_model::AttrId::from_index(a));
+        }
+        model.add_constraint(
+            "m_floor",
+            [(mv, 1.0)],
+            Cmp::Ge,
+            unavoidable / n_sites as f64,
+        );
+    }
+    // Symmetry breaking: transaction t may only use sites 0..=t.
+    if opts.symmetry_breaking {
+        for (t, row) in x.iter().enumerate().take(n_sites.saturating_sub(1)) {
+            for (s, &xv) in row.iter().enumerate().skip(t + 1) {
+                model.add_constraint(format!("sym_{t}_{s}"), [(xv, 1.0)], Cmp::Eq, 0.0);
+            }
+        }
+    }
+
+    QpArtifacts {
+        model,
+        x,
+        y,
+        u,
+        m,
+        n_sites,
+    }
+}
+
+impl QpArtifacts {
+    /// Builds a full MIP assignment from a feasible partitioning (used as a
+    /// warm-start incumbent). `u` is set to `x·y` and `m` to the induced
+    /// max load, so the point satisfies every (even pruned) row.
+    pub fn assignment_from(&self, coeffs: &CostCoefficients, part: &Partitioning) -> Vec<f64> {
+        let mut vals = vec![0.0; self.model.n_vars()];
+        for (t, row) in self.x.iter().enumerate() {
+            vals[row[part.site_of(TxnId::from_index(t)).index()].0] = 1.0;
+        }
+        for (a, row) in self.y.iter().enumerate() {
+            for s in part.attr_sites(vpart_model::AttrId::from_index(a)) {
+                vals[row[s.index()].0] = 1.0;
+            }
+        }
+        let mut site_work = vec![0.0; self.n_sites];
+        for (t, per_term) in self.u.iter().enumerate() {
+            let txn = TxnId::from_index(t);
+            let home = part.site_of(txn);
+            let terms = coeffs.txn_terms(txn);
+            for (k, vars) in per_term.iter().enumerate() {
+                let (a, _, c3) = terms[k];
+                if part.has_attr(a, home) {
+                    if vars[home.index()].0 != usize::MAX {
+                        vals[vars[home.index()].0] = 1.0;
+                    }
+                    site_work[home.index()] += c3;
+                }
+            }
+        }
+        if let Some(mv) = self.m {
+            for a in 0..part.n_attrs() {
+                let attr = vpart_model::AttrId::from_index(a);
+                for s in part.attr_sites(attr) {
+                    site_work[s.index()] += coeffs.c4(attr);
+                }
+            }
+            vals[mv.0] = site_work.iter().fold(0.0f64, |m, &w| m.max(w));
+        }
+        vals
+    }
+
+    /// Extracts the partitioning encoded by a MIP solution vector.
+    pub fn extract(&self, values: &[f64]) -> Partitioning {
+        let n_attrs = self.y.len();
+        let mut xs = Vec::with_capacity(self.x.len());
+        for row in &self.x {
+            let site = (0..self.n_sites)
+                .max_by(|&a, &b| values[row[a].0].total_cmp(&values[row[b].0]))
+                .expect("n_sites >= 1");
+            xs.push(vpart_model::SiteId::from_index(site));
+        }
+        let mut y = vpart_model::BitMatrix::new(n_attrs, self.n_sites);
+        for (a, row) in self.y.iter().enumerate() {
+            for (s, &v) in row.iter().enumerate() {
+                if values[v.0] > 0.5 {
+                    y.set(a, s);
+                }
+            }
+        }
+        Partitioning::from_parts(self.n_sites, xs, y).expect("model enforces shapes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpart_model::workload::QuerySpec;
+    use vpart_model::{AttrId, Schema, Workload};
+
+    fn tiny() -> Instance {
+        let mut sb = Schema::builder();
+        sb.table("R", &[("a", 4.0), ("b", 8.0)]).unwrap();
+        let schema = sb.build().unwrap();
+        let mut wb = Workload::builder(&schema);
+        let q0 = wb
+            .add_query(QuerySpec::read("q0").access(&[AttrId(0)]))
+            .unwrap();
+        let q1 = wb
+            .add_query(QuerySpec::write("q1").access(&[AttrId(1)]))
+            .unwrap();
+        wb.transaction("T0", &[q0]).unwrap();
+        wb.transaction("T1", &[q1]).unwrap();
+        Instance::new("qp", schema, wb.build().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn model_dimensions() {
+        let ins = tiny();
+        let cfg = CostConfig::default();
+        let coeffs = CostCoefficients::compute(&ins, &cfg);
+        let art = build_qp_model(&ins, &coeffs, 2, &cfg, &QpOptions::default());
+        art.model.validate().unwrap();
+        // 2 txns × 2 sites x-vars + 2 attrs × 2 sites y-vars + m + u's.
+        assert_eq!(art.x.len(), 2);
+        assert_eq!(art.y.len(), 2);
+        assert!(art.m.is_some());
+        assert!(art.model.n_vars() >= 9);
+        // Integer count = x + y only (u continuous).
+        assert_eq!(art.model.n_int_vars(), 8);
+    }
+
+    #[test]
+    fn lambda_one_drops_load_machinery() {
+        let ins = tiny();
+        let cfg = CostConfig::default().with_lambda(1.0);
+        let coeffs = CostCoefficients::compute(&ins, &cfg);
+        let art = build_qp_model(&ins, &coeffs, 2, &cfg, &QpOptions::default());
+        assert!(art.m.is_none());
+    }
+
+    #[test]
+    fn warm_start_assignment_is_feasible() {
+        let ins = tiny();
+        let cfg = CostConfig::default();
+        let coeffs = CostCoefficients::compute(&ins, &cfg);
+        for opts in [
+            QpOptions::default(),
+            QpOptions {
+                prune_linearization: false,
+                ..QpOptions::default()
+            },
+            QpOptions {
+                symmetry_breaking: false,
+                ..QpOptions::default()
+            },
+        ] {
+            let art = build_qp_model(&ins, &coeffs, 2, &cfg, &opts);
+            // Canonical single-site layout satisfies symmetry breaking.
+            let part = Partitioning::single_site(&ins, 2).unwrap();
+            let vals = art.assignment_from(&coeffs, &part);
+            assert!(
+                art.model.is_feasible(&vals, 1e-9),
+                "warm start must satisfy the model (opts {opts:?})"
+            );
+            // Round-trip through extract.
+            let back = art.extract(&vals);
+            assert_eq!(back, part);
+        }
+    }
+
+    #[test]
+    fn disjoint_mode_forces_equality_cover() {
+        let ins = tiny();
+        let cfg = CostConfig::default();
+        let coeffs = CostCoefficients::compute(&ins, &cfg);
+        let art = build_qp_model(
+            &ins,
+            &coeffs,
+            2,
+            &cfg,
+            &QpOptions {
+                allow_replication: false,
+                ..QpOptions::default()
+            },
+        );
+        // A replicated assignment must be infeasible now.
+        let mut part = Partitioning::single_site(&ins, 2).unwrap();
+        part.add_replica(AttrId(0), vpart_model::SiteId(1));
+        let vals = art.assignment_from(&coeffs, &part);
+        assert!(!art.model.is_feasible(&vals, 1e-9));
+    }
+}

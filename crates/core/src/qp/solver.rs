@@ -1,0 +1,343 @@
+//! Driving the linearized MIP to a partitioning.
+
+use crate::config::CostConfig;
+use crate::cost::coeffs::CostCoefficients;
+use crate::cost::objective::evaluate;
+use crate::error::CoreError;
+use crate::qp::builder::{build_qp_model, QpOptions};
+use crate::reduce::Reduction;
+use crate::report::{SolveReport, Termination};
+use std::time::{Duration, Instant};
+use vpart_ilp::{SolveParams, SolveStatus};
+use vpart_model::{Instance, Partitioning};
+
+/// Configuration of the QP (exact) solver.
+#[derive(Debug, Clone)]
+pub struct QpConfig {
+    /// Structural model options.
+    pub options: QpOptions,
+    /// Apply the reasonable-cuts reduction of §4 before building the MIP.
+    pub reasonable_cuts: bool,
+    /// Wall-clock limit (paper: 30 minutes).
+    pub time_limit: Duration,
+    /// Relative MIP gap (paper: 0.1%).
+    pub mip_gap: f64,
+    /// Node limit for branch & bound.
+    pub node_limit: usize,
+    /// Optional warm-start partitioning (e.g. an SA solution). When `None`,
+    /// the trivial single-site layout primes the incumbent.
+    pub warm_start: Option<Partitioning>,
+}
+
+impl Default for QpConfig {
+    fn default() -> Self {
+        Self {
+            options: QpOptions::default(),
+            reasonable_cuts: true,
+            time_limit: Duration::from_secs(30 * 60),
+            mip_gap: 1e-3,
+            node_limit: usize::MAX,
+            warm_start: None,
+        }
+    }
+}
+
+impl QpConfig {
+    /// Paper setup with a custom time limit.
+    pub fn with_time_limit(seconds: f64) -> Self {
+        Self {
+            time_limit: Duration::from_secs_f64(seconds),
+            ..Self::default()
+        }
+    }
+
+    /// Disables attribute replication (Table 5's disjoint mode).
+    pub fn disjoint(mut self) -> Self {
+        self.options.allow_replication = false;
+        self
+    }
+}
+
+/// Cheap deterministic primal heuristic priming the branch & bound: the
+/// best of the single-site layout and a few alternating-subproblem passes
+/// from seeded random transaction assignments (canonicalized so symmetry
+/// breaking accepts them). Disjoint mode only uses the single-site layout
+/// (the greedy may replicate).
+fn greedy_incumbent(
+    instance: &Instance,
+    coeffs: &crate::cost::coeffs::CostCoefficients,
+    n_sites: usize,
+    cost: &CostConfig,
+) -> Option<Partitioning> {
+    use crate::cost::objective::fast_objective6;
+    use crate::sa::subproblem::{optimal_x_for_y, optimal_y_for_x};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let mut best = Partitioning::single_site(instance, n_sites).ok()?;
+    let mut best_cost = fast_objective6(instance, coeffs, &best, cost);
+    for seed in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(0x9A11 + seed);
+        let x: Vec<vpart_model::SiteId> = (0..instance.n_txns())
+            .map(|_| vpart_model::SiteId::from_index(rng.gen_range(0..n_sites)))
+            .collect();
+        let mut p = optimal_y_for_x(instance, coeffs, &x, n_sites, cost);
+        for _ in 0..2 {
+            p = optimal_x_for_y(instance, coeffs, &p, cost);
+            p = optimal_y_for_x(instance, coeffs, p.x(), n_sites, cost);
+        }
+        let c = fast_objective6(instance, coeffs, &p, cost);
+        if c < best_cost {
+            best = p;
+            best_cost = c;
+        }
+    }
+    Some(best.canonicalized())
+}
+
+/// The exact solver: builds and solves the linearized program (7).
+#[derive(Debug, Clone, Default)]
+pub struct QpSolver {
+    /// Solver configuration.
+    pub config: QpConfig,
+}
+
+impl QpSolver {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: QpConfig) -> Self {
+        Self { config }
+    }
+
+    /// Finds a minimum-cost partitioning of `instance` over `n_sites`.
+    pub fn solve(
+        &self,
+        instance: &Instance,
+        n_sites: usize,
+        cost: &CostConfig,
+    ) -> Result<SolveReport, CoreError> {
+        cost.validate()?;
+        if n_sites == 0 {
+            return Err(CoreError::Model(vpart_model::ModelError::NoSites));
+        }
+        let start = Instant::now();
+
+        // Reasonable-cuts reduction (§4).
+        let reduction = if self.config.reasonable_cuts {
+            Reduction::compute(instance)
+        } else {
+            None
+        };
+        let work_instance = reduction.as_ref().map_or(instance, |r| &r.reduced);
+
+        let coeffs = CostCoefficients::compute(work_instance, cost);
+        let art = build_qp_model(work_instance, &coeffs, n_sites, cost, &self.config.options);
+
+        // Warm start: the supplied partitioning (restricted to group space
+        // under reduction), or an internal deterministic greedy multistart
+        // (alternating exact subproblems from a few seeds, plus the
+        // single-site layout). An infeasible start (e.g. replicated under
+        // disjoint mode) is simply dropped.
+        let warm = match (&self.config.warm_start, &reduction) {
+            (Some(p), None) => Some(p.clone()),
+            (Some(p), Some(r)) => Some(r.restrict(p)),
+            (None, _) => greedy_incumbent(work_instance, &coeffs, n_sites, cost),
+        };
+        let initial = warm.and_then(|p| {
+            let vals = art.assignment_from(&coeffs, &p);
+            art.model.is_feasible(&vals, 1e-6).then_some(vals)
+        });
+
+        let params = SolveParams {
+            time_limit: self.config.time_limit,
+            mip_gap: self.config.mip_gap,
+            node_limit: self.config.node_limit,
+            int_tol: 1e-6,
+            initial_solution: initial,
+        };
+        let sol = art.model.solve(&params)?;
+
+        match sol.status {
+            SolveStatus::Optimal | SolveStatus::Feasible => {}
+            SolveStatus::Infeasible => {
+                return Err(CoreError::Ilp("model unexpectedly infeasible".into()));
+            }
+            SolveStatus::Unbounded => {
+                return Err(CoreError::Ilp("model unexpectedly unbounded".into()));
+            }
+            SolveStatus::NoSolutionFound => return Err(CoreError::NoSolution),
+        }
+
+        let mut part = art.extract(&sol.values);
+        if let Some(r) = &reduction {
+            part = r.expand(&part);
+        }
+        part.validate(instance, !self.config.options.allow_replication)?;
+
+        let breakdown = evaluate(instance, &part, cost);
+        Ok(SolveReport {
+            partitioning: part,
+            breakdown,
+            termination: if sol.status == SolveStatus::Optimal {
+                Termination::Optimal
+            } else {
+                Termination::LimitReached
+            },
+            elapsed: start.elapsed(),
+            detail: format!(
+                "mip: {} nodes, {} lp iterations, gap {:.4}%, reduced |A| {}",
+                sol.stats.nodes,
+                sol.stats.lp_iterations,
+                sol.gap * 100.0,
+                work_instance.n_attrs(),
+            ),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpart_model::workload::QuerySpec;
+    use vpart_model::{AttrId, Schema, SiteId, Workload};
+
+    /// Two independent read transactions on two tables: the obvious optimum
+    /// for 2 sites splits them (each table fully local to its reader).
+    fn separable() -> Instance {
+        let mut sb = Schema::builder();
+        sb.table("R", &[("r1", 10.0), ("r2", 10.0)]).unwrap();
+        sb.table("S", &[("s1", 10.0), ("s2", 10.0)]).unwrap();
+        let schema = sb.build().unwrap();
+        let mut wb = Workload::builder(&schema);
+        let q0 = wb
+            .add_query(QuerySpec::read("q0").access(&[AttrId(0), AttrId(1)]))
+            .unwrap();
+        let q1 = wb
+            .add_query(QuerySpec::read("q1").access(&[AttrId(2), AttrId(3)]))
+            .unwrap();
+        wb.transaction("T0", &[q0]).unwrap();
+        wb.transaction("T1", &[q1]).unwrap();
+        Instance::new("sep", schema, wb.build().unwrap()).unwrap()
+    }
+
+    /// One wide table read by two transactions on disjoint column sets.
+    /// Vertical partitioning should cut the table so each reader only pays
+    /// its own columns.
+    fn cuttable() -> Instance {
+        let mut sb = Schema::builder();
+        sb.table("W", &[("a", 100.0), ("b", 100.0), ("c", 1.0), ("d", 1.0)])
+            .unwrap();
+        let schema = sb.build().unwrap();
+        let mut wb = Workload::builder(&schema);
+        let q0 = wb
+            .add_query(QuerySpec::read("q0").access(&[AttrId(0), AttrId(1)]))
+            .unwrap();
+        let q1 = wb
+            .add_query(QuerySpec::read("q1").access(&[AttrId(2), AttrId(3)]))
+            .unwrap();
+        wb.transaction("T0", &[q0]).unwrap();
+        wb.transaction("T1", &[q1]).unwrap();
+        Instance::new("cut", schema, wb.build().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn splits_separable_workload() {
+        let ins = separable();
+        let cfg = CostConfig::default();
+        let report = QpSolver::default().solve(&ins, 2, &cfg).unwrap();
+        assert_eq!(report.termination, Termination::Optimal);
+        // Optimal: each transaction alone with its table → each read pays
+        // exactly its own table width (20 per txn, ×1 row ×freq 1).
+        assert_eq!(report.breakdown.objective4, 40.0);
+        let p = &report.partitioning;
+        assert_ne!(
+            p.site_of(vpart_model::TxnId(0)),
+            p.site_of(vpart_model::TxnId(1))
+        );
+    }
+
+    #[test]
+    fn single_site_matches_trivial_layout() {
+        let ins = separable();
+        let cfg = CostConfig::default();
+        let report = QpSolver::default().solve(&ins, 1, &cfg).unwrap();
+        let trivial = Partitioning::single_site(&ins, 1).unwrap();
+        let trivial_cost = evaluate(&ins, &trivial, &cfg).objective4;
+        assert_eq!(report.breakdown.objective4, trivial_cost);
+    }
+
+    #[test]
+    fn vertical_cut_of_wide_table() {
+        let ins = cuttable();
+        let cfg = CostConfig::default();
+        let report = QpSolver::default().solve(&ins, 2, &cfg).unwrap();
+        assert_eq!(report.termination, Termination::Optimal);
+        // Each reader pays only its columns: 200 (a+b) + 2 (c+d).
+        assert_eq!(report.breakdown.objective4, 202.0);
+    }
+
+    #[test]
+    fn disjoint_mode_never_beats_replicated() {
+        let ins = cuttable();
+        let cfg = CostConfig::default();
+        let replicated = QpSolver::default().solve(&ins, 2, &cfg).unwrap();
+        let disjoint = QpSolver::new(QpConfig::default().disjoint())
+            .solve(&ins, 2, &cfg)
+            .unwrap();
+        assert!(!disjoint.partitioning.is_replicated());
+        assert!(disjoint.breakdown.objective4 >= replicated.breakdown.objective4 - 1e-9);
+    }
+
+    #[test]
+    fn reduction_and_pruning_do_not_change_optimum() {
+        let ins = cuttable();
+        let cfg = CostConfig::default().with_lambda(1.0);
+        let mut costs = Vec::new();
+        for (cuts, prune, sym) in [
+            (true, true, true),
+            (false, false, false),
+            (false, true, false),
+            (true, false, true),
+        ] {
+            let qc = QpConfig {
+                reasonable_cuts: cuts,
+                options: QpOptions {
+                    prune_linearization: prune,
+                    symmetry_breaking: sym,
+                    ..QpOptions::default()
+                },
+                mip_gap: 0.0,
+                ..QpConfig::default()
+            };
+            let r = QpSolver::new(qc).solve(&ins, 2, &cfg).unwrap();
+            assert_eq!(r.termination, Termination::Optimal);
+            costs.push(r.breakdown.objective4);
+        }
+        for w in costs.windows(2) {
+            assert!((w[0] - w[1]).abs() < 1e-6, "costs diverge: {costs:?}");
+        }
+    }
+
+    #[test]
+    fn warm_start_is_accepted() {
+        let ins = separable();
+        let cfg = CostConfig::default();
+        let warm = Partitioning::minimal_for_x(&ins, vec![SiteId(0), SiteId(1)], 2).unwrap();
+        let qc = QpConfig {
+            reasonable_cuts: false, // warm start only usable unreduced
+            warm_start: Some(warm),
+            ..QpConfig::default()
+        };
+        let r = QpSolver::new(qc).solve(&ins, 2, &cfg).unwrap();
+        assert_eq!(r.termination, Termination::Optimal);
+        assert_eq!(r.breakdown.objective4, 40.0);
+    }
+
+    #[test]
+    fn zero_sites_rejected() {
+        let ins = separable();
+        assert!(matches!(
+            QpSolver::default().solve(&ins, 0, &CostConfig::default()),
+            Err(CoreError::Model(vpart_model::ModelError::NoSites))
+        ));
+    }
+}

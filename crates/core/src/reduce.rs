@@ -1,0 +1,303 @@
+//! The "reasonable cuts" instance reduction of §4.
+//!
+//! Attributes of the same table that are accessed by exactly the same set
+//! of queries can be treated as one atomic unit: every cost term involving
+//! them shares the same multipliers (only the width differs, and cost is
+//! linear in width), so an optimal solution exists in which all members of
+//! a group share a placement. Grouping them shrinks `|A|` — and with it the
+//! `u`-variable count of the linearized program — often dramatically
+//! (TPC-C's 92 attributes collapse to a few dozen groups).
+//!
+//! The reduction is *exact* for the cost part of the objective; with load
+//! balancing (`λ < 1`) it can only restrict tie-breaking among equal-cost
+//! layouts (a group cannot be split across sites to shave the max load).
+
+use std::collections::HashMap;
+use vpart_model::workload::QuerySpec;
+use vpart_model::{AttrId, BitMatrix, Instance, Partitioning, QueryKind, Schema, SiteId, Workload};
+
+/// A computed attribute grouping with its reduced instance.
+#[derive(Debug, Clone)]
+pub struct Reduction {
+    /// The reduced instance (same tables/queries/transactions, grouped
+    /// attributes).
+    pub reduced: Instance,
+    /// Group id (= reduced attribute index) per original attribute.
+    pub group_of: Vec<usize>,
+    /// Original member attributes per group.
+    pub members: Vec<Vec<AttrId>>,
+}
+
+impl Reduction {
+    /// Groups co-accessed attributes of `instance`. Returns `None` when no
+    /// two attributes can be merged (reduction would be a no-op).
+    pub fn compute(instance: &Instance) -> Option<Reduction> {
+        let n_attrs = instance.n_attrs();
+        let n_queries = instance.n_queries();
+
+        // Key: (table, exact set of queries accessing the attribute).
+        let mut key_of_attr: Vec<(usize, Vec<u64>)> = Vec::with_capacity(n_attrs);
+        for a in 0..n_attrs {
+            let table = instance.schema().table_of(AttrId::from_index(a)).index();
+            let mut bits = vec![0u64; n_queries.div_ceil(64)];
+            for q in 0..n_queries {
+                if instance.alpha(AttrId::from_index(a), vpart_model::QueryId::from_index(q)) {
+                    bits[q / 64] |= 1 << (q % 64);
+                }
+            }
+            key_of_attr.push((table, bits));
+        }
+
+        let mut group_index: HashMap<&(usize, Vec<u64>), usize> = HashMap::new();
+        let mut group_of = vec![0usize; n_attrs];
+        let mut members: Vec<Vec<AttrId>> = Vec::new();
+        for a in 0..n_attrs {
+            let key = &key_of_attr[a];
+            let g = *group_index.entry(key).or_insert_with(|| {
+                members.push(Vec::new());
+                members.len() - 1
+            });
+            group_of[a] = g;
+            members[g].push(AttrId::from_index(a));
+        }
+        if members.len() == n_attrs {
+            return None;
+        }
+
+        // Reduced schema: per table, its groups in first-member order.
+        // Groups are created in attribute order and attributes are
+        // contiguous per table, so groups are already contiguous per table.
+        let mut sb = Schema::builder();
+        let mut reduced_attr_of_group = vec![0usize; members.len()];
+        let mut next = 0usize;
+        for (ti, table) in instance.schema().tables().iter().enumerate() {
+            let mut cols: Vec<(String, f64)> = Vec::new();
+            let mut seen_groups: Vec<usize> = Vec::new();
+            for ai in table.attrs() {
+                let g = group_of[ai];
+                if !seen_groups.contains(&g) {
+                    seen_groups.push(g);
+                    let width: f64 = members[g].iter().map(|&a| instance.schema().width(a)).sum();
+                    let first = instance.schema().attr(members[g][0]).name.clone();
+                    let name = if members[g].len() == 1 {
+                        first
+                    } else {
+                        format!("{first}+{}", members[g].len() - 1)
+                    };
+                    cols.push((name, width));
+                }
+            }
+            for (slot, &g) in seen_groups.iter().enumerate() {
+                reduced_attr_of_group[g] = next + slot;
+            }
+            next += seen_groups.len();
+            let col_refs: Vec<(&str, f64)> = cols.iter().map(|(n, w)| (n.as_str(), *w)).collect();
+            sb.table(&instance.schema().tables()[ti].name, &col_refs)
+                .expect("reduced schema construction cannot fail");
+        }
+        let schema = sb.build().expect("non-empty by construction");
+
+        // Reduced workload: identical structure over mapped attributes.
+        let mut wb = Workload::builder(&schema);
+        let mut qmap = Vec::with_capacity(n_queries);
+        for q in instance.workload().queries() {
+            let attrs: Vec<AttrId> = {
+                let mut v: Vec<AttrId> = q
+                    .attrs
+                    .iter()
+                    .map(|&a| AttrId::from_index(reduced_attr_of_group[group_of[a.index()]]))
+                    .collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            };
+            let mut spec = match q.kind {
+                QueryKind::Read => QuerySpec::read(&q.name),
+                QueryKind::Write => QuerySpec::write(&q.name),
+            }
+            .frequency(q.frequency)
+            .access(&attrs);
+            for &(t, n) in &q.table_rows {
+                spec = spec.rows(t, n);
+            }
+            qmap.push(wb.add_query(spec).expect("reduced query is valid"));
+        }
+        for txn in instance.workload().transactions() {
+            let qs: Vec<_> = txn.queries.iter().map(|&q| qmap[q.index()]).collect();
+            wb.transaction(&txn.name, &qs)
+                .expect("reduced txn is valid");
+        }
+        let workload = wb.build().expect("complete by construction");
+        let reduced = Instance::new(format!("{}(reduced)", instance.name()), schema, workload)
+            .expect("reduced instance is consistent");
+
+        // Re-express group ids as reduced attribute ids.
+        let group_of: Vec<usize> = group_of.iter().map(|&g| reduced_attr_of_group[g]).collect();
+        let mut members_by_reduced: Vec<Vec<AttrId>> = vec![Vec::new(); members.len()];
+        for (g, mem) in members.into_iter().enumerate() {
+            members_by_reduced[reduced_attr_of_group[g]] = mem;
+        }
+
+        Some(Reduction {
+            reduced,
+            group_of,
+            members: members_by_reduced,
+        })
+    }
+
+    /// Expands a partitioning of the reduced instance back to the original
+    /// attribute space (each member inherits its group's placement).
+    pub fn expand(&self, part: &Partitioning) -> Partitioning {
+        let n_sites = part.n_sites();
+        let mut y = BitMatrix::new(self.group_of.len(), n_sites);
+        for (a, &g) in self.group_of.iter().enumerate() {
+            for s in part.attr_sites(AttrId::from_index(g)) {
+                y.set(a, s.index());
+            }
+        }
+        let x: Vec<SiteId> = part.x().to_vec();
+        Partitioning::from_parts(n_sites, x, y).expect("expanded shapes are consistent")
+    }
+
+    /// Reduction ratio `reduced attrs / original attrs` (< 1 when useful).
+    pub fn ratio(&self) -> f64 {
+        self.reduced.n_attrs() as f64 / self.group_of.len() as f64
+    }
+
+    /// Restricts a partitioning of the *original* instance to the reduced
+    /// attribute space: a group is placed wherever any member is. The
+    /// result is feasible for the reduced instance (read sets only grow)
+    /// and costs at most as much extra as the union replication — good
+    /// enough for a warm-start incumbent.
+    pub fn restrict(&self, part: &Partitioning) -> Partitioning {
+        let n_sites = part.n_sites();
+        let mut y = BitMatrix::new(self.reduced.n_attrs(), n_sites);
+        for (a, &g) in self.group_of.iter().enumerate() {
+            for s in part.attr_sites(AttrId::from_index(a)) {
+                y.set(g, s.index());
+            }
+        }
+        Partitioning::from_parts(n_sites, part.x().to_vec(), y)
+            .expect("restricted shapes are consistent")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CostConfig;
+    use crate::cost::objective::evaluate;
+    use vpart_model::TableId;
+
+    /// Table with 4 attributes where a0/a1 are co-accessed and a2/a3 are
+    /// co-accessed by a different query.
+    fn instance() -> Instance {
+        let mut sb = Schema::builder();
+        sb.table("R", &[("a", 4.0), ("b", 8.0), ("c", 2.0), ("d", 2.0)])
+            .unwrap();
+        let schema = sb.build().unwrap();
+        let mut wb = Workload::builder(&schema);
+        let q0 = wb
+            .add_query(QuerySpec::read("q0").access(&[AttrId(0), AttrId(1)]))
+            .unwrap();
+        let q1 = wb
+            .add_query(
+                QuerySpec::read("q1")
+                    .access(&[AttrId(2), AttrId(3)])
+                    .frequency(2.0),
+            )
+            .unwrap();
+        wb.transaction("T0", &[q0]).unwrap();
+        wb.transaction("T1", &[q1]).unwrap();
+        Instance::new("red", schema, wb.build().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn groups_co_accessed_attributes() {
+        let ins = instance();
+        let red = Reduction::compute(&ins).expect("reducible");
+        assert_eq!(red.reduced.n_attrs(), 2);
+        assert_eq!(red.group_of, vec![0, 0, 1, 1]);
+        assert_eq!(red.members[0], vec![AttrId(0), AttrId(1)]);
+        // Widths add up.
+        assert_eq!(red.reduced.schema().width(AttrId(0)), 12.0);
+        assert_eq!(red.reduced.schema().width(AttrId(1)), 4.0);
+        assert!(red.ratio() < 1.0);
+    }
+
+    #[test]
+    fn expansion_preserves_cost() {
+        let ins = instance();
+        let red = Reduction::compute(&ins).unwrap();
+        let cfg = CostConfig::default();
+        // Place group 0 on site 0, group 1 on site 1, txns accordingly.
+        let rp = Partitioning::minimal_for_x(&red.reduced, vec![SiteId(0), SiteId(1)], 2).unwrap();
+        let full = red.expand(&rp);
+        full.validate(&ins, false).unwrap();
+        let cost_reduced = evaluate(&red.reduced, &rp, &cfg);
+        let cost_full = evaluate(&ins, &full, &cfg);
+        assert!(
+            (cost_reduced.objective4 - cost_full.objective4).abs() < 1e-9,
+            "reduced {} vs expanded {}",
+            cost_reduced.objective4,
+            cost_full.objective4
+        );
+        assert!((cost_reduced.objective6 - cost_full.objective6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_reduction_when_all_attrs_distinct() {
+        let mut sb = Schema::builder();
+        sb.table("R", &[("a", 4.0), ("b", 8.0)]).unwrap();
+        let schema = sb.build().unwrap();
+        let mut wb = Workload::builder(&schema);
+        let q0 = wb
+            .add_query(QuerySpec::read("q0").access(&[AttrId(0)]))
+            .unwrap();
+        let q1 = wb
+            .add_query(QuerySpec::read("q1").access(&[AttrId(1)]))
+            .unwrap();
+        wb.transaction("T", &[q0, q1]).unwrap();
+        let ins = Instance::new("x", schema, wb.build().unwrap()).unwrap();
+        assert!(Reduction::compute(&ins).is_none());
+    }
+
+    #[test]
+    fn grouping_respects_table_boundaries() {
+        // Same access pattern but different tables must not merge.
+        let mut sb = Schema::builder();
+        sb.table("R", &[("a", 4.0)]).unwrap();
+        sb.table("S", &[("b", 4.0)]).unwrap();
+        let schema = sb.build().unwrap();
+        let mut wb = Workload::builder(&schema);
+        let q = wb
+            .add_query(
+                QuerySpec::read("q")
+                    .access(&[AttrId(0), AttrId(1)])
+                    .rows(TableId(0), 1.0)
+                    .rows(TableId(1), 1.0),
+            )
+            .unwrap();
+        wb.transaction("T", &[q]).unwrap();
+        let ins = Instance::new("x", schema, wb.build().unwrap()).unwrap();
+        assert!(Reduction::compute(&ins).is_none());
+    }
+
+    #[test]
+    fn never_read_attributes_group_together_per_table() {
+        // Two attributes accessed by no query share the empty access set.
+        let mut sb = Schema::builder();
+        sb.table("R", &[("a", 4.0), ("u1", 8.0), ("u2", 8.0)])
+            .unwrap();
+        let schema = sb.build().unwrap();
+        let mut wb = Workload::builder(&schema);
+        let q = wb
+            .add_query(QuerySpec::read("q").access(&[AttrId(0)]))
+            .unwrap();
+        wb.transaction("T", &[q]).unwrap();
+        let ins = Instance::new("x", schema, wb.build().unwrap()).unwrap();
+        let red = Reduction::compute(&ins).unwrap();
+        assert_eq!(red.reduced.n_attrs(), 2);
+        assert_eq!(red.group_of[1], red.group_of[2]);
+    }
+}

@@ -1,0 +1,14 @@
+//! The "SA solver": the simulated-annealing heuristic of §3 (Algorithm 1).
+//!
+//! * [`subproblem`] — the `findSolution(fix)` step: exact re-optimization
+//!   of `y` given `x` (per-attribute decomposition) and of `x` given `y`
+//!   (per-transaction choice over feasible sites), plus ILP-backed variants
+//!   that additionally handle the max-load term exactly,
+//! * [`solver`] — the annealing loop: alternating fixes, 10% neighborhoods,
+//!   the §5.1 initial-temperature rule, geometric cooling and a freeze
+//!   criterion.
+
+pub mod solver;
+pub mod subproblem;
+
+pub use solver::{SaConfig, SaSolver, SubproblemMode};

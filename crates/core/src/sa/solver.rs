@@ -1,0 +1,365 @@
+//! Algorithm 1: simulated annealing with alternating fixes.
+//!
+//! ```text
+//! 1: initialize temperature τ > 0, reduction factor ρ ∈ (0,1)
+//! 2: set number L of inner loops
+//! 3: initialize x randomly (each transaction a uniform site)
+//! 4: fix ← "x"
+//! 5: S ← findSolution(fix)
+//! 6: while not frozen:
+//! 7:   for i in 1..=L:
+//! 8:     x ← neighborhood of x   (move ~10% of transactions)
+//! 9:     y ← neighborhood of y   (extend replication of ~10% of attributes)
+//! 10:    S' ← findSolution(fix)
+//! 11:    Δ ← cost(S') − cost(S)
+//! 12:    accept if Δ ≤ 0 or rand < e^(−Δ/τ)
+//! 13:    fix ← the other element of {"x","y"}
+//! 14:  τ ← ρ·τ
+//! ```
+//!
+//! The initial temperature follows §5.1: a solution 5% worse than the best
+//! is accepted with 50% probability in the first iterations, giving
+//! `τ₀ = 0.05·C* / ln 2`. Freezing: the temperature decayed below
+//! `min_temp_ratio·τ₀`, or no best-cost improvement for `freeze_levels`
+//! consecutive temperature levels, or the time limit expired.
+
+use crate::config::CostConfig;
+use crate::cost::coeffs::CostCoefficients;
+use crate::cost::objective::{evaluate, fast_objective6};
+use crate::error::CoreError;
+use crate::report::{SolveReport, Termination};
+use crate::sa::subproblem::{
+    optimal_x_for_y, optimal_x_for_y_ilp, optimal_y_for_x, optimal_y_for_x_ilp,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+use vpart_model::{AttrId, Instance, Partitioning, SiteId};
+
+/// How `findSolution(fix)` is solved.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SubproblemMode {
+    /// Exact closed form for the λ-weighted cost part (fast; default).
+    Greedy,
+    /// Small MIPs including the max-load term, with a per-call time limit
+    /// (the paper ran GLPK with a 30 s limit per iteration).
+    IlpBacked {
+        /// Per-subproblem time limit.
+        time_limit: Duration,
+    },
+}
+
+/// Configuration of the SA solver.
+#[derive(Debug, Clone)]
+pub struct SaConfig {
+    /// RNG seed (results are deterministic per seed).
+    pub seed: u64,
+    /// Geometric cooling factor ρ ∈ (0,1).
+    pub rho: f64,
+    /// Inner loop length L per temperature level.
+    pub inner_loops: usize,
+    /// Fraction of transactions/attributes perturbed per neighborhood
+    /// (the paper found 10% best).
+    pub move_fraction: f64,
+    /// Initial acceptance rule of §5.1: a solution `accept_worse_pct`
+    /// worse is accepted with 50% probability at τ₀.
+    pub accept_worse_pct: f64,
+    /// Stop after this many non-improving temperature levels.
+    pub freeze_levels: usize,
+    /// Stop when τ < `min_temp_ratio`·τ₀.
+    pub min_temp_ratio: f64,
+    /// Overall wall-clock limit.
+    pub time_limit: Duration,
+    /// Subproblem solver.
+    pub subproblem: SubproblemMode,
+}
+
+impl Default for SaConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0xC0FFEE,
+            rho: 0.85,
+            inner_loops: 60,
+            move_fraction: 0.1,
+            accept_worse_pct: 0.05,
+            freeze_levels: 10,
+            min_temp_ratio: 1e-6,
+            time_limit: Duration::from_secs(600),
+            subproblem: SubproblemMode::Greedy,
+        }
+    }
+}
+
+impl SaConfig {
+    /// A small, fast, fully deterministic configuration for tests and
+    /// examples.
+    pub fn fast_deterministic(seed: u64) -> Self {
+        Self {
+            seed,
+            rho: 0.7,
+            inner_loops: 20,
+            freeze_levels: 4,
+            time_limit: Duration::from_secs(30),
+            ..Self::default()
+        }
+    }
+}
+
+/// The simulated-annealing solver.
+#[derive(Debug, Clone, Default)]
+pub struct SaSolver {
+    /// Solver configuration.
+    pub config: SaConfig,
+}
+
+impl SaSolver {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: SaConfig) -> Self {
+        Self { config }
+    }
+
+    /// Heuristically minimizes objective (6) for `instance` on `n_sites`.
+    pub fn solve(
+        &self,
+        instance: &Instance,
+        n_sites: usize,
+        cost: &CostConfig,
+    ) -> Result<SolveReport, CoreError> {
+        cost.validate()?;
+        if n_sites == 0 {
+            return Err(CoreError::Model(vpart_model::ModelError::NoSites));
+        }
+        let cfg = &self.config;
+        if !(cfg.rho > 0.0 && cfg.rho < 1.0) {
+            return Err(CoreError::BadConfig(format!(
+                "rho must be in (0,1), got {}",
+                cfg.rho
+            )));
+        }
+        if cfg.inner_loops == 0 {
+            return Err(CoreError::BadConfig("inner_loops must be positive".into()));
+        }
+        let start = Instant::now();
+        let coeffs = CostCoefficients::compute(instance, cost);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        let n_txns = instance.n_txns();
+        let txn_moves = ((n_txns as f64 * cfg.move_fraction).ceil() as usize).max(1);
+        let attr_moves = ((instance.n_attrs() as f64 * cfg.move_fraction).ceil() as usize).max(1);
+
+        let solve_y = |x: &[SiteId], rng_unused: &mut StdRng| -> Partitioning {
+            let _ = rng_unused;
+            match cfg.subproblem {
+                SubproblemMode::Greedy => optimal_y_for_x(instance, &coeffs, x, n_sites, cost),
+                SubproblemMode::IlpBacked { time_limit } => {
+                    optimal_y_for_x_ilp(instance, &coeffs, x, n_sites, cost, time_limit)
+                }
+            }
+        };
+        let solve_x = |p: &Partitioning| -> Partitioning {
+            match cfg.subproblem {
+                SubproblemMode::Greedy => optimal_x_for_y(instance, &coeffs, p, cost),
+                SubproblemMode::IlpBacked { time_limit } => {
+                    optimal_x_for_y_ilp(instance, &coeffs, p, cost, time_limit)
+                }
+            }
+        };
+
+        // Line 3: random x; line 5: S ← findSolution("x").
+        let x0: Vec<SiteId> = (0..n_txns)
+            .map(|_| SiteId::from_index(rng.gen_range(0..n_sites)))
+            .collect();
+        let mut current = solve_y(&x0, &mut rng);
+        let mut current_cost = fast_objective6(instance, &coeffs, &current, cost);
+        let mut best = current.clone();
+        let mut best_cost = current_cost;
+
+        // §5.1 initial temperature: 50% = e^(−0.05·C*/τ₀).
+        let mut tau = (cfg.accept_worse_pct * best_cost.max(1e-12)) / std::f64::consts::LN_2;
+        let tau0 = tau;
+        let mut fix_x = true; // line 4
+        let mut levels = 0usize;
+        let mut stale_levels = 0usize;
+        let mut iterations = 0usize;
+        let mut accepted = 0usize;
+
+        'outer: loop {
+            let improved_at_level_start = best_cost;
+            for _ in 0..cfg.inner_loops {
+                if start.elapsed() >= cfg.time_limit {
+                    break 'outer;
+                }
+                iterations += 1;
+                // Lines 8–10: perturb, then re-optimize the non-fixed side.
+                let candidate = if fix_x {
+                    let mut x = current.x().to_vec();
+                    for _ in 0..txn_moves {
+                        let t = rng.gen_range(0..n_txns);
+                        x[t] = SiteId::from_index(rng.gen_range(0..n_sites));
+                    }
+                    solve_y(&x, &mut rng)
+                } else {
+                    let mut p = current.clone();
+                    for _ in 0..attr_moves {
+                        let a = AttrId::from_index(rng.gen_range(0..instance.n_attrs()));
+                        if p.replication(a) < n_sites {
+                            // Extend replication to one more random site.
+                            loop {
+                                let s = SiteId::from_index(rng.gen_range(0..n_sites));
+                                if !p.has_attr(a, s) {
+                                    p.add_replica(a, s);
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    solve_x(&p)
+                };
+                let cand_cost = fast_objective6(instance, &coeffs, &candidate, cost);
+                let delta = cand_cost - current_cost;
+                if delta <= 0.0 || rng.gen::<f64>() < (-delta / tau).exp() {
+                    current = candidate;
+                    current_cost = cand_cost;
+                    accepted += 1;
+                    if current_cost < best_cost {
+                        best = current.clone();
+                        best_cost = current_cost;
+                    }
+                }
+                fix_x = !fix_x; // line 13 (inside the inner loop)
+            }
+            tau *= cfg.rho;
+            levels += 1;
+            if best_cost < improved_at_level_start - 1e-12 {
+                stale_levels = 0;
+            } else {
+                stale_levels += 1;
+            }
+            if stale_levels >= cfg.freeze_levels || tau < cfg.min_temp_ratio * tau0 {
+                break;
+            }
+        }
+
+        // Final polish: re-derive the minimal-cost y for the best x.
+        let polished = solve_y(best.x(), &mut rng);
+        if fast_objective6(instance, &coeffs, &polished, cost) < best_cost {
+            best = polished;
+        }
+        best.validate(instance, false)?;
+
+        let breakdown = evaluate(instance, &best, cost);
+        Ok(SolveReport {
+            partitioning: best,
+            breakdown,
+            termination: Termination::Heuristic,
+            elapsed: start.elapsed(),
+            detail: format!(
+                "sa: {levels} levels, {iterations} iterations, {accepted} accepted, \
+                 tau0 {tau0:.3e}, seed {}",
+                cfg.seed
+            ),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpart_model::workload::QuerySpec;
+    use vpart_model::{Schema, Workload};
+
+    fn separable() -> Instance {
+        let mut sb = Schema::builder();
+        sb.table("R", &[("r1", 10.0), ("r2", 10.0)]).unwrap();
+        sb.table("S", &[("s1", 10.0), ("s2", 10.0)]).unwrap();
+        let schema = sb.build().unwrap();
+        let mut wb = Workload::builder(&schema);
+        let q0 = wb
+            .add_query(QuerySpec::read("q0").access(&[AttrId(0), AttrId(1)]))
+            .unwrap();
+        let q1 = wb
+            .add_query(QuerySpec::read("q1").access(&[AttrId(2), AttrId(3)]))
+            .unwrap();
+        wb.transaction("T0", &[q0]).unwrap();
+        wb.transaction("T1", &[q1]).unwrap();
+        Instance::new("sep", schema, wb.build().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn finds_the_separable_optimum() {
+        let ins = separable();
+        let cfg = CostConfig::default();
+        let r = SaSolver::new(SaConfig::fast_deterministic(42))
+            .solve(&ins, 2, &cfg)
+            .unwrap();
+        r.partitioning.validate(&ins, false).unwrap();
+        assert_eq!(r.termination, Termination::Heuristic);
+        assert_eq!(r.breakdown.objective4, 40.0, "known optimum");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ins = separable();
+        let cfg = CostConfig::default();
+        let a = SaSolver::new(SaConfig::fast_deterministic(7))
+            .solve(&ins, 2, &cfg)
+            .unwrap();
+        let b = SaSolver::new(SaConfig::fast_deterministic(7))
+            .solve(&ins, 2, &cfg)
+            .unwrap();
+        assert_eq!(a.partitioning, b.partitioning);
+        assert_eq!(a.breakdown.objective4, b.breakdown.objective4);
+    }
+
+    #[test]
+    fn single_site_degenerates_to_trivial_layout() {
+        let ins = separable();
+        let cfg = CostConfig::default();
+        let r = SaSolver::new(SaConfig::fast_deterministic(1))
+            .solve(&ins, 1, &cfg)
+            .unwrap();
+        // With one site there is exactly one feasible layout.
+        let trivial = Partitioning::single_site(&ins, 1).unwrap();
+        assert_eq!(
+            r.breakdown.objective4,
+            evaluate(&ins, &trivial, &cfg).objective4
+        );
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        let ins = separable();
+        let cfg = CostConfig::default();
+        let mut sa = SaConfig::fast_deterministic(1);
+        sa.rho = 1.5;
+        assert!(matches!(
+            SaSolver::new(sa).solve(&ins, 2, &cfg),
+            Err(CoreError::BadConfig(_))
+        ));
+        let mut sa = SaConfig::fast_deterministic(1);
+        sa.inner_loops = 0;
+        assert!(matches!(
+            SaSolver::new(sa).solve(&ins, 2, &cfg),
+            Err(CoreError::BadConfig(_))
+        ));
+        assert!(matches!(
+            SaSolver::default().solve(&ins, 0, &cfg),
+            Err(CoreError::Model(vpart_model::ModelError::NoSites))
+        ));
+    }
+
+    #[test]
+    fn ilp_backed_subproblems_work_end_to_end() {
+        let ins = separable();
+        let cfg = CostConfig::default();
+        let mut sa = SaConfig::fast_deterministic(3);
+        sa.inner_loops = 6;
+        sa.freeze_levels = 2;
+        sa.subproblem = SubproblemMode::IlpBacked {
+            time_limit: Duration::from_secs(5),
+        };
+        let r = SaSolver::new(sa).solve(&ins, 2, &cfg).unwrap();
+        r.partitioning.validate(&ins, false).unwrap();
+        assert_eq!(r.breakdown.objective4, 40.0);
+    }
+}

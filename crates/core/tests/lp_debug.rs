@@ -1,0 +1,168 @@
+//! Diagnostic: the root LP relaxation of the TPC-C model must lower-bound
+//! any feasible integer point (e.g. the |S|=3 optimum embedded in 4 sites).
+
+use vpart_core::qp::builder::{build_qp_model, QpOptions};
+use vpart_core::reduce::Reduction;
+use vpart_core::{CostCoefficients, CostConfig};
+use vpart_ilp::presolve::{presolve, Presolved};
+use vpart_ilp::simplex::{solve_lp, LpForm, LpOutcome};
+use vpart_instances::tpcc;
+
+#[test]
+fn root_lp_bounds_feasible_points() {
+    let ins = tpcc();
+    let cost = CostConfig::default().with_lambda(1.0);
+    let red = Reduction::compute(&ins).unwrap();
+    let work = &red.reduced;
+    let coeffs = CostCoefficients::compute(work, &cost);
+    for n_sites in [2usize, 3, 4] {
+        let art = build_qp_model(work, &coeffs, n_sites, &cost, &QpOptions::default());
+        art.model.validate().unwrap();
+        // Feasible reference point: the single-site layout.
+        let single = vpart_model::Partitioning::single_site(work, n_sites).unwrap();
+        let vals = art.assignment_from(&coeffs, &single);
+        assert!(art.model.is_feasible(&vals, 1e-6));
+        let single_obj = art.model.objective_value(&vals);
+
+        let overrides = vec![None; art.model.n_vars()];
+        let r = presolve(&art.model, &overrides);
+        let Presolved::Reduced(lp) = r else {
+            panic!("infeasible presolve")
+        };
+        let form = LpForm {
+            n: lp.keep.len(),
+            cols: lp.columns(),
+            cmps: lp.cmps.clone(),
+            rhs: lp.rhs.clone(),
+            lower: lp.lower.clone(),
+            upper: lp.upper.clone(),
+            obj: lp.obj.clone(),
+        };
+        match solve_lp(&form).unwrap() {
+            LpOutcome::Optimal {
+                obj, iterations, ..
+            } => {
+                let total = obj + lp.obj_offset;
+                eprintln!(
+                    "|S|={n_sites}: root LP {total:.1} (single-site point {single_obj:.1}, \
+                     {iterations} iters, {} rows x {} cols)",
+                    form.rhs.len(),
+                    form.n
+                );
+                assert!(
+                    total <= single_obj + 1e-6 * single_obj.abs(),
+                    "|S|={n_sites}: LP 'optimum' {total} exceeds feasible point {single_obj}"
+                );
+            }
+            other => panic!("|S|={n_sites}: unexpected {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn inspect_root_lp_solution_four_sites() {
+    let ins = tpcc();
+    let cost = CostConfig::default().with_lambda(1.0);
+    let red = Reduction::compute(&ins).unwrap();
+    let work = &red.reduced;
+    let coeffs = CostCoefficients::compute(work, &cost);
+    let art = build_qp_model(work, &coeffs, 4, &cost, &QpOptions::default());
+    let overrides = vec![None; art.model.n_vars()];
+    let Presolved::Reduced(lp) = presolve(&art.model, &overrides) else {
+        panic!()
+    };
+    let form = LpForm {
+        n: lp.keep.len(),
+        cols: lp.columns(),
+        cmps: lp.cmps.clone(),
+        rhs: lp.rhs.clone(),
+        lower: lp.lower.clone(),
+        upper: lp.upper.clone(),
+        obj: lp.obj.clone(),
+    };
+    let LpOutcome::Optimal { x, obj, .. } = solve_lp(&form).unwrap() else {
+        panic!()
+    };
+    eprintln!(
+        "LP obj {obj} + offset {} = {}",
+        lp.obj_offset,
+        obj + lp.obj_offset
+    );
+    let full = lp.expand(&x);
+    // Fractionality report.
+    let mut worst = (0usize, 0.0f64);
+    let mut n_frac = 0;
+    for (j, v) in (0..art.model.n_vars()).map(|j| (j, full[j])) {
+        let frac = (v - v.round()).abs();
+        if frac > 1e-6 {
+            n_frac += 1;
+            if frac > worst.1 {
+                worst = (j, frac);
+            }
+        }
+    }
+    eprintln!(
+        "fractional entries: {n_frac}, worst var {} frac {}",
+        art.model.var_name(vpart_ilp::VarRef(worst.0)),
+        worst.1
+    );
+    // Round integers (x/y binaries) and find violations.
+    let mut cand = full.clone();
+    for j in 0..art.model.n_vars() {
+        cand[j] = if (cand[j] - cand[j].round()).abs() < 1e-6 {
+            cand[j].round()
+        } else {
+            cand[j]
+        };
+    }
+    eprintln!(
+        "is_feasible(rounded, 1e-5) = {}",
+        art.model.is_feasible(&cand, 1e-5)
+    );
+    // Print LP residual feasibility in reduced space.
+    let mut max_viol: f64 = 0.0;
+    for (r, row) in lp.rows.iter().enumerate() {
+        let lhs: f64 = row.iter().map(|&(j, c)| c * x[j]).sum();
+        let v: f64 = match lp.cmps[r] {
+            vpart_ilp::Cmp::Le => lhs - lp.rhs[r],
+            vpart_ilp::Cmp::Ge => lp.rhs[r] - lhs,
+            vpart_ilp::Cmp::Eq => (lhs - lp.rhs[r]).abs(),
+        };
+        max_viol = max_viol.max(v);
+    }
+    eprintln!("max LP row violation: {max_viol:.3e}");
+    let mut max_bound_viol: f64 = 0.0;
+    for j in 0..form.n {
+        max_bound_viol = max_bound_viol
+            .max(form.lower[j] - x[j])
+            .max(x[j] - form.upper[j]);
+    }
+    eprintln!("max LP bound violation: {max_bound_viol:.3e}");
+}
+
+#[test]
+fn branch_and_bound_accepts_root_descendants() {
+    let ins = tpcc();
+    let cost = CostConfig::default().with_lambda(1.0);
+    let red = Reduction::compute(&ins).unwrap();
+    let work = &red.reduced;
+    let coeffs = CostCoefficients::compute(work, &cost);
+    let art = build_qp_model(work, &coeffs, 4, &cost, &QpOptions::default());
+    let single = vpart_model::Partitioning::single_site(work, 4).unwrap();
+    let vals = art.assignment_from(&coeffs, &single);
+    let params = vpart_ilp::SolveParams {
+        time_limit: std::time::Duration::from_secs(120),
+        initial_solution: Some(vals),
+        ..Default::default()
+    };
+    let sol = art.model.solve(&params).unwrap();
+    eprintln!(
+        "|S|=4 solve: status {:?} obj {} bound {} gap {} nodes {} exact {}",
+        sol.status, sol.objective, sol.best_bound, sol.gap, sol.stats.nodes, sol.stats.exact
+    );
+    assert!(
+        sol.objective < 40000.0,
+        "must beat the single-site warm start (got {})",
+        sol.objective
+    );
+}

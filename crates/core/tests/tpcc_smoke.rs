@@ -1,0 +1,67 @@
+//! End-to-end smoke tests of both solvers on the TPC-C instance — the
+//! paper's headline experiment (≈37% cost reduction at 2–3 sites).
+
+use vpart_core::qp::{QpConfig, QpSolver};
+use vpart_core::sa::{SaConfig, SaSolver};
+use vpart_core::{evaluate, CostConfig};
+use vpart_instances::tpcc;
+use vpart_model::Partitioning;
+
+#[test]
+fn sa_reduces_tpcc_cost_substantially() {
+    let ins = tpcc();
+    let cost = CostConfig::default();
+    let single = Partitioning::single_site(&ins, 1).unwrap();
+    let base = evaluate(&ins, &single, &cost).objective4;
+
+    let sa = SaSolver::new(SaConfig::fast_deterministic(11));
+    let r = sa.solve(&ins, 2, &cost).unwrap();
+    r.partitioning.validate(&ins, false).unwrap();
+    let reduction = 1.0 - r.breakdown.objective4 / base;
+    assert!(
+        reduction > 0.25,
+        "expected ≳25% reduction at 2 sites (paper: 36%), got {:.1}% \
+         ({} → {})",
+        reduction * 100.0,
+        base,
+        r.breakdown.objective4
+    );
+}
+
+#[test]
+fn qp_solves_tpcc_two_sites() {
+    let ins = tpcc();
+    let cost = CostConfig::default();
+    let single = Partitioning::single_site(&ins, 1).unwrap();
+    let base = evaluate(&ins, &single, &cost).objective4;
+
+    let qp = QpSolver::new(QpConfig::with_time_limit(120.0));
+    let r = qp.solve(&ins, 2, &cost).unwrap();
+    r.partitioning.validate(&ins, false).unwrap();
+    let reduction = 1.0 - r.breakdown.objective4 / base;
+    eprintln!(
+        "tpcc |S|=2: {} -> {} ({:.1}% reduction), {:?}, {}",
+        base,
+        r.breakdown.objective4,
+        reduction * 100.0,
+        r.elapsed,
+        r.detail
+    );
+    // The paper reports 36% with the author's (unpublished) statistics;
+    // our spec-derived statistics land at ~28% — same shape, different
+    // absolute base (see EXPERIMENTS.md).
+    assert!(
+        reduction > 0.25,
+        "expected ≳25% reduction (paper: 36%), got {:.1}%",
+        reduction * 100.0
+    );
+    assert!(
+        r.is_optimal(),
+        "TPC-C at 2 sites must be solved to optimality"
+    );
+    // The QP must be at least as good as SA for the same objective.
+    let sa = SaSolver::new(SaConfig::fast_deterministic(11))
+        .solve(&ins, 2, &cost)
+        .unwrap();
+    assert!(r.breakdown.objective6 <= sa.breakdown.objective6 + 1e-6 * base);
+}

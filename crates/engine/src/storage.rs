@@ -1,0 +1,151 @@
+//! Physical storage: sites holding row-store table fractions.
+//!
+//! A [`Fragment`] is one vertical fraction of one table on one site: the
+//! subset of the table's attributes placed there, stored row-contiguously
+//! (the H-store/row-store assumption — access happens in quantums of whole
+//! fraction rows). Row payloads are materialized deterministically so the
+//! executor really moves bytes instead of just counting them.
+
+use vpart_model::{AttrId, SiteId, TableId};
+
+/// One vertical table fraction on one site.
+#[derive(Debug, Clone)]
+pub struct Fragment {
+    /// The table this fraction belongs to.
+    pub table: TableId,
+    /// The attributes stored here, in global id order.
+    pub attrs: Vec<AttrId>,
+    /// Exact fraction row width in bytes (`Σ w_a`, may be fractional —
+    /// widths are *average* widths).
+    pub width: f64,
+    /// Number of materialized rows.
+    pub rows: usize,
+    /// Row-contiguous payload (`rows × ceil(width)` bytes).
+    data: Vec<u8>,
+    byte_width: usize,
+}
+
+impl Fragment {
+    /// Materializes a fragment with `rows` rows of deterministic payload.
+    pub fn new(table: TableId, attrs: Vec<AttrId>, width: f64, rows: usize) -> Self {
+        let byte_width = (width.ceil() as usize).max(1);
+        let mut data = vec![0u8; rows * byte_width];
+        // Deterministic, cheap, non-constant fill: row/table dependent.
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = (i as u32)
+                .wrapping_mul(2654435761)
+                .wrapping_add(table.0)
+                .to_le_bytes()[0];
+        }
+        Self {
+            table,
+            attrs,
+            width,
+            rows,
+            data,
+            byte_width,
+        }
+    }
+
+    /// Reads row `i % rows`, returning its payload slice.
+    pub fn read_row(&self, i: usize) -> &[u8] {
+        let r = i % self.rows.max(1);
+        &self.data[r * self.byte_width..(r + 1) * self.byte_width]
+    }
+
+    /// Overwrites row `i % rows` with a tag byte; returns bytes written
+    /// (the exact fractional width, for the meter).
+    pub fn write_row(&mut self, i: usize, tag: u8) -> f64 {
+        let r = i % self.rows.max(1);
+        for b in &mut self.data[r * self.byte_width..(r + 1) * self.byte_width] {
+            *b = tag;
+        }
+        self.width
+    }
+
+    /// True if this fraction stores attribute `a`.
+    pub fn holds(&self, a: AttrId) -> bool {
+        self.attrs.binary_search(&a).is_ok()
+    }
+
+    /// Physical payload size in bytes.
+    pub fn payload_bytes(&self) -> usize {
+        self.data.len()
+    }
+}
+
+/// One site: a set of table fractions plus access counters.
+#[derive(Debug, Clone)]
+pub struct Site {
+    /// The site's id.
+    pub id: SiteId,
+    /// Fractions hosted here, grouped per table (`fragments[t]` is `None`
+    /// when no attribute of table `t` lives on this site).
+    pub fragments: Vec<Option<Fragment>>,
+}
+
+impl Site {
+    /// Creates an empty site for `n_tables` tables.
+    pub fn new(id: SiteId, n_tables: usize) -> Self {
+        Self {
+            id,
+            fragments: vec![None; n_tables],
+        }
+    }
+
+    /// The fraction of table `t` on this site, if any.
+    pub fn fragment(&self, t: TableId) -> Option<&Fragment> {
+        self.fragments[t.index()].as_ref()
+    }
+
+    /// Mutable access to the fraction of table `t`.
+    pub fn fragment_mut(&mut self, t: TableId) -> Option<&mut Fragment> {
+        self.fragments[t.index()].as_mut()
+    }
+
+    /// Total materialized bytes on this site.
+    pub fn stored_bytes(&self) -> usize {
+        self.fragments
+            .iter()
+            .flatten()
+            .map(Fragment::payload_bytes)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fragment_round_trip() {
+        let mut f = Fragment::new(TableId(0), vec![AttrId(0), AttrId(2)], 12.0, 8);
+        assert_eq!(f.payload_bytes(), 8 * 12);
+        assert!(f.holds(AttrId(2)));
+        assert!(!f.holds(AttrId(1)));
+        let before = f.read_row(3).to_vec();
+        let w = f.write_row(3, 0xAB);
+        assert_eq!(w, 12.0);
+        assert_eq!(f.read_row(3), vec![0xAB; 12].as_slice());
+        assert_ne!(before, f.read_row(3));
+        // Row indices wrap.
+        assert_eq!(f.read_row(11), f.read_row(3));
+    }
+
+    #[test]
+    fn fractional_widths_round_up_physically() {
+        let f = Fragment::new(TableId(1), vec![AttrId(5)], 2.5, 4);
+        assert_eq!(f.payload_bytes(), 4 * 3);
+        assert_eq!(f.width, 2.5);
+    }
+
+    #[test]
+    fn site_holds_fragments_per_table() {
+        let mut s = Site::new(SiteId(0), 3);
+        assert!(s.fragment(TableId(1)).is_none());
+        s.fragments[1] = Some(Fragment::new(TableId(1), vec![AttrId(0)], 4.0, 2));
+        assert!(s.fragment(TableId(1)).is_some());
+        assert_eq!(s.stored_bytes(), 8);
+        s.fragment_mut(TableId(1)).unwrap().write_row(0, 1);
+    }
+}

@@ -1,0 +1,123 @@
+//! Workload traces: concrete sequences of transaction executions.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vpart_model::{Instance, TxnId};
+
+/// A sequence of transaction executions to run against a deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Transaction executions in order.
+    pub executions: Vec<TxnId>,
+}
+
+impl Trace {
+    /// Every transaction exactly `rounds` times, in round-robin order.
+    ///
+    /// With the paper's equal-frequency assumption (`f_q = 1`), a
+    /// `rounds`-round uniform trace measures exactly `rounds ×` the cost
+    /// model's predicted byte counts.
+    pub fn uniform(instance: &Instance, rounds: usize) -> Self {
+        let mut executions = Vec::with_capacity(rounds * instance.n_txns());
+        for _ in 0..rounds {
+            for t in 0..instance.n_txns() {
+                executions.push(TxnId::from_index(t));
+            }
+        }
+        Self { executions }
+    }
+
+    /// `total` executions sampled with probability proportional to each
+    /// transaction's total query frequency (seeded, deterministic).
+    pub fn weighted(instance: &Instance, total: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let weights: Vec<f64> = (0..instance.n_txns())
+            .map(|t| {
+                instance
+                    .workload()
+                    .txn(TxnId::from_index(t))
+                    .queries
+                    .iter()
+                    .map(|&q| instance.workload().query(q).frequency)
+                    .sum()
+            })
+            .collect();
+        let sum: f64 = weights.iter().sum();
+        let executions = (0..total)
+            .map(|_| {
+                let mut pick = rng.gen::<f64>() * sum;
+                for (t, w) in weights.iter().enumerate() {
+                    pick -= w;
+                    if pick <= 0.0 {
+                        return TxnId::from_index(t);
+                    }
+                }
+                TxnId::from_index(instance.n_txns() - 1)
+            })
+            .collect();
+        Self { executions }
+    }
+
+    /// Number of executions.
+    pub fn len(&self) -> usize {
+        self.executions.len()
+    }
+
+    /// True if the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.executions.is_empty()
+    }
+
+    /// How many times each transaction appears.
+    pub fn counts(&self, n_txns: usize) -> Vec<usize> {
+        let mut c = vec![0; n_txns];
+        for t in &self.executions {
+            c[t.index()] += 1;
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpart_model::workload::QuerySpec;
+    use vpart_model::{AttrId, Schema, Workload};
+
+    fn instance() -> Instance {
+        let mut sb = Schema::builder();
+        sb.table("R", &[("a", 4.0)]).unwrap();
+        let schema = sb.build().unwrap();
+        let mut wb = Workload::builder(&schema);
+        let q0 = wb
+            .add_query(QuerySpec::read("q0").access(&[AttrId(0)]).frequency(9.0))
+            .unwrap();
+        let q1 = wb
+            .add_query(QuerySpec::read("q1").access(&[AttrId(0)]))
+            .unwrap();
+        wb.transaction("T0", &[q0]).unwrap();
+        wb.transaction("T1", &[q1]).unwrap();
+        Instance::new("t", schema, wb.build().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn uniform_counts() {
+        let ins = instance();
+        let tr = Trace::uniform(&ins, 5);
+        assert_eq!(tr.len(), 10);
+        assert_eq!(tr.counts(2), vec![5, 5]);
+        assert!(!tr.is_empty());
+    }
+
+    #[test]
+    fn weighted_respects_frequencies() {
+        let ins = instance();
+        let tr = Trace::weighted(&ins, 2000, 3);
+        let c = tr.counts(2);
+        // T0's weight is 9×, so it should dominate ~90/10.
+        assert!(c[0] > c[1] * 5, "counts {c:?}");
+        assert_eq!(c[0] + c[1], 2000);
+        // Deterministic per seed.
+        assert_eq!(tr, Trace::weighted(&ins, 2000, 3));
+    }
+}

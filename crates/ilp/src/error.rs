@@ -1,0 +1,60 @@
+//! Solver error type.
+
+use std::fmt;
+
+/// Errors raised while building or solving a model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IlpError {
+    /// A coefficient, bound or right-hand side was NaN (or an objective
+    /// coefficient was infinite).
+    NonFiniteCoefficient { context: String },
+    /// A variable was declared with `lower > upper`.
+    InvalidBounds { var: String, lower: f64, upper: f64 },
+    /// A constraint or objective referenced a variable from another model.
+    UnknownVariable { index: usize, n_vars: usize },
+    /// An injected initial solution had the wrong length or was infeasible.
+    BadInitialSolution(String),
+    /// The simplex exceeded its iteration safety limit — numerical trouble.
+    IterationLimit,
+    /// Internal invariant violation (a bug in the solver).
+    Internal(&'static str),
+}
+
+impl fmt::Display for IlpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NonFiniteCoefficient { context } => {
+                write!(f, "non-finite coefficient in {context}")
+            }
+            Self::InvalidBounds { var, lower, upper } => {
+                write!(f, "variable {var:?} has invalid bounds [{lower}, {upper}]")
+            }
+            Self::UnknownVariable { index, n_vars } => {
+                write!(
+                    f,
+                    "variable index {index} out of range (model has {n_vars})"
+                )
+            }
+            Self::BadInitialSolution(why) => write!(f, "bad initial solution: {why}"),
+            Self::IterationLimit => write!(f, "simplex iteration safety limit exceeded"),
+            Self::Internal(what) => write!(f, "internal solver error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for IlpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = IlpError::InvalidBounds {
+            var: "x".into(),
+            lower: 2.0,
+            upper: 1.0,
+        };
+        assert!(e.to_string().contains("[2, 1]"));
+    }
+}

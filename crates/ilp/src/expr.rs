@@ -1,0 +1,116 @@
+//! Sparse linear expressions over model variables.
+
+use crate::model::VarRef;
+
+/// A sparse linear expression `Σ coeff_i · var_i`.
+///
+/// Terms may repeat; they are combined when the expression is normalized
+/// (at constraint-add time). Build with [`LinExpr::new`] and
+/// [`LinExpr::add`], or collect from an iterator of `(VarRef, f64)`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinExpr {
+    pub(crate) terms: Vec<(VarRef, f64)>,
+}
+
+impl LinExpr {
+    /// An empty expression.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `coeff · var` to the expression; returns `self` for chaining.
+    pub fn add(mut self, var: VarRef, coeff: f64) -> Self {
+        self.terms.push((var, coeff));
+        self
+    }
+
+    /// Adds a term in place.
+    pub fn push(&mut self, var: VarRef, coeff: f64) {
+        self.terms.push((var, coeff));
+    }
+
+    /// Number of (unnormalized) terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True if the expression has no terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The raw terms.
+    pub fn terms(&self) -> &[(VarRef, f64)] {
+        &self.terms
+    }
+
+    /// Sorts by variable and merges duplicate terms, dropping exact zeros.
+    pub fn normalized(mut self) -> Self {
+        self.terms.sort_by_key(|&(v, _)| v.0);
+        let mut out: Vec<(VarRef, f64)> = Vec::with_capacity(self.terms.len());
+        for (v, c) in self.terms {
+            match out.last_mut() {
+                Some((lv, lc)) if *lv == v => *lc += c,
+                _ => out.push((v, c)),
+            }
+        }
+        out.retain(|&(_, c)| c != 0.0);
+        Self { terms: out }
+    }
+
+    /// Evaluates the expression for a full assignment of variable values.
+    pub fn eval(&self, values: &[f64]) -> f64 {
+        self.terms.iter().map(|&(v, c)| c * values[v.0]).sum()
+    }
+}
+
+impl FromIterator<(VarRef, f64)> for LinExpr {
+    fn from_iter<T: IntoIterator<Item = (VarRef, f64)>>(iter: T) -> Self {
+        Self {
+            terms: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<const N: usize> From<[(VarRef, f64); N]> for LinExpr {
+    fn from(terms: [(VarRef, f64); N]) -> Self {
+        Self {
+            terms: terms.to_vec(),
+        }
+    }
+}
+
+impl From<Vec<(VarRef, f64)>> for LinExpr {
+    fn from(terms: Vec<(VarRef, f64)>) -> Self {
+        Self { terms }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_merges_and_drops_zeros() {
+        let e = LinExpr::new()
+            .add(VarRef(1), 2.0)
+            .add(VarRef(0), 1.0)
+            .add(VarRef(1), -2.0)
+            .add(VarRef(2), 3.0);
+        let n = e.normalized();
+        assert_eq!(n.terms(), &[(VarRef(0), 1.0), (VarRef(2), 3.0)]);
+    }
+
+    #[test]
+    fn eval() {
+        let e: LinExpr = [(VarRef(0), 2.0), (VarRef(1), -1.0)].into();
+        assert_eq!(e.eval(&[3.0, 4.0]), 2.0);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let e: LinExpr = (0..3).map(|i| (VarRef(i), i as f64)).collect();
+        assert_eq!(e.len(), 3);
+        assert!(!e.is_empty());
+    }
+}

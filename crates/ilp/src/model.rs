@@ -1,0 +1,321 @@
+//! MILP model builder.
+
+use crate::error::IlpError;
+use crate::expr::LinExpr;
+use crate::solution::{Solution, SolveParams};
+
+/// Reference to a model variable (dense index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarRef(pub usize);
+
+/// Variable domain kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarKind {
+    /// Real-valued within its bounds.
+    Continuous,
+    /// Integer-valued within its bounds (binary = integer in `[0, 1]`).
+    Integer,
+}
+
+/// Constraint comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// `expr ≤ rhs`
+    Le,
+    /// `expr = rhs`
+    Eq,
+    /// `expr ≥ rhs`
+    Ge,
+}
+
+/// Objective sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// Minimize the objective.
+    Minimize,
+    /// Maximize the objective.
+    Maximize,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Variable {
+    pub name: String,
+    pub kind: VarKind,
+    pub lower: f64,
+    pub upper: f64,
+    pub obj: f64,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Constraint {
+    #[allow(dead_code)] // names are kept for diagnostics and tests
+    pub name: String,
+    pub expr: LinExpr,
+    pub cmp: Cmp,
+    pub rhs: f64,
+}
+
+/// A mixed-integer linear program.
+///
+/// Build variables and constraints, then call [`Model::solve`].
+#[derive(Debug, Clone)]
+pub struct Model {
+    pub(crate) sense: Sense,
+    pub(crate) vars: Vec<Variable>,
+    pub(crate) cons: Vec<Constraint>,
+}
+
+impl Model {
+    /// A minimization model.
+    pub fn minimize() -> Self {
+        Self {
+            sense: Sense::Minimize,
+            vars: Vec::new(),
+            cons: Vec::new(),
+        }
+    }
+
+    /// A maximization model.
+    pub fn maximize() -> Self {
+        Self {
+            sense: Sense::Maximize,
+            vars: Vec::new(),
+            cons: Vec::new(),
+        }
+    }
+
+    /// The objective sense.
+    pub fn sense(&self) -> Sense {
+        self.sense
+    }
+
+    /// Adds a variable; `obj` is its objective coefficient.
+    ///
+    /// Infinite bounds are allowed (`f64::INFINITY` / `NEG_INFINITY`).
+    /// Invalid inputs are recorded and reported by [`Model::solve`], so
+    /// model building stays ergonomic (no per-call `Result`).
+    pub fn add_var<S: Into<String>>(
+        &mut self,
+        name: S,
+        kind: VarKind,
+        lower: f64,
+        upper: f64,
+        obj: f64,
+    ) -> VarRef {
+        let r = VarRef(self.vars.len());
+        self.vars.push(Variable {
+            name: name.into(),
+            kind,
+            lower,
+            upper,
+            obj,
+        });
+        r
+    }
+
+    /// Adds a binary variable (integer in `[0, 1]`).
+    pub fn binary<S: Into<String>>(&mut self, name: S, obj: f64) -> VarRef {
+        self.add_var(name, VarKind::Integer, 0.0, 1.0, obj)
+    }
+
+    /// Adds a non-negative continuous variable.
+    pub fn continuous<S: Into<String>>(&mut self, name: S, obj: f64) -> VarRef {
+        self.add_var(name, VarKind::Continuous, 0.0, f64::INFINITY, obj)
+    }
+
+    /// Adds the constraint `expr cmp rhs`. The expression is normalized
+    /// (duplicate terms merged).
+    pub fn add_constraint<S: Into<String>, E: Into<LinExpr>>(
+        &mut self,
+        name: S,
+        expr: E,
+        cmp: Cmp,
+        rhs: f64,
+    ) {
+        self.cons.push(Constraint {
+            name: name.into(),
+            expr: expr.into().normalized(),
+            cmp,
+            rhs,
+        });
+    }
+
+    /// Number of variables.
+    pub fn n_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    pub fn n_cons(&self) -> usize {
+        self.cons.len()
+    }
+
+    /// Number of integer variables.
+    pub fn n_int_vars(&self) -> usize {
+        self.vars
+            .iter()
+            .filter(|v| v.kind == VarKind::Integer)
+            .count()
+    }
+
+    /// Variable name (for diagnostics).
+    pub fn var_name(&self, v: VarRef) -> &str {
+        &self.vars[v.0].name
+    }
+
+    /// Validates the model, returning the first problem found.
+    pub fn validate(&self) -> Result<(), IlpError> {
+        for v in &self.vars {
+            if v.lower.is_nan() || v.upper.is_nan() || !v.obj.is_finite() {
+                return Err(IlpError::NonFiniteCoefficient {
+                    context: format!("variable {:?}", v.name),
+                });
+            }
+            if v.lower > v.upper {
+                return Err(IlpError::InvalidBounds {
+                    var: v.name.clone(),
+                    lower: v.lower,
+                    upper: v.upper,
+                });
+            }
+        }
+        for c in &self.cons {
+            if c.rhs.is_nan() {
+                return Err(IlpError::NonFiniteCoefficient {
+                    context: format!("constraint {:?} rhs", c.name),
+                });
+            }
+            for &(v, coeff) in c.expr.terms() {
+                if v.0 >= self.vars.len() {
+                    return Err(IlpError::UnknownVariable {
+                        index: v.0,
+                        n_vars: self.vars.len(),
+                    });
+                }
+                if !coeff.is_finite() {
+                    return Err(IlpError::NonFiniteCoefficient {
+                        context: format!("constraint {:?}", c.name),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates the objective for a full assignment (in the model's sense).
+    pub fn objective_value(&self, values: &[f64]) -> f64 {
+        self.vars.iter().zip(values).map(|(v, &x)| v.obj * x).sum()
+    }
+
+    /// Checks whether `values` satisfies all bounds, integrality and
+    /// constraints within a *relative* tolerance: each row's slack is
+    /// compared against `tol · (1 + Σ|coefᵢ·valueᵢ|)`, so models with large
+    /// coefficients (e.g. byte-cost objectives in the 10³–10⁵ range) don't
+    /// spuriously reject solutions that are integral up to `tol`.
+    pub fn is_feasible(&self, values: &[f64], tol: f64) -> bool {
+        if values.len() != self.vars.len() {
+            return false;
+        }
+        for (v, &x) in self.vars.iter().zip(values) {
+            let scale = 1.0 + x.abs();
+            if x < v.lower - tol * scale || x > v.upper + tol * scale {
+                return false;
+            }
+            if v.kind == VarKind::Integer && (x - x.round()).abs() > tol * scale {
+                return false;
+            }
+        }
+        for c in &self.cons {
+            let mut lhs = 0.0;
+            let mut mag = 1.0 + c.rhs.abs();
+            for &(v, k) in c.expr.terms() {
+                let term = k * values[v.0];
+                lhs += term;
+                mag += term.abs();
+            }
+            let slack_tol = tol * mag;
+            let ok = match c.cmp {
+                Cmp::Le => lhs <= c.rhs + slack_tol,
+                Cmp::Eq => (lhs - c.rhs).abs() <= slack_tol,
+                Cmp::Ge => lhs >= c.rhs - slack_tol,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Solves the model with branch & bound (see [`crate::branch`]).
+    pub fn solve(&self, params: &SolveParams) -> Result<Solution, IlpError> {
+        crate::branch::solve(self, params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_validate() {
+        let mut m = Model::minimize();
+        let x = m.continuous("x", 1.0);
+        let y = m.binary("y", -2.0);
+        m.add_constraint("c", [(x, 1.0), (y, 1.0)], Cmp::Le, 3.0);
+        assert_eq!(m.n_vars(), 2);
+        assert_eq!(m.n_cons(), 1);
+        assert_eq!(m.n_int_vars(), 1);
+        assert_eq!(m.var_name(y), "y");
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_bad_bounds() {
+        let mut m = Model::minimize();
+        m.add_var("x", VarKind::Continuous, 1.0, 0.0, 0.0);
+        assert!(matches!(m.validate(), Err(IlpError::InvalidBounds { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_nan() {
+        let mut m = Model::minimize();
+        let x = m.continuous("x", 0.0);
+        m.add_constraint("c", [(x, f64::NAN)], Cmp::Le, 1.0);
+        assert!(matches!(
+            m.validate(),
+            Err(IlpError::NonFiniteCoefficient { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_foreign_var() {
+        let mut m = Model::minimize();
+        m.add_constraint("c", [(VarRef(3), 1.0)], Cmp::Le, 1.0);
+        assert!(matches!(
+            m.validate(),
+            Err(IlpError::UnknownVariable { .. })
+        ));
+    }
+
+    #[test]
+    fn feasibility_check() {
+        let mut m = Model::minimize();
+        let x = m.binary("x", 1.0);
+        let y = m.continuous("y", 1.0);
+        m.add_constraint("c", [(x, 1.0), (y, 1.0)], Cmp::Ge, 1.5);
+        assert!(m.is_feasible(&[1.0, 0.5], 1e-9));
+        assert!(!m.is_feasible(&[0.5, 1.0], 1e-9)); // fractional binary
+        assert!(!m.is_feasible(&[1.0, 0.0], 1e-9)); // constraint violated
+        assert!(!m.is_feasible(&[1.0], 1e-9)); // wrong arity
+        assert!(!m.is_feasible(&[1.0, -0.1], 1e-9)); // bound violated
+    }
+
+    #[test]
+    fn objective_value_respects_sense_storage() {
+        let mut m = Model::maximize();
+        let x = m.continuous("x", 2.0);
+        let _ = x;
+        assert_eq!(m.objective_value(&[3.0]), 6.0);
+        assert_eq!(m.sense(), Sense::Maximize);
+    }
+}

@@ -1,0 +1,947 @@
+//! Bounded-variable primal simplex with explicit basis inverse.
+//!
+//! Implementation notes:
+//!
+//! * Constraints are converted to equalities with one slack per row
+//!   (`≤ → s ∈ [0, ∞)`, `≥ → s ∈ (−∞, 0]`, `= → s ∈ [0, 0]`).
+//! * Phase 1 starts from an all-artificial basis (`B = ±I`, so the initial
+//!   inverse is free) and minimizes the sum of artificials; phase 2 locks
+//!   the artificials to zero and optimizes the real objective.
+//! * The basis inverse `B⁻¹` is kept explicitly (dense `m×m`) and updated
+//!   with elementary eta transformations per pivot — `O(m²)` per iteration,
+//!   which is the right trade-off for the few-thousand-row LPs produced by
+//!   the partitioning models.
+//! * Pricing is Dantzig (most negative reduced cost) with a switch to
+//!   Bland's rule after a long run of degenerate pivots, guaranteeing
+//!   termination.
+//! * Rows are equilibrated (scaled by the largest absolute coefficient,
+//!   rounded to a power of two so values stay exactly representable).
+//! * The ratio test is a two-pass "Harris-lite": find the minimum ratio,
+//!   then among near-ties pick the row with the largest pivot magnitude.
+
+use crate::error::IlpError;
+use crate::model::Cmp;
+
+/// A linear program in computational form (minimization).
+#[derive(Debug, Clone)]
+pub struct LpForm {
+    /// Number of structural variables.
+    pub n: usize,
+    /// Sparse columns of the structural part: `cols[j] = [(row, coef)]`.
+    pub cols: Vec<Vec<(usize, f64)>>,
+    /// Row comparison operators.
+    pub cmps: Vec<Cmp>,
+    /// Row right-hand sides.
+    pub rhs: Vec<f64>,
+    /// Structural lower bounds (may be `-inf`).
+    pub lower: Vec<f64>,
+    /// Structural upper bounds (may be `+inf`).
+    pub upper: Vec<f64>,
+    /// Objective coefficients (minimize).
+    pub obj: Vec<f64>,
+}
+
+/// Result of an LP solve.
+#[derive(Debug, Clone)]
+pub enum LpOutcome {
+    /// Optimal basic solution found.
+    Optimal {
+        /// Structural variable values.
+        x: Vec<f64>,
+        /// Objective value (minimization sense).
+        obj: f64,
+        /// Simplex iterations used (both phases).
+        iterations: usize,
+    },
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum VarState {
+    Basic(usize),
+    AtLower,
+    AtUpper,
+    /// Free variable resting at zero (no finite bound).
+    FreeZero,
+}
+
+const FEAS_TOL: f64 = 1e-7;
+const DUAL_TOL: f64 = 1e-7;
+const PIVOT_TOL: f64 = 1e-9;
+const DEGEN_LIMIT: usize = 120;
+
+struct Simplex {
+    m: usize,
+    /// Total columns: structural + slacks + artificials.
+    total: usize,
+    /// First artificial index (= n + m).
+    art0: usize,
+    cols: Vec<Vec<(usize, f64)>>,
+    b: Vec<f64>,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    cost: Vec<f64>,
+    binv: Vec<f64>,
+    basis: Vec<usize>,
+    state: Vec<VarState>,
+    xval: Vec<f64>,
+    iterations: usize,
+    iter_limit: usize,
+    bland: bool,
+    degen_run: usize,
+}
+
+impl Simplex {
+    fn new(lp: &LpForm) -> Self {
+        let m = lp.rhs.len();
+        let n = lp.n;
+
+        // Row equilibration: scale each row by 2^-round(log2(max |a|)).
+        let mut scale = vec![1.0f64; m];
+        for col in &lp.cols {
+            for &(r, v) in col {
+                scale[r] = scale[r].max(v.abs());
+            }
+        }
+        for s in &mut scale {
+            let e = s.log2().round().clamp(-40.0, 40.0);
+            *s = (2.0f64).powi(e as i32).recip();
+        }
+
+        let total = n + m + m;
+        let art0 = n + m;
+        let mut cols: Vec<Vec<(usize, f64)>> = Vec::with_capacity(total);
+        for col in &lp.cols {
+            cols.push(col.iter().map(|&(r, v)| (r, v * scale[r])).collect());
+        }
+        let mut lower = lp.lower.clone();
+        let mut upper = lp.upper.clone();
+        // Slacks.
+        for (i, cmp) in lp.cmps.iter().enumerate() {
+            cols.push(vec![(i, 1.0)]);
+            match cmp {
+                Cmp::Le => {
+                    lower.push(0.0);
+                    upper.push(f64::INFINITY);
+                }
+                Cmp::Ge => {
+                    lower.push(f64::NEG_INFINITY);
+                    upper.push(0.0);
+                }
+                Cmp::Eq => {
+                    lower.push(0.0);
+                    upper.push(0.0);
+                }
+            }
+        }
+        let b: Vec<f64> = lp.rhs.iter().zip(&scale).map(|(&v, &s)| v * s).collect();
+
+        // Nonbasic starting point: finite lower, else finite upper, else 0.
+        let mut xval = vec![0.0; total];
+        let mut state = vec![VarState::FreeZero; total];
+        for j in 0..n + m {
+            if lower[j].is_finite() {
+                state[j] = VarState::AtLower;
+                xval[j] = lower[j];
+            } else if upper[j].is_finite() {
+                state[j] = VarState::AtUpper;
+                xval[j] = upper[j];
+            }
+        }
+
+        // Residuals determine the artificial columns (basis = ±I).
+        let mut resid = b.clone();
+        for j in 0..n + m {
+            if xval[j] != 0.0 {
+                for &(r, v) in &cols[j] {
+                    resid[r] -= v * xval[j];
+                }
+            }
+        }
+        let mut basis = Vec::with_capacity(m);
+        let mut binv = vec![0.0; m * m];
+        for (i, &r) in resid.iter().enumerate() {
+            let sign = if r >= 0.0 { 1.0 } else { -1.0 };
+            cols.push(vec![(i, sign)]);
+            lower.push(0.0);
+            upper.push(f64::INFINITY);
+            let aj = art0 + i;
+            xval[aj] = r.abs();
+            state[aj] = VarState::Basic(i);
+            basis.push(aj);
+            binv[i * m + i] = sign;
+        }
+
+        let iter_limit = 50 * (m + total) + 10_000;
+        Self {
+            m,
+            total,
+            art0,
+            cols,
+            b,
+            lower,
+            upper,
+            cost: vec![0.0; total],
+            binv,
+            basis,
+            state,
+            xval,
+            iterations: 0,
+            iter_limit,
+            bland: false,
+            degen_run: 0,
+        }
+    }
+
+    /// Rebuilds `B⁻¹` from the current basis by Gauss–Jordan elimination
+    /// with partial pivoting, erasing accumulated eta-update drift.
+    /// Returns `false` if the basis matrix is numerically singular.
+    fn refactorize(&mut self) -> bool {
+        let m = self.m;
+        if m == 0 {
+            return true;
+        }
+        // Dense B (row-major): column k is the constraint column of the
+        // k-th basic variable.
+        let mut bmat = vec![0.0f64; m * m];
+        for (k, &var) in self.basis.iter().enumerate() {
+            for &(r, v) in &self.cols[var] {
+                bmat[r * m + k] = v;
+            }
+        }
+        let mut inv = vec![0.0f64; m * m];
+        for i in 0..m {
+            inv[i * m + i] = 1.0;
+        }
+        for col in 0..m {
+            // Partial pivoting.
+            let mut piv_row = col;
+            let mut piv_val = bmat[col * m + col].abs();
+            for r in col + 1..m {
+                let v = bmat[r * m + col].abs();
+                if v > piv_val {
+                    piv_val = v;
+                    piv_row = r;
+                }
+            }
+            if piv_val < 1e-11 {
+                return false;
+            }
+            if piv_row != col {
+                for k in 0..m {
+                    bmat.swap(piv_row * m + k, col * m + k);
+                    inv.swap(piv_row * m + k, col * m + k);
+                }
+            }
+            let piv = bmat[col * m + col];
+            for k in 0..m {
+                bmat[col * m + k] /= piv;
+                inv[col * m + k] /= piv;
+            }
+            for r in 0..m {
+                if r == col {
+                    continue;
+                }
+                let f = bmat[r * m + col];
+                if f != 0.0 {
+                    for k in 0..m {
+                        bmat[r * m + k] -= f * bmat[col * m + k];
+                        inv[r * m + k] -= f * inv[col * m + k];
+                    }
+                }
+            }
+        }
+        self.binv = inv;
+        true
+    }
+
+    /// Maximum relative violation of rows (`Ax = b`) and variable bounds at
+    /// the current point.
+    fn primal_violation(&self) -> f64 {
+        let mut resid = self.b.clone();
+        let mut mag: Vec<f64> = self.b.iter().map(|v| 1.0 + v.abs()).collect();
+        for j in 0..self.total {
+            let xj = self.xval[j];
+            if xj != 0.0 {
+                for &(r, v) in &self.cols[j] {
+                    resid[r] -= v * xj;
+                    mag[r] += (v * xj).abs();
+                }
+            }
+        }
+        let mut worst = 0.0f64;
+        for i in 0..self.m {
+            worst = worst.max(resid[i].abs() / mag[i]);
+        }
+        for j in 0..self.total {
+            let scale = 1.0 + self.xval[j].abs();
+            worst = worst.max((self.lower[j] - self.xval[j]) / scale);
+            worst = worst.max((self.xval[j] - self.upper[j]) / scale);
+        }
+        worst
+    }
+
+    /// Recomputes basic variable values from scratch (numerical hygiene).
+    fn refresh_basics(&mut self) {
+        let m = self.m;
+        let mut rhs = self.b.clone();
+        for j in 0..self.total {
+            if !matches!(self.state[j], VarState::Basic(_)) && self.xval[j] != 0.0 {
+                for &(r, v) in &self.cols[j] {
+                    rhs[r] -= v * self.xval[j];
+                }
+            }
+        }
+        for i in 0..m {
+            let mut acc = 0.0;
+            for (k, &r) in rhs.iter().enumerate() {
+                acc += self.binv[i * m + k] * r;
+            }
+            self.xval[self.basis[i]] = acc;
+        }
+    }
+
+    /// Runs the simplex on the current cost vector until optimality.
+    fn optimize(&mut self) -> Result<LpPhase, IlpError> {
+        let m = self.m;
+        let mut y = vec![0.0; m];
+        loop {
+            self.iterations += 1;
+            if self.iterations > self.iter_limit {
+                return Err(IlpError::IterationLimit);
+            }
+            if self.iterations.is_multiple_of(384) {
+                // Periodic refactorization bounds eta-update drift.
+                if !self.refactorize() {
+                    return Err(IlpError::Internal("singular basis during refactorization"));
+                }
+                self.refresh_basics();
+            }
+
+            // Duals y = c_B^T B^{-1}.
+            for k in 0..m {
+                let mut acc = 0.0;
+                for i in 0..m {
+                    let cb = self.cost[self.basis[i]];
+                    if cb != 0.0 {
+                        acc += cb * self.binv[i * m + k];
+                    }
+                }
+                y[k] = acc;
+            }
+
+            // Pricing.
+            let mut entering: Option<(usize, f64, i8)> = None; // (var, |d|, dir)
+            for j in 0..self.total {
+                let st = self.state[j];
+                if matches!(st, VarState::Basic(_)) {
+                    continue;
+                }
+                if self.upper[j] - self.lower[j] <= 0.0 {
+                    continue; // fixed (includes locked artificials)
+                }
+                let mut d = self.cost[j];
+                for &(r, v) in &self.cols[j] {
+                    d -= y[r] * v;
+                }
+                let cand: Option<i8> = match st {
+                    VarState::AtLower if d < -DUAL_TOL => Some(1),
+                    VarState::AtUpper if d > DUAL_TOL => Some(-1),
+                    VarState::FreeZero if d < -DUAL_TOL => Some(1),
+                    VarState::FreeZero if d > DUAL_TOL => Some(-1),
+                    _ => None,
+                };
+                if let Some(dir) = cand {
+                    let score = d.abs();
+                    if self.bland {
+                        entering = Some((j, score, dir));
+                        break;
+                    }
+                    if entering.is_none_or(|(_, s, _)| score > s) {
+                        entering = Some((j, score, dir));
+                    }
+                }
+            }
+            let Some((j, _, dir)) = entering else {
+                return Ok(LpPhase::Optimal);
+            };
+            let dir = dir as f64;
+
+            // FTRAN: w = B^{-1} a_j.
+            let mut w = vec![0.0; m];
+            for &(r, v) in &self.cols[j] {
+                if v != 0.0 {
+                    for i in 0..m {
+                        w[i] += self.binv[i * m + r] * v;
+                    }
+                }
+            }
+
+            // Ratio test, pass 1: minimum ratio.
+            let own_range = self.upper[j] - self.lower[j]; // may be inf
+            let mut theta = own_range;
+            for i in 0..m {
+                let k = self.basis[i];
+                let delta = -dir * w[i];
+                if delta > PIVOT_TOL {
+                    if self.upper[k].is_finite() {
+                        let lim = ((self.upper[k] - self.xval[k]) / delta).max(0.0);
+                        if lim < theta {
+                            theta = lim;
+                        }
+                    }
+                } else if delta < -PIVOT_TOL && self.lower[k].is_finite() {
+                    let lim = ((self.lower[k] - self.xval[k]) / delta).max(0.0);
+                    if lim < theta {
+                        theta = lim;
+                    }
+                }
+            }
+            if theta.is_infinite() {
+                return Ok(LpPhase::Unbounded);
+            }
+            // Pass 2: among rows within tolerance of theta, largest pivot.
+            let mut leave: Option<(usize, bool)> = None; // (row, hits_upper)
+            let mut best_piv = 0.0;
+            for i in 0..m {
+                let k = self.basis[i];
+                let delta = -dir * w[i];
+                if delta > PIVOT_TOL {
+                    if self.upper[k].is_finite() {
+                        let lim = ((self.upper[k] - self.xval[k]) / delta).max(0.0);
+                        if lim <= theta + FEAS_TOL && w[i].abs() > best_piv {
+                            best_piv = w[i].abs();
+                            leave = Some((i, true));
+                            theta = theta.min(lim);
+                        }
+                    }
+                } else if delta < -PIVOT_TOL && self.lower[k].is_finite() {
+                    let lim = ((self.lower[k] - self.xval[k]) / delta).max(0.0);
+                    if lim <= theta + FEAS_TOL && w[i].abs() > best_piv {
+                        best_piv = w[i].abs();
+                        leave = Some((i, false));
+                        theta = theta.min(lim);
+                    }
+                }
+            }
+            let bound_flip = own_range <= theta + FEAS_TOL && own_range.is_finite();
+
+            // Degeneracy bookkeeping.
+            if theta <= 1e-10 {
+                self.degen_run += 1;
+                if self.degen_run > DEGEN_LIMIT {
+                    self.bland = true;
+                }
+            } else {
+                self.degen_run = 0;
+            }
+
+            // Apply the step.
+            let step = dir * theta;
+            if step != 0.0 {
+                for i in 0..m {
+                    if w[i] != 0.0 {
+                        let k = self.basis[i];
+                        self.xval[k] -= w[i] * step;
+                    }
+                }
+                self.xval[j] += step;
+            }
+
+            if bound_flip || leave.is_none() {
+                // The entering variable traverses to its opposite bound.
+                self.state[j] = match self.state[j] {
+                    VarState::AtLower => {
+                        self.xval[j] = self.upper[j];
+                        VarState::AtUpper
+                    }
+                    VarState::AtUpper => {
+                        self.xval[j] = self.lower[j];
+                        VarState::AtLower
+                    }
+                    other => other, // free: cannot bound-flip
+                };
+                continue;
+            }
+
+            let (r, hits_upper) = leave.unwrap();
+            if w[r].abs() < PIVOT_TOL {
+                return Err(IlpError::Internal("pivot element vanished"));
+            }
+            let k_leave = self.basis[r];
+            self.xval[k_leave] = if hits_upper {
+                self.upper[k_leave]
+            } else {
+                self.lower[k_leave]
+            };
+
+            // Eta update of B^{-1}.
+            let piv = w[r];
+            {
+                let (head, tail) = self.binv.split_at_mut(r * m);
+                let (row_r, rest) = tail.split_at_mut(m);
+                for v in row_r.iter_mut() {
+                    *v /= piv;
+                }
+                for (i, chunk) in head.chunks_exact_mut(m).enumerate() {
+                    let f = w[i];
+                    if f != 0.0 {
+                        for (c, rr) in chunk.iter_mut().zip(row_r.iter()) {
+                            *c -= f * rr;
+                        }
+                    }
+                }
+                for (off, chunk) in rest.chunks_exact_mut(m).enumerate() {
+                    let f = w[r + 1 + off];
+                    if f != 0.0 {
+                        for (c, rr) in chunk.iter_mut().zip(row_r.iter()) {
+                            *c -= f * rr;
+                        }
+                    }
+                }
+            }
+            self.basis[r] = j;
+            self.state[j] = VarState::Basic(r);
+            self.state[k_leave] = if hits_upper {
+                VarState::AtUpper
+            } else {
+                VarState::AtLower
+            };
+            if k_leave >= self.art0 {
+                // An artificial that leaves the basis never returns.
+                self.lower[k_leave] = 0.0;
+                self.upper[k_leave] = 0.0;
+                self.xval[k_leave] = 0.0;
+                self.state[k_leave] = VarState::AtLower;
+            }
+        }
+    }
+
+    /// Drives basic artificials out of the basis after phase 1, locking
+    /// redundant rows' artificials at zero.
+    fn purge_artificials(&mut self) {
+        let m = self.m;
+        for r in 0..m {
+            if self.basis[r] < self.art0 {
+                continue;
+            }
+            // Try to find a non-artificial, non-fixed nonbasic column with a
+            // nonzero tableau entry in row r.
+            let mut found = None;
+            for j in 0..self.art0 {
+                if matches!(self.state[j], VarState::Basic(_)) {
+                    continue;
+                }
+                let mut t = 0.0;
+                for &(i, v) in &self.cols[j] {
+                    t += self.binv[r * m + i] * v;
+                }
+                if t.abs() > 1e-7 {
+                    found = Some((j, t));
+                    break;
+                }
+            }
+            let Some((j, _)) = found else {
+                // Redundant row: pin the artificial to zero forever.
+                let a = self.basis[r];
+                self.lower[a] = 0.0;
+                self.upper[a] = 0.0;
+                continue;
+            };
+            // Degenerate pivot: artificial sits at 0, so values don't move.
+            let mut w = vec![0.0; m];
+            for &(i, v) in &self.cols[j] {
+                for row in 0..m {
+                    w[row] += self.binv[row * m + i] * v;
+                }
+            }
+            let piv = w[r];
+            if piv.abs() < 1e-9 {
+                continue;
+            }
+            let a_leave = self.basis[r];
+            {
+                let row_start = r * m;
+                for k in 0..m {
+                    self.binv[row_start + k] /= piv;
+                }
+                for i in 0..m {
+                    if i == r {
+                        continue;
+                    }
+                    let f = w[i];
+                    if f != 0.0 {
+                        for k in 0..m {
+                            self.binv[i * m + k] -= f * self.binv[row_start + k];
+                        }
+                    }
+                }
+            }
+            self.basis[r] = j;
+            self.state[j] = VarState::Basic(r);
+            self.state[a_leave] = VarState::AtLower;
+            self.xval[a_leave] = 0.0;
+        }
+    }
+}
+
+enum LpPhase {
+    Optimal,
+    Unbounded,
+}
+
+/// Solves an LP with the two-phase bounded simplex.
+pub fn solve_lp(lp: &LpForm) -> Result<LpOutcome, IlpError> {
+    debug_assert_eq!(lp.cols.len(), lp.n);
+    debug_assert_eq!(lp.lower.len(), lp.n);
+    debug_assert_eq!(lp.upper.len(), lp.n);
+    debug_assert_eq!(lp.obj.len(), lp.n);
+    debug_assert_eq!(lp.cmps.len(), lp.rhs.len());
+
+    // Quick infeasibility: crossed bounds.
+    for j in 0..lp.n {
+        if lp.lower[j] > lp.upper[j] + FEAS_TOL {
+            return Ok(LpOutcome::Infeasible);
+        }
+    }
+
+    // A solve whose final point fails verification is retried from scratch
+    // with Bland's rule from the first pivot (slower, but drift-resistant:
+    // fewer huge-step pivots on degenerate paths).
+    let mut last_err = IlpError::IterationLimit;
+    for attempt in 0..2 {
+        match solve_lp_once(lp, attempt == 1) {
+            Ok(out) => return Ok(out),
+            Err(e) => last_err = e,
+        }
+    }
+    Err(last_err)
+}
+
+fn solve_lp_once(lp: &LpForm, conservative: bool) -> Result<LpOutcome, IlpError> {
+    let mut s = Simplex::new(lp);
+    s.bland = conservative;
+
+    // Phase 1: minimize the sum of artificials.
+    let needs_phase1 = (0..s.m).any(|i| s.xval[s.art0 + i] > FEAS_TOL);
+    if needs_phase1 {
+        for i in 0..s.m {
+            s.cost[s.art0 + i] = 1.0;
+        }
+        match s.optimize()? {
+            LpPhase::Unbounded => {
+                return Err(IlpError::Internal("phase 1 unbounded"));
+            }
+            LpPhase::Optimal => {}
+        }
+        // Clean the factorization before judging feasibility, so drift
+        // cannot cause a spurious "infeasible".
+        if !s.refactorize() {
+            return Err(IlpError::Internal("singular basis after phase 1"));
+        }
+        s.refresh_basics();
+        let infeas: f64 = (0..s.m).map(|i| s.xval[s.art0 + i].max(0.0)).sum();
+        if infeas > 1e-6 * (1.0 + s.b.iter().map(|v| v.abs()).fold(0.0, f64::max)) {
+            return Ok(LpOutcome::Infeasible);
+        }
+        s.purge_artificials();
+    }
+    // Lock artificials for phase 2.
+    for i in 0..s.m {
+        let a = s.art0 + i;
+        s.lower[a] = 0.0;
+        s.upper[a] = 0.0;
+        s.cost[a] = 0.0;
+        if !matches!(s.state[a], VarState::Basic(_)) {
+            s.xval[a] = 0.0;
+            s.state[a] = VarState::AtLower;
+        }
+    }
+
+    // Phase 2: real objective, scaled for tolerance stability.
+    let cmax = lp.obj.iter().fold(0.0f64, |acc, c| acc.max(c.abs()));
+    let cscale = if cmax > 0.0 { 1.0 / cmax } else { 1.0 };
+    for j in 0..lp.n {
+        s.cost[j] = lp.obj[j] * cscale;
+    }
+    s.bland = conservative;
+    s.degen_run = 0;
+    match s.optimize()? {
+        LpPhase::Unbounded => return Ok(LpOutcome::Unbounded),
+        LpPhase::Optimal => {}
+    }
+    // Verify the returned point actually satisfies the system (erasing any
+    // accumulated eta drift first); a bad point fails the whole attempt.
+    if !s.refactorize() {
+        return Err(IlpError::Internal("singular basis at verification"));
+    }
+    s.refresh_basics();
+    if s.primal_violation() > 1e-6 {
+        return Err(IlpError::IterationLimit);
+    }
+    let x: Vec<f64> = s.xval[..lp.n].to_vec();
+    let obj: f64 = lp.obj.iter().zip(&x).map(|(c, v)| c * v).sum();
+    Ok(LpOutcome::Optimal {
+        x,
+        obj,
+        iterations: s.iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lp(
+        n: usize,
+        cols: Vec<Vec<(usize, f64)>>,
+        cmps: Vec<Cmp>,
+        rhs: Vec<f64>,
+        lower: Vec<f64>,
+        upper: Vec<f64>,
+        obj: Vec<f64>,
+    ) -> LpForm {
+        LpForm {
+            n,
+            cols,
+            cmps,
+            rhs,
+            lower,
+            upper,
+            obj,
+        }
+    }
+
+    fn assert_opt(out: LpOutcome, want_obj: f64, want_x: Option<&[f64]>) {
+        match out {
+            LpOutcome::Optimal { x, obj, .. } => {
+                assert!(
+                    (obj - want_obj).abs() < 1e-6,
+                    "objective {obj} != expected {want_obj} (x = {x:?})"
+                );
+                if let Some(wx) = want_x {
+                    for (i, (&got, &want)) in x.iter().zip(wx).enumerate() {
+                        assert!((got - want).abs() < 1e-6, "x[{i}] = {got}, want {want}");
+                    }
+                }
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn textbook_max_as_min() {
+        // max 3x+2y st x+y<=4, x+3y<=6, x,y>=0 → min -(3x+2y), opt at (4,0).
+        let out = solve_lp(&lp(
+            2,
+            vec![vec![(0, 1.0), (1, 1.0)], vec![(0, 1.0), (1, 3.0)]],
+            vec![Cmp::Le, Cmp::Le],
+            vec![4.0, 6.0],
+            vec![0.0, 0.0],
+            vec![f64::INFINITY, f64::INFINITY],
+            vec![-3.0, -2.0],
+        ))
+        .unwrap();
+        assert_opt(out, -12.0, Some(&[4.0, 0.0]));
+    }
+
+    #[test]
+    fn equality_and_ge_constraints() {
+        // min x+y st x+y=2, x>=0.5 → obj 2.
+        let out = solve_lp(&lp(
+            2,
+            vec![vec![(0, 1.0), (1, 1.0)], vec![(1, 1.0)]],
+            vec![Cmp::Eq, Cmp::Ge],
+            vec![2.0, 0.5],
+            vec![0.0, 0.0],
+            vec![f64::INFINITY, f64::INFINITY],
+            vec![1.0, 1.0],
+        ))
+        .unwrap();
+        // Column layout: var0 appears in row0 only; var1 in rows 0 and 1.
+        assert_opt(out, 2.0, None);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        // x <= 1 and x >= 2.
+        let out = solve_lp(&lp(
+            1,
+            vec![vec![(0, 1.0), (1, 1.0)]],
+            vec![Cmp::Le, Cmp::Ge],
+            vec![1.0, 2.0],
+            vec![0.0],
+            vec![f64::INFINITY],
+            vec![0.0],
+        ))
+        .unwrap();
+        assert!(matches!(out, LpOutcome::Infeasible));
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        // min -x st x >= 0 (no upper bound).
+        let out = solve_lp(&lp(
+            1,
+            vec![vec![(0, 1.0)]],
+            vec![Cmp::Ge],
+            vec![0.0],
+            vec![0.0],
+            vec![f64::INFINITY],
+            vec![-1.0],
+        ))
+        .unwrap();
+        assert!(matches!(out, LpOutcome::Unbounded));
+    }
+
+    #[test]
+    fn respects_upper_bounds_via_bound_flip() {
+        // min -x - y st x + y <= 10, x <= 3, y <= 4 (bounds, not rows).
+        let out = solve_lp(&lp(
+            2,
+            vec![vec![(0, 1.0)], vec![(0, 1.0)]],
+            vec![Cmp::Le],
+            vec![10.0],
+            vec![0.0, 0.0],
+            vec![3.0, 4.0],
+            vec![-1.0, -1.0],
+        ))
+        .unwrap();
+        assert_opt(out, -7.0, Some(&[3.0, 4.0]));
+    }
+
+    #[test]
+    fn negative_lower_bounds() {
+        // min x st x >= -5 (bound) and x + y = 0, y <= 2 → x = -2? No:
+        // x = -y, y ∈ [0,2] minimizing x → y=2, x=-2.
+        let out = solve_lp(&lp(
+            2,
+            vec![vec![(0, 1.0)], vec![(0, 1.0)]],
+            vec![Cmp::Eq],
+            vec![0.0],
+            vec![-5.0, 0.0],
+            vec![f64::INFINITY, 2.0],
+            vec![1.0, 0.0],
+        ))
+        .unwrap();
+        assert_opt(out, -2.0, Some(&[-2.0, 2.0]));
+    }
+
+    #[test]
+    fn free_variable() {
+        // min x st x + y >= 3, y <= 1, x free → x = 2.
+        let out = solve_lp(&lp(
+            2,
+            vec![vec![(0, 1.0)], vec![(0, 1.0)]],
+            vec![Cmp::Ge],
+            vec![3.0],
+            vec![f64::NEG_INFINITY, 0.0],
+            vec![f64::INFINITY, 1.0],
+            vec![1.0, 0.0],
+        ))
+        .unwrap();
+        assert_opt(out, 2.0, Some(&[2.0, 1.0]));
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Multiple redundant constraints through the same vertex.
+        let out = solve_lp(&lp(
+            2,
+            vec![
+                vec![(0, 1.0), (1, 1.0), (2, 2.0)],
+                vec![(0, 1.0), (1, 2.0), (2, 2.0)],
+            ],
+            vec![Cmp::Le, Cmp::Le, Cmp::Le],
+            vec![1.0, 1.0, 2.0],
+            vec![0.0, 0.0],
+            vec![f64::INFINITY, f64::INFINITY],
+            vec![-1.0, -1.0],
+        ))
+        .unwrap();
+        assert_opt(out, -1.0, None);
+    }
+
+    #[test]
+    fn redundant_equality_rows() {
+        // x + y = 1 stated twice (rank-deficient) — phase 1 must cope.
+        let out = solve_lp(&lp(
+            2,
+            vec![vec![(0, 1.0), (1, 1.0)], vec![(0, 1.0), (1, 1.0)]],
+            vec![Cmp::Eq, Cmp::Eq],
+            vec![1.0, 1.0],
+            vec![0.0, 0.0],
+            vec![f64::INFINITY, f64::INFINITY],
+            vec![2.0, 1.0],
+        ))
+        .unwrap();
+        assert_opt(out, 1.0, Some(&[0.0, 1.0]));
+    }
+
+    #[test]
+    fn empty_constraint_set() {
+        // min x with x in [1, 5], no rows.
+        let out = solve_lp(&lp(
+            1,
+            vec![vec![]],
+            vec![],
+            vec![],
+            vec![1.0],
+            vec![5.0],
+            vec![1.0],
+        ))
+        .unwrap();
+        assert_opt(out, 1.0, Some(&[1.0]));
+    }
+
+    #[test]
+    fn fixed_variable_via_equal_bounds() {
+        let out = solve_lp(&lp(
+            2,
+            vec![vec![(0, 1.0)], vec![(0, 1.0)]],
+            vec![Cmp::Le],
+            vec![5.0],
+            vec![2.0, 0.0],
+            vec![2.0, f64::INFINITY],
+            vec![0.0, -1.0],
+        ))
+        .unwrap();
+        // x fixed at 2, so y = 3 maximizes.
+        assert_opt(out, -3.0, Some(&[2.0, 3.0]));
+    }
+
+    #[test]
+    fn badly_scaled_rows() {
+        // Same geometry as textbook test, but one row scaled by 1e6.
+        let out = solve_lp(&lp(
+            2,
+            vec![vec![(0, 1e6), (1, 1.0)], vec![(0, 1e6), (1, 3.0)]],
+            vec![Cmp::Le, Cmp::Le],
+            vec![4e6, 6.0],
+            vec![0.0, 0.0],
+            vec![f64::INFINITY, f64::INFINITY],
+            vec![-3.0, -2.0],
+        ))
+        .unwrap();
+        assert_opt(out, -12.0, Some(&[4.0, 0.0]));
+    }
+
+    #[test]
+    fn negative_rhs_rows() {
+        // min x st -x <= -3  (i.e. x >= 3).
+        let out = solve_lp(&lp(
+            1,
+            vec![vec![(0, -1.0)]],
+            vec![Cmp::Le],
+            vec![-3.0],
+            vec![0.0],
+            vec![f64::INFINITY],
+            vec![1.0],
+        ))
+        .unwrap();
+        assert_opt(out, 3.0, Some(&[3.0]));
+    }
+}

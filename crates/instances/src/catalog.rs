@@ -1,0 +1,179 @@
+//! Named instances: the Table 2 classes plus TPC-C.
+//!
+//! Class names follow the paper: `rndAt8x15` is class **A** (high reduction
+//! potential: many attributes per table, few attribute references per
+//! query), with **8 tables** and **15 transactions**; `rndBt16x100u50` is
+//! class **B** (low potential: few attributes per table, many references)
+//! with 16 tables, 100 transactions and a 50% update ratio. Seeds are
+//! derived from the name, so every call regenerates the same instance.
+
+use crate::random::RandomParams;
+use crate::tpcc::tpcc;
+use vpart_model::Instance;
+
+/// Table 2 parameters for class A (`rndA…`): `A=3 B=10 C=30 D=3 E=8`.
+fn class_a(n_tables: usize, n_txns: usize, update_pct: u32, name: &str) -> RandomParams {
+    RandomParams {
+        name: name.to_owned(),
+        n_txns,
+        n_tables,
+        max_queries_per_txn: 3,
+        update_pct,
+        max_attrs_per_table: 30,
+        max_table_refs: 3,
+        max_attr_refs: 8,
+        widths: vec![2.0, 4.0, 8.0, 16.0],
+    }
+}
+
+/// Table 2 parameters for class B (`rndB…`): `A=3 B=10 C=5 D=6 E=28`.
+fn class_b(n_tables: usize, n_txns: usize, update_pct: u32, name: &str) -> RandomParams {
+    RandomParams {
+        name: name.to_owned(),
+        n_txns,
+        n_tables,
+        max_queries_per_txn: 3,
+        update_pct,
+        max_attrs_per_table: 5,
+        max_table_refs: 6,
+        max_attr_refs: 28,
+        widths: vec![2.0, 4.0, 8.0, 16.0],
+    }
+}
+
+/// Stable seed from the instance name (FNV-1a).
+fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Parses `rnd[A|B]t{tables}x{txns}[u50]` into class parameters.
+fn parse(name: &str) -> Option<RandomParams> {
+    let rest = name.strip_prefix("rnd")?;
+    let (class, rest) = match rest.as_bytes().first()? {
+        b'A' => ('A', &rest[1..]),
+        b'B' => ('B', &rest[1..]),
+        _ => return None,
+    };
+    let rest = rest.strip_prefix('t')?;
+    let (tables_str, rest) = rest.split_once('x')?;
+    let (txns_str, update_pct) = match rest.strip_suffix("u50") {
+        Some(t) => (t, 50),
+        None => (rest, 10),
+    };
+    let n_tables: usize = tables_str.parse().ok()?;
+    let n_txns: usize = txns_str.parse().ok()?;
+    if n_tables == 0 || n_txns == 0 {
+        return None;
+    }
+    Some(match class {
+        'A' => class_a(n_tables, n_txns, update_pct, name),
+        _ => class_b(n_tables, n_txns, update_pct, name),
+    })
+}
+
+/// All instance names used in the paper's Tables 3, 5 and 6.
+pub fn names() -> Vec<&'static str> {
+    vec![
+        "tpcc",
+        "rndAt4x15",
+        "rndAt8x15",
+        "rndAt8x15u50",
+        "rndAt16x15",
+        "rndAt32x15",
+        "rndAt64x15",
+        "rndAt4x100",
+        "rndAt8x100",
+        "rndAt16x100",
+        "rndAt32x100",
+        "rndAt64x100",
+        "rndBt4x15",
+        "rndBt8x15",
+        "rndBt16x15",
+        "rndBt16x15u50",
+        "rndBt32x15",
+        "rndBt64x15",
+        "rndBt4x100",
+        "rndBt8x100",
+        "rndBt16x100",
+        "rndBt32x100",
+        "rndBt64x100",
+    ]
+}
+
+/// Builds a named instance (`"tpcc"` or any `rnd…` class name, including
+/// names not listed in [`names`] — e.g. `rndAt128x50`).
+pub fn by_name(name: &str) -> Option<Instance> {
+    if name == "tpcc" {
+        return Some(tpcc());
+    }
+    let params = parse(name)?;
+    Some(params.generate(seed_for(name)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_catalog_names_resolve() {
+        for n in names() {
+            let ins = by_name(n).unwrap_or_else(|| panic!("{n} must resolve"));
+            assert!(ins.n_txns() > 0);
+        }
+    }
+
+    #[test]
+    fn class_dimensions_match_names() {
+        let ins = by_name("rndAt8x15").unwrap();
+        assert_eq!(ins.n_tables(), 8);
+        assert_eq!(ins.n_txns(), 15);
+        let ins = by_name("rndBt32x100").unwrap();
+        assert_eq!(ins.n_tables(), 32);
+        assert_eq!(ins.n_txns(), 100);
+    }
+
+    #[test]
+    fn u50_variant_has_more_updates() {
+        let base = by_name("rndAt8x15").unwrap();
+        let heavy = by_name("rndAt8x15u50").unwrap();
+        let frac = |i: &Instance| {
+            let w = i
+                .workload()
+                .queries()
+                .iter()
+                .filter(|q| q.kind.is_write())
+                .count();
+            w as f64 / i.n_queries() as f64
+        };
+        assert!(frac(&heavy) > frac(&base));
+    }
+
+    #[test]
+    fn deterministic_regeneration() {
+        assert_eq!(by_name("rndAt4x15"), by_name("rndAt4x15"));
+    }
+
+    #[test]
+    fn class_a_tends_to_wider_tables_than_class_b() {
+        let a = by_name("rndAt16x15").unwrap();
+        let b = by_name("rndBt16x15").unwrap();
+        let avg = |i: &Instance| i.n_attrs() as f64 / i.n_tables() as f64;
+        assert!(
+            avg(&a) > avg(&b),
+            "class A (C=30) should average wider tables than class B (C=5)"
+        );
+    }
+
+    #[test]
+    fn rejects_garbage_names() {
+        assert!(by_name("rndCt4x15").is_none());
+        assert!(by_name("rndAt0x15").is_none());
+        assert!(by_name("rndAtx15").is_none());
+        assert!(by_name("nope").is_none());
+    }
+}

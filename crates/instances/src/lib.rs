@@ -1,0 +1,20 @@
+//! Problem instances for OLTP vertical partitioning.
+//!
+//! * [`tpcc`] — the TPC-C v5 benchmark modeled per the paper's §5.2: the
+//!   full 9-table / 92-attribute schema with widths derived from the spec's
+//!   datatypes, the five transactions with one modeled query per SQL
+//!   statement, equal frequencies, one row per query (ten for iterated or
+//!   aggregate access), and UPDATE statements split into read + write
+//!   sub-queries.
+//! * [`random`] — the §5.3 random instance generator driven by the six
+//!   parameters of Table 1 (A–F).
+//! * [`catalog`] — the named instance classes of Table 2 (`rndAt4x15` …)
+//!   and the Table 1 default classes, all seeded and reproducible.
+
+pub mod catalog;
+pub mod random;
+pub mod tpcc;
+
+pub use catalog::{by_name, names};
+pub use random::RandomParams;
+pub use tpcc::tpcc;

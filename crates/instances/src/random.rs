@@ -1,0 +1,234 @@
+//! Random instance generation (§5.3).
+//!
+//! Instance *classes* are defined by upper bounds on six parameters
+//! (Table 1's single-letter labels):
+//!
+//! | | parameter |
+//! |-|-----------|
+//! | A | max queries per transaction |
+//! | B | percentage of queries being updates |
+//! | C | max attributes per table |
+//! | D | max tables referenced by a single query |
+//! | E | max attributes referenced by a single query |
+//! | F | the set of allowed attribute widths |
+//!
+//! Individual instances draw each per-entity value uniformly from
+//! `1..=bound` (so the mean is about half the bound), exactly as described
+//! in the paper. Row counts are 1 and frequencies 1 (the paper specifies
+//! no further statistics for random instances). Generation is
+//! deterministic per `(params, seed)`.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use vpart_model::workload::QuerySpec;
+use vpart_model::{AttrId, Instance, Schema, Workload};
+
+/// Parameters of a random instance class (see module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomParams {
+    /// Instance name (used in reports).
+    pub name: String,
+    /// Number of transactions `|T|`.
+    pub n_txns: usize,
+    /// Number of schema tables.
+    pub n_tables: usize,
+    /// A: max queries per transaction.
+    pub max_queries_per_txn: usize,
+    /// B: percentage (0–100) of queries that are updates.
+    pub update_pct: u32,
+    /// C: max attributes per table.
+    pub max_attrs_per_table: usize,
+    /// D: max tables referenced by one query.
+    pub max_table_refs: usize,
+    /// E: max attributes referenced by one query.
+    pub max_attr_refs: usize,
+    /// F: allowed attribute widths.
+    pub widths: Vec<f64>,
+}
+
+impl RandomParams {
+    /// The Table 1 default class: `A=3, B=10, C=15, D=5, E=15, F={4,8}`
+    /// with `#tables = |T| = n` (the paper tests `n = 20` and `n = 100`).
+    pub fn table1_default(n: usize) -> Self {
+        Self {
+            name: format!("table1-default-{n}"),
+            n_txns: n,
+            n_tables: n,
+            max_queries_per_txn: 3,
+            update_pct: 10,
+            max_attrs_per_table: 15,
+            max_table_refs: 5,
+            max_attr_refs: 15,
+            widths: vec![4.0, 8.0],
+        }
+    }
+
+    /// Generates a concrete instance with the given seed.
+    pub fn generate(&self, seed: u64) -> Instance {
+        assert!(self.n_txns > 0 && self.n_tables > 0, "empty class");
+        assert!(
+            self.max_queries_per_txn > 0
+                && self.max_attrs_per_table > 0
+                && self.max_table_refs > 0
+                && self.max_attr_refs > 0
+                && !self.widths.is_empty(),
+            "all parameter bounds must be positive"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Schema: per table, U[1, C] attributes with widths drawn from F.
+        let mut sb = Schema::builder();
+        for t in 0..self.n_tables {
+            let n_attrs = rng.gen_range(1..=self.max_attrs_per_table);
+            let cols: Vec<(String, f64)> = (0..n_attrs)
+                .map(|a| {
+                    let w = self.widths[rng.gen_range(0..self.widths.len())];
+                    (format!("a{a}"), w)
+                })
+                .collect();
+            let col_refs: Vec<(&str, f64)> = cols.iter().map(|(n, w)| (n.as_str(), *w)).collect();
+            sb.table(format!("r{t}"), &col_refs)
+                .expect("generated table is valid");
+        }
+        let schema = sb.build().expect("n_tables > 0");
+
+        // Workload.
+        let mut wb = Workload::builder(&schema);
+        let mut txn_queries: Vec<Vec<vpart_model::QueryId>> = Vec::new();
+        for t in 0..self.n_txns {
+            let n_queries = rng.gen_range(1..=self.max_queries_per_txn);
+            let mut qids = Vec::with_capacity(n_queries);
+            for qi in 0..n_queries {
+                let is_update = rng.gen_range(0..100) < self.update_pct;
+                // Tables referenced: U[1, D] distinct tables, but never
+                // more than the query's attribute budget allows.
+                let n_attr_refs = rng.gen_range(1..=self.max_attr_refs);
+                let n_table_refs = rng
+                    .gen_range(1..=self.max_table_refs)
+                    .min(self.n_tables)
+                    .min(n_attr_refs);
+                let mut tables: Vec<usize> = (0..self.n_tables).collect();
+                tables.shuffle(&mut rng);
+                tables.truncate(n_table_refs);
+
+                // One attribute from each referenced table first (so every
+                // chosen table is really referenced), then uniform fill.
+                let mut attrs: Vec<AttrId> = Vec::new();
+                for &tb in &tables {
+                    let range = schema.table_attrs(vpart_model::TableId::from_index(tb));
+                    let pick = rng.gen_range(range.start..range.end);
+                    attrs.push(AttrId::from_index(pick));
+                }
+                let pool: Vec<usize> = tables
+                    .iter()
+                    .flat_map(|&tb| schema.table_attrs(vpart_model::TableId::from_index(tb)))
+                    .collect();
+                let mut extra: Vec<usize> = pool
+                    .into_iter()
+                    .filter(|&a| !attrs.iter().any(|x| x.index() == a))
+                    .collect();
+                extra.shuffle(&mut rng);
+                for a in extra
+                    .into_iter()
+                    .take(n_attr_refs.saturating_sub(attrs.len()))
+                {
+                    attrs.push(AttrId::from_index(a));
+                }
+
+                let name = format!("t{t}q{qi}");
+                let spec = if is_update {
+                    QuerySpec::write(name)
+                } else {
+                    QuerySpec::read(name)
+                }
+                .access(&attrs);
+                qids.push(wb.add_query(spec).expect("generated query is valid"));
+            }
+            txn_queries.push(qids);
+        }
+        for (t, qids) in txn_queries.iter().enumerate() {
+            wb.transaction(format!("T{t}"), qids)
+                .expect("generated txn is valid");
+        }
+        let workload = wb.build().expect("all queries assigned");
+        Instance::new(self.name.clone(), schema, workload).expect("generated instance is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = RandomParams::table1_default(10);
+        let a = p.generate(42);
+        let b = p.generate(42);
+        assert_eq!(a, b);
+        let c = p.generate(43);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn respects_bounds() {
+        let p = RandomParams {
+            name: "bounds".into(),
+            n_txns: 25,
+            n_tables: 6,
+            max_queries_per_txn: 4,
+            update_pct: 30,
+            max_attrs_per_table: 7,
+            max_table_refs: 3,
+            max_attr_refs: 5,
+            widths: vec![2.0, 16.0],
+        };
+        let ins = p.generate(7);
+        assert_eq!(ins.n_txns(), 25);
+        assert_eq!(ins.n_tables(), 6);
+        for table in ins.schema().tables() {
+            assert!(table.n_attrs() >= 1 && table.n_attrs() <= 7);
+        }
+        for attr in ins.schema().attrs() {
+            assert!(attr.width == 2.0 || attr.width == 16.0);
+        }
+        for txn in ins.workload().transactions() {
+            assert!(!txn.queries.is_empty() && txn.queries.len() <= 4);
+        }
+        for q in ins.workload().queries() {
+            assert!(!q.attrs.is_empty() && q.attrs.len() <= 5);
+            assert!(!q.table_rows.is_empty() && q.table_rows.len() <= 3);
+            assert_eq!(q.frequency, 1.0);
+            for &(_, rows) in &q.table_rows {
+                assert_eq!(rows, 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn update_percentage_zero_and_high() {
+        let mut p = RandomParams::table1_default(20);
+        p.update_pct = 0;
+        let ins = p.generate(1);
+        assert!(ins.workload().queries().iter().all(|q| !q.kind.is_write()));
+        p.update_pct = 100;
+        let ins = p.generate(1);
+        assert!(ins.workload().queries().iter().all(|q| q.kind.is_write()));
+    }
+
+    #[test]
+    fn every_referenced_table_contributes_an_attribute() {
+        let p = RandomParams::table1_default(30);
+        let ins = p.generate(99);
+        for q in ins.workload().queries() {
+            for &(table, _) in &q.table_rows {
+                let range = ins.schema().table_attrs(table);
+                assert!(
+                    q.attrs.iter().any(|a| range.contains(&a.index())),
+                    "query {} references table {table} without accessing it",
+                    q.name
+                );
+            }
+        }
+    }
+}

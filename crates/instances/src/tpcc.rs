@@ -1,0 +1,658 @@
+//! The TPC-C v5 instance (§5.2 of the paper).
+//!
+//! Schema: the nine tables of TPC-C v5.10.1 with all 92 attributes; widths
+//! are derived from the spec's datatypes (variable-length text fields use
+//! their maximum, numeric fields their natural binary width).
+//!
+//! Workload: one modeled query per SQL statement of the five transaction
+//! profiles (§2.4–2.8 of the spec), under the paper's simplifying
+//! assumptions:
+//!
+//! * all queries run with **equal frequency** (1.0),
+//! * every query accesses **one row** per touched table, except statements
+//!   that iterate or aggregate, which access **ten rows**,
+//! * **UPDATE statements are split** into a read sub-query over every
+//!   referenced attribute and a write sub-query over the written
+//!   attributes ([`vpart_model::WorkloadBuilder::add_update`]),
+//! * selection predicates count as attribute accesses (key columns are
+//!   read).
+
+use vpart_model::workload::QuerySpec;
+use vpart_model::{AttrId, Instance, QueryId, Schema, TableId, Workload};
+
+/// Rows accessed by iterated / aggregate statements (the paper assumes 10).
+pub const ITERATED_ROWS: f64 = 10.0;
+
+fn schema() -> Schema {
+    let mut b = Schema::builder();
+    b.table(
+        "Warehouse",
+        &[
+            ("W_ID", 4.0),
+            ("W_NAME", 10.0),
+            ("W_STREET_1", 20.0),
+            ("W_STREET_2", 20.0),
+            ("W_CITY", 20.0),
+            ("W_STATE", 2.0),
+            ("W_ZIP", 9.0),
+            ("W_TAX", 4.0),
+            ("W_YTD", 8.0),
+        ],
+    )
+    .expect("static schema");
+    b.table(
+        "District",
+        &[
+            ("D_ID", 4.0),
+            ("D_W_ID", 4.0),
+            ("D_NAME", 10.0),
+            ("D_STREET_1", 20.0),
+            ("D_STREET_2", 20.0),
+            ("D_CITY", 20.0),
+            ("D_STATE", 2.0),
+            ("D_ZIP", 9.0),
+            ("D_TAX", 4.0),
+            ("D_YTD", 8.0),
+            ("D_NEXT_O_ID", 4.0),
+        ],
+    )
+    .expect("static schema");
+    b.table(
+        "Customer",
+        &[
+            ("C_ID", 4.0),
+            ("C_D_ID", 4.0),
+            ("C_W_ID", 4.0),
+            ("C_FIRST", 16.0),
+            ("C_MIDDLE", 2.0),
+            ("C_LAST", 16.0),
+            ("C_STREET_1", 20.0),
+            ("C_STREET_2", 20.0),
+            ("C_CITY", 20.0),
+            ("C_STATE", 2.0),
+            ("C_ZIP", 9.0),
+            ("C_PHONE", 16.0),
+            ("C_SINCE", 8.0),
+            ("C_CREDIT", 2.0),
+            ("C_CREDIT_LIM", 8.0),
+            ("C_DISCOUNT", 4.0),
+            ("C_BALANCE", 8.0),
+            ("C_YTD_PAYMENT", 8.0),
+            ("C_PAYMENT_CNT", 4.0),
+            ("C_DELIVERY_CNT", 4.0),
+            ("C_DATA", 500.0),
+        ],
+    )
+    .expect("static schema");
+    b.table(
+        "History",
+        &[
+            ("H_C_ID", 4.0),
+            ("H_C_D_ID", 4.0),
+            ("H_C_W_ID", 4.0),
+            ("H_D_ID", 4.0),
+            ("H_W_ID", 4.0),
+            ("H_DATE", 8.0),
+            ("H_AMOUNT", 4.0),
+            ("H_DATA", 24.0),
+        ],
+    )
+    .expect("static schema");
+    b.table(
+        "NewOrder",
+        &[("NO_O_ID", 4.0), ("NO_D_ID", 4.0), ("NO_W_ID", 4.0)],
+    )
+    .expect("static schema");
+    b.table(
+        "Order",
+        &[
+            ("O_ID", 4.0),
+            ("O_D_ID", 4.0),
+            ("O_W_ID", 4.0),
+            ("O_C_ID", 4.0),
+            ("O_ENTRY_D", 8.0),
+            ("O_CARRIER_ID", 4.0),
+            ("O_OL_CNT", 4.0),
+            ("O_ALL_LOCAL", 4.0),
+        ],
+    )
+    .expect("static schema");
+    b.table(
+        "OrderLine",
+        &[
+            ("OL_O_ID", 4.0),
+            ("OL_D_ID", 4.0),
+            ("OL_W_ID", 4.0),
+            ("OL_NUMBER", 4.0),
+            ("OL_I_ID", 4.0),
+            ("OL_SUPPLY_W_ID", 4.0),
+            ("OL_DELIVERY_D", 8.0),
+            ("OL_QUANTITY", 4.0),
+            ("OL_AMOUNT", 4.0),
+            ("OL_DIST_INFO", 24.0),
+        ],
+    )
+    .expect("static schema");
+    b.table(
+        "Item",
+        &[
+            ("I_ID", 4.0),
+            ("I_IM_ID", 4.0),
+            ("I_NAME", 24.0),
+            ("I_PRICE", 4.0),
+            ("I_DATA", 50.0),
+        ],
+    )
+    .expect("static schema");
+    b.table(
+        "Stock",
+        &[
+            ("S_I_ID", 4.0),
+            ("S_W_ID", 4.0),
+            ("S_QUANTITY", 4.0),
+            ("S_DIST_01", 24.0),
+            ("S_DIST_02", 24.0),
+            ("S_DIST_03", 24.0),
+            ("S_DIST_04", 24.0),
+            ("S_DIST_05", 24.0),
+            ("S_DIST_06", 24.0),
+            ("S_DIST_07", 24.0),
+            ("S_DIST_08", 24.0),
+            ("S_DIST_09", 24.0),
+            ("S_DIST_10", 24.0),
+            ("S_YTD", 8.0),
+            ("S_ORDER_CNT", 4.0),
+            ("S_REMOTE_CNT", 4.0),
+            ("S_DATA", 50.0),
+        ],
+    )
+    .expect("static schema");
+    b.build().expect("static schema")
+}
+
+/// Helper resolving qualified attribute names at build time.
+struct Names<'a> {
+    schema: &'a Schema,
+}
+
+impl Names<'_> {
+    fn a(&self, table: &str, attr: &str) -> AttrId {
+        self.schema
+            .attr_by_name(table, attr)
+            .unwrap_or_else(|| panic!("unknown attribute {table}.{attr}"))
+    }
+    fn attrs(&self, table: &str, attrs: &[&str]) -> Vec<AttrId> {
+        attrs.iter().map(|n| self.a(table, n)).collect()
+    }
+    fn t(&self, table: &str) -> TableId {
+        self.schema.table_by_name(table).expect("unknown table")
+    }
+}
+
+/// Builds the TPC-C v5 instance.
+pub fn tpcc() -> Instance {
+    let schema = schema();
+    let n = Names { schema: &schema };
+    let mut wb = Workload::builder(&schema);
+    let mut add = |spec: QuerySpec| -> QueryId { wb.add_query(spec).expect("static workload") };
+
+    // ---------------- New-Order (spec §2.4.2) ----------------
+    let no_wtax =
+        add(QuerySpec::read("no/warehouse_tax").access(&n.attrs("Warehouse", &["W_ID", "W_TAX"])));
+    let no_dsel = add(QuerySpec::read("no/district_read")
+        .access(&n.attrs("District", &["D_W_ID", "D_ID", "D_NEXT_O_ID", "D_TAX"])));
+    let (no_dupd_r, no_dupd_w) = wb
+        .add_update(
+            "no/district_bump",
+            1.0,
+            &n.attrs("District", &["D_W_ID", "D_ID", "D_NEXT_O_ID"]),
+            &n.attrs("District", &["D_NEXT_O_ID"]),
+            &[],
+        )
+        .expect("static workload");
+    let mut add = |spec: QuerySpec| -> QueryId { wb.add_query(spec).expect("static workload") };
+    let no_csel = add(QuerySpec::read("no/customer_read").access(&n.attrs(
+        "Customer",
+        &[
+            "C_W_ID",
+            "C_D_ID",
+            "C_ID",
+            "C_DISCOUNT",
+            "C_LAST",
+            "C_CREDIT",
+        ],
+    )));
+    let no_oins = add(QuerySpec::write("no/order_insert").access(&n.attrs(
+        "Order",
+        &[
+            "O_ID",
+            "O_D_ID",
+            "O_W_ID",
+            "O_C_ID",
+            "O_ENTRY_D",
+            "O_CARRIER_ID",
+            "O_OL_CNT",
+            "O_ALL_LOCAL",
+        ],
+    )));
+    let no_noins = add(QuerySpec::write("no/neworder_insert")
+        .access(&n.attrs("NewOrder", &["NO_O_ID", "NO_D_ID", "NO_W_ID"])));
+    let no_isel = add(QuerySpec::read("no/item_read")
+        .access(&n.attrs("Item", &["I_ID", "I_PRICE", "I_NAME", "I_DATA"]))
+        .default_rows(ITERATED_ROWS));
+    let stock_read: Vec<AttrId> = n.attrs(
+        "Stock",
+        &[
+            "S_I_ID",
+            "S_W_ID",
+            "S_QUANTITY",
+            "S_DIST_01",
+            "S_DIST_02",
+            "S_DIST_03",
+            "S_DIST_04",
+            "S_DIST_05",
+            "S_DIST_06",
+            "S_DIST_07",
+            "S_DIST_08",
+            "S_DIST_09",
+            "S_DIST_10",
+            "S_YTD",
+            "S_ORDER_CNT",
+            "S_REMOTE_CNT",
+            "S_DATA",
+        ],
+    );
+    let stock_write: Vec<AttrId> = n.attrs(
+        "Stock",
+        &["S_QUANTITY", "S_YTD", "S_ORDER_CNT", "S_REMOTE_CNT"],
+    );
+    let (no_supd_r, no_supd_w) = wb
+        .add_update(
+            "no/stock_update",
+            1.0,
+            &stock_read,
+            &stock_write,
+            &[(n.t("Stock"), ITERATED_ROWS)],
+        )
+        .expect("static workload");
+    let mut add = |spec: QuerySpec| -> QueryId { wb.add_query(spec).expect("static workload") };
+    let no_olins = add(QuerySpec::write("no/orderline_insert")
+        .access(&n.attrs(
+            "OrderLine",
+            &[
+                "OL_O_ID",
+                "OL_D_ID",
+                "OL_W_ID",
+                "OL_NUMBER",
+                "OL_I_ID",
+                "OL_SUPPLY_W_ID",
+                "OL_DELIVERY_D",
+                "OL_QUANTITY",
+                "OL_AMOUNT",
+                "OL_DIST_INFO",
+            ],
+        ))
+        .default_rows(ITERATED_ROWS));
+
+    // ---------------- Payment (spec §2.5.2) ----------------
+    let (pay_wupd_r, pay_wupd_w) = wb
+        .add_update(
+            "pay/warehouse_ytd",
+            1.0,
+            &n.attrs("Warehouse", &["W_ID", "W_YTD"]),
+            &n.attrs("Warehouse", &["W_YTD"]),
+            &[],
+        )
+        .expect("static workload");
+    let mut add = |spec: QuerySpec| -> QueryId { wb.add_query(spec).expect("static workload") };
+    let pay_wsel = add(QuerySpec::read("pay/warehouse_read").access(&n.attrs(
+        "Warehouse",
+        &[
+            "W_ID",
+            "W_NAME",
+            "W_STREET_1",
+            "W_STREET_2",
+            "W_CITY",
+            "W_STATE",
+            "W_ZIP",
+        ],
+    )));
+    let (pay_dupd_r, pay_dupd_w) = wb
+        .add_update(
+            "pay/district_ytd",
+            1.0,
+            &n.attrs("District", &["D_W_ID", "D_ID", "D_YTD"]),
+            &n.attrs("District", &["D_YTD"]),
+            &[],
+        )
+        .expect("static workload");
+    let mut add = |spec: QuerySpec| -> QueryId { wb.add_query(spec).expect("static workload") };
+    let pay_dsel = add(QuerySpec::read("pay/district_read").access(&n.attrs(
+        "District",
+        &[
+            "D_W_ID",
+            "D_ID",
+            "D_NAME",
+            "D_STREET_1",
+            "D_STREET_2",
+            "D_CITY",
+            "D_STATE",
+            "D_ZIP",
+        ],
+    )));
+    // Customer selected by last name: iterates over matching customers.
+    let pay_csel = add(QuerySpec::read("pay/customer_read")
+        .access(&n.attrs(
+            "Customer",
+            &[
+                "C_W_ID",
+                "C_D_ID",
+                "C_ID",
+                "C_FIRST",
+                "C_MIDDLE",
+                "C_LAST",
+                "C_STREET_1",
+                "C_STREET_2",
+                "C_CITY",
+                "C_STATE",
+                "C_ZIP",
+                "C_PHONE",
+                "C_SINCE",
+                "C_CREDIT",
+                "C_CREDIT_LIM",
+                "C_DISCOUNT",
+                "C_BALANCE",
+            ],
+        ))
+        .default_rows(ITERATED_ROWS));
+    let (pay_cupd_r, pay_cupd_w) = wb
+        .add_update(
+            "pay/customer_update",
+            1.0,
+            &n.attrs(
+                "Customer",
+                &[
+                    "C_W_ID",
+                    "C_D_ID",
+                    "C_ID",
+                    "C_BALANCE",
+                    "C_YTD_PAYMENT",
+                    "C_PAYMENT_CNT",
+                    "C_CREDIT",
+                    "C_DATA",
+                ],
+            ),
+            &n.attrs(
+                "Customer",
+                &["C_BALANCE", "C_YTD_PAYMENT", "C_PAYMENT_CNT", "C_DATA"],
+            ),
+            &[],
+        )
+        .expect("static workload");
+    let mut add = |spec: QuerySpec| -> QueryId { wb.add_query(spec).expect("static workload") };
+    let pay_hins = add(QuerySpec::write("pay/history_insert").access(&n.attrs(
+        "History",
+        &[
+            "H_C_ID", "H_C_D_ID", "H_C_W_ID", "H_D_ID", "H_W_ID", "H_DATE", "H_AMOUNT", "H_DATA",
+        ],
+    )));
+
+    // ---------------- Order-Status (spec §2.6.2) ----------------
+    let os_csel = add(QuerySpec::read("os/customer_read")
+        .access(&n.attrs(
+            "Customer",
+            &[
+                "C_W_ID",
+                "C_D_ID",
+                "C_ID",
+                "C_BALANCE",
+                "C_FIRST",
+                "C_MIDDLE",
+                "C_LAST",
+            ],
+        ))
+        .default_rows(ITERATED_ROWS));
+    let os_osel = add(QuerySpec::read("os/order_read").access(&n.attrs(
+        "Order",
+        &[
+            "O_W_ID",
+            "O_D_ID",
+            "O_C_ID",
+            "O_ID",
+            "O_ENTRY_D",
+            "O_CARRIER_ID",
+        ],
+    )));
+    let os_olsel = add(QuerySpec::read("os/orderline_read")
+        .access(&n.attrs(
+            "OrderLine",
+            &[
+                "OL_W_ID",
+                "OL_D_ID",
+                "OL_O_ID",
+                "OL_I_ID",
+                "OL_SUPPLY_W_ID",
+                "OL_QUANTITY",
+                "OL_AMOUNT",
+                "OL_DELIVERY_D",
+            ],
+        ))
+        .default_rows(ITERATED_ROWS));
+
+    // ---------------- Delivery (spec §2.7.4) ----------------
+    let del_nosel = add(QuerySpec::read("del/neworder_read")
+        .access(&n.attrs("NewOrder", &["NO_W_ID", "NO_D_ID", "NO_O_ID"]))
+        .default_rows(ITERATED_ROWS));
+    let del_nodel = add(QuerySpec::write("del/neworder_delete")
+        .access(&n.attrs("NewOrder", &["NO_W_ID", "NO_D_ID", "NO_O_ID"]))
+        .default_rows(ITERATED_ROWS));
+    let del_osel = add(QuerySpec::read("del/order_read")
+        .access(&n.attrs("Order", &["O_W_ID", "O_D_ID", "O_ID", "O_C_ID"]))
+        .default_rows(ITERATED_ROWS));
+    let (del_oupd_r, del_oupd_w) = wb
+        .add_update(
+            "del/order_carrier",
+            1.0,
+            &n.attrs("Order", &["O_W_ID", "O_D_ID", "O_ID", "O_CARRIER_ID"]),
+            &n.attrs("Order", &["O_CARRIER_ID"]),
+            &[(n.t("Order"), ITERATED_ROWS)],
+        )
+        .expect("static workload");
+    let (del_olupd_r, del_olupd_w) = wb
+        .add_update(
+            "del/orderline_delivery",
+            1.0,
+            &n.attrs(
+                "OrderLine",
+                &["OL_W_ID", "OL_D_ID", "OL_O_ID", "OL_DELIVERY_D"],
+            ),
+            &n.attrs("OrderLine", &["OL_DELIVERY_D"]),
+            &[(n.t("OrderLine"), ITERATED_ROWS)],
+        )
+        .expect("static workload");
+    let mut add = |spec: QuerySpec| -> QueryId { wb.add_query(spec).expect("static workload") };
+    let del_olsum = add(QuerySpec::read("del/orderline_sum")
+        .access(&n.attrs("OrderLine", &["OL_W_ID", "OL_D_ID", "OL_O_ID", "OL_AMOUNT"]))
+        .default_rows(ITERATED_ROWS));
+    let (del_cupd_r, del_cupd_w) = wb
+        .add_update(
+            "del/customer_balance",
+            1.0,
+            &n.attrs(
+                "Customer",
+                &["C_W_ID", "C_D_ID", "C_ID", "C_BALANCE", "C_DELIVERY_CNT"],
+            ),
+            &n.attrs("Customer", &["C_BALANCE", "C_DELIVERY_CNT"]),
+            &[(n.t("Customer"), ITERATED_ROWS)],
+        )
+        .expect("static workload");
+    let mut add = |spec: QuerySpec| -> QueryId { wb.add_query(spec).expect("static workload") };
+
+    // ---------------- Stock-Level (spec §2.8.2) ----------------
+    let sl_dsel = add(QuerySpec::read("sl/district_read")
+        .access(&n.attrs("District", &["D_W_ID", "D_ID", "D_NEXT_O_ID"])));
+    let sl_join = add(QuerySpec::read("sl/stock_count")
+        .access(
+            &[
+                n.attrs("OrderLine", &["OL_W_ID", "OL_D_ID", "OL_O_ID", "OL_I_ID"]),
+                n.attrs("Stock", &["S_I_ID", "S_W_ID", "S_QUANTITY"]),
+            ]
+            .concat(),
+        )
+        .default_rows(ITERATED_ROWS));
+
+    wb.transaction(
+        "NewOrder",
+        &[
+            no_wtax, no_dsel, no_dupd_r, no_dupd_w, no_csel, no_oins, no_noins, no_isel, no_supd_r,
+            no_supd_w, no_olins,
+        ],
+    )
+    .expect("static workload");
+    wb.transaction(
+        "Payment",
+        &[
+            pay_wupd_r, pay_wupd_w, pay_wsel, pay_dupd_r, pay_dupd_w, pay_dsel, pay_csel,
+            pay_cupd_r, pay_cupd_w, pay_hins,
+        ],
+    )
+    .expect("static workload");
+    wb.transaction("OrderStatus", &[os_csel, os_osel, os_olsel])
+        .expect("static workload");
+    wb.transaction(
+        "Delivery",
+        &[
+            del_nosel,
+            del_nodel,
+            del_osel,
+            del_oupd_r,
+            del_oupd_w,
+            del_olupd_r,
+            del_olupd_w,
+            del_olsum,
+            del_cupd_r,
+            del_cupd_w,
+        ],
+    )
+    .expect("static workload");
+    wb.transaction("StockLevel", &[sl_dsel, sl_join])
+        .expect("static workload");
+
+    let workload = wb.build().expect("static workload");
+    Instance::new("TPC-C v5", schema, workload).expect("static instance")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpart_model::TxnId;
+
+    #[test]
+    fn dimensions_match_the_paper() {
+        let ins = tpcc();
+        assert_eq!(ins.n_tables(), 9);
+        assert_eq!(ins.n_attrs(), 92, "paper reports |A| = 92");
+        assert_eq!(ins.n_txns(), 5);
+    }
+
+    #[test]
+    fn transaction_names() {
+        let ins = tpcc();
+        let names: Vec<&str> = ins
+            .workload()
+            .transactions()
+            .iter()
+            .map(|t| t.name.as_str())
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "NewOrder",
+                "Payment",
+                "OrderStatus",
+                "Delivery",
+                "StockLevel"
+            ]
+        );
+    }
+
+    #[test]
+    fn updates_are_split() {
+        let ins = tpcc();
+        // Every "/read" sub-query must be a read and the matching "/write"
+        // a write over a subset of its attributes.
+        let w = ins.workload();
+        let mut split_pairs = 0;
+        for q in w.queries() {
+            if let Some(base) = q.name.strip_suffix("/read") {
+                let write = w
+                    .query_by_name(&format!("{base}/write"))
+                    .unwrap_or_else(|| panic!("missing write half of {base}"));
+                let wq = w.query(write);
+                assert!(!q.kind.is_write());
+                assert!(wq.kind.is_write());
+                assert!(
+                    wq.attrs.iter().all(|a| q.attrs.contains(a)),
+                    "write set of {base} must be ⊆ read set"
+                );
+                split_pairs += 1;
+            }
+        }
+        assert_eq!(split_pairs, 8, "eight UPDATE statements in TPC-C profiles");
+    }
+
+    #[test]
+    fn new_order_rows_assumption() {
+        // The paper: "the New-Order transaction ... assumed to access 11
+        // rows in average" — 1 row for the district bump + 10 for the
+        // iterated item/stock/order-line statements.
+        let ins = tpcc();
+        let w = ins.workload();
+        let item = w.query(w.query_by_name("no/item_read").unwrap());
+        assert_eq!(item.table_rows[0].1, 10.0);
+        let bump = w.query(w.query_by_name("no/district_bump/read").unwrap());
+        assert_eq!(bump.table_rows[0].1, 1.0);
+    }
+
+    #[test]
+    fn frequencies_are_equal() {
+        let ins = tpcc();
+        assert!(ins.workload().queries().iter().all(|q| q.frequency == 1.0));
+    }
+
+    #[test]
+    fn every_table_is_touched() {
+        let ins = tpcc();
+        for t in 0..ins.n_tables() {
+            let touched = (0..ins.n_txns()).any(|txn| {
+                ins.txn_tables(TxnId::from_index(txn))
+                    .any(|tb| tb.index() == t)
+            });
+            assert!(touched, "table {t} unused");
+        }
+    }
+
+    #[test]
+    fn stock_level_reads_only() {
+        let ins = tpcc();
+        let w = ins.workload();
+        let sl = w.txn_by_name("StockLevel").unwrap();
+        for &q in &w.txn(sl).queries {
+            assert!(!w.query(q).kind.is_write(), "StockLevel is read-only");
+        }
+    }
+
+    #[test]
+    fn instance_is_reducible_by_reasonable_cuts() {
+        // Many TPC-C attributes are co-accessed (e.g. address fields), so
+        // §4's reduction must find substantial grouping.
+        let ins = tpcc();
+        let red = vpart_core::reduce::Reduction::compute(&ins).expect("reducible");
+        assert!(
+            red.reduced.n_attrs() < 60,
+            "expected < 60 groups, got {}",
+            red.reduced.n_attrs()
+        );
+        assert!(red.reduced.n_attrs() >= 20);
+    }
+}

@@ -1,0 +1,339 @@
+//! Compact fixed-size bit sets and bit matrices.
+//!
+//! The derived constants of the cost model (`α`, `φ`, table-touch sets) and
+//! the attribute placement `y` are dense boolean matrices over small
+//! universes (attributes × sites, queries × attributes). A `u64`-backed
+//! bitset keeps them cache-friendly and makes set algebra (union, subset
+//! tests during single-sitedness validation) cheap.
+
+use serde::{Deserialize, Serialize};
+
+const WORD_BITS: usize = 64;
+
+/// A fixed-capacity set of `usize` indices backed by `u64` words.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitSet {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// Creates an empty set with capacity for indices `0..len`.
+    pub fn new(len: usize) -> Self {
+        Self {
+            len,
+            words: vec![0; len.div_ceil(WORD_BITS)],
+        }
+    }
+
+    /// Number of indices this set can hold (not the number of set bits).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// Sets bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= capacity`.
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
+    }
+
+    /// Clears bit `i`.
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / WORD_BITS] &= !(1u64 << (i % WORD_BITS));
+    }
+
+    /// Tests bit `i`.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / WORD_BITS] >> (i % WORD_BITS) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Clears all bits.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// In-place union with `other`.
+    ///
+    /// # Panics
+    /// Panics if capacities differ.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+
+    /// True if every bit set in `self` is also set in `other`.
+    pub fn is_subset_of(&self, other: &BitSet) -> bool {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(w, o)| w & !o == 0)
+    }
+
+    /// True if `self` and `other` share at least one set bit.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        self.words.iter().zip(&other.words).any(|(w, o)| w & o != 0)
+    }
+
+    /// Iterates over set bit indices in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let tz = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(wi * WORD_BITS + tz)
+            })
+        })
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Collects indices into a set sized to the maximum index + 1.
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let len = items.iter().max().map_or(0, |m| m + 1);
+        let mut set = BitSet::new(len);
+        for i in items {
+            set.insert(i);
+        }
+        set
+    }
+}
+
+/// A dense boolean matrix (`rows × cols`) with one bitset row per entity.
+///
+/// Used for the attribute placement `y[a][s]` and query/attribute incidence
+/// matrices.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<u64>,
+    words_per_row: usize,
+}
+
+impl BitMatrix {
+    /// Creates an all-false matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        let words_per_row = cols.div_ceil(WORD_BITS).max(1);
+        Self {
+            rows,
+            cols,
+            data: vec![0; rows * words_per_row],
+            words_per_row,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    fn check(&self, r: usize, c: usize) {
+        assert!(
+            r < self.rows && c < self.cols,
+            "bit ({r},{c}) out of range ({}x{})",
+            self.rows,
+            self.cols
+        );
+    }
+
+    /// Sets entry `(r, c)` to `true`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize) {
+        self.check(r, c);
+        self.data[r * self.words_per_row + c / WORD_BITS] |= 1u64 << (c % WORD_BITS);
+    }
+
+    /// Sets entry `(r, c)` to `false`.
+    #[inline]
+    pub fn unset(&mut self, r: usize, c: usize) {
+        self.check(r, c);
+        self.data[r * self.words_per_row + c / WORD_BITS] &= !(1u64 << (c % WORD_BITS));
+    }
+
+    /// Reads entry `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> bool {
+        self.check(r, c);
+        self.data[r * self.words_per_row + c / WORD_BITS] >> (c % WORD_BITS) & 1 == 1
+    }
+
+    /// Number of `true` entries in row `r`.
+    pub fn row_count(&self, r: usize) -> usize {
+        assert!(r < self.rows);
+        let start = r * self.words_per_row;
+        self.data[start..start + self.words_per_row]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterates over the column indices set in row `r`.
+    pub fn row_iter(&self, r: usize) -> impl Iterator<Item = usize> + '_ {
+        assert!(r < self.rows);
+        let start = r * self.words_per_row;
+        self.data[start..start + self.words_per_row]
+            .iter()
+            .enumerate()
+            .flat_map(|(wi, &w)| {
+                let mut bits = w;
+                std::iter::from_fn(move || {
+                    if bits == 0 {
+                        return None;
+                    }
+                    let tz = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * WORD_BITS + tz)
+                })
+            })
+    }
+
+    /// Total number of `true` entries.
+    pub fn count(&self) -> usize {
+        self.data.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(130);
+        assert!(!s.contains(0));
+        s.insert(0);
+        s.insert(64);
+        s.insert(129);
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert_eq!(s.count(), 3);
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert_eq!(s.count(), 2);
+    }
+
+    #[test]
+    fn iter_yields_sorted_indices() {
+        let mut s = BitSet::new(200);
+        for i in [5, 63, 64, 65, 199, 0] {
+            s.insert(i);
+        }
+        let got: Vec<usize> = s.iter().collect();
+        assert_eq!(got, vec![0, 5, 63, 64, 65, 199]);
+    }
+
+    #[test]
+    fn subset_and_intersection() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        a.insert(1);
+        a.insert(70);
+        b.insert(1);
+        b.insert(70);
+        b.insert(99);
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        assert!(a.intersects(&b));
+        let empty = BitSet::new(100);
+        assert!(!empty.intersects(&b));
+        assert!(empty.is_subset_of(&a));
+    }
+
+    #[test]
+    fn union_with_merges() {
+        let mut a = BitSet::new(10);
+        let mut b = BitSet::new(10);
+        a.insert(1);
+        b.insert(9);
+        a.union_with(&b);
+        assert!(a.contains(1) && a.contains(9));
+    }
+
+    #[test]
+    fn from_iterator_sizes_to_max() {
+        let s: BitSet = vec![3usize, 8, 2].into_iter().collect();
+        assert_eq!(s.capacity(), 9);
+        assert_eq!(s.count(), 3);
+        assert!(s.contains(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let s = BitSet::new(8);
+        let _ = s.contains(8);
+    }
+
+    #[test]
+    fn matrix_set_get_unset() {
+        let mut m = BitMatrix::new(3, 70);
+        m.set(0, 0);
+        m.set(2, 69);
+        m.set(1, 64);
+        assert!(m.get(0, 0) && m.get(2, 69) && m.get(1, 64));
+        assert!(!m.get(0, 69));
+        assert_eq!(m.count(), 3);
+        m.unset(1, 64);
+        assert!(!m.get(1, 64));
+        assert_eq!(m.row_count(2), 1);
+    }
+
+    #[test]
+    fn matrix_row_iter() {
+        let mut m = BitMatrix::new(2, 100);
+        m.set(1, 3);
+        m.set(1, 99);
+        assert_eq!(m.row_iter(1).collect::<Vec<_>>(), vec![3, 99]);
+        assert_eq!(m.row_iter(0).count(), 0);
+    }
+
+    #[test]
+    fn matrix_zero_cols_is_safe() {
+        let m = BitMatrix::new(4, 0);
+        assert_eq!(m.count(), 0);
+        assert_eq!(m.rows(), 4);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = BitSet::new(65);
+        s.insert(64);
+        s.clear();
+        assert!(s.is_empty());
+    }
+}

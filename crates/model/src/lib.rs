@@ -1,0 +1,43 @@
+//! Problem model for vertical partitioning of relational OLTP databases.
+//!
+//! This crate defines the *input* side of the partitioning problem studied in
+//! Amossen, *"Vertical partitioning of relational OLTP databases using integer
+//! programming"* (ICDE Workshops 2010):
+//!
+//! * [`Schema`] — tables and attributes with average widths `w_a`,
+//! * [`Workload`] — queries (read/write, frequency `f_q`, per-table row
+//!   counts `n_{a,q}`, accessed attribute sets) grouped into transactions,
+//! * [`Instance`] — a validated schema + workload pair with the derived
+//!   constants of the paper's §2.1 (`α`, `β`, `γ`, `δ`, `φ` and the weight
+//!   matrix `W_{a,q}`) precomputed in sparse form,
+//!
+//! and the *output* side:
+//!
+//! * [`Partitioning`] — an assignment of transactions to sites (`x`) and a
+//!   possibly replicated assignment of attributes to sites (`y`), with
+//!   validation of the model constraints (every transaction exactly one
+//!   site, every attribute at least one site, single-sitedness of reads).
+//!
+//! The cost model and solvers live in the `vpart-core` crate; instance
+//! generators (TPC-C, random classes) live in `vpart-instances`.
+
+// `!(x > 0.0)` comparisons are deliberate NaN-rejecting validations.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![allow(clippy::needless_range_loop)]
+
+pub mod bitset;
+pub mod error;
+pub mod ids;
+pub mod instance;
+pub mod partition;
+pub mod report;
+pub mod schema;
+pub mod workload;
+
+pub use bitset::{BitMatrix, BitSet};
+pub use error::ModelError;
+pub use ids::{AttrId, QueryId, SiteId, TableId, TxnId};
+pub use instance::{DerivedStats, Instance};
+pub use partition::Partitioning;
+pub use schema::{Attribute, Schema, SchemaBuilder, Table};
+pub use workload::{Query, QueryKind, Transaction, Workload, WorkloadBuilder};

@@ -1,0 +1,445 @@
+//! Vertical partitionings: the decision variables `x` and `y`.
+//!
+//! A [`Partitioning`] stores the disjoint transaction assignment
+//! `x[t][s] ∈ {0,1}` (as one site per transaction) and the possibly
+//! replicated attribute placement `y[a][s] ∈ {0,1}` (as a bit matrix).
+//! [`Partitioning::validate`] checks the three model constraints:
+//!
+//! 1. every transaction on exactly one site (structural, by construction),
+//! 2. every attribute on at least one site,
+//! 3. single-sitedness of reads: `y[a][s] ≥ x[t][s] · φ[a][t]`.
+
+use crate::bitset::BitMatrix;
+use crate::error::ModelError;
+use crate::ids::{AttrId, SiteId, TxnId};
+use crate::instance::Instance;
+use serde::{Deserialize, Serialize};
+
+/// An assignment of transactions and attributes to sites.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Partitioning {
+    n_sites: usize,
+    /// `x`: the primary executing site of each transaction.
+    x: Vec<SiteId>,
+    /// `y`: attribute × site placement (replication allowed).
+    y: BitMatrix,
+}
+
+impl Partitioning {
+    /// Creates a partitioning from raw parts, checking shapes only
+    /// (constraint validation is [`Partitioning::validate`]).
+    pub fn from_parts(n_sites: usize, x: Vec<SiteId>, y: BitMatrix) -> Result<Self, ModelError> {
+        if n_sites == 0 {
+            return Err(ModelError::NoSites);
+        }
+        if y.cols() != n_sites {
+            return Err(ModelError::DimensionMismatch {
+                what: "y columns (sites)",
+                expected: n_sites,
+                got: y.cols(),
+            });
+        }
+        for &s in &x {
+            if s.index() >= n_sites {
+                return Err(ModelError::SiteOutOfRange { site: s, n_sites });
+            }
+        }
+        Ok(Self { n_sites, x, y })
+    }
+
+    /// The trivial single-site partitioning: everything on site 0 of
+    /// `n_sites` sites. This is the `|S| = 1` baseline of the paper's tables
+    /// when `n_sites == 1`.
+    pub fn single_site(instance: &Instance, n_sites: usize) -> Result<Self, ModelError> {
+        if n_sites == 0 {
+            return Err(ModelError::NoSites);
+        }
+        let x = vec![SiteId(0); instance.n_txns()];
+        let mut y = BitMatrix::new(instance.n_attrs(), n_sites);
+        for a in 0..instance.n_attrs() {
+            y.set(a, 0);
+        }
+        Ok(Self { n_sites, x, y })
+    }
+
+    /// Builds the *minimal feasible* `y` for a given transaction assignment:
+    /// each attribute is placed exactly on the sites whose transactions read
+    /// it (`φ` closure); attributes read by no transaction are placed on
+    /// site 0. The result is the cheapest non-replicated-beyond-necessity
+    /// placement in terms of write cost, and a feasible starting point for
+    /// local search.
+    pub fn minimal_for_x(
+        instance: &Instance,
+        x: Vec<SiteId>,
+        n_sites: usize,
+    ) -> Result<Self, ModelError> {
+        if n_sites == 0 {
+            return Err(ModelError::NoSites);
+        }
+        if x.len() != instance.n_txns() {
+            return Err(ModelError::DimensionMismatch {
+                what: "x length (transactions)",
+                expected: instance.n_txns(),
+                got: x.len(),
+            });
+        }
+        for &s in &x {
+            if s.index() >= n_sites {
+                return Err(ModelError::SiteOutOfRange { site: s, n_sites });
+            }
+        }
+        let mut y = BitMatrix::new(instance.n_attrs(), n_sites);
+        for (ti, &site) in x.iter().enumerate() {
+            for &a in instance.read_set(TxnId::from_index(ti)) {
+                y.set(a.index(), site.index());
+            }
+        }
+        for a in 0..instance.n_attrs() {
+            if y.row_count(a) == 0 {
+                y.set(a, 0);
+            }
+        }
+        Ok(Self { n_sites, x, y })
+    }
+
+    /// Number of sites `|S|`.
+    #[inline]
+    pub fn n_sites(&self) -> usize {
+        self.n_sites
+    }
+
+    /// Number of transactions.
+    pub fn n_txns(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Number of attributes.
+    pub fn n_attrs(&self) -> usize {
+        self.y.rows()
+    }
+
+    /// The primary executing site of transaction `t` (`x[t][s] = 1`).
+    #[inline]
+    pub fn site_of(&self, t: TxnId) -> SiteId {
+        self.x[t.index()]
+    }
+
+    /// The full transaction assignment.
+    pub fn x(&self) -> &[SiteId] {
+        &self.x
+    }
+
+    /// The attribute placement matrix.
+    pub fn y(&self) -> &BitMatrix {
+        &self.y
+    }
+
+    /// `y[a][s]`: is attribute `a` placed on site `s`?
+    #[inline]
+    pub fn has_attr(&self, a: AttrId, s: SiteId) -> bool {
+        self.y.get(a.index(), s.index())
+    }
+
+    /// Sites hosting attribute `a`.
+    pub fn attr_sites(&self, a: AttrId) -> impl Iterator<Item = SiteId> + '_ {
+        self.y.row_iter(a.index()).map(SiteId::from_index)
+    }
+
+    /// Number of replicas of attribute `a`.
+    pub fn replication(&self, a: AttrId) -> usize {
+        self.y.row_count(a.index())
+    }
+
+    /// True if any attribute is placed on more than one site.
+    pub fn is_replicated(&self) -> bool {
+        (0..self.n_attrs()).any(|a| self.y.row_count(a) > 1)
+    }
+
+    /// Total number of `(attribute, site)` placements.
+    pub fn total_placements(&self) -> usize {
+        self.y.count()
+    }
+
+    /// Transactions assigned to site `s`.
+    pub fn txns_on_site(&self, s: SiteId) -> impl Iterator<Item = TxnId> + '_ {
+        self.x
+            .iter()
+            .enumerate()
+            .filter(move |(_, &site)| site == s)
+            .map(|(i, _)| TxnId::from_index(i))
+    }
+
+    /// Attributes placed on site `s`.
+    pub fn attrs_on_site(&self, s: SiteId) -> impl Iterator<Item = AttrId> + '_ {
+        (0..self.n_attrs())
+            .filter(move |&a| self.y.get(a, s.index()))
+            .map(AttrId::from_index)
+    }
+
+    /// Moves transaction `t` to `site` (no feasibility repair; callers that
+    /// need single-sitedness must re-derive or extend `y`, see
+    /// [`Partitioning::repair_single_sitedness`]).
+    pub fn move_txn(&mut self, t: TxnId, site: SiteId) {
+        assert!(site.index() < self.n_sites, "site out of range");
+        self.x[t.index()] = site;
+    }
+
+    /// Adds a replica of `a` on `site`.
+    pub fn add_replica(&mut self, a: AttrId, site: SiteId) {
+        self.y.set(a.index(), site.index());
+    }
+
+    /// Removes the replica of `a` on `site` (may invalidate constraints;
+    /// validate afterwards).
+    pub fn remove_replica(&mut self, a: AttrId, site: SiteId) {
+        self.y.unset(a.index(), site.index());
+    }
+
+    /// Extends `y` with the replicas required by the current `x`
+    /// (single-sitedness closure). Returns the number of replicas added.
+    pub fn repair_single_sitedness(&mut self, instance: &Instance) -> usize {
+        let mut added = 0;
+        for (ti, &site) in self.x.iter().enumerate() {
+            for &a in instance.read_set(TxnId::from_index(ti)) {
+                if !self.y.get(a.index(), site.index()) {
+                    self.y.set(a.index(), site.index());
+                    added += 1;
+                }
+            }
+        }
+        added
+    }
+
+    /// Relabels sites so that transaction `t` only uses site indices
+    /// `≤ t` (sites are interchangeable): new indices are assigned in
+    /// order of first use by `x`, then unused sites keep relative order.
+    /// The canonical form satisfies the QP solver's symmetry-breaking
+    /// constraints and has identical cost.
+    pub fn canonicalized(&self) -> Self {
+        let n = self.n_sites;
+        let mut perm: Vec<Option<usize>> = vec![None; n]; // old -> new
+        let mut next = 0usize;
+        for &s in &self.x {
+            if perm[s.index()].is_none() {
+                perm[s.index()] = Some(next);
+                next += 1;
+            }
+        }
+        for slot in perm.iter_mut() {
+            if slot.is_none() {
+                *slot = Some(next);
+                next += 1;
+            }
+        }
+        let perm: Vec<usize> = perm.into_iter().map(|s| s.expect("filled")).collect();
+        let x = self
+            .x
+            .iter()
+            .map(|s| SiteId::from_index(perm[s.index()]))
+            .collect();
+        let mut y = BitMatrix::new(self.y.rows(), n);
+        for a in 0..self.y.rows() {
+            for s in self.y.row_iter(a) {
+                y.set(a, perm[s]);
+            }
+        }
+        Self { n_sites: n, x, y }
+    }
+
+    /// Checks the model constraints against `instance`.
+    ///
+    /// With `require_disjoint`, additionally rejects any replication
+    /// (the paper's Table 5 "w/o replication" mode).
+    pub fn validate(&self, instance: &Instance, require_disjoint: bool) -> Result<(), ModelError> {
+        if self.x.len() != instance.n_txns() {
+            return Err(ModelError::DimensionMismatch {
+                what: "x length (transactions)",
+                expected: instance.n_txns(),
+                got: self.x.len(),
+            });
+        }
+        if self.y.rows() != instance.n_attrs() {
+            return Err(ModelError::DimensionMismatch {
+                what: "y rows (attributes)",
+                expected: instance.n_attrs(),
+                got: self.y.rows(),
+            });
+        }
+        for a in 0..self.y.rows() {
+            let reps = self.y.row_count(a);
+            if reps == 0 {
+                return Err(ModelError::UnplacedAttr(AttrId::from_index(a)));
+            }
+            if require_disjoint && reps > 1 {
+                return Err(ModelError::ReplicationForbidden {
+                    attr: AttrId::from_index(a),
+                });
+            }
+        }
+        for (ti, &site) in self.x.iter().enumerate() {
+            let t = TxnId::from_index(ti);
+            for &a in instance.read_set(t) {
+                if !self.y.get(a.index(), site.index()) {
+                    return Err(ModelError::SingleSitednessViolated {
+                        txn: t,
+                        attr: a,
+                        site,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::workload::{QuerySpec, Workload};
+
+    fn instance() -> Instance {
+        let mut sb = Schema::builder();
+        sb.table("T", &[("a", 4.0), ("b", 4.0), ("c", 4.0)])
+            .unwrap();
+        let schema = sb.build().unwrap();
+        let mut wb = Workload::builder(&schema);
+        let q0 = wb
+            .add_query(QuerySpec::read("q0").access(&[AttrId(0), AttrId(1)]))
+            .unwrap();
+        let q1 = wb
+            .add_query(QuerySpec::write("q1").access(&[AttrId(2)]))
+            .unwrap();
+        wb.transaction("T0", &[q0]).unwrap();
+        wb.transaction("T1", &[q1]).unwrap();
+        Instance::new("p", schema, wb.build().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn single_site_is_valid() {
+        let ins = instance();
+        let p = Partitioning::single_site(&ins, 1).unwrap();
+        p.validate(&ins, true).unwrap();
+        assert_eq!(p.n_sites(), 1);
+        assert!(!p.is_replicated());
+        assert_eq!(p.total_placements(), 3);
+    }
+
+    #[test]
+    fn minimal_for_x_covers_read_sets() {
+        let ins = instance();
+        let p = Partitioning::minimal_for_x(&ins, vec![SiteId(1), SiteId(0)], 2).unwrap();
+        p.validate(&ins, false).unwrap();
+        // T0 reads a0,a1 on site 1.
+        assert!(p.has_attr(AttrId(0), SiteId(1)));
+        assert!(p.has_attr(AttrId(1), SiteId(1)));
+        // a2 is never read; falls back to site 0.
+        assert!(p.has_attr(AttrId(2), SiteId(0)));
+        assert_eq!(p.replication(AttrId(0)), 1);
+    }
+
+    #[test]
+    fn validate_catches_unplaced_attr() {
+        let ins = instance();
+        let y = BitMatrix::new(3, 2); // nothing placed
+        let p = Partitioning::from_parts(2, vec![SiteId(0), SiteId(0)], y).unwrap();
+        assert_eq!(
+            p.validate(&ins, false).unwrap_err(),
+            ModelError::UnplacedAttr(AttrId(0))
+        );
+    }
+
+    #[test]
+    fn validate_catches_single_sitedness_violation() {
+        let ins = instance();
+        let mut y = BitMatrix::new(3, 2);
+        // All attributes on site 0, but T0 executes on site 1.
+        for a in 0..3 {
+            y.set(a, 0);
+        }
+        let p = Partitioning::from_parts(2, vec![SiteId(1), SiteId(0)], y).unwrap();
+        assert!(matches!(
+            p.validate(&ins, false).unwrap_err(),
+            ModelError::SingleSitednessViolated { txn: TxnId(0), .. }
+        ));
+    }
+
+    #[test]
+    fn validate_disjoint_rejects_replication() {
+        let ins = instance();
+        let mut p = Partitioning::single_site(&ins, 2).unwrap();
+        p.add_replica(AttrId(0), SiteId(1));
+        p.validate(&ins, false).unwrap();
+        assert_eq!(
+            p.validate(&ins, true).unwrap_err(),
+            ModelError::ReplicationForbidden { attr: AttrId(0) }
+        );
+        assert!(p.is_replicated());
+    }
+
+    #[test]
+    fn repair_extends_y_after_move() {
+        let ins = instance();
+        let mut p = Partitioning::single_site(&ins, 2).unwrap();
+        p.move_txn(TxnId(0), SiteId(1));
+        assert!(p.validate(&ins, false).is_err());
+        let added = p.repair_single_sitedness(&ins);
+        assert_eq!(added, 2); // a0, a1 must appear on site 1
+        p.validate(&ins, false).unwrap();
+    }
+
+    #[test]
+    fn from_parts_checks_shapes() {
+        assert!(matches!(
+            Partitioning::from_parts(0, vec![], BitMatrix::new(0, 0)),
+            Err(ModelError::NoSites)
+        ));
+        assert!(matches!(
+            Partitioning::from_parts(2, vec![SiteId(5)], BitMatrix::new(1, 2)),
+            Err(ModelError::SiteOutOfRange { .. })
+        ));
+        assert!(matches!(
+            Partitioning::from_parts(2, vec![SiteId(0)], BitMatrix::new(1, 3)),
+            Err(ModelError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn site_listings() {
+        let ins = instance();
+        let p = Partitioning::minimal_for_x(&ins, vec![SiteId(1), SiteId(0)], 2).unwrap();
+        let txns: Vec<TxnId> = p.txns_on_site(SiteId(1)).collect();
+        assert_eq!(txns, vec![TxnId(0)]);
+        let attrs: Vec<AttrId> = p.attrs_on_site(SiteId(1)).collect();
+        assert_eq!(attrs, vec![AttrId(0), AttrId(1)]);
+    }
+
+    #[test]
+    fn canonicalized_relabels_sites_in_first_use_order() {
+        let ins = instance();
+        // T0 on site 2, T1 on site 0: canonical form maps 2→0, 0→1.
+        let p = Partitioning::minimal_for_x(&ins, vec![SiteId(2), SiteId(0)], 3).unwrap();
+        let c = p.canonicalized();
+        assert_eq!(c.site_of(TxnId(0)), SiteId(0));
+        assert_eq!(c.site_of(TxnId(1)), SiteId(1));
+        c.validate(&ins, false).unwrap();
+        // Placement counts are preserved.
+        assert_eq!(c.total_placements(), p.total_placements());
+        for a in 0..3 {
+            assert_eq!(
+                c.replication(AttrId(a)),
+                p.replication(AttrId(a)),
+                "replication degree preserved for a{a}"
+            );
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let ins = instance();
+        let p = Partitioning::single_site(&ins, 2).unwrap();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Partitioning = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,108 @@
+//! Human-readable rendering of partitionings (the paper's Table 4 format).
+
+use crate::ids::SiteId;
+use crate::instance::Instance;
+use crate::partition::Partitioning;
+use std::fmt::Write as _;
+
+/// Renders a partitioning in the style of the paper's Table 4: one section
+/// per site, listing the transactions executed there followed by the
+/// attributes placed there (qualified `Table.ATTR` names, sorted).
+pub fn render_partitioning(instance: &Instance, p: &Partitioning) -> String {
+    let mut out = String::new();
+    for s in 0..p.n_sites() {
+        let site = SiteId::from_index(s);
+        let _ = writeln!(out, "Site {}", s + 1);
+        for t in p.txns_on_site(site) {
+            let _ = writeln!(out, "  Transaction {}", instance.workload().txn(t).name);
+        }
+        let mut names: Vec<String> = p
+            .attrs_on_site(site)
+            .map(|a| instance.schema().qualified_name(a))
+            .collect();
+        names.sort();
+        for n in &names {
+            let _ = writeln!(out, "  {n}");
+        }
+        if s + 1 < p.n_sites() {
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Renders a one-line-per-site summary: transaction count, attribute count,
+/// and replication statistics. Useful for bench tables.
+pub fn render_summary(instance: &Instance, p: &Partitioning) -> String {
+    let mut out = String::new();
+    let replicated = (0..instance.n_attrs())
+        .filter(|&a| p.replication(crate::AttrId::from_index(a)) > 1)
+        .count();
+    let _ = writeln!(
+        out,
+        "{} sites, {} placements, {} replicated attributes",
+        p.n_sites(),
+        p.total_placements(),
+        replicated
+    );
+    for s in 0..p.n_sites() {
+        let site = SiteId::from_index(s);
+        let txns: Vec<&str> = p
+            .txns_on_site(site)
+            .map(|t| instance.workload().txn(t).name.as_str())
+            .collect();
+        let _ = writeln!(
+            out,
+            "  site {}: {} txns [{}], {} attrs",
+            s + 1,
+            txns.len(),
+            txns.join(", "),
+            p.attrs_on_site(site).count()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::AttrId;
+    use crate::schema::Schema;
+    use crate::workload::{QuerySpec, Workload};
+
+    fn instance() -> Instance {
+        let mut sb = Schema::builder();
+        sb.table("Customer", &[("C_ID", 4.0), ("C_BAL", 8.0)])
+            .unwrap();
+        let schema = sb.build().unwrap();
+        let mut wb = Workload::builder(&schema);
+        let q = wb
+            .add_query(QuerySpec::read("q").access(&[AttrId(0), AttrId(1)]))
+            .unwrap();
+        wb.transaction("Payment", &[q]).unwrap();
+        Instance::new("t", schema, wb.build().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn table4_style_rendering() {
+        let ins = instance();
+        let p = Partitioning::single_site(&ins, 2).unwrap();
+        let text = render_partitioning(&ins, &p);
+        assert!(text.contains("Site 1"));
+        assert!(text.contains("Transaction Payment"));
+        assert!(text.contains("Customer.C_BAL"));
+        assert!(text.contains("Site 2"));
+        // Site 2 is empty: no transactions, no attributes after its header.
+        let site2 = text.split("Site 2").nth(1).unwrap();
+        assert!(!site2.contains("Customer."));
+    }
+
+    #[test]
+    fn summary_counts() {
+        let ins = instance();
+        let p = Partitioning::single_site(&ins, 1).unwrap();
+        let text = render_summary(&ins, &p);
+        assert!(text.contains("1 sites, 2 placements, 0 replicated"));
+        assert!(text.contains("site 1: 1 txns [Payment], 2 attrs"));
+    }
+}

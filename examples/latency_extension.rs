@@ -1,0 +1,62 @@
+//! Appendix A: extending the cost objective with a latency term
+//! `p_l · Σ f_q · ψ_q`, where `ψ_q` flags queries that touch remotely
+//! placed attribute replicas. Higher latency penalties discourage
+//! replication of frequently written attributes.
+//!
+//! ```sh
+//! cargo run --release --example latency_extension
+//! ```
+
+use vpart::core::cost::latency::{latency_term, psi};
+use vpart::core::{evaluate, CostConfig};
+use vpart::prelude::*;
+
+fn main() {
+    let instance = vpart::instances::tpcc();
+
+    println!(
+        "{:>10} {:>12} {:>12} {:>14} {:>10}",
+        "p_l", "cost (4)", "latency", "objective (6)", "replicas"
+    );
+    for pl in [0.0, 10.0, 100.0, 1000.0] {
+        let cost = if pl > 0.0 {
+            CostConfig::default().with_latency(pl)
+        } else {
+            CostConfig::default()
+        };
+        let r = SaSolver::new(SaConfig::fast_deterministic(23))
+            .solve(&instance, 2, &cost)
+            .unwrap();
+        let b = evaluate(&instance, &r.partitioning, &cost);
+        println!(
+            "{:>10.0} {:>12.0} {:>12.1} {:>14.1} {:>10}",
+            pl,
+            b.objective4,
+            b.latency,
+            b.objective6,
+            r.partitioning.total_placements()
+        );
+    }
+
+    // Inspect ψ per write query on one solution.
+    let cost = CostConfig::default().with_latency(100.0);
+    let r = SaSolver::new(SaConfig::fast_deterministic(23))
+        .solve(&instance, 2, &cost)
+        .unwrap();
+    println!("\nψ_q for write queries (pl = 100):");
+    for qi in 0..instance.n_queries() {
+        let q = QueryId(qi as u32);
+        let query = instance.workload().query(q);
+        if query.kind.is_write() {
+            println!(
+                "  ψ = {}  {}",
+                u8::from(psi(&instance, &r.partitioning, q)),
+                query.name
+            );
+        }
+    }
+    println!(
+        "\ntotal latency term: {:.1}",
+        latency_term(&instance, &r.partitioning, &cost)
+    );
+}

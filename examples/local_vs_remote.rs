@@ -1,0 +1,51 @@
+//! Table 6 in miniature: local (`p = 0`) versus remote (`p = 8`) partition
+//! placement. Only updates cause inter-site transfer, so update-heavy
+//! workloads benefit from local placement while read-mostly ones barely
+//! notice.
+//!
+//! ```sh
+//! cargo run --release --example local_vs_remote
+//! ```
+
+use vpart::core::CostConfig;
+use vpart::prelude::*;
+
+fn main() {
+    println!(
+        "{:<16} {:>8} {:>12} {:>12} {:>9}",
+        "instance", "updates", "local p=0", "remote p=8", "penalty"
+    );
+    for name in [
+        "tpcc",
+        "rndAt8x15",
+        "rndAt8x15u50",
+        "rndBt16x15",
+        "rndBt16x15u50",
+    ] {
+        let instance = vpart::instances::by_name(name).unwrap();
+        let writes = instance
+            .workload()
+            .queries()
+            .iter()
+            .filter(|q| q.kind.is_write())
+            .count();
+
+        let mut costs = Vec::new();
+        for p in [0.0, 8.0] {
+            let cost = CostConfig::default().with_p(p);
+            let r = SaSolver::new(SaConfig::fast_deterministic(17))
+                .solve(&instance, 2, &cost)
+                .unwrap();
+            costs.push(r.cost());
+        }
+        println!(
+            "{:<16} {:>7}q {:>12.0} {:>12.0} {:>8.1}%",
+            name,
+            writes,
+            costs[0],
+            costs[1],
+            100.0 * (costs[1] - costs[0]) / costs[0].max(1e-9)
+        );
+    }
+    println!("\n(penalty = how much dearer the workload gets with remote placement)");
+}

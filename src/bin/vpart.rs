@@ -1,0 +1,263 @@
+//! `vpart` — command-line partitioning advisor.
+//!
+//! ```text
+//! vpart list
+//! vpart solve    --instance tpcc --sites 3 [--algo qp|sa|exact] [--p 8]
+//!                [--lambda 0.1] [--disjoint] [--seed 42] [--time-limit 60]
+//!                [--layout] [--json]
+//! vpart simulate --instance tpcc --sites 2 [--rounds 5] [--seed 42]
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use vpart::core::{evaluate, CostConfig};
+use vpart::engine::{Deployment, Trace};
+use vpart::model::{report, Partitioning};
+use vpart::prelude::*;
+use vpart::Algorithm;
+
+fn usage() -> &'static str {
+    "vpart — vertical partitioning advisor for OLTP workloads\n\
+     \n\
+     USAGE:\n\
+       vpart list\n\
+       vpart solve    --instance <name> --sites <k> [--algo qp|sa|exact]\n\
+                      [--p <f>] [--lambda <f>] [--disjoint] [--seed <n>]\n\
+                      [--time-limit <secs>] [--layout] [--json]\n\
+       vpart simulate --instance <name> --sites <k> [--rounds <n>] [--seed <n>]\n\
+     \n\
+     Instances: `tpcc` or any rnd class name (e.g. rndAt8x15, rndBt16x100u50).\n\
+     Defaults: p = 8 (paper), lambda = 0.9 (see DESIGN.md on the paper's λ), algo = sa."
+}
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("unexpected argument {:?}", args[i]))?;
+        match key {
+            "disjoint" | "layout" | "json" => {
+                flags.insert(key.to_owned(), "true".to_owned());
+                i += 1;
+            }
+            _ => {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--{key} needs a value"))?;
+                flags.insert(key.to_owned(), value.clone());
+                i += 2;
+            }
+        }
+    }
+    Ok(flags)
+}
+
+fn get<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value for --{key}: {v:?}")),
+    }
+}
+
+fn load_instance(flags: &HashMap<String, String>) -> Result<Instance, String> {
+    let name = flags
+        .get("instance")
+        .ok_or_else(|| "--instance is required".to_owned())?;
+    vpart::instances::by_name(name)
+        .ok_or_else(|| format!("unknown instance {name:?}; try `vpart list`"))
+}
+
+fn cost_config(flags: &HashMap<String, String>) -> Result<CostConfig, String> {
+    let cfg = CostConfig::default()
+        .with_p(get(flags, "p", 8.0)?)
+        .with_lambda(get(flags, "lambda", 0.9)?);
+    cfg.validate().map_err(|e| e.to_string())?;
+    Ok(cfg)
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("available instances:");
+    for name in vpart::instances::names() {
+        let ins = vpart::instances::by_name(name).expect("catalog name resolves");
+        println!(
+            "  {name:<16} |A| = {:<5} |T| = {:<4} tables = {}",
+            ins.n_attrs(),
+            ins.n_txns(),
+            ins.n_tables()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_solve(flags: HashMap<String, String>) -> Result<(), String> {
+    let ins = load_instance(&flags)?;
+    let sites: usize = get(&flags, "sites", 2)?;
+    let cost = cost_config(&flags)?;
+    let seed: u64 = get(&flags, "seed", 0xC0FFEE)?;
+    let time_limit: f64 = get(&flags, "time-limit", 300.0)?;
+    let algo_name = flags.get("algo").map(String::as_str).unwrap_or("sa");
+    let disjoint = flags.contains_key("disjoint");
+
+    let algorithm = match algo_name {
+        "qp" => {
+            let mut qc = QpConfig::with_time_limit(time_limit);
+            if disjoint {
+                qc = qc.disjoint();
+            }
+            Algorithm::Qp(qc)
+        }
+        "sa" => {
+            if disjoint {
+                return Err("--disjoint requires --algo qp".into());
+            }
+            Algorithm::Sa(SaConfig {
+                seed,
+                time_limit: std::time::Duration::from_secs_f64(time_limit),
+                ..Default::default()
+            })
+        }
+        "exact" => Algorithm::Exact(ExactConfig::default()),
+        other => return Err(format!("unknown algorithm {other:?} (qp|sa|exact)")),
+    };
+
+    let single = Partitioning::single_site(&ins, 1).map_err(|e| e.to_string())?;
+    let baseline = evaluate(&ins, &single, &cost).objective4;
+    let r = vpart::solve(&ins, sites, &algorithm, &cost).map_err(|e| e.to_string())?;
+
+    if flags.contains_key("json") {
+        println!(
+            "{}",
+            serde_json::json!({
+                "instance": ins.name(),
+                "sites": sites,
+                "algorithm": algo_name,
+                "cost": r.breakdown.objective4,
+                "baseline_single_site": baseline,
+                "reduction": 1.0 - r.breakdown.objective4 / baseline,
+                "read": r.breakdown.read,
+                "write": r.breakdown.write,
+                "transfer": r.breakdown.transfer,
+                "max_site_work": r.breakdown.max_work,
+                "optimal": r.is_optimal(),
+                "elapsed_secs": r.elapsed.as_secs_f64(),
+                "partitioning": r.partitioning,
+            })
+        );
+        return Ok(());
+    }
+
+    println!("instance        {}", ins.name());
+    println!("sites           {sites}");
+    println!("algorithm       {algo_name} ({})", r.detail);
+    println!("cost (obj 4)    {:.1}", r.breakdown.objective4);
+    println!("  read          {:.1}", r.breakdown.read);
+    println!("  write         {:.1}", r.breakdown.write);
+    println!(
+        "  transfer      {:.1} (p = {})",
+        r.breakdown.transfer, cost.p
+    );
+    println!("max site work   {:.1}", r.breakdown.max_work);
+    println!("single site     {baseline:.1}");
+    println!(
+        "reduction       {:.1}%{}",
+        (1.0 - r.breakdown.objective4 / baseline) * 100.0,
+        if r.is_optimal() {
+            " (proven optimal)"
+        } else {
+            ""
+        }
+    );
+    println!("elapsed         {:.2?}", r.elapsed);
+    if flags.contains_key("layout") {
+        println!("\n{}", report::render_partitioning(&ins, &r.partitioning));
+    } else {
+        println!("\n{}", report::render_summary(&ins, &r.partitioning));
+    }
+    Ok(())
+}
+
+fn cmd_simulate(flags: HashMap<String, String>) -> Result<(), String> {
+    let ins = load_instance(&flags)?;
+    let sites: usize = get(&flags, "sites", 2)?;
+    let rounds: usize = get(&flags, "rounds", 5)?;
+    let seed: u64 = get(&flags, "seed", 0xC0FFEE)?;
+    let cost = cost_config(&flags)?;
+
+    let r = SaSolver::new(SaConfig {
+        seed,
+        ..Default::default()
+    })
+    .solve(&ins, sites, &cost)
+    .map_err(|e| e.to_string())?;
+    let predicted = &r.breakdown;
+    let mut dep = Deployment::new(&ins, &r.partitioning, 64).map_err(|e| e.to_string())?;
+    let measured = dep
+        .execute(&Trace::uniform(&ins, rounds))
+        .map_err(|e| e.to_string())?;
+    let k = rounds as f64;
+    let t = measured.totals();
+
+    println!("instance {} on {sites} sites, {rounds} rounds", ins.name());
+    println!("                 predicted(×{rounds})   measured");
+    println!(
+        "bytes read       {:>14.1} {:>14.1}",
+        k * predicted.read,
+        t.bytes_read
+    );
+    println!(
+        "bytes written    {:>14.1} {:>14.1}",
+        k * predicted.write,
+        t.bytes_written
+    );
+    println!(
+        "bytes shipped    {:>14.1} {:>14.1}",
+        k * predicted.transfer,
+        measured.transfer_bytes
+    );
+    println!(
+        "objective (4)    {:>14.1} {:>14.1}",
+        k * predicted.objective4,
+        measured.measured_objective4(cost.p)
+    );
+    println!(
+        "single-sited executions: {}/{} ({:.0}%)",
+        measured.single_sited_executions,
+        measured.executions,
+        measured.single_sited_ratio() * 100.0
+    );
+    println!("stored bytes across sites: {}", dep.stored_bytes());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "list" => cmd_list(),
+        "solve" => parse_flags(&args[1..]).and_then(cmd_solve),
+        "simulate" => parse_flags(&args[1..]).and_then(cmd_simulate),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! # vpart — vertical partitioning of relational OLTP databases
+//!
+//! A production-quality reproduction of Amossen, *"Vertical partitioning of
+//! relational OLTP databases using integer programming"* (ICDE Workshops
+//! 2010): given a schema, a workload of transactions and a number of sites,
+//! find a distribution of attributes (with replication) and transactions to
+//! sites that preserves single-sitedness of reads and minimizes bytes
+//! read/written/transferred.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`model`] — schemas, workloads, instances, partitionings,
+//! * [`core`] — the cost model and the QP / SA / exhaustive solvers,
+//! * [`instances`] — TPC-C v5 and the paper's random instance classes,
+//! * [`engine`] — an H-store-like row-store simulator validating the model,
+//! * [`ilp`] — the from-scratch MILP solver substrate.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use vpart::prelude::*;
+//!
+//! let instance = vpart::instances::tpcc();
+//! let cost = CostConfig::default();            // p = 8, λ = 0.9
+//! let report = SaSolver::new(SaConfig::fast_deterministic(42))
+//!     .solve(&instance, 2, &cost)
+//!     .unwrap();
+//! let baseline = Partitioning::single_site(&instance, 1).unwrap();
+//! assert!(report.cost() < vpart::core::evaluate(&instance, &baseline, &cost).objective4);
+//! ```
+
+pub use vpart_core as core;
+pub use vpart_engine as engine;
+pub use vpart_ilp as ilp;
+pub use vpart_instances as instances;
+pub use vpart_model as model;
+
+use crate::core::{CoreError, CostConfig, SolveReport};
+use crate::model::Instance;
+
+/// Commonly used types, one `use` away.
+pub mod prelude {
+    pub use crate::core::exact::{ExactConfig, ExactSolver};
+    pub use crate::core::qp::{QpConfig, QpSolver};
+    pub use crate::core::sa::{SaConfig, SaSolver};
+    pub use crate::core::{evaluate, CostBreakdown, CostConfig, SolveReport, WriteAccounting};
+    pub use crate::engine::{Deployment, Trace};
+    pub use crate::model::{
+        AttrId, Instance, Partitioning, QueryId, Schema, SiteId, TableId, TxnId, Workload,
+    };
+    pub use crate::Algorithm;
+}
+
+/// Algorithm selector for the high-level [`solve`] helper (and the CLI).
+#[derive(Debug, Clone)]
+pub enum Algorithm {
+    /// The exact linearized-MIP solver (§2).
+    Qp(core::qp::QpConfig),
+    /// The simulated-annealing heuristic (§3).
+    Sa(core::sa::SaConfig),
+    /// Exhaustive enumeration (tiny instances; ground truth for tests).
+    Exact(core::exact::ExactConfig),
+}
+
+impl Algorithm {
+    /// Default QP configuration.
+    pub fn qp() -> Self {
+        Self::Qp(core::qp::QpConfig::default())
+    }
+
+    /// Default (seeded) SA configuration.
+    pub fn sa(seed: u64) -> Self {
+        Self::Sa(core::sa::SaConfig {
+            seed,
+            ..Default::default()
+        })
+    }
+}
+
+/// One-call solve: partitions `instance` over `n_sites` with the chosen
+/// algorithm under `cost`.
+pub fn solve(
+    instance: &Instance,
+    n_sites: usize,
+    algorithm: &Algorithm,
+    cost: &CostConfig,
+) -> Result<SolveReport, CoreError> {
+    match algorithm {
+        Algorithm::Qp(cfg) => core::qp::QpSolver::new(cfg.clone()).solve(instance, n_sites, cost),
+        Algorithm::Sa(cfg) => core::sa::SaSolver::new(cfg.clone()).solve(instance, n_sites, cost),
+        Algorithm::Exact(cfg) => {
+            core::exact::ExactSolver::new(cfg.clone()).solve(instance, n_sites, cost)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn high_level_solve_dispatches() {
+        let ins = instances::by_name("rndBt4x15").unwrap();
+        let cost = CostConfig::default();
+        let sa = solve(&ins, 2, &Algorithm::sa(1), &cost).unwrap();
+        sa.partitioning.validate(&ins, false).unwrap();
+        let qp = solve(
+            &ins,
+            2,
+            &Algorithm::Qp(core::qp::QpConfig::with_time_limit(60.0)),
+            &cost,
+        )
+        .unwrap();
+        qp.partitioning.validate(&ins, false).unwrap();
+        assert!(qp.breakdown.objective6 <= sa.breakdown.objective6 + 1e-9);
+    }
+}
