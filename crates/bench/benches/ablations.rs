@@ -15,7 +15,8 @@ fn qp_variants(c: &mut Criterion) {
     let cfg = CostConfig::default();
     let mut g = c.benchmark_group("qp-ablation/tpcc-2-sites");
     g.sample_size(10);
-    let variants: [(&str, fn(&mut QpConfig)); 4] = [
+    type Tweak = fn(&mut QpConfig);
+    let variants: [(&str, Tweak); 4] = [
         ("baseline", |_| {}),
         ("no-cuts", |c| c.reasonable_cuts = false),
         ("no-prune", |c| c.options.prune_linearization = false),

@@ -59,6 +59,8 @@ fn bench_solvers(c: &mut Criterion) {
     g.finish();
 }
 
+// Row/column constraints index `vars[i][j]` and `vars[j][i]` symmetrically.
+#[allow(clippy::needless_range_loop)]
 fn bench_ilp_substrate(c: &mut Criterion) {
     // A 12×12 assignment problem: pure LP + branch & bound exercise.
     let n = 12usize;

@@ -38,7 +38,8 @@ fn main() {
             &widths
         )
     );
-    let variants: Vec<(&str, Box<dyn Fn(&mut QpConfig)>)> = vec![
+    type Tweak = Box<dyn Fn(&mut QpConfig)>;
+    let variants: Vec<(&str, Tweak)> = vec![
         ("baseline (cuts+prune+symmetry)", Box::new(|_| {})),
         (
             "no reasonable-cuts reduction",

@@ -12,10 +12,12 @@ use vpart_bench::{row, run_sa, single_site_cost, Mode};
 use vpart_core::CostConfig;
 use vpart_instances::RandomParams;
 
+type ParamTweak = Box<dyn Fn(&mut RandomParams)>;
+
 struct Variation {
     label: &'static str,
     name: &'static str,
-    values: Vec<(String, Box<dyn Fn(&mut RandomParams)>)>,
+    values: Vec<(String, ParamTweak)>,
     default_idx: usize,
 }
 

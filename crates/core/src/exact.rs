@@ -89,7 +89,7 @@ impl ExactSolver {
             let x: Vec<SiteId> = assignment.iter().map(|&s| SiteId::from_index(s)).collect();
             let part = optimal_y_for_x(instance, &coeffs, &x, n_sites, cost);
             let obj = fast_objective6(instance, &coeffs, &part, cost);
-            if best.as_ref().map_or(true, |(b, _)| obj < *b) {
+            if best.as_ref().is_none_or(|(b, _)| obj < *b) {
                 best = Some((obj, part));
             }
             // Next canonical (restricted-growth) assignment: transaction t
@@ -162,8 +162,10 @@ mod tests {
         let ins = instance();
         let cost = CostConfig::default().with_lambda(1.0);
         let exact = ExactSolver::default().solve(&ins, 2, &cost).unwrap();
-        let mut qc = crate::qp::QpConfig::default();
-        qc.mip_gap = 0.0;
+        let qc = crate::qp::QpConfig {
+            mip_gap: 0.0,
+            ..Default::default()
+        };
         let qp = QpSolver::new(qc).solve(&ins, 2, &cost).unwrap();
         assert!(
             (exact.breakdown.objective4 - qp.breakdown.objective4).abs() < 1e-6,

@@ -1,6 +1,9 @@
 //! Diagnostic: the root LP relaxation of the TPC-C model must lower-bound
 //! any feasible integer point (e.g. the |S|=3 optimum embedded in 4 sites).
 
+// Index loops mirror the (variable, column) subscripts of the LP forms.
+#![allow(clippy::needless_range_loop)]
+
 use vpart_core::qp::builder::{build_qp_model, QpOptions};
 use vpart_core::reduce::Reduction;
 use vpart_core::{CostCoefficients, CostConfig};

@@ -145,7 +145,7 @@ pub fn solve(model: &Model, params: &SolveParams) -> Result<Solution, IlpError> 
             return;
         }
         let obj = work.objective_value(cand);
-        if inc.as_ref().map_or(true, |(best, _)| obj < *best - 1e-12) {
+        if inc.as_ref().is_none_or(|(best, _)| obj < *best - 1e-12) {
             *inc = Some((obj, cand.to_vec()));
         }
     };
@@ -248,7 +248,7 @@ pub fn solve(model: &Model, params: &SolveParams) -> Result<Solution, IlpError> 
                 let before = incumbent.as_ref().map(|(o, _)| *o);
                 accept_candidate(&cand, &work, &mut incumbent);
                 let accepted = incumbent.as_ref().map(|(o, _)| *o) != before;
-                let beats = before.map_or(true, |b| node_obj < b - 1e-12);
+                let beats = before.is_none_or(|b| node_obj < b - 1e-12);
                 if !accepted && beats {
                     // An integral LP solution that should have improved the
                     // incumbent failed the feasibility re-check (numerical
@@ -434,8 +434,10 @@ mod tests {
         let a = m.binary("a", 1.0);
         let b = m.binary("b", 1.0);
         m.add_constraint("c", [(a, 1.0), (b, 1.0)], Cmp::Le, 1.0);
-        let mut p = SolveParams::default();
-        p.initial_solution = Some(vec![1.0, 0.0]);
+        let p = SolveParams {
+            initial_solution: Some(vec![1.0, 0.0]),
+            ..Default::default()
+        };
         let s = m.solve(&p).unwrap();
         assert_eq!(s.status, SolveStatus::Optimal);
         assert!((s.objective - 1.0).abs() < 1e-9);
@@ -446,8 +448,10 @@ mod tests {
         let mut m = Model::maximize();
         let a = m.binary("a", 1.0);
         m.add_constraint("c", [(a, 1.0)], Cmp::Le, 0.0);
-        let mut p = SolveParams::default();
-        p.initial_solution = Some(vec![1.0]); // violates the constraint
+        let mut p = SolveParams {
+            initial_solution: Some(vec![1.0]), // violates the constraint
+            ..Default::default()
+        };
         assert!(matches!(m.solve(&p), Err(IlpError::BadInitialSolution(_))));
         p.initial_solution = Some(vec![1.0, 2.0]); // wrong arity
         assert!(matches!(m.solve(&p), Err(IlpError::BadInitialSolution(_))));
@@ -464,8 +468,10 @@ mod tests {
             .collect();
         let terms: Vec<_> = vars.iter().map(|&v| (v, 2.0)).collect();
         m.add_constraint("w", terms, Cmp::Le, 11.0);
-        let mut p = SolveParams::default();
-        p.node_limit = 1;
+        let p = SolveParams {
+            node_limit: 1,
+            ..Default::default()
+        };
         let s = m.solve(&p).unwrap();
         assert!(matches!(
             s.status,

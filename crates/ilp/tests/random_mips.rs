@@ -90,8 +90,10 @@ proptest! {
     #[test]
     fn branch_and_bound_matches_brute_force(p in bin_program()) {
         let m = build(&p);
-        let mut params = SolveParams::default();
-        params.mip_gap = 0.0;
+        let params = SolveParams {
+            mip_gap: 0.0,
+            ..Default::default()
+        };
         let sol = m.solve(&params).unwrap();
         let brute = brute_force(&m);
         match brute {
@@ -127,6 +129,7 @@ proptest! {
 }
 
 #[test]
+#[allow(clippy::needless_range_loop)] // symmetric vars[i][j] / vars[j][i]
 fn scaled_assignment_with_gap_control() {
     // A 4x4 assignment with large cost spread exercises scaling paths.
     let cost = [
@@ -148,8 +151,10 @@ fn scaled_assignment_with_gap_control() {
         let c: Vec<_> = (0..4).map(|j| (v[j][i], 1.0)).collect();
         m.add_constraint(format!("col{i}"), c, Cmp::Eq, 1.0);
     }
-    let mut params = SolveParams::default();
-    params.mip_gap = 0.0;
+    let params = SolveParams {
+        mip_gap: 0.0,
+        ..Default::default()
+    };
     let s = m.solve(&params).unwrap();
     assert_eq!(s.status, SolveStatus::Optimal);
     // Optimal avoids the diagonal: swap pairs (0,1) and (2,3) → 2+2+2+2 = 8.

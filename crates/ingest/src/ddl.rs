@@ -1,0 +1,374 @@
+//! `CREATE TABLE` parsing and SQL-type → attribute-width mapping.
+//!
+//! Widths follow the "natural binary width" convention the TPC-C model in
+//! `vpart_instances` uses: fixed-point numerics take the width of the
+//! smallest machine integer that holds their precision, character types
+//! take their declared maximum, and unbounded types (`TEXT`, `BLOB`, ...)
+//! fall back to [`crate::IngestOptions::text_width`] with a diagnostic —
+//! the cost model needs *some* `w_a`, but the guess must stay visible.
+
+use crate::error::IngestError;
+use crate::lexer::{RawStatement, Tok};
+use crate::report::{SkipReason, Skipped, WidthFallback};
+use crate::IngestOptions;
+use vpart_model::Schema;
+
+/// Column-list keywords that start a table constraint, not a column.
+const CONSTRAINT_HEADS: &[&str] = &[
+    "PRIMARY",
+    "FOREIGN",
+    "UNIQUE",
+    "CHECK",
+    "CONSTRAINT",
+    "KEY",
+    "INDEX",
+    "EXCLUDE",
+];
+
+/// Result of parsing a schema file.
+#[derive(Debug)]
+pub struct ParsedSchema {
+    /// The assembled schema.
+    pub schema: Schema,
+    /// Types that needed the fallback width.
+    pub width_fallbacks: Vec<WidthFallback>,
+    /// Non-`CREATE TABLE` statements that were skipped.
+    pub skipped: Vec<Skipped>,
+}
+
+/// Parses DDL text into a [`Schema`].
+pub fn parse_schema(sql: &str, opts: &IngestOptions) -> Result<ParsedSchema, IngestError> {
+    let statements = crate::lexer::split_statements(sql)?;
+    let mut builder = Schema::builder();
+    let mut width_fallbacks = Vec::new();
+    let mut skipped = Vec::new();
+    let mut names: Vec<String> = Vec::new();
+    let mut any_table = false;
+
+    for stmt in &statements {
+        let is_create_table = stmt.head().as_deref() == Some("CREATE")
+            && stmt.tokens.get(1).is_some_and(|t| t.tok.is_kw("TABLE"));
+        if !is_create_table {
+            skipped.push(Skipped {
+                line: stmt.line,
+                reason: SkipReason::NotADmlStatement,
+                snippet: stmt.snippet.clone(),
+            });
+            continue;
+        }
+        let table = parse_create_table(stmt, opts, &mut width_fallbacks)?;
+        if names.iter().any(|n| n.eq_ignore_ascii_case(&table.name)) {
+            return Err(IngestError::DuplicateTable {
+                name: table.name,
+                line: stmt.line,
+            });
+        }
+        names.push(table.name.clone());
+        let cols: Vec<(&str, f64)> = table
+            .columns
+            .iter()
+            .map(|(n, w)| (n.as_str(), *w))
+            .collect();
+        builder.table(&table.name, &cols)?;
+        any_table = true;
+    }
+    if !any_table {
+        return Err(IngestError::EmptySchema);
+    }
+    Ok(ParsedSchema {
+        schema: builder.build()?,
+        width_fallbacks,
+        skipped,
+    })
+}
+
+struct TableDef {
+    name: String,
+    columns: Vec<(String, f64)>,
+}
+
+fn parse_create_table(
+    stmt: &RawStatement,
+    opts: &IngestOptions,
+    fallbacks: &mut Vec<WidthFallback>,
+) -> Result<TableDef, IngestError> {
+    let toks = &stmt.tokens;
+    let mut i = 2; // past CREATE TABLE
+                   // Optional IF NOT EXISTS.
+    if toks.get(i).is_some_and(|t| t.tok.is_kw("IF")) {
+        i += 3;
+    }
+    let Some(Tok::Ident(name)) = toks.get(i).map(|t| &t.tok) else {
+        return Err(syntax(stmt, i, "a table name"));
+    };
+    let name = name.clone();
+    i += 1;
+    if !matches!(toks.get(i).map(|t| &t.tok), Some(Tok::Punct('('))) {
+        return Err(syntax(stmt, i, "`(` opening the column list"));
+    }
+    i += 1;
+
+    let mut columns: Vec<(String, f64)> = Vec::new();
+    loop {
+        let Some(tok) = toks.get(i) else {
+            return Err(syntax(stmt, i, "a column definition or `)`"));
+        };
+        if matches!(tok.tok, Tok::Punct(')')) {
+            break;
+        }
+        let head = tok.tok.keyword().unwrap_or_default();
+        if CONSTRAINT_HEADS.contains(&head.as_str()) {
+            i = skip_to_item_end(toks, i);
+            continue;
+        }
+        let Tok::Ident(col) = &tok.tok else {
+            return Err(syntax(stmt, i, "a column name"));
+        };
+        let col = col.clone();
+        i += 1;
+        // Type: one or two identifier words plus optional (args).
+        let Some(Tok::Ident(ty0)) = toks.get(i).map(|t| &t.tok) else {
+            return Err(syntax(stmt, i, &format!("a type for column {col:?}")));
+        };
+        let mut type_name = ty0.to_ascii_uppercase();
+        i += 1;
+        if let Some(Tok::Ident(ty1)) = toks.get(i).map(|t| &t.tok) {
+            // Two-word types: DOUBLE PRECISION, CHARACTER VARYING.
+            let up = ty1.to_ascii_uppercase();
+            if matches!(
+                (type_name.as_str(), up.as_str()),
+                ("DOUBLE", "PRECISION") | ("CHARACTER", "VARYING")
+            ) {
+                type_name = format!("{type_name} {up}");
+                i += 1;
+            }
+        }
+        let mut args: Vec<u64> = Vec::new();
+        if matches!(toks.get(i).map(|t| &t.tok), Some(Tok::Punct('('))) {
+            let close = skip_group(toks, i);
+            for t in &toks[i + 1..close] {
+                if let Tok::Number(n) = &t.tok {
+                    if let Ok(v) = n.parse::<u64>() {
+                        args.push(v);
+                    }
+                }
+            }
+            i = close + 1;
+        }
+        let (width, is_fallback) = width_for_type(&type_name, &args, opts);
+        if is_fallback {
+            fallbacks.push(WidthFallback {
+                table: name.clone(),
+                column: col.clone(),
+                sql_type: type_name.clone(),
+                width,
+            });
+        }
+        columns.push((col, width));
+        // Column constraints (NOT NULL, DEFAULT ..., REFERENCES t(c), ...).
+        i = skip_to_item_end(toks, i);
+    }
+    Ok(TableDef { name, columns })
+}
+
+/// Advances past the current column-list item: to just after the next
+/// top-level `,`, or to the closing `)` of the list.
+fn skip_to_item_end(toks: &[crate::lexer::Token], mut i: usize) -> usize {
+    let mut depth = 0usize;
+    while let Some(t) = toks.get(i) {
+        match t.tok {
+            Tok::Punct('(') => depth += 1,
+            Tok::Punct(')') if depth == 0 => return i,
+            Tok::Punct(')') => depth -= 1,
+            Tok::Punct(',') if depth == 0 => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Given `toks[i] == '('`, returns the index of the matching `)`.
+fn skip_group(toks: &[crate::lexer::Token], i: usize) -> usize {
+    let mut depth = 0usize;
+    for (j, t) in toks.iter().enumerate().skip(i) {
+        match t.tok {
+            Tok::Punct('(') => depth += 1,
+            Tok::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+    }
+    toks.len()
+}
+
+fn syntax(stmt: &RawStatement, i: usize, expected: &str) -> IngestError {
+    let (line, found) = match stmt.tokens.get(i) {
+        Some(t) => (t.line, format!("{:?}", t.tok)),
+        None => (stmt.line, "end of statement".to_string()),
+    };
+    IngestError::Syntax {
+        line,
+        expected: expected.to_string(),
+        found,
+    }
+}
+
+/// Maps an uppercased SQL type (plus type arguments) to an average width
+/// in bytes. The second component is `true` when the fallback width was
+/// used (unknown or unbounded type).
+pub fn width_for_type(type_name: &str, args: &[u64], opts: &IngestOptions) -> (f64, bool) {
+    let first_arg = args.first().copied();
+    match type_name {
+        "BOOL" | "BOOLEAN" | "TINYINT" => (1.0, false),
+        "SMALLINT" | "SMALLSERIAL" | "INT2" => (2.0, false),
+        "INT" | "INTEGER" | "MEDIUMINT" | "SERIAL" | "INT4" => (4.0, false),
+        "BIGINT" | "BIGSERIAL" | "INT8" => (8.0, false),
+        "REAL" | "FLOAT4" => (4.0, false),
+        "FLOAT" | "DOUBLE" | "DOUBLE PRECISION" | "FLOAT8" => (8.0, false),
+        // Fixed-point: natural binary width of the precision — ≤ 9 digits
+        // fit a 32-bit integer, ≤ 18 a 64-bit one, beyond that packed
+        // decimal at two digits per byte.
+        "DECIMAL" | "NUMERIC" | "DEC" | "MONEY" => match first_arg {
+            None => (8.0, false),
+            Some(p) if p <= 9 => (4.0, false),
+            Some(p) if p <= 18 => (8.0, false),
+            Some(p) => ((p as f64 / 2.0).ceil() + 1.0, false),
+        },
+        "CHAR" | "CHARACTER" | "NCHAR" => (first_arg.unwrap_or(1).max(1) as f64, false),
+        "VARCHAR" | "CHARACTER VARYING" | "NVARCHAR" | "VARCHAR2" => match first_arg {
+            Some(n) => (n.max(1) as f64, false),
+            None => (opts.text_width, true),
+        },
+        "DATE" => (4.0, false),
+        "TIME" => (4.0, false),
+        "TIMESTAMP" | "TIMESTAMPTZ" | "DATETIME" => (8.0, false),
+        "UUID" => (16.0, false),
+        "BIT" | "VARBIT" => (first_arg.unwrap_or(1).div_ceil(8) as f64, false),
+        _ => (opts.text_width, true),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpart_model::TableId;
+
+    fn opts() -> IngestOptions {
+        IngestOptions::default()
+    }
+
+    #[test]
+    fn parses_columns_and_widths() {
+        let p = parse_schema(
+            "CREATE TABLE users (\n\
+               id BIGINT PRIMARY KEY,\n\
+               email VARCHAR(64) NOT NULL UNIQUE,\n\
+               age SMALLINT,\n\
+               balance DECIMAL(12, 2) DEFAULT 0,\n\
+               bio TEXT\n\
+             );",
+            &opts(),
+        )
+        .unwrap();
+        let s = &p.schema;
+        assert_eq!(s.n_tables(), 1);
+        assert_eq!(s.n_attrs(), 5);
+        let widths: Vec<f64> = s.attrs().iter().map(|a| a.width).collect();
+        assert_eq!(widths, vec![8.0, 64.0, 2.0, 8.0, opts().text_width]);
+        assert_eq!(p.width_fallbacks.len(), 1);
+        assert_eq!(p.width_fallbacks[0].column, "bio");
+        assert_eq!(p.width_fallbacks[0].sql_type, "TEXT");
+    }
+
+    #[test]
+    fn table_constraints_are_skipped() {
+        let p = parse_schema(
+            "CREATE TABLE t (\n\
+               a INT,\n\
+               b INT,\n\
+               PRIMARY KEY (a, b),\n\
+               FOREIGN KEY (b) REFERENCES u(x),\n\
+               CONSTRAINT chk CHECK (a > 0)\n\
+             );",
+            &opts(),
+        )
+        .unwrap();
+        assert_eq!(p.schema.n_attrs(), 2);
+    }
+
+    #[test]
+    fn multiple_tables_and_skipped_statements() {
+        let p = parse_schema(
+            "CREATE TABLE a (x INT);\n\
+             CREATE INDEX idx ON a(x);\n\
+             CREATE TABLE b (y CHAR(9));",
+            &opts(),
+        )
+        .unwrap();
+        assert_eq!(p.schema.n_tables(), 2);
+        assert_eq!(p.skipped.len(), 1);
+        assert_eq!(p.skipped[0].reason, SkipReason::NotADmlStatement);
+        assert_eq!(p.schema.table_attrs(TableId(1)).len(), 1);
+        assert_eq!(p.schema.width(vpart_model::AttrId(1)), 9.0);
+    }
+
+    #[test]
+    fn numeric_precision_buckets() {
+        let o = opts();
+        assert_eq!(width_for_type("NUMERIC", &[4, 4], &o), (4.0, false));
+        assert_eq!(width_for_type("NUMERIC", &[12, 2], &o), (8.0, false));
+        assert_eq!(width_for_type("NUMERIC", &[38], &o), (20.0, false));
+        assert_eq!(width_for_type("NUMERIC", &[], &o), (8.0, false));
+        assert_eq!(width_for_type("GEOGRAPHY", &[], &o), (o.text_width, true));
+    }
+
+    #[test]
+    fn two_word_types() {
+        let p = parse_schema(
+            "CREATE TABLE t (a DOUBLE PRECISION, b CHARACTER VARYING(20));",
+            &opts(),
+        )
+        .unwrap();
+        let widths: Vec<f64> = p.schema.attrs().iter().map(|a| a.width).collect();
+        assert_eq!(widths, vec![8.0, 20.0]);
+    }
+
+    #[test]
+    fn typed_errors_for_malformed_ddl() {
+        assert!(matches!(
+            parse_schema("CREATE TABLE t (a INT", &opts()),
+            Err(IngestError::UnterminatedStatement { .. })
+        ));
+        assert!(matches!(
+            parse_schema("CREATE TABLE t (a INT;", &opts()),
+            Err(IngestError::Syntax { .. })
+        ));
+        assert!(matches!(
+            parse_schema("CREATE TABLE t (a INT); CREATE TABLE T (b INT);", &opts()),
+            Err(IngestError::DuplicateTable { line: 1, .. })
+        ));
+        assert_eq!(
+            parse_schema("CREATE INDEX i ON t(x);", &opts()).unwrap_err(),
+            IngestError::EmptySchema
+        );
+        assert_eq!(
+            parse_schema("", &opts()).unwrap_err(),
+            IngestError::EmptySchema
+        );
+    }
+
+    #[test]
+    fn if_not_exists_and_quoted_names() {
+        let p = parse_schema(
+            "CREATE TABLE IF NOT EXISTS \"Order\" (\"id\" INT);",
+            &opts(),
+        )
+        .unwrap();
+        assert_eq!(p.schema.tables()[0].name, "Order");
+    }
+}

@@ -1,0 +1,182 @@
+//! Typed ingestion errors.
+//!
+//! Ingestion distinguishes *malformed input* (these errors — lexical
+//! problems, schema/log mismatches, broken transaction brackets) from
+//! *unsupported-but-well-formed* SQL, which is skipped and surfaced through
+//! [`crate::report::IngestReport`] diagnostics instead. The dividing line:
+//! anything that suggests the schema and log do not belong together, or
+//! that the input is truncated/corrupt, must fail loudly; anything this
+//! parser simply does not model (joins, subqueries, DDL in the log) is
+//! lossy-but-visible.
+
+use std::fmt;
+use vpart_model::ModelError;
+
+/// Errors raised while ingesting SQL schema and query-log text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IngestError {
+    /// A string literal was not closed before end of input.
+    UnterminatedString {
+        /// Line the literal started on.
+        line: u32,
+    },
+    /// A `/* ... */` comment was not closed before end of input.
+    UnterminatedComment {
+        /// Line the comment started on.
+        line: u32,
+    },
+    /// Input ended inside a statement (missing the terminating `;`).
+    UnterminatedStatement {
+        /// Line the statement started on.
+        line: u32,
+    },
+    /// A statement violated the supported grammar.
+    Syntax {
+        /// Line of the offending token.
+        line: u32,
+        /// What the parser was looking for.
+        expected: String,
+        /// What it found instead.
+        found: String,
+    },
+    /// A statement referenced a table the schema does not define.
+    UnknownTable {
+        /// The referenced table name.
+        name: String,
+        /// Line of the reference.
+        line: u32,
+    },
+    /// A statement referenced a column its target table does not have.
+    UnknownColumn {
+        /// The statement's target table.
+        table: String,
+        /// The referenced column name.
+        column: String,
+        /// Line of the reference.
+        line: u32,
+    },
+    /// The schema file defines the same table twice.
+    DuplicateTable {
+        /// The duplicated name.
+        name: String,
+        /// Line of the second definition.
+        line: u32,
+    },
+    /// The schema file contains no ingestible `CREATE TABLE` statement.
+    EmptySchema,
+    /// The query log contains no statements at all.
+    EmptyLog,
+    /// The query log contains statements, but every one was skipped as
+    /// unsupported — there is no workload to build.
+    NothingIngested {
+        /// How many statements were seen (and skipped).
+        statements: usize,
+    },
+    /// A `BEGIN` block was never closed by `COMMIT`.
+    UnterminatedTransaction {
+        /// Line of the unmatched `BEGIN`.
+        line: u32,
+    },
+    /// `BEGIN` inside an open transaction block.
+    NestedTransaction {
+        /// Line of the inner `BEGIN`.
+        line: u32,
+    },
+    /// `COMMIT` (or `ROLLBACK`) without a matching `BEGIN`.
+    CommitOutsideTransaction {
+        /// Line of the stray bracket.
+        line: u32,
+    },
+    /// The assembled schema/workload failed model validation.
+    Model(ModelError),
+}
+
+impl From<ModelError> for IngestError {
+    fn from(e: ModelError) -> Self {
+        IngestError::Model(e)
+    }
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnterminatedString { line } => {
+                write!(f, "line {line}: unterminated string literal")
+            }
+            Self::UnterminatedComment { line } => {
+                write!(f, "line {line}: unterminated block comment")
+            }
+            Self::UnterminatedStatement { line } => {
+                write!(f, "line {line}: statement not terminated by `;`")
+            }
+            Self::Syntax {
+                line,
+                expected,
+                found,
+            } => write!(f, "line {line}: expected {expected}, found {found}"),
+            Self::UnknownTable { name, line } => {
+                write!(f, "line {line}: unknown table {name:?}")
+            }
+            Self::UnknownColumn {
+                table,
+                column,
+                line,
+            } => write!(f, "line {line}: table {table:?} has no column {column:?}"),
+            Self::DuplicateTable { name, line } => {
+                write!(f, "line {line}: table {name:?} defined twice")
+            }
+            Self::EmptySchema => write!(f, "schema defines no tables"),
+            Self::EmptyLog => write!(f, "query log contains no statements"),
+            Self::NothingIngested { statements } => write!(
+                f,
+                "all {statements} statements were skipped; no workload to build \
+                 (see the ingest report for reasons)"
+            ),
+            Self::UnterminatedTransaction { line } => {
+                write!(f, "line {line}: BEGIN without matching COMMIT")
+            }
+            Self::NestedTransaction { line } => {
+                write!(f, "line {line}: BEGIN inside an open transaction")
+            }
+            Self::CommitOutsideTransaction { line } => {
+                write!(
+                    f,
+                    "line {line}: COMMIT/ROLLBACK without an open transaction"
+                )
+            }
+            Self::Model(e) => write!(f, "model validation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_location() {
+        let e = IngestError::UnknownColumn {
+            table: "warehouse".into(),
+            column: "w_nope".into(),
+            line: 7,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("line 7") && msg.contains("w_nope") && msg.contains("warehouse"));
+    }
+
+    #[test]
+    fn model_errors_wrap_with_source() {
+        let e = IngestError::from(ModelError::EmptyWorkload);
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("model validation"));
+    }
+}

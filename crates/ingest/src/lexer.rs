@@ -1,0 +1,443 @@
+//! SQL tokenizer and statement splitter.
+//!
+//! Lexes a pragmatic SQL subset into identifier / number / string /
+//! punctuation tokens with line numbers, strips comments, and splits the
+//! token stream into `;`-terminated [`RawStatement`]s.
+//!
+//! Comments double as a side channel: a comment consisting entirely of
+//! `key=value` pairs (e.g. `-- rows=10 freq=3` or `/*+ rows=10 */`) is an
+//! *annotation comment*; its pairs are collected as [`Annotation`]s and
+//! attached to the statement the comment naturally describes — a comment
+//! inside a statement or on the same line as its terminating `;`
+//! (`SELECT ...; -- rows=10`) annotates that statement, a comment on its
+//! own line annotates the next one. Prose comments (anything that is not
+//! purely pairs) are ignored, even if they mention `rows=10`.
+
+use crate::error::IngestError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Bare or quoted identifier / keyword (original spelling preserved).
+    Ident(String),
+    /// Numeric literal, kept as text.
+    Number(String),
+    /// String literal content (quotes stripped, `''` unescaped).
+    Str(String),
+    /// Single punctuation / operator character.
+    Punct(char),
+    /// Bind parameter: `?`, `$n` or `:name`.
+    Param,
+}
+
+impl Tok {
+    /// Uppercased identifier text, if this is an identifier.
+    pub fn keyword(&self) -> Option<String> {
+        match self {
+            Tok::Ident(s) => Some(s.to_ascii_uppercase()),
+            _ => None,
+        }
+    }
+
+    /// True if this token is the given keyword (case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Tok::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// A token with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// A `key=value` pair mined from a comment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Annotation {
+    /// Lowercased key (`rows`, `freq`, `txn`, ...).
+    pub key: String,
+    /// Raw value text.
+    pub value: String,
+    /// 1-based source line of the comment.
+    pub line: u32,
+}
+
+/// One `;`-terminated statement with its annotations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawStatement {
+    /// The statement's tokens (terminator excluded).
+    pub tokens: Vec<Token>,
+    /// Line the statement starts on.
+    pub line: u32,
+    /// Annotations attached to this statement.
+    pub annotations: Vec<Annotation>,
+    /// Short source snippet for diagnostics.
+    pub snippet: String,
+}
+
+impl RawStatement {
+    /// The statement's leading keyword (uppercased), if any.
+    pub fn head(&self) -> Option<String> {
+        self.tokens.first().and_then(|t| t.tok.keyword())
+    }
+
+    /// Annotation lookup by key.
+    pub fn annotation(&self, key: &str) -> Option<&str> {
+        self.annotations
+            .iter()
+            .find(|a| a.key == key)
+            .map(|a| a.value.as_str())
+    }
+}
+
+/// Scans comment text for `key=value` pairs.
+///
+/// Only *annotation comments* — whose entire content (after an optional
+/// leading `+` hint marker) is `key=value` pairs — are mined; prose
+/// comments that merely mention `rows=10` are left alone.
+fn mine_annotations(text: &str, line: u32, out: &mut Vec<Annotation>) {
+    let mut pairs = Vec::new();
+    for word in text
+        .trim_start()
+        .trim_start_matches('+')
+        .split(|c: char| c.is_whitespace() || c == ',')
+        .filter(|w| !w.is_empty())
+    {
+        let Some((k, v)) = word.split_once('=') else {
+            return; // prose comment
+        };
+        let key = k.to_ascii_lowercase();
+        if key.is_empty()
+            || v.is_empty()
+            || !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+        {
+            return; // prose comment
+        }
+        pairs.push(Annotation {
+            key,
+            value: v.to_string(),
+            line,
+        });
+    }
+    out.extend(pairs);
+}
+
+/// Builds the one-line diagnostic snippet for a statement.
+fn snippet_of(src: &str, start: usize, end: usize) -> String {
+    const MAX: usize = 60;
+    let raw: String = src[start..end]
+        .split_whitespace()
+        .collect::<Vec<_>>()
+        .join(" ");
+    if raw.len() <= MAX {
+        raw
+    } else {
+        let mut cut = MAX;
+        while !raw.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        format!("{}…", &raw[..cut])
+    }
+}
+
+/// Lexes `src` and splits it into `;`-terminated statements.
+///
+/// Empty statements (stray `;`) are dropped. Trailing tokens without a
+/// terminating `;` are an [`IngestError::UnterminatedStatement`].
+pub fn split_statements(src: &str) -> Result<Vec<RawStatement>, IngestError> {
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    let mut statements: Vec<RawStatement> = Vec::new();
+    let mut tokens: Vec<Token> = Vec::new();
+    let mut annotations: Vec<Annotation> = Vec::new();
+    let mut stmt_start: Option<usize> = None;
+    // Line the previous statement's `;` sat on: a trailing comment on the
+    // same line annotates that statement, not the next.
+    let mut last_end_line: Option<u32> = None;
+
+    let attach = |mined: Vec<Annotation>,
+                  line: u32,
+                  tokens: &[Token],
+                  statements: &mut Vec<RawStatement>,
+                  annotations: &mut Vec<Annotation>,
+                  last_end_line: Option<u32>| {
+        if tokens.is_empty() && last_end_line == Some(line) {
+            if let Some(prev) = statements.last_mut() {
+                prev.annotations.extend(mined);
+                return;
+            }
+        }
+        annotations.extend(mined);
+    };
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                let end = src[i..].find('\n').map_or(src.len(), |n| i + n);
+                let mut mined = Vec::new();
+                mine_annotations(&src[i + 2..end], line, &mut mined);
+                attach(
+                    mined,
+                    line,
+                    &tokens,
+                    &mut statements,
+                    &mut annotations,
+                    last_end_line,
+                );
+                i = end;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                let Some(n) = src[i + 2..].find("*/") else {
+                    return Err(IngestError::UnterminatedComment { line });
+                };
+                let body = &src[i + 2..i + 2 + n];
+                let mut mined = Vec::new();
+                mine_annotations(body, line, &mut mined);
+                attach(
+                    mined,
+                    line,
+                    &tokens,
+                    &mut statements,
+                    &mut annotations,
+                    last_end_line,
+                );
+                line += body.matches('\n').count() as u32;
+                i += n + 4;
+            }
+            '\'' => {
+                let start_line = line;
+                let mut s = String::new();
+                let mut j = i + 1;
+                loop {
+                    match bytes.get(j) {
+                        None => return Err(IngestError::UnterminatedString { line: start_line }),
+                        Some(b'\'') if bytes.get(j + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            j += 2;
+                        }
+                        Some(b'\'') => {
+                            j += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            if b == b'\n' {
+                                line += 1;
+                            }
+                            s.push(b as char);
+                            j += 1;
+                        }
+                    }
+                }
+                stmt_start.get_or_insert(i);
+                tokens.push(Token {
+                    tok: Tok::Str(s),
+                    line: start_line,
+                });
+                i = j;
+            }
+            '"' | '`' => {
+                let quote = bytes[i];
+                let start_line = line;
+                let Some(n) = src[i + 1..].find(quote as char) else {
+                    return Err(IngestError::UnterminatedString { line: start_line });
+                };
+                stmt_start.get_or_insert(i);
+                tokens.push(Token {
+                    tok: Tok::Ident(src[i + 1..i + 1 + n].to_string()),
+                    line: start_line,
+                });
+                i += n + 2;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i + 1;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric()
+                        || bytes[j] == b'_'
+                        || bytes[j] == b'$')
+                {
+                    j += 1;
+                }
+                stmt_start.get_or_insert(i);
+                tokens.push(Token {
+                    tok: Tok::Ident(src[i..j].to_string()),
+                    line,
+                });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_digit()
+                        || bytes[j] == b'.'
+                        || bytes[j] == b'e'
+                        || bytes[j] == b'E'
+                        || ((bytes[j] == b'+' || bytes[j] == b'-')
+                            && matches!(bytes[j - 1], b'e' | b'E')))
+                {
+                    j += 1;
+                }
+                stmt_start.get_or_insert(i);
+                tokens.push(Token {
+                    tok: Tok::Number(src[i..j].to_string()),
+                    line,
+                });
+                i = j;
+            }
+            '?' => {
+                stmt_start.get_or_insert(i);
+                tokens.push(Token {
+                    tok: Tok::Param,
+                    line,
+                });
+                i += 1;
+            }
+            '$' | ':' if matches!(bytes.get(i + 1), Some(b) if (*b as char).is_ascii_alphanumeric() || *b == b'_') =>
+            {
+                let mut j = i + 1;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                stmt_start.get_or_insert(i);
+                tokens.push(Token {
+                    tok: Tok::Param,
+                    line,
+                });
+                i = j;
+            }
+            ';' => {
+                if !tokens.is_empty() {
+                    let start = stmt_start.unwrap_or(i);
+                    statements.push(RawStatement {
+                        line: tokens[0].line,
+                        tokens: std::mem::take(&mut tokens),
+                        annotations: std::mem::take(&mut annotations),
+                        snippet: snippet_of(src, start, i),
+                    });
+                    last_end_line = Some(line);
+                } else {
+                    annotations.clear();
+                }
+                stmt_start = None;
+                i += 1;
+            }
+            c => {
+                stmt_start.get_or_insert(i);
+                tokens.push(Token {
+                    tok: Tok::Punct(c),
+                    line,
+                });
+                i += c.len_utf8();
+            }
+        }
+    }
+    if !tokens.is_empty() {
+        return Err(IngestError::UnterminatedStatement {
+            line: tokens[0].line,
+        });
+    }
+    Ok(statements)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_and_tracks_lines() {
+        let sts = split_statements("SELECT a\nFROM t;\nSELECT b FROM u;").unwrap();
+        assert_eq!(sts.len(), 2);
+        assert_eq!(sts[0].line, 1);
+        assert_eq!(sts[1].line, 3);
+        assert_eq!(sts[0].head().as_deref(), Some("SELECT"));
+        assert!(sts[0].tokens.iter().any(|t| t.tok.is_kw("from")));
+    }
+
+    #[test]
+    fn annotations_attach_to_their_statement() {
+        let sts = split_statements(
+            "-- freq=2\nSELECT a FROM t WHERE b = ?; -- rows=10\nUPDATE t SET a = 1;",
+        )
+        .unwrap();
+        // Leading comment annotates the statement after it; the trailing
+        // comment on the `;` line annotates the statement it closes.
+        assert_eq!(sts[0].annotation("freq"), Some("2"));
+        assert_eq!(sts[0].annotation("rows"), Some("10"));
+        assert_eq!(sts[1].annotation("rows"), None);
+    }
+
+    #[test]
+    fn own_line_comment_annotates_the_next_statement() {
+        let sts = split_statements("SELECT a FROM t;\n-- rows=7\nSELECT b FROM t;").unwrap();
+        assert_eq!(sts[0].annotation("rows"), None);
+        assert_eq!(sts[1].annotation("rows"), Some("7"));
+    }
+
+    #[test]
+    fn hint_comments_attach_inline() {
+        let sts = split_statements("SELECT /*+ rows=10 */ a FROM t;").unwrap();
+        assert_eq!(sts[0].annotation("rows"), Some("10"));
+    }
+
+    #[test]
+    fn prose_comments_are_not_mined() {
+        let sts = split_statements(
+            "-- annotate with rows=10 to mark iterated statements\nSELECT a FROM t;",
+        )
+        .unwrap();
+        assert_eq!(sts[0].annotation("rows"), None);
+    }
+
+    #[test]
+    fn strings_and_quoted_idents() {
+        let sts =
+            split_statements("INSERT INTO \"Order\" VALUES ('it''s', 3.5e2, ?, $1);").unwrap();
+        let toks: Vec<&Tok> = sts[0].tokens.iter().map(|t| &t.tok).collect();
+        assert!(toks.contains(&&Tok::Ident("Order".into())));
+        assert!(toks.contains(&&Tok::Str("it's".into())));
+        assert!(toks.contains(&&Tok::Number("3.5e2".into())));
+        assert_eq!(toks.iter().filter(|t| ***t == Tok::Param).count(), 2);
+    }
+
+    #[test]
+    fn unterminated_inputs_are_typed_errors() {
+        assert_eq!(
+            split_statements("SELECT 'oops"),
+            Err(IngestError::UnterminatedString { line: 1 })
+        );
+        assert_eq!(
+            split_statements("/* never closed"),
+            Err(IngestError::UnterminatedComment { line: 1 })
+        );
+        assert_eq!(
+            split_statements("SELECT a\nFROM t"),
+            Err(IngestError::UnterminatedStatement { line: 1 })
+        );
+    }
+
+    #[test]
+    fn empty_statements_are_dropped() {
+        assert!(split_statements(";;;  ;").unwrap().is_empty());
+        assert!(split_statements("-- only a comment\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn snippet_is_compact() {
+        let long = format!("SELECT {} FROM t;", vec!["col"; 40].join(", "));
+        let sts = split_statements(&long).unwrap();
+        assert!(sts[0].snippet.len() <= 63);
+        assert!(sts[0].snippet.starts_with("SELECT"));
+    }
+}

@@ -1,0 +1,424 @@
+//! Query-log mining: statements → transactions → aggregated workload.
+//!
+//! Statements between `BEGIN`/`COMMIT` brackets form one transaction
+//! occurrence; statements outside brackets are one-statement transactions
+//! (the fallback for logs without explicit bracketing). Occurrences whose
+//! parsed statement sequences coincide are aggregated into one
+//! *transaction template* whose execution count becomes the query
+//! frequency `f_q` — so a log with the Payment transaction 10 000 times
+//! produces one `Payment` template at frequency 10 000, exactly the
+//! workload statistics the cost model wants.
+//!
+//! `UPDATE` statements are split into a read sub-query over every
+//! referenced attribute and a write sub-query over the written attributes
+//! via [`vpart_model::WorkloadBuilder::add_update`], mirroring the
+//! hand-built TPC-C model (§5.2 of the paper).
+//!
+//! Annotations refine the statistics: `-- rows=N` sets a statement's
+//! per-table row count, `-- freq=N` scales an occurrence (on `BEGIN` or a
+//! bare statement) or one statement's per-execution multiplicity (inside a
+//! block), and `-- txn=Name` names the template.
+
+use crate::error::IngestError;
+use crate::report::{SkipReason, Skipped};
+use crate::stmt::{parse_statement, statement_stats, Parsed, ParsedDml, StmtKind};
+use crate::IngestOptions;
+use std::collections::HashMap;
+use vpart_model::{Schema, Workload};
+
+/// Log-mining statistics feeding the ingest report.
+#[derive(Debug, Clone, Default)]
+pub struct MinerStats {
+    /// Statements seen in the log (transaction brackets excluded).
+    pub statements_seen: usize,
+    /// Statements that contributed workload.
+    pub statements_ingested: usize,
+    /// Transaction occurrences observed before aggregation.
+    pub txn_occurrences: usize,
+    /// Skipped statements.
+    pub skipped: Vec<Skipped>,
+}
+
+/// A statement inside a transaction template with its per-execution
+/// multiplicity (> 1 when the statement repeats within one transaction).
+#[derive(Debug, Clone)]
+struct TemplateStmt {
+    dml: ParsedDml,
+    mult: f64,
+}
+
+/// An aggregated transaction template.
+#[derive(Debug, Clone)]
+struct Template {
+    name: Option<String>,
+    stmts: Vec<TemplateStmt>,
+    /// Total observed executions (sum of occurrence weights).
+    weight: f64,
+}
+
+/// One observed transaction before aggregation.
+struct Occurrence {
+    name: Option<String>,
+    stmts: Vec<TemplateStmt>,
+    weight: f64,
+}
+
+/// Structural identity of a statement, for aggregation.
+type StmtKey = (StmtKind, u32, Vec<u32>, Vec<u32>, u64, u64);
+
+fn stmt_key(s: &TemplateStmt) -> StmtKey {
+    (
+        s.dml.kind,
+        s.dml.table.0,
+        s.dml.read.iter().map(|a| a.0).collect(),
+        s.dml.write.iter().map(|a| a.0).collect(),
+        s.dml.rows.to_bits(),
+        (s.dml.freq * s.mult).to_bits(),
+    )
+}
+
+fn occurrence_key(o: &Occurrence) -> Vec<StmtKey> {
+    o.stmts.iter().map(stmt_key).collect()
+}
+
+/// Merges duplicate statements within one occurrence into multiplicities.
+fn coalesce(stmts: Vec<ParsedDml>) -> Vec<TemplateStmt> {
+    let mut out: Vec<TemplateStmt> = Vec::new();
+    for dml in stmts {
+        if let Some(prev) = out.iter_mut().find(|t| {
+            t.dml.kind == dml.kind
+                && t.dml.table == dml.table
+                && t.dml.read == dml.read
+                && t.dml.write == dml.write
+                && t.dml.rows == dml.rows
+        }) {
+            prev.mult += dml.freq;
+        } else {
+            let freq = dml.freq;
+            out.push(TemplateStmt { dml, mult: freq });
+        }
+    }
+    for t in &mut out {
+        t.dml.freq = 1.0; // folded into mult
+    }
+    out
+}
+
+/// Mines `log` into a [`Workload`] against `schema`.
+pub fn mine_workload(
+    log: &str,
+    schema: &Schema,
+    opts: &IngestOptions,
+) -> Result<(Workload, MinerStats), IngestError> {
+    let statements = crate::lexer::split_statements(log)?;
+    if statements.is_empty() {
+        return Err(IngestError::EmptyLog);
+    }
+
+    let mut stats = MinerStats::default();
+    let mut occurrences: Vec<Occurrence> = Vec::new();
+    // Open BEGIN block: (line of BEGIN, pending statements, name, weight).
+    let mut open: Option<(u32, Vec<ParsedDml>, Option<String>, f64)> = None;
+    // Raw statements of the open block, for rollback diagnostics.
+    let mut open_raws: Vec<(u32, String)> = Vec::new();
+
+    for stmt in &statements {
+        let parsed = parse_statement(stmt, schema, opts.strict)?;
+        match parsed {
+            Parsed::Begin => {
+                if open.is_some() {
+                    return Err(IngestError::NestedTransaction { line: stmt.line });
+                }
+                let (_, weight) = statement_stats(stmt)?;
+                let name = stmt.annotation("txn").map(str::to_string);
+                open = Some((stmt.line, Vec::new(), name, weight));
+                open_raws.clear();
+            }
+            Parsed::Commit => {
+                let Some((_, stmts, name, weight)) = open.take() else {
+                    return Err(IngestError::CommitOutsideTransaction { line: stmt.line });
+                };
+                let name = name.or_else(|| stmt.annotation("txn").map(str::to_string));
+                if !stmts.is_empty() {
+                    stats.txn_occurrences += 1;
+                    occurrences.push(Occurrence {
+                        name,
+                        stmts: coalesce(stmts),
+                        weight,
+                    });
+                }
+            }
+            Parsed::Rollback => {
+                let Some((_, stmts, _, _)) = open.take() else {
+                    return Err(IngestError::CommitOutsideTransaction { line: stmt.line });
+                };
+                stats.statements_ingested -= stmts.len();
+                for (line, snippet) in open_raws.drain(..) {
+                    stats.skipped.push(Skipped {
+                        line,
+                        reason: SkipReason::RolledBack,
+                        snippet,
+                    });
+                }
+            }
+            Parsed::Dml(dml) => {
+                stats.statements_seen += 1;
+                stats.statements_ingested += 1;
+                match &mut open {
+                    Some((_, stmts, name, _)) => {
+                        if name.is_none() {
+                            *name = stmt.annotation("txn").map(str::to_string);
+                        }
+                        stmts.push(dml);
+                        open_raws.push((stmt.line, stmt.snippet.clone()));
+                    }
+                    None => {
+                        let weight = dml.freq;
+                        let mut dml = dml;
+                        dml.freq = 1.0;
+                        stats.txn_occurrences += 1;
+                        occurrences.push(Occurrence {
+                            name: stmt.annotation("txn").map(str::to_string),
+                            stmts: coalesce(vec![dml]),
+                            weight,
+                        });
+                    }
+                }
+            }
+            Parsed::Skip(reason) => {
+                stats.statements_seen += 1;
+                stats.skipped.push(Skipped {
+                    line: stmt.line,
+                    reason,
+                    snippet: stmt.snippet.clone(),
+                });
+            }
+        }
+    }
+    if let Some((line, _, _, _)) = open {
+        return Err(IngestError::UnterminatedTransaction { line });
+    }
+    if occurrences.is_empty() {
+        return Err(if stats.statements_seen == 0 {
+            IngestError::EmptyLog
+        } else {
+            IngestError::NothingIngested {
+                statements: stats.statements_seen,
+            }
+        });
+    }
+
+    // Aggregate occurrences into templates.
+    let mut templates: Vec<Template> = Vec::new();
+    let mut index: HashMap<Vec<StmtKey>, usize> = HashMap::new();
+    for occ in occurrences {
+        match index.entry(occurrence_key(&occ)) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let t = &mut templates[*e.get()];
+                t.weight += occ.weight;
+                if t.name.is_none() {
+                    t.name = occ.name;
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(templates.len());
+                templates.push(Template {
+                    name: occ.name,
+                    stmts: occ.stmts,
+                    weight: occ.weight,
+                });
+            }
+        }
+    }
+
+    // Build the workload.
+    let mut wb = Workload::builder(schema);
+    let mut used_names: HashMap<String, usize> = HashMap::new();
+    for (i, tpl) in templates.iter().enumerate() {
+        let base = tpl.name.clone().unwrap_or_else(|| format!("txn{i}"));
+        let n = used_names.entry(base.clone()).or_insert(0);
+        *n += 1;
+        let txn_name = if *n == 1 { base } else { format!("{base}#{n}") };
+        let mut qids = Vec::new();
+        for (j, ts) in tpl.stmts.iter().enumerate() {
+            let d = &ts.dml;
+            let table_name = schema.tables()[d.table.index()].name.to_ascii_lowercase();
+            let qname = format!("{txn_name}/{j}:{}_{}", d.kind.verb(), table_name);
+            let freq = tpl.weight * ts.mult;
+            match d.kind {
+                StmtKind::Update => {
+                    let (r, w) =
+                        wb.add_update(&qname, freq, &d.read, &d.write, &[(d.table, d.rows)])?;
+                    qids.push(r);
+                    qids.push(w);
+                }
+                StmtKind::Select => {
+                    let spec = vpart_model::workload::QuerySpec::read(&qname)
+                        .access(&d.read)
+                        .frequency(freq)
+                        .default_rows(d.rows);
+                    qids.push(wb.add_query(spec)?);
+                }
+                StmtKind::Insert | StmtKind::Delete => {
+                    let spec = vpart_model::workload::QuerySpec::write(&qname)
+                        .access(&d.write)
+                        .frequency(freq)
+                        .default_rows(d.rows);
+                    qids.push(wb.add_query(spec)?);
+                }
+            }
+        }
+        wb.transaction(&txn_name, &qids)?;
+    }
+    Ok((wb.build()?, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpart_model::QueryKind;
+
+    fn schema() -> Schema {
+        let mut b = Schema::builder();
+        b.table("acct", &[("id", 4.0), ("owner", 16.0), ("bal", 8.0)])
+            .unwrap();
+        b.table("log", &[("id", 4.0), ("amount", 8.0)]).unwrap();
+        b.build().unwrap()
+    }
+
+    fn opts() -> IngestOptions {
+        IngestOptions::default()
+    }
+
+    #[test]
+    fn bare_statements_become_single_statement_txns() {
+        let s = schema();
+        let (w, stats) = mine_workload(
+            "SELECT bal FROM acct WHERE id = 1;\nINSERT INTO log VALUES (1, 2.5);",
+            &s,
+            &opts(),
+        )
+        .unwrap();
+        assert_eq!(w.n_txns(), 2);
+        assert_eq!(w.n_queries(), 2);
+        assert_eq!(stats.txn_occurrences, 2);
+        assert_eq!(stats.statements_ingested, 2);
+    }
+
+    #[test]
+    fn duplicate_occurrences_aggregate_into_frequency() {
+        let s = schema();
+        let log = "SELECT bal FROM acct WHERE id = 1;\n".repeat(5)
+            + "SELECT bal FROM acct WHERE id = 99;\n"
+            + "SELECT owner FROM acct WHERE id = 2;";
+        let (w, stats) = mine_workload(&log, &s, &opts()).unwrap();
+        // Literals are not part of the template key: the six bal-selects
+        // collapse into one template at frequency 6.
+        assert_eq!(w.n_txns(), 2);
+        assert_eq!(stats.txn_occurrences, 7);
+        let q = w.query(vpart_model::QueryId(0));
+        assert_eq!(q.frequency, 6.0);
+    }
+
+    #[test]
+    fn begin_commit_groups_and_names_transactions() {
+        let s = schema();
+        let log = "BEGIN; -- txn=transfer\n\
+                   SELECT bal FROM acct WHERE id = 1;\n\
+                   UPDATE acct SET bal = bal - 10 WHERE id = 1;\n\
+                   INSERT INTO log (id, amount) VALUES (1, 10);\n\
+                   COMMIT;\n\
+                   BEGIN;\n\
+                   SELECT bal FROM acct WHERE id = 2;\n\
+                   UPDATE acct SET bal = bal - 10 WHERE id = 2;\n\
+                   INSERT INTO log (id, amount) VALUES (2, 10);\n\
+                   COMMIT;";
+        let (w, stats) = mine_workload(log, &s, &opts()).unwrap();
+        assert_eq!(w.n_txns(), 1, "identical blocks aggregate");
+        assert_eq!(stats.txn_occurrences, 2);
+        let t = w.txn_by_name("transfer").expect("named via annotation");
+        // select + update(read+write) + insert = 4 modeled queries.
+        assert_eq!(w.txn(t).queries.len(), 4);
+        for &q in &w.txn(t).queries {
+            assert_eq!(w.query(q).frequency, 2.0);
+        }
+        let upd_w = w.query_by_name("transfer/1:update_acct/write").unwrap();
+        assert_eq!(w.query(upd_w).kind, QueryKind::Write);
+        assert_eq!(w.query(upd_w).attrs.len(), 1);
+    }
+
+    #[test]
+    fn freq_annotation_scales_occurrences() {
+        let s = schema();
+        let (w, _) = mine_workload(
+            "SELECT /*+ freq=10 */ bal FROM acct WHERE id = 1;",
+            &s,
+            &opts(),
+        )
+        .unwrap();
+        assert_eq!(w.query(vpart_model::QueryId(0)).frequency, 10.0);
+    }
+
+    #[test]
+    fn repeated_statement_within_txn_gets_multiplicity() {
+        let s = schema();
+        let log = "BEGIN;\n\
+                   SELECT bal FROM acct WHERE id = 1;\n\
+                   SELECT bal FROM acct WHERE id = 7;\n\
+                   COMMIT;";
+        let (w, _) = mine_workload(log, &s, &opts()).unwrap();
+        assert_eq!(w.n_queries(), 1);
+        assert_eq!(w.query(vpart_model::QueryId(0)).frequency, 2.0);
+    }
+
+    #[test]
+    fn rollback_discards_the_block() {
+        let s = schema();
+        let log = "BEGIN;\n\
+                   UPDATE acct SET bal = 0 WHERE id = 1;\n\
+                   ROLLBACK;\n\
+                   SELECT bal FROM acct WHERE id = 1;";
+        let (w, stats) = mine_workload(log, &s, &opts()).unwrap();
+        assert_eq!(w.n_txns(), 1);
+        assert_eq!(stats.skipped.len(), 1);
+        assert_eq!(stats.skipped[0].reason, SkipReason::RolledBack);
+    }
+
+    #[test]
+    fn bracket_errors_are_typed() {
+        let s = schema();
+        assert_eq!(
+            mine_workload("BEGIN;\nSELECT bal FROM acct WHERE id=1;", &s, &opts()).unwrap_err(),
+            IngestError::UnterminatedTransaction { line: 1 }
+        );
+        assert_eq!(
+            mine_workload("BEGIN;\nBEGIN;\nCOMMIT;", &s, &opts()).unwrap_err(),
+            IngestError::NestedTransaction { line: 2 }
+        );
+        assert_eq!(
+            mine_workload("COMMIT;", &s, &opts()).unwrap_err(),
+            IngestError::CommitOutsideTransaction { line: 1 }
+        );
+        assert_eq!(
+            mine_workload("", &s, &opts()).unwrap_err(),
+            IngestError::EmptyLog
+        );
+        assert_eq!(
+            mine_workload("VACUUM;", &s, &opts()).unwrap_err(),
+            IngestError::NothingIngested { statements: 1 }
+        );
+    }
+
+    #[test]
+    fn rows_annotation_reaches_the_model() {
+        let s = schema();
+        let (w, _) = mine_workload(
+            "SELECT /*+ rows=10 */ owner FROM acct WHERE id < 100;",
+            &s,
+            &opts(),
+        )
+        .unwrap();
+        let q = w.query(vpart_model::QueryId(0));
+        assert_eq!(q.rows_for_table(vpart_model::TableId(0)), 10.0);
+    }
+}

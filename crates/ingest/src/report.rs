@@ -1,0 +1,173 @@
+//! Ingestion diagnostics: what was read, what was guessed, what was lost.
+//!
+//! Ingestion is deliberately lossy for SQL this parser does not model
+//! (joins, subqueries, vendor DDL, ...). The [`IngestReport`] makes every
+//! loss visible — skipped statements with reasons and source snippets,
+//! width guesses for unbounded types — so a user can judge whether the
+//! resulting instance still represents their workload.
+
+use std::fmt;
+
+/// Why a statement was skipped instead of ingested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkipReason {
+    /// Multi-table `FROM` or an explicit `JOIN` (single-table queries only).
+    Join,
+    /// Nested `SELECT` inside the statement.
+    Subquery,
+    /// `INSERT INTO ... SELECT` form.
+    InsertFromSelect,
+    /// Statement kind outside the supported DML subset (DDL, `SET`,
+    /// `EXPLAIN`, vendor commands, ...).
+    NotADmlStatement,
+    /// The statement parsed to an empty attribute set (nothing to cost).
+    NoColumns,
+    /// A `BEGIN ... ROLLBACK` block: its work was undone, so it
+    /// contributes no workload.
+    RolledBack,
+    /// Statement referenced an unknown table or column (lenient mode only;
+    /// strict mode raises [`crate::IngestError`] instead).
+    UnknownReference,
+    /// The statement's grammar could not be parsed (lenient mode only).
+    Unparsable,
+}
+
+impl fmt::Display for SkipReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Self::Join => "joins are not supported",
+            Self::Subquery => "subqueries are not supported",
+            Self::InsertFromSelect => "INSERT ... SELECT is not supported",
+            Self::NotADmlStatement => "not a supported DML statement",
+            Self::NoColumns => "no referenced columns",
+            Self::RolledBack => "transaction rolled back",
+            Self::UnknownReference => "unknown table or column",
+            Self::Unparsable => "could not parse",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One skipped statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Skipped {
+    /// 1-based source line.
+    pub line: u32,
+    /// Why it was skipped.
+    pub reason: SkipReason,
+    /// Compacted source text.
+    pub snippet: String,
+}
+
+/// A column whose SQL type had no principled width; the fallback was used.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WidthFallback {
+    /// Owning table.
+    pub table: String,
+    /// Column name.
+    pub column: String,
+    /// The declared SQL type (uppercased).
+    pub sql_type: String,
+    /// The width that was assumed.
+    pub width: f64,
+}
+
+/// Per-run ingestion diagnostics and headline numbers.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IngestReport {
+    /// Tables in the ingested schema.
+    pub tables: usize,
+    /// Attributes in the ingested schema (the model's `|A|`).
+    pub attrs: usize,
+    /// Distinct transaction templates (the model's `|T|`).
+    pub txns: usize,
+    /// Modeled queries (UPDATE splits count as two).
+    pub queries: usize,
+    /// Statements seen in the query log.
+    pub statements_seen: usize,
+    /// Statements that contributed workload.
+    pub statements_ingested: usize,
+    /// Total transaction executions observed (duplicates aggregated).
+    pub txn_occurrences: usize,
+    /// Skipped statements with reasons.
+    pub skipped: Vec<Skipped>,
+    /// Width guesses made while reading the DDL.
+    pub width_fallbacks: Vec<WidthFallback>,
+}
+
+impl IngestReport {
+    /// True when nothing was skipped and no width was guessed.
+    pub fn is_lossless(&self) -> bool {
+        self.skipped.is_empty() && self.width_fallbacks.is_empty()
+    }
+}
+
+impl fmt::Display for IngestReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "ingested {} tables / {} attributes, {} transactions / {} queries",
+            self.tables, self.attrs, self.txns, self.queries
+        )?;
+        writeln!(
+            f,
+            "log: {}/{} statements ingested over {} transaction executions",
+            self.statements_ingested, self.statements_seen, self.txn_occurrences
+        )?;
+        for w in &self.width_fallbacks {
+            writeln!(
+                f,
+                "  width fallback: {}.{} ({}) assumed {} bytes",
+                w.table, w.column, w.sql_type, w.width
+            )?;
+        }
+        for s in &self.skipped {
+            writeln!(f, "  skipped line {}: {} — {}", s.line, s.reason, s.snippet)?;
+        }
+        if self.is_lossless() {
+            writeln!(f, "no statements skipped, no widths guessed")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_summarizes_losses() {
+        let r = IngestReport {
+            tables: 2,
+            attrs: 9,
+            txns: 3,
+            queries: 7,
+            statements_seen: 10,
+            statements_ingested: 8,
+            txn_occurrences: 5,
+            skipped: vec![Skipped {
+                line: 4,
+                reason: SkipReason::Join,
+                snippet: "SELECT * FROM a, b".into(),
+            }],
+            width_fallbacks: vec![WidthFallback {
+                table: "t".into(),
+                column: "c".into(),
+                sql_type: "TEXT".into(),
+                width: 64.0,
+            }],
+        };
+        assert!(!r.is_lossless());
+        let text = r.to_string();
+        assert!(text.contains("8/10 statements"));
+        assert!(text.contains("joins are not supported"));
+        assert!(text.contains("t.c (TEXT) assumed 64 bytes"));
+    }
+
+    #[test]
+    fn lossless_report_says_so() {
+        let r = IngestReport::default();
+        assert!(r.is_lossless());
+        assert!(r.to_string().contains("no statements skipped"));
+    }
+}

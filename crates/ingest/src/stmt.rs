@@ -1,0 +1,807 @@
+//! Single-statement DML parsing: column extraction per statement kind.
+//!
+//! The extraction rules mirror how `vpart_instances::tpcc` models TPC-C by
+//! hand (selection predicates count as attribute accesses, UPDATEs carry
+//! both the referenced and the written sets so the miner can split them):
+//!
+//! * `SELECT` — read over select-list ∪ `WHERE`/`GROUP BY`/`ORDER BY`
+//!   columns; `*` means every column of the table.
+//! * `INSERT` — write over the listed columns (all columns without a
+//!   list); the number of `VALUES` tuples becomes the row count.
+//! * `UPDATE` — written set = `SET` targets; referenced set = `SET`
+//!   right-hand-side columns ∪ `WHERE` columns.
+//! * `DELETE` — write over the `WHERE` columns (whole table without a
+//!   predicate). Row removal touches whole rows, but under the paper's
+//!   all-attributes write accounting the β-terms already charge every
+//!   replicated attribute of the table, so the predicate set is the
+//!   faithful α.
+//!
+//! Joins, subqueries and `INSERT ... SELECT` are unsupported; the caller
+//! decides (strict vs lenient) whether unknown tables/columns abort
+//! ingestion or skip the statement.
+
+use crate::error::IngestError;
+use crate::lexer::{RawStatement, Tok, Token};
+use crate::report::SkipReason;
+use vpart_model::{AttrId, Schema, TableId};
+
+/// Non-column identifiers that may appear inside expressions and clause
+/// tails (checked uppercased).
+const KEYWORDS: &[&str] = &[
+    "ALL",
+    "AND",
+    "ANY",
+    "AS",
+    "ASC",
+    "BETWEEN",
+    "BY",
+    "CASE",
+    "CAST",
+    "CROSS",
+    "CURRENT_DATE",
+    "CURRENT_TIME",
+    "CURRENT_TIMESTAMP",
+    "DESC",
+    "DISTINCT",
+    "ELSE",
+    "END",
+    "ESCAPE",
+    "EXISTS",
+    "FALSE",
+    "FOR",
+    "FULL",
+    "GROUP",
+    "HAVING",
+    "ILIKE",
+    "IN",
+    "INNER",
+    "INTERVAL",
+    "IS",
+    "JOIN",
+    "LEFT",
+    "LIKE",
+    "LIMIT",
+    "NATURAL",
+    "NOT",
+    "NULL",
+    "OF",
+    "OFFSET",
+    "ON",
+    "OR",
+    "ORDER",
+    "OUTER",
+    "RIGHT",
+    "SET",
+    "SOME",
+    "THEN",
+    "TRUE",
+    "UPDATE",
+    "USING",
+    "VALUES",
+    "WHEN",
+    "WHERE",
+];
+
+/// What kind of DML a parsed statement is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StmtKind {
+    /// `SELECT` — a read query.
+    Select,
+    /// `INSERT` — a write query.
+    Insert,
+    /// `UPDATE` — split into read + write sub-queries by the miner.
+    Update,
+    /// `DELETE` — a write query.
+    Delete,
+}
+
+impl StmtKind {
+    /// Lowercase verb for query naming.
+    pub fn verb(self) -> &'static str {
+        match self {
+            StmtKind::Select => "select",
+            StmtKind::Insert => "insert",
+            StmtKind::Update => "update",
+            StmtKind::Delete => "delete",
+        }
+    }
+}
+
+/// A successfully parsed DML statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedDml {
+    /// Statement kind.
+    pub kind: StmtKind,
+    /// The single target table.
+    pub table: TableId,
+    /// Referenced (read) attributes, sorted and deduplicated. For
+    /// `SELECT` this is the full accessed set; for `UPDATE` the
+    /// referenced-but-not-necessarily-written set.
+    pub read: Vec<AttrId>,
+    /// Written attributes, sorted and deduplicated (empty for `SELECT`).
+    pub write: Vec<AttrId>,
+    /// Average rows accessed per execution (`n_{a,q}`).
+    pub rows: f64,
+    /// Frequency weight of one log occurrence (`freq=` annotation, else 1).
+    pub freq: f64,
+}
+
+/// Outcome of parsing one raw statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Parsed {
+    /// A DML statement contributing workload.
+    Dml(ParsedDml),
+    /// `BEGIN` / `START TRANSACTION`.
+    Begin,
+    /// `COMMIT` / `END`.
+    Commit,
+    /// `ROLLBACK`.
+    Rollback,
+    /// Skipped with a reason (always returned in lenient mode; in strict
+    /// mode only for reasons that are not schema/log mismatches).
+    Skip(SkipReason),
+}
+
+/// Parses one statement against `schema`.
+///
+/// `strict` controls whether unknown tables/columns and in-statement
+/// grammar violations are hard [`IngestError`]s or lenient
+/// [`Parsed::Skip`]s.
+pub fn parse_statement(
+    stmt: &RawStatement,
+    schema: &Schema,
+    strict: bool,
+) -> Result<Parsed, IngestError> {
+    let head = match stmt.head() {
+        Some(h) => h,
+        None => return Ok(Parsed::Skip(SkipReason::NotADmlStatement)),
+    };
+    let result = match head.as_str() {
+        "BEGIN" | "START" => return Ok(Parsed::Begin),
+        "COMMIT" | "END" => return Ok(Parsed::Commit),
+        "ROLLBACK" => return Ok(Parsed::Rollback),
+        "SELECT" => parse_select(stmt, schema),
+        "INSERT" => parse_insert(stmt, schema),
+        "UPDATE" => parse_update(stmt, schema),
+        "DELETE" => parse_delete(stmt, schema),
+        _ => return Ok(Parsed::Skip(SkipReason::NotADmlStatement)),
+    };
+    match result {
+        Ok(parsed) => Ok(parsed),
+        Err(e) if strict => Err(e),
+        Err(IngestError::UnknownTable { .. } | IngestError::UnknownColumn { .. }) => {
+            Ok(Parsed::Skip(SkipReason::UnknownReference))
+        }
+        Err(IngestError::Syntax { .. }) => Ok(Parsed::Skip(SkipReason::Unparsable)),
+        Err(e) => Err(e),
+    }
+}
+
+/// Reads the `rows=` / `freq=` annotations of a statement.
+pub fn statement_stats(stmt: &RawStatement) -> Result<(Option<f64>, f64), IngestError> {
+    let parse_pos = |key: &str| -> Result<Option<f64>, IngestError> {
+        match stmt.annotation(key) {
+            None => Ok(None),
+            Some(v) => match v.parse::<f64>() {
+                Ok(x) if x > 0.0 && x.is_finite() => Ok(Some(x)),
+                _ => Err(IngestError::Syntax {
+                    line: stmt.line,
+                    expected: format!("a positive number in the {key}= annotation"),
+                    found: format!("{v:?}"),
+                }),
+            },
+        }
+    };
+    let rows = parse_pos("rows")?;
+    let freq = parse_pos("freq")?.unwrap_or(1.0);
+    Ok((rows, freq))
+}
+
+// ---------------------------------------------------------------- helpers
+
+fn find_table(schema: &Schema, name: &str, line: u32) -> Result<TableId, IngestError> {
+    schema
+        .tables()
+        .iter()
+        .position(|t| t.name.eq_ignore_ascii_case(name))
+        .map(TableId::from_index)
+        .ok_or_else(|| IngestError::UnknownTable {
+            name: name.to_string(),
+            line,
+        })
+}
+
+fn find_attr(
+    schema: &Schema,
+    table: TableId,
+    name: &str,
+    line: u32,
+) -> Result<AttrId, IngestError> {
+    schema
+        .table_attrs(table)
+        .find(|&a| schema.attrs()[a].name.eq_ignore_ascii_case(name))
+        .map(AttrId::from_index)
+        .ok_or_else(|| IngestError::UnknownColumn {
+            table: schema.tables()[table.index()].name.clone(),
+            column: name.to_string(),
+            line,
+        })
+}
+
+fn all_attrs(schema: &Schema, table: TableId) -> Vec<AttrId> {
+    schema.table_attrs(table).map(AttrId::from_index).collect()
+}
+
+fn is_keyword(word: &str) -> bool {
+    KEYWORDS
+        .binary_search(&word.to_ascii_uppercase().as_str())
+        .is_ok()
+}
+
+/// Index of the first depth-0 occurrence of keyword `kw` in `toks`.
+fn find_kw(toks: &[Token], kw: &str) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, t) in toks.iter().enumerate() {
+        match &t.tok {
+            Tok::Punct('(') => depth += 1,
+            Tok::Punct(')') => depth = depth.saturating_sub(1),
+            tok if depth == 0 && tok.is_kw(kw) => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+fn contains_subquery(toks: &[Token]) -> bool {
+    toks.iter().skip(1).any(|t| t.tok.is_kw("SELECT"))
+}
+
+fn syntax(stmt: &RawStatement, i: usize, expected: &str) -> IngestError {
+    let (line, found) = match stmt.tokens.get(i) {
+        Some(t) => (t.line, format!("{:?}", t.tok)),
+        None => (stmt.line, "end of statement".to_string()),
+    };
+    IngestError::Syntax {
+        line,
+        expected: expected.to_string(),
+        found,
+    }
+}
+
+/// The statement's single target table plus how the statement refers to it.
+#[derive(Debug, Clone)]
+struct TableRef {
+    table: TableId,
+    /// Alias bound in the statement (`FROM customer c` / `... AS c`), if any.
+    alias: Option<String>,
+    /// Token index just past the table reference (incl. any alias).
+    end: usize,
+}
+
+impl TableRef {
+    /// True if `name` refers to this table (by name or alias).
+    fn matches(&self, schema: &Schema, name: &str) -> bool {
+        schema.tables()[self.table.index()]
+            .name
+            .eq_ignore_ascii_case(name)
+            || self
+                .alias
+                .as_deref()
+                .is_some_and(|a| a.eq_ignore_ascii_case(name))
+    }
+}
+
+/// Parses a table reference at `toks[i]`:
+/// `[schema_qualifier .] name [[AS] alias]`.
+fn parse_table_ref(
+    stmt: &RawStatement,
+    i: usize,
+    schema: &Schema,
+) -> Result<TableRef, IngestError> {
+    let toks = &stmt.tokens;
+    let Some(Tok::Ident(first)) = toks.get(i).map(|t| &t.tok) else {
+        return Err(syntax(stmt, i, "a table name"));
+    };
+    let (name, mut j) = if matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('.'))) {
+        // `schema.table`: the qualifier is ignored (single-namespace model).
+        match toks.get(i + 2).map(|t| &t.tok) {
+            Some(Tok::Ident(n)) => (n, i + 3),
+            _ => {
+                return Err(syntax(
+                    stmt,
+                    i + 2,
+                    "a table name after the schema qualifier",
+                ))
+            }
+        }
+    } else {
+        (first, i + 1)
+    };
+    let table = find_table(schema, name, toks[i].line)?;
+    let mut alias = None;
+    if toks.get(j).is_some_and(|t| t.tok.is_kw("AS")) {
+        match toks.get(j + 1).map(|t| &t.tok) {
+            Some(Tok::Ident(a)) => {
+                alias = Some(a.clone());
+                j += 2;
+            }
+            _ => return Err(syntax(stmt, j + 1, "an alias after AS")),
+        }
+    } else if let Some(Tok::Ident(a)) = toks.get(j).map(|t| &t.tok) {
+        // Bare alias — anything that is not a clause keyword.
+        if !is_keyword(a) {
+            alias = Some(a.clone());
+            j += 1;
+        }
+    }
+    Ok(TableRef {
+        table,
+        alias,
+        end: j,
+    })
+}
+
+/// Collects column references from an expression region.
+///
+/// Identifiers directly followed by `(` are function names; `qualifier.col`
+/// references must name the statement's table (or its alias); the
+/// identifier after an `AS` is an output alias, not a column; a bare `*`
+/// marks a whole-row reference (also matched by multiplication, which
+/// makes the extraction an over-approximation — documented in the crate
+/// docs).
+fn collect_columns(
+    toks: &[Token],
+    schema: &Schema,
+    tref: &TableRef,
+    attrs: &mut Vec<AttrId>,
+    star: &mut bool,
+) -> Result<(), IngestError> {
+    let table = tref.table;
+    let mut i = 0usize;
+    let mut after_as = false;
+    while i < toks.len() {
+        match &toks[i].tok {
+            Tok::Punct('*') => {
+                *star = true;
+                i += 1;
+            }
+            Tok::Ident(name) => {
+                if after_as {
+                    // Output alias (`expr AS name`): not a column.
+                    after_as = false;
+                    i += 1;
+                    continue;
+                }
+                let next = toks.get(i + 1).map(|t| &t.tok);
+                if matches!(next, Some(Tok::Punct('('))) {
+                    // Function name; its arguments are scanned as we go.
+                    i += 1;
+                } else if matches!(next, Some(Tok::Punct('.'))) {
+                    if !tref.matches(schema, name) {
+                        return Err(IngestError::UnknownColumn {
+                            table: name.clone(),
+                            column: match toks.get(i + 2).map(|t| &t.tok) {
+                                Some(Tok::Ident(c)) => c.clone(),
+                                _ => "?".to_string(),
+                            },
+                            line: toks[i].line,
+                        });
+                    }
+                    match toks.get(i + 2).map(|t| &t.tok) {
+                        Some(Tok::Ident(col)) => {
+                            attrs.push(find_attr(schema, table, col, toks[i].line)?);
+                        }
+                        Some(Tok::Punct('*')) => *star = true,
+                        _ => {}
+                    }
+                    i += 3;
+                } else if is_keyword(name) {
+                    after_as = name.eq_ignore_ascii_case("AS");
+                    i += 1;
+                } else {
+                    attrs.push(find_attr(schema, table, name, toks[i].line)?);
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    Ok(())
+}
+
+fn finish_attrs(
+    mut attrs: Vec<AttrId>,
+    star: bool,
+    schema: &Schema,
+    table: TableId,
+) -> Vec<AttrId> {
+    if star {
+        return all_attrs(schema, table);
+    }
+    attrs.sort_unstable();
+    attrs.dedup();
+    attrs
+}
+
+fn build_dml(
+    stmt: &RawStatement,
+    kind: StmtKind,
+    table: TableId,
+    read: Vec<AttrId>,
+    write: Vec<AttrId>,
+    default_rows: f64,
+) -> Result<Parsed, IngestError> {
+    if read.is_empty() && write.is_empty() {
+        return Ok(Parsed::Skip(SkipReason::NoColumns));
+    }
+    let (rows, freq) = statement_stats(stmt)?;
+    Ok(Parsed::Dml(ParsedDml {
+        kind,
+        table,
+        read,
+        write,
+        rows: rows.unwrap_or(default_rows),
+        freq,
+    }))
+}
+
+// ----------------------------------------------------------- per-statement
+
+fn parse_select(stmt: &RawStatement, schema: &Schema) -> Result<Parsed, IngestError> {
+    let toks = &stmt.tokens;
+    if contains_subquery(toks) {
+        return Ok(Parsed::Skip(SkipReason::Subquery));
+    }
+    if find_kw(toks, "JOIN").is_some() {
+        return Ok(Parsed::Skip(SkipReason::Join));
+    }
+    let Some(from) = find_kw(toks, "FROM") else {
+        return Err(syntax(stmt, toks.len(), "FROM"));
+    };
+    let tref = parse_table_ref(stmt, from + 1, schema)?;
+    if matches!(toks.get(tref.end).map(|t| &t.tok), Some(Tok::Punct(','))) {
+        return Ok(Parsed::Skip(SkipReason::Join));
+    }
+
+    let mut attrs = Vec::new();
+    let mut star = false;
+    collect_columns(&toks[1..from], schema, &tref, &mut attrs, &mut star)?;
+    collect_columns(&toks[tref.end..], schema, &tref, &mut attrs, &mut star)?;
+    let read = finish_attrs(attrs, star, schema, tref.table);
+    build_dml(stmt, StmtKind::Select, tref.table, read, Vec::new(), 1.0)
+}
+
+fn parse_insert(stmt: &RawStatement, schema: &Schema) -> Result<Parsed, IngestError> {
+    let toks = &stmt.tokens;
+    if !toks.get(1).is_some_and(|t| t.tok.is_kw("INTO")) {
+        return Err(syntax(stmt, 1, "INTO"));
+    }
+    let tref = parse_table_ref(stmt, 2, schema)?;
+    let table = tref.table;
+    if contains_subquery(toks) {
+        return Ok(Parsed::Skip(SkipReason::InsertFromSelect));
+    }
+
+    // Optional column list before VALUES.
+    let mut i = tref.end;
+    let mut write = Vec::new();
+    let mut star = true; // no list → whole row
+    if matches!(toks.get(i).map(|t| &t.tok), Some(Tok::Punct('('))) {
+        star = false;
+        i += 1;
+        while let Some(t) = toks.get(i) {
+            match &t.tok {
+                Tok::Punct(')') => {
+                    i += 1;
+                    break;
+                }
+                Tok::Punct(',') => i += 1,
+                Tok::Ident(col) => {
+                    write.push(find_attr(schema, table, col, t.line)?);
+                    i += 1;
+                }
+                _ => return Err(syntax(stmt, i, "a column name in the insert list")),
+            }
+        }
+    }
+    if !toks.get(i).is_some_and(|t| t.tok.is_kw("VALUES")) {
+        return Err(syntax(stmt, i, "VALUES"));
+    }
+    // Row count = number of depth-1 value tuples.
+    let mut tuples = 0usize;
+    let mut depth = 0usize;
+    for t in &toks[i + 1..] {
+        match t.tok {
+            Tok::Punct('(') => {
+                depth += 1;
+                if depth == 1 {
+                    tuples += 1;
+                }
+            }
+            Tok::Punct(')') => depth = depth.saturating_sub(1),
+            _ => {}
+        }
+    }
+    if tuples == 0 {
+        return Err(syntax(
+            stmt,
+            toks.len(),
+            "a (value, ...) tuple after VALUES",
+        ));
+    }
+    let write = finish_attrs(write, star, schema, table);
+    build_dml(
+        stmt,
+        StmtKind::Insert,
+        table,
+        Vec::new(),
+        write,
+        tuples as f64,
+    )
+}
+
+fn parse_update(stmt: &RawStatement, schema: &Schema) -> Result<Parsed, IngestError> {
+    let toks = &stmt.tokens;
+    if contains_subquery(toks) {
+        return Ok(Parsed::Skip(SkipReason::Subquery));
+    }
+    let tref = parse_table_ref(stmt, 1, schema)?;
+    let table = tref.table;
+    if matches!(toks.get(tref.end).map(|t| &t.tok), Some(Tok::Punct(','))) {
+        return Ok(Parsed::Skip(SkipReason::Join));
+    }
+    if !toks.get(tref.end).is_some_and(|t| t.tok.is_kw("SET")) {
+        return Err(syntax(stmt, tref.end, "SET"));
+    }
+    let where_idx = find_kw(toks, "WHERE").unwrap_or(toks.len());
+    let assignments = &toks[tref.end + 1..where_idx];
+
+    let mut write = Vec::new();
+    let mut read = Vec::new();
+    let mut star = false;
+    // Split assignments on depth-0 commas: `col = expr`.
+    let mut start = 0usize;
+    let mut depth = 0usize;
+    let mut boundaries = Vec::new();
+    for (j, t) in assignments.iter().enumerate() {
+        match t.tok {
+            Tok::Punct('(') => depth += 1,
+            Tok::Punct(')') => depth = depth.saturating_sub(1),
+            Tok::Punct(',') if depth == 0 => boundaries.push(j),
+            _ => {}
+        }
+    }
+    boundaries.push(assignments.len());
+    for &end in &boundaries {
+        let item = &assignments[start..end];
+        start = end + 1;
+        if item.is_empty() {
+            continue;
+        }
+        // Target: `col` or `table.col` before `=`.
+        let Some(eq) = item.iter().position(|t| matches!(t.tok, Tok::Punct('='))) else {
+            return Err(syntax(stmt, 3, "`=` in a SET assignment"));
+        };
+        let target = &item[..eq];
+        let col_tok = target.last();
+        let Some(Tok::Ident(col)) = col_tok.map(|t| &t.tok) else {
+            return Err(syntax(stmt, 3, "a column name before `=`"));
+        };
+        write.push(find_attr(schema, table, col, col_tok.unwrap().line)?);
+        collect_columns(&item[eq + 1..], schema, &tref, &mut read, &mut star)?;
+    }
+    if where_idx < toks.len() {
+        collect_columns(&toks[where_idx + 1..], schema, &tref, &mut read, &mut star)?;
+    }
+    if write.is_empty() {
+        return Ok(Parsed::Skip(SkipReason::NoColumns));
+    }
+    let read = finish_attrs(read, star, schema, table);
+    let write = finish_attrs(write, false, schema, table);
+    build_dml(stmt, StmtKind::Update, table, read, write, 1.0)
+}
+
+fn parse_delete(stmt: &RawStatement, schema: &Schema) -> Result<Parsed, IngestError> {
+    let toks = &stmt.tokens;
+    if contains_subquery(toks) {
+        return Ok(Parsed::Skip(SkipReason::Subquery));
+    }
+    if !toks.get(1).is_some_and(|t| t.tok.is_kw("FROM")) {
+        return Err(syntax(stmt, 1, "FROM"));
+    }
+    let tref = parse_table_ref(stmt, 2, schema)?;
+    let table = tref.table;
+    let mut attrs = Vec::new();
+    let mut star = false;
+    match find_kw(toks, "WHERE") {
+        Some(w) => collect_columns(&toks[w + 1..], schema, &tref, &mut attrs, &mut star)?,
+        None => star = true, // full-table delete touches every column
+    }
+    let write = finish_attrs(attrs, star, schema, table);
+    let write = if write.is_empty() {
+        all_attrs(schema, table)
+    } else {
+        write
+    };
+    build_dml(stmt, StmtKind::Delete, table, Vec::new(), write, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::split_statements;
+
+    fn schema() -> Schema {
+        let mut b = Schema::builder();
+        b.table(
+            "Customer",
+            &[("c_id", 4.0), ("c_name", 16.0), ("c_balance", 8.0)],
+        )
+        .unwrap();
+        b.table(
+            "Orders",
+            &[("o_id", 4.0), ("o_c_id", 4.0), ("o_total", 8.0)],
+        )
+        .unwrap();
+        b.build().unwrap()
+    }
+
+    fn parse_one(sql: &str) -> Result<Parsed, IngestError> {
+        let sts = split_statements(sql).unwrap();
+        parse_statement(&sts[0], &schema(), true)
+    }
+
+    fn dml(sql: &str) -> ParsedDml {
+        match parse_one(sql).unwrap() {
+            Parsed::Dml(d) => d,
+            other => panic!("expected DML, got {other:?}"),
+        }
+    }
+
+    fn names(schema: &Schema, attrs: &[AttrId]) -> Vec<String> {
+        attrs.iter().map(|&a| schema.attr(a).name.clone()).collect()
+    }
+
+    #[test]
+    fn select_collects_list_and_predicates() {
+        let d = dml("SELECT c_name, c_balance FROM customer WHERE c_id = 42 ORDER BY c_name;");
+        assert_eq!(d.kind, StmtKind::Select);
+        assert_eq!(
+            names(&schema(), &d.read),
+            vec!["c_id", "c_name", "c_balance"]
+        );
+        assert!(d.write.is_empty());
+        assert_eq!(d.rows, 1.0);
+    }
+
+    #[test]
+    fn select_star_and_aggregates() {
+        let d = dml("SELECT * FROM Customer;");
+        assert_eq!(d.read.len(), 3);
+        let d = dml("SELECT MAX(o_total) FROM orders WHERE o_c_id = ?;");
+        assert_eq!(names(&schema(), &d.read), vec!["o_c_id", "o_total"]);
+    }
+
+    #[test]
+    fn aliases_and_schema_qualifiers() {
+        // Select-list output alias is not a column.
+        let d = dml("SELECT c_name AS nick FROM customer WHERE c_id = 1;");
+        assert_eq!(names(&schema(), &d.read), vec!["c_id", "c_name"]);
+        // Bare table alias usable as a qualifier.
+        let d = dml("SELECT c.c_name FROM customer c WHERE c.c_id = 1;");
+        assert_eq!(names(&schema(), &d.read), vec!["c_id", "c_name"]);
+        // AS-form table alias.
+        let d = dml("SELECT c.c_name FROM customer AS c WHERE c_id = 1;");
+        assert_eq!(names(&schema(), &d.read), vec!["c_id", "c_name"]);
+        // Schema-qualified table name.
+        let d = dml("SELECT c_name FROM public.customer WHERE c_id = 1;");
+        assert_eq!(names(&schema(), &d.read), vec!["c_id", "c_name"]);
+        // Aliased UPDATE and DELETE.
+        let d = dml("UPDATE customer c SET c.c_balance = c.c_balance + 1 WHERE c.c_id = 2;");
+        assert_eq!(names(&schema(), &d.write), vec!["c_balance"]);
+        assert_eq!(names(&schema(), &d.read), vec!["c_id", "c_balance"]);
+        let d = dml("DELETE FROM orders o WHERE o.o_id = 3;");
+        assert_eq!(names(&schema(), &d.write), vec!["o_id"]);
+    }
+
+    #[test]
+    fn qualified_columns_must_match_the_table() {
+        let d = dml("SELECT customer.c_name FROM customer WHERE customer.c_id = 1;");
+        assert_eq!(names(&schema(), &d.read), vec!["c_id", "c_name"]);
+        assert!(matches!(
+            parse_one("SELECT orders.o_id FROM customer;"),
+            Err(IngestError::UnknownColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn insert_with_and_without_column_list() {
+        let d = dml("INSERT INTO orders (o_id, o_c_id) VALUES (1, 2);");
+        assert_eq!(d.kind, StmtKind::Insert);
+        assert_eq!(names(&schema(), &d.write), vec!["o_id", "o_c_id"]);
+        assert_eq!(d.rows, 1.0);
+        let d = dml("INSERT INTO orders VALUES (1, 2, 9.5), (2, 2, 1.0);");
+        assert_eq!(d.write.len(), 3);
+        assert_eq!(d.rows, 2.0, "two VALUES tuples");
+    }
+
+    #[test]
+    fn update_splits_read_and_write_sets() {
+        let d = dml("UPDATE customer SET c_balance = c_balance + 10 WHERE c_id = 7;");
+        assert_eq!(d.kind, StmtKind::Update);
+        assert_eq!(names(&schema(), &d.write), vec!["c_balance"]);
+        assert_eq!(names(&schema(), &d.read), vec!["c_id", "c_balance"]);
+    }
+
+    #[test]
+    fn delete_uses_predicate_columns() {
+        let d = dml("DELETE FROM orders WHERE o_id = 3;");
+        assert_eq!(d.kind, StmtKind::Delete);
+        assert_eq!(names(&schema(), &d.write), vec!["o_id"]);
+        let d = dml("DELETE FROM orders;");
+        assert_eq!(d.write.len(), 3, "unpredicated delete touches all columns");
+    }
+
+    #[test]
+    fn annotations_set_rows_and_freq() {
+        let d = dml("SELECT /*+ rows=10 freq=3 */ c_name FROM customer WHERE c_id = 1;");
+        assert_eq!(d.rows, 10.0);
+        assert_eq!(d.freq, 3.0);
+        assert!(matches!(
+            parse_one("SELECT /*+ rows=banana */ c_name FROM customer;"),
+            Err(IngestError::Syntax { .. })
+        ));
+    }
+
+    #[test]
+    fn unsupported_constructs_are_skipped_with_reasons() {
+        let skip = |sql: &str| match parse_one(sql).unwrap() {
+            Parsed::Skip(r) => r,
+            other => panic!("expected skip for {sql:?}, got {other:?}"),
+        };
+        assert_eq!(
+            skip("SELECT c_name FROM customer JOIN orders ON c_id = o_c_id;"),
+            SkipReason::Join
+        );
+        assert_eq!(
+            skip("SELECT c_name FROM customer, orders;"),
+            SkipReason::Join
+        );
+        assert_eq!(
+            skip("SELECT c_name FROM customer WHERE c_id IN (SELECT o_c_id FROM orders);"),
+            SkipReason::Subquery
+        );
+        assert_eq!(
+            skip("INSERT INTO orders SELECT * FROM orders;"),
+            SkipReason::InsertFromSelect
+        );
+        assert_eq!(skip("VACUUM;"), SkipReason::NotADmlStatement);
+        assert_eq!(skip("SELECT 1 FROM customer;"), SkipReason::NoColumns);
+    }
+
+    #[test]
+    fn transaction_brackets() {
+        assert_eq!(parse_one("BEGIN;").unwrap(), Parsed::Begin);
+        assert_eq!(parse_one("START TRANSACTION;").unwrap(), Parsed::Begin);
+        assert_eq!(parse_one("COMMIT;").unwrap(), Parsed::Commit);
+        assert_eq!(parse_one("ROLLBACK;").unwrap(), Parsed::Rollback);
+    }
+
+    #[test]
+    fn strict_vs_lenient() {
+        let sts = split_statements("SELECT nope FROM customer;").unwrap();
+        assert!(matches!(
+            parse_statement(&sts[0], &schema(), true),
+            Err(IngestError::UnknownColumn { .. })
+        ));
+        assert_eq!(
+            parse_statement(&sts[0], &schema(), false).unwrap(),
+            Parsed::Skip(SkipReason::UnknownReference)
+        );
+        let sts = split_statements("SELECT c_id FROM nowhere;").unwrap();
+        assert!(matches!(
+            parse_statement(&sts[0], &schema(), true),
+            Err(IngestError::UnknownTable { .. })
+        ));
+    }
+}

@@ -1,0 +1,239 @@
+//! Seeded randomized ingestion fuzzing (in the spirit of
+//! `crates/ilp/tests/random_mips.rs`): generate random schemas and random
+//! well-formed logs with noisy formatting, and assert ingestion always
+//! succeeds, counts statements faithfully, and produces instances the
+//! solvers accept.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use vpart_ingest::{ingest, IngestOptions};
+
+const TYPES: &[&str] = &[
+    "INT",
+    "BIGINT",
+    "SMALLINT",
+    "DECIMAL(12,2)",
+    "NUMERIC(4,4)",
+    "VARCHAR(32)",
+    "CHAR(9)",
+    "TEXT",
+    "TIMESTAMP",
+    "DOUBLE PRECISION",
+];
+
+struct Gen {
+    rng: StdRng,
+    tables: Vec<(String, Vec<String>)>,
+}
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_tables = rng.gen_range(1..=4);
+        let tables = (0..n_tables)
+            .map(|t| {
+                let cols = (0..rng.gen_range(1..=8usize))
+                    .map(|c| format!("t{t}_c{c}"))
+                    .collect();
+                (format!("tab{t}"), cols)
+            })
+            .collect();
+        Gen { rng, tables }
+    }
+
+    fn ddl(&mut self) -> String {
+        let mut out = String::new();
+        for (name, cols) in self.tables.clone() {
+            out.push_str(&format!("CREATE TABLE {name} (\n"));
+            for (i, c) in cols.iter().enumerate() {
+                let ty = TYPES[self.rng.gen_range(0..TYPES.len())];
+                let constraint = match self.rng.gen_range(0..4u32) {
+                    0 => " NOT NULL",
+                    1 => " PRIMARY KEY",
+                    2 => " DEFAULT 0",
+                    _ => "",
+                };
+                out.push_str(&format!("  {c} {ty}{constraint}"));
+                out.push_str(if i + 1 < cols.len() { ",\n" } else { "\n" });
+            }
+            if self.rng.gen_bool(0.3) {
+                out.push_str(&format!("  , UNIQUE ({})\n", cols[0]));
+            }
+            out.push_str(");\n");
+        }
+        out
+    }
+
+    fn pick_table(&mut self) -> usize {
+        self.rng.gen_range(0..self.tables.len())
+    }
+
+    fn some_cols(&mut self, t: usize) -> Vec<String> {
+        let cols = self.tables[t].1.clone();
+        let n = self.rng.gen_range(1..=cols.len());
+        let mut picked = cols;
+        picked.shuffle(&mut self.rng);
+        picked.truncate(n);
+        picked
+    }
+
+    fn literal(&mut self) -> String {
+        match self.rng.gen_range(0..4u32) {
+            0 => "?".to_string(),
+            1 => format!("{}", self.rng.gen_range(0..1000u32)),
+            2 => format!("{:.2}", self.rng.gen_range(0.0..100.0)),
+            _ => "'some''text'".to_string(),
+        }
+    }
+
+    fn predicate(&mut self, t: usize) -> String {
+        let cols = self.some_cols(t);
+        let parts: Vec<String> = cols
+            .iter()
+            .map(|c| {
+                let op = ["=", "<", ">=", "<>"][self.rng.gen_range(0..4)];
+                format!("{c} {op} {}", self.literal())
+            })
+            .collect();
+        parts.join(" AND ")
+    }
+
+    /// Random casing noise: SQL keywords are case-insensitive.
+    fn casing(&mut self, s: &str) -> String {
+        if self.rng.gen_bool(0.5) {
+            s.to_string()
+        } else {
+            s.to_ascii_lowercase()
+        }
+    }
+
+    fn statement(&mut self) -> String {
+        let t = self.pick_table();
+        let table = self.tables[t].0.clone();
+        let kind = self.rng.gen_range(0..4u32);
+        let stmt = match kind {
+            0 => {
+                let cols = self.some_cols(t).join(", ");
+                let kw = self.casing("SELECT");
+                let from = self.casing("FROM");
+                if self.rng.gen_bool(0.7) {
+                    let wh = self.casing("WHERE");
+                    format!("{kw} {cols} {from} {table} {wh} {}", self.predicate(t))
+                } else {
+                    format!("{kw} {cols} {from} {table}")
+                }
+            }
+            1 => {
+                let cols = self.some_cols(t);
+                let vals: Vec<String> = cols.iter().map(|_| self.literal()).collect();
+                format!(
+                    "INSERT INTO {table} ({}) VALUES ({})",
+                    cols.join(", "),
+                    vals.join(", ")
+                )
+            }
+            2 => {
+                let target = self.some_cols(t)[0].clone();
+                format!(
+                    "UPDATE {table} SET {target} = {} WHERE {}",
+                    self.literal(),
+                    self.predicate(t)
+                )
+            }
+            _ => format!("DELETE FROM {table} WHERE {}", self.predicate(t)),
+        };
+        let annotation = match self.rng.gen_range(0..5u32) {
+            0 => format!(" -- rows={}", self.rng.gen_range(1..20u32)),
+            1 => format!(" -- freq={}", self.rng.gen_range(1..100u32)),
+            _ => String::new(),
+        };
+        format!("{stmt};{annotation}")
+    }
+
+    fn log(&mut self) -> (String, usize) {
+        let mut out = String::new();
+        let mut statements = 0usize;
+        let blocks = self.rng.gen_range(1..=6usize);
+        for b in 0..blocks {
+            if self.rng.gen_bool(0.4) {
+                out.push_str(&format!("BEGIN; -- txn=blk{b}\n"));
+                for _ in 0..self.rng.gen_range(1..=4usize) {
+                    out.push_str(&self.statement());
+                    out.push('\n');
+                    statements += 1;
+                }
+                out.push_str("COMMIT;\n");
+            } else {
+                for _ in 0..self.rng.gen_range(1..=3usize) {
+                    out.push_str(&self.statement());
+                    out.push('\n');
+                    statements += 1;
+                }
+            }
+        }
+        (out, statements)
+    }
+}
+
+#[test]
+fn random_workloads_always_ingest() {
+    for seed in 0..200u64 {
+        let mut g = Gen::new(seed);
+        let ddl = g.ddl();
+        let (log, statements) = g.log();
+        let out = ingest(&ddl, &log, &IngestOptions::default())
+            .unwrap_or_else(|e| panic!("seed {seed} failed: {e}\nDDL:\n{ddl}\nLOG:\n{log}"));
+        assert_eq!(out.report.statements_seen, statements, "seed {seed}");
+        assert_eq!(out.report.statements_ingested, statements, "seed {seed}");
+        assert!(out.report.txns >= 1);
+        assert!(out.instance.n_attrs() >= 1);
+    }
+}
+
+#[test]
+fn random_instances_are_solvable_and_serializable() {
+    for seed in 0..25u64 {
+        let mut g = Gen::new(0x5EED_0000 + seed);
+        let ddl = g.ddl();
+        let (log, _) = g.log();
+        let out = ingest(&ddl, &log, &IngestOptions::default())
+            .unwrap_or_else(|e| panic!("seed {seed} failed: {e}"));
+
+        // Round-trip.
+        let json = serde_json::to_string(&out.instance).unwrap();
+        let back: vpart_model::Instance = serde_json::from_str(&json).unwrap();
+        assert_eq!(out.instance, back, "seed {seed}");
+
+        // Solve + validate.
+        let cost = vpart_core::CostConfig::default();
+        let sa = vpart_core::sa::SaSolver::new(vpart_core::sa::SaConfig::fast_deterministic(seed))
+            .solve(&out.instance, 2, &cost)
+            .unwrap_or_else(|e| panic!("seed {seed} does not solve: {e}"));
+        sa.partitioning
+            .validate(&out.instance, false)
+            .unwrap_or_else(|e| panic!("seed {seed} invalid partitioning: {e}"));
+    }
+}
+
+#[test]
+fn fuzzed_garbage_never_panics() {
+    // Byte-noise logs must produce Ok or a typed error, never a panic.
+    let mut rng = StdRng::seed_from_u64(0xBAD_F00D);
+    let schema = "CREATE TABLE t (a INT, b VARCHAR(8));";
+    let pieces = [
+        "SELECT", "FROM", "WHERE", "t", "a", "b", "(", ")", ",", ";", "=", "*", "'x'", "1.5", "--",
+        "/*", "*/", "BEGIN", "COMMIT", "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE", "?",
+        ".", "\n",
+    ];
+    for _ in 0..500 {
+        let n = rng.gen_range(1..30usize);
+        let log: String = (0..n)
+            .map(|_| pieces[rng.gen_range(0..pieces.len())])
+            .collect::<Vec<_>>()
+            .join(" ");
+        // Either outcome is fine; what matters is that it returns.
+        let _ = ingest(schema, &log, &IngestOptions::default());
+        let _ = ingest(schema, &log, &IngestOptions::default().lenient());
+    }
+}

@@ -1,0 +1,162 @@
+//! Malformed input produces typed `IngestError`s — never panics.
+
+use vpart_ingest::{ingest, IngestError, IngestOptions};
+
+const SCHEMA: &str = "CREATE TABLE t (a INT, b VARCHAR(8));";
+
+fn err(schema: &str, log: &str) -> IngestError {
+    ingest(schema, log, &IngestOptions::default()).unwrap_err()
+}
+
+#[test]
+fn unterminated_statement() {
+    assert_eq!(
+        err(SCHEMA, "SELECT a FROM t"),
+        IngestError::UnterminatedStatement { line: 1 }
+    );
+    assert_eq!(
+        err("CREATE TABLE t (a INT)", "SELECT a FROM t;"),
+        IngestError::UnterminatedStatement { line: 1 }
+    );
+}
+
+#[test]
+fn unterminated_string_and_comment() {
+    assert_eq!(
+        err(SCHEMA, "SELECT a FROM t WHERE b = 'oops;"),
+        IngestError::UnterminatedString { line: 1 }
+    );
+    assert_eq!(
+        err(SCHEMA, "SELECT a FROM t; /* no end"),
+        IngestError::UnterminatedComment { line: 1 }
+    );
+}
+
+#[test]
+fn unknown_column_and_table() {
+    assert_eq!(
+        err(SCHEMA, "SELECT nope FROM t;"),
+        IngestError::UnknownColumn {
+            table: "t".into(),
+            column: "nope".into(),
+            line: 1
+        }
+    );
+    assert_eq!(
+        err(SCHEMA, "SELECT a FROM missing;"),
+        IngestError::UnknownTable {
+            name: "missing".into(),
+            line: 1
+        }
+    );
+    assert_eq!(
+        err(SCHEMA, "UPDATE t SET nope = 1 WHERE a = 2;"),
+        IngestError::UnknownColumn {
+            table: "t".into(),
+            column: "nope".into(),
+            line: 1
+        }
+    );
+}
+
+#[test]
+fn empty_inputs() {
+    assert_eq!(err(SCHEMA, ""), IngestError::EmptyLog);
+    assert_eq!(err(SCHEMA, "-- only comments\n;;"), IngestError::EmptyLog);
+    assert_eq!(err("", "SELECT a FROM t;"), IngestError::EmptySchema);
+    assert_eq!(
+        err("CREATE INDEX i ON t(a);", "SELECT a FROM t;"),
+        IngestError::EmptySchema
+    );
+    assert_eq!(
+        err(SCHEMA, "VACUUM;\nANALYZE;"),
+        IngestError::NothingIngested { statements: 2 }
+    );
+}
+
+#[test]
+fn broken_transaction_brackets() {
+    assert_eq!(
+        err(SCHEMA, "BEGIN;\nSELECT a FROM t;"),
+        IngestError::UnterminatedTransaction { line: 1 }
+    );
+    assert_eq!(
+        err(SCHEMA, "SELECT a FROM t;\nCOMMIT;"),
+        IngestError::CommitOutsideTransaction { line: 2 }
+    );
+    assert_eq!(
+        err(SCHEMA, "BEGIN;\nBEGIN;"),
+        IngestError::NestedTransaction { line: 2 }
+    );
+}
+
+#[test]
+fn malformed_ddl() {
+    assert!(matches!(
+        err("CREATE TABLE (a INT);", "SELECT a FROM t;"),
+        IngestError::Syntax { .. }
+    ));
+    assert!(matches!(
+        err("CREATE TABLE t a INT;", "SELECT a FROM t;"),
+        IngestError::Syntax { .. }
+    ));
+    assert!(matches!(
+        err(
+            "CREATE TABLE t (a INT); CREATE TABLE t (b INT);",
+            "SELECT a FROM t;"
+        ),
+        IngestError::DuplicateTable { .. }
+    ));
+    // A column with no type.
+    assert!(matches!(
+        err("CREATE TABLE t (a);", "SELECT a FROM t;"),
+        IngestError::Syntax { .. }
+    ));
+}
+
+#[test]
+fn malformed_dml_grammar() {
+    assert!(matches!(
+        err(SCHEMA, "SELECT a b c;"),
+        IngestError::Syntax { .. } // no FROM
+    ));
+    assert!(matches!(
+        err(SCHEMA, "INSERT t VALUES (1);"),
+        IngestError::Syntax { .. } // no INTO
+    ));
+    assert!(matches!(
+        err(SCHEMA, "INSERT INTO t (a, b);"),
+        IngestError::Syntax { .. } // no VALUES
+    ));
+    assert!(matches!(
+        err(SCHEMA, "UPDATE t WHERE a = 1;"),
+        IngestError::Syntax { .. } // no SET
+    ));
+    assert!(matches!(
+        err(SCHEMA, "DELETE t WHERE a = 1;"),
+        IngestError::Syntax { .. } // no FROM
+    ));
+    assert!(matches!(
+        err(SCHEMA, "SELECT /*+ rows=-3 */ a FROM t;"),
+        IngestError::Syntax { .. } // invalid annotation value
+    ));
+}
+
+#[test]
+fn lenient_mode_skips_instead_of_failing() {
+    let log = "SELECT nope FROM t;\nSELECT a FROM t;";
+    let out = ingest(SCHEMA, log, &IngestOptions::default().lenient()).unwrap();
+    assert_eq!(out.instance.n_txns(), 1);
+    assert_eq!(out.report.skipped.len(), 1);
+    assert_eq!(
+        out.report.skipped[0].reason,
+        vpart_ingest::SkipReason::UnknownReference
+    );
+}
+
+#[test]
+fn errors_display_and_propagate_as_std_error() {
+    let e = err(SCHEMA, "SELECT nope FROM t;");
+    let boxed: Box<dyn std::error::Error> = Box::new(e);
+    assert!(boxed.to_string().contains("nope"));
+}

@@ -1,0 +1,85 @@
+//! DDL + log → `Instance` → JSON → `Instance` round-trips.
+
+use vpart_ingest::{ingest, IngestOptions};
+use vpart_model::Instance;
+
+const SCHEMA: &str = "\
+    CREATE TABLE customer (
+        c_id BIGINT PRIMARY KEY,
+        c_name VARCHAR(24),
+        c_balance DECIMAL(12,2),
+        c_notes TEXT
+    );
+    CREATE TABLE payment (
+        p_id BIGINT,
+        p_c_id BIGINT,
+        p_amount DECIMAL(10,2),
+        p_when TIMESTAMP
+    );";
+
+const LOG: &str = "\
+    SELECT c_name, c_balance FROM customer WHERE c_id = 1; -- freq=40
+    BEGIN; -- txn=pay freq=9
+    SELECT c_balance FROM customer WHERE c_id = 2;
+    UPDATE customer SET c_balance = c_balance - 10 WHERE c_id = 2;
+    INSERT INTO payment (p_id, p_c_id, p_amount, p_when) VALUES (?, ?, ?, ?);
+    COMMIT;
+    SELECT p_amount FROM payment WHERE p_c_id = 3; -- rows=10 freq=5
+    ";
+
+#[test]
+fn instance_round_trips_through_json() {
+    let out = ingest(SCHEMA, LOG, &IngestOptions::default().with_name("rt")).unwrap();
+    let json = serde_json::to_string(&out.instance).unwrap();
+    let back: Instance = serde_json::from_str(&json).unwrap();
+    assert_eq!(out.instance, back);
+    // Pretty form parses to the same instance too.
+    let pretty = serde_json::to_string_pretty(&out.instance).unwrap();
+    let back2: Instance = serde_json::from_str(&pretty).unwrap();
+    assert_eq!(out.instance, back2);
+}
+
+#[test]
+fn reingesting_the_same_input_is_deterministic() {
+    let a = ingest(SCHEMA, LOG, &IngestOptions::default()).unwrap();
+    let b = ingest(SCHEMA, LOG, &IngestOptions::default()).unwrap();
+    assert_eq!(a.instance, b.instance);
+    assert_eq!(a.report, b.report);
+}
+
+#[test]
+fn statistics_survive_the_round_trip() {
+    let out = ingest(SCHEMA, LOG, &IngestOptions::default()).unwrap();
+    let json = serde_json::to_string(&out.instance).unwrap();
+    let back: Instance = serde_json::from_str(&json).unwrap();
+
+    let w = back.workload();
+    // The standalone select kept its freq=40 annotation.
+    let hot = w
+        .query_by_name("txn0/0:select_customer")
+        .expect("standalone select becomes txn0");
+    assert_eq!(w.query(hot).frequency, 40.0);
+    // The pay block kept its weight and the update kept its split.
+    let pay = w.txn_by_name("pay").expect("named transaction");
+    assert_eq!(w.txn(pay).queries.len(), 4);
+    let upd = w.query_by_name("pay/1:update_customer/write").unwrap();
+    assert_eq!(w.query(upd).frequency, 9.0);
+    // The annotated row count survived.
+    let scan = w.query_by_name("txn2/0:select_payment").unwrap();
+    assert_eq!(w.query(scan).rows_for_table(vpart_model::TableId(1)), 10.0);
+}
+
+#[test]
+fn ingested_instances_solve_and_validate() {
+    let out = ingest(SCHEMA, LOG, &IngestOptions::default()).unwrap();
+    let cost = vpart_core::CostConfig::default();
+    let report = vpart_core::sa::SaSolver::new(vpart_core::sa::SaConfig::fast_deterministic(3))
+        .solve(&out.instance, 2, &cost)
+        .unwrap();
+    report.partitioning.validate(&out.instance, false).unwrap();
+
+    // And the round-tripped instance accepts the same partitioning.
+    let json = serde_json::to_string(&out.instance).unwrap();
+    let back: Instance = serde_json::from_str(&json).unwrap();
+    report.partitioning.validate(&back, false).unwrap();
+}

@@ -1,0 +1,186 @@
+//! Ingested-TPC-C agreement: the `warehouse`/`district` slice of the
+//! Payment transaction, expressed as DDL + SQL, must reproduce the widths
+//! and access sets of the hand-built `vpart_instances::tpcc()` model.
+
+use std::collections::BTreeSet;
+use vpart_ingest::{ingest, IngestOptions};
+use vpart_model::{AttrId, Instance, QueryId};
+
+/// TPC-C §1.3 table definitions for Warehouse and District, with the
+/// spec's datatypes (numerics map to their natural binary width).
+const SCHEMA: &str = "\
+    CREATE TABLE Warehouse (
+        W_ID        INTEGER PRIMARY KEY,
+        W_NAME      VARCHAR(10),
+        W_STREET_1  VARCHAR(20),
+        W_STREET_2  VARCHAR(20),
+        W_CITY      VARCHAR(20),
+        W_STATE     CHAR(2),
+        W_ZIP       CHAR(9),
+        W_TAX       NUMERIC(4,4),
+        W_YTD       NUMERIC(12,2)
+    );
+    CREATE TABLE District (
+        D_ID        INTEGER,
+        D_W_ID      INTEGER,
+        D_NAME      VARCHAR(10),
+        D_STREET_1  VARCHAR(20),
+        D_STREET_2  VARCHAR(20),
+        D_CITY      VARCHAR(20),
+        D_STATE     CHAR(2),
+        D_ZIP       CHAR(9),
+        D_TAX       NUMERIC(4,4),
+        D_YTD       NUMERIC(12,2),
+        D_NEXT_O_ID INTEGER,
+        PRIMARY KEY (D_W_ID, D_ID)
+    );";
+
+/// The Payment profile's statements against those two tables (§2.5.2).
+const LOG: &str = "\
+    BEGIN; -- txn=Payment
+    UPDATE Warehouse SET W_YTD = W_YTD + 100.0 WHERE W_ID = 1;
+    SELECT W_NAME, W_STREET_1, W_STREET_2, W_CITY, W_STATE, W_ZIP FROM Warehouse WHERE W_ID = 1;
+    UPDATE District SET D_YTD = D_YTD + 100.0 WHERE D_W_ID = 1 AND D_ID = 2;
+    SELECT D_NAME, D_STREET_1, D_STREET_2, D_CITY, D_STATE, D_ZIP FROM District WHERE D_W_ID = 1 AND D_ID = 2;
+    COMMIT;";
+
+fn qualified_access_set(ins: &Instance, q: QueryId) -> BTreeSet<String> {
+    ins.workload()
+        .query(q)
+        .attrs
+        .iter()
+        .map(|&a| ins.schema().qualified_name(a).to_ascii_uppercase())
+        .collect()
+}
+
+fn query_by_name(ins: &Instance, name: &str) -> QueryId {
+    ins.workload()
+        .query_by_name(name)
+        .unwrap_or_else(|| panic!("missing query {name}"))
+}
+
+#[test]
+fn widths_match_the_hand_built_model() {
+    let hand = vpart_instances::tpcc();
+    let ingested =
+        ingest(SCHEMA, LOG, &IngestOptions::default()).expect("TPC-C slice ingests cleanly");
+    let ins = &ingested.instance;
+    assert!(ingested.report.is_lossless(), "{}", ingested.report);
+
+    for table in ["Warehouse", "District"] {
+        let ht = hand.schema().table_by_name(table).unwrap();
+        let it = ins.schema().table_by_name(table).unwrap();
+        let hand_cols: Vec<(String, f64)> = hand
+            .schema()
+            .table_attrs(ht)
+            .map(|a| {
+                let attr = hand.schema().attr(AttrId::from_index(a));
+                (attr.name.to_ascii_uppercase(), attr.width)
+            })
+            .collect();
+        let ingested_cols: Vec<(String, f64)> = ins
+            .schema()
+            .table_attrs(it)
+            .map(|a| {
+                let attr = ins.schema().attr(AttrId::from_index(a));
+                (attr.name.to_ascii_uppercase(), attr.width)
+            })
+            .collect();
+        // Same column sets with the same widths (hand order is spec order
+        // for District's D_ID/D_W_ID; compare as sets).
+        let hand_set: BTreeSet<_> = hand_cols
+            .iter()
+            .map(|(n, w)| (n.clone(), w.to_bits()))
+            .collect();
+        let ing_set: BTreeSet<_> = ingested_cols
+            .iter()
+            .map(|(n, w)| (n.clone(), w.to_bits()))
+            .collect();
+        assert_eq!(hand_set, ing_set, "column/width mismatch in {table}");
+    }
+}
+
+#[test]
+fn payment_access_sets_match_the_hand_built_model() {
+    let hand = vpart_instances::tpcc();
+    let ins = ingest(SCHEMA, LOG, &IngestOptions::default())
+        .unwrap()
+        .instance;
+    assert_eq!(ins.n_txns(), 1);
+    // 2 UPDATEs (split) + 2 SELECTs = 6 modeled queries.
+    assert_eq!(ins.n_queries(), 6);
+
+    // (hand query, ingested query) correspondence.
+    let pairs = [
+        ("pay/warehouse_ytd/read", "Payment/0:update_warehouse/read"),
+        (
+            "pay/warehouse_ytd/write",
+            "Payment/0:update_warehouse/write",
+        ),
+        ("pay/warehouse_read", "Payment/1:select_warehouse"),
+        ("pay/district_ytd/read", "Payment/2:update_district/read"),
+        ("pay/district_ytd/write", "Payment/2:update_district/write"),
+        ("pay/district_read", "Payment/3:select_district"),
+    ];
+    for (hand_name, ingested_name) in pairs {
+        let hq = query_by_name(&hand, hand_name);
+        let iq = query_by_name(&ins, ingested_name);
+        assert_eq!(
+            qualified_access_set(&hand, hq),
+            qualified_access_set(&ins, iq),
+            "access set mismatch: {hand_name} vs {ingested_name}"
+        );
+        assert_eq!(
+            hand.workload().query(hq).kind,
+            ins.workload().query(iq).kind,
+            "kind mismatch: {hand_name}"
+        );
+        // Both models assume single-row access for these statements, so
+        // the weights W_{a,q} = w_a·f_q·n agree attribute by attribute.
+        for &a in &ins.workload().query(iq).attrs {
+            let name = ins.schema().qualified_name(a).to_ascii_uppercase();
+            let (ht, hn) = name.split_once('.').unwrap();
+            let ha = hand
+                .schema()
+                .attr_by_name(
+                    if ht == "WAREHOUSE" {
+                        "Warehouse"
+                    } else {
+                        "District"
+                    },
+                    hn,
+                )
+                .unwrap_or_else(|| panic!("hand model lacks {name}"));
+            assert_eq!(
+                hand.weight(ha, hq),
+                ins.weight(a, iq),
+                "weight mismatch on {name} for {hand_name}"
+            );
+        }
+    }
+}
+
+#[test]
+fn derived_constants_agree_on_the_slice() {
+    let hand = vpart_instances::tpcc();
+    let ins = ingest(SCHEMA, LOG, &IngestOptions::default())
+        .unwrap()
+        .instance;
+
+    // φ: the ingested Payment reads exactly the attributes the hand-built
+    // Payment reads from Warehouse/District.
+    let hand_payment = hand.workload().txn_by_name("Payment").unwrap();
+    let hand_read: BTreeSet<String> = hand
+        .read_set(hand_payment)
+        .iter()
+        .map(|&a| hand.schema().qualified_name(a).to_ascii_uppercase())
+        .filter(|n| n.starts_with("WAREHOUSE.") || n.starts_with("DISTRICT."))
+        .collect();
+    let ing_payment = ins.workload().txn_by_name("Payment").unwrap();
+    let ing_read: BTreeSet<String> = ins
+        .read_set(ing_payment)
+        .iter()
+        .map(|&a| ins.schema().qualified_name(a).to_ascii_uppercase())
+        .collect();
+    assert_eq!(hand_read, ing_read, "φ (read-set) mismatch");
+}

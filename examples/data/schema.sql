@@ -1,0 +1,46 @@
+-- A small web-shop schema for the ingestion walkthrough.
+-- Widths derive from the declared types; TEXT columns use the fallback
+-- width and are listed in the ingest report.
+
+CREATE TABLE users (
+    u_id        BIGINT PRIMARY KEY,
+    u_email     VARCHAR(64) NOT NULL UNIQUE,
+    u_name      VARCHAR(32),
+    u_password  CHAR(60),
+    u_created   TIMESTAMP,
+    u_loyalty   INTEGER DEFAULT 0
+);
+
+CREATE TABLE products (
+    p_id        BIGINT PRIMARY KEY,
+    p_name      VARCHAR(48),
+    p_descr     TEXT,
+    p_price     DECIMAL(10, 2),
+    p_stock     INTEGER,
+    p_category  SMALLINT
+);
+
+CREATE TABLE carts (
+    ca_u_id     BIGINT,
+    ca_p_id     BIGINT,
+    ca_qty      SMALLINT,
+    ca_added    TIMESTAMP,
+    PRIMARY KEY (ca_u_id, ca_p_id)
+);
+
+CREATE TABLE orders (
+    o_id        BIGINT PRIMARY KEY,
+    o_u_id      BIGINT REFERENCES users(u_id),
+    o_status    CHAR(1),
+    o_total     DECIMAL(12, 2),
+    o_placed    TIMESTAMP,
+    o_address   VARCHAR(96)
+);
+
+CREATE TABLE order_items (
+    oi_o_id     BIGINT,
+    oi_p_id     BIGINT,
+    oi_qty      SMALLINT,
+    oi_price    DECIMAL(10, 2),
+    PRIMARY KEY (oi_o_id, oi_p_id)
+);

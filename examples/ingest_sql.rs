@@ -1,0 +1,51 @@
+//! Ingest a SQL schema + query log and partition the resulting workload.
+//!
+//! ```text
+//! cargo run --release --example ingest_sql
+//! ```
+//!
+//! Reads the checked-in web-shop workload under `examples/data/`, prints
+//! the ingestion report (what was read, guessed and skipped), solves for
+//! two sites and renders the resulting attribute layout.
+
+use vpart::core::{evaluate, CostConfig};
+use vpart::ingest::{ingest, IngestOptions};
+use vpart::model::report::render_partitioning;
+use vpart::prelude::*;
+
+fn main() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/data");
+    let schema_sql =
+        std::fs::read_to_string(format!("{dir}/schema.sql")).expect("schema.sql is checked in");
+    let log =
+        std::fs::read_to_string(format!("{dir}/queries.log")).expect("queries.log is checked in");
+
+    let out = ingest(
+        &schema_sql,
+        &log,
+        &IngestOptions::default().with_name("web-shop"),
+    )
+    .expect("the checked-in workload ingests cleanly");
+    println!("=== ingestion report ===\n{}", out.report);
+
+    let instance = out.instance;
+    let cost = CostConfig::default();
+    let solved = SaSolver::new(SaConfig::fast_deterministic(7))
+        .solve(&instance, 2, &cost)
+        .expect("SA solves the web-shop instance");
+    solved
+        .partitioning
+        .validate(&instance, false)
+        .expect("solution is feasible");
+
+    let single = Partitioning::single_site(&instance, 1).expect("trivial layout");
+    let baseline = evaluate(&instance, &single, &cost).objective4;
+    println!("=== partitioning (2 sites) ===");
+    println!("cost (objective 4)  {:.1}", solved.breakdown.objective4);
+    println!("single-site cost    {baseline:.1}");
+    println!(
+        "reduction           {:.1}%",
+        (1.0 - solved.breakdown.objective4 / baseline) * 100.0
+    );
+    println!("\n{}", render_partitioning(&instance, &solved.partitioning));
+}

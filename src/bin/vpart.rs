@@ -1,10 +1,12 @@
 //! `vpart` — command-line partitioning advisor.
 //!
 //! ```text
-//! vpart list
+//! vpart list     [--json]
 //! vpart solve    --instance tpcc --sites 3 [--algo qp|sa|exact] [--p 8]
 //!                [--lambda 0.1] [--disjoint] [--seed 42] [--time-limit 60]
 //!                [--layout] [--json]
+//! vpart solve    --schema schema.sql --log queries.log --sites 2 ...
+//! vpart ingest   --schema schema.sql --log queries.log [--out instance.json]
 //! vpart simulate --instance tpcc --sites 2 [--rounds 5] [--seed 42]
 //! ```
 
@@ -12,6 +14,7 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 use vpart::core::{evaluate, CostConfig};
 use vpart::engine::{Deployment, Trace};
+use vpart::ingest::IngestOptions;
 use vpart::model::{report, Partitioning};
 use vpart::prelude::*;
 use vpart::Algorithm;
@@ -20,13 +23,19 @@ fn usage() -> &'static str {
     "vpart — vertical partitioning advisor for OLTP workloads\n\
      \n\
      USAGE:\n\
-       vpart list\n\
-       vpart solve    --instance <name> --sites <k> [--algo qp|sa|exact]\n\
+       vpart list     [--json]\n\
+       vpart solve    --instance <name|file.json> --sites <k> [--algo qp|sa|exact]\n\
                       [--p <f>] [--lambda <f>] [--disjoint] [--seed <n>]\n\
                       [--time-limit <secs>] [--layout] [--json]\n\
+       vpart solve    --schema <ddl.sql> --log <queries.log> --sites <k> [...]\n\
+       vpart ingest   --schema <ddl.sql> --log <queries.log> [--out <file.json>]\n\
+                      [--name <s>] [--text-width <bytes>] [--lenient] [--json]\n\
        vpart simulate --instance <name> --sites <k> [--rounds <n>] [--seed <n>]\n\
      \n\
-     Instances: `tpcc` or any rnd class name (e.g. rndAt8x15, rndBt16x100u50).\n\
+     Instances: `tpcc`, any rnd class name (e.g. rndAt8x15, rndBt16x100u50), a\n\
+     JSON instance file, or a SQL schema + query log via --schema/--log\n\
+     (`vpart ingest` converts the latter into the JSON form and prints a\n\
+     per-statement ingestion report; see README \"Bring your own workload\").\n\
      Defaults: p = 8 (paper), lambda = 0.9 (see DESIGN.md on the paper's λ), algo = sa."
 }
 
@@ -38,7 +47,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             .strip_prefix("--")
             .ok_or_else(|| format!("unexpected argument {:?}", args[i]))?;
         match key {
-            "disjoint" | "layout" | "json" => {
+            "disjoint" | "layout" | "json" | "lenient" => {
                 flags.insert(key.to_owned(), "true".to_owned());
                 i += 1;
             }
@@ -67,12 +76,67 @@ fn get<T: std::str::FromStr>(
     }
 }
 
+fn ingest_options(flags: &HashMap<String, String>) -> Result<IngestOptions, String> {
+    let default_width = IngestOptions::default().text_width;
+    let mut opts =
+        IngestOptions::default().with_text_width(get(flags, "text-width", default_width)?);
+    if let Some(name) = flags.get("name") {
+        opts = opts.with_name(name.clone());
+    }
+    if flags.contains_key("lenient") {
+        opts = opts.lenient();
+    }
+    Ok(opts)
+}
+
+/// Ingests `--schema` + `--log` per the shared flag conventions (the name
+/// defaults to the schema path; `--lenient`/`--text-width` apply).
+fn run_ingest(flags: &HashMap<String, String>) -> Result<vpart::ingest::Ingestion, String> {
+    let schema_path = flags
+        .get("schema")
+        .ok_or_else(|| "--schema is required".to_owned())?;
+    let log_path = flags
+        .get("log")
+        .ok_or_else(|| "--schema also needs --log".to_owned())?;
+    let schema_sql = std::fs::read_to_string(schema_path)
+        .map_err(|e| format!("cannot read {schema_path}: {e}"))?;
+    let log =
+        std::fs::read_to_string(log_path).map_err(|e| format!("cannot read {log_path}: {e}"))?;
+    let mut opts = ingest_options(flags)?;
+    if !flags.contains_key("name") {
+        opts = opts.with_name(schema_path.clone());
+    }
+    vpart::ingest::ingest(&schema_sql, &log, &opts).map_err(|e| e.to_string())
+}
+
+/// Ingests for `solve`, printing the loss report to stderr.
+fn ingest_from_flags(flags: &HashMap<String, String>) -> Result<Instance, String> {
+    let out = run_ingest(flags)?;
+    if !out.report.is_lossless() {
+        eprint!("{}", out.report);
+    }
+    Ok(out.instance)
+}
+
 fn load_instance(flags: &HashMap<String, String>) -> Result<Instance, String> {
+    if flags.contains_key("schema") {
+        return ingest_from_flags(flags);
+    }
     let name = flags
         .get("instance")
-        .ok_or_else(|| "--instance is required".to_owned())?;
-    vpart::instances::by_name(name)
-        .ok_or_else(|| format!("unknown instance {name:?}; try `vpart list`"))
+        .ok_or_else(|| "--instance (or --schema/--log) is required".to_owned())?;
+    if let Some(ins) = vpart::instances::by_name(name) {
+        return Ok(ins);
+    }
+    // Fall back to an instance JSON file (the `vpart ingest --out` format).
+    if std::path::Path::new(name).exists() {
+        let json = std::fs::read_to_string(name).map_err(|e| format!("cannot read {name}: {e}"))?;
+        return serde_json::from_str(&json)
+            .map_err(|e| format!("{name} is not a valid instance file: {e}"));
+    }
+    Err(format!(
+        "unknown instance {name:?} (not a catalog name, not a file); try `vpart list`"
+    ))
 }
 
 fn cost_config(flags: &HashMap<String, String>) -> Result<CostConfig, String> {
@@ -83,7 +147,23 @@ fn cost_config(flags: &HashMap<String, String>) -> Result<CostConfig, String> {
     Ok(cfg)
 }
 
-fn cmd_list() -> Result<(), String> {
+fn cmd_list(flags: HashMap<String, String>) -> Result<(), String> {
+    if flags.contains_key("json") {
+        let entries: Vec<serde_json::Value> = vpart::instances::names()
+            .into_iter()
+            .map(|name| {
+                let ins = vpart::instances::by_name(name).expect("catalog name resolves");
+                serde_json::json!({
+                    "name": name,
+                    "attrs": ins.n_attrs(),
+                    "txns": ins.n_txns(),
+                    "tables": ins.n_tables(),
+                })
+            })
+            .collect();
+        println!("{}", serde_json::Value::Array(entries));
+        return Ok(());
+    }
     println!("available instances:");
     for name in vpart::instances::names() {
         let ins = vpart::instances::by_name(name).expect("catalog name resolves");
@@ -93,6 +173,39 @@ fn cmd_list() -> Result<(), String> {
             ins.n_txns(),
             ins.n_tables()
         );
+    }
+    Ok(())
+}
+
+fn cmd_ingest(flags: HashMap<String, String>) -> Result<(), String> {
+    let out = run_ingest(&flags)?;
+    let json = serde_json::to_string_pretty(&out.instance).map_err(|e| e.to_string())?;
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+    if flags.contains_key("json") {
+        let r = &out.report;
+        eprintln!(
+            "{}",
+            serde_json::json!({
+                "tables": r.tables,
+                "attrs": r.attrs,
+                "txns": r.txns,
+                "queries": r.queries,
+                "statements_seen": r.statements_seen,
+                "statements_ingested": r.statements_ingested,
+                "txn_occurrences": r.txn_occurrences,
+                "skipped": r.skipped.len(),
+                "width_fallbacks": r.width_fallbacks.len(),
+                "lossless": r.is_lossless(),
+            })
+        );
+    } else {
+        eprint!("{}", out.report);
     }
     Ok(())
 }
@@ -244,8 +357,9 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     let result = match cmd.as_str() {
-        "list" => cmd_list(),
+        "list" => parse_flags(&args[1..]).and_then(cmd_list),
         "solve" => parse_flags(&args[1..]).and_then(cmd_solve),
+        "ingest" => parse_flags(&args[1..]).and_then(cmd_ingest),
         "simulate" => parse_flags(&args[1..]).and_then(cmd_simulate),
         "help" | "--help" | "-h" => {
             println!("{}", usage());

@@ -1,0 +1,131 @@
+//! End-to-end CLI: SQL ingestion through the `vpart` binary.
+
+use std::path::Path;
+use std::process::Command;
+
+fn data(file: &str) -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("examples/data")
+        .join(file)
+        .to_string_lossy()
+        .into_owned()
+}
+
+fn vpart(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_vpart"))
+        .args(args)
+        .output()
+        .expect("vpart binary runs")
+}
+
+#[test]
+fn solve_from_schema_and_log() {
+    // The acceptance path: schema + log straight into solve.
+    let out = vpart(&[
+        "solve",
+        "--schema",
+        &data("schema.sql"),
+        "--log",
+        &data("queries.log"),
+        "--sites",
+        "2",
+        "--json",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json: serde_json::Value =
+        serde_json::from_str(std::str::from_utf8(&out.stdout).unwrap().trim()).unwrap();
+    assert_eq!(json.get("sites").and_then(|v| v.as_u64()), Some(2));
+    assert!(json.get("cost").and_then(|v| v.as_f64()).unwrap() > 0.0);
+
+    // The emitted partitioning validates against a fresh ingestion of the
+    // same workload.
+    let part: vpart::model::Partitioning =
+        serde_json::from_value(json.get("partitioning").unwrap()).unwrap();
+    let schema_sql = std::fs::read_to_string(data("schema.sql")).unwrap();
+    let log = std::fs::read_to_string(data("queries.log")).unwrap();
+    let ingested = vpart::ingest::ingest(
+        &schema_sql,
+        &log,
+        &vpart::ingest::IngestOptions::default().with_name(data("schema.sql")),
+    )
+    .unwrap();
+    part.validate(&ingested.instance, false)
+        .expect("CLI partitioning validates");
+}
+
+#[test]
+fn ingest_writes_a_loadable_instance_file() {
+    let tmp = std::env::temp_dir().join("vpart_cli_ingest_test.json");
+    let tmp_str = tmp.to_string_lossy().into_owned();
+    let out = vpart(&[
+        "ingest",
+        "--schema",
+        &data("schema.sql"),
+        "--log",
+        &data("queries.log"),
+        "--name",
+        "web-shop",
+        "--out",
+        &tmp_str,
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("ingested 5 tables"),
+        "report on stderr: {stderr}"
+    );
+
+    // The file round-trips through the model's serde format...
+    let json = std::fs::read_to_string(&tmp).unwrap();
+    let ins: vpart::model::Instance = serde_json::from_str(&json).unwrap();
+    assert_eq!(ins.name(), "web-shop");
+    assert_eq!(ins.n_tables(), 5);
+
+    // ...and `solve --instance <file>` accepts it.
+    let out = vpart(&["solve", "--instance", &tmp_str, "--sites", "2"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("web-shop"), "solve output: {stdout}");
+    let _ = std::fs::remove_file(&tmp);
+}
+
+#[test]
+fn list_supports_json() {
+    let out = vpart(&["list", "--json"]);
+    assert!(out.status.success());
+    let json: serde_json::Value =
+        serde_json::from_str(std::str::from_utf8(&out.stdout).unwrap().trim()).unwrap();
+    let entries = json.as_array().unwrap();
+    assert!(entries.iter().any(|e| {
+        e.get("name").and_then(|n| n.as_str()) == Some("tpcc")
+            && e.get("attrs").and_then(|a| a.as_u64()) == Some(92)
+    }));
+}
+
+#[test]
+fn ingest_errors_are_reported_not_panicked() {
+    let out = vpart(&[
+        "ingest",
+        "--schema",
+        "/nonexistent.sql",
+        "--log",
+        "/nope.log",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+    let out = vpart(&["solve", "--instance", "not-a-thing", "--sites", "2"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown instance"));
+}

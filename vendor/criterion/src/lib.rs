@@ -1,0 +1,212 @@
+//! Offline stand-in for `criterion`: times each benchmark over a few
+//! iterations and prints mean wall-clock time. No statistics, plots or
+//! history — just enough to keep `cargo bench` runnable without network
+//! access. The API mirrors the subset the workspace's benches use.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped (accepted and ignored).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// One setup per measured iteration.
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 5 }
+    }
+}
+
+impl Criterion {
+    /// Accepts CLI arguments (ignored; present for API compatibility).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            iters: self.sample_size,
+            total: Duration::ZERO,
+            timed: 0,
+        };
+        f(&mut b);
+        b.report(id);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            parent: self,
+            sample_size: None,
+        }
+    }
+
+    /// Prints the closing summary (no-op in the shim).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group sharing configuration (mirrors criterion's group API).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    parent: &'a mut Criterion,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample size for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            iters: self.sample_size.unwrap_or(self.parent.sample_size),
+            total: Duration::ZERO,
+            timed: 0,
+        };
+        f(&mut b);
+        b.report(&format!("{}/{id}", self.name));
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Per-benchmark measurement driver handed to the closure.
+pub struct Bencher {
+    iters: usize,
+    total: Duration,
+    timed: u32,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            let out = routine();
+            self.total += start.elapsed();
+            self.timed += 1;
+            drop(out);
+        }
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            self.total += start.elapsed();
+            self.timed += 1;
+            drop(out);
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.timed == 0 {
+            println!("{id:<44} (not measured)");
+        } else {
+            let mean = self.total / self.timed;
+            println!("{id:<44} mean {mean:>12.3?} over {} iters", self.timed);
+        }
+    }
+}
+
+/// Prevents the optimizer from discarding a value (re-export of the std
+/// hint; the real criterion's `black_box` predates it).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::Criterion::default().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_requested_iters() {
+        let mut c = Criterion::default();
+        let mut count = 0u32;
+        c.sample_size(3).bench_function("counting", |b| {
+            b.iter(|| {
+                count += 1;
+            })
+        });
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn iter_batched_separates_setup() {
+        let mut c = Criterion::default();
+        let mut setups = 0u32;
+        let mut runs = 0u32;
+        let mut g = c.benchmark_group("g");
+        g.sample_size(4).bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    setups
+                },
+                |x| {
+                    runs += 1;
+                    black_box(x)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+        assert_eq!(setups, 4);
+        assert_eq!(runs, 4);
+    }
+}

@@ -1,0 +1,436 @@
+//! Offline stand-in for `serde`, sufficient for this workspace.
+//!
+//! The real serde models serialization as a visitor protocol between data
+//! structures and formats. This workspace only ever serializes to and from
+//! JSON, so the shim collapses the protocol to a single self-describing
+//! [`Value`] tree: [`Serialize`] renders a value into a `Value`,
+//! [`Deserialize`] reconstructs one from it. The derive macros (re-exported
+//! from the sibling `serde_derive` shim) generate those impls for the
+//! container shapes the workspace uses; `serde_json` (also shimmed) handles
+//! text encoding of `Value`.
+//!
+//! Integers are kept exact (`u64`/`i64` variants) rather than coerced to
+//! `f64`: the model crate serializes 64-bit bitset words whose values
+//! exceed `f64`'s 53-bit integer range.
+
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing JSON-like value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer, kept exact.
+    UInt(u64),
+    /// Negative integer, kept exact.
+    Int(i64),
+    /// Floating point number.
+    Float(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object as an ordered key/value list.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Numeric view, if the value is any number variant.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::UInt(u) => Some(u as f64),
+            Value::Int(i) => Some(i as f64),
+            Value::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Exact unsigned view.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(u) => Some(u),
+            Value::Int(i) => u64::try_from(i).ok(),
+            Value::Float(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => {
+                Some(f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Exact signed view.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::UInt(u) => i64::try_from(u).ok(),
+            Value::Int(i) => Some(i),
+            Value::Float(f) if f.fract() == 0.0 && f.abs() <= i64::MAX as f64 => Some(f as i64),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Object view.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|o| o.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+
+    /// Object field lookup as an error-carrying operation (used by derives).
+    pub fn expect_field(&self, key: &str) -> Result<&Value, Error> {
+        self.get(key)
+            .ok_or_else(|| Error(format!("missing field `{key}`")))
+    }
+
+    /// String view as an error-carrying operation (used by derives).
+    pub fn expect_str(&self) -> Result<&str, Error> {
+        self.as_str()
+            .ok_or_else(|| Error("expected a string".to_string()))
+    }
+}
+
+impl fmt::Display for Value {
+    /// Compact JSON encoding (non-finite floats print as `null`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => f.write_str(if *b { "true" } else { "false" }),
+            Value::UInt(u) => write!(f, "{u}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) if x.is_finite() => write!(f, "{x}"),
+            Value::Float(_) => f.write_str("null"),
+            Value::String(s) => write_json_string(f, s),
+            Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(fields) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_json_string(f, k)?;
+                    write!(f, ":{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Writes `s` as a JSON string literal with escapes.
+pub fn write_json_string(f: &mut impl fmt::Write, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => f.write_str(c.encode_utf8(&mut [0u8; 4]))?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+/// Serialization/deserialization error: a plain message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Builds an error from any displayable message (mirrors
+    /// `serde::de::Error::custom`).
+    pub fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders `self` into a [`Value`] tree.
+pub trait Serialize {
+    /// The value-tree encoding of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstructs `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parses the value tree, reporting structural mismatches as [`Error`]s.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool()
+            .ok_or_else(|| Error("expected a boolean".to_string()))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.expect_str()?.to_string())
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let u = v
+                    .as_u64()
+                    .ok_or_else(|| Error(format!("expected an unsigned integer, got {v:?}")))?;
+                <$t>::try_from(u).map_err(|_| {
+                    Error(format!("{u} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let i = *self as i64;
+                if i >= 0 {
+                    Value::UInt(i as u64)
+                } else {
+                    Value::Int(i)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let i = v
+                    .as_i64()
+                    .ok_or_else(|| Error(format!("expected an integer, got {v:?}")))?;
+                <$t>::try_from(i).map_err(|_| {
+                    Error(format!("{i} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .ok_or_else(|| Error(format!("expected a number, got {v:?}")))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error("expected an array".to_string()))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+) -> $len:literal;)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let a = v
+                    .as_array()
+                    .ok_or_else(|| Error("expected a tuple array".to_string()))?;
+                if a.len() != $len {
+                    return Err(Error(format!(
+                        "expected a {}-tuple, got {} elements",
+                        $len,
+                        a.len()
+                    )));
+                }
+                Ok(($($name::from_value(&a[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A: 0) -> 1;
+    (A: 0, B: 1) -> 2;
+    (A: 0, B: 1, C: 2) -> 3;
+    (A: 0, B: 1, C: 2, D: 3) -> 4;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_u64_round_trip() {
+        let big = u64::MAX - 3;
+        let v = big.to_value();
+        assert_eq!(u64::from_value(&v).unwrap(), big);
+    }
+
+    #[test]
+    fn option_null_round_trip() {
+        let none: Option<f64> = None;
+        assert_eq!(none.to_value(), Value::Null);
+        assert_eq!(Option::<f64>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(
+            Option::<f64>::from_value(&Value::Float(2.5)).unwrap(),
+            Some(2.5)
+        );
+    }
+
+    #[test]
+    fn tuple_round_trip() {
+        let t = (3u32, 1.5f64);
+        let v = t.to_value();
+        assert_eq!(<(u32, f64)>::from_value(&v).unwrap(), t);
+    }
+
+    #[test]
+    fn range_errors_are_typed() {
+        assert!(u8::from_value(&Value::UInt(300)).is_err());
+        assert!(bool::from_value(&Value::UInt(1)).is_err());
+    }
+}

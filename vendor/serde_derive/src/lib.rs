@@ -1,0 +1,324 @@
+//! Offline stand-in for serde's `#[derive(Serialize, Deserialize)]`.
+//!
+//! This workspace builds without network access, so the real `serde_derive`
+//! (and its `syn`/`quote` dependency tree) is unavailable. This crate
+//! re-implements the derive macros for exactly the container shapes the
+//! workspace uses, parsing the raw token stream by hand:
+//!
+//! * structs with named fields,
+//! * single-field tuple structs (treated as `#[serde(transparent)]`),
+//! * enums with unit variants (serialized as their name string),
+//! * the container attributes `#[serde(transparent)]` and
+//!   `#[serde(try_from = "...", into = "...")]`.
+//!
+//! Generics, field attributes and other serde features are unsupported and
+//! fail loudly at macro-expansion time rather than silently misbehaving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed container attributes relevant to code generation.
+#[derive(Default)]
+struct ContainerAttrs {
+    transparent: bool,
+    try_from: Option<String>,
+    into: Option<String>,
+}
+
+/// The shapes of container this derive supports.
+enum Shape {
+    /// `struct S { a: A, b: B }` — field names in declaration order.
+    Named(Vec<String>),
+    /// `struct S(T);` (or more fields; only 1 is supported).
+    Tuple(usize),
+    /// `enum E { V1, V2 }` — unit variant names in declaration order.
+    Unit(Vec<String>),
+}
+
+struct Container {
+    name: String,
+    attrs: ContainerAttrs,
+    shape: Shape,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let c = parse_container(input);
+    gen_serialize(&c).parse().expect("generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let c = parse_container(input);
+    gen_deserialize(&c).parse().expect("generated impl parses")
+}
+
+fn is_punct(t: Option<&TokenTree>, ch: char) -> bool {
+    matches!(t, Some(TokenTree::Punct(p)) if p.as_char() == ch)
+}
+
+fn is_ident(t: Option<&TokenTree>, name: &str) -> bool {
+    matches!(t, Some(TokenTree::Ident(i)) if i.to_string() == name)
+}
+
+fn parse_container(input: TokenStream) -> Container {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut attrs = ContainerAttrs::default();
+
+    // Outer attributes: `#[...]`, capturing `#[serde(...)]` arguments.
+    while is_punct(toks.get(i), '#') {
+        if let Some(TokenTree::Group(g)) = toks.get(i + 1) {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if is_ident(inner.first(), "serde") {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    parse_serde_args(args.stream(), &mut attrs);
+                }
+            }
+        }
+        i += 2;
+    }
+
+    // Visibility.
+    if is_ident(toks.get(i), "pub") {
+        i += 1;
+        if matches!(toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+
+    let kw = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected container name, got {other:?}"),
+    };
+    i += 1;
+    if is_punct(toks.get(i), '<') {
+        panic!("serde shim derive: generic containers are not supported ({name})");
+    }
+
+    let shape = match (kw.as_str(), toks.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::Named(parse_named_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::Tuple(parse_tuple_arity(g.stream()))
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::Unit(parse_unit_variants(g.stream(), &name))
+        }
+        _ => panic!("serde shim derive: unsupported container shape for {name}"),
+    };
+    Container { name, attrs, shape }
+}
+
+/// Parses `transparent`, `try_from = "T"`, `into = "T"` from `#[serde(...)]`.
+fn parse_serde_args(args: TokenStream, attrs: &mut ContainerAttrs) {
+    let toks: Vec<TokenTree> = args.into_iter().collect();
+    let mut i = 0;
+    while i < toks.len() {
+        if let TokenTree::Ident(id) = &toks[i] {
+            let key = id.to_string();
+            if key == "transparent" {
+                attrs.transparent = true;
+                i += 1;
+            } else if is_punct(toks.get(i + 1), '=') {
+                if let Some(TokenTree::Literal(l)) = toks.get(i + 2) {
+                    let val = l.to_string().trim_matches('"').to_string();
+                    match key.as_str() {
+                        "try_from" => attrs.try_from = Some(val),
+                        "into" => attrs.into = Some(val),
+                        other => {
+                            panic!("serde shim derive: unsupported serde attribute `{other}`")
+                        }
+                    }
+                }
+                i += 3;
+            } else {
+                panic!("serde shim derive: unsupported serde attribute `{key}`");
+            }
+        } else {
+            i += 1; // separator comma
+        }
+    }
+}
+
+/// Extracts field names from `{ a: A, b: Vec<(C, D)>, ... }`, skipping
+/// attributes, visibility and type tokens (angle-bracket aware).
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        while is_punct(toks.get(i), '#') {
+            i += 2;
+        }
+        if is_ident(toks.get(i), "pub") {
+            i += 1;
+            if matches!(toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let Some(TokenTree::Ident(name)) = toks.get(i) else {
+            break;
+        };
+        fields.push(name.to_string());
+        i += 1;
+        // Skip `: Type` up to the next comma outside angle brackets. Commas
+        // inside parens/brackets are nested token groups and invisible here.
+        let mut angle: i32 = 0;
+        while i < toks.len() {
+            if let TokenTree::Punct(p) = &toks[i] {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Counts fields of a tuple struct body `(pub A, pub B)`.
+fn parse_tuple_arity(body: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut arity = 1;
+    let mut angle: i32 = 0;
+    for t in &toks {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => arity += 1,
+                _ => {}
+            }
+        }
+    }
+    arity
+}
+
+/// Extracts unit variant names from an enum body; payload variants panic.
+fn parse_unit_variants(body: TokenStream, container: &str) -> Vec<String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        while is_punct(toks.get(i), '#') {
+            i += 2;
+        }
+        let Some(TokenTree::Ident(name)) = toks.get(i) else {
+            break;
+        };
+        variants.push(name.to_string());
+        i += 1;
+        if matches!(toks.get(i), Some(TokenTree::Group(_))) {
+            panic!("serde shim derive: enum {container} has a payload variant (unsupported)");
+        }
+        if is_punct(toks.get(i), ',') {
+            i += 1;
+        }
+    }
+    variants
+}
+
+fn gen_serialize(c: &Container) -> String {
+    let name = &c.name;
+    if let Some(proxy) = &c.attrs.into {
+        return format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     let __proxy: {proxy} = ::std::convert::Into::into(::std::clone::Clone::clone(self));\n\
+                     ::serde::Serialize::to_value(&__proxy)\n\
+                 }}\n\
+             }}"
+        );
+    }
+    let body = match &c.shape {
+        Shape::Named(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "__fields.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                     ::std::vec::Vec::new();\n{pushes}::serde::Value::Object(__fields)"
+            )
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => panic!("serde shim derive: {n}-field tuple struct {name} unsupported"),
+        Shape::Unit(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                arms.push_str(&format!("Self::{v} => \"{v}\",\n"));
+            }
+            format!("::serde::Value::String((match self {{ {arms} }}).to_string())")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(c: &Container) -> String {
+    let name = &c.name;
+    if let Some(proxy) = &c.attrs.try_from {
+        return format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     let __proxy: {proxy} = ::serde::Deserialize::from_value(__v)?;\n\
+                     ::std::convert::TryFrom::try_from(__proxy).map_err(::serde::Error::custom)\n\
+                 }}\n\
+             }}"
+        );
+    }
+    let body = match &c.shape {
+        Shape::Named(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_value(__v.expect_field(\"{f}\")?)?,\n"
+                ));
+            }
+            format!("::std::result::Result::Ok(Self {{ {inits} }})")
+        }
+        Shape::Tuple(1) => {
+            "::std::result::Result::Ok(Self(::serde::Deserialize::from_value(__v)?))".to_string()
+        }
+        Shape::Tuple(n) => panic!("serde shim derive: {n}-field tuple struct {name} unsupported"),
+        Shape::Unit(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                arms.push_str(&format!(
+                    "\"{v}\" => ::std::result::Result::Ok(Self::{v}),\n"
+                ));
+            }
+            format!(
+                "match __v.expect_str()? {{ {arms} __other => ::std::result::Result::Err(\
+                     ::serde::Error::custom(format!(\"unknown variant {{__other:?}} for {name}\"))) }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}
