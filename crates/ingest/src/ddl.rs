@@ -6,12 +6,17 @@
 //! take their declared maximum, and unbounded types (`TEXT`, `BLOB`, ...)
 //! fall back to [`crate::IngestOptions::text_width`] with a diagnostic —
 //! the cost model needs *some* `w_a`, but the guess must stay visible.
+//!
+//! `PRIMARY KEY` declarations (column-level or table-level) are kept in
+//! [`ParsedSchema::primary_keys`] so the log miner can infer `rows = 1`
+//! for full-key equality predicates; all other constraints are accepted
+//! and ignored.
 
 use crate::error::IngestError;
 use crate::lexer::{RawStatement, Tok};
 use crate::report::{SkipReason, Skipped, WidthFallback};
 use crate::IngestOptions;
-use vpart_model::Schema;
+use vpart_model::{AttrId, Schema, TableId};
 
 /// Column-list keywords that start a table constraint, not a column.
 const CONSTRAINT_HEADS: &[&str] = &[
@@ -30,6 +35,9 @@ const CONSTRAINT_HEADS: &[&str] = &[
 pub struct ParsedSchema {
     /// The assembled schema.
     pub schema: Schema,
+    /// Per-table primary-key attributes (indexed by [`TableId`]; empty for
+    /// tables that declared none). Drives `WHERE pk = ?` row estimation.
+    pub primary_keys: Vec<Vec<AttrId>>,
     /// Types that needed the fallback width.
     pub width_fallbacks: Vec<WidthFallback>,
     /// Non-`CREATE TABLE` statements that were skipped.
@@ -43,6 +51,9 @@ pub fn parse_schema(sql: &str, opts: &IngestOptions) -> Result<ParsedSchema, Ing
     let mut width_fallbacks = Vec::new();
     let mut skipped = Vec::new();
     let mut names: Vec<String> = Vec::new();
+    // Per-table (pk column name, line of the declaration) lists; resolved
+    // to attribute ids once the schema is built.
+    let mut pk_names: Vec<Vec<(String, u32)>> = Vec::new();
     let mut any_table = false;
 
     for stmt in &statements {
@@ -70,13 +81,34 @@ pub fn parse_schema(sql: &str, opts: &IngestOptions) -> Result<ParsedSchema, Ing
             .map(|(n, w)| (n.as_str(), *w))
             .collect();
         builder.table(&table.name, &cols)?;
+        pk_names.push(table.pk);
         any_table = true;
     }
     if !any_table {
         return Err(IngestError::EmptySchema);
     }
+    let schema = builder.build()?;
+    let mut primary_keys = Vec::with_capacity(pk_names.len());
+    for (t, cols) in pk_names.into_iter().enumerate() {
+        let table = TableId::from_index(t);
+        let mut pk = Vec::with_capacity(cols.len());
+        for (col, line) in cols {
+            let a = crate::stmt::table_attr(&schema, table, &col).ok_or_else(|| {
+                IngestError::UnknownColumn {
+                    table: schema.tables()[t].name.clone(),
+                    column: col,
+                    line,
+                }
+            })?;
+            pk.push(a);
+        }
+        pk.sort_unstable();
+        pk.dedup();
+        primary_keys.push(pk);
+    }
     Ok(ParsedSchema {
-        schema: builder.build()?,
+        schema,
+        primary_keys,
         width_fallbacks,
         skipped,
     })
@@ -85,6 +117,8 @@ pub fn parse_schema(sql: &str, opts: &IngestOptions) -> Result<ParsedSchema, Ing
 struct TableDef {
     name: String,
     columns: Vec<(String, f64)>,
+    /// `PRIMARY KEY` column names with their declaration lines.
+    pk: Vec<(String, u32)>,
 }
 
 fn parse_create_table(
@@ -109,6 +143,7 @@ fn parse_create_table(
     i += 1;
 
     let mut columns: Vec<(String, f64)> = Vec::new();
+    let mut pk: Vec<(String, u32)> = Vec::new();
     loop {
         let Some(tok) = toks.get(i) else {
             return Err(syntax(stmt, i, "a column definition or `)`"));
@@ -118,7 +153,50 @@ fn parse_create_table(
         }
         let head = tok.tok.keyword().unwrap_or_default();
         if CONSTRAINT_HEADS.contains(&head.as_str()) {
-            i = skip_to_item_end(toks, i);
+            // `[CONSTRAINT name] PRIMARY KEY (col, ...)` names the key
+            // columns; every other table constraint is skipped whole.
+            let pk_head = if head == "PRIMARY" {
+                Some(i)
+            } else if head == "CONSTRAINT" {
+                // CONSTRAINT <name> PRIMARY ...
+                (toks.get(i + 2).map(|t| &t.tok))
+                    .and_then(Tok::keyword)
+                    .filter(|k| k == "PRIMARY")
+                    .map(|_| i + 2)
+            } else {
+                None
+            };
+            if let Some(p) = pk_head {
+                // The key's `(col, ...)` group, if present within this item.
+                let mut open = None;
+                for (j, t) in toks.iter().enumerate().skip(p) {
+                    match t.tok {
+                        Tok::Punct('(') => {
+                            open = Some(j);
+                            break;
+                        }
+                        Tok::Punct(',') | Tok::Punct(')') => break,
+                        _ => {}
+                    }
+                }
+                if let Some(open) = open {
+                    let close = skip_group(toks, open, stmt)?;
+                    pk.clear(); // a table-level key supersedes column-level ones
+                    for t in &toks[open + 1..close] {
+                        if let Tok::Ident(col) = &t.tok {
+                            // Sort/null qualifiers are not key columns.
+                            if matches!(
+                                col.to_ascii_uppercase().as_str(),
+                                "ASC" | "DESC" | "NULLS" | "FIRST" | "LAST" | "AUTOINCREMENT"
+                            ) {
+                                continue;
+                            }
+                            pk.push((col.clone(), t.line));
+                        }
+                    }
+                }
+            }
+            i = skip_to_item_end(toks, i, stmt)?;
             continue;
         }
         let Tok::Ident(col) = &tok.tok else {
@@ -145,7 +223,7 @@ fn parse_create_table(
         }
         let mut args: Vec<u64> = Vec::new();
         if matches!(toks.get(i).map(|t| &t.tok), Some(Tok::Punct('('))) {
-            let close = skip_group(toks, i);
+            let close = skip_group(toks, i, stmt)?;
             for t in &toks[i + 1..close] {
                 if let Tok::Number(n) = &t.tok {
                     if let Ok(v) = n.parse::<u64>() {
@@ -164,32 +242,71 @@ fn parse_create_table(
                 width,
             });
         }
+        // Column constraints (NOT NULL, DEFAULT ..., PRIMARY KEY, ...);
+        // a `PRIMARY KEY` in the tail marks this column as the key.
+        let tail_end = skip_to_item_end(toks, i, stmt)?;
+        let item_end = tail_end.min(toks.len());
+        let mut depth = 0usize;
+        for j in i..item_end {
+            match toks[j].tok {
+                Tok::Punct('(') => depth += 1,
+                Tok::Punct(')') => depth = depth.saturating_sub(1),
+                _ => {
+                    if depth == 0
+                        && toks[j].tok.is_kw("PRIMARY")
+                        && toks.get(j + 1).is_some_and(|t| t.tok.is_kw("KEY"))
+                    {
+                        pk.push((col.clone(), toks[j].line));
+                    }
+                }
+            }
+        }
         columns.push((col, width));
-        // Column constraints (NOT NULL, DEFAULT ..., REFERENCES t(c), ...).
-        i = skip_to_item_end(toks, i);
+        i = tail_end;
     }
-    Ok(TableDef { name, columns })
+    Ok(TableDef { name, columns, pk })
 }
 
 /// Advances past the current column-list item: to just after the next
-/// top-level `,`, or to the closing `)` of the list.
-fn skip_to_item_end(toks: &[crate::lexer::Token], mut i: usize) -> usize {
+/// top-level `,`, or to the closing `)` of the list. An unbalanced `(`
+/// inside the item is a syntax error (nothing to resynchronize on).
+fn skip_to_item_end(
+    toks: &[crate::lexer::Token],
+    mut i: usize,
+    stmt: &RawStatement,
+) -> Result<usize, IngestError> {
     let mut depth = 0usize;
+    let mut last_open = i;
     while let Some(t) = toks.get(i) {
         match t.tok {
-            Tok::Punct('(') => depth += 1,
-            Tok::Punct(')') if depth == 0 => return i,
+            Tok::Punct('(') => {
+                depth += 1;
+                last_open = i;
+            }
+            Tok::Punct(')') if depth == 0 => return Ok(i),
             Tok::Punct(')') => depth -= 1,
-            Tok::Punct(',') if depth == 0 => return i + 1,
+            Tok::Punct(',') if depth == 0 => return Ok(i + 1),
             _ => {}
         }
         i += 1;
     }
-    i
+    if depth > 0 {
+        return Err(syntax(
+            stmt,
+            toks.len(),
+            &format!("a `)` matching the `(` on line {}", toks[last_open].line),
+        ));
+    }
+    Ok(i)
 }
 
-/// Given `toks[i] == '('`, returns the index of the matching `)`.
-fn skip_group(toks: &[crate::lexer::Token], i: usize) -> usize {
+/// Given `toks[i] == '('`, returns the index of the matching `)`; an
+/// unbalanced group is a syntax error.
+fn skip_group(
+    toks: &[crate::lexer::Token],
+    i: usize,
+    stmt: &RawStatement,
+) -> Result<usize, IngestError> {
     let mut depth = 0usize;
     for (j, t) in toks.iter().enumerate().skip(i) {
         match t.tok {
@@ -197,13 +314,17 @@ fn skip_group(toks: &[crate::lexer::Token], i: usize) -> usize {
             Tok::Punct(')') => {
                 depth -= 1;
                 if depth == 0 {
-                    return j;
+                    return Ok(j);
                 }
             }
             _ => {}
         }
     }
-    toks.len()
+    Err(syntax(
+        stmt,
+        toks.len(),
+        &format!("a `)` matching the `(` on line {}", toks[i].line),
+    ))
 }
 
 fn syntax(stmt: &RawStatement, i: usize, expected: &str) -> IngestError {
@@ -286,7 +407,7 @@ mod tests {
     }
 
     #[test]
-    fn table_constraints_are_skipped() {
+    fn table_constraints_are_skipped_but_keys_are_kept() {
         let p = parse_schema(
             "CREATE TABLE t (\n\
                a INT,\n\
@@ -299,6 +420,78 @@ mod tests {
         )
         .unwrap();
         assert_eq!(p.schema.n_attrs(), 2);
+        assert_eq!(
+            p.primary_keys,
+            vec![vec![vpart_model::AttrId(0), vpart_model::AttrId(1)]]
+        );
+    }
+
+    #[test]
+    fn primary_keys_survive_in_all_declaration_forms() {
+        let p = parse_schema(
+            "CREATE TABLE a (id BIGINT PRIMARY KEY, v INT);\n\
+             CREATE TABLE b (x INT, y INT, CONSTRAINT b_pk PRIMARY KEY (y));\n\
+             CREATE TABLE c (z INT);",
+            &opts(),
+        )
+        .unwrap();
+        assert_eq!(p.primary_keys.len(), 3);
+        assert_eq!(p.primary_keys[0], vec![vpart_model::AttrId(0)]);
+        assert_eq!(p.primary_keys[1], vec![vpart_model::AttrId(3)]);
+        assert!(p.primary_keys[2].is_empty(), "no key declared");
+    }
+
+    #[test]
+    fn pk_sort_qualifiers_are_not_key_columns() {
+        let p = parse_schema(
+            "CREATE TABLE t (a INT, b INT, PRIMARY KEY (a ASC, b DESC NULLS LAST));",
+            &opts(),
+        )
+        .unwrap();
+        assert_eq!(
+            p.primary_keys,
+            vec![vec![vpart_model::AttrId(0), vpart_model::AttrId(1)]]
+        );
+    }
+
+    #[test]
+    fn unknown_pk_columns_are_typed_errors() {
+        assert!(matches!(
+            parse_schema("CREATE TABLE t (a INT, PRIMARY KEY (nope));", &opts()),
+            Err(IngestError::UnknownColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn unbalanced_parens_in_constraints_are_syntax_errors() {
+        // Balanced nested parens in a CHECK parse fine...
+        let p = parse_schema(
+            "CREATE TABLE t (a INT, CONSTRAINT chk CHECK ((a > 0) AND (a < 9)));",
+            &opts(),
+        )
+        .unwrap();
+        assert_eq!(p.schema.n_attrs(), 1);
+        // ...an unbalanced `(` is a loud error naming the open paren, not a
+        // silent swallow of the statement's remainder.
+        let err = parse_schema(
+            "CREATE TABLE t (a INT, CONSTRAINT chk CHECK ((a > 0);",
+            &opts(),
+        )
+        .unwrap_err();
+        match err {
+            IngestError::Syntax { expected, .. } => {
+                assert!(expected.contains("matching"), "got {expected:?}")
+            }
+            other => panic!("expected Syntax error, got {other:?}"),
+        }
+        // Same for unbalanced type arguments.
+        let err = parse_schema("CREATE TABLE t (a DECIMAL(12;", &opts()).unwrap_err();
+        match err {
+            IngestError::Syntax { expected, .. } => {
+                assert!(expected.contains("matching"), "got {expected:?}")
+            }
+            other => panic!("expected Syntax error, got {other:?}"),
+        }
     }
 
     #[test]

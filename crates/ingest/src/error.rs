@@ -48,11 +48,30 @@ pub enum IngestError {
     },
     /// A statement referenced a column its target table does not have.
     UnknownColumn {
-        /// The statement's target table.
+        /// The statement's target table (or the in-scope tables, comma-
+        /// separated, for multi-table statements).
         table: String,
         /// The referenced column name.
         column: String,
         /// Line of the reference.
+        line: u32,
+    },
+    /// An unqualified column name that several in-scope tables of a
+    /// multi-table statement could bind.
+    AmbiguousColumn {
+        /// The referenced column name.
+        column: String,
+        /// Tables that all define the column.
+        tables: Vec<String>,
+        /// Line of the reference.
+        line: u32,
+    },
+    /// A statement combines multiple `SELECT`s in a way that cannot be
+    /// flattened into per-table accesses (`UNION`, ...). Internal: the
+    /// parser converts this into a [`crate::SkipReason::Subquery`] skip
+    /// before it can escape [`crate::stmt::parse_statement`].
+    Unflattenable {
+        /// Line of the statement.
         line: u32,
     },
     /// The schema file defines the same table twice.
@@ -82,9 +101,26 @@ pub enum IngestError {
         /// Line of the inner `BEGIN`.
         line: u32,
     },
-    /// `COMMIT` (or `ROLLBACK`) without a matching `BEGIN`.
+    /// `COMMIT` without a matching `BEGIN`.
     CommitOutsideTransaction {
         /// Line of the stray bracket.
+        line: u32,
+    },
+    /// `ROLLBACK` without a matching `BEGIN`.
+    RollbackOutsideTransaction {
+        /// Line of the stray bracket.
+        line: u32,
+    },
+    /// The same annotation appears with different values on both ends of a
+    /// transaction block (`BEGIN; -- freq=2 ... COMMIT; -- freq=3`).
+    ConflictingAnnotation {
+        /// The annotation key (`freq`, `txn`).
+        key: String,
+        /// The value on `BEGIN`.
+        first: String,
+        /// The value on `COMMIT`.
+        second: String,
+        /// Line of the `COMMIT`.
         line: u32,
     },
     /// The assembled schema/workload failed model validation.
@@ -122,6 +158,18 @@ impl fmt::Display for IngestError {
                 column,
                 line,
             } => write!(f, "line {line}: table {table:?} has no column {column:?}"),
+            Self::AmbiguousColumn {
+                column,
+                tables,
+                line,
+            } => write!(
+                f,
+                "line {line}: column {column:?} is ambiguous (defined in {})",
+                tables.join(", ")
+            ),
+            Self::Unflattenable { line } => {
+                write!(f, "line {line}: statement cannot be flattened per table")
+            }
             Self::DuplicateTable { name, line } => {
                 write!(f, "line {line}: table {name:?} defined twice")
             }
@@ -139,11 +187,21 @@ impl fmt::Display for IngestError {
                 write!(f, "line {line}: BEGIN inside an open transaction")
             }
             Self::CommitOutsideTransaction { line } => {
-                write!(
-                    f,
-                    "line {line}: COMMIT/ROLLBACK without an open transaction"
-                )
+                write!(f, "line {line}: COMMIT without an open transaction")
             }
+            Self::RollbackOutsideTransaction { line } => {
+                write!(f, "line {line}: ROLLBACK without an open transaction")
+            }
+            Self::ConflictingAnnotation {
+                key,
+                first,
+                second,
+                line,
+            } => write!(
+                f,
+                "line {line}: conflicting {key}= annotations on BEGIN ({first}) \
+                 and COMMIT ({second})"
+            ),
             Self::Model(e) => write!(f, "model validation failed: {e}"),
         }
     }

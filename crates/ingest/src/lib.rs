@@ -8,7 +8,7 @@
 //! ```
 //! use vpart_ingest::{ingest, IngestOptions};
 //!
-//! let schema = "CREATE TABLE acct (id BIGINT, owner VARCHAR(16), bal DECIMAL(12,2));";
+//! let schema = "CREATE TABLE acct (id BIGINT PRIMARY KEY, owner VARCHAR(16), bal DECIMAL(12,2));";
 //! let log = "\
 //!     BEGIN; -- txn=withdraw
 //!     SELECT bal FROM acct WHERE id = 1;
@@ -17,7 +17,10 @@
 //! let out = ingest(schema, log, &IngestOptions::default()).unwrap();
 //! assert_eq!(out.instance.n_txns(), 1);
 //! assert_eq!(out.instance.n_queries(), 3); // select + update read/write
+//! // `WHERE id = 1` binds the full primary key → rows = 1, no annotation
+//! // needed, and the estimate is principled (lossless).
 //! assert!(out.report.is_lossless());
+//! assert!(out.report.row_estimates.iter().all(|e| e.pk_equality));
 //! ```
 //!
 //! # Supported SQL subset
@@ -29,28 +32,50 @@
 //! to 9 digits, 8 up to 18, packed beyond), `CHAR(n)`/`VARCHAR(n)` as `n`,
 //! date/time types 4–8 bytes, `UUID` 16. Unbounded or unknown types
 //! (`TEXT`, `BLOB`, vendor types) use [`IngestOptions::text_width`] and
-//! are reported as width fallbacks. Table constraints (`PRIMARY KEY`,
-//! `FOREIGN KEY`, `UNIQUE`, `CHECK`, ...) and column constraints are
-//! accepted and ignored; other DDL statements are skipped with a
-//! diagnostic.
+//! are reported as width fallbacks. `PRIMARY KEY` declarations are kept
+//! for row estimation; other constraints (`FOREIGN KEY`, `UNIQUE`,
+//! `CHECK`, ...) are accepted and ignored; non-`CREATE TABLE` DDL is
+//! skipped with a diagnostic.
 //!
-//! **Query log** — `SELECT` / `INSERT` / `UPDATE` / `DELETE` over a
-//! *single table each* (table aliases, `AS` output aliases and
-//! schema-qualified names are accepted), plus
-//! `BEGIN`/`COMMIT`/`ROLLBACK` brackets.
+//! **Query log** — `SELECT` / `INSERT` / `UPDATE` / `DELETE` (table
+//! aliases, `AS` output aliases and schema-qualified names are accepted),
+//! plus `BEGIN`/`COMMIT`/`ROLLBACK` brackets. Multi-table statements are
+//! *flattened* into one access per touched table, exactly as the
+//! hand-built TPC-C model expresses its multi-table transactions:
+//!
+//! * `JOIN ... ON` / `USING` and comma joins — one read per joined table
+//!   over the columns each table contributes,
+//! * `IN (SELECT ...)`, `EXISTS (...)` and other parenthesized subqueries
+//!   (correlated ones included) — the inner tables become reads,
+//! * `INSERT ... SELECT` — a write on the target plus reads on the
+//!   sources.
+//!
 //! Selection predicates count as attribute accesses (as in the hand-built
 //! TPC-C model); `SELECT *` and unpredicated `DELETE` touch every column;
 //! UPDATEs split into read + write sub-queries per the paper's §5.2.
 //! Identical statements/blocks aggregate into query frequencies.
-//! Comment annotations refine statistics: `-- rows=N` (average rows per
-//! execution), `-- freq=N` (execution weight), `-- txn=Name` (template
-//! name); `/*+ ... */` hint comments work inline.
+//!
+//! # Row counts
+//!
+//! Per-table row counts `n_{a,q}` come from, in priority order:
+//!
+//! 1. a `-- rows=N` annotation (authoritative),
+//! 2. the `VALUES` tuple count of a plain `INSERT` (exact),
+//! 3. a full `PRIMARY KEY` equality binding (`WHERE pk = ?`, every key
+//!    column `=` a constant, no `OR`) → 1 row,
+//! 4. otherwise [`IngestOptions::default_rows`] scaled by the `-- sel=F`
+//!    annotation (join selectivity / fan-out), recorded in the report as
+//!    a guess.
+//!
+//! Other annotations: `-- freq=N` (execution weight, on a bare statement
+//! or either transaction bracket), `-- txn=Name` (template name);
+//! `/*+ ... */` hint comments work inline.
 //!
 //! # Known limits (by design, see the ingest report for visibility)
 //!
-//! * no JOINs / multi-table `FROM` — such statements are skipped with a
-//!   [`report::SkipReason::Join`] diagnostic,
-//! * no subqueries or `INSERT ... SELECT`,
+//! * no set operations (`UNION`, ...), no derived tables
+//!   (`FROM (SELECT ...) alias`) and no multi-table `UPDATE` targets —
+//!   skipped with [`report::SkipReason`] diagnostics,
 //! * `COUNT(*)` and arithmetic `*` are read as whole-row references (an
 //!   over-approximation),
 //! * statement order inside a transaction is part of its aggregation
@@ -60,11 +85,11 @@
 //! # Error policy
 //!
 //! Truncated input and schema/log mismatches (unknown tables/columns,
-//! unbalanced `BEGIN`/`COMMIT`) are typed [`IngestError`]s — silently
-//! dropping workload would corrupt the cost model. Well-formed but
-//! unsupported SQL is *skipped and reported* instead
-//! ([`IngestOptions::strict`] = `false` extends this to unknown
-//! references). Nothing panics on malformed text.
+//! ambiguous join columns, unbalanced `BEGIN`/`COMMIT`, conflicting
+//! bracket annotations) are typed [`IngestError`]s — silently dropping
+//! workload would corrupt the cost model. Well-formed but unsupported SQL
+//! is *skipped and reported* instead ([`IngestOptions::strict`] = `false`
+//! extends this to unknown references). Nothing panics on malformed text.
 
 pub mod ddl;
 pub mod error;
@@ -74,7 +99,7 @@ pub mod report;
 pub mod stmt;
 
 pub use error::IngestError;
-pub use report::{IngestReport, SkipReason, Skipped, WidthFallback};
+pub use report::{IngestReport, RowEstimate, SkipReason, Skipped, WidthFallback};
 
 use vpart_model::Instance;
 
@@ -85,6 +110,9 @@ pub struct IngestOptions {
     pub name: String,
     /// Fallback width in bytes for unbounded/unknown SQL types.
     pub text_width: f64,
+    /// Fallback per-table row count for statements with neither a `rows=`
+    /// annotation nor a full primary-key equality predicate.
+    pub default_rows: f64,
     /// When `true` (default), unknown tables/columns and in-statement
     /// grammar violations abort ingestion; when `false` they skip the
     /// statement with a diagnostic.
@@ -96,6 +124,7 @@ impl Default for IngestOptions {
         Self {
             name: "ingested".to_string(),
             text_width: 64.0,
+            default_rows: 1.0,
             strict: true,
         }
     }
@@ -111,6 +140,12 @@ impl IngestOptions {
     /// Sets the fallback width for unbounded types.
     pub fn with_text_width(mut self, width: f64) -> Self {
         self.text_width = width;
+        self
+    }
+
+    /// Sets the fallback row count for unestimable statements.
+    pub fn with_default_rows(mut self, rows: f64) -> Self {
+        self.default_rows = rows;
         self
     }
 
@@ -137,7 +172,8 @@ pub fn ingest(
     opts: &IngestOptions,
 ) -> Result<Ingestion, IngestError> {
     let parsed = ddl::parse_schema(schema_sql, opts)?;
-    let (workload, stats) = log::mine_workload(query_log, &parsed.schema, opts)?;
+    let (workload, stats) =
+        log::mine_workload(query_log, &parsed.schema, &parsed.primary_keys, opts)?;
     let instance = Instance::new(opts.name.clone(), parsed.schema, workload)?;
 
     let mut skipped = parsed.skipped;
@@ -153,6 +189,7 @@ pub fn ingest(
         txn_occurrences: stats.txn_occurrences,
         skipped,
         width_fallbacks: parsed.width_fallbacks,
+        row_estimates: stats.row_estimates,
     };
     Ok(Ingestion { instance, report })
 }
@@ -170,8 +207,8 @@ mod tests {
     use super::*;
 
     const SCHEMA: &str = "\
-        CREATE TABLE users (u_id BIGINT, u_email VARCHAR(64), u_notes TEXT);\n\
-        CREATE TABLE orders (o_id BIGINT, o_u_id BIGINT, o_total DECIMAL(12,2));";
+        CREATE TABLE users (u_id BIGINT PRIMARY KEY, u_email VARCHAR(64), u_notes TEXT);\n\
+        CREATE TABLE orders (o_id BIGINT PRIMARY KEY, o_u_id BIGINT, o_total DECIMAL(12,2));";
 
     #[test]
     fn end_to_end_builds_a_validated_instance() {
@@ -181,17 +218,25 @@ mod tests {
             SELECT u_id FROM users WHERE u_email = 'a@b.c';\n\
             INSERT INTO orders VALUES (1, 7, 9.99);\n\
             COMMIT;\n\
-            SELECT * FROM orders, users;";
+            SELECT u_email, o_total FROM orders JOIN users ON o_u_id = u_id WHERE o_id = 3;";
         let out = ingest(SCHEMA, log, &IngestOptions::default()).unwrap();
         assert_eq!(out.instance.n_tables(), 2);
         assert_eq!(out.instance.n_attrs(), 6);
-        assert_eq!(out.instance.n_txns(), 2);
+        assert_eq!(out.instance.n_txns(), 3);
         assert_eq!(out.report.statements_seen, 4);
-        assert_eq!(out.report.statements_ingested, 3);
-        assert_eq!(out.report.skipped.len(), 1);
-        assert_eq!(out.report.skipped[0].reason, SkipReason::Join);
+        assert_eq!(out.report.statements_ingested, 4, "the join ingests too");
+        // 1 select + (select + insert) + 2 flattened join reads.
+        assert_eq!(out.instance.n_queries(), 5);
+        assert!(out.report.skipped.is_empty());
         assert_eq!(out.report.width_fallbacks.len(), 1, "TEXT column");
-        assert!(!out.report.is_lossless());
+        // u_id = 7 and o_id = 3 are PK equalities; the email lookup and
+        // the join's users side are default guesses.
+        assert!(out
+            .report
+            .row_estimates
+            .iter()
+            .any(|e| e.pk_equality && e.table == "users"));
+        assert!(!out.report.is_lossless(), "default guesses remain visible");
         assert!(out.instance.workload().txn_by_name("checkout").is_some());
     }
 
@@ -208,6 +253,22 @@ mod tests {
         assert_eq!(out.report.attrs, out.instance.n_attrs());
         assert_eq!(out.report.txns, out.instance.n_txns());
         assert_eq!(out.report.queries, out.instance.n_queries());
+    }
+
+    #[test]
+    fn default_rows_option_feeds_the_fallback_estimate() {
+        let out = ingest(
+            SCHEMA,
+            "SELECT u_id FROM users WHERE u_email = 'a@b.c';",
+            &IngestOptions::default().with_default_rows(12.0),
+        )
+        .unwrap();
+        let w = out.instance.workload();
+        let q = w.query(vpart_model::QueryId(0));
+        assert_eq!(q.rows_for_table(vpart_model::TableId(0)), 12.0);
+        assert_eq!(out.report.row_estimates.len(), 1);
+        assert!(!out.report.row_estimates[0].pk_equality);
+        assert_eq!(out.report.row_estimates[0].rows, 12.0);
     }
 
     #[test]

@@ -9,19 +9,25 @@
 //! produces one `Payment` template at frequency 10 000, exactly the
 //! workload statistics the cost model wants.
 //!
-//! `UPDATE` statements are split into a read sub-query over every
-//! referenced attribute and a write sub-query over the written attributes
-//! via [`vpart_model::WorkloadBuilder::add_update`], mirroring the
-//! hand-built TPC-C model (§5.2 of the paper).
+//! Each parsed statement carries one access per touched table (joins,
+//! subqueries and `INSERT ... SELECT` flatten — see [`crate::stmt`]); an
+//! access with both read and write attributes (an `UPDATE` target) is
+//! split into read + write sub-queries via
+//! [`vpart_model::WorkloadBuilder::add_update`], mirroring the hand-built
+//! TPC-C model (§5.2 of the paper).
 //!
 //! Annotations refine the statistics: `-- rows=N` sets a statement's
-//! per-table row count, `-- freq=N` scales an occurrence (on `BEGIN` or a
-//! bare statement) or one statement's per-execution multiplicity (inside a
-//! block), and `-- txn=Name` names the template.
+//! per-table row count (`-- sel=F` scales estimated ones), `-- freq=N`
+//! scales an occurrence (on `BEGIN`/`COMMIT` or a bare statement) or one
+//! statement's per-execution multiplicity (inside a block), and
+//! `-- txn=Name` names the template. `freq=`/`txn=` may sit on either
+//! bracket of a block; conflicting values are an error.
 
 use crate::error::IngestError;
-use crate::report::{SkipReason, Skipped};
-use crate::stmt::{parse_statement, statement_stats, Parsed, ParsedDml, StmtKind};
+use crate::report::{RowEstimate, SkipReason, Skipped};
+use crate::stmt::{
+    parse_statement, statement_stats, Parsed, ParsedDml, RowBasis, StmtCtx, StmtKind,
+};
 use crate::IngestOptions;
 use std::collections::HashMap;
 use vpart_model::{Schema, Workload};
@@ -37,6 +43,8 @@ pub struct MinerStats {
     pub txn_occurrences: usize,
     /// Skipped statements.
     pub skipped: Vec<Skipped>,
+    /// Row counts that were estimated rather than annotated.
+    pub row_estimates: Vec<RowEstimate>,
 }
 
 /// A statement inside a transaction template with its per-execution
@@ -63,16 +71,27 @@ struct Occurrence {
     weight: f64,
 }
 
+/// Structural identity of one table access, for aggregation.
+type AccessKey = (u32, Vec<u32>, Vec<u32>, u64);
+
 /// Structural identity of a statement, for aggregation.
-type StmtKey = (StmtKind, u32, Vec<u32>, Vec<u32>, u64, u64);
+type StmtKey = (StmtKind, Vec<AccessKey>, u64);
 
 fn stmt_key(s: &TemplateStmt) -> StmtKey {
     (
         s.dml.kind,
-        s.dml.table.0,
-        s.dml.read.iter().map(|a| a.0).collect(),
-        s.dml.write.iter().map(|a| a.0).collect(),
-        s.dml.rows.to_bits(),
+        s.dml
+            .accesses
+            .iter()
+            .map(|a| {
+                (
+                    a.table.0,
+                    a.read.iter().map(|x| x.0).collect(),
+                    a.write.iter().map(|x| x.0).collect(),
+                    a.rows.to_bits(),
+                )
+            })
+            .collect(),
         (s.dml.freq * s.mult).to_bits(),
     )
 }
@@ -85,13 +104,10 @@ fn occurrence_key(o: &Occurrence) -> Vec<StmtKey> {
 fn coalesce(stmts: Vec<ParsedDml>) -> Vec<TemplateStmt> {
     let mut out: Vec<TemplateStmt> = Vec::new();
     for dml in stmts {
-        if let Some(prev) = out.iter_mut().find(|t| {
-            t.dml.kind == dml.kind
-                && t.dml.table == dml.table
-                && t.dml.read == dml.read
-                && t.dml.write == dml.write
-                && t.dml.rows == dml.rows
-        }) {
+        if let Some(prev) = out
+            .iter_mut()
+            .find(|t| t.dml.kind == dml.kind && t.dml.accesses == dml.accesses)
+        {
             prev.mult += dml.freq;
         } else {
             let freq = dml.freq;
@@ -104,56 +120,120 @@ fn coalesce(stmts: Vec<ParsedDml>) -> Vec<TemplateStmt> {
     out
 }
 
-/// Mines `log` into a [`Workload`] against `schema`.
+/// The `freq=` weight of a transaction bracket, `None` when unannotated.
+fn bracket_weight(stmt: &crate::lexer::RawStatement) -> Result<Option<f64>, IngestError> {
+    Ok(statement_stats(stmt)?.freq)
+}
+
+/// An open `BEGIN` block under construction.
+struct OpenBlock {
+    line: u32,
+    stmts: Vec<ParsedDml>,
+    name: Option<String>,
+    /// `freq=` from the `BEGIN` bracket, if any.
+    weight: Option<f64>,
+    /// Raw statements of the block, for rollback diagnostics.
+    raws: Vec<(u32, String)>,
+    /// Row estimates of the block, dropped if it rolls back.
+    estimates: Vec<RowEstimate>,
+}
+
+/// Mines `log` into a [`Workload`] against the parsed schema.
 pub fn mine_workload(
     log: &str,
     schema: &Schema,
+    primary_keys: &[Vec<vpart_model::AttrId>],
     opts: &IngestOptions,
 ) -> Result<(Workload, MinerStats), IngestError> {
     let statements = crate::lexer::split_statements(log)?;
     if statements.is_empty() {
         return Err(IngestError::EmptyLog);
     }
+    let ctx = StmtCtx {
+        schema,
+        pks: primary_keys,
+        strict: opts.strict,
+        default_rows: opts.default_rows,
+    };
 
     let mut stats = MinerStats::default();
     let mut occurrences: Vec<Occurrence> = Vec::new();
-    // Open BEGIN block: (line of BEGIN, pending statements, name, weight).
-    let mut open: Option<(u32, Vec<ParsedDml>, Option<String>, f64)> = None;
-    // Raw statements of the open block, for rollback diagnostics.
-    let mut open_raws: Vec<(u32, String)> = Vec::new();
+    let mut open: Option<OpenBlock> = None;
+    // Identical statements aggregate into one template; their (identical)
+    // row estimates must aggregate into one report entry too, or the
+    // report grows with the raw log instead of the template count.
+    let mut seen_estimates: std::collections::HashSet<(String, u64, bool, String)> =
+        Default::default();
+    let mut commit_estimates = |stats: &mut MinerStats, estimates: Vec<RowEstimate>| {
+        for e in estimates {
+            let key = (
+                e.table.clone(),
+                e.rows.to_bits(),
+                e.pk_equality,
+                e.snippet.clone(),
+            );
+            if seen_estimates.insert(key) {
+                stats.row_estimates.push(e);
+            }
+        }
+    };
 
     for stmt in &statements {
-        let parsed = parse_statement(stmt, schema, opts.strict)?;
+        let parsed = parse_statement(stmt, &ctx)?;
         match parsed {
             Parsed::Begin => {
                 if open.is_some() {
                     return Err(IngestError::NestedTransaction { line: stmt.line });
                 }
-                let (_, weight) = statement_stats(stmt)?;
-                let name = stmt.annotation("txn").map(str::to_string);
-                open = Some((stmt.line, Vec::new(), name, weight));
-                open_raws.clear();
+                open = Some(OpenBlock {
+                    line: stmt.line,
+                    stmts: Vec::new(),
+                    name: stmt.annotation("txn").map(str::to_string),
+                    weight: bracket_weight(stmt)?,
+                    raws: Vec::new(),
+                    estimates: Vec::new(),
+                });
             }
             Parsed::Commit => {
-                let Some((_, stmts, name, weight)) = open.take() else {
+                let Some(block) = open.take() else {
                     return Err(IngestError::CommitOutsideTransaction { line: stmt.line });
                 };
-                let name = name.or_else(|| stmt.annotation("txn").map(str::to_string));
-                if !stmts.is_empty() {
+                // `txn=` / `freq=` may sit on either bracket; both ends
+                // must agree when both are given.
+                let name = merge_annotation(
+                    "txn",
+                    block.name,
+                    stmt.annotation("txn").map(str::to_string),
+                    stmt.line,
+                )?;
+                let commit_weight = bracket_weight(stmt)?;
+                let weight = match (block.weight, commit_weight) {
+                    (Some(a), Some(b)) if a != b => {
+                        return Err(IngestError::ConflictingAnnotation {
+                            key: "freq".to_string(),
+                            first: a.to_string(),
+                            second: b.to_string(),
+                            line: stmt.line,
+                        })
+                    }
+                    (a, b) => a.or(b).unwrap_or(1.0),
+                };
+                if !block.stmts.is_empty() {
                     stats.txn_occurrences += 1;
+                    commit_estimates(&mut stats, block.estimates);
                     occurrences.push(Occurrence {
                         name,
-                        stmts: coalesce(stmts),
+                        stmts: coalesce(block.stmts),
                         weight,
                     });
                 }
             }
             Parsed::Rollback => {
-                let Some((_, stmts, _, _)) = open.take() else {
-                    return Err(IngestError::CommitOutsideTransaction { line: stmt.line });
+                let Some(block) = open.take() else {
+                    return Err(IngestError::RollbackOutsideTransaction { line: stmt.line });
                 };
-                stats.statements_ingested -= stmts.len();
-                for (line, snippet) in open_raws.drain(..) {
+                stats.statements_ingested -= block.stmts.len();
+                for (line, snippet) in block.raws {
                     stats.skipped.push(Skipped {
                         line,
                         reason: SkipReason::RolledBack,
@@ -164,19 +244,22 @@ pub fn mine_workload(
             Parsed::Dml(dml) => {
                 stats.statements_seen += 1;
                 stats.statements_ingested += 1;
+                let estimates = access_estimates(&dml, stmt, schema);
                 match &mut open {
-                    Some((_, stmts, name, _)) => {
-                        if name.is_none() {
-                            *name = stmt.annotation("txn").map(str::to_string);
+                    Some(block) => {
+                        if block.name.is_none() {
+                            block.name = stmt.annotation("txn").map(str::to_string);
                         }
-                        stmts.push(dml);
-                        open_raws.push((stmt.line, stmt.snippet.clone()));
+                        block.raws.push((stmt.line, stmt.snippet.clone()));
+                        block.estimates.extend(estimates);
+                        block.stmts.push(dml);
                     }
                     None => {
                         let weight = dml.freq;
                         let mut dml = dml;
                         dml.freq = 1.0;
                         stats.txn_occurrences += 1;
+                        commit_estimates(&mut stats, estimates);
                         occurrences.push(Occurrence {
                             name: stmt.annotation("txn").map(str::to_string),
                             stmts: coalesce(vec![dml]),
@@ -195,8 +278,8 @@ pub fn mine_workload(
             }
         }
     }
-    if let Some((line, _, _, _)) = open {
-        return Err(IngestError::UnterminatedTransaction { line });
+    if let Some(block) = open {
+        return Err(IngestError::UnterminatedTransaction { line: block.line });
     }
     if occurrences.is_empty() {
         return Err(if stats.statements_seen == 0 {
@@ -231,7 +314,8 @@ pub fn mine_workload(
         }
     }
 
-    // Build the workload.
+    // Build the workload: one modeled query per table access (read+write
+    // accesses — UPDATE targets — split per the paper's §5.2).
     let mut wb = Workload::builder(schema);
     let mut used_names: HashMap<String, usize> = HashMap::new();
     for (i, tpl) in templates.iter().enumerate() {
@@ -242,28 +326,32 @@ pub fn mine_workload(
         let mut qids = Vec::new();
         for (j, ts) in tpl.stmts.iter().enumerate() {
             let d = &ts.dml;
-            let table_name = schema.tables()[d.table.index()].name.to_ascii_lowercase();
-            let qname = format!("{txn_name}/{j}:{}_{}", d.kind.verb(), table_name);
             let freq = tpl.weight * ts.mult;
-            match d.kind {
-                StmtKind::Update => {
+            for (k, a) in d.accesses.iter().enumerate() {
+                let table_name = schema.tables()[a.table.index()].name.to_ascii_lowercase();
+                // Single-access statements keep the `txn/j:verb_table`
+                // form; flattened ones append the access index.
+                let qname = if d.accesses.len() == 1 {
+                    format!("{txn_name}/{j}:{}_{}", d.kind.verb(), table_name)
+                } else {
+                    format!("{txn_name}/{j}.{k}:{}_{}", d.kind.verb(), table_name)
+                };
+                if !a.read.is_empty() && !a.write.is_empty() {
                     let (r, w) =
-                        wb.add_update(&qname, freq, &d.read, &d.write, &[(d.table, d.rows)])?;
+                        wb.add_update(&qname, freq, &a.read, &a.write, &[(a.table, a.rows)])?;
                     qids.push(r);
                     qids.push(w);
-                }
-                StmtKind::Select => {
+                } else if a.write.is_empty() {
                     let spec = vpart_model::workload::QuerySpec::read(&qname)
-                        .access(&d.read)
+                        .access(&a.read)
                         .frequency(freq)
-                        .default_rows(d.rows);
+                        .default_rows(a.rows);
                     qids.push(wb.add_query(spec)?);
-                }
-                StmtKind::Insert | StmtKind::Delete => {
+                } else {
                     let spec = vpart_model::workload::QuerySpec::write(&qname)
-                        .access(&d.write)
+                        .access(&a.write)
                         .frequency(freq)
-                        .default_rows(d.rows);
+                        .default_rows(a.rows);
                     qids.push(wb.add_query(spec)?);
                 }
             }
@@ -271,6 +359,43 @@ pub fn mine_workload(
         wb.transaction(&txn_name, &qids)?;
     }
     Ok((wb.build()?, stats))
+}
+
+/// Combines an annotation that may sit on either transaction bracket.
+fn merge_annotation(
+    key: &str,
+    begin: Option<String>,
+    commit: Option<String>,
+    line: u32,
+) -> Result<Option<String>, IngestError> {
+    match (begin, commit) {
+        (Some(a), Some(b)) if a != b => Err(IngestError::ConflictingAnnotation {
+            key: key.to_string(),
+            first: a,
+            second: b,
+            line,
+        }),
+        (a, b) => Ok(a.or(b)),
+    }
+}
+
+/// Report entries for every estimated (non-annotated) row count.
+fn access_estimates(
+    dml: &ParsedDml,
+    stmt: &crate::lexer::RawStatement,
+    schema: &Schema,
+) -> Vec<RowEstimate> {
+    dml.accesses
+        .iter()
+        .filter(|a| matches!(a.basis, RowBasis::PkEquality | RowBasis::Default))
+        .map(|a| RowEstimate {
+            line: stmt.line,
+            table: schema.tables()[a.table.index()].name.clone(),
+            rows: a.rows,
+            pk_equality: a.basis == RowBasis::PkEquality,
+            snippet: stmt.snippet.clone(),
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -290,15 +415,14 @@ mod tests {
         IngestOptions::default()
     }
 
+    fn mine(log: &str) -> Result<(Workload, MinerStats), IngestError> {
+        mine_workload(log, &schema(), &[], &opts())
+    }
+
     #[test]
     fn bare_statements_become_single_statement_txns() {
-        let s = schema();
-        let (w, stats) = mine_workload(
-            "SELECT bal FROM acct WHERE id = 1;\nINSERT INTO log VALUES (1, 2.5);",
-            &s,
-            &opts(),
-        )
-        .unwrap();
+        let (w, stats) =
+            mine("SELECT bal FROM acct WHERE id = 1;\nINSERT INTO log VALUES (1, 2.5);").unwrap();
         assert_eq!(w.n_txns(), 2);
         assert_eq!(w.n_queries(), 2);
         assert_eq!(stats.txn_occurrences, 2);
@@ -307,11 +431,10 @@ mod tests {
 
     #[test]
     fn duplicate_occurrences_aggregate_into_frequency() {
-        let s = schema();
         let log = "SELECT bal FROM acct WHERE id = 1;\n".repeat(5)
             + "SELECT bal FROM acct WHERE id = 99;\n"
             + "SELECT owner FROM acct WHERE id = 2;";
-        let (w, stats) = mine_workload(&log, &s, &opts()).unwrap();
+        let (w, stats) = mine(&log).unwrap();
         // Literals are not part of the template key: the six bal-selects
         // collapse into one template at frequency 6.
         assert_eq!(w.n_txns(), 2);
@@ -322,7 +445,6 @@ mod tests {
 
     #[test]
     fn begin_commit_groups_and_names_transactions() {
-        let s = schema();
         let log = "BEGIN; -- txn=transfer\n\
                    SELECT bal FROM acct WHERE id = 1;\n\
                    UPDATE acct SET bal = bal - 10 WHERE id = 1;\n\
@@ -333,7 +455,7 @@ mod tests {
                    UPDATE acct SET bal = bal - 10 WHERE id = 2;\n\
                    INSERT INTO log (id, amount) VALUES (2, 10);\n\
                    COMMIT;";
-        let (w, stats) = mine_workload(log, &s, &opts()).unwrap();
+        let (w, stats) = mine(log).unwrap();
         assert_eq!(w.n_txns(), 1, "identical blocks aggregate");
         assert_eq!(stats.txn_occurrences, 2);
         let t = w.txn_by_name("transfer").expect("named via annotation");
@@ -349,76 +471,180 @@ mod tests {
 
     #[test]
     fn freq_annotation_scales_occurrences() {
-        let s = schema();
-        let (w, _) = mine_workload(
-            "SELECT /*+ freq=10 */ bal FROM acct WHERE id = 1;",
-            &s,
-            &opts(),
-        )
-        .unwrap();
+        let (w, _) = mine("SELECT /*+ freq=10 */ bal FROM acct WHERE id = 1;").unwrap();
         assert_eq!(w.query(vpart_model::QueryId(0)).frequency, 10.0);
     }
 
     #[test]
+    fn freq_annotation_works_on_either_bracket() {
+        let on_begin = "BEGIN; -- freq=4\nSELECT bal FROM acct WHERE id = 1;\nCOMMIT;";
+        let on_commit = "BEGIN;\nSELECT bal FROM acct WHERE id = 1;\nCOMMIT; -- freq=4";
+        let both = "BEGIN; -- freq=4\nSELECT bal FROM acct WHERE id = 1;\nCOMMIT; -- freq=4";
+        for log in [on_begin, on_commit, both] {
+            let (w, _) = mine(log).unwrap();
+            assert_eq!(w.query(vpart_model::QueryId(0)).frequency, 4.0, "{log}");
+        }
+    }
+
+    #[test]
+    fn conflicting_bracket_annotations_are_errors() {
+        let err = mine("BEGIN; -- freq=4\nSELECT bal FROM acct WHERE id = 1;\nCOMMIT; -- freq=5")
+            .unwrap_err();
+        assert!(
+            matches!(&err, IngestError::ConflictingAnnotation { key, line: 3, .. } if key == "freq"),
+            "got {err:?}"
+        );
+        let err = mine("BEGIN; -- txn=a\nSELECT bal FROM acct WHERE id = 1;\nCOMMIT; -- txn=b")
+            .unwrap_err();
+        assert!(
+            matches!(&err, IngestError::ConflictingAnnotation { key, .. } if key == "txn"),
+            "got {err:?}"
+        );
+        // Matching values on both ends are fine (covered above).
+    }
+
+    #[test]
     fn repeated_statement_within_txn_gets_multiplicity() {
-        let s = schema();
         let log = "BEGIN;\n\
                    SELECT bal FROM acct WHERE id = 1;\n\
                    SELECT bal FROM acct WHERE id = 7;\n\
                    COMMIT;";
-        let (w, _) = mine_workload(log, &s, &opts()).unwrap();
+        let (w, _) = mine(log).unwrap();
         assert_eq!(w.n_queries(), 1);
         assert_eq!(w.query(vpart_model::QueryId(0)).frequency, 2.0);
     }
 
     #[test]
     fn rollback_discards_the_block() {
-        let s = schema();
         let log = "BEGIN;\n\
                    UPDATE acct SET bal = 0 WHERE id = 1;\n\
                    ROLLBACK;\n\
                    SELECT bal FROM acct WHERE id = 1;";
-        let (w, stats) = mine_workload(log, &s, &opts()).unwrap();
+        let (w, stats) = mine(log).unwrap();
         assert_eq!(w.n_txns(), 1);
         assert_eq!(stats.skipped.len(), 1);
         assert_eq!(stats.skipped[0].reason, SkipReason::RolledBack);
     }
 
     #[test]
-    fn bracket_errors_are_typed() {
-        let s = schema();
+    fn rolled_back_blocks_keep_the_counts_consistent() {
+        let log = "BEGIN;\n\
+                   UPDATE acct SET bal = 0 WHERE id = 1;\n\
+                   INSERT INTO log VALUES (1, 5);\n\
+                   ROLLBACK;\n\
+                   SELECT bal FROM acct WHERE id = 1;";
+        let (w, stats) = mine(log).unwrap();
         assert_eq!(
-            mine_workload("BEGIN;\nSELECT bal FROM acct WHERE id=1;", &s, &opts()).unwrap_err(),
+            stats.statements_seen, 3,
+            "rolled-back statements count as seen"
+        );
+        assert_eq!(
+            stats.statements_ingested, 1,
+            "only the trailing select survives"
+        );
+        assert_eq!(
+            stats.skipped.len(),
+            2,
+            "one skip entry per rolled-back statement"
+        );
+        assert!(stats
+            .skipped
+            .iter()
+            .all(|s| s.reason == SkipReason::RolledBack));
+        assert_eq!(w.n_txns(), 1);
+        assert_eq!(stats.txn_occurrences, 1);
+        // The rolled-back statements' row estimates are discarded too.
+        assert_eq!(stats.row_estimates.len(), 1, "only the select's estimate");
+    }
+
+    #[test]
+    fn empty_transaction_blocks_contribute_nothing() {
+        let log =
+            "BEGIN;\nCOMMIT;\nSELECT bal FROM acct WHERE id = 1;\nBEGIN; -- txn=noop\nCOMMIT;";
+        let (w, stats) = mine(log).unwrap();
+        assert_eq!(w.n_txns(), 1);
+        assert_eq!(stats.txn_occurrences, 1);
+        assert_eq!(stats.statements_seen, 1);
+        assert!(
+            w.txn_by_name("noop").is_none(),
+            "empty block left no template"
+        );
+    }
+
+    #[test]
+    fn bracket_errors_are_typed() {
+        assert_eq!(
+            mine("BEGIN;\nSELECT bal FROM acct WHERE id=1;").unwrap_err(),
             IngestError::UnterminatedTransaction { line: 1 }
         );
         assert_eq!(
-            mine_workload("BEGIN;\nBEGIN;\nCOMMIT;", &s, &opts()).unwrap_err(),
+            mine("BEGIN;\nBEGIN;\nCOMMIT;").unwrap_err(),
             IngestError::NestedTransaction { line: 2 }
         );
         assert_eq!(
-            mine_workload("COMMIT;", &s, &opts()).unwrap_err(),
+            mine("COMMIT;").unwrap_err(),
             IngestError::CommitOutsideTransaction { line: 1 }
         );
         assert_eq!(
-            mine_workload("", &s, &opts()).unwrap_err(),
-            IngestError::EmptyLog
+            mine("ROLLBACK;").unwrap_err(),
+            IngestError::RollbackOutsideTransaction { line: 1 }
         );
+        assert_eq!(mine("").unwrap_err(), IngestError::EmptyLog);
         assert_eq!(
-            mine_workload("VACUUM;", &s, &opts()).unwrap_err(),
+            mine("VACUUM;").unwrap_err(),
             IngestError::NothingIngested { statements: 1 }
         );
     }
 
     #[test]
     fn rows_annotation_reaches_the_model() {
-        let s = schema();
-        let (w, _) = mine_workload(
-            "SELECT /*+ rows=10 */ owner FROM acct WHERE id < 100;",
-            &s,
-            &opts(),
-        )
-        .unwrap();
+        let (w, stats) = mine("SELECT /*+ rows=10 */ owner FROM acct WHERE id < 100;").unwrap();
         let q = w.query(vpart_model::QueryId(0));
         assert_eq!(q.rows_for_table(vpart_model::TableId(0)), 10.0);
+        assert!(stats.row_estimates.is_empty(), "annotated, not estimated");
+    }
+
+    #[test]
+    fn pk_equality_estimates_are_reported() {
+        let pks = vec![vec![vpart_model::AttrId(0)], vec![]];
+        let s = schema();
+        let log = "SELECT owner FROM acct WHERE id = 7;\n\
+                   SELECT owner FROM acct WHERE owner = 'x';";
+        let (w, stats) = mine_workload(log, &s, &pks, &opts()).unwrap();
+        assert_eq!(stats.row_estimates.len(), 2);
+        let pk = &stats.row_estimates[0];
+        assert!(pk.pk_equality);
+        assert_eq!(pk.rows, 1.0);
+        assert_eq!(pk.table, "acct");
+        assert!(
+            !stats.row_estimates[1].pk_equality,
+            "non-key predicate is a guess"
+        );
+        let q = w.query(vpart_model::QueryId(0));
+        assert_eq!(q.rows_for_table(vpart_model::TableId(0)), 1.0);
+    }
+
+    #[test]
+    fn repeated_statements_report_one_estimate_entry() {
+        let log = "SELECT bal FROM acct WHERE id = 1;\n".repeat(5)
+            + "SELECT owner FROM acct WHERE owner = 'x';";
+        let (_, stats) = mine(&log).unwrap();
+        // Five identical selects aggregate into one template — and one
+        // report entry, not five.
+        assert_eq!(stats.row_estimates.len(), 2);
+    }
+
+    #[test]
+    fn joined_statements_produce_one_query_per_table() {
+        let log = "SELECT bal, amount FROM acct JOIN log ON acct.id = log.id \
+                   WHERE acct.id = 3;";
+        let (w, _) = mine(log).unwrap();
+        assert_eq!(w.n_txns(), 1);
+        assert_eq!(w.n_queries(), 2, "one read per joined table");
+        let acct = w.query_by_name("txn0/0.0:select_acct").unwrap();
+        let logq = w.query_by_name("txn0/0.1:select_log").unwrap();
+        assert_eq!(w.query(acct).kind, QueryKind::Read);
+        assert_eq!(w.query(logq).kind, QueryKind::Read);
+        assert_eq!(w.txn_of(acct), w.txn_of(logq), "same transaction");
     }
 }

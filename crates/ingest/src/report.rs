@@ -11,12 +11,13 @@ use std::fmt;
 /// Why a statement was skipped instead of ingested.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SkipReason {
-    /// Multi-table `FROM` or an explicit `JOIN` (single-table queries only).
+    /// A multi-table write target (`UPDATE a, b SET ...`); plain joined
+    /// `SELECT`s flatten into per-table accesses instead.
     Join,
-    /// Nested `SELECT` inside the statement.
+    /// A `SELECT` shape that cannot be flattened per table (`UNION`,
+    /// derived tables in `FROM`, ...); parenthesized predicate and
+    /// select-list subqueries flatten instead.
     Subquery,
-    /// `INSERT INTO ... SELECT` form.
-    InsertFromSelect,
     /// Statement kind outside the supported DML subset (DDL, `SET`,
     /// `EXPLAIN`, vendor commands, ...).
     NotADmlStatement,
@@ -35,9 +36,8 @@ pub enum SkipReason {
 impl fmt::Display for SkipReason {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
-            Self::Join => "joins are not supported",
-            Self::Subquery => "subqueries are not supported",
-            Self::InsertFromSelect => "INSERT ... SELECT is not supported",
+            Self::Join => "multi-table write targets are not supported",
+            Self::Subquery => "cannot be flattened per table (UNION, derived table, ...)",
             Self::NotADmlStatement => "not a supported DML statement",
             Self::NoColumns => "no referenced columns",
             Self::RolledBack => "transaction rolled back",
@@ -55,6 +55,27 @@ pub struct Skipped {
     pub line: u32,
     /// Why it was skipped.
     pub reason: SkipReason,
+    /// Compacted source text.
+    pub snippet: String,
+}
+
+/// A per-table row count that was estimated rather than annotated.
+///
+/// Mirrors [`WidthFallback`]: the cost model needs *some* `n_{a,q}` per
+/// touched table, and when the log carries no `rows=` annotation the miner
+/// derives one — confidently (all primary-key columns equality-bound ⇒
+/// exactly one row) or as a guess (`default_rows` scaled by `sel=`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowEstimate {
+    /// 1-based source line of the statement.
+    pub line: u32,
+    /// The table whose row count was estimated.
+    pub table: String,
+    /// The estimate that was used.
+    pub rows: f64,
+    /// `true` when derived from a full primary-key equality binding
+    /// (principled); `false` for the default-value guess.
+    pub pk_equality: bool,
     /// Compacted source text.
     pub snippet: String,
 }
@@ -93,12 +114,18 @@ pub struct IngestReport {
     pub skipped: Vec<Skipped>,
     /// Width guesses made while reading the DDL.
     pub width_fallbacks: Vec<WidthFallback>,
+    /// Row counts derived instead of annotated (PK equality or default).
+    pub row_estimates: Vec<RowEstimate>,
 }
 
 impl IngestReport {
-    /// True when nothing was skipped and no width was guessed.
+    /// True when nothing was skipped and nothing was guessed. Primary-key
+    /// row estimates do not count as losses (they are exact); default
+    /// row guesses do.
     pub fn is_lossless(&self) -> bool {
-        self.skipped.is_empty() && self.width_fallbacks.is_empty()
+        self.skipped.is_empty()
+            && self.width_fallbacks.is_empty()
+            && self.row_estimates.iter().all(|e| e.pk_equality)
     }
 }
 
@@ -121,11 +148,26 @@ impl fmt::Display for IngestReport {
                 w.table, w.column, w.sql_type, w.width
             )?;
         }
+        for e in &self.row_estimates {
+            writeln!(
+                f,
+                "  row estimate line {}: {} = {} rows ({}) — {}",
+                e.line,
+                e.table,
+                e.rows,
+                if e.pk_equality {
+                    "primary-key equality"
+                } else {
+                    "default guess; annotate with rows="
+                },
+                e.snippet
+            )?;
+        }
         for s in &self.skipped {
             writeln!(f, "  skipped line {}: {} — {}", s.line, s.reason, s.snippet)?;
         }
         if self.is_lossless() {
-            writeln!(f, "no statements skipped, no widths guessed")?;
+            writeln!(f, "no statements skipped, no statistics guessed")?;
         }
         Ok(())
     }
@@ -147,8 +189,8 @@ mod tests {
             txn_occurrences: 5,
             skipped: vec![Skipped {
                 line: 4,
-                reason: SkipReason::Join,
-                snippet: "SELECT * FROM a, b".into(),
+                reason: SkipReason::Subquery,
+                snippet: "SELECT a FROM t UNION SELECT b FROM u".into(),
             }],
             width_fallbacks: vec![WidthFallback {
                 table: "t".into(),
@@ -156,12 +198,44 @@ mod tests {
                 sql_type: "TEXT".into(),
                 width: 64.0,
             }],
+            row_estimates: vec![RowEstimate {
+                line: 6,
+                table: "t".into(),
+                rows: 1.0,
+                pk_equality: true,
+                snippet: "SELECT c FROM t WHERE id = ?".into(),
+            }],
         };
         assert!(!r.is_lossless());
         let text = r.to_string();
         assert!(text.contains("8/10 statements"));
-        assert!(text.contains("joins are not supported"));
+        assert!(text.contains("UNION"));
         assert!(text.contains("t.c (TEXT) assumed 64 bytes"));
+        assert!(text.contains("primary-key equality"));
+    }
+
+    #[test]
+    fn pk_estimates_are_not_losses_but_guesses_are() {
+        let mut r = IngestReport {
+            row_estimates: vec![RowEstimate {
+                line: 1,
+                table: "t".into(),
+                rows: 1.0,
+                pk_equality: true,
+                snippet: "…".into(),
+            }],
+            ..IngestReport::default()
+        };
+        assert!(r.is_lossless());
+        r.row_estimates.push(RowEstimate {
+            line: 2,
+            table: "t".into(),
+            rows: 5.0,
+            pk_equality: false,
+            snippet: "…".into(),
+        });
+        assert!(!r.is_lossless());
+        assert!(r.to_string().contains("default guess"));
     }
 
     #[test]

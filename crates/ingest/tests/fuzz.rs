@@ -108,9 +108,65 @@ impl Gen {
         }
     }
 
+    /// A multi-table statement (join / IN-subquery / INSERT ... SELECT).
+    /// Column names are unique per table, so unqualified references stay
+    /// unambiguous.
+    fn multi_table_statement(&mut self, t: usize) -> String {
+        let u = (t + 1 + self.rng.gen_range(0..self.tables.len() - 1)) % self.tables.len();
+        let (t_name, t_cols) = self.tables[t].clone();
+        let (u_name, u_cols) = self.tables[u].clone();
+        match self.rng.gen_range(0..3u32) {
+            0 => {
+                let join_kind = ["JOIN", "INNER JOIN", "LEFT OUTER JOIN", ","]
+                    [self.rng.gen_range(0..4)]
+                .to_string();
+                let sep = if join_kind == "," {
+                    ", ".to_string()
+                } else {
+                    format!(" {join_kind} ")
+                };
+                let on = if join_kind == "," {
+                    format!(" WHERE {} = {}", t_cols[0], u_cols[0])
+                } else {
+                    format!(" ON {} = {}", t_cols[0], u_cols[0])
+                };
+                format!(
+                    "SELECT {}, {} FROM {t_name}{sep}{u_name}{on}",
+                    self.some_cols(t).join(", "),
+                    self.some_cols(u).join(", "),
+                )
+            }
+            1 => format!(
+                "SELECT {} FROM {t_name} WHERE {} IN (SELECT {} FROM {u_name} WHERE {})",
+                self.some_cols(t).join(", "),
+                t_cols[0],
+                u_cols[0],
+                self.predicate(u),
+            ),
+            _ => {
+                let targets = self.some_cols(t);
+                let sources: Vec<String> = targets
+                    .iter()
+                    .enumerate()
+                    .map(|(i, _)| u_cols[i % u_cols.len()].clone())
+                    .collect();
+                format!(
+                    "INSERT INTO {t_name} ({}) SELECT {} FROM {u_name} WHERE {}",
+                    targets.join(", "),
+                    sources.join(", "),
+                    self.predicate(u),
+                )
+            }
+        }
+    }
+
     fn statement(&mut self) -> String {
         let t = self.pick_table();
         let table = self.tables[t].0.clone();
+        if self.tables.len() >= 2 && self.rng.gen_bool(0.25) {
+            let stmt = self.multi_table_statement(t);
+            return format!("{stmt};");
+        }
         let kind = self.rng.gen_range(0..4u32);
         let stmt = match kind {
             0 => {

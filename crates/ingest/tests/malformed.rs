@@ -84,9 +84,49 @@ fn broken_transaction_brackets() {
         err(SCHEMA, "SELECT a FROM t;\nCOMMIT;"),
         IngestError::CommitOutsideTransaction { line: 2 }
     );
+    // A stray ROLLBACK names the actual statement, not COMMIT.
+    let e = err(SCHEMA, "SELECT a FROM t;\nROLLBACK;");
+    assert_eq!(e, IngestError::RollbackOutsideTransaction { line: 2 });
+    assert!(e.to_string().contains("ROLLBACK"), "diagnostic: {e}");
+    assert!(!e.to_string().contains("COMMIT"), "diagnostic: {e}");
     assert_eq!(
         err(SCHEMA, "BEGIN;\nBEGIN;"),
         IngestError::NestedTransaction { line: 2 }
+    );
+}
+
+#[test]
+fn conflicting_bracket_annotations() {
+    let e = err(
+        SCHEMA,
+        "BEGIN; -- freq=2\nSELECT a FROM t;\nCOMMIT; -- freq=3",
+    );
+    assert!(
+        matches!(&e, IngestError::ConflictingAnnotation { key, .. } if key == "freq"),
+        "got {e:?}"
+    );
+    assert!(e.to_string().contains("freq"), "diagnostic: {e}");
+}
+
+#[test]
+fn ambiguous_join_columns() {
+    let schema = "CREATE TABLE t (a INT, b VARCHAR(8)); CREATE TABLE u (a INT, c INT);";
+    let e = err(schema, "SELECT a FROM t JOIN u ON b = c;");
+    assert!(
+        matches!(&e, IngestError::AmbiguousColumn { column, .. } if column == "a"),
+        "got {e:?}"
+    );
+    // Lenient mode skips the statement instead.
+    let out = vpart_ingest::ingest(
+        schema,
+        "SELECT a FROM t JOIN u ON b = c;\nSELECT b FROM t;",
+        &IngestOptions::default().lenient(),
+    )
+    .unwrap();
+    assert_eq!(out.report.skipped.len(), 1);
+    assert_eq!(
+        out.report.skipped[0].reason,
+        vpart_ingest::SkipReason::UnknownReference
     );
 }
 

@@ -160,6 +160,106 @@ fn payment_access_sets_match_the_hand_built_model() {
     }
 }
 
+/// TPC-C §1.3 definitions for Item and the Stock columns New-Order reads,
+/// for the joined slice below.
+const NO_SCHEMA: &str = "\
+    CREATE TABLE Item (
+        I_ID        INTEGER PRIMARY KEY,
+        I_IM_ID     INTEGER,
+        I_NAME      VARCHAR(24),
+        I_PRICE     NUMERIC(5,2),
+        I_DATA      VARCHAR(50)
+    );
+    CREATE TABLE Stock (
+        S_I_ID      INTEGER,
+        S_W_ID      INTEGER,
+        S_QUANTITY  INTEGER,
+        S_DIST_01   CHAR(24),
+        S_DATA      VARCHAR(50),
+        PRIMARY KEY (S_W_ID, S_I_ID)
+    );";
+
+/// New-Order's iterated item/stock reads (§2.4.2), expressed as one joined
+/// statement instead of two per-table ones — the flattening must reproduce
+/// the hand-built model's per-table access sets.
+const NO_LOG: &str = "\
+    BEGIN; -- txn=NewOrder
+    SELECT /*+ rows=10 */ I_PRICE, I_NAME, I_DATA, S_QUANTITY, S_DIST_01, S_DATA
+      FROM Item JOIN Stock ON I_ID = S_I_ID WHERE I_ID = ?;
+    COMMIT;";
+
+#[test]
+fn new_order_join_slice_matches_the_hand_built_model() {
+    let hand = vpart_instances::tpcc();
+    let ingested = ingest(NO_SCHEMA, NO_LOG, &IngestOptions::default())
+        .expect("the joined New-Order slice ingests cleanly");
+    let ins = &ingested.instance;
+    assert!(
+        !ingested
+            .report
+            .skipped
+            .iter()
+            .any(|s| matches!(s.reason, vpart_ingest::SkipReason::Join)),
+        "the join must flatten, not skip: {}",
+        ingested.report
+    );
+    assert_eq!(ins.n_txns(), 1);
+    assert_eq!(ins.n_queries(), 2, "one read per joined table");
+
+    // The Item side reproduces the hand model's no/item_read exactly:
+    // same access set (the ON column counts as a read, like the hand
+    // model's I_ID) and same weights (rows=10 iterated access).
+    let item = query_by_name(ins, "NewOrder/0.0:select_item");
+    let hand_item = query_by_name(&hand, "no/item_read");
+    assert_eq!(
+        qualified_access_set(ins, item),
+        qualified_access_set(&hand, hand_item),
+        "Item access-set mismatch"
+    );
+    for &a in &ins.workload().query(item).attrs {
+        let name = ins.schema().qualified_name(a).to_ascii_uppercase();
+        let ha = hand
+            .schema()
+            .attr_by_name("Item", name.split_once('.').unwrap().1)
+            .unwrap_or_else(|| panic!("hand model lacks {name}"));
+        assert_eq!(
+            hand.weight(ha, hand_item),
+            ins.weight(a, item),
+            "weight mismatch on {name}"
+        );
+    }
+
+    // The Stock side carries the joined columns at the same iterated row
+    // count; its weights agree with the hand model's stock read sub-query
+    // on every shared attribute.
+    let stock = query_by_name(ins, "NewOrder/0.1:select_stock");
+    let hand_stock = query_by_name(&hand, "no/stock_update/read");
+    assert_eq!(
+        qualified_access_set(ins, stock),
+        [
+            "STOCK.S_I_ID",
+            "STOCK.S_QUANTITY",
+            "STOCK.S_DIST_01",
+            "STOCK.S_DATA"
+        ]
+        .map(str::to_string)
+        .into_iter()
+        .collect::<BTreeSet<_>>()
+    );
+    for &a in &ins.workload().query(stock).attrs {
+        let name = ins.schema().qualified_name(a).to_ascii_uppercase();
+        let ha = hand
+            .schema()
+            .attr_by_name("Stock", name.split_once('.').unwrap().1)
+            .unwrap_or_else(|| panic!("hand model lacks {name}"));
+        assert_eq!(
+            hand.weight(ha, hand_stock),
+            ins.weight(a, stock),
+            "weight mismatch on {name}"
+        );
+    }
+}
+
 #[test]
 fn derived_constants_agree_on_the_slice() {
     let hand = vpart_instances::tpcc();

@@ -9,7 +9,7 @@
 //! two sites and renders the resulting attribute layout.
 
 use vpart::core::{evaluate, CostConfig};
-use vpart::ingest::{ingest, IngestOptions};
+use vpart::ingest::{ingest, IngestOptions, SkipReason};
 use vpart::model::report::render_partitioning;
 use vpart::prelude::*;
 
@@ -27,6 +27,20 @@ fn main() {
     )
     .expect("the checked-in workload ingests cleanly");
     println!("=== ingestion report ===\n{}", out.report);
+
+    // Joins, subqueries and INSERT ... SELECT must flatten, not skip — CI
+    // runs this example, so a regression in the flattening paths fails
+    // the build.
+    let dropped: Vec<_> = out
+        .report
+        .skipped
+        .iter()
+        .filter(|s| matches!(s.reason, SkipReason::Join | SkipReason::Subquery))
+        .collect();
+    assert!(
+        dropped.is_empty(),
+        "multi-table statements were skipped instead of flattened: {dropped:?}"
+    );
 
     let instance = out.instance;
     let cost = CostConfig::default();

@@ -29,7 +29,8 @@ fn usage() -> &'static str {
                       [--time-limit <secs>] [--layout] [--json]\n\
        vpart solve    --schema <ddl.sql> --log <queries.log> --sites <k> [...]\n\
        vpart ingest   --schema <ddl.sql> --log <queries.log> [--out <file.json>]\n\
-                      [--name <s>] [--text-width <bytes>] [--lenient] [--json]\n\
+                      [--name <s>] [--text-width <bytes>] [--default-rows <n>]\n\
+                      [--lenient] [--json]\n\
        vpart simulate --instance <name> --sites <k> [--rounds <n>] [--seed <n>]\n\
      \n\
      Instances: `tpcc`, any rnd class name (e.g. rndAt8x15, rndBt16x100u50), a\n\
@@ -77,9 +78,10 @@ fn get<T: std::str::FromStr>(
 }
 
 fn ingest_options(flags: &HashMap<String, String>) -> Result<IngestOptions, String> {
-    let default_width = IngestOptions::default().text_width;
-    let mut opts =
-        IngestOptions::default().with_text_width(get(flags, "text-width", default_width)?);
+    let defaults = IngestOptions::default();
+    let mut opts = IngestOptions::default()
+        .with_text_width(get(flags, "text-width", defaults.text_width)?)
+        .with_default_rows(get(flags, "default-rows", defaults.default_rows)?);
     if let Some(name) = flags.get("name") {
         opts = opts.with_name(name.clone());
     }
@@ -201,6 +203,8 @@ fn cmd_ingest(flags: HashMap<String, String>) -> Result<(), String> {
                 "txn_occurrences": r.txn_occurrences,
                 "skipped": r.skipped.len(),
                 "width_fallbacks": r.width_fallbacks.len(),
+                "row_estimates": r.row_estimates.len(),
+                "row_guesses": r.row_estimates.iter().filter(|e| !e.pk_equality).count(),
                 "lossless": r.is_lossless(),
             })
         );

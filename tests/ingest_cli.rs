@@ -102,6 +102,47 @@ fn ingest_writes_a_loadable_instance_file() {
 }
 
 #[test]
+fn ingest_json_report_flattens_multi_table_statements() {
+    // The web-shop log contains a JOIN, an `IN (SELECT ...)` and an
+    // `INSERT ... SELECT`; all must ingest (zero skips) and the report
+    // must surface the PK-driven row estimates.
+    let out = vpart(&[
+        "ingest",
+        "--schema",
+        &data("schema.sql"),
+        "--log",
+        &data("queries.log"),
+        "--json",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let report_line = stderr
+        .lines()
+        .find(|l| l.trim_start().starts_with('{'))
+        .expect("JSON report on stderr");
+    let report: serde_json::Value = serde_json::from_str(report_line).unwrap();
+    assert_eq!(report.get("skipped").and_then(|v| v.as_u64()), Some(0));
+    let seen = report.get("statements_seen").and_then(|v| v.as_u64());
+    assert_eq!(
+        report.get("statements_ingested").and_then(|v| v.as_u64()),
+        seen,
+        "every statement ingests: {report}"
+    );
+    assert!(
+        report
+            .get("row_estimates")
+            .and_then(|v| v.as_u64())
+            .unwrap()
+            > 0,
+        "PK-driven estimates are reported: {report}"
+    );
+}
+
+#[test]
 fn list_supports_json() {
     let out = vpart(&["list", "--json"]);
     assert!(out.status.success());
