@@ -1,0 +1,126 @@
+//! CI benchmark smoke run: solves the TPC-C and web-shop instances,
+//! records wall time + objective, and writes a `BENCH_<sha>.json`
+//! artifact so the performance trajectory is tracked on every push.
+//!
+//! ```text
+//! cargo run --release -p vpart_bench --bin bench_smoke -- \
+//!     [--out <dir>] [--criterion <results.jsonl>]
+//! ```
+//!
+//! The sha comes from `GITHUB_SHA` (trimmed to 12 hex digits), falling
+//! back to `local`. `--criterion` folds a `CRITERION_JSON` line file
+//! (see `vendor/criterion`) from a preceding `cargo bench` run into the
+//! artifact, so micro- and macro-benchmarks land in one place.
+
+use std::time::Instant;
+use vpart_core::qp::{QpConfig, QpSolver};
+use vpart_core::sa::{SaConfig, SaSolver};
+use vpart_core::CostConfig;
+use vpart_model::Instance;
+
+/// One solver measurement for the artifact.
+fn measure(
+    name: &str,
+    instance: &Instance,
+    sites: usize,
+    solve: impl FnOnce(&Instance, usize) -> vpart_core::SolveReport,
+) -> serde_json::Value {
+    let start = Instant::now();
+    let report = solve(instance, sites);
+    let wall = start.elapsed().as_secs_f64();
+    println!(
+        "{name:<28} objective4 {:>14.1}   wall {wall:>8.3}s",
+        report.breakdown.objective4
+    );
+    serde_json::json!({
+        "name": name,
+        "instance": instance.name(),
+        "sites": sites,
+        "objective4": report.breakdown.objective4,
+        "max_site_work": report.breakdown.max_work,
+        "optimal": report.is_optimal(),
+        "wall_secs": wall,
+    })
+}
+
+/// The web-shop instance, ingested from the checked-in example workload.
+fn web_shop() -> Instance {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/data");
+    let schema = std::fs::read_to_string(format!("{dir}/schema.sql"))
+        .expect("examples/data/schema.sql is checked in");
+    let log = std::fs::read_to_string(format!("{dir}/queries.log"))
+        .expect("examples/data/queries.log is checked in");
+    vpart_ingest::ingest(
+        &schema,
+        &log,
+        &vpart_ingest::IngestOptions::default().with_name("web-shop"),
+    )
+    .expect("the checked-in workload ingests cleanly")
+    .instance
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out_dir = flag("--out").unwrap_or_else(|| ".".to_string());
+    let sha = std::env::var("GITHUB_SHA")
+        .ok()
+        .filter(|s| !s.is_empty())
+        .map(|s| s.chars().take(12).collect::<String>())
+        .unwrap_or_else(|| "local".to_string());
+
+    let cost = CostConfig::default();
+    let cost = &cost;
+    let tpcc = vpart_instances::tpcc();
+    let shop = web_shop();
+
+    let sa = |seed: u64| {
+        move |ins: &Instance, sites: usize| {
+            SaSolver::new(SaConfig::fast_deterministic(seed))
+                .solve(ins, sites, cost)
+                .expect("SA solves")
+        }
+    };
+    let qp = |limit: f64| {
+        move |ins: &Instance, sites: usize| {
+            QpSolver::new(QpConfig::with_time_limit(limit))
+                .solve(ins, sites, cost)
+                .expect("QP solves")
+        }
+    };
+
+    let benches = vec![
+        measure("sa/tpcc-2-sites", &tpcc, 2, sa(1)),
+        measure("sa/tpcc-3-sites", &tpcc, 3, sa(1)),
+        measure("qp/tpcc-2-sites", &tpcc, 2, qp(60.0)),
+        measure("sa/web-shop-2-sites", &shop, 2, sa(7)),
+        measure("qp/web-shop-2-sites", &shop, 2, qp(60.0)),
+    ];
+
+    let criterion: Vec<serde_json::Value> = flag("--criterion")
+        .and_then(|path| std::fs::read_to_string(path).ok())
+        .map(|text| {
+            text.lines()
+                .filter_map(|l| serde_json::from_str(l.trim()).ok())
+                .collect()
+        })
+        .unwrap_or_default();
+
+    let artifact = serde_json::json!({
+        "sha": sha,
+        "benches": benches,
+        "criterion": criterion,
+    });
+    let path = format!("{out_dir}/BENCH_{sha}.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&artifact).expect("artifact serializes"),
+    )
+    .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("wrote {path}");
+}

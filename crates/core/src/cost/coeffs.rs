@@ -10,7 +10,7 @@
 //! * `c4(a) = Σ_q W_{a,q}·β_{a,q}·δ_q` — write work per replica (load).
 //!
 //! All four are fully determined by the instance and the
-//! [`CostConfig`](crate::CostConfig) (through `p` and the write-accounting
+//! [`CostConfig`] (through `p` and the write-accounting
 //! strategy) and are computed once before solving.
 
 use crate::config::{CostConfig, WriteAccounting};

@@ -123,6 +123,46 @@ pub enum IngestError {
         /// Line of the `COMMIT`.
         line: u32,
     },
+    /// A statistics dump's header lacks a column the format requires
+    /// (`query`/`calls` for pg_stat_statements, `DIGEST_TEXT`/`COUNT_STAR`
+    /// for performance_schema) — usually the wrong `--stats-format`.
+    MissingStatsColumn {
+        /// The missing column name.
+        column: String,
+        /// Line of the header row.
+        line: u32,
+    },
+    /// A statistics row has fewer fields than the header declared.
+    TruncatedStatsRow {
+        /// Line the row starts on.
+        line: u32,
+        /// Fields the header declared.
+        expected: usize,
+        /// Fields the row actually has.
+        found: usize,
+    },
+    /// A numeric statistics field (`calls`, `rows`, `COUNT_STAR`, ...) did
+    /// not parse as a finite non-negative number.
+    StatsNumber {
+        /// Line of the row.
+        line: u32,
+        /// The offending column.
+        column: String,
+        /// The raw field text.
+        value: String,
+    },
+    /// The statistics dump contains no data rows at all.
+    EmptyStats,
+    /// A JSON statistics dump is not valid JSON or not an array of objects.
+    StatsJson {
+        /// What was wrong.
+        detail: String,
+    },
+    /// [`crate::IngestOptions::sample_rate`] outside `(0, 1]`.
+    InvalidSampleRate {
+        /// The rejected rate.
+        rate: f64,
+    },
     /// The assembled schema/workload failed model validation.
     Model(ModelError),
 }
@@ -202,6 +242,34 @@ impl fmt::Display for IngestError {
                 "line {line}: conflicting {key}= annotations on BEGIN ({first}) \
                  and COMMIT ({second})"
             ),
+            Self::MissingStatsColumn { column, line } => write!(
+                f,
+                "line {line}: statistics header has no {column:?} column \
+                 (wrong --stats-format?)"
+            ),
+            Self::TruncatedStatsRow {
+                line,
+                expected,
+                found,
+            } => write!(
+                f,
+                "line {line}: statistics row has {found} fields, header declared {expected}"
+            ),
+            Self::StatsNumber {
+                line,
+                column,
+                value,
+            } => write!(
+                f,
+                "line {line}: {column} must be a finite non-negative number, got {value:?}"
+            ),
+            Self::EmptyStats => write!(f, "statistics dump contains no data rows"),
+            Self::StatsJson { detail } => {
+                write!(f, "statistics dump is not usable JSON: {detail}")
+            }
+            Self::InvalidSampleRate { rate } => {
+                write!(f, "sample rate must be in (0, 1], got {rate}")
+            }
             Self::Model(e) => write!(f, "model validation failed: {e}"),
         }
     }

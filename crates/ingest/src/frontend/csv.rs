@@ -1,0 +1,238 @@
+//! Minimal delimited-text reader for statistics dumps.
+//!
+//! Handles exactly the shapes `COPY ... TO ... CSV HEADER`, `psql --csv`
+//! and `mysql --batch` emit: a header row naming the columns, then one
+//! record per row; fields may be double-quoted with `""` escapes and may
+//! contain the delimiter and newlines inside quotes. The delimiter is
+//! sniffed from the header line — a tab anywhere makes it TSV (the
+//! `mysql --batch` default), otherwise CSV.
+//!
+//! Column *values* are returned verbatim; interpretation (which columns
+//! are required, which are numeric) belongs to the per-format readers.
+
+use crate::error::IngestError;
+
+/// One data row: its fields plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct CsvRow {
+    /// 1-based source line the row starts on.
+    pub line: u32,
+    /// Field values, unquoted and unescaped.
+    pub fields: Vec<String>,
+}
+
+/// A parsed delimited file: header plus data rows.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct CsvTable {
+    /// Header column names, verbatim.
+    pub header: Vec<String>,
+    /// 1-based line of the header row.
+    pub header_line: u32,
+    /// Data rows in file order.
+    pub rows: Vec<CsvRow>,
+}
+
+impl CsvTable {
+    /// Case-insensitive header lookup → field index.
+    pub fn column(&self, name: &str) -> Option<usize> {
+        self.header
+            .iter()
+            .position(|h| h.trim().eq_ignore_ascii_case(name))
+    }
+
+    /// Header lookup that errors with [`IngestError::MissingStatsColumn`].
+    pub fn require(&self, name: &str) -> Result<usize, IngestError> {
+        self.column(name)
+            .ok_or_else(|| IngestError::MissingStatsColumn {
+                column: name.to_string(),
+                line: self.header_line,
+            })
+    }
+}
+
+/// Splits one row starting at byte `i`; returns the fields and the index
+/// just past the row's terminating newline. `line` advances across
+/// embedded newlines.
+fn split_row(
+    src: &str,
+    mut i: usize,
+    line: &mut u32,
+    delim: char,
+) -> Result<(Vec<String>, usize), IngestError> {
+    let bytes = src.as_bytes();
+    let start_line = *line;
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    loop {
+        match bytes.get(i) {
+            None | Some(b'\n') => {
+                if matches!(bytes.get(i), Some(b'\n')) {
+                    *line += 1;
+                    i += 1;
+                }
+                fields.push(std::mem::take(&mut field));
+                return Ok((fields, i));
+            }
+            Some(b'\r') if bytes.get(i + 1) == Some(&b'\n') => {
+                *line += 1;
+                i += 2;
+                fields.push(std::mem::take(&mut field));
+                return Ok((fields, i));
+            }
+            Some(&b) if b as char == delim => {
+                fields.push(std::mem::take(&mut field));
+                i += 1;
+            }
+            Some(b'"') if field.is_empty() => {
+                // Quoted field: read to the closing quote, honoring "".
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(IngestError::UnterminatedString { line: start_line }),
+                        Some(b'"') if bytes.get(i + 1) == Some(&b'"') => {
+                            field.push('"');
+                            i += 2;
+                        }
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            let c = src[i..].chars().next().expect("on a char boundary");
+                            if c == '\n' {
+                                *line += 1;
+                            }
+                            field.push(c);
+                            i += c.len_utf8();
+                        }
+                    }
+                }
+            }
+            Some(_) => {
+                let c = src[i..].chars().next().expect("on a char boundary");
+                field.push(c);
+                i += c.len_utf8();
+            }
+        }
+    }
+}
+
+/// Parses delimited statistics text into a header plus data rows. Blank
+/// lines are skipped; field-count validation is left to the caller (rows
+/// carry their own line numbers for diagnostics).
+pub(crate) fn parse_delimited(src: &str) -> Result<CsvTable, IngestError> {
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let bytes = src.as_bytes();
+    let mut header: Option<(Vec<String>, u32)> = None;
+    let mut delim = ',';
+    let mut rows = Vec::new();
+
+    while i < bytes.len() {
+        // Skip blank lines between records.
+        if bytes[i] == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if bytes[i] == b'\r' && bytes.get(i + 1) == Some(&b'\n') {
+            line += 1;
+            i += 2;
+            continue;
+        }
+        if header.is_none() {
+            // Sniff the delimiter from the raw header line.
+            let eol = src[i..].find('\n').map_or(src.len(), |n| i + n);
+            delim = if src[i..eol].contains('\t') {
+                '\t'
+            } else {
+                ','
+            };
+        }
+        let row_line = line;
+        let (fields, next) = split_row(src, i, &mut line, delim)?;
+        i = next;
+        if fields.iter().all(|f| f.trim().is_empty()) {
+            continue; // fully blank record
+        }
+        match &header {
+            None => header = Some((fields, row_line)),
+            Some(_) => rows.push(CsvRow {
+                line: row_line,
+                fields,
+            }),
+        }
+    }
+
+    let Some((header, header_line)) = header else {
+        return Err(IngestError::EmptyStats);
+    };
+    Ok(CsvTable {
+        header,
+        header_line,
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_quoted_fields_with_delimiters_and_newlines() {
+        let t = parse_delimited(
+            "query,calls,rows\n\"SELECT a, b FROM t\nWHERE c = $1\",10,20\nplain,1,2\n",
+        )
+        .unwrap();
+        assert_eq!(t.header, vec!["query", "calls", "rows"]);
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.rows[0].fields[0], "SELECT a, b FROM t\nWHERE c = $1");
+        assert_eq!(t.rows[0].line, 2);
+        assert_eq!(t.rows[1].line, 4, "embedded newline advances the count");
+    }
+
+    #[test]
+    fn non_ascii_text_survives_both_paths() {
+        let t = parse_delimited("q,c\n\"SELECT 'Zürich, Škoda'\",5\nnaïve — plain,6\n").unwrap();
+        assert_eq!(t.rows[0].fields[0], "SELECT 'Zürich, Škoda'");
+        assert_eq!(t.rows[1].fields[0], "naïve — plain");
+    }
+
+    #[test]
+    fn doubled_quotes_unescape() {
+        let t = parse_delimited("q,c\n\"say \"\"hi\"\"\",5\n").unwrap();
+        assert_eq!(t.rows[0].fields[0], "say \"hi\"");
+    }
+
+    #[test]
+    fn sniffs_tabs_and_handles_crlf() {
+        let t = parse_delimited("DIGEST_TEXT\tCOUNT_STAR\r\nSELECT 1\t42\r\n").unwrap();
+        assert_eq!(t.header, vec!["DIGEST_TEXT", "COUNT_STAR"]);
+        assert_eq!(t.rows[0].fields, vec!["SELECT 1", "42"]);
+    }
+
+    #[test]
+    fn column_lookup_is_case_insensitive() {
+        let t = parse_delimited("Query,CALLS\nx,1\n").unwrap();
+        assert_eq!(t.column("query"), Some(0));
+        assert_eq!(t.require("calls").unwrap(), 1);
+        assert!(matches!(
+            t.require("rows"),
+            Err(IngestError::MissingStatsColumn { ref column, line: 1 }) if column == "rows"
+        ));
+    }
+
+    #[test]
+    fn empty_and_blank_inputs_are_typed_errors() {
+        assert_eq!(parse_delimited(""), Err(IngestError::EmptyStats));
+        assert_eq!(parse_delimited("\n\n  \n"), Err(IngestError::EmptyStats));
+    }
+
+    #[test]
+    fn unterminated_quote_is_a_typed_error() {
+        assert_eq!(
+            parse_delimited("q,c\n\"never closed,1\n"),
+            Err(IngestError::UnterminatedString { line: 2 })
+        );
+    }
+}

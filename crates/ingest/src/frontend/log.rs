@@ -1,4 +1,4 @@
-//! Query-log mining: statements → transactions → aggregated workload.
+//! Query-log frontend: statements → transactions → aggregated workload.
 //!
 //! Statements between `BEGIN`/`COMMIT` brackets form one transaction
 //! occurrence; statements outside brackets are one-statement transactions
@@ -22,102 +22,36 @@
 //! statement's per-execution multiplicity (inside a block), and
 //! `-- txn=Name` names the template. `freq=`/`txn=` may sit on either
 //! bracket of a block; conflicting values are an error.
+//!
+//! Aggregation, sampling scale-up and confidence thresholds are shared
+//! with the statistics frontends — see [`crate::frontend`].
 
+use super::{
+    access_estimates, aggregate_and_build, coalesce, EstimateDedup, FrontendCtx, MinerStats,
+    Occurrence, WorkloadFrontend,
+};
 use crate::error::IngestError;
 use crate::report::{RowEstimate, SkipReason, Skipped};
-use crate::stmt::{
-    parse_statement, statement_stats, Parsed, ParsedDml, RowBasis, StmtCtx, StmtKind,
-};
+use crate::stmt::{parse_statement, statement_stats, Parsed, ParsedDml, StmtCtx};
 use crate::IngestOptions;
-use std::collections::HashMap;
 use vpart_model::{Schema, Workload};
 
-/// Log-mining statistics feeding the ingest report.
-#[derive(Debug, Clone, Default)]
-pub struct MinerStats {
-    /// Statements seen in the log (transaction brackets excluded).
-    pub statements_seen: usize,
-    /// Statements that contributed workload.
-    pub statements_ingested: usize,
-    /// Transaction occurrences observed before aggregation.
-    pub txn_occurrences: usize,
-    /// Skipped statements.
-    pub skipped: Vec<Skipped>,
-    /// Row counts that were estimated rather than annotated.
-    pub row_estimates: Vec<RowEstimate>,
-}
+/// The raw-query-log frontend (`--log`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LogFrontend;
 
-/// A statement inside a transaction template with its per-execution
-/// multiplicity (> 1 when the statement repeats within one transaction).
-#[derive(Debug, Clone)]
-struct TemplateStmt {
-    dml: ParsedDml,
-    mult: f64,
-}
-
-/// An aggregated transaction template.
-#[derive(Debug, Clone)]
-struct Template {
-    name: Option<String>,
-    stmts: Vec<TemplateStmt>,
-    /// Total observed executions (sum of occurrence weights).
-    weight: f64,
-}
-
-/// One observed transaction before aggregation.
-struct Occurrence {
-    name: Option<String>,
-    stmts: Vec<TemplateStmt>,
-    weight: f64,
-}
-
-/// Structural identity of one table access, for aggregation.
-type AccessKey = (u32, Vec<u32>, Vec<u32>, u64);
-
-/// Structural identity of a statement, for aggregation.
-type StmtKey = (StmtKind, Vec<AccessKey>, u64);
-
-fn stmt_key(s: &TemplateStmt) -> StmtKey {
-    (
-        s.dml.kind,
-        s.dml
-            .accesses
-            .iter()
-            .map(|a| {
-                (
-                    a.table.0,
-                    a.read.iter().map(|x| x.0).collect(),
-                    a.write.iter().map(|x| x.0).collect(),
-                    a.rows.to_bits(),
-                )
-            })
-            .collect(),
-        (s.dml.freq * s.mult).to_bits(),
-    )
-}
-
-fn occurrence_key(o: &Occurrence) -> Vec<StmtKey> {
-    o.stmts.iter().map(stmt_key).collect()
-}
-
-/// Merges duplicate statements within one occurrence into multiplicities.
-fn coalesce(stmts: Vec<ParsedDml>) -> Vec<TemplateStmt> {
-    let mut out: Vec<TemplateStmt> = Vec::new();
-    for dml in stmts {
-        if let Some(prev) = out
-            .iter_mut()
-            .find(|t| t.dml.kind == dml.kind && t.dml.accesses == dml.accesses)
-        {
-            prev.mult += dml.freq;
-        } else {
-            let freq = dml.freq;
-            out.push(TemplateStmt { dml, mult: freq });
-        }
+impl WorkloadFrontend for LogFrontend {
+    fn name(&self) -> &'static str {
+        "query-log"
     }
-    for t in &mut out {
-        t.dml.freq = 1.0; // folded into mult
+
+    fn mine(
+        &self,
+        input: &str,
+        ctx: &FrontendCtx<'_>,
+    ) -> Result<(Workload, MinerStats), IngestError> {
+        mine_workload(input, ctx.schema, ctx.primary_keys, ctx.opts)
     }
-    out
 }
 
 /// The `freq=` weight of a transaction bracket, `None` when unannotated.
@@ -159,24 +93,7 @@ pub fn mine_workload(
     let mut stats = MinerStats::default();
     let mut occurrences: Vec<Occurrence> = Vec::new();
     let mut open: Option<OpenBlock> = None;
-    // Identical statements aggregate into one template; their (identical)
-    // row estimates must aggregate into one report entry too, or the
-    // report grows with the raw log instead of the template count.
-    let mut seen_estimates: std::collections::HashSet<(String, u64, bool, String)> =
-        Default::default();
-    let mut commit_estimates = |stats: &mut MinerStats, estimates: Vec<RowEstimate>| {
-        for e in estimates {
-            let key = (
-                e.table.clone(),
-                e.rows.to_bits(),
-                e.pk_equality,
-                e.snippet.clone(),
-            );
-            if seen_estimates.insert(key) {
-                stats.row_estimates.push(e);
-            }
-        }
-    };
+    let mut estimates = EstimateDedup::default();
 
     for stmt in &statements {
         let parsed = parse_statement(stmt, &ctx)?;
@@ -220,7 +137,7 @@ pub fn mine_workload(
                 };
                 if !block.stmts.is_empty() {
                     stats.txn_occurrences += 1;
-                    commit_estimates(&mut stats, block.estimates);
+                    estimates.commit(&mut stats, block.estimates);
                     occurrences.push(Occurrence {
                         name,
                         stmts: coalesce(block.stmts),
@@ -244,14 +161,14 @@ pub fn mine_workload(
             Parsed::Dml(dml) => {
                 stats.statements_seen += 1;
                 stats.statements_ingested += 1;
-                let estimates = access_estimates(&dml, stmt, schema);
+                let stmt_estimates = access_estimates(&dml, stmt.line, &stmt.snippet, schema);
                 match &mut open {
                     Some(block) => {
                         if block.name.is_none() {
                             block.name = stmt.annotation("txn").map(str::to_string);
                         }
                         block.raws.push((stmt.line, stmt.snippet.clone()));
-                        block.estimates.extend(estimates);
+                        block.estimates.extend(stmt_estimates);
                         block.stmts.push(dml);
                     }
                     None => {
@@ -259,7 +176,7 @@ pub fn mine_workload(
                         let mut dml = dml;
                         dml.freq = 1.0;
                         stats.txn_occurrences += 1;
-                        commit_estimates(&mut stats, estimates);
+                        estimates.commit(&mut stats, stmt_estimates);
                         occurrences.push(Occurrence {
                             name: stmt.annotation("txn").map(str::to_string),
                             stmts: coalesce(vec![dml]),
@@ -291,74 +208,8 @@ pub fn mine_workload(
         });
     }
 
-    // Aggregate occurrences into templates.
-    let mut templates: Vec<Template> = Vec::new();
-    let mut index: HashMap<Vec<StmtKey>, usize> = HashMap::new();
-    for occ in occurrences {
-        match index.entry(occurrence_key(&occ)) {
-            std::collections::hash_map::Entry::Occupied(e) => {
-                let t = &mut templates[*e.get()];
-                t.weight += occ.weight;
-                if t.name.is_none() {
-                    t.name = occ.name;
-                }
-            }
-            std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(templates.len());
-                templates.push(Template {
-                    name: occ.name,
-                    stmts: occ.stmts,
-                    weight: occ.weight,
-                });
-            }
-        }
-    }
-
-    // Build the workload: one modeled query per table access (read+write
-    // accesses — UPDATE targets — split per the paper's §5.2).
-    let mut wb = Workload::builder(schema);
-    let mut used_names: HashMap<String, usize> = HashMap::new();
-    for (i, tpl) in templates.iter().enumerate() {
-        let base = tpl.name.clone().unwrap_or_else(|| format!("txn{i}"));
-        let n = used_names.entry(base.clone()).or_insert(0);
-        *n += 1;
-        let txn_name = if *n == 1 { base } else { format!("{base}#{n}") };
-        let mut qids = Vec::new();
-        for (j, ts) in tpl.stmts.iter().enumerate() {
-            let d = &ts.dml;
-            let freq = tpl.weight * ts.mult;
-            for (k, a) in d.accesses.iter().enumerate() {
-                let table_name = schema.tables()[a.table.index()].name.to_ascii_lowercase();
-                // Single-access statements keep the `txn/j:verb_table`
-                // form; flattened ones append the access index.
-                let qname = if d.accesses.len() == 1 {
-                    format!("{txn_name}/{j}:{}_{}", d.kind.verb(), table_name)
-                } else {
-                    format!("{txn_name}/{j}.{k}:{}_{}", d.kind.verb(), table_name)
-                };
-                if !a.read.is_empty() && !a.write.is_empty() {
-                    let (r, w) =
-                        wb.add_update(&qname, freq, &a.read, &a.write, &[(a.table, a.rows)])?;
-                    qids.push(r);
-                    qids.push(w);
-                } else if a.write.is_empty() {
-                    let spec = vpart_model::workload::QuerySpec::read(&qname)
-                        .access(&a.read)
-                        .frequency(freq)
-                        .default_rows(a.rows);
-                    qids.push(wb.add_query(spec)?);
-                } else {
-                    let spec = vpart_model::workload::QuerySpec::write(&qname)
-                        .access(&a.write)
-                        .frequency(freq)
-                        .default_rows(a.rows);
-                    qids.push(wb.add_query(spec)?);
-                }
-            }
-        }
-        wb.transaction(&txn_name, &qids)?;
-    }
-    Ok((wb.build()?, stats))
+    let workload = aggregate_and_build(occurrences, schema, opts, &mut stats)?;
+    Ok((workload, stats))
 }
 
 /// Combines an annotation that may sit on either transaction bracket.
@@ -377,25 +228,6 @@ fn merge_annotation(
         }),
         (a, b) => Ok(a.or(b)),
     }
-}
-
-/// Report entries for every estimated (non-annotated) row count.
-fn access_estimates(
-    dml: &ParsedDml,
-    stmt: &crate::lexer::RawStatement,
-    schema: &Schema,
-) -> Vec<RowEstimate> {
-    dml.accesses
-        .iter()
-        .filter(|a| matches!(a.basis, RowBasis::PkEquality | RowBasis::Default))
-        .map(|a| RowEstimate {
-            line: stmt.line,
-            table: schema.tables()[a.table.index()].name.clone(),
-            rows: a.rows,
-            pk_equality: a.basis == RowBasis::PkEquality,
-            snippet: stmt.snippet.clone(),
-        })
-        .collect()
 }
 
 #[cfg(test)]
@@ -646,5 +478,24 @@ mod tests {
         assert_eq!(w.query(acct).kind, QueryKind::Read);
         assert_eq!(w.query(logq).kind, QueryKind::Read);
         assert_eq!(w.txn_of(acct), w.txn_of(logq), "same transaction");
+    }
+
+    #[test]
+    fn sample_rate_scales_log_frequencies_too() {
+        let log = "SELECT bal FROM acct WHERE id = 1;\n".repeat(20)
+            + "SELECT owner FROM acct WHERE id = 2;";
+        let opts = IngestOptions::default().with_sample_rate(0.5);
+        let (w, stats) = mine_workload(&log, &schema(), &[], &opts).unwrap();
+        assert_eq!(w.query(vpart_model::QueryId(0)).frequency, 40.0);
+        assert_eq!(stats.confidence.len(), 2);
+        assert_eq!(
+            stats.confidence[0].level,
+            crate::report::ConfidenceLevel::Ok
+        );
+        assert_eq!(
+            stats.confidence[1].level,
+            crate::report::ConfidenceLevel::LowConfidence,
+            "a single observation scaled 2x is not trustworthy"
+        );
     }
 }

@@ -1,0 +1,190 @@
+//! MySQL `performance_schema` digest reader.
+//!
+//! Reads `performance_schema.events_statements_summary_by_digest` exported
+//! as CSV or TSV (`mysql --batch` emits TSV; `SELECT ... INTO OUTFILE`
+//! with `FIELDS TERMINATED BY ','` emits CSV). Required columns:
+//! `DIGEST_TEXT` (the normalized template, `?` placeholders, backtick
+//! quoting) and `COUNT_STAR` (executions). Row counts come from
+//! `SUM_ROWS_SENT` when it is positive (rows a `SELECT` returned),
+//! falling back to `SUM_ROWS_EXAMINED` (rows the statement scanned —
+//! an upper bound, but the faithful driver of the byte-cost model for
+//! writes, which send nothing); both are totals across executions, so
+//! the per-call average divides by `COUNT_STAR`. When neither is
+//! positive the template falls back to the annotation / primary-key /
+//! default row-estimation pipeline.
+//!
+//! An optional `txn` column (non-standard, same extension as the
+//! `pg_stat_statements` readers) groups rows into one multi-statement
+//! transaction template. Header matching is case-insensitive, so
+//! lower-cased exports work too. MySQL's `NULL` literal in either rows
+//! column means "not measured".
+//!
+//! Digest text that exceeds `performance_schema_max_digest_length` is
+//! truncated mid-token by the server; such templates fail statement
+//! parsing and surface as typed errors (strict) or `Unparsable` skips
+//! (lenient), never panics.
+
+use super::{parse_count, RecordBatch, StatsReader, StatsRecord};
+use crate::error::IngestError;
+use crate::report::SkipReason;
+use crate::IngestOptions;
+
+/// `performance_schema.events_statements_summary_by_digest` as CSV/TSV
+/// (`--stats-format perf-schema`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PerfSchema;
+
+/// Parses an optional rows-total field: absent column, empty field or
+/// MySQL's `NULL` literal all mean "not measured".
+fn rows_total(field: Option<&str>, column: &str, line: u32) -> Result<Option<f64>, IngestError> {
+    match field {
+        None => Ok(None),
+        Some(t) if t.trim().is_empty() || t.trim().eq_ignore_ascii_case("null") => Ok(None),
+        Some(t) => parse_count(t, column, line).map(Some),
+    }
+}
+
+impl StatsReader for PerfSchema {
+    fn format_name(&self) -> &'static str {
+        "perf-schema"
+    }
+
+    fn records(&self, input: &str, opts: &IngestOptions) -> Result<RecordBatch, IngestError> {
+        let table = super::csv::parse_delimited(input)?;
+        let digest_col = table.require("DIGEST_TEXT")?;
+        let count_col = table.require("COUNT_STAR")?;
+        let examined_col = table.column("SUM_ROWS_EXAMINED");
+        let sent_col = table.column("SUM_ROWS_SENT");
+        let txn_col = table.column("txn");
+
+        let mut batch = RecordBatch::default();
+        for row in &table.rows {
+            batch.rows_seen += 1;
+            if row.fields.len() != table.header.len() {
+                let e = IngestError::TruncatedStatsRow {
+                    line: row.line,
+                    expected: table.header.len(),
+                    found: row.fields.len(),
+                };
+                if opts.strict {
+                    return Err(e);
+                }
+                batch.skip(
+                    row.line,
+                    SkipReason::MalformedStatsRow,
+                    &row.fields.join(","),
+                );
+                continue;
+            }
+            let digest = &row.fields[digest_col];
+            let numbers = (|| -> Result<(f64, Option<f64>, Option<f64>), IngestError> {
+                let count = parse_count(&row.fields[count_col], "COUNT_STAR", row.line)?;
+                let sent = rows_total(
+                    sent_col.map(|i| row.fields[i].as_str()),
+                    "SUM_ROWS_SENT",
+                    row.line,
+                )?;
+                let examined = rows_total(
+                    examined_col.map(|i| row.fields[i].as_str()),
+                    "SUM_ROWS_EXAMINED",
+                    row.line,
+                )?;
+                Ok((count, sent, examined))
+            })();
+            let (count, sent, examined) = match numbers {
+                Ok(triple) => triple,
+                Err(e) if opts.strict => return Err(e),
+                Err(_) => {
+                    batch.skip(row.line, SkipReason::MalformedStatsRow, digest);
+                    continue;
+                }
+            };
+            if count == 0.0 {
+                batch.skip(row.line, SkipReason::ZeroCalls, digest);
+                continue;
+            }
+            let total = match sent {
+                Some(s) if s > 0.0 => Some(s),
+                _ => examined,
+            };
+            batch.records.push(StatsRecord {
+                template: digest.clone(),
+                calls: count,
+                rows: total.map(|t| t / count).filter(|&r| r > 0.0),
+                group: txn_col
+                    .map(|i| row.fields[i].trim())
+                    .filter(|g| !g.is_empty())
+                    .map(str::to_string),
+                line: row.line,
+            });
+        }
+        Ok(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read(input: &str) -> Result<RecordBatch, IngestError> {
+        PerfSchema.records(input, &IngestOptions::default())
+    }
+
+    #[test]
+    fn tsv_digest_dump_with_sent_and_examined() {
+        let batch = read(
+            "DIGEST\tDIGEST_TEXT\tCOUNT_STAR\tSUM_ROWS_EXAMINED\tSUM_ROWS_SENT\n\
+             abc\tSELECT `a` FROM `t` WHERE `id` = ?\t200\t200\t200\n\
+             def\tUPDATE `t` SET `a` = ?\t50\t150\t0\n",
+        )
+        .unwrap();
+        assert_eq!(batch.records.len(), 2);
+        assert_eq!(batch.records[0].calls, 200.0);
+        assert_eq!(batch.records[0].rows, Some(1.0), "SUM_ROWS_SENT wins");
+        assert_eq!(
+            batch.records[1].rows,
+            Some(3.0),
+            "writes send nothing; examined drives the estimate"
+        );
+    }
+
+    #[test]
+    fn null_and_missing_row_columns_mean_unmeasured() {
+        let batch = read("DIGEST_TEXT,COUNT_STAR,SUM_ROWS_SENT\nSELECT 1,10,NULL\n").unwrap();
+        assert_eq!(batch.records[0].rows, None);
+        let batch = read("DIGEST_TEXT,COUNT_STAR\nSELECT 1,10\n").unwrap();
+        assert_eq!(batch.records[0].rows, None);
+    }
+
+    #[test]
+    fn missing_required_columns_are_typed() {
+        assert!(matches!(
+            read("query,calls\nSELECT 1,2\n"),
+            Err(IngestError::MissingStatsColumn { ref column, .. }) if column == "DIGEST_TEXT"
+        ));
+        assert!(matches!(
+            read("DIGEST_TEXT,calls\nSELECT 1,2\n"),
+            Err(IngestError::MissingStatsColumn { ref column, .. }) if column == "COUNT_STAR"
+        ));
+    }
+
+    #[test]
+    fn malformed_rows_error_strict_skip_lenient() {
+        let dump = "DIGEST_TEXT,COUNT_STAR\nSELECT 1,many\n";
+        assert!(matches!(
+            read(dump),
+            Err(IngestError::StatsNumber { ref column, .. }) if column == "COUNT_STAR"
+        ));
+        let batch = PerfSchema
+            .records(dump, &IngestOptions::default().lenient())
+            .unwrap();
+        assert!(batch.records.is_empty());
+        assert_eq!(batch.skipped[0].reason, SkipReason::MalformedStatsRow);
+    }
+
+    #[test]
+    fn lowercase_headers_are_accepted() {
+        let batch = read("digest_text,count_star\nSELECT 1,7\n").unwrap();
+        assert_eq!(batch.records[0].calls, 7.0);
+    }
+}

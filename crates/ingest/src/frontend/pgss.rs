@@ -1,0 +1,347 @@
+//! `pg_stat_statements` dump readers (CSV and JSON).
+//!
+//! PostgreSQL's `pg_stat_statements` view already holds exactly the
+//! aggregated workload statistics the cost model wants: one row per
+//! normalized statement template with `calls` (executions) and `rows`
+//! (total rows retrieved or affected across all calls). These readers
+//! accept the two common export shapes:
+//!
+//! * **CSV** — `COPY (SELECT query, calls, rows FROM pg_stat_statements)
+//!   TO '...' CSV HEADER` or `psql --csv`; column order is free, extra
+//!   columns (`userid`, `queryid`, `total_exec_time`, ...) are ignored.
+//! * **JSON** — an array of row objects, e.g. from
+//!   `SELECT json_agg(s) FROM pg_stat_statements s`.
+//!
+//! Required columns: `query`, `calls`. Optional: `rows` (empty/0 falls
+//! back to the annotation / primary-key / default estimation pipeline —
+//! useful when per-table row counts differ across a join) and `txn`, a
+//! non-standard extension column grouping rows into one multi-statement
+//! transaction template.
+//!
+//! Template text is the view's normalized form: `$1`/`$2` placeholders
+//! lex as parameters exactly like `?`, and `/*+ rows=… sel=… */` hint
+//! comments (which `pg_stat_statements` preserves) still apply. Rows with
+//! the same template (e.g. one per `userid`) merge downstream: calls sum,
+//! row counts average call-weighted.
+
+use super::{parse_count, RecordBatch, StatsReader, StatsRecord};
+use crate::error::IngestError;
+use crate::report::SkipReason;
+use crate::IngestOptions;
+
+/// `pg_stat_statements` as CSV (`--stats-format pgss-csv`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PgssCsv;
+
+/// `pg_stat_statements` as a JSON array (`--stats-format pgss-json`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PgssJson;
+
+/// Converts one raw `(query, calls, rows, txn)` quadruple into a record,
+/// sharing the calls/rows semantics between the CSV and JSON forms:
+/// `rows` is the *total* across calls, so the per-call average is
+/// `rows / calls`; a zero or missing total means "not measured".
+fn make_record(
+    batch: &mut RecordBatch,
+    query: &str,
+    calls_text: &str,
+    rows_text: Option<&str>,
+    group: Option<String>,
+    line: u32,
+    strict: bool,
+) -> Result<(), IngestError> {
+    batch.rows_seen += 1;
+    let numbers = (|| -> Result<(f64, Option<f64>), IngestError> {
+        let calls = parse_count(calls_text, "calls", line)?;
+        let rows_total = match rows_text {
+            None => None,
+            Some(t) if t.trim().is_empty() => None,
+            Some(t) => Some(parse_count(t, "rows", line)?),
+        };
+        Ok((calls, rows_total))
+    })();
+    let (calls, rows_total) = match numbers {
+        Ok(pair) => pair,
+        Err(e) if strict => return Err(e),
+        Err(_) => {
+            batch.skip(line, SkipReason::MalformedStatsRow, query);
+            return Ok(());
+        }
+    };
+    if calls == 0.0 {
+        batch.skip(line, SkipReason::ZeroCalls, query);
+        return Ok(());
+    }
+    let rows = rows_total.map(|t| t / calls).filter(|&r| r > 0.0);
+    batch.records.push(StatsRecord {
+        template: query.to_string(),
+        calls,
+        rows,
+        group,
+        line,
+    });
+    Ok(())
+}
+
+impl StatsReader for PgssCsv {
+    fn format_name(&self) -> &'static str {
+        "pgss-csv"
+    }
+
+    fn records(&self, input: &str, opts: &IngestOptions) -> Result<RecordBatch, IngestError> {
+        let table = super::csv::parse_delimited(input)?;
+        let query_col = table.require("query")?;
+        let calls_col = table.require("calls")?;
+        let rows_col = table.column("rows");
+        let txn_col = table.column("txn");
+
+        let mut batch = RecordBatch::default();
+        for row in &table.rows {
+            if row.fields.len() != table.header.len() {
+                let e = IngestError::TruncatedStatsRow {
+                    line: row.line,
+                    expected: table.header.len(),
+                    found: row.fields.len(),
+                };
+                if opts.strict {
+                    return Err(e);
+                }
+                batch.rows_seen += 1;
+                batch.skip(
+                    row.line,
+                    SkipReason::MalformedStatsRow,
+                    &row.fields.join(","),
+                );
+                continue;
+            }
+            let group = txn_col
+                .map(|i| row.fields[i].trim())
+                .filter(|g| !g.is_empty())
+                .map(str::to_string);
+            make_record(
+                &mut batch,
+                &row.fields[query_col],
+                &row.fields[calls_col],
+                rows_col.map(|i| row.fields[i].as_str()),
+                group,
+                row.line,
+                opts.strict,
+            )?;
+        }
+        Ok(batch)
+    }
+}
+
+impl StatsReader for PgssJson {
+    fn format_name(&self) -> &'static str {
+        "pgss-json"
+    }
+
+    fn records(&self, input: &str, opts: &IngestOptions) -> Result<RecordBatch, IngestError> {
+        let value: serde_json::Value =
+            serde_json::from_str(input).map_err(|e| IngestError::StatsJson {
+                detail: e.to_string(),
+            })?;
+        let Some(rows) = value.as_array() else {
+            return Err(IngestError::StatsJson {
+                detail: "expected a top-level array of row objects".to_string(),
+            });
+        };
+        if rows.is_empty() {
+            return Err(IngestError::EmptyStats);
+        }
+
+        let mut batch = RecordBatch::default();
+        // JSON carries no line numbers; the 1-based element index stands in.
+        for (idx, row) in rows.iter().enumerate() {
+            let line = (idx + 1) as u32;
+            let malformed = |detail: &str| IngestError::StatsJson {
+                detail: format!("element {line}: {detail}"),
+            };
+            let (query, calls) = match (
+                row.get("query").and_then(|v| v.as_str()),
+                row.get("calls").and_then(|v| v.as_f64()),
+            ) {
+                (Some(q), Some(c)) if c.is_finite() && c >= 0.0 => (q, c),
+                (None, _) => {
+                    if opts.strict {
+                        return Err(malformed("missing string \"query\""));
+                    }
+                    batch.rows_seen += 1;
+                    batch.skip(line, SkipReason::MalformedStatsRow, &row.to_string());
+                    continue;
+                }
+                (Some(q), _) => {
+                    if opts.strict {
+                        return Err(malformed("missing or non-numeric \"calls\""));
+                    }
+                    batch.rows_seen += 1;
+                    batch.skip(line, SkipReason::MalformedStatsRow, q);
+                    continue;
+                }
+            };
+            batch.rows_seen += 1;
+            if calls == 0.0 {
+                batch.skip(line, SkipReason::ZeroCalls, query);
+                continue;
+            }
+            let rows_total = row.get("rows").and_then(|v| v.as_f64());
+            let group = row
+                .get("txn")
+                .and_then(|v| v.as_str())
+                .filter(|g| !g.trim().is_empty())
+                .map(str::to_string);
+            batch.records.push(StatsRecord {
+                template: query.to_string(),
+                calls,
+                rows: rows_total.map(|t| t / calls).filter(|&r| r > 0.0),
+                group,
+                line,
+            });
+        }
+        Ok(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read_csv(input: &str) -> Result<RecordBatch, IngestError> {
+        PgssCsv.records(input, &IngestOptions::default())
+    }
+
+    #[test]
+    fn csv_extracts_query_calls_rows_ignoring_extras() {
+        let batch = read_csv(
+            "userid,queryid,query,calls,total_exec_time,rows\n\
+             10,123,\"SELECT a FROM t WHERE id = $1\",120,9.5,120\n\
+             10,124,UPDATE t SET a = $1,30,1.5,30\n",
+        )
+        .unwrap();
+        assert_eq!(batch.records.len(), 2);
+        assert_eq!(batch.rows_seen, 2);
+        let r = &batch.records[0];
+        assert_eq!(r.template, "SELECT a FROM t WHERE id = $1");
+        assert_eq!(r.calls, 120.0);
+        assert_eq!(r.rows, Some(1.0), "total 120 over 120 calls");
+        assert_eq!(r.line, 2);
+        assert_eq!(batch.records[1].rows, Some(1.0));
+    }
+
+    #[test]
+    fn csv_empty_rows_column_means_unmeasured() {
+        let batch = read_csv("query,calls,rows\nSELECT 1,10,\n").unwrap();
+        assert_eq!(batch.records[0].rows, None);
+        let batch = read_csv("query,calls,rows\nSELECT 1,10,0\n").unwrap();
+        assert_eq!(batch.records[0].rows, None, "zero total = unmeasured");
+    }
+
+    #[test]
+    fn csv_txn_column_labels_groups() {
+        let batch = read_csv(
+            "query,calls,rows,txn\nSELECT 1,8,8,checkout\nSELECT 2,8,8,checkout\nSELECT 3,5,5,\n",
+        )
+        .unwrap();
+        assert_eq!(batch.records[0].group.as_deref(), Some("checkout"));
+        assert_eq!(batch.records[1].group.as_deref(), Some("checkout"));
+        assert_eq!(batch.records[2].group, None);
+    }
+
+    #[test]
+    fn csv_missing_required_columns_is_typed() {
+        assert!(matches!(
+            read_csv("a,b,c\n1,2,3\n"),
+            Err(IngestError::MissingStatsColumn { ref column, .. }) if column == "query"
+        ));
+        assert!(matches!(
+            read_csv("query,count\nSELECT 1,2\n"),
+            Err(IngestError::MissingStatsColumn { ref column, .. }) if column == "calls"
+        ));
+    }
+
+    #[test]
+    fn csv_truncated_and_non_numeric_rows() {
+        assert_eq!(
+            read_csv("query,calls\nSELECT 1\n"),
+            Err(IngestError::TruncatedStatsRow {
+                line: 2,
+                expected: 2,
+                found: 1
+            })
+        );
+        assert!(matches!(
+            read_csv("query,calls\nSELECT 1,often\n"),
+            Err(IngestError::StatsNumber { line: 2, .. })
+        ));
+        // Lenient mode skips both instead.
+        let opts = IngestOptions::default().lenient();
+        let batch = PgssCsv
+            .records("query,calls\nSELECT 1\nSELECT 2,often\nSELECT 3,4\n", &opts)
+            .unwrap();
+        assert_eq!(batch.records.len(), 1);
+        assert_eq!(batch.skipped.len(), 2);
+        assert!(batch
+            .skipped
+            .iter()
+            .all(|s| s.reason == SkipReason::MalformedStatsRow));
+        assert_eq!(batch.rows_seen, 3);
+    }
+
+    #[test]
+    fn csv_zero_calls_rows_are_skipped() {
+        let batch = read_csv("query,calls\nSELECT 1,0\nSELECT 2,5\n").unwrap();
+        assert_eq!(batch.records.len(), 1);
+        assert_eq!(batch.skipped.len(), 1);
+        assert_eq!(batch.skipped[0].reason, SkipReason::ZeroCalls);
+    }
+
+    #[test]
+    fn json_array_of_objects() {
+        let batch = PgssJson
+            .records(
+                r#"[
+                    {"query": "SELECT a FROM t WHERE id = $1", "calls": 40, "rows": 40},
+                    {"query": "DELETE FROM t WHERE id = $1", "calls": 5, "txn": "purge"}
+                ]"#,
+                &IngestOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(batch.records.len(), 2);
+        assert_eq!(batch.records[0].rows, Some(1.0));
+        assert_eq!(batch.records[0].line, 1);
+        assert_eq!(batch.records[1].rows, None);
+        assert_eq!(batch.records[1].group.as_deref(), Some("purge"));
+    }
+
+    #[test]
+    fn json_malformed_inputs_are_typed() {
+        let opts = IngestOptions::default();
+        assert!(matches!(
+            PgssJson.records("not json", &opts),
+            Err(IngestError::StatsJson { .. })
+        ));
+        assert!(matches!(
+            PgssJson.records(r#"{"query": "SELECT 1"}"#, &opts),
+            Err(IngestError::StatsJson { .. })
+        ));
+        assert_eq!(PgssJson.records("[]", &opts), Err(IngestError::EmptyStats));
+        assert!(matches!(
+            PgssJson.records(r#"[{"calls": 3}]"#, &opts),
+            Err(IngestError::StatsJson { .. })
+        ));
+        assert!(matches!(
+            PgssJson.records(r#"[{"query": "SELECT 1", "calls": "x"}]"#, &opts),
+            Err(IngestError::StatsJson { .. })
+        ));
+        // Lenient mode skips malformed elements.
+        let batch = PgssJson
+            .records(
+                r#"[{"calls": 3}, {"query": "SELECT 1", "calls": 2}]"#,
+                &IngestOptions::default().lenient(),
+            )
+            .unwrap();
+        assert_eq!(batch.records.len(), 1);
+        assert_eq!(batch.skipped.len(), 1);
+    }
+}

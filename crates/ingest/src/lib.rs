@@ -23,6 +23,38 @@
 //! assert!(out.report.row_estimates.iter().all(|e| e.pk_equality));
 //! ```
 //!
+//! # Workload frontends
+//!
+//! The query log is one of several [`frontend::WorkloadFrontend`]s. The
+//! same schema can instead be paired with pre-aggregated statistics —
+//! a `pg_stat_statements` dump (CSV or JSON) or a MySQL
+//! `performance_schema` digest summary — via [`ingest_stats`]: each dump
+//! row is a normalized `(template, calls, rows)` record whose template
+//! text goes through the same flattening and row-estimation pipeline as
+//! log statements. Sampled inputs scale up to population estimates with
+//! [`IngestOptions::sample_rate`], and rarely-seen templates are flagged
+//! [`report::ConfidenceLevel::LowConfidence`] in the report:
+//!
+//! ```
+//! use vpart_ingest::{ingest_stats, IngestOptions, StatsFormat};
+//!
+//! let schema = "CREATE TABLE acct (id BIGINT PRIMARY KEY, bal DECIMAL(12,2));";
+//! let dump = "query,calls,rows\n\
+//!             \"SELECT bal FROM acct WHERE id = $1\",1200,1200\n\
+//!             \"UPDATE acct SET bal = bal - $1 WHERE id = $2\",400,400\n";
+//! let out = ingest_stats(
+//!     schema,
+//!     dump,
+//!     StatsFormat::PgssCsv,
+//!     &IngestOptions::default().with_sample_rate(0.5),
+//! )
+//! .unwrap();
+//! assert_eq!(out.instance.n_txns(), 2);
+//! // calls scale by 1/sample_rate; both templates clear the confidence bar.
+//! assert_eq!(out.instance.workload().query(vpart_model::QueryId(0)).frequency, 2400.0);
+//! assert!(out.report.low_confidence().next().is_none());
+//! ```
+//!
 //! # Supported SQL subset
 //!
 //! **DDL** — `CREATE TABLE name (col TYPE [constraints], ..., [table
@@ -93,13 +125,20 @@
 
 pub mod ddl;
 pub mod error;
+pub mod frontend;
 pub mod lexer;
-pub mod log;
 pub mod report;
 pub mod stmt;
 
+pub use frontend::log;
+pub use frontend::{
+    FrontendCtx, MinerStats, RecordBatch, StatsFormat, StatsReader, StatsRecord, WorkloadFrontend,
+};
+
 pub use error::IngestError;
-pub use report::{IngestReport, RowEstimate, SkipReason, Skipped, WidthFallback};
+pub use report::{
+    ConfidenceEntry, ConfidenceLevel, IngestReport, RowEstimate, SkipReason, Skipped, WidthFallback,
+};
 
 use vpart_model::Instance;
 
@@ -117,6 +156,15 @@ pub struct IngestOptions {
     /// grammar violations abort ingestion; when `false` they skip the
     /// statement with a diagnostic.
     pub strict: bool,
+    /// Fraction of the real traffic the input covers, in `(0, 1]`.
+    /// Ingested frequencies are scaled by `1 / sample_rate` to population
+    /// estimates; any value below 1 also turns on per-template confidence
+    /// reporting ([`report::ConfidenceEntry`]).
+    pub sample_rate: f64,
+    /// When sampling, templates observed fewer than this many times are
+    /// flagged [`report::ConfidenceLevel::LowConfidence`]: their scaled
+    /// frequency rests on too few observations to trust.
+    pub confidence_min_calls: f64,
 }
 
 impl Default for IngestOptions {
@@ -126,6 +174,8 @@ impl Default for IngestOptions {
             text_width: 64.0,
             default_rows: 1.0,
             strict: true,
+            sample_rate: 1.0,
+            confidence_min_calls: 10.0,
         }
     }
 }
@@ -154,6 +204,20 @@ impl IngestOptions {
         self.strict = false;
         self
     }
+
+    /// Sets the sampling rate the input was collected at (validated on
+    /// ingestion: must be in `(0, 1]`).
+    pub fn with_sample_rate(mut self, rate: f64) -> Self {
+        self.sample_rate = rate;
+        self
+    }
+
+    /// Sets the minimum observations below which a sampled template is
+    /// flagged low-confidence.
+    pub fn with_confidence_min_calls(mut self, calls: f64) -> Self {
+        self.confidence_min_calls = calls;
+        self
+    }
 }
 
 /// A successful ingestion: the instance plus its loss diagnostics.
@@ -171,9 +235,41 @@ pub fn ingest(
     query_log: &str,
     opts: &IngestOptions,
 ) -> Result<Ingestion, IngestError> {
+    ingest_with(&frontend::log::LogFrontend, schema_sql, query_log, opts)
+}
+
+/// Converts DDL text plus a statistics dump (`pg_stat_statements` /
+/// `performance_schema`) into a partitioning instance.
+pub fn ingest_stats(
+    schema_sql: &str,
+    dump: &str,
+    format: StatsFormat,
+    opts: &IngestOptions,
+) -> Result<Ingestion, IngestError> {
+    ingest_with(format.frontend(), schema_sql, dump, opts)
+}
+
+/// Converts DDL text plus frontend-specific workload input into a
+/// partitioning instance — the generic entry point behind [`ingest`] and
+/// [`ingest_stats`], open to user-supplied [`WorkloadFrontend`]s.
+pub fn ingest_with(
+    frontend: &dyn WorkloadFrontend,
+    schema_sql: &str,
+    input: &str,
+    opts: &IngestOptions,
+) -> Result<Ingestion, IngestError> {
+    if !(opts.sample_rate > 0.0 && opts.sample_rate <= 1.0) {
+        return Err(IngestError::InvalidSampleRate {
+            rate: opts.sample_rate,
+        });
+    }
     let parsed = ddl::parse_schema(schema_sql, opts)?;
-    let (workload, stats) =
-        log::mine_workload(query_log, &parsed.schema, &parsed.primary_keys, opts)?;
+    let ctx = FrontendCtx {
+        schema: &parsed.schema,
+        primary_keys: &parsed.primary_keys,
+        opts,
+    };
+    let (workload, stats) = frontend.mine(input, &ctx)?;
     let instance = Instance::new(opts.name.clone(), parsed.schema, workload)?;
 
     let mut skipped = parsed.skipped;
@@ -190,6 +286,8 @@ pub fn ingest(
         skipped,
         width_fallbacks: parsed.width_fallbacks,
         row_estimates: stats.row_estimates,
+        sample_rate: opts.sample_rate,
+        confidence: stats.confidence,
     };
     Ok(Ingestion { instance, report })
 }
@@ -269,6 +367,37 @@ mod tests {
         assert_eq!(out.report.row_estimates.len(), 1);
         assert!(!out.report.row_estimates[0].pk_equality);
         assert_eq!(out.report.row_estimates[0].rows, 12.0);
+    }
+
+    #[test]
+    fn stats_and_log_frontends_share_the_statement_pipeline() {
+        // The same workload expressed as a log and as a pgss dump (with
+        // matching counts) produces structurally identical instances.
+        let log = "SELECT /*+ freq=6 */ u_email FROM users WHERE u_id = 7;\n\
+                   UPDATE /*+ freq=2 */ orders SET o_total = 0 WHERE o_id = 1;";
+        let dump = "query,calls,rows\n\
+                    \"SELECT u_email FROM users WHERE u_id = $1\",6,6\n\
+                    \"UPDATE orders SET o_total = $1 WHERE o_id = $2\",2,2\n";
+        let opts = IngestOptions::default().with_name("same");
+        let from_log = ingest(SCHEMA, log, &opts).unwrap();
+        let from_stats = ingest_stats(SCHEMA, dump, StatsFormat::PgssCsv, &opts).unwrap();
+        assert_eq!(from_log.instance, from_stats.instance);
+    }
+
+    #[test]
+    fn invalid_sample_rates_are_rejected() {
+        for rate in [0.0, -1.0, 1.5, f64::NAN] {
+            let err = ingest(
+                SCHEMA,
+                "SELECT u_email FROM users WHERE u_id = 1;",
+                &IngestOptions::default().with_sample_rate(rate),
+            )
+            .unwrap_err();
+            assert!(
+                matches!(err, IngestError::InvalidSampleRate { .. }),
+                "rate {rate}: {err:?}"
+            );
+        }
     }
 
     #[test]

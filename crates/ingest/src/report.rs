@@ -31,6 +31,16 @@ pub enum SkipReason {
     UnknownReference,
     /// The statement's grammar could not be parsed (lenient mode only).
     Unparsable,
+    /// A transaction-control statement (`BEGIN`, `COMMIT`, `ROLLBACK`)
+    /// inside a statistics dump: dumps aggregate per statement, so the
+    /// bracket carries no workload of its own.
+    TxnControl,
+    /// A malformed statistics row (truncated, non-numeric counters; lenient
+    /// mode only — strict mode raises [`crate::IngestError`] instead).
+    MalformedStatsRow,
+    /// A statistics row with zero observed executions contributes no
+    /// workload (e.g. a statement reset since it last ran).
+    ZeroCalls,
 }
 
 impl fmt::Display for SkipReason {
@@ -43,6 +53,9 @@ impl fmt::Display for SkipReason {
             Self::RolledBack => "transaction rolled back",
             Self::UnknownReference => "unknown table or column",
             Self::Unparsable => "could not parse",
+            Self::TxnControl => "transaction control carries no workload in a statistics dump",
+            Self::MalformedStatsRow => "malformed statistics row",
+            Self::ZeroCalls => "zero observed executions",
         };
         f.write_str(s)
     }
@@ -80,6 +93,41 @@ pub struct RowEstimate {
     pub snippet: String,
 }
 
+/// How much a template's scaled frequency can be trusted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfidenceLevel {
+    /// Seen often enough that the population estimate is sound.
+    Ok,
+    /// Seen fewer times than [`crate::IngestOptions::confidence_min_calls`]:
+    /// the scaled-up frequency rests on too few observations to trust.
+    LowConfidence,
+}
+
+impl fmt::Display for ConfidenceLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::Ok => "ok",
+            Self::LowConfidence => "low confidence",
+        })
+    }
+}
+
+/// Per-template sampling confidence, emitted when ingesting under a
+/// `sample_rate` below 1: the observed count is what the (sampled) input
+/// contained, the scaled count is the population estimate that reached the
+/// cost model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfidenceEntry {
+    /// The transaction template's name.
+    pub txn: String,
+    /// Executions observed in the sampled input.
+    pub observed: f64,
+    /// Population estimate (`observed / sample_rate`) used as frequency.
+    pub scaled: f64,
+    /// Whether the observation count clears the confidence threshold.
+    pub level: ConfidenceLevel,
+}
+
 /// A column whose SQL type had no principled width; the fallback was used.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WidthFallback {
@@ -94,7 +142,7 @@ pub struct WidthFallback {
 }
 
 /// Per-run ingestion diagnostics and headline numbers.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IngestReport {
     /// Tables in the ingested schema.
     pub tables: usize,
@@ -116,16 +164,53 @@ pub struct IngestReport {
     pub width_fallbacks: Vec<WidthFallback>,
     /// Row counts derived instead of annotated (PK equality or default).
     pub row_estimates: Vec<RowEstimate>,
+    /// The sample rate frequencies were scaled by (1 = complete input).
+    pub sample_rate: f64,
+    /// Per-template sampling confidence (empty when `sample_rate` is 1).
+    pub confidence: Vec<ConfidenceEntry>,
+}
+
+impl Default for IngestReport {
+    fn default() -> Self {
+        Self {
+            tables: 0,
+            attrs: 0,
+            txns: 0,
+            queries: 0,
+            statements_seen: 0,
+            statements_ingested: 0,
+            txn_occurrences: 0,
+            skipped: Vec::new(),
+            width_fallbacks: Vec::new(),
+            row_estimates: Vec::new(),
+            sample_rate: 1.0,
+            confidence: Vec::new(),
+        }
+    }
 }
 
 impl IngestReport {
     /// True when nothing was skipped and nothing was guessed. Primary-key
     /// row estimates do not count as losses (they are exact); default
-    /// row guesses do.
+    /// row guesses do. Low-confidence templates are a separate axis — see
+    /// [`IngestReport::low_confidence`].
     pub fn is_lossless(&self) -> bool {
         self.skipped.is_empty()
             && self.width_fallbacks.is_empty()
             && self.row_estimates.iter().all(|e| e.pk_equality)
+    }
+
+    /// The templates whose scaled frequency rests on too few observations.
+    pub fn low_confidence(&self) -> impl Iterator<Item = &ConfidenceEntry> {
+        self.confidence
+            .iter()
+            .filter(|c| c.level == ConfidenceLevel::LowConfidence)
+    }
+
+    /// True when any skip or low-confidence diagnostic is present — the
+    /// condition `vpart ingest --strict` fails on.
+    pub fn has_diagnostics(&self) -> bool {
+        !self.skipped.is_empty() || self.low_confidence().next().is_some()
     }
 }
 
@@ -166,7 +251,22 @@ impl fmt::Display for IngestReport {
         for s in &self.skipped {
             writeln!(f, "  skipped line {}: {} — {}", s.line, s.reason, s.snippet)?;
         }
-        if self.is_lossless() {
+        if self.sample_rate < 1.0 {
+            writeln!(
+                f,
+                "sampling: frequencies scaled by 1/{} to population estimates",
+                self.sample_rate
+            )?;
+            for c in self.low_confidence() {
+                writeln!(
+                    f,
+                    "  low confidence: {} seen {} times (scaled to {}) — too few \
+                     observations to trust",
+                    c.txn, c.observed, c.scaled
+                )?;
+            }
+        }
+        if self.is_lossless() && !self.has_diagnostics() {
             writeln!(f, "no statements skipped, no statistics guessed")?;
         }
         Ok(())
@@ -205,6 +305,7 @@ mod tests {
                 pk_equality: true,
                 snippet: "SELECT c FROM t WHERE id = ?".into(),
             }],
+            ..IngestReport::default()
         };
         assert!(!r.is_lossless());
         let text = r.to_string();
@@ -243,5 +344,34 @@ mod tests {
         let r = IngestReport::default();
         assert!(r.is_lossless());
         assert!(r.to_string().contains("no statements skipped"));
+    }
+
+    #[test]
+    fn low_confidence_is_a_diagnostic_but_not_a_loss() {
+        let r = IngestReport {
+            sample_rate: 0.01,
+            confidence: vec![
+                ConfidenceEntry {
+                    txn: "hot".into(),
+                    observed: 500.0,
+                    scaled: 50_000.0,
+                    level: ConfidenceLevel::Ok,
+                },
+                ConfidenceEntry {
+                    txn: "rare".into(),
+                    observed: 2.0,
+                    scaled: 200.0,
+                    level: ConfidenceLevel::LowConfidence,
+                },
+            ],
+            ..IngestReport::default()
+        };
+        assert!(r.is_lossless(), "confidence is orthogonal to losses");
+        assert!(r.has_diagnostics());
+        assert_eq!(r.low_confidence().count(), 1);
+        let text = r.to_string();
+        assert!(text.contains("scaled by 1/0.01"));
+        assert!(text.contains("low confidence: rare seen 2 times"));
+        assert!(!text.contains("hot seen"), "only low entries are printed");
     }
 }

@@ -272,6 +272,167 @@ fn random_instances_are_solvable_and_serializable() {
     }
 }
 
+impl Gen {
+    /// Renders statements as a `pg_stat_statements`-shaped CSV dump with
+    /// random quoting, random extra columns and occasional `txn` groups.
+    fn pgss_csv(&mut self) -> (String, usize) {
+        let extra = self.rng.gen_bool(0.5);
+        let mut out = String::from(if extra {
+            "userid,query,calls,total_exec_time,rows,txn\n"
+        } else {
+            "query,calls,rows,txn\n"
+        });
+        let n = self.rng.gen_range(1..=8usize);
+        for i in 0..n {
+            let stmt = self.statement();
+            let stmt = stmt.trim_end_matches(';');
+            // Annotation comments in the template are legal; keep the
+            // generator's occasional `-- rows=` suffix out of CSV text.
+            let stmt = stmt.split(" -- ").next().unwrap().replace('"', "\"\"");
+            let calls = self.rng.gen_range(1..500u32);
+            let rows = if self.rng.gen_bool(0.5) {
+                format!("{}", self.rng.gen_range(0..2000u32))
+            } else {
+                String::new()
+            };
+            let txn = if self.rng.gen_bool(0.3) {
+                format!("grp{}", self.rng.gen_range(0..3u32))
+            } else {
+                String::new()
+            };
+            if extra {
+                out.push_str(&format!("7,\"{stmt}\",{calls},1.25,{rows},{txn}\n"));
+            } else {
+                out.push_str(&format!("\"{stmt}\",{calls},{rows},{txn}\n"));
+            }
+            let _ = i;
+        }
+        (out, n)
+    }
+
+    /// Renders statements as a `performance_schema` digest TSV dump.
+    fn perf_schema_tsv(&mut self) -> (String, usize) {
+        let mut out = String::from("DIGEST_TEXT\tCOUNT_STAR\tSUM_ROWS_EXAMINED\tSUM_ROWS_SENT\n");
+        let n = self.rng.gen_range(1..=8usize);
+        for _ in 0..n {
+            let stmt = self.statement();
+            let stmt = stmt.trim_end_matches(';');
+            let stmt = stmt.split(" -- ").next().unwrap().replace('\t', " ");
+            let count = self.rng.gen_range(1..500u32);
+            let examined = self.rng.gen_range(0..5000u32);
+            let sent = if self.rng.gen_bool(0.3) {
+                "NULL".to_string()
+            } else {
+                format!("{}", self.rng.gen_range(0..2000u32))
+            };
+            out.push_str(&format!("{stmt}\t{count}\t{examined}\t{sent}\n"));
+        }
+        (out, n)
+    }
+}
+
+#[test]
+fn random_stats_dumps_always_ingest() {
+    for seed in 0..150u64 {
+        let mut g = Gen::new(0x57A7_0000 + seed);
+        let ddl = g.ddl();
+        let (dump, rows) = g.pgss_csv();
+        let out = vpart_ingest::ingest_stats(
+            &ddl,
+            &dump,
+            vpart_ingest::StatsFormat::PgssCsv,
+            &IngestOptions::default(),
+        )
+        .unwrap_or_else(|e| panic!("seed {seed} failed: {e}\nDDL:\n{ddl}\nDUMP:\n{dump}"));
+        assert_eq!(out.report.statements_seen, rows, "seed {seed}");
+        assert_eq!(out.report.statements_ingested, rows, "seed {seed}");
+        assert!(out.instance.n_txns() >= 1);
+        // Sampled ingestion of the same dump: scaled frequencies, full
+        // confidence coverage, still solvable input.
+        let sampled = vpart_ingest::ingest_stats(
+            &ddl,
+            &dump,
+            vpart_ingest::StatsFormat::PgssCsv,
+            &IngestOptions::default().with_sample_rate(0.25),
+        )
+        .unwrap_or_else(|e| panic!("seed {seed} sampled failed: {e}"));
+        assert_eq!(sampled.report.confidence.len(), sampled.instance.n_txns());
+    }
+}
+
+#[test]
+fn random_perf_schema_dumps_always_ingest() {
+    for seed in 0..150u64 {
+        let mut g = Gen::new(0x9E2F_0000 + seed);
+        let ddl = g.ddl();
+        let (dump, rows) = g.perf_schema_tsv();
+        let out = vpart_ingest::ingest_stats(
+            &ddl,
+            &dump,
+            vpart_ingest::StatsFormat::PerfSchema,
+            &IngestOptions::default(),
+        )
+        .unwrap_or_else(|e| panic!("seed {seed} failed: {e}\nDDL:\n{ddl}\nDUMP:\n{dump}"));
+        assert_eq!(out.report.statements_seen, rows, "seed {seed}");
+        assert!(out.instance.n_txns() >= 1);
+    }
+}
+
+#[test]
+fn fuzzed_stats_garbage_never_panics() {
+    // Byte-noise dumps must produce Ok or a typed error, never a panic.
+    let mut rng = StdRng::seed_from_u64(0xD1_6E57);
+    let schema = "CREATE TABLE t (a INT, b VARCHAR(8));";
+    let pieces = [
+        "query",
+        "calls",
+        "rows",
+        "DIGEST_TEXT",
+        "COUNT_STAR",
+        "SELECT a FROM t",
+        ",",
+        "\t",
+        "\n",
+        "\"",
+        "\"\"",
+        "5",
+        "-3",
+        "1e308",
+        "NULL",
+        "often",
+        "",
+        "txn",
+        "grp",
+        "{",
+        "[",
+        "]",
+        "}",
+        ":",
+        "BEGIN",
+    ];
+    for _ in 0..500 {
+        let n = rng.gen_range(1..40usize);
+        let dump: String = (0..n)
+            .map(|_| pieces[rng.gen_range(0..pieces.len())])
+            .collect::<Vec<_>>()
+            .join("");
+        for format in [
+            vpart_ingest::StatsFormat::PgssCsv,
+            vpart_ingest::StatsFormat::PgssJson,
+            vpart_ingest::StatsFormat::PerfSchema,
+        ] {
+            // Either outcome is fine; what matters is that it returns.
+            let _ = vpart_ingest::ingest_stats(schema, &dump, format, &IngestOptions::default());
+            let _ = vpart_ingest::ingest_stats(
+                schema,
+                &dump,
+                format,
+                &IngestOptions::default().lenient(),
+            );
+        }
+    }
+}
+
 #[test]
 fn fuzzed_garbage_never_panics() {
     // Byte-noise logs must produce Ok or a typed error, never a panic.

@@ -1,11 +1,15 @@
 //! Malformed input produces typed `IngestError`s — never panics.
 
-use vpart_ingest::{ingest, IngestError, IngestOptions};
+use vpart_ingest::{ingest, ingest_stats, IngestError, IngestOptions, SkipReason, StatsFormat};
 
 const SCHEMA: &str = "CREATE TABLE t (a INT, b VARCHAR(8));";
 
 fn err(schema: &str, log: &str) -> IngestError {
     ingest(schema, log, &IngestOptions::default()).unwrap_err()
+}
+
+fn stats_err(format: StatsFormat, dump: &str) -> IngestError {
+    ingest_stats(SCHEMA, dump, format, &IngestOptions::default()).unwrap_err()
 }
 
 #[test]
@@ -199,4 +203,151 @@ fn errors_display_and_propagate_as_std_error() {
     let e = err(SCHEMA, "SELECT nope FROM t;");
     let boxed: Box<dyn std::error::Error> = Box::new(e);
     assert!(boxed.to_string().contains("nope"));
+}
+
+// ----------------------------------------------------- statistics dumps
+
+#[test]
+fn stats_header_without_required_columns() {
+    // Wrong-format headers name the missing column.
+    assert_eq!(
+        stats_err(StatsFormat::PgssCsv, "a,b,c\nSELECT a FROM t,1,2\n"),
+        IngestError::MissingStatsColumn {
+            column: "query".into(),
+            line: 1
+        }
+    );
+    assert_eq!(
+        stats_err(StatsFormat::PerfSchema, "query,calls\nSELECT a FROM t,1\n"),
+        IngestError::MissingStatsColumn {
+            column: "DIGEST_TEXT".into(),
+            line: 1
+        }
+    );
+}
+
+#[test]
+fn stats_truncated_rows() {
+    assert_eq!(
+        stats_err(
+            StatsFormat::PgssCsv,
+            "query,calls,rows\nSELECT a FROM t,5\n"
+        ),
+        IngestError::TruncatedStatsRow {
+            line: 2,
+            expected: 3,
+            found: 2
+        }
+    );
+    // Lenient mode skips the row and keeps going.
+    let out = ingest_stats(
+        SCHEMA,
+        "query,calls,rows\nSELECT a FROM t,5\nSELECT b FROM t,3,3\n",
+        StatsFormat::PgssCsv,
+        &IngestOptions::default().lenient(),
+    )
+    .unwrap();
+    assert_eq!(out.report.skipped.len(), 1);
+    assert_eq!(out.report.skipped[0].reason, SkipReason::MalformedStatsRow);
+    assert_eq!(out.instance.n_txns(), 1);
+}
+
+#[test]
+fn stats_non_numeric_counters() {
+    assert_eq!(
+        stats_err(StatsFormat::PgssCsv, "query,calls\nSELECT a FROM t,often\n"),
+        IngestError::StatsNumber {
+            line: 2,
+            column: "calls".into(),
+            value: "often".into()
+        }
+    );
+    assert_eq!(
+        stats_err(
+            StatsFormat::PerfSchema,
+            "DIGEST_TEXT,COUNT_STAR,SUM_ROWS_EXAMINED\nSELECT a FROM t,3,lots\n"
+        ),
+        IngestError::StatsNumber {
+            line: 2,
+            column: "SUM_ROWS_EXAMINED".into(),
+            value: "lots".into()
+        }
+    );
+}
+
+#[test]
+fn stats_unparsable_digest_text() {
+    // A digest truncated mid-token by the server fails statement parsing
+    // with the dump row's line number.
+    let e = stats_err(
+        StatsFormat::PerfSchema,
+        "DIGEST_TEXT,COUNT_STAR\nSELECT `a` FROM,7\n",
+    );
+    assert!(
+        matches!(e, IngestError::Syntax { line: 2, .. }),
+        "got {e:?}"
+    );
+    // Lenient mode records an Unparsable skip instead.
+    let out = ingest_stats(
+        SCHEMA,
+        "DIGEST_TEXT,COUNT_STAR\nSELECT `a` FROM,7\nSELECT `b` FROM `t`,2\n",
+        StatsFormat::PerfSchema,
+        &IngestOptions::default().lenient(),
+    )
+    .unwrap();
+    assert_eq!(out.report.skipped.len(), 1);
+    assert_eq!(out.report.skipped[0].reason, SkipReason::Unparsable);
+}
+
+#[test]
+fn stats_unknown_references_follow_strictness() {
+    let dump = "query,calls\nSELECT nope FROM t,5\n";
+    assert_eq!(
+        stats_err(StatsFormat::PgssCsv, dump),
+        IngestError::UnknownColumn {
+            table: "t".into(),
+            column: "nope".into(),
+            line: 2
+        }
+    );
+    let out = ingest_stats(
+        SCHEMA,
+        "query,calls\nSELECT nope FROM t,5\nSELECT a FROM t,2\n",
+        StatsFormat::PgssCsv,
+        &IngestOptions::default().lenient(),
+    )
+    .unwrap();
+    assert_eq!(out.report.skipped.len(), 1);
+    assert_eq!(out.report.skipped[0].reason, SkipReason::UnknownReference);
+}
+
+#[test]
+fn stats_empty_and_all_skipped_dumps() {
+    assert_eq!(stats_err(StatsFormat::PgssCsv, ""), IngestError::EmptyStats);
+    assert_eq!(
+        stats_err(StatsFormat::PgssCsv, "query,calls\n"),
+        IngestError::EmptyStats,
+        "header without data rows"
+    );
+    assert_eq!(
+        stats_err(StatsFormat::PgssCsv, "query,calls\nBEGIN,100\nVACUUM,3\n"),
+        IngestError::NothingIngested { statements: 2 }
+    );
+    assert_eq!(
+        stats_err(StatsFormat::PgssJson, "[]"),
+        IngestError::EmptyStats
+    );
+}
+
+#[test]
+fn stats_bad_json_shapes() {
+    for dump in ["{", "42", "\"x\"", "{\"query\": \"SELECT 1\"}"] {
+        assert!(
+            matches!(
+                stats_err(StatsFormat::PgssJson, dump),
+                IngestError::StatsJson { .. }
+            ),
+            "dump {dump:?}"
+        );
+    }
 }

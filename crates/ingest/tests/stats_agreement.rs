@@ -1,0 +1,92 @@
+//! The checked-in `pg_stat_statements` dump is the statistics-shaped
+//! twin of the web-shop query log: ingesting either must produce the
+//! same instance, and solving either must produce the same partitioning.
+
+use std::path::Path;
+use vpart_ingest::{ingest, ingest_stats, IngestOptions, StatsFormat};
+
+fn data(file: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples/data")
+        .join(file);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+fn both() -> (vpart_ingest::Ingestion, vpart_ingest::Ingestion) {
+    let schema = data("schema.sql");
+    let opts = IngestOptions::default().with_name("web-shop");
+    let from_log = ingest(&schema, &data("queries.log"), &opts).expect("log ingests");
+    let from_stats = ingest_stats(
+        &schema,
+        &data("pg_stat_statements.csv"),
+        StatsFormat::PgssCsv,
+        &opts,
+    )
+    .expect("stats dump ingests");
+    (from_log, from_stats)
+}
+
+#[test]
+fn stats_dump_reproduces_the_log_instance() {
+    let (log, stats) = both();
+    let (lw, sw) = (log.instance.workload(), stats.instance.workload());
+
+    // Piecewise first, for a readable failure when the dump drifts.
+    assert_eq!(log.instance.n_tables(), stats.instance.n_tables());
+    assert_eq!(log.instance.n_attrs(), stats.instance.n_attrs());
+    assert_eq!(
+        log.instance.n_txns(),
+        stats.instance.n_txns(),
+        "transaction templates differ"
+    );
+    assert_eq!(log.instance.n_queries(), stats.instance.n_queries());
+    for t in 0..lw.n_txns() {
+        let (lt, st) = (
+            lw.txn(vpart_model::TxnId(t as u32)),
+            sw.txn(vpart_model::TxnId(t as u32)),
+        );
+        assert_eq!(lt.name, st.name, "txn {t} name");
+        assert_eq!(lt.queries.len(), st.queries.len(), "txn {} size", lt.name);
+    }
+    for q in 0..lw.n_queries() {
+        let id = vpart_model::QueryId(q as u32);
+        let (lq, sq) = (lw.query(id), sw.query(id));
+        assert_eq!(lq.name, sq.name, "query {q} name");
+        assert_eq!(lq.frequency, sq.frequency, "frequency of {}", lq.name);
+        assert_eq!(lq.attrs, sq.attrs, "attribute set of {}", lq.name);
+        assert_eq!(lq.kind, sq.kind, "kind of {}", lq.name);
+    }
+
+    // And the full structural check.
+    assert_eq!(log.instance, stats.instance);
+
+    // Both ingestions are clean: nothing skipped, nothing low-confidence.
+    assert!(log.report.skipped.is_empty(), "{:?}", log.report.skipped);
+    assert!(
+        stats.report.skipped.is_empty(),
+        "{:?}",
+        stats.report.skipped
+    );
+    assert!(!stats.report.has_diagnostics());
+}
+
+#[test]
+fn stats_dump_solves_to_the_same_partitioning() {
+    let (log, stats) = both();
+    let cost = vpart_core::CostConfig::default();
+    let solve = |ins: &vpart_model::Instance| {
+        vpart_core::sa::SaSolver::new(vpart_core::sa::SaConfig::fast_deterministic(7))
+            .solve(ins, 2, &cost)
+            .expect("SA solves the web-shop instance")
+    };
+    let from_log = solve(&log.instance);
+    let from_stats = solve(&stats.instance);
+    assert_eq!(
+        from_log.partitioning, from_stats.partitioning,
+        "same instance + same seed must give the same layout"
+    );
+    assert_eq!(
+        from_log.breakdown.objective4,
+        from_stats.breakdown.objective4
+    );
+}

@@ -1,6 +1,6 @@
 //! Problem instances for OLTP vertical partitioning.
 //!
-//! * [`tpcc`] — the TPC-C v5 benchmark modeled per the paper's §5.2: the
+//! * [`tpcc()`] — the TPC-C v5 benchmark modeled per the paper's §5.2: the
 //!   full 9-table / 92-attribute schema with widths derived from the spec's
 //!   datatypes, the five transactions with one modeled query per SQL
 //!   statement, equal frequencies, one row per query (ten for iterated or

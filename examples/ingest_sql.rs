@@ -6,10 +6,13 @@
 //!
 //! Reads the checked-in web-shop workload under `examples/data/`, prints
 //! the ingestion report (what was read, guessed and skipped), solves for
-//! two sites and renders the resulting attribute layout.
+//! two sites and renders the resulting attribute layout. Then ingests the
+//! same workload from its `pg_stat_statements` dump twin and asserts both
+//! frontends agree — the statistics path is a drop-in replacement for a
+//! raw query log.
 
 use vpart::core::{evaluate, CostConfig};
-use vpart::ingest::{ingest, IngestOptions, SkipReason};
+use vpart::ingest::{ingest, ingest_stats, IngestOptions, SkipReason};
 use vpart::model::report::render_partitioning;
 use vpart::prelude::*;
 
@@ -62,4 +65,27 @@ fn main() {
         (1.0 - solved.breakdown.objective4 / baseline) * 100.0
     );
     println!("\n{}", render_partitioning(&instance, &solved.partitioning));
+
+    // The same workload as a pg_stat_statements dump: the statistics
+    // frontend must reproduce the log instance exactly. CI runs this
+    // example, so a drift between the two paths fails the build.
+    let dump = std::fs::read_to_string(format!("{dir}/pg_stat_statements.csv"))
+        .expect("pg_stat_statements.csv is checked in");
+    let from_stats = ingest_stats(
+        &schema_sql,
+        &dump,
+        StatsFormat::PgssCsv,
+        &IngestOptions::default().with_name("web-shop"),
+    )
+    .expect("the checked-in dump ingests cleanly");
+    assert_eq!(
+        instance, from_stats.instance,
+        "pg_stat_statements ingestion must agree with query-log ingestion"
+    );
+    println!("\n=== statistics frontend ===");
+    println!(
+        "pg_stat_statements dump reproduces the log instance: {} txns / {} queries",
+        from_stats.instance.n_txns(),
+        from_stats.instance.n_queries()
+    );
 }

@@ -14,7 +14,7 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 use vpart::core::{evaluate, CostConfig};
 use vpart::engine::{Deployment, Trace};
-use vpart::ingest::IngestOptions;
+use vpart::ingest::{IngestOptions, StatsFormat};
 use vpart::model::{report, Partitioning};
 use vpart::prelude::*;
 use vpart::Algorithm;
@@ -28,16 +28,24 @@ fn usage() -> &'static str {
                       [--p <f>] [--lambda <f>] [--disjoint] [--seed <n>]\n\
                       [--time-limit <secs>] [--layout] [--json]\n\
        vpart solve    --schema <ddl.sql> --log <queries.log> --sites <k> [...]\n\
-       vpart ingest   --schema <ddl.sql> --log <queries.log> [--out <file.json>]\n\
-                      [--name <s>] [--text-width <bytes>] [--default-rows <n>]\n\
-                      [--lenient] [--json]\n\
+       vpart solve    --schema <ddl.sql> --stats <dump> --stats-format <fmt> ...\n\
+       vpart ingest   --schema <ddl.sql> (--log <queries.log> |\n\
+                      --stats <dump> [--stats-format pgss-csv|pgss-json|perf-schema])\n\
+                      [--out <file.json>] [--name <s>] [--text-width <bytes>]\n\
+                      [--default-rows <n>] [--sample-rate <f>] [--confidence-min <n>]\n\
+                      [--lenient] [--strict] [--json]\n\
        vpart simulate --instance <name> --sites <k> [--rounds <n>] [--seed <n>]\n\
      \n\
      Instances: `tpcc`, any rnd class name (e.g. rndAt8x15, rndBt16x100u50), a\n\
-     JSON instance file, or a SQL schema + query log via --schema/--log\n\
-     (`vpart ingest` converts the latter into the JSON form and prints a\n\
+     JSON instance file, a SQL schema + query log via --schema/--log, or a\n\
+     schema + statistics dump (pg_stat_statements CSV/JSON, MySQL\n\
+     performance_schema digest CSV/TSV) via --schema/--stats\n\
+     (`vpart ingest` converts either into the JSON form and prints a\n\
      per-statement ingestion report; see README \"Bring your own workload\").\n\
-     Defaults: p = 8 (paper), lambda = 0.9 (see DESIGN.md on the paper's λ), algo = sa."
+     --sample-rate scales sampled inputs up to population estimates;\n\
+     --strict exits non-zero when any skip or low-confidence diagnostic\n\
+     remains. Defaults: p = 8 (paper), lambda = 0.9 (see DESIGN.md on the\n\
+     paper's λ), algo = sa, stats-format = pgss-csv."
 }
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -48,7 +56,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             .strip_prefix("--")
             .ok_or_else(|| format!("unexpected argument {:?}", args[i]))?;
         match key {
-            "disjoint" | "layout" | "json" | "lenient" => {
+            "disjoint" | "layout" | "json" | "lenient" | "strict" => {
                 flags.insert(key.to_owned(), "true".to_owned());
                 i += 1;
             }
@@ -81,7 +89,9 @@ fn ingest_options(flags: &HashMap<String, String>) -> Result<IngestOptions, Stri
     let defaults = IngestOptions::default();
     let mut opts = IngestOptions::default()
         .with_text_width(get(flags, "text-width", defaults.text_width)?)
-        .with_default_rows(get(flags, "default-rows", defaults.default_rows)?);
+        .with_default_rows(get(flags, "default-rows", defaults.default_rows)?)
+        .with_sample_rate(get(flags, "sample-rate", defaults.sample_rate)?)
+        .with_confidence_min_calls(get(flags, "confidence-min", defaults.confidence_min_calls)?);
     if let Some(name) = flags.get("name") {
         opts = opts.with_name(name.clone());
     }
@@ -91,30 +101,47 @@ fn ingest_options(flags: &HashMap<String, String>) -> Result<IngestOptions, Stri
     Ok(opts)
 }
 
-/// Ingests `--schema` + `--log` per the shared flag conventions (the name
-/// defaults to the schema path; `--lenient`/`--text-width` apply).
+/// Ingests `--schema` plus either `--log` or `--stats`/`--stats-format`
+/// per the shared flag conventions (the name defaults to the schema path;
+/// `--lenient`/`--text-width`/`--sample-rate` apply).
 fn run_ingest(flags: &HashMap<String, String>) -> Result<vpart::ingest::Ingestion, String> {
     let schema_path = flags
         .get("schema")
         .ok_or_else(|| "--schema is required".to_owned())?;
-    let log_path = flags
-        .get("log")
-        .ok_or_else(|| "--schema also needs --log".to_owned())?;
     let schema_sql = std::fs::read_to_string(schema_path)
         .map_err(|e| format!("cannot read {schema_path}: {e}"))?;
-    let log =
-        std::fs::read_to_string(log_path).map_err(|e| format!("cannot read {log_path}: {e}"))?;
     let mut opts = ingest_options(flags)?;
     if !flags.contains_key("name") {
         opts = opts.with_name(schema_path.clone());
     }
-    vpart::ingest::ingest(&schema_sql, &log, &opts).map_err(|e| e.to_string())
+    match (flags.get("log"), flags.get("stats")) {
+        (Some(_), Some(_)) => Err("--log and --stats are mutually exclusive".to_owned()),
+        (Some(log_path), None) => {
+            let log = std::fs::read_to_string(log_path)
+                .map_err(|e| format!("cannot read {log_path}: {e}"))?;
+            vpart::ingest::ingest(&schema_sql, &log, &opts).map_err(|e| e.to_string())
+        }
+        (None, Some(stats_path)) => {
+            let format_name = flags.get("stats-format").map(String::as_str);
+            let format = match format_name {
+                None => StatsFormat::PgssCsv,
+                Some(name) => StatsFormat::parse(name).ok_or_else(|| {
+                    format!("unknown --stats-format {name:?} (pgss-csv|pgss-json|perf-schema)")
+                })?,
+            };
+            let dump = std::fs::read_to_string(stats_path)
+                .map_err(|e| format!("cannot read {stats_path}: {e}"))?;
+            vpart::ingest::ingest_stats(&schema_sql, &dump, format, &opts)
+                .map_err(|e| e.to_string())
+        }
+        (None, None) => Err("--schema also needs --log or --stats".to_owned()),
+    }
 }
 
-/// Ingests for `solve`, printing the loss report to stderr.
+/// Ingests for `solve`, printing the loss/confidence report to stderr.
 fn ingest_from_flags(flags: &HashMap<String, String>) -> Result<Instance, String> {
     let out = run_ingest(flags)?;
-    if !out.report.is_lossless() {
+    if !out.report.is_lossless() || out.report.has_diagnostics() {
         eprint!("{}", out.report);
     }
     Ok(out.instance)
@@ -191,6 +218,18 @@ fn cmd_ingest(flags: HashMap<String, String>) -> Result<(), String> {
     }
     if flags.contains_key("json") {
         let r = &out.report;
+        let confidence: Vec<serde_json::Value> = r
+            .confidence
+            .iter()
+            .map(|c| {
+                serde_json::json!({
+                    "txn": c.txn,
+                    "observed": c.observed,
+                    "scaled": c.scaled,
+                    "low": c.level == vpart::ingest::ConfidenceLevel::LowConfidence,
+                })
+            })
+            .collect();
         eprintln!(
             "{}",
             serde_json::json!({
@@ -206,10 +245,21 @@ fn cmd_ingest(flags: HashMap<String, String>) -> Result<(), String> {
                 "row_estimates": r.row_estimates.len(),
                 "row_guesses": r.row_estimates.iter().filter(|e| !e.pk_equality).count(),
                 "lossless": r.is_lossless(),
+                "sample_rate": r.sample_rate,
+                "confidence": serde_json::Value::Array(confidence),
+                "low_confidence": r.low_confidence().count(),
             })
         );
     } else {
         eprint!("{}", out.report);
+    }
+    if flags.contains_key("strict") && out.report.has_diagnostics() {
+        return Err(format!(
+            "--strict: ingestion left {} skipped statement(s) and {} low-confidence \
+             template(s)",
+            out.report.skipped.len(),
+            out.report.low_confidence().count()
+        ));
     }
     Ok(())
 }

@@ -12,7 +12,8 @@
 //! * [`model`] — schemas, workloads, instances, partitionings,
 //! * [`core`] — the cost model and the QP / SA / exhaustive solvers,
 //! * [`instances`] — TPC-C v5 and the paper's random instance classes,
-//! * [`ingest`] — SQL DDL + query-log ingestion into instances,
+//! * [`ingest`] — SQL DDL + workload ingestion into instances (query
+//!   logs, `pg_stat_statements` / `performance_schema` dumps),
 //! * [`engine`] — an H-store-like row-store simulator validating the model,
 //! * [`ilp`] — the from-scratch MILP solver substrate.
 //!
@@ -47,7 +48,10 @@ pub mod prelude {
     pub use crate::core::sa::{SaConfig, SaSolver};
     pub use crate::core::{evaluate, CostBreakdown, CostConfig, SolveReport, WriteAccounting};
     pub use crate::engine::{Deployment, Trace};
-    pub use crate::ingest::{IngestError, IngestOptions, IngestReport, Ingestion};
+    pub use crate::ingest::{
+        ConfidenceLevel, IngestError, IngestOptions, IngestReport, Ingestion, StatsFormat,
+        WorkloadFrontend,
+    };
     pub use crate::model::{
         AttrId, Instance, Partitioning, QueryId, Schema, SiteId, TableId, TxnId, Workload,
     };

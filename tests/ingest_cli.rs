@@ -143,6 +143,115 @@ fn ingest_json_report_flattens_multi_table_statements() {
 }
 
 #[test]
+fn solve_from_stats_dump_agrees_with_log_ingestion() {
+    // The acceptance path: schema + pg_stat_statements dump straight into
+    // solve, producing the same partitioning as the query-log twin.
+    let schema_path = data("schema.sql");
+    let solve = |source: &[&str]| -> serde_json::Value {
+        let mut args = vec!["solve", "--schema", schema_path.as_str()];
+        args.extend_from_slice(source);
+        args.extend_from_slice(&["--sites", "2", "--json"]);
+        let out = vpart(&args);
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        serde_json::from_str(std::str::from_utf8(&out.stdout).unwrap().trim()).unwrap()
+    };
+    let stats_path = data("pg_stat_statements.csv");
+    let log_path = data("queries.log");
+    let from_stats = solve(&["--stats", &stats_path, "--stats-format", "pgss-csv"]);
+    let from_log = solve(&["--log", &log_path]);
+    assert_eq!(
+        from_stats.get("partitioning"),
+        from_log.get("partitioning"),
+        "same workload, same seed, same layout"
+    );
+    assert_eq!(from_stats.get("cost"), from_log.get("cost"));
+}
+
+#[test]
+fn ingest_stats_strict_json_reports_confidence() {
+    // The checked-in dump ingests cleanly: --strict exits zero.
+    let stats_path = data("pg_stat_statements.csv");
+    let out = vpart(&[
+        "ingest",
+        "--schema",
+        &data("schema.sql"),
+        "--stats",
+        &stats_path,
+        "--stats-format",
+        "pgss-csv",
+        "--strict",
+        "--json",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let report_line = stderr
+        .lines()
+        .find(|l| l.trim_start().starts_with('{'))
+        .expect("JSON report on stderr");
+    let report: serde_json::Value = serde_json::from_str(report_line).unwrap();
+    assert_eq!(report.get("skipped").and_then(|v| v.as_u64()), Some(0));
+    assert_eq!(
+        report.get("sample_rate").and_then(|v| v.as_f64()),
+        Some(1.0)
+    );
+    assert_eq!(
+        report.get("low_confidence").and_then(|v| v.as_u64()),
+        Some(0)
+    );
+
+    // Sampling the same dump at 1% makes the rare templates
+    // low-confidence; --strict must then exit non-zero and the JSON
+    // report must carry the per-template entries.
+    let out = vpart(&[
+        "ingest",
+        "--schema",
+        &data("schema.sql"),
+        "--stats",
+        &stats_path,
+        "--sample-rate",
+        "0.01",
+        "--strict",
+        "--json",
+    ]);
+    assert!(!out.status.success(), "--strict must fail on LowConfidence");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let report_line = stderr
+        .lines()
+        .find(|l| l.trim_start().starts_with('{'))
+        .expect("JSON report still printed");
+    let report: serde_json::Value = serde_json::from_str(report_line).unwrap();
+    let entries = report.get("confidence").and_then(|v| v.as_array()).unwrap();
+    assert!(!entries.is_empty(), "per-template entries: {report}");
+    let low = entries
+        .iter()
+        .filter(|e| e.get("low").and_then(|v| v.as_bool()) == Some(true))
+        .count();
+    assert!(low > 0);
+    assert_eq!(
+        report.get("low_confidence").and_then(|v| v.as_u64()),
+        Some(low as u64)
+    );
+    // update_profile was seen once: scaling 1 observation by 100 is flagged.
+    assert!(entries.iter().any(|e| {
+        e.get("txn").and_then(|v| v.as_str()) == Some("update_profile")
+            && e.get("observed").and_then(|v| v.as_f64()) == Some(1.0)
+            && e.get("scaled").and_then(|v| v.as_f64()) == Some(100.0)
+    }));
+    assert!(
+        stderr.contains("--strict"),
+        "failure names the flag: {stderr}"
+    );
+}
+
+#[test]
 fn list_supports_json() {
     let out = vpart(&["list", "--json"]);
     assert!(out.status.success());

@@ -2,8 +2,45 @@
 //! iterations and prints mean wall-clock time. No statistics, plots or
 //! history — just enough to keep `cargo bench` runnable without network
 //! access. The API mirrors the subset the workspace's benches use.
+//!
+//! Two environment knobs support CI use:
+//!
+//! * `CRITERION_SAMPLE_SIZE=n` — overrides every configured sample size
+//!   (set it to 1 for a quick smoke run),
+//! * `CRITERION_JSON=path` — appends one JSON line per benchmark
+//!   (`{"name": ..., "mean_secs": ..., "iters": ...}`) to `path`, so a
+//!   pipeline can collect machine-readable results.
 
 use std::time::{Duration, Instant};
+
+/// The `CRITERION_SAMPLE_SIZE` override, if set to a positive integer.
+fn sample_size_override() -> Option<usize> {
+    std::env::var("CRITERION_SAMPLE_SIZE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+}
+
+/// Appends one benchmark result to the `CRITERION_JSON` file, if set.
+fn append_json(id: &str, mean: Duration, iters: u32) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    use std::io::Write;
+    let line = format!(
+        "{{\"name\":\"{}\",\"mean_secs\":{},\"iters\":{}}}\n",
+        id.replace('"', "'"),
+        mean.as_secs_f64(),
+        iters
+    );
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = f.write_all(line.as_bytes());
+    }
+}
 
 /// How batched inputs are grouped (accepted and ignored).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,7 +80,7 @@ impl Criterion {
     /// Runs one benchmark closure.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
         let mut b = Bencher {
-            iters: self.sample_size,
+            iters: sample_size_override().unwrap_or(self.sample_size),
             total: Duration::ZERO,
             timed: 0,
         };
@@ -82,7 +119,9 @@ impl BenchmarkGroup<'_> {
     /// Runs one benchmark in the group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
         let mut b = Bencher {
-            iters: self.sample_size.unwrap_or(self.parent.sample_size),
+            iters: sample_size_override()
+                .or(self.sample_size)
+                .unwrap_or(self.parent.sample_size),
             total: Duration::ZERO,
             timed: 0,
         };
@@ -138,6 +177,7 @@ impl Bencher {
         } else {
             let mean = self.total / self.timed;
             println!("{id:<44} mean {mean:>12.3?} over {} iters", self.timed);
+            append_json(id, mean, self.timed);
         }
     }
 }

@@ -155,7 +155,7 @@ pub mod collection {
         VecStrategy { strategy, n }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         strategy: S,
         n: usize,
