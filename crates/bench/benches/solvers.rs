@@ -1,15 +1,16 @@
 //! Criterion micro-benchmarks of the core pipeline stages:
 //! coefficient computation, cost evaluation, reasonable-cuts reduction,
-//! the two solvers on TPC-C, the raw LP substrate, and engine execution.
+//! incremental vs full annealing-move evaluation, the two solvers on
+//! TPC-C, the raw LP substrate, and engine execution.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 use vpart_core::qp::{QpConfig, QpSolver};
 use vpart_core::sa::{SaConfig, SaSolver};
-use vpart_core::{evaluate, CostCoefficients, CostConfig};
+use vpart_core::{evaluate, fast_objective6, CostCoefficients, CostConfig, IncrementalCost};
 use vpart_engine::{Deployment, Trace};
 use vpart_ilp::{Cmp, Model, SolveParams};
-use vpart_model::Partitioning;
+use vpart_model::{Partitioning, SiteId, TxnId};
 
 fn bench_cost_model(c: &mut Criterion) {
     let ins = vpart_instances::tpcc();
@@ -24,6 +25,45 @@ fn bench_cost_model(c: &mut Criterion) {
     c.bench_function("reduce/tpcc", |b| {
         b.iter(|| black_box(vpart_core::reduce::Reduction::compute(&ins)))
     });
+}
+
+/// One annealing move evaluated incrementally vs by full re-evaluation —
+/// the speedup that makes the SA inner loop cheap (see
+/// `bench_smoke`'s `annealing_throughput` for the aggregate number).
+fn bench_incremental(c: &mut Criterion) {
+    let ins = vpart_instances::tpcc();
+    let cfg = CostConfig::default();
+    let coeffs = CostCoefficients::compute(&ins, &cfg);
+    let n_sites = 3usize;
+    let part = Partitioning::single_site(&ins, n_sites).unwrap();
+    let mut g = c.benchmark_group("anneal");
+    let mut inc = IncrementalCost::new(&ins, &coeffs, &cfg, part.clone());
+    let mut i = 0usize;
+    g.bench_function("incremental-move/tpcc-3-sites", |b| {
+        b.iter(|| {
+            let mark = inc.mark();
+            let t = i % ins.n_txns();
+            inc.apply_txn_move(TxnId::from_index(t), SiteId::from_index(i % n_sites));
+            let cost = black_box(inc.objective6());
+            inc.revert(mark);
+            i += 1;
+            cost
+        })
+    });
+    let mut j = 0usize;
+    g.bench_function("full-eval-move/tpcc-3-sites", |b| {
+        b.iter(|| {
+            let mut cand = part.clone();
+            cand.move_txn(
+                TxnId::from_index(j % ins.n_txns()),
+                SiteId::from_index(j % n_sites),
+            );
+            cand.repair_single_sitedness(&ins);
+            j += 1;
+            black_box(fast_objective6(&ins, &coeffs, &cand, &cfg))
+        })
+    });
+    g.finish();
 }
 
 fn bench_solvers(c: &mut Criterion) {
@@ -112,6 +152,7 @@ fn bench_engine(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_cost_model,
+    bench_incremental,
     bench_solvers,
     bench_ilp_substrate,
     bench_engine

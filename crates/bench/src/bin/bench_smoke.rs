@@ -1,22 +1,43 @@
 //! CI benchmark smoke run: solves the TPC-C and web-shop instances,
-//! records wall time + objective, and writes a `BENCH_<sha>.json`
-//! artifact so the performance trajectory is tracked on every push.
+//! measures annealing-move throughput (incremental vs full
+//! re-evaluation), records wall time + objective, and writes a
+//! `BENCH_<sha>.json` artifact so the performance trajectory is tracked
+//! on every push.
 //!
 //! ```text
 //! cargo run --release -p vpart_bench --bin bench_smoke -- \
-//!     [--out <dir>] [--criterion <results.jsonl>]
+//!     [--out <dir>] [--criterion <results.jsonl>] [--check <baseline.json>]
 //! ```
 //!
 //! The sha comes from `GITHUB_SHA` (trimmed to 12 hex digits), falling
 //! back to `local`. `--criterion` folds a `CRITERION_JSON` line file
 //! (see `vendor/criterion`) from a preceding `cargo bench` run into the
 //! artifact, so micro- and macro-benchmarks land in one place.
+//!
+//! `--check <baseline.json>` compares the fresh run against a previous
+//! artifact (matched by bench name) and exits non-zero when any solve
+//! wall time regresses by more than 25% or any objective worsens — the
+//! CI regression gate.
 
+use std::process::ExitCode;
 use std::time::Instant;
 use vpart_core::qp::{QpConfig, QpSolver};
 use vpart_core::sa::{SaConfig, SaSolver};
-use vpart_core::CostConfig;
-use vpart_model::Instance;
+use vpart_core::{fast_objective6, CostCoefficients, CostConfig, IncrementalCost};
+use vpart_model::{Instance, Partitioning, SiteId, TxnId};
+
+/// Wall-time regression tolerance for `--check` (fraction of baseline).
+const WALL_TOLERANCE: f64 = 0.25;
+/// Absolute wall-time slack: a regression must also exceed this many
+/// seconds over the baseline. Sub-millisecond SA rows jitter far beyond
+/// 25%, and even the ~0.2–0.7 s QP rows can swing that much between two
+/// runs on a noisy shared runner; the gate targets regressions of real
+/// solve workloads (seconds and up), so half a second of absolute slack
+/// trades a little sensitivity on tiny rows for a flake-free main branch.
+const WALL_SLACK_SECS: f64 = 0.5;
+/// Relative objective tolerance for `--check` (rounding noise only —
+/// solves are seeded, so objectives are reproducible).
+const OBJECTIVE_TOLERANCE: f64 = 1e-9;
 
 /// One solver measurement for the artifact.
 fn measure(
@@ -37,9 +58,14 @@ fn measure(
         "instance": instance.name(),
         "sites": sites,
         "objective4": report.breakdown.objective4,
+        "objective6": report.breakdown.objective6,
         "max_site_work": report.breakdown.max_work,
         "optimal": report.is_optimal(),
         "wall_secs": wall,
+        // SA chains stopped by their wall-clock limit (0 for exact
+        // solvers); the multi-start dominance assertion below only holds
+        // when every chain froze naturally.
+        "timed_out_chains": report.restarts.iter().filter(|s| s.timed_out).count(),
     })
 }
 
@@ -59,7 +85,152 @@ fn web_shop() -> Instance {
     .instance
 }
 
-fn main() {
+/// A deterministic annealing-style move sequence: transaction moves and
+/// replica extensions in a fixed pseudo-random pattern (no RNG, so both
+/// throughput paths replay the exact same moves).
+fn move_sequence(instance: &Instance, n_sites: usize, n_moves: usize) -> Vec<(usize, usize)> {
+    let n_txns = instance.n_txns();
+    (0..n_moves)
+        .map(|i| {
+            let t = (i.wrapping_mul(2654435761)) % n_txns;
+            let s = (i.wrapping_mul(40503) >> 4) % n_sites;
+            (t, s)
+        })
+        .collect()
+}
+
+/// Annealing-move throughput: the same accept-half/reject-half move
+/// stream evaluated (a) through [`IncrementalCost`] deltas and (b) by
+/// mutating a scratch [`Partitioning`] and re-running the full
+/// coefficient walk [`fast_objective6`] — the paper port's previous inner
+/// loop. Reports moves/sec for both and their ratio.
+fn annealing_throughput(instance: &Instance, n_sites: usize) -> serde_json::Value {
+    let cost = CostConfig::default();
+    let coeffs = CostCoefficients::compute(instance, &cost);
+    let start_part = Partitioning::single_site(instance, n_sites).expect("sites >= 1");
+
+    // Incremental path: apply → evaluate → commit/revert alternately.
+    let inc_moves = 200_000usize;
+    let seq = move_sequence(instance, n_sites, inc_moves);
+    let mut inc = IncrementalCost::new(instance, &coeffs, &cost, start_part.clone());
+    let t0 = Instant::now();
+    let mut acc = 0.0f64;
+    for (i, &(t, s)) in seq.iter().enumerate() {
+        let mark = inc.mark();
+        inc.apply_txn_move(TxnId::from_index(t), SiteId::from_index(s));
+        acc += inc.objective6();
+        if i % 2 == 0 {
+            inc.commit();
+        } else {
+            inc.revert(mark);
+        }
+    }
+    let inc_secs = t0.elapsed().as_secs_f64();
+    let inc_rate = inc_moves as f64 / inc_secs;
+
+    // Full path: same move stream, objective recomputed from scratch
+    // per move (sized down — it is the slow path being demonstrated).
+    let full_moves = (inc_moves / 50).max(1);
+    let seq = move_sequence(instance, n_sites, full_moves);
+    let mut part = start_part;
+    let t1 = Instant::now();
+    for (i, &(t, s)) in seq.iter().enumerate() {
+        let mut cand = part.clone();
+        cand.move_txn(TxnId::from_index(t), SiteId::from_index(s));
+        cand.repair_single_sitedness(instance);
+        acc += fast_objective6(instance, &coeffs, &cand, &cost);
+        if i % 2 == 0 {
+            part = cand;
+        }
+    }
+    let full_secs = t1.elapsed().as_secs_f64();
+    let full_rate = full_moves as f64 / full_secs;
+    let speedup = inc_rate / full_rate;
+    // Keep the accumulator observable so the loops cannot be elided.
+    assert!(acc.is_finite());
+
+    println!(
+        "anneal-throughput/{:<11} incremental {:>12.0} moves/s   full {:>10.0} moves/s   {speedup:>6.1}x",
+        instance.name(),
+        inc_rate,
+        full_rate,
+    );
+    serde_json::json!({
+        "name": format!("anneal-throughput/{}", instance.name()),
+        "instance": instance.name(),
+        "sites": n_sites,
+        "incremental_moves": inc_moves,
+        "incremental_moves_per_sec": inc_rate,
+        "full_moves": full_moves,
+        "full_moves_per_sec": full_rate,
+        "speedup": speedup,
+    })
+}
+
+/// `--check` comparison of this run against a previous artifact. Returns
+/// human-readable regression descriptions (empty = gate passes).
+fn check_against_baseline(
+    baseline: &serde_json::Value,
+    current: &[serde_json::Value],
+) -> Vec<String> {
+    let field_str = |v: &serde_json::Value, key: &str| -> Option<String> {
+        v.get(key).and_then(|f| f.as_str()).map(str::to_owned)
+    };
+    let field_f64 =
+        |v: &serde_json::Value, key: &str| -> Option<f64> { v.get(key).and_then(|f| f.as_f64()) };
+    let mut failures = Vec::new();
+    // A baseline without a benches array is an unusable file (truncated
+    // download, wrong artifact) — certifying "no regressions" against it
+    // would be vacuous, so it fails the gate instead.
+    let Some(base_benches) = baseline.get("benches").and_then(|b| b.as_array()) else {
+        return vec!["baseline has no \"benches\" array — not a BENCH_<sha>.json artifact".into()];
+    };
+    if base_benches.is_empty() {
+        return vec!["baseline \"benches\" array is empty — nothing to compare against".into()];
+    }
+    for base in base_benches {
+        let Some(name) = field_str(base, "name") else {
+            continue;
+        };
+        let Some(now) = current
+            .iter()
+            .find(|b| field_str(b, "name").as_deref() == Some(&name))
+        else {
+            failures.push(format!("{name}: present in baseline but not in this run"));
+            continue;
+        };
+        let (Some(base_wall), Some(now_wall)) =
+            (field_f64(base, "wall_secs"), field_f64(now, "wall_secs"))
+        else {
+            continue;
+        };
+        if now_wall > base_wall * (1.0 + WALL_TOLERANCE) && now_wall > base_wall + WALL_SLACK_SECS {
+            failures.push(format!(
+                "{name}: wall time regressed {:.3}s -> {:.3}s (> {:.0}% over baseline)",
+                base_wall,
+                now_wall,
+                WALL_TOLERANCE * 100.0
+            ));
+        }
+        // Gate on objective (6) — what the solvers actually minimize —
+        // when both artifacts carry it; objective (4) otherwise (older
+        // baselines predate the field).
+        let key =
+            if field_f64(base, "objective6").is_some() && field_f64(now, "objective6").is_some() {
+                "objective6"
+            } else {
+                "objective4"
+            };
+        if let (Some(base_obj), Some(now_obj)) = (field_f64(base, key), field_f64(now, key)) {
+            if now_obj > base_obj + OBJECTIVE_TOLERANCE * (1.0 + base_obj.abs()) {
+                failures.push(format!("{name}: {key} worsened {base_obj} -> {now_obj}"));
+            }
+        }
+    }
+    failures
+}
+
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let flag = |name: &str| {
         args.iter()
@@ -86,6 +257,15 @@ fn main() {
                 .expect("SA solves")
         }
     };
+    // Multi-start at equal per-chain budget: chain 0 is exactly the
+    // single-start run, so best-of-n can only match or beat it.
+    let sa_multi = |seed: u64, restarts: usize, threads: usize| {
+        move |ins: &Instance, sites: usize| {
+            SaSolver::new(SaConfig::fast_deterministic(seed).multi_start(restarts, threads))
+                .solve(ins, sites, cost)
+                .expect("SA solves")
+        }
+    };
     let qp = |limit: f64| {
         move |ins: &Instance, sites: usize| {
             QpSolver::new(QpConfig::with_time_limit(limit))
@@ -97,9 +277,66 @@ fn main() {
     let benches = vec![
         measure("sa/tpcc-2-sites", &tpcc, 2, sa(1)),
         measure("sa/tpcc-3-sites", &tpcc, 3, sa(1)),
+        measure("sa-multistart4/tpcc-3-sites", &tpcc, 3, sa_multi(1, 4, 4)),
         measure("qp/tpcc-2-sites", &tpcc, 2, qp(60.0)),
         measure("sa/web-shop-2-sites", &shop, 2, sa(7)),
+        measure(
+            "sa-multistart4/web-shop-2-sites",
+            &shop,
+            2,
+            sa_multi(7, 4, 4),
+        ),
         measure("qp/web-shop-2-sites", &shop, 2, qp(60.0)),
+    ];
+
+    // Multi-start must not lose to single-start at equal per-chain budget
+    // (restart 0 reruns the single-start chain). The bench job gates the
+    // guarantee — except when a chain was cut off by its wall clock
+    // (pathologically loaded runner), where the exact-replay premise does
+    // not hold. Violations are collected, not panicked on, so the
+    // artifact documenting the failure is still written below.
+    let mut dominance_failures: Vec<String> = Vec::new();
+    for (single, multi) in [
+        ("sa/tpcc-3-sites", "sa-multistart4/tpcc-3-sites"),
+        ("sa/web-shop-2-sites", "sa-multistart4/web-shop-2-sites"),
+    ] {
+        let entry = |name: &str| {
+            benches
+                .iter()
+                .find(|b| b.get("name").and_then(|v| v.as_str()) == Some(name))
+                .expect("bench entry exists")
+        };
+        // Compare on objective (6) — the metric the multi-start merge
+        // minimizes. Objective (4) can legitimately rise when a winning
+        // chain trades it for lower max load.
+        let obj = |e: &serde_json::Value| {
+            e.get("objective6")
+                .and_then(|v| v.as_f64())
+                .expect("objective recorded")
+        };
+        let timed_out = |e: &serde_json::Value| {
+            e.get("timed_out_chains")
+                .and_then(|v| v.as_u64())
+                .unwrap_or(0)
+                > 0
+        };
+        let (se, me) = (entry(single), entry(multi));
+        let (s, m) = (obj(se), obj(me));
+        if timed_out(se) || timed_out(me) {
+            eprintln!(
+                "warning: skipping {multi} vs {single} dominance check — a chain hit its \
+                 wall-clock limit"
+            );
+        } else if m > s + 1e-9 * (1.0 + s.abs()) {
+            dominance_failures.push(format!(
+                "{multi} (objective6 {m}) must not be worse than {single} ({s})"
+            ));
+        }
+    }
+
+    let throughput = vec![
+        annealing_throughput(&tpcc, 3),
+        annealing_throughput(&shop, 2),
     ];
 
     let criterion: Vec<serde_json::Value> = flag("--criterion")
@@ -114,6 +351,7 @@ fn main() {
     let artifact = serde_json::json!({
         "sha": sha,
         "benches": benches,
+        "annealing_throughput": throughput,
         "criterion": criterion,
     });
     let path = format!("{out_dir}/BENCH_{sha}.json");
@@ -123,4 +361,51 @@ fn main() {
     )
     .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
     println!("wrote {path}");
+
+    // Fail only after the artifact is on disk — a maintainer debugging a
+    // tripped gate needs those numbers.
+    if !dominance_failures.is_empty() {
+        eprintln!(
+            "error: multi-start dominance violated ({}):",
+            dominance_failures.len()
+        );
+        for f in &dominance_failures {
+            eprintln!("  {f}");
+        }
+        return ExitCode::FAILURE;
+    }
+
+    if let Some(baseline_path) = flag("--check") {
+        let text = match std::fs::read_to_string(&baseline_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read baseline {baseline_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let baseline: serde_json::Value = match serde_json::from_str(&text) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("error: baseline {baseline_path} is not valid JSON: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let failures = check_against_baseline(&baseline, &benches);
+        if failures.is_empty() {
+            println!(
+                "check: no regressions vs {baseline_path} (wall +{:.0}% tolerance)",
+                WALL_TOLERANCE * 100.0
+            );
+        } else {
+            eprintln!(
+                "check: {} regression(s) vs {baseline_path}:",
+                failures.len()
+            );
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
 }

@@ -5,8 +5,11 @@
 //! * [`objective`] — evaluation of the reported objective (4), the
 //!   optimized objective (6) and the full cost breakdown for a given
 //!   partitioning,
+//! * [`incremental`] — delta evaluation of objective (6) under point
+//!   mutations (the SA inner loop's fast path),
 //! * [`latency`] — the ψ-indicator latency term of Appendix A.
 
 pub mod coeffs;
+pub mod incremental;
 pub mod latency;
 pub mod objective;

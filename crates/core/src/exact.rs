@@ -121,6 +121,7 @@ impl ExactSolver {
             termination: Termination::Optimal,
             elapsed: start.elapsed(),
             detail: format!("exhaustive: {enumerated} canonical assignments"),
+            restarts: Vec::new(),
         })
     }
 }

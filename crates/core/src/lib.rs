@@ -51,6 +51,7 @@ pub mod sa;
 
 pub use config::{CostConfig, WriteAccounting};
 pub use cost::coeffs::CostCoefficients;
-pub use cost::objective::{evaluate, objective4, objective6, CostBreakdown};
+pub use cost::incremental::IncrementalCost;
+pub use cost::objective::{evaluate, fast_objective6, objective4, objective6, CostBreakdown};
 pub use error::CoreError;
-pub use report::SolveReport;
+pub use report::{RestartStat, SolveReport};

@@ -168,8 +168,20 @@ impl QpSolver {
         }
 
         let mut part = art.extract(&sol.values);
+        let mut rebalanced_members = 0usize;
         if let Some(r) = &reduction {
             part = r.expand(&part);
+            // The reduced model pins group members together; with load
+            // balancing in the objective, splitting them can lower the max
+            // load at unchanged cost (§4's λ < 1 caveat). Objective (4) is
+            // not raised, so any optimality claim below still holds.
+            if cost.lambda < 1.0 {
+                let (better, moved) = r.rebalance_expanded(instance, &part, cost);
+                if moved > 0 {
+                    part = better;
+                    rebalanced_members = moved;
+                }
+            }
         }
         part.validate(instance, !self.config.options.allow_replication)?;
 
@@ -191,6 +203,7 @@ impl QpSolver {
                     part = ws.clone();
                     breakdown = ws_breakdown;
                     warm_start_won = true;
+                    rebalanced_members = 0; // the rebalanced layout was discarded
                 }
             }
         }
@@ -208,17 +221,23 @@ impl QpSolver {
             termination,
             elapsed: start.elapsed(),
             detail: format!(
-                "mip: {} nodes, {} lp iterations, gap {:.4}%, reduced |A| {}{}",
+                "mip: {} nodes, {} lp iterations, gap {:.4}%, reduced |A| {}{}{}",
                 sol.stats.nodes,
                 sol.stats.lp_iterations,
                 sol.gap * 100.0,
                 work_instance.n_attrs(),
+                if rebalanced_members > 0 {
+                    format!(", rebalanced {rebalanced_members} group member(s)")
+                } else {
+                    String::new()
+                },
                 if warm_start_won {
                     ", warm start retained (better under evaluate)"
                 } else {
                     ""
                 },
             ),
+            restarts: Vec::new(),
         })
     }
 }

@@ -11,7 +11,14 @@
 //! The reduction is *exact* for the cost part of the objective; with load
 //! balancing (`λ < 1`) it can only restrict tie-breaking among equal-cost
 //! layouts (a group cannot be split across sites to shave the max load).
+//! [`Reduction::rebalance_expanded`] recovers those splits after the fact:
+//! a greedy post-expansion pass moves individual members of expanded
+//! groups between sites whenever that lowers the max load without raising
+//! cost.
 
+use crate::config::CostConfig;
+use crate::cost::coeffs::CostCoefficients;
+use crate::cost::incremental::IncrementalCost;
 use std::collections::HashMap;
 use vpart_model::workload::QuerySpec;
 use vpart_model::{AttrId, BitMatrix, Instance, Partitioning, QueryKind, Schema, SiteId, Workload};
@@ -164,6 +171,103 @@ impl Reduction {
         self.reduced.n_attrs() as f64 / self.group_of.len() as f64
     }
 
+    /// Post-expansion member rebalancing — the λ < 1 caveat of the §4
+    /// reduction. Solving the *reduced* instance pins every member of a
+    /// group to the group's placement, which can concentrate work on one
+    /// site; splitting the members would often shave the max load at
+    /// unchanged cost, but the reduced model cannot express the split.
+    ///
+    /// This greedy pass repairs that on the expanded partitioning: it
+    /// repeatedly scans members of multi-attribute groups placed on the
+    /// currently most-loaded site and relocates one (replica add at the
+    /// destination + drop at the source, delta-evaluated via
+    /// [`IncrementalCost`]) whenever the move strictly lowers the max
+    /// load without raising objective (4) — or objective (6), which
+    /// additionally covers the Appendix A latency term when enabled —
+    /// beyond rounding noise. Members whose replica is forced by a
+    /// transaction's read set stay put, so the result remains feasible.
+    ///
+    /// `part` must be a feasible partitioning of the **original**
+    /// `instance`. Returns the rebalanced partitioning and the number of
+    /// member moves applied (0 means `part` is returned unchanged; the
+    /// pass is skipped entirely when `λ = 1`, where max load has no
+    /// objective weight).
+    pub fn rebalance_expanded(
+        &self,
+        instance: &Instance,
+        part: &Partitioning,
+        cost: &CostConfig,
+    ) -> (Partitioning, usize) {
+        if cost.lambda >= 1.0 {
+            return (part.clone(), 0);
+        }
+        let n_sites = part.n_sites();
+        let movable: Vec<AttrId> = self
+            .members
+            .iter()
+            .filter(|m| m.len() > 1)
+            .flatten()
+            .copied()
+            .collect();
+        if movable.is_empty() || n_sites < 2 {
+            return (part.clone(), 0);
+        }
+        let coeffs = CostCoefficients::compute(instance, cost);
+        let mut inc = IncrementalCost::new(instance, &coeffs, cost, part.clone());
+        let mut moves = 0usize;
+        // Each accepted move strictly lowers max work, so termination is
+        // guaranteed; the cap only bounds pathological slow descent.
+        let cap = movable.len() * n_sites;
+        'pass: for _ in 0..cap {
+            let obj4 = inc.objective4();
+            let obj6 = inc.objective6();
+            let max_work = inc.max_work();
+            let eps = 1e-9 * (1.0 + obj4.abs());
+            let eps6 = 1e-9 * (1.0 + obj6.abs());
+            let load_eps = 1e-9 * (1.0 + max_work);
+            // The most-loaded site is the only one whose members can
+            // lower m by leaving.
+            let src = (0..n_sites)
+                .map(SiteId::from_index)
+                .max_by(|&a, &b| inc.site_work(a).total_cmp(&inc.site_work(b)))
+                .expect("n_sites >= 2");
+            for &a in &movable {
+                if !inc.partitioning().has_attr(a, src) {
+                    continue;
+                }
+                for s in 0..n_sites {
+                    let dst = SiteId::from_index(s);
+                    if dst == src || inc.partitioning().has_attr(a, dst) {
+                        continue;
+                    }
+                    let mark = inc.mark();
+                    inc.apply_attr_replica(a, dst);
+                    if !inc.apply_attr_drop(a, src) {
+                        // A transaction on `src` reads `a`: the member is
+                        // pinned there, no destination can free it.
+                        inc.revert(mark);
+                        break;
+                    }
+                    // Objective (6) is also guarded explicitly: with the
+                    // Appendix A latency term enabled, relocating a
+                    // written attribute can flip a write query's ψ to
+                    // remote, raising (6) even at equal cost + lower load.
+                    if inc.objective4() <= obj4 + eps
+                        && inc.max_work() < max_work - load_eps
+                        && inc.objective6() <= obj6 + eps6
+                    {
+                        inc.commit();
+                        moves += 1;
+                        continue 'pass;
+                    }
+                    inc.revert(mark);
+                }
+            }
+            break; // full scan without an accepted move: local optimum
+        }
+        (inc.into_partitioning(), moves)
+    }
+
     /// Restricts a partitioning of the *original* instance to the reduced
     /// attribute space: a group is placed wherever any member is. The
     /// result is feasible for the reduced instance (read sets only grow)
@@ -281,6 +385,119 @@ mod tests {
         wb.transaction("T", &[q]).unwrap();
         let ins = Instance::new("x", schema, wb.build().unwrap()).unwrap();
         assert!(Reduction::compute(&ins).is_none());
+    }
+
+    /// R{a(4), u1(8), u2(8)}: a is read (T0) and written (T1); u1/u2 are
+    /// never accessed, so they form a 2-member group whose write work can
+    /// be split across sites at unchanged cost.
+    fn rebalanceable() -> Instance {
+        let mut sb = Schema::builder();
+        sb.table("R", &[("a", 4.0), ("u1", 8.0), ("u2", 8.0)])
+            .unwrap();
+        let schema = sb.build().unwrap();
+        let mut wb = Workload::builder(&schema);
+        let q0 = wb
+            .add_query(QuerySpec::read("q0").access(&[AttrId(0)]).frequency(2.0))
+            .unwrap();
+        let q1 = wb
+            .add_query(QuerySpec::write("q1").access(&[AttrId(0)]))
+            .unwrap();
+        wb.transaction("T0", &[q0]).unwrap();
+        wb.transaction("T1", &[q1]).unwrap();
+        Instance::new("reb", schema, wb.build().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn rebalance_splits_group_members_to_shave_max_load() {
+        let ins = rebalanceable();
+        let red = Reduction::compute(&ins).expect("u1/u2 group");
+        let cfg = CostConfig::default(); // λ = 0.9 < 1
+                                         // Everything on site 0 of 2 — the expansion-pinned worst case.
+        let part = Partitioning::single_site(&ins, 2).unwrap();
+        let before = evaluate(&ins, &part, &cfg);
+        let (better, moves) = red.rebalance_expanded(&ins, &part, &cfg);
+        assert!(moves > 0, "a movable member must be found");
+        better.validate(&ins, false).unwrap();
+        let after = evaluate(&ins, &better, &cfg);
+        assert!(
+            after.max_work < before.max_work - 1e-9,
+            "max load must drop: {} -> {}",
+            before.max_work,
+            after.max_work
+        );
+        assert!(
+            after.objective4 <= before.objective4 + 1e-9 * (1.0 + before.objective4),
+            "cost must not rise: {} -> {}",
+            before.objective4,
+            after.objective4
+        );
+        // Both never-read members leave the loaded site (site 0 keeps the
+        // read/written a: work 8 + 4; site 1 takes u1 + u2: work 16 —
+        // the balanced optimum for these weights).
+        assert!(!better.has_attr(AttrId(1), SiteId(0)));
+        assert!(!better.has_attr(AttrId(2), SiteId(0)));
+        assert_eq!(after.max_work, 16.0);
+    }
+
+    #[test]
+    fn rebalance_is_identity_when_lambda_is_one() {
+        let ins = rebalanceable();
+        let red = Reduction::compute(&ins).unwrap();
+        let cfg = CostConfig::default().with_lambda(1.0);
+        let part = Partitioning::single_site(&ins, 2).unwrap();
+        let (same, moves) = red.rebalance_expanded(&ins, &part, &cfg);
+        assert_eq!(moves, 0);
+        assert_eq!(same, part);
+    }
+
+    #[test]
+    fn rebalance_respects_the_latency_term() {
+        // R{a, u1, u2} where u1/u2 are *written* (α = 1) by T1 but never
+        // read. With p = 0 their placement is cost-neutral under
+        // objective (4) and moving one off the loaded site lowers max
+        // load — but it flips the write query's ψ to remote. A dominant
+        // latency penalty must veto every such move; without it the
+        // moves go through.
+        let mut sb = Schema::builder();
+        sb.table("R", &[("a", 4.0), ("u1", 8.0), ("u2", 8.0)])
+            .unwrap();
+        let schema = sb.build().unwrap();
+        let mut wb = Workload::builder(&schema);
+        let q0 = wb
+            .add_query(QuerySpec::read("q0").access(&[AttrId(0)]).frequency(2.0))
+            .unwrap();
+        let q1 = wb
+            .add_query(QuerySpec::write("q1").access(&[AttrId(1), AttrId(2)]))
+            .unwrap();
+        wb.transaction("T0", &[q0]).unwrap();
+        wb.transaction("T1", &[q1]).unwrap();
+        let ins = Instance::new("lat-reb", schema, wb.build().unwrap()).unwrap();
+        let red = Reduction::compute(&ins).expect("u1/u2 group");
+        let part = Partitioning::single_site(&ins, 2).unwrap();
+
+        let plain = CostConfig::default().with_p(0.0).with_lambda(0.5);
+        let (_, moves) = red.rebalance_expanded(&ins, &part, &plain);
+        assert!(moves > 0, "without latency the split is accepted");
+
+        let latency = plain.with_latency(1e6);
+        let before6 = evaluate(&ins, &part, &latency).objective6;
+        let (same, moves) = red.rebalance_expanded(&ins, &part, &latency);
+        assert_eq!(moves, 0, "dominant latency penalty must veto the move");
+        assert_eq!(same, part);
+        assert!(evaluate(&ins, &same, &latency).objective6 <= before6 + 1e-9);
+    }
+
+    #[test]
+    fn rebalance_never_moves_read_pinned_members() {
+        // Both members are read by a transaction on site 0: forced
+        // replicas cannot move, so the pass is a no-op.
+        let ins = instance(); // a/b co-read by T0, c/d co-read by T1
+        let red = Reduction::compute(&ins).unwrap();
+        let cfg = CostConfig::default();
+        let part = Partitioning::single_site(&ins, 2).unwrap();
+        let (same, moves) = red.rebalance_expanded(&ins, &part, &cfg);
+        assert_eq!(moves, 0);
+        assert_eq!(same, part);
     }
 
     #[test]

@@ -16,6 +16,44 @@ pub enum Termination {
     Heuristic,
 }
 
+/// Per-chain statistics of one multi-start SA restart.
+///
+/// Multi-start solves run `restarts` independent annealing chains (chain
+/// `i` is seeded `seed + i`) and keep the best result; the full vector is
+/// reported so restart variance stays visible. Exact solvers leave
+/// [`SolveReport::restarts`] empty.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RestartStat {
+    /// Restart index (also the seed offset).
+    pub restart: usize,
+    /// The chain's RNG seed (`config.seed + restart`).
+    pub seed: u64,
+    /// Best objective (6) the chain reached.
+    pub objective6: f64,
+    /// Objective (4) of the chain's best partitioning.
+    pub objective4: f64,
+    /// Temperature levels run before freezing.
+    pub levels: usize,
+    /// Inner-loop iterations (delta evaluations).
+    pub iterations: usize,
+    /// Accepted moves.
+    pub accepted: usize,
+    /// Largest |incremental − recomputed| objective-(6) drift observed at
+    /// the temperature-level checkpoints.
+    pub max_drift: f64,
+    /// Chain wall-clock time.
+    pub elapsed: Duration,
+    /// True if the chain was stopped by its per-chain wall-clock limit
+    /// instead of freezing naturally. Timed-out chains are the one case
+    /// where results may depend on machine load (and thus on the thread
+    /// count): the limit cuts the chain at whatever iteration the clock
+    /// reached.
+    pub timed_out: bool,
+    /// Whether this chain produced the reported partitioning (exactly one
+    /// winner; ties broken toward the lowest restart index).
+    pub winner: bool,
+}
+
 /// Result of a partitioning solve.
 #[derive(Debug, Clone)]
 pub struct SolveReport {
@@ -29,6 +67,8 @@ pub struct SolveReport {
     pub elapsed: Duration,
     /// Solver-specific detail line (nodes/iterations/gap, for tables).
     pub detail: String,
+    /// Per-restart chain statistics (multi-start SA; empty otherwise).
+    pub restarts: Vec<RestartStat>,
 }
 
 impl SolveReport {
@@ -75,6 +115,7 @@ mod tests {
             termination: Termination::Optimal,
             elapsed: Duration::from_secs(1),
             detail: String::new(),
+            restarts: Vec::new(),
         };
         // Table 3 prints TPC-C |S|=1 as 0.208 in units of 10^6.
         assert!((r.cost_scaled(6) - 0.208).abs() < 1e-9);

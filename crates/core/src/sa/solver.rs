@@ -22,19 +22,48 @@
 //! `τ₀ = 0.05·C* / ln 2`. Freezing: the temperature decayed below
 //! `min_temp_ratio·τ₀`, or no best-cost improvement for `freeze_levels`
 //! consecutive temperature levels, or the time limit expired.
+//!
+//! # Incremental evaluation
+//!
+//! The paper's inner loop re-solves `findSolution(fix)` and re-evaluates
+//! the full objective for every candidate — `O(nnz + |A|·|S|)` per move,
+//! which Amossen identifies as the practical bottleneck. This port drives
+//! the accept/reject loop through [`IncrementalCost`] deltas instead: a
+//! neighborhood perturbation mutates the running state in
+//! `O(moved txn's terms)`, and a rejected candidate is rolled back via the
+//! undo log. The expensive exact subproblem re-optimization
+//! (`findSolution`) runs once per *temperature level* as a polish step,
+//! where it also prunes replica bloat accumulated by the add-only `y`
+//! neighborhood; the same checkpoint runs a full recompute as a
+//! floating-point drift guard ([`IncrementalCost::resync`]).
+//!
+//! # Multi-start
+//!
+//! [`SaConfig::restarts`] runs that chain `restarts` times with seeds
+//! `seed + restart_index`, spread over at most [`SaConfig::threads`] OS
+//! threads, each chain with the full per-chain time budget. The merge is
+//! deterministic — lowest objective (6) wins, ties broken toward the
+//! lowest restart index — and independent of thread count and completion
+//! order, so results for a given `(seed, restarts)` are identical whether
+//! run on 1 thread or 16, **provided no chain is cut off by its
+//! per-chain [`SaConfig::time_limit`]** (a timed-out chain stops at
+//! whatever iteration the clock reached, which depends on machine load;
+//! such chains are flagged via [`RestartStat::timed_out`]). Per-chain
+//! statistics land in [`SolveReport::restarts`].
 
 use crate::config::CostConfig;
 use crate::cost::coeffs::CostCoefficients;
+use crate::cost::incremental::IncrementalCost;
 use crate::cost::objective::{evaluate, fast_objective6};
 use crate::error::CoreError;
-use crate::report::{SolveReport, Termination};
+use crate::report::{RestartStat, SolveReport, Termination};
 use crate::sa::subproblem::{
     optimal_x_for_y, optimal_x_for_y_ilp, optimal_y_for_x, optimal_y_for_x_ilp,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::{Duration, Instant};
-use vpart_model::{AttrId, Instance, Partitioning, SiteId};
+use vpart_model::{AttrId, Instance, Partitioning, SiteId, TxnId};
 
 /// How `findSolution(fix)` is solved.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -52,7 +81,8 @@ pub enum SubproblemMode {
 /// Configuration of the SA solver.
 #[derive(Debug, Clone)]
 pub struct SaConfig {
-    /// RNG seed (results are deterministic per seed).
+    /// RNG seed (results are deterministic per `(seed, restarts)`,
+    /// independent of `threads` as long as no chain hits `time_limit`).
     pub seed: u64,
     /// Geometric cooling factor ρ ∈ (0,1).
     pub rho: f64,
@@ -68,10 +98,18 @@ pub struct SaConfig {
     pub freeze_levels: usize,
     /// Stop when τ < `min_temp_ratio`·τ₀.
     pub min_temp_ratio: f64,
-    /// Overall wall-clock limit.
+    /// Wall-clock limit *per chain*.
     pub time_limit: Duration,
     /// Subproblem solver.
     pub subproblem: SubproblemMode,
+    /// Number of independent annealing chains (seeds `seed..seed+restarts`).
+    pub restarts: usize,
+    /// Maximum OS threads running chains concurrently. Affects wall time
+    /// only, not results: restarts are split into contiguous blocks, one
+    /// per thread, and the merge ignores completion order. The one
+    /// exception is a chain cut off by `time_limit`, whose stopping point
+    /// depends on machine load (see [`RestartStat::timed_out`]).
+    pub threads: usize,
 }
 
 impl Default for SaConfig {
@@ -86,6 +124,8 @@ impl Default for SaConfig {
             min_temp_ratio: 1e-6,
             time_limit: Duration::from_secs(600),
             subproblem: SubproblemMode::Greedy,
+            restarts: 1,
+            threads: 1,
         }
     }
 }
@@ -103,6 +143,21 @@ impl SaConfig {
             ..Self::default()
         }
     }
+
+    /// Multi-start variant: `restarts` chains over at most `threads`
+    /// threads.
+    pub fn multi_start(mut self, restarts: usize, threads: usize) -> Self {
+        self.restarts = restarts;
+        self.threads = threads;
+        self
+    }
+}
+
+/// Outcome of one annealing chain.
+struct Chain {
+    best: Partitioning,
+    best_cost: f64,
+    stat: RestartStat,
 }
 
 /// The simulated-annealing solver.
@@ -139,39 +194,128 @@ impl SaSolver {
         if cfg.inner_loops == 0 {
             return Err(CoreError::BadConfig("inner_loops must be positive".into()));
         }
+        if cfg.restarts == 0 {
+            return Err(CoreError::BadConfig("restarts must be positive".into()));
+        }
+        if cfg.threads == 0 {
+            return Err(CoreError::BadConfig("threads must be positive".into()));
+        }
         let start = Instant::now();
         let coeffs = CostCoefficients::compute(instance, cost);
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
 
-        let n_txns = instance.n_txns();
-        let txn_moves = ((n_txns as f64 * cfg.move_fraction).ceil() as usize).max(1);
-        let attr_moves = ((instance.n_attrs() as f64 * cfg.move_fraction).ceil() as usize).max(1);
+        // Run the chains: sequentially for one thread, otherwise chain i
+        // on scoped thread i % threads. Results are collected per restart
+        // index, so the merge below never depends on completion order.
+        let workers = cfg.threads.min(cfg.restarts);
+        let chains: Vec<Chain> = if workers <= 1 {
+            (0..cfg.restarts)
+                .map(|r| self.run_chain(instance, &coeffs, n_sites, cost, r))
+                .collect()
+        } else {
+            let mut slots: Vec<Option<Chain>> = (0..cfg.restarts).map(|_| None).collect();
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(workers);
+                for (w, chunk) in slots.chunks_mut(cfg.restarts.div_ceil(workers)).enumerate() {
+                    let coeffs = &coeffs;
+                    let first = w * cfg.restarts.div_ceil(workers);
+                    handles.push(scope.spawn(move || {
+                        for (i, slot) in chunk.iter_mut().enumerate() {
+                            *slot =
+                                Some(self.run_chain(instance, coeffs, n_sites, cost, first + i));
+                        }
+                    }));
+                }
+                for h in handles {
+                    h.join().expect("annealing chain panicked");
+                }
+            });
+            slots
+                .into_iter()
+                .map(|c| c.expect("every restart slot filled"))
+                .collect()
+        };
 
-        let solve_y = |x: &[SiteId], rng_unused: &mut StdRng| -> Partitioning {
-            let _ = rng_unused;
+        // Deterministic merge: lowest objective (6); ties break toward the
+        // lowest restart index (= lowest chain seed).
+        let winner = chains
+            .iter()
+            .enumerate()
+            .min_by(|(i, a), (j, b)| a.best_cost.total_cmp(&b.best_cost).then_with(|| i.cmp(j)))
+            .map(|(i, _)| i)
+            .expect("restarts >= 1");
+        let mut stats: Vec<RestartStat> = Vec::with_capacity(chains.len());
+        let mut best: Option<Partitioning> = None;
+        for (i, chain) in chains.into_iter().enumerate() {
+            let mut stat = chain.stat;
+            stat.winner = i == winner;
+            if stat.winner {
+                best = Some(chain.best);
+            }
+            stats.push(stat);
+        }
+        let best = best.expect("winner chain exists");
+        best.validate(instance, false)?;
+
+        let breakdown = evaluate(instance, &best, cost);
+        let levels: usize = stats.iter().map(|s| s.levels).sum();
+        let iterations: usize = stats.iter().map(|s| s.iterations).sum();
+        let accepted: usize = stats.iter().map(|s| s.accepted).sum();
+        Ok(SolveReport {
+            partitioning: best,
+            breakdown,
+            termination: Termination::Heuristic,
+            elapsed: start.elapsed(),
+            detail: format!(
+                "sa: {} restart(s) on {} thread(s), {levels} levels, {iterations} iterations, \
+                 {accepted} accepted, seed {} (winner {})",
+                cfg.restarts, workers, cfg.seed, stats[winner].seed
+            ),
+            restarts: stats,
+        })
+    }
+
+    /// One annealing chain, seeded `config.seed + restart`.
+    fn run_chain(
+        &self,
+        instance: &Instance,
+        coeffs: &CostCoefficients,
+        n_sites: usize,
+        cost: &CostConfig,
+        restart: usize,
+    ) -> Chain {
+        let cfg = &self.config;
+        let seed = cfg.seed.wrapping_add(restart as u64);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let start = Instant::now();
+
+        let solve_y = |x: &[SiteId]| -> Partitioning {
             match cfg.subproblem {
-                SubproblemMode::Greedy => optimal_y_for_x(instance, &coeffs, x, n_sites, cost),
+                SubproblemMode::Greedy => optimal_y_for_x(instance, coeffs, x, n_sites, cost),
                 SubproblemMode::IlpBacked { time_limit } => {
-                    optimal_y_for_x_ilp(instance, &coeffs, x, n_sites, cost, time_limit)
+                    optimal_y_for_x_ilp(instance, coeffs, x, n_sites, cost, time_limit)
                 }
             }
         };
         let solve_x = |p: &Partitioning| -> Partitioning {
             match cfg.subproblem {
-                SubproblemMode::Greedy => optimal_x_for_y(instance, &coeffs, p, cost),
+                SubproblemMode::Greedy => optimal_x_for_y(instance, coeffs, p, cost),
                 SubproblemMode::IlpBacked { time_limit } => {
-                    optimal_x_for_y_ilp(instance, &coeffs, p, cost, time_limit)
+                    optimal_x_for_y_ilp(instance, coeffs, p, cost, time_limit)
                 }
             }
         };
+
+        let n_txns = instance.n_txns();
+        let txn_moves = ((n_txns as f64 * cfg.move_fraction).ceil() as usize).max(1);
+        let attr_moves = ((instance.n_attrs() as f64 * cfg.move_fraction).ceil() as usize).max(1);
 
         // Line 3: random x; line 5: S ← findSolution("x").
         let x0: Vec<SiteId> = (0..n_txns)
             .map(|_| SiteId::from_index(rng.gen_range(0..n_sites)))
             .collect();
-        let mut current = solve_y(&x0, &mut rng);
-        let mut current_cost = fast_objective6(instance, &coeffs, &current, cost);
-        let mut best = current.clone();
+        let mut inc = IncrementalCost::new(instance, coeffs, cost, solve_y(&x0));
+        let mut current_cost = inc.objective6();
+        let mut best = inc.partitioning().clone();
         let mut best_cost = current_cost;
 
         // §5.1 initial temperature: 50% = e^(−0.05·C*/τ₀).
@@ -182,52 +326,84 @@ impl SaSolver {
         let mut stale_levels = 0usize;
         let mut iterations = 0usize;
         let mut accepted = 0usize;
+        let mut max_drift = 0.0f64;
+        let mut timed_out = false;
 
         'outer: loop {
             let improved_at_level_start = best_cost;
             for _ in 0..cfg.inner_loops {
                 if start.elapsed() >= cfg.time_limit {
+                    timed_out = true;
                     break 'outer;
                 }
                 iterations += 1;
-                // Lines 8–10: perturb, then re-optimize the non-fixed side.
-                let candidate = if fix_x {
-                    let mut x = current.x().to_vec();
+                // Lines 8–9, incrementally: perturb the non-fixed side of
+                // the running state (each mutation updates the objective
+                // in O(moved terms)).
+                let mark = inc.mark();
+                if fix_x {
+                    // Move ~10% of transactions to uniform random sites;
+                    // forced replicas keep the layout feasible.
                     for _ in 0..txn_moves {
-                        let t = rng.gen_range(0..n_txns);
-                        x[t] = SiteId::from_index(rng.gen_range(0..n_sites));
+                        let t = TxnId::from_index(rng.gen_range(0..n_txns));
+                        let s = SiteId::from_index(rng.gen_range(0..n_sites));
+                        inc.apply_txn_move(t, s);
                     }
-                    solve_y(&x, &mut rng)
                 } else {
-                    let mut p = current.clone();
+                    // Extend replication of ~10% of attributes by one site.
                     for _ in 0..attr_moves {
                         let a = AttrId::from_index(rng.gen_range(0..instance.n_attrs()));
-                        if p.replication(a) < n_sites {
-                            // Extend replication to one more random site.
+                        if inc.partitioning().replication(a) < n_sites {
                             loop {
                                 let s = SiteId::from_index(rng.gen_range(0..n_sites));
-                                if !p.has_attr(a, s) {
-                                    p.add_replica(a, s);
+                                if inc.apply_attr_replica(a, s) {
                                     break;
                                 }
                             }
                         }
                     }
-                    solve_x(&p)
-                };
-                let cand_cost = fast_objective6(instance, &coeffs, &candidate, cost);
+                }
+                // Lines 11–12: accept or roll back via the undo log.
+                let cand_cost = inc.objective6();
                 let delta = cand_cost - current_cost;
                 if delta <= 0.0 || rng.gen::<f64>() < (-delta / tau).exp() {
-                    current = candidate;
+                    inc.commit();
                     current_cost = cand_cost;
                     accepted += 1;
                     if current_cost < best_cost {
-                        best = current.clone();
+                        best = inc.partitioning().clone();
                         best_cost = current_cost;
                     }
+                } else {
+                    inc.revert(mark);
                 }
                 fix_x = !fix_x; // line 13 (inside the inner loop)
             }
+
+            // Temperature-level checkpoint 1 — drift guard: full recompute
+            // of the accumulators, bounding float error from the
+            // add/subtract chains of the inner loop.
+            max_drift = max_drift.max(inc.resync());
+            current_cost = inc.objective6();
+            // Checkpoint 2 — line 10's exact subproblem re-optimization
+            // (`findSolution`), once per level instead of once per move.
+            // `y | x` rebuilds the placement from scratch, pruning replica
+            // bloat from the add-only y-neighborhood; `x | y` then
+            // re-homes transactions.
+            let polished_y = solve_y(inc.partitioning().x());
+            let polished_x = solve_x(&polished_y);
+            for polished in [polished_y, polished_x] {
+                let c = fast_objective6(instance, coeffs, &polished, cost);
+                if c < current_cost {
+                    inc = IncrementalCost::new(instance, coeffs, cost, polished);
+                    current_cost = c;
+                    if c < best_cost {
+                        best = inc.partitioning().clone();
+                        best_cost = c;
+                    }
+                }
+            }
+
             tau *= cfg.rho;
             levels += 1;
             if best_cost < improved_at_level_start - 1e-12 {
@@ -241,24 +417,30 @@ impl SaSolver {
         }
 
         // Final polish: re-derive the minimal-cost y for the best x.
-        let polished = solve_y(best.x(), &mut rng);
-        if fast_objective6(instance, &coeffs, &polished, cost) < best_cost {
+        let polished = solve_y(best.x());
+        let polished_cost = fast_objective6(instance, coeffs, &polished, cost);
+        if polished_cost < best_cost {
             best = polished;
+            best_cost = polished_cost;
         }
-        best.validate(instance, false)?;
 
-        let breakdown = evaluate(instance, &best, cost);
-        Ok(SolveReport {
-            partitioning: best,
-            breakdown,
-            termination: Termination::Heuristic,
-            elapsed: start.elapsed(),
-            detail: format!(
-                "sa: {levels} levels, {iterations} iterations, {accepted} accepted, \
-                 tau0 {tau0:.3e}, seed {}",
-                cfg.seed
-            ),
-        })
+        Chain {
+            stat: RestartStat {
+                restart,
+                seed,
+                objective6: best_cost,
+                objective4: crate::cost::objective::fast_objective4(coeffs, &best),
+                levels,
+                iterations,
+                accepted,
+                max_drift,
+                elapsed: start.elapsed(),
+                timed_out,
+                winner: false,
+            },
+            best,
+            best_cost,
+        }
     }
 }
 
@@ -312,6 +494,69 @@ mod tests {
     }
 
     #[test]
+    fn deterministic_regardless_of_thread_count() {
+        // The documented guarantee: for a fixed (seed, restarts), results
+        // are identical whatever `threads` is — chain seeds derive from
+        // the restart index and the merge ignores completion order. The
+        // guarantee is conditional on no chain hitting its wall-clock
+        // limit; this instance freezes orders of magnitude below the 30 s
+        // budget, and the `timed_out` assertion documents the
+        // precondition.
+        let ins = separable();
+        let cfg = CostConfig::default();
+        let solve = |threads: usize| {
+            let r = SaSolver::new(SaConfig::fast_deterministic(3).multi_start(4, threads))
+                .solve(&ins, 2, &cfg)
+                .unwrap();
+            assert!(
+                r.restarts.iter().all(|s| !s.timed_out),
+                "tiny instance must freeze naturally"
+            );
+            r
+        };
+        let one = solve(1);
+        for threads in [2, 3, 8] {
+            let multi = solve(threads);
+            assert_eq!(one.partitioning, multi.partitioning, "threads={threads}");
+            assert_eq!(
+                one.breakdown.objective6, multi.breakdown.objective6,
+                "threads={threads}"
+            );
+            let costs =
+                |r: &SolveReport| r.restarts.iter().map(|s| s.objective6).collect::<Vec<_>>();
+            assert_eq!(costs(&one), costs(&multi), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn multi_start_reports_stats_and_never_loses_to_single_start() {
+        let ins = separable();
+        let cfg = CostConfig::default();
+        let single = SaSolver::new(SaConfig::fast_deterministic(5))
+            .solve(&ins, 2, &cfg)
+            .unwrap();
+        assert_eq!(single.restarts.len(), 1);
+        assert!(single.restarts[0].winner);
+        let multi = SaSolver::new(SaConfig::fast_deterministic(5).multi_start(4, 2))
+            .solve(&ins, 2, &cfg)
+            .unwrap();
+        assert_eq!(multi.restarts.len(), 4);
+        // Chain 0 of the multi-start IS the single-start chain (seed + 0),
+        // so best-of-4 can only match or beat it.
+        assert!(multi.breakdown.objective6 <= single.breakdown.objective6 + 1e-9);
+        assert_eq!(multi.restarts.iter().filter(|s| s.winner).count(), 1);
+        for (i, stat) in multi.restarts.iter().enumerate() {
+            assert_eq!(stat.restart, i);
+            assert_eq!(stat.seed, 5 + i as u64);
+            assert!(stat.iterations > 0);
+            assert!(stat.max_drift <= 1e-9 * (1.0 + stat.objective6));
+        }
+        // The winner's chain cost matches the reported breakdown.
+        let winner = multi.restarts.iter().find(|s| s.winner).unwrap();
+        assert!((winner.objective6 - multi.breakdown.objective6).abs() <= 1e-9);
+    }
+
+    #[test]
     fn single_site_degenerates_to_trivial_layout() {
         let ins = separable();
         let cfg = CostConfig::default();
@@ -338,6 +583,18 @@ mod tests {
         ));
         let mut sa = SaConfig::fast_deterministic(1);
         sa.inner_loops = 0;
+        assert!(matches!(
+            SaSolver::new(sa).solve(&ins, 2, &cfg),
+            Err(CoreError::BadConfig(_))
+        ));
+        let mut sa = SaConfig::fast_deterministic(1);
+        sa.restarts = 0;
+        assert!(matches!(
+            SaSolver::new(sa).solve(&ins, 2, &cfg),
+            Err(CoreError::BadConfig(_))
+        ));
+        let mut sa = SaConfig::fast_deterministic(1);
+        sa.threads = 0;
         assert!(matches!(
             SaSolver::new(sa).solve(&ins, 2, &cfg),
             Err(CoreError::BadConfig(_))

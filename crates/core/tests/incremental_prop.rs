@@ -1,0 +1,138 @@
+//! Property tests of the incremental objective engine: any random
+//! sequence of `apply_*`/`revert` operations on [`IncrementalCost`] must
+//! agree with a fresh [`fast_objective6`] recompute of the same layout —
+//! for both coefficient-expressible write-accounting strategies and for
+//! λ ∈ {1.0, 0.5} — and the checkpoint resync must be a no-op within
+//! float tolerance.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vpart_core::{fast_objective6, CostCoefficients, CostConfig, IncrementalCost, WriteAccounting};
+use vpart_instances::RandomParams;
+use vpart_model::{AttrId, Partitioning, SiteId, TxnId};
+
+const TOL: f64 = 1e-9;
+
+fn small_params() -> impl Strategy<Value = (RandomParams, u64)> {
+    (2usize..8, 1usize..4, 0u32..70, 2usize..8, any::<u64>()).prop_map(
+        |(n_txns, n_tables, update_pct, max_attrs, seed)| {
+            (
+                RandomParams {
+                    name: format!("inc-prop-{n_txns}-{n_tables}-{seed}"),
+                    n_txns,
+                    n_tables,
+                    max_queries_per_txn: 2,
+                    update_pct,
+                    max_attrs_per_table: max_attrs,
+                    max_table_refs: 2,
+                    max_attr_refs: 4,
+                    widths: vec![2.0, 8.0],
+                },
+                seed,
+            )
+        },
+    )
+}
+
+/// Applies one random mutation; every branch keeps the layout feasible.
+fn random_op(inc: &mut IncrementalCost, rng: &mut StdRng, n_sites: usize) {
+    let part = inc.partitioning();
+    let n_txns = part.n_txns();
+    let n_attrs = part.n_attrs();
+    match rng.gen_range(0..3u32) {
+        0 => {
+            let t = TxnId::from_index(rng.gen_range(0..n_txns));
+            let s = SiteId::from_index(rng.gen_range(0..n_sites));
+            inc.apply_txn_move(t, s);
+        }
+        1 => {
+            let a = AttrId::from_index(rng.gen_range(0..n_attrs));
+            let s = SiteId::from_index(rng.gen_range(0..n_sites));
+            inc.apply_attr_replica(a, s);
+        }
+        _ => {
+            let a = AttrId::from_index(rng.gen_range(0..n_attrs));
+            let s = SiteId::from_index(rng.gen_range(0..n_sites));
+            // Refused when forced or last — either way stays feasible.
+            inc.apply_attr_drop(a, s);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_op_sequences_agree_with_fresh_recompute((params, seed) in small_params()) {
+        let instance = params.generate(seed);
+        let n_sites = 3usize;
+        for wa in [WriteAccounting::AllAttributes, WriteAccounting::NoAttributes] {
+            for lambda in [1.0f64, 0.5] {
+                let cfg = CostConfig::default()
+                    .with_write_accounting(wa)
+                    .with_lambda(lambda);
+                let coeffs = CostCoefficients::compute(&instance, &cfg);
+                let part = Partitioning::single_site(&instance, n_sites).unwrap();
+                let mut inc = IncrementalCost::new(&instance, &coeffs, &cfg, part);
+                let mut rng = StdRng::seed_from_u64(seed ^ 0xD1F7);
+                for step in 0..100usize {
+                    let mark = inc.mark();
+                    for _ in 0..rng.gen_range(1..4usize) {
+                        random_op(&mut inc, &mut rng, n_sites);
+                    }
+                    if rng.gen_bool(0.4) {
+                        inc.revert(mark);
+                    } else {
+                        inc.commit();
+                    }
+                    if step % 10 == 0 {
+                        let full = fast_objective6(&instance, &coeffs, inc.partitioning(), &cfg);
+                        prop_assert!(
+                            (inc.objective6() - full).abs() <= TOL * (1.0 + full.abs()),
+                            "{wa:?} λ={lambda} step {step}: incremental {} vs full {full}",
+                            inc.objective6()
+                        );
+                        inc.partitioning().validate(&instance, false).unwrap();
+                    }
+                }
+                // Final parity, then the drift guard must be a no-op.
+                let full = fast_objective6(&instance, &coeffs, inc.partitioning(), &cfg);
+                prop_assert!(
+                    (inc.objective6() - full).abs() <= TOL * (1.0 + full.abs()),
+                    "{wa:?} λ={lambda} final: incremental {} vs full {full}",
+                    inc.objective6()
+                );
+                let drift = inc.resync();
+                prop_assert!(
+                    drift <= TOL * (1.0 + full.abs()),
+                    "{wa:?} λ={lambda}: resync moved the objective by {drift}"
+                );
+                inc.partitioning().validate(&instance, false).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn revert_to_mark_restores_the_exact_layout((params, seed) in small_params()) {
+        let instance = params.generate(seed);
+        let n_sites = 2usize;
+        let cfg = CostConfig::default();
+        let coeffs = CostCoefficients::compute(&instance, &cfg);
+        let part = Partitioning::single_site(&instance, n_sites).unwrap();
+        let mut inc = IncrementalCost::new(&instance, &coeffs, &cfg, part);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+        // Commit a random prefix so the mark is mid-history.
+        for _ in 0..10 {
+            random_op(&mut inc, &mut rng, n_sites);
+        }
+        inc.commit();
+        let snapshot = inc.partitioning().clone();
+        let mark = inc.mark();
+        for _ in 0..25 {
+            random_op(&mut inc, &mut rng, n_sites);
+        }
+        inc.revert(mark);
+        prop_assert_eq!(inc.partitioning(), &snapshot);
+    }
+}

@@ -26,6 +26,7 @@ fn usage() -> &'static str {
        vpart list     [--json]\n\
        vpart solve    --instance <name|file.json> --sites <k> [--algo qp|sa|exact]\n\
                       [--p <f>] [--lambda <f>] [--disjoint] [--seed <n>]\n\
+                      [--restarts <n>] [--threads <n>]\n\
                       [--time-limit <secs>] [--layout] [--json]\n\
        vpart solve    --schema <ddl.sql> --log <queries.log> --sites <k> [...]\n\
        vpart solve    --schema <ddl.sql> --stats <dump> --stats-format <fmt> ...\n\
@@ -44,8 +45,13 @@ fn usage() -> &'static str {
      per-statement ingestion report; see README \"Bring your own workload\").\n\
      --sample-rate scales sampled inputs up to population estimates;\n\
      --strict exits non-zero when any skip or low-confidence diagnostic\n\
-     remains. Defaults: p = 8 (paper), lambda = 0.9 (see DESIGN.md on the\n\
-     paper's λ), algo = sa, stats-format = pgss-csv."
+     remains. --restarts runs that many independent SA chains (seeds\n\
+     seed..seed+n) over at most --threads OS threads and keeps the best;\n\
+     results depend only on (seed, restarts), not on --threads, unless\n\
+     a chain is cut off by --time-limit (flagged in the restart stats).\n\
+     Defaults: p = 8 (paper), lambda = 0.9 (see DESIGN.md on the\n\
+     paper's λ), algo = sa, restarts = 1, threads = 1,\n\
+     stats-format = pgss-csv."
 }
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -270,6 +276,8 @@ fn cmd_solve(flags: HashMap<String, String>) -> Result<(), String> {
     let cost = cost_config(&flags)?;
     let seed: u64 = get(&flags, "seed", 0xC0FFEE)?;
     let time_limit: f64 = get(&flags, "time-limit", 300.0)?;
+    let restarts: usize = get(&flags, "restarts", 1)?;
+    let threads: usize = get(&flags, "threads", 1)?;
     let algo_name = flags.get("algo").map(String::as_str).unwrap_or("sa");
     let disjoint = flags.contains_key("disjoint");
 
@@ -288,6 +296,8 @@ fn cmd_solve(flags: HashMap<String, String>) -> Result<(), String> {
             Algorithm::Sa(SaConfig {
                 seed,
                 time_limit: std::time::Duration::from_secs_f64(time_limit),
+                restarts,
+                threads,
                 ..Default::default()
             })
         }
@@ -300,6 +310,24 @@ fn cmd_solve(flags: HashMap<String, String>) -> Result<(), String> {
     let r = vpart::solve(&ins, sites, &algorithm, &cost).map_err(|e| e.to_string())?;
 
     if flags.contains_key("json") {
+        let restart_stats: Vec<serde_json::Value> = r
+            .restarts
+            .iter()
+            .map(|s| {
+                serde_json::json!({
+                    "restart": s.restart,
+                    "seed": s.seed,
+                    "objective6": s.objective6,
+                    "objective4": s.objective4,
+                    "levels": s.levels,
+                    "iterations": s.iterations,
+                    "accepted": s.accepted,
+                    "elapsed_secs": s.elapsed.as_secs_f64(),
+                    "timed_out": s.timed_out,
+                    "winner": s.winner,
+                })
+            })
+            .collect();
         println!(
             "{}",
             serde_json::json!({
@@ -315,6 +343,7 @@ fn cmd_solve(flags: HashMap<String, String>) -> Result<(), String> {
                 "max_site_work": r.breakdown.max_work,
                 "optimal": r.is_optimal(),
                 "elapsed_secs": r.elapsed.as_secs_f64(),
+                "restarts": serde_json::Value::Array(restart_stats),
                 "partitioning": r.partitioning,
             })
         );
@@ -343,6 +372,24 @@ fn cmd_solve(flags: HashMap<String, String>) -> Result<(), String> {
         }
     );
     println!("elapsed         {:.2?}", r.elapsed);
+    if r.restarts.len() > 1 {
+        println!(
+            "restarts        (best of {}, per-chain budget)",
+            r.restarts.len()
+        );
+        for s in &r.restarts {
+            println!(
+                "  #{:<2} seed {:<12} obj6 {:>14.1}  {:>7} iters  {:.2?}{}{}",
+                s.restart,
+                s.seed,
+                s.objective6,
+                s.iterations,
+                s.elapsed,
+                if s.timed_out { "  [timed out]" } else { "" },
+                if s.winner { "  <- winner" } else { "" }
+            );
+        }
+    }
     if flags.contains_key("layout") {
         println!("\n{}", report::render_partitioning(&ins, &r.partitioning));
     } else {

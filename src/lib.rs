@@ -46,7 +46,10 @@ pub mod prelude {
     pub use crate::core::exact::{ExactConfig, ExactSolver};
     pub use crate::core::qp::{QpConfig, QpSolver};
     pub use crate::core::sa::{SaConfig, SaSolver};
-    pub use crate::core::{evaluate, CostBreakdown, CostConfig, SolveReport, WriteAccounting};
+    pub use crate::core::{
+        evaluate, CostBreakdown, CostConfig, IncrementalCost, RestartStat, SolveReport,
+        WriteAccounting,
+    };
     pub use crate::engine::{Deployment, Trace};
     pub use crate::ingest::{
         ConfidenceLevel, IngestError, IngestOptions, IngestReport, Ingestion, StatsFormat,
@@ -79,6 +82,18 @@ impl Algorithm {
     pub fn sa(seed: u64) -> Self {
         Self::Sa(core::sa::SaConfig {
             seed,
+            ..Default::default()
+        })
+    }
+
+    /// Multi-start SA: `restarts` independent chains (seeds
+    /// `seed..seed + restarts`) over at most `threads` OS threads, merged
+    /// deterministically (best objective (6), ties to the lowest seed).
+    pub fn sa_multi_start(seed: u64, restarts: usize, threads: usize) -> Self {
+        Self::Sa(core::sa::SaConfig {
+            seed,
+            restarts,
+            threads,
             ..Default::default()
         })
     }
