@@ -69,20 +69,25 @@ fn measure(
     })
 }
 
-/// The web-shop instance, ingested from the checked-in example workload.
-fn web_shop() -> Instance {
+/// A checked-in example workload, ingested by log file name.
+fn example_workload(log_file: &str, name: &str) -> Instance {
     let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/data");
     let schema = std::fs::read_to_string(format!("{dir}/schema.sql"))
         .expect("examples/data/schema.sql is checked in");
-    let log = std::fs::read_to_string(format!("{dir}/queries.log"))
-        .expect("examples/data/queries.log is checked in");
+    let log =
+        std::fs::read_to_string(format!("{dir}/{log_file}")).expect("example log is checked in");
     vpart_ingest::ingest(
         &schema,
         &log,
-        &vpart_ingest::IngestOptions::default().with_name("web-shop"),
+        &vpart_ingest::IngestOptions::default().with_name(name),
     )
     .expect("the checked-in workload ingests cleanly")
     .instance
+}
+
+/// The web-shop instance, ingested from the checked-in example workload.
+fn web_shop() -> Instance {
+    example_workload("queries.log", "web-shop")
 }
 
 /// A deterministic annealing-style move sequence: transaction moves and
@@ -274,6 +279,34 @@ fn main() -> ExitCode {
         }
     };
 
+    // Online repartitioning scenario: the web-shop incumbent (solved on
+    // the steady phase) is repaired on the drifted phase by a warm
+    // re-solve, measured against a cold multi-start of the same snapshot
+    // (both single-threaded, so wall time reflects total solve work).
+    let drift_cost = CostConfig::default().with_lambda(0.5);
+    let drifted = example_workload("queries_drifted.log", "web-shop-drifted");
+    let incumbent = SaSolver::new(SaConfig::fast_deterministic(7))
+        .solve(&shop, 3, &drift_cost)
+        .expect("SA solves the steady phase")
+        .partitioning;
+    let warm_resolve = {
+        let drift_cost = &drift_cost;
+        let incumbent = incumbent.clone();
+        move |ins: &Instance, sites: usize| {
+            SaSolver::new(SaConfig::fast_deterministic(7).warm_started(incumbent.clone()))
+                .solve(ins, sites, drift_cost)
+                .expect("warm re-solve succeeds")
+        }
+    };
+    let cold_resolve = {
+        let drift_cost = &drift_cost;
+        move |ins: &Instance, sites: usize| {
+            SaSolver::new(SaConfig::fast_deterministic(7).multi_start(4, 1))
+                .solve(ins, sites, drift_cost)
+                .expect("cold multi-start succeeds")
+        }
+    };
+
     let benches = vec![
         measure("sa/tpcc-2-sites", &tpcc, 2, sa(1)),
         measure("sa/tpcc-3-sites", &tpcc, 3, sa(1)),
@@ -287,6 +320,8 @@ fn main() -> ExitCode {
             sa_multi(7, 4, 4),
         ),
         measure("qp/web-shop-2-sites", &shop, 2, qp(60.0)),
+        measure("drift-resolve/warm", &drifted, 3, warm_resolve),
+        measure("drift-resolve/cold-multistart4", &drifted, 3, cold_resolve),
     ];
 
     // Multi-start must not lose to single-start at equal per-chain budget
@@ -331,6 +366,54 @@ fn main() -> ExitCode {
             dominance_failures.push(format!(
                 "{multi} (objective6 {m}) must not be worse than {single} ({s})"
             ));
+        }
+    }
+
+    // The online repartitioning claim: repairing drift from the incumbent
+    // must cost measurably less wall time than a cold multi-start of the
+    // same snapshot (a warm chain is strictly less work than 4 cold
+    // chains run sequentially). Skipped if a chain was cut off by its
+    // wall clock — a pathologically loaded runner breaks the premise.
+    {
+        let entry = |name: &str| {
+            benches
+                .iter()
+                .find(|b| b.get("name").and_then(|v| v.as_str()) == Some(name))
+                .expect("bench entry exists")
+        };
+        let (warm, cold) = (
+            entry("drift-resolve/warm"),
+            entry("drift-resolve/cold-multistart4"),
+        );
+        let wall = |e: &serde_json::Value| {
+            e.get("wall_secs")
+                .and_then(|v| v.as_f64())
+                .expect("wall recorded")
+        };
+        let timed_out = |e: &serde_json::Value| {
+            e.get("timed_out_chains")
+                .and_then(|v| v.as_u64())
+                .unwrap_or(0)
+                > 0
+        };
+        if timed_out(warm) || timed_out(cold) {
+            eprintln!(
+                "warning: skipping warm-vs-cold drift-resolve check — a chain hit its \
+                 wall-clock limit"
+            );
+        } else if wall(warm) >= wall(cold) {
+            dominance_failures.push(format!(
+                "drift-resolve/warm ({:.4}s) must be faster than cold-multistart4 ({:.4}s)",
+                wall(warm),
+                wall(cold)
+            ));
+        } else {
+            println!(
+                "drift-resolve: warm {:.4}s vs cold multi-start {:.4}s ({:.1}x faster)",
+                wall(warm),
+                wall(cold),
+                wall(cold) / wall(warm).max(1e-12)
+            );
         }
     }
 

@@ -49,6 +49,10 @@ pub struct RestartStat {
     /// count): the limit cuts the chain at whatever iteration the clock
     /// reached.
     pub timed_out: bool,
+    /// True if the portfolio probe phase cut this chain off as dominated
+    /// (adaptive multi-start; see `SaConfig::probe_levels`). Cut chains
+    /// stop at the probe horizon and report their best-so-far.
+    pub cut_off: bool,
     /// Whether this chain produced the reported partitioning (exactly one
     /// winner; ties broken toward the lowest restart index).
     pub winner: bool,

@@ -9,7 +9,7 @@
 //! 6: while not frozen:
 //! 7:   for i in 1..=L:
 //! 8:     x ← neighborhood of x   (move ~10% of transactions)
-//! 9:     y ← neighborhood of y   (extend replication of ~10% of attributes)
+//! 9:     y ← neighborhood of y   (extend or drop replication of ~10% of attributes)
 //! 10:    S' ← findSolution(fix)
 //! 11:    Δ ← cost(S') − cost(S)
 //! 12:    accept if Δ ≤ 0 or rand < e^(−Δ/τ)
@@ -31,13 +31,16 @@
 //! the accept/reject loop through [`IncrementalCost`] deltas instead: a
 //! neighborhood perturbation mutates the running state in
 //! `O(moved txn's terms)`, and a rejected candidate is rolled back via the
-//! undo log. The expensive exact subproblem re-optimization
-//! (`findSolution`) runs once per *temperature level* as a polish step,
-//! where it also prunes replica bloat accumulated by the add-only `y`
-//! neighborhood; the same checkpoint runs a full recompute as a
-//! floating-point drift guard ([`IncrementalCost::resync`]).
+//! undo log. The `y` neighborhood walks replication in both directions:
+//! each perturbed attribute either gains a replica or sheds a droppable one
+//! (an `O(1)` [`IncrementalCost::apply_attr_drop`]), so chains explore
+//! mixed add/drop walks instead of relying on the per-level polish to prune
+//! bloat. The expensive exact subproblem re-optimization (`findSolution`)
+//! runs once per *temperature level* as a polish step; the same checkpoint
+//! runs a full recompute as a floating-point drift guard
+//! ([`IncrementalCost::resync`]).
 //!
-//! # Multi-start
+//! # Multi-start, warm start and portfolio cut-off
 //!
 //! [`SaConfig::restarts`] runs that chain `restarts` times with seeds
 //! `seed + restart_index`, spread over at most [`SaConfig::threads`] OS
@@ -50,6 +53,20 @@
 //! whatever iteration the clock reached, which depends on machine load;
 //! such chains are flagged via [`RestartStat::timed_out`]). Per-chain
 //! statistics land in [`SolveReport::restarts`].
+//!
+//! [`SaConfig::warm_start`] seeds chain 0 from an existing partitioning
+//! instead of a random assignment — the *warm re-solve* of the online
+//! repartitioning loop. The chain starts at the better of the warm layout
+//! and its `y | x` polish, so the reported best never regresses below the
+//! warm start's objective (6).
+//!
+//! [`SaConfig::probe_levels`] turns multi-start into a portfolio race:
+//! every chain runs the probe horizon, then chains dominated by the shared
+//! incumbent (everything below the best ⌈restarts/2⌉) are cut off and only
+//! the survivors anneal to freeze. Cut chains are flagged via
+//! [`RestartStat::cut_off`]. The phase boundary is a fixed level count and
+//! the ranking is deterministic, so portfolio results stay reproducible
+//! for a fixed `(seed, restarts)` and independent of `threads`.
 
 use crate::config::CostConfig;
 use crate::cost::coeffs::CostCoefficients;
@@ -110,6 +127,16 @@ pub struct SaConfig {
     /// exception is a chain cut off by `time_limit`, whose stopping point
     /// depends on machine load (see [`RestartStat::timed_out`]).
     pub threads: usize,
+    /// Optional warm start: chain 0 anneals from this partitioning (or its
+    /// `y | x` polish, whichever is cheaper) instead of a random
+    /// assignment. Remaining chains stay random. The partitioning must be
+    /// feasible for the solved instance and site count.
+    pub warm_start: Option<Partitioning>,
+    /// Portfolio cut-off: with `restarts > 1`, run every chain this many
+    /// temperature levels, keep the best ⌈restarts/2⌉ against the shared
+    /// probe incumbent, and anneal only the survivors to freeze. `None`
+    /// runs every chain to freeze (classic multi-start).
+    pub probe_levels: Option<usize>,
 }
 
 impl Default for SaConfig {
@@ -126,6 +153,8 @@ impl Default for SaConfig {
             subproblem: SubproblemMode::Greedy,
             restarts: 1,
             threads: 1,
+            warm_start: None,
+            probe_levels: None,
         }
     }
 }
@@ -151,6 +180,19 @@ impl SaConfig {
         self.threads = threads;
         self
     }
+
+    /// Seeds chain 0 from `incumbent` (warm re-solve).
+    pub fn warm_started(mut self, incumbent: Partitioning) -> Self {
+        self.warm_start = Some(incumbent);
+        self
+    }
+
+    /// Enables the portfolio cut-off after `probe_levels` temperature
+    /// levels (meaningful with `restarts > 1`).
+    pub fn adaptive(mut self, probe_levels: usize) -> Self {
+        self.probe_levels = Some(probe_levels);
+        self
+    }
 }
 
 /// Outcome of one annealing chain.
@@ -158,6 +200,305 @@ struct Chain {
     best: Partitioning,
     best_cost: f64,
     stat: RestartStat,
+}
+
+/// `findSolution("x" fixed)`: the best `y` for a transaction assignment.
+fn find_y(
+    cfg: &SaConfig,
+    instance: &Instance,
+    coeffs: &CostCoefficients,
+    n_sites: usize,
+    cost: &CostConfig,
+    x: &[SiteId],
+) -> Partitioning {
+    match cfg.subproblem {
+        SubproblemMode::Greedy => optimal_y_for_x(instance, coeffs, x, n_sites, cost),
+        SubproblemMode::IlpBacked { time_limit } => {
+            optimal_y_for_x_ilp(instance, coeffs, x, n_sites, cost, time_limit)
+        }
+    }
+}
+
+/// `findSolution("y" fixed)`: the best `x` for an attribute placement.
+fn find_x(
+    cfg: &SaConfig,
+    instance: &Instance,
+    coeffs: &CostCoefficients,
+    cost: &CostConfig,
+    p: &Partitioning,
+) -> Partitioning {
+    match cfg.subproblem {
+        SubproblemMode::Greedy => optimal_x_for_y(instance, coeffs, p, cost),
+        SubproblemMode::IlpBacked { time_limit } => {
+            optimal_x_for_y_ilp(instance, coeffs, p, cost, time_limit)
+        }
+    }
+}
+
+/// One annealing chain with its full running state. Chains are resumable:
+/// [`ChainState::run_levels`] anneals up to a level budget (the portfolio
+/// probe) or to freeze, and [`ChainState::finish`] applies the final
+/// polish and emits the per-chain statistics.
+struct ChainState<'a> {
+    cfg: &'a SaConfig,
+    instance: &'a Instance,
+    coeffs: &'a CostCoefficients,
+    cost: &'a CostConfig,
+    n_sites: usize,
+    restart: usize,
+    seed: u64,
+    rng: StdRng,
+    start: Instant,
+    inc: IncrementalCost<'a>,
+    current_cost: f64,
+    best: Partitioning,
+    best_cost: f64,
+    tau: f64,
+    tau0: f64,
+    fix_x: bool,
+    levels: usize,
+    stale_levels: usize,
+    iterations: usize,
+    accepted: usize,
+    max_drift: f64,
+    timed_out: bool,
+    frozen: bool,
+    cut_off: bool,
+}
+
+impl<'a> ChainState<'a> {
+    fn new(
+        cfg: &'a SaConfig,
+        instance: &'a Instance,
+        coeffs: &'a CostCoefficients,
+        cost: &'a CostConfig,
+        n_sites: usize,
+        restart: usize,
+    ) -> Self {
+        let seed = cfg.seed.wrapping_add(restart as u64);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let start = Instant::now();
+
+        // Line 3 + line 5: random x, S ← findSolution("x") — except for a
+        // warm-started chain 0, which begins at the incumbent (or its
+        // polish, whichever evaluates cheaper).
+        let initial = match (&cfg.warm_start, restart) {
+            (Some(warm), 0) => {
+                let polished = find_y(cfg, instance, coeffs, n_sites, cost, warm.x());
+                let warm_cost = fast_objective6(instance, coeffs, warm, cost);
+                let polished_cost = fast_objective6(instance, coeffs, &polished, cost);
+                if polished_cost < warm_cost {
+                    polished
+                } else {
+                    warm.clone()
+                }
+            }
+            _ => {
+                let x0: Vec<SiteId> = (0..instance.n_txns())
+                    .map(|_| SiteId::from_index(rng.gen_range(0..n_sites)))
+                    .collect();
+                find_y(cfg, instance, coeffs, n_sites, cost, &x0)
+            }
+        };
+        let inc = IncrementalCost::new(instance, coeffs, cost, initial);
+        let current_cost = inc.objective6();
+        let best = inc.partitioning().clone();
+        let best_cost = current_cost;
+
+        // §5.1 initial temperature: 50% = e^(−0.05·C*/τ₀).
+        let tau = (cfg.accept_worse_pct * best_cost.max(1e-12)) / std::f64::consts::LN_2;
+        Self {
+            cfg,
+            instance,
+            coeffs,
+            cost,
+            n_sites,
+            restart,
+            seed,
+            rng,
+            start,
+            inc,
+            current_cost,
+            best,
+            best_cost,
+            tau,
+            tau0: tau,
+            fix_x: true, // line 4
+            levels: 0,
+            stale_levels: 0,
+            iterations: 0,
+            accepted: 0,
+            max_drift: 0.0,
+            timed_out: false,
+            frozen: false,
+            cut_off: false,
+        }
+    }
+
+    /// Anneals until frozen, or for at most `budget` more temperature
+    /// levels when given (the portfolio probe horizon).
+    fn run_levels(&mut self, budget: Option<usize>) {
+        let mut remaining = budget;
+        while !self.frozen {
+            if let Some(r) = &mut remaining {
+                if *r == 0 {
+                    return;
+                }
+                *r -= 1;
+            }
+            self.run_one_level();
+        }
+    }
+
+    /// One temperature level: `inner_loops` neighborhood candidates, then
+    /// the resync + `findSolution` checkpoint and the cooling step.
+    fn run_one_level(&mut self) {
+        let cfg = self.cfg;
+        let n_txns = self.instance.n_txns();
+        let n_attrs = self.instance.n_attrs();
+        let txn_moves = ((n_txns as f64 * cfg.move_fraction).ceil() as usize).max(1);
+        let attr_moves = ((n_attrs as f64 * cfg.move_fraction).ceil() as usize).max(1);
+
+        let improved_at_level_start = self.best_cost;
+        for _ in 0..cfg.inner_loops {
+            if self.start.elapsed() >= cfg.time_limit {
+                self.timed_out = true;
+                self.frozen = true;
+                return;
+            }
+            self.iterations += 1;
+            // Lines 8–9, incrementally: perturb the non-fixed side of the
+            // running state (each mutation updates the objective in
+            // O(moved terms)).
+            let mark = self.inc.mark();
+            if self.fix_x {
+                // Move ~10% of transactions to uniform random sites;
+                // forced replicas keep the layout feasible.
+                for _ in 0..txn_moves {
+                    let t = TxnId::from_index(self.rng.gen_range(0..n_txns));
+                    let s = SiteId::from_index(self.rng.gen_range(0..self.n_sites));
+                    self.inc.apply_txn_move(t, s);
+                }
+            } else {
+                // Walk replication of ~10% of attributes in both
+                // directions: a replicated attribute sheds a random
+                // droppable copy half the time, otherwise replication
+                // extends by one site.
+                for _ in 0..attr_moves {
+                    let a = AttrId::from_index(self.rng.gen_range(0..n_attrs));
+                    let reps = self.inc.partitioning().replication(a);
+                    if reps > 1 && self.rng.gen::<f64>() < 0.5 {
+                        let k = self.rng.gen_range(0..reps);
+                        let site = self.inc.partitioning().attr_sites(a).nth(k);
+                        if let Some(s) = site {
+                            // No-op when the copy is forced by a reader.
+                            self.inc.apply_attr_drop(a, s);
+                        }
+                    } else if reps < self.n_sites {
+                        loop {
+                            let s = SiteId::from_index(self.rng.gen_range(0..self.n_sites));
+                            if self.inc.apply_attr_replica(a, s) {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            // Lines 11–12: accept or roll back via the undo log.
+            let cand_cost = self.inc.objective6();
+            let delta = cand_cost - self.current_cost;
+            if delta <= 0.0 || self.rng.gen::<f64>() < (-delta / self.tau).exp() {
+                self.inc.commit();
+                self.current_cost = cand_cost;
+                self.accepted += 1;
+                if self.current_cost < self.best_cost {
+                    self.best = self.inc.partitioning().clone();
+                    self.best_cost = self.current_cost;
+                }
+            } else {
+                self.inc.revert(mark);
+            }
+            self.fix_x = !self.fix_x; // line 13 (inside the inner loop)
+        }
+
+        // Temperature-level checkpoint 1 — drift guard: full recompute of
+        // the accumulators, bounding float error from the add/subtract
+        // chains of the inner loop.
+        self.max_drift = self.max_drift.max(self.inc.resync());
+        self.current_cost = self.inc.objective6();
+        // Checkpoint 2 — line 10's exact subproblem re-optimization
+        // (`findSolution`), once per level instead of once per move.
+        // `y | x` rebuilds the placement from scratch, pruning any replica
+        // bloat the neighborhood walk left behind; `x | y` then re-homes
+        // transactions.
+        let polished_y = find_y(
+            self.cfg,
+            self.instance,
+            self.coeffs,
+            self.n_sites,
+            self.cost,
+            self.inc.partitioning().x(),
+        );
+        let polished_x = find_x(self.cfg, self.instance, self.coeffs, self.cost, &polished_y);
+        for polished in [polished_y, polished_x] {
+            let c = fast_objective6(self.instance, self.coeffs, &polished, self.cost);
+            if c < self.current_cost {
+                self.inc = IncrementalCost::new(self.instance, self.coeffs, self.cost, polished);
+                self.current_cost = c;
+                if c < self.best_cost {
+                    self.best = self.inc.partitioning().clone();
+                    self.best_cost = c;
+                }
+            }
+        }
+
+        self.tau *= cfg.rho;
+        self.levels += 1;
+        if self.best_cost < improved_at_level_start - 1e-12 {
+            self.stale_levels = 0;
+        } else {
+            self.stale_levels += 1;
+        }
+        if self.stale_levels >= cfg.freeze_levels || self.tau < cfg.min_temp_ratio * self.tau0 {
+            self.frozen = true;
+        }
+    }
+
+    /// Final polish (re-derive the minimal-cost `y` for the best `x`) and
+    /// per-chain statistics.
+    fn finish(mut self) -> Chain {
+        let polished = find_y(
+            self.cfg,
+            self.instance,
+            self.coeffs,
+            self.n_sites,
+            self.cost,
+            self.best.x(),
+        );
+        let polished_cost = fast_objective6(self.instance, self.coeffs, &polished, self.cost);
+        if polished_cost < self.best_cost {
+            self.best = polished;
+            self.best_cost = polished_cost;
+        }
+        Chain {
+            stat: RestartStat {
+                restart: self.restart,
+                seed: self.seed,
+                objective6: self.best_cost,
+                objective4: crate::cost::objective::fast_objective4(self.coeffs, &self.best),
+                levels: self.levels,
+                iterations: self.iterations,
+                accepted: self.accepted,
+                max_drift: self.max_drift,
+                elapsed: self.start.elapsed(),
+                timed_out: self.timed_out,
+                cut_off: self.cut_off,
+                winner: false,
+            },
+            best: self.best,
+            best_cost: self.best_cost,
+        }
+    }
 }
 
 /// The simulated-annealing solver.
@@ -200,40 +541,63 @@ impl SaSolver {
         if cfg.threads == 0 {
             return Err(CoreError::BadConfig("threads must be positive".into()));
         }
+        if cfg.probe_levels == Some(0) {
+            return Err(CoreError::BadConfig("probe_levels must be positive".into()));
+        }
+        if let Some(warm) = &cfg.warm_start {
+            if warm.n_sites() != n_sites {
+                return Err(CoreError::BadConfig(format!(
+                    "warm start has {} sites, solve asked for {n_sites}",
+                    warm.n_sites()
+                )));
+            }
+            warm.validate(instance, false)?;
+        }
         let start = Instant::now();
         let coeffs = CostCoefficients::compute(instance, cost);
 
-        // Run the chains: sequentially for one thread, otherwise chain i
-        // on scoped thread i % threads. Results are collected per restart
-        // index, so the merge below never depends on completion order.
+        // Chains are lazily constructed inside the worker threads (the
+        // initial findSolution pass is a full temperature-level's worth
+        // of work, so serializing it on the caller thread would undercut
+        // multi-thread solves).
+        let make = |r: usize| ChainState::new(cfg, instance, &coeffs, cost, n_sites, r);
+        let mut states: Vec<Option<ChainState>> = (0..cfg.restarts).map(|_| None).collect();
+
+        // Portfolio mode: probe every chain for a fixed level budget, cut
+        // the dominated half against the shared probe incumbent, and only
+        // anneal the survivors to freeze. The phase boundary and ranking
+        // are deterministic, so this stays reproducible and
+        // thread-count-independent.
+        let mut cut_count = 0usize;
+        match cfg.probe_levels {
+            Some(probe) if cfg.restarts > 1 => {
+                run_parallel(&mut states, cfg.threads, Some(probe), &make);
+                let chain = |i: usize| states[i].as_ref().expect("probed chain exists");
+                let keep = cfg.restarts.div_ceil(2);
+                let mut order: Vec<usize> = (0..states.len()).collect();
+                order.sort_by(|&i, &j| {
+                    chain(i)
+                        .best_cost
+                        .total_cmp(&chain(j).best_cost)
+                        .then(i.cmp(&j))
+                });
+                for &i in &order[keep..] {
+                    let state = states[i].as_mut().expect("probed chain exists");
+                    if !state.frozen {
+                        state.cut_off = true;
+                        state.frozen = true;
+                        cut_count += 1;
+                    }
+                }
+                run_parallel(&mut states, cfg.threads, None, &make);
+            }
+            _ => run_parallel(&mut states, cfg.threads, None, &make),
+        }
         let workers = cfg.threads.min(cfg.restarts);
-        let chains: Vec<Chain> = if workers <= 1 {
-            (0..cfg.restarts)
-                .map(|r| self.run_chain(instance, &coeffs, n_sites, cost, r))
-                .collect()
-        } else {
-            let mut slots: Vec<Option<Chain>> = (0..cfg.restarts).map(|_| None).collect();
-            std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(workers);
-                for (w, chunk) in slots.chunks_mut(cfg.restarts.div_ceil(workers)).enumerate() {
-                    let coeffs = &coeffs;
-                    let first = w * cfg.restarts.div_ceil(workers);
-                    handles.push(scope.spawn(move || {
-                        for (i, slot) in chunk.iter_mut().enumerate() {
-                            *slot =
-                                Some(self.run_chain(instance, coeffs, n_sites, cost, first + i));
-                        }
-                    }));
-                }
-                for h in handles {
-                    h.join().expect("annealing chain panicked");
-                }
-            });
-            slots
-                .into_iter()
-                .map(|c| c.expect("every restart slot filled"))
-                .collect()
-        };
+        let chains: Vec<Chain> = states
+            .into_iter()
+            .map(|s| s.expect("every chain ran").finish())
+            .collect();
 
         // Deterministic merge: lowest objective (6); ties break toward the
         // lowest restart index (= lowest chain seed).
@@ -260,6 +624,11 @@ impl SaSolver {
         let levels: usize = stats.iter().map(|s| s.levels).sum();
         let iterations: usize = stats.iter().map(|s| s.iterations).sum();
         let accepted: usize = stats.iter().map(|s| s.accepted).sum();
+        let portfolio = if cut_count > 0 {
+            format!(", {cut_count} chain(s) cut at probe")
+        } else {
+            String::new()
+        };
         Ok(SolveReport {
             partitioning: best,
             breakdown,
@@ -267,181 +636,59 @@ impl SaSolver {
             elapsed: start.elapsed(),
             detail: format!(
                 "sa: {} restart(s) on {} thread(s), {levels} levels, {iterations} iterations, \
-                 {accepted} accepted, seed {} (winner {})",
-                cfg.restarts, workers, cfg.seed, stats[winner].seed
+                 {accepted} accepted, seed {} (winner {}{portfolio}{})",
+                cfg.restarts,
+                workers,
+                cfg.seed,
+                stats[winner].seed,
+                if cfg.warm_start.is_some() {
+                    ", warm-started"
+                } else {
+                    ""
+                },
             ),
             restarts: stats,
         })
     }
+}
 
-    /// One annealing chain, seeded `config.seed + restart`.
-    fn run_chain(
-        &self,
-        instance: &Instance,
-        coeffs: &CostCoefficients,
-        n_sites: usize,
-        cost: &CostConfig,
-        restart: usize,
-    ) -> Chain {
-        let cfg = &self.config;
-        let seed = cfg.seed.wrapping_add(restart as u64);
-        let mut rng = StdRng::seed_from_u64(seed);
-        let start = Instant::now();
-
-        let solve_y = |x: &[SiteId]| -> Partitioning {
-            match cfg.subproblem {
-                SubproblemMode::Greedy => optimal_y_for_x(instance, coeffs, x, n_sites, cost),
-                SubproblemMode::IlpBacked { time_limit } => {
-                    optimal_y_for_x_ilp(instance, coeffs, x, n_sites, cost, time_limit)
-                }
-            }
-        };
-        let solve_x = |p: &Partitioning| -> Partitioning {
-            match cfg.subproblem {
-                SubproblemMode::Greedy => optimal_x_for_y(instance, coeffs, p, cost),
-                SubproblemMode::IlpBacked { time_limit } => {
-                    optimal_x_for_y_ilp(instance, coeffs, p, cost, time_limit)
-                }
-            }
-        };
-
-        let n_txns = instance.n_txns();
-        let txn_moves = ((n_txns as f64 * cfg.move_fraction).ceil() as usize).max(1);
-        let attr_moves = ((instance.n_attrs() as f64 * cfg.move_fraction).ceil() as usize).max(1);
-
-        // Line 3: random x; line 5: S ← findSolution("x").
-        let x0: Vec<SiteId> = (0..n_txns)
-            .map(|_| SiteId::from_index(rng.gen_range(0..n_sites)))
-            .collect();
-        let mut inc = IncrementalCost::new(instance, coeffs, cost, solve_y(&x0));
-        let mut current_cost = inc.objective6();
-        let mut best = inc.partitioning().clone();
-        let mut best_cost = current_cost;
-
-        // §5.1 initial temperature: 50% = e^(−0.05·C*/τ₀).
-        let mut tau = (cfg.accept_worse_pct * best_cost.max(1e-12)) / std::f64::consts::LN_2;
-        let tau0 = tau;
-        let mut fix_x = true; // line 4
-        let mut levels = 0usize;
-        let mut stale_levels = 0usize;
-        let mut iterations = 0usize;
-        let mut accepted = 0usize;
-        let mut max_drift = 0.0f64;
-        let mut timed_out = false;
-
-        'outer: loop {
-            let improved_at_level_start = best_cost;
-            for _ in 0..cfg.inner_loops {
-                if start.elapsed() >= cfg.time_limit {
-                    timed_out = true;
-                    break 'outer;
-                }
-                iterations += 1;
-                // Lines 8–9, incrementally: perturb the non-fixed side of
-                // the running state (each mutation updates the objective
-                // in O(moved terms)).
-                let mark = inc.mark();
-                if fix_x {
-                    // Move ~10% of transactions to uniform random sites;
-                    // forced replicas keep the layout feasible.
-                    for _ in 0..txn_moves {
-                        let t = TxnId::from_index(rng.gen_range(0..n_txns));
-                        let s = SiteId::from_index(rng.gen_range(0..n_sites));
-                        inc.apply_txn_move(t, s);
-                    }
-                } else {
-                    // Extend replication of ~10% of attributes by one site.
-                    for _ in 0..attr_moves {
-                        let a = AttrId::from_index(rng.gen_range(0..instance.n_attrs()));
-                        if inc.partitioning().replication(a) < n_sites {
-                            loop {
-                                let s = SiteId::from_index(rng.gen_range(0..n_sites));
-                                if inc.apply_attr_replica(a, s) {
-                                    break;
-                                }
-                            }
-                        }
-                    }
-                }
-                // Lines 11–12: accept or roll back via the undo log.
-                let cand_cost = inc.objective6();
-                let delta = cand_cost - current_cost;
-                if delta <= 0.0 || rng.gen::<f64>() < (-delta / tau).exp() {
-                    inc.commit();
-                    current_cost = cand_cost;
-                    accepted += 1;
-                    if current_cost < best_cost {
-                        best = inc.partitioning().clone();
-                        best_cost = current_cost;
-                    }
-                } else {
-                    inc.revert(mark);
-                }
-                fix_x = !fix_x; // line 13 (inside the inner loop)
-            }
-
-            // Temperature-level checkpoint 1 — drift guard: full recompute
-            // of the accumulators, bounding float error from the
-            // add/subtract chains of the inner loop.
-            max_drift = max_drift.max(inc.resync());
-            current_cost = inc.objective6();
-            // Checkpoint 2 — line 10's exact subproblem re-optimization
-            // (`findSolution`), once per level instead of once per move.
-            // `y | x` rebuilds the placement from scratch, pruning replica
-            // bloat from the add-only y-neighborhood; `x | y` then
-            // re-homes transactions.
-            let polished_y = solve_y(inc.partitioning().x());
-            let polished_x = solve_x(&polished_y);
-            for polished in [polished_y, polished_x] {
-                let c = fast_objective6(instance, coeffs, &polished, cost);
-                if c < current_cost {
-                    inc = IncrementalCost::new(instance, coeffs, cost, polished);
-                    current_cost = c;
-                    if c < best_cost {
-                        best = inc.partitioning().clone();
-                        best_cost = c;
-                    }
-                }
-            }
-
-            tau *= cfg.rho;
-            levels += 1;
-            if best_cost < improved_at_level_start - 1e-12 {
-                stale_levels = 0;
-            } else {
-                stale_levels += 1;
-            }
-            if stale_levels >= cfg.freeze_levels || tau < cfg.min_temp_ratio * tau0 {
-                break;
-            }
+/// Runs `run_levels(budget)` on every chain, split over at most `threads`
+/// scoped OS threads in contiguous blocks; empty slots are constructed
+/// with `make(restart_index)` first, so chain initialization happens on
+/// the worker threads too. Chains never migrate between slots and the
+/// caller inspects them by index, so results are independent of thread
+/// count and completion order.
+fn run_parallel<'a, F>(
+    states: &mut [Option<ChainState<'a>>],
+    threads: usize,
+    budget: Option<usize>,
+    make: &F,
+) where
+    F: Fn(usize) -> ChainState<'a> + Sync,
+{
+    let workers = threads.min(states.len());
+    if workers <= 1 {
+        for (i, slot) in states.iter_mut().enumerate() {
+            slot.get_or_insert_with(|| make(i)).run_levels(budget);
         }
-
-        // Final polish: re-derive the minimal-cost y for the best x.
-        let polished = solve_y(best.x());
-        let polished_cost = fast_objective6(instance, coeffs, &polished, cost);
-        if polished_cost < best_cost {
-            best = polished;
-            best_cost = polished_cost;
-        }
-
-        Chain {
-            stat: RestartStat {
-                restart,
-                seed,
-                objective6: best_cost,
-                objective4: crate::cost::objective::fast_objective4(coeffs, &best),
-                levels,
-                iterations,
-                accepted,
-                max_drift,
-                elapsed: start.elapsed(),
-                timed_out,
-                winner: false,
-            },
-            best,
-            best_cost,
-        }
+        return;
     }
+    let chunk = states.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for (w, block) in states.chunks_mut(chunk).enumerate() {
+            let first = w * chunk;
+            handles.push(scope.spawn(move || {
+                for (i, slot) in block.iter_mut().enumerate() {
+                    slot.get_or_insert_with(|| make(first + i))
+                        .run_levels(budget);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("annealing chain panicked");
+        }
+    });
 }
 
 #[cfg(test)]
@@ -501,30 +748,36 @@ mod tests {
         // guarantee is conditional on no chain hitting its wall-clock
         // limit; this instance freezes orders of magnitude below the 30 s
         // budget, and the `timed_out` assertion documents the
-        // precondition.
+        // precondition. Runs both classic multi-start and the portfolio
+        // cut-off mode.
         let ins = separable();
         let cfg = CostConfig::default();
-        let solve = |threads: usize| {
-            let r = SaSolver::new(SaConfig::fast_deterministic(3).multi_start(4, threads))
-                .solve(&ins, 2, &cfg)
-                .unwrap();
-            assert!(
-                r.restarts.iter().all(|s| !s.timed_out),
-                "tiny instance must freeze naturally"
-            );
-            r
-        };
-        let one = solve(1);
-        for threads in [2, 3, 8] {
-            let multi = solve(threads);
-            assert_eq!(one.partitioning, multi.partitioning, "threads={threads}");
-            assert_eq!(
-                one.breakdown.objective6, multi.breakdown.objective6,
-                "threads={threads}"
-            );
-            let costs =
-                |r: &SolveReport| r.restarts.iter().map(|s| s.objective6).collect::<Vec<_>>();
-            assert_eq!(costs(&one), costs(&multi), "threads={threads}");
+        for probe in [None, Some(2)] {
+            let solve = |threads: usize| {
+                let mut sa = SaConfig::fast_deterministic(3).multi_start(4, threads);
+                sa.probe_levels = probe;
+                let r = SaSolver::new(sa).solve(&ins, 2, &cfg).unwrap();
+                assert!(
+                    r.restarts.iter().all(|s| !s.timed_out),
+                    "tiny instance must freeze naturally"
+                );
+                r
+            };
+            let one = solve(1);
+            for threads in [2, 3, 8] {
+                let multi = solve(threads);
+                assert_eq!(one.partitioning, multi.partitioning, "threads={threads}");
+                assert_eq!(
+                    one.breakdown.objective6, multi.breakdown.objective6,
+                    "threads={threads}"
+                );
+                let costs =
+                    |r: &SolveReport| r.restarts.iter().map(|s| s.objective6).collect::<Vec<_>>();
+                assert_eq!(costs(&one), costs(&multi), "threads={threads}");
+                let cuts =
+                    |r: &SolveReport| r.restarts.iter().map(|s| s.cut_off).collect::<Vec<_>>();
+                assert_eq!(cuts(&one), cuts(&multi), "threads={threads}");
+            }
         }
     }
 
@@ -549,11 +802,76 @@ mod tests {
             assert_eq!(stat.restart, i);
             assert_eq!(stat.seed, 5 + i as u64);
             assert!(stat.iterations > 0);
+            assert!(!stat.cut_off, "classic multi-start never cuts");
             assert!(stat.max_drift <= 1e-9 * (1.0 + stat.objective6));
         }
         // The winner's chain cost matches the reported breakdown.
         let winner = multi.restarts.iter().find(|s| s.winner).unwrap();
         assert!((winner.objective6 - multi.breakdown.objective6).abs() <= 1e-9);
+    }
+
+    #[test]
+    fn portfolio_cuts_dominated_chains_and_keeps_the_winner() {
+        let ins = separable();
+        let cfg = CostConfig::default();
+        let classic = SaSolver::new(SaConfig::fast_deterministic(11).multi_start(4, 2))
+            .solve(&ins, 2, &cfg)
+            .unwrap();
+        let adaptive = SaSolver::new(
+            SaConfig::fast_deterministic(11)
+                .multi_start(4, 2)
+                .adaptive(2),
+        )
+        .solve(&ins, 2, &cfg)
+        .unwrap();
+        // At most half the chains survive past the probe; the winner is
+        // never a cut chain.
+        let cut = adaptive.restarts.iter().filter(|s| s.cut_off).count();
+        assert!(cut <= 2, "keep at least ⌈restarts/2⌉");
+        let winner = adaptive.restarts.iter().find(|s| s.winner).unwrap();
+        assert!(!winner.cut_off);
+        // Survivors replay the classic chains exactly, so the adaptive
+        // winner can never beat the classic best (it only skips work).
+        assert!(adaptive.breakdown.objective6 >= classic.breakdown.objective6 - 1e-9);
+        // Cut chains stop at the probe horizon.
+        for s in adaptive.restarts.iter().filter(|s| s.cut_off) {
+            assert!(s.levels <= 2);
+        }
+    }
+
+    #[test]
+    fn warm_start_never_regresses_and_skips_the_random_init() {
+        let ins = separable();
+        let cfg = CostConfig::default();
+        // A deliberately bad but feasible incumbent: everything on site 0.
+        let incumbent = Partitioning::single_site(&ins, 2).unwrap();
+        let incumbent_cost = {
+            let coeffs = CostCoefficients::compute(&ins, &cfg);
+            fast_objective6(&ins, &coeffs, &incumbent, &cfg)
+        };
+        let warm = SaSolver::new(SaConfig::fast_deterministic(9).warm_started(incumbent.clone()))
+            .solve(&ins, 2, &cfg)
+            .unwrap();
+        assert!(warm.breakdown.objective6 <= incumbent_cost + 1e-9);
+        // From the separable optimum, the warm re-solve stays there.
+        let optimum = warm.partitioning.clone();
+        let stay = SaSolver::new(SaConfig::fast_deterministic(9).warm_started(optimum))
+            .solve(&ins, 2, &cfg)
+            .unwrap();
+        assert_eq!(stay.breakdown.objective4, 40.0);
+        assert!(stay.detail.contains("warm-started"));
+    }
+
+    #[test]
+    fn warm_start_shape_is_validated() {
+        let ins = separable();
+        let cfg = CostConfig::default();
+        let incumbent = Partitioning::single_site(&ins, 3).unwrap();
+        assert!(matches!(
+            SaSolver::new(SaConfig::fast_deterministic(1).warm_started(incumbent))
+                .solve(&ins, 2, &cfg),
+            Err(CoreError::BadConfig(_))
+        ));
     }
 
     #[test]
@@ -595,6 +913,12 @@ mod tests {
         ));
         let mut sa = SaConfig::fast_deterministic(1);
         sa.threads = 0;
+        assert!(matches!(
+            SaSolver::new(sa).solve(&ins, 2, &cfg),
+            Err(CoreError::BadConfig(_))
+        ));
+        let mut sa = SaConfig::fast_deterministic(1);
+        sa.probe_levels = Some(0);
         assert!(matches!(
             SaSolver::new(sa).solve(&ins, 2, &cfg),
             Err(CoreError::BadConfig(_))

@@ -3,7 +3,7 @@
 use crate::storage::{Fragment, Site};
 use crate::trace::Trace;
 use std::fmt;
-use vpart_model::{AttrId, Instance, Partitioning, SiteId, TxnId};
+use vpart_model::{AttrId, Instance, MigrationPlan, Partitioning, SiteId, TxnId};
 
 /// Errors raised by the execution engine.
 #[derive(Debug, Clone, PartialEq)]
@@ -20,6 +20,18 @@ pub enum EngineError {
         /// The executing site.
         site: SiteId,
     },
+    /// A migration plan does not start from this deployment's state (its
+    /// `from` layout or row count differs).
+    MigrationMismatch {
+        /// What the plan disagrees with the deployment about.
+        what: &'static str,
+    },
+    /// A migration plan is internally inconsistent: applying its changes
+    /// to `from` does not produce `to`.
+    CorruptPlan {
+        /// Which invariant broke.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -28,6 +40,12 @@ impl fmt::Display for EngineError {
             Self::Model(e) => write!(f, "invalid deployment: {e}"),
             Self::NotSingleSited { txn, attr, site } => {
                 write!(f, "read of {attr} by {txn} not satisfiable on site {site}")
+            }
+            Self::MigrationMismatch { what } => {
+                write!(f, "migration plan does not match this deployment: {what}")
+            }
+            Self::CorruptPlan { what } => {
+                write!(f, "migration plan is inconsistent: {what}")
             }
         }
     }
@@ -111,12 +129,31 @@ impl ExecutionReport {
     }
 }
 
+/// Result of applying a [`MigrationPlan`]: what physically moved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationReport {
+    /// Bytes shipped between sites to install attribute fractions, metered
+    /// from the engine's own schema widths and fragment row counts (not
+    /// copied from the plan's estimates).
+    pub bytes_moved: f64,
+    /// Per-[`FragmentChange`](vpart_model::FragmentChange) moved bytes, in
+    /// plan order.
+    pub per_change_bytes: Vec<f64>,
+    /// Attribute replicas installed.
+    pub installs: usize,
+    /// Attribute replicas dropped.
+    pub drops: usize,
+    /// Transactions re-routed to a new home site.
+    pub txns_rerouted: usize,
+}
+
 /// A partitioning physically deployed onto sites.
 #[derive(Debug, Clone)]
 pub struct Deployment<'a> {
     instance: &'a Instance,
     partitioning: Partitioning,
     sites: Vec<Site>,
+    rows_per_fragment: usize,
 }
 
 impl<'a> Deployment<'a> {
@@ -153,12 +190,18 @@ impl<'a> Deployment<'a> {
             instance,
             partitioning: partitioning.clone(),
             sites,
+            rows_per_fragment: rows_per_fragment.max(1),
         })
     }
 
     /// The deployed partitioning.
     pub fn partitioning(&self) -> &Partitioning {
         &self.partitioning
+    }
+
+    /// The uniform per-fragment row count this deployment materializes.
+    pub fn rows_per_fragment(&self) -> usize {
+        self.rows_per_fragment
     }
 
     /// The sites (for storage inspection).
@@ -169,6 +212,129 @@ impl<'a> Deployment<'a> {
     /// Total physically materialized bytes across sites.
     pub fn stored_bytes(&self) -> usize {
         self.sites.iter().map(Site::stored_bytes).sum()
+    }
+
+    /// Physically executes a [`MigrationPlan`]: rebuilds every changed
+    /// fragment (installs materialize column data at the destination site,
+    /// drops shrink the fraction in place), re-routes moved transactions,
+    /// and meters the bytes shipped between sites.
+    ///
+    /// The meter re-derives moved bytes from the engine's own schema
+    /// widths and row counts — `(Σ w_installed) × rows` per change, the
+    /// same accounting [`MigrationPlan::between`] estimates with — so a
+    /// plan built with this deployment's `rows_per_fragment` measures
+    /// **exactly** its estimate (`MigrationReport::bytes_moved ==
+    /// MigrationPlan::estimated_bytes`).
+    ///
+    /// The plan must start from the currently deployed layout and its
+    /// changes must reproduce `plan.to` exactly; anything else is rejected
+    /// without touching storage.
+    pub fn apply_migration(
+        &mut self,
+        plan: &MigrationPlan,
+    ) -> Result<MigrationReport, EngineError> {
+        if plan.from != self.partitioning {
+            return Err(EngineError::MigrationMismatch {
+                what: "plan.from is not the deployed partitioning",
+            });
+        }
+        if plan.rows_per_fragment.max(1) != self.rows_per_fragment {
+            return Err(EngineError::MigrationMismatch {
+                what: "plan rows_per_fragment differs from the deployment's",
+            });
+        }
+        plan.to.validate(self.instance, false)?;
+
+        // Dry-run the bookkeeping first: storage is only touched once the
+        // whole plan checks out.
+        let mut next = self.partitioning.clone();
+        for mv in &plan.txn_moves {
+            if next.site_of(mv.txn) != mv.from {
+                return Err(EngineError::CorruptPlan {
+                    what: "txn move does not start at the transaction's current site",
+                });
+            }
+            next.move_txn(mv.txn, mv.to);
+        }
+        for ch in &plan.changes {
+            for &a in ch.installed.iter().chain(&ch.dropped) {
+                if self.instance.schema().table_of(a) != ch.table {
+                    return Err(EngineError::CorruptPlan {
+                        what: "fragment change lists an attribute of another table",
+                    });
+                }
+            }
+            for &a in &ch.installed {
+                if next.has_attr(a, ch.site) {
+                    return Err(EngineError::CorruptPlan {
+                        what: "install of an already-present replica",
+                    });
+                }
+                next.add_replica(a, ch.site);
+            }
+            for &a in &ch.dropped {
+                if !next.has_attr(a, ch.site) {
+                    return Err(EngineError::CorruptPlan {
+                        what: "drop of a replica that is not there",
+                    });
+                }
+                next.remove_replica(a, ch.site);
+            }
+        }
+        if next != plan.to {
+            return Err(EngineError::CorruptPlan {
+                what: "changes do not produce plan.to",
+            });
+        }
+
+        // Execute: rebuild each changed fragment and meter shipped bytes.
+        let schema = self.instance.schema();
+        let mut per_change_bytes = Vec::with_capacity(plan.changes.len());
+        let mut bytes_moved = 0.0f64;
+        let mut installs = 0usize;
+        let mut drops = 0usize;
+        for ch in &plan.changes {
+            let moved = ch.installed.iter().map(|&a| schema.width(a)).sum::<f64>()
+                * self.rows_per_fragment as f64;
+            per_change_bytes.push(moved);
+            bytes_moved += moved;
+            installs += ch.installed.len();
+            drops += ch.dropped.len();
+
+            let site = &mut self.sites[ch.site.index()];
+            let mut attrs = site.fragments[ch.table.index()]
+                .take()
+                .map(|f| f.attrs)
+                .unwrap_or_default();
+            for &a in &ch.dropped {
+                if let Ok(i) = attrs.binary_search(&a) {
+                    attrs.remove(i);
+                }
+            }
+            for &a in &ch.installed {
+                if let Err(i) = attrs.binary_search(&a) {
+                    attrs.insert(i, a);
+                }
+            }
+            if !attrs.is_empty() {
+                let width: f64 = attrs.iter().map(|&a| schema.width(a)).sum();
+                site.fragments[ch.table.index()] = Some(Fragment::new(
+                    ch.table,
+                    attrs,
+                    width,
+                    self.rows_per_fragment,
+                ));
+            }
+        }
+        self.partitioning = next;
+
+        Ok(MigrationReport {
+            bytes_moved,
+            per_change_bytes,
+            installs,
+            drops,
+            txns_rerouted: plan.txn_moves.len(),
+        })
     }
 
     /// Executes `trace`, metering bytes per the H-store-like semantics:
@@ -353,6 +519,83 @@ mod tests {
             .execute(&Trace::uniform(&ins, 2))
             .unwrap();
         assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn apply_migration_moves_and_meters_exactly() {
+        let ins = instance();
+        let from = Partitioning::single_site(&ins, 2).unwrap();
+        // Replicate b to site 1 and re-home T1 there.
+        let mut to = from.clone();
+        to.add_replica(AttrId(1), SiteId(1));
+        to.move_txn(TxnId(1), SiteId(1));
+        let plan = vpart_model::MigrationPlan::between(&ins, &from, &to, 16).unwrap();
+        assert_eq!(plan.estimated_bytes(), 8.0 * 16.0);
+
+        let mut dep = Deployment::new(&ins, &from, 16).unwrap();
+        let before = dep.stored_bytes();
+        let report = dep.apply_migration(&plan).unwrap();
+        assert_eq!(report.bytes_moved, plan.estimated_bytes());
+        assert_eq!(report.per_change_bytes.len(), plan.changes.len());
+        for (m, c) in report.per_change_bytes.iter().zip(&plan.changes) {
+            assert_eq!(*m, c.bytes, "per-change meter matches the estimate");
+        }
+        assert_eq!(report.installs, 1);
+        assert_eq!(report.drops, 0);
+        assert_eq!(report.txns_rerouted, 1);
+        assert_eq!(dep.partitioning(), &to);
+        assert!(dep.stored_bytes() > before, "the replica is materialized");
+        // The migrated deployment still executes.
+        dep.execute(&Trace::uniform(&ins, 1)).unwrap();
+    }
+
+    #[test]
+    fn apply_migration_drops_shrink_fragments() {
+        let ins = instance();
+        let mut from = Partitioning::single_site(&ins, 2).unwrap();
+        from.add_replica(AttrId(1), SiteId(1));
+        let to = Partitioning::single_site(&ins, 2).unwrap();
+        let plan = vpart_model::MigrationPlan::between(&ins, &from, &to, 8).unwrap();
+        assert_eq!(plan.estimated_bytes(), 0.0, "drops ship nothing");
+        let mut dep = Deployment::new(&ins, &from, 8).unwrap();
+        let before = dep.stored_bytes();
+        let report = dep.apply_migration(&plan).unwrap();
+        assert_eq!(report.bytes_moved, 0.0);
+        assert_eq!(report.drops, 1);
+        assert!(dep.stored_bytes() < before, "the replica is deleted");
+        assert!(dep.sites()[1].fragment(vpart_model::TableId(0)).is_none());
+    }
+
+    #[test]
+    fn apply_migration_rejects_mismatched_and_corrupt_plans() {
+        let ins = instance();
+        let from = Partitioning::single_site(&ins, 2).unwrap();
+        let mut to = from.clone();
+        to.add_replica(AttrId(0), SiteId(1));
+        let plan = vpart_model::MigrationPlan::between(&ins, &from, &to, 16).unwrap();
+
+        // Wrong starting layout.
+        let mut dep = Deployment::new(&ins, &to, 16).unwrap();
+        assert!(matches!(
+            dep.apply_migration(&plan),
+            Err(EngineError::MigrationMismatch { .. })
+        ));
+        // Wrong row count.
+        let mut dep = Deployment::new(&ins, &from, 32).unwrap();
+        assert!(matches!(
+            dep.apply_migration(&plan),
+            Err(EngineError::MigrationMismatch { .. })
+        ));
+        // Tampered plan: changes no longer produce `to`.
+        let mut bad = plan.clone();
+        bad.changes.clear();
+        let mut dep = Deployment::new(&ins, &from, 16).unwrap();
+        assert!(matches!(
+            dep.apply_migration(&bad),
+            Err(EngineError::CorruptPlan { .. })
+        ));
+        // Rejected plans leave the deployment untouched.
+        assert_eq!(dep.partitioning(), &from);
     }
 
     #[test]

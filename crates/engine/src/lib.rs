@@ -35,6 +35,6 @@ pub mod executor;
 pub mod storage;
 pub mod trace;
 
-pub use executor::{Deployment, EngineError, ExecutionReport, SiteMetrics};
+pub use executor::{Deployment, EngineError, ExecutionReport, MigrationReport, SiteMetrics};
 pub use storage::{Fragment, Site};
 pub use trace::Trace;

@@ -16,7 +16,10 @@
 //! * [`Partitioning`] — an assignment of transactions to sites (`x`) and a
 //!   possibly replicated assignment of attributes to sites (`y`), with
 //!   validation of the model constraints (every transaction exactly one
-//!   site, every attribute at least one site, single-sitedness of reads).
+//!   site, every attribute at least one site, single-sitedness of reads),
+//! * [`MigrationPlan`] — the physical delta between two partitionings
+//!   (per-site fragment installs/drops with byte estimates), the currency
+//!   of the online repartitioning loop.
 //!
 //! The cost model and solvers live in the `vpart-core` crate; instance
 //! generators (TPC-C, random classes) live in `vpart-instances`.
@@ -29,6 +32,7 @@ pub mod bitset;
 pub mod error;
 pub mod ids;
 pub mod instance;
+pub mod migration;
 pub mod partition;
 pub mod report;
 pub mod schema;
@@ -38,6 +42,7 @@ pub use bitset::{BitMatrix, BitSet};
 pub use error::ModelError;
 pub use ids::{AttrId, QueryId, SiteId, TableId, TxnId};
 pub use instance::{DerivedStats, Instance};
+pub use migration::{FragmentChange, MigrationPlan, TxnMove};
 pub use partition::Partitioning;
 pub use schema::{Attribute, Schema, SchemaBuilder, Table};
 pub use workload::{Query, QueryKind, Transaction, Workload, WorkloadBuilder};

@@ -1,0 +1,246 @@
+//! Migration plans: the physical delta between two partitionings.
+//!
+//! When a workload drifts and a new [`Partitioning`] replaces the incumbent,
+//! the cluster has to *move data*: every attribute newly placed on a site
+//! must be shipped there (one column fraction, `w_a` bytes per row), every
+//! replica no longer present can be dropped locally (free), and every
+//! transaction whose home site changed is re-routed (free — routing tables,
+//! not data). [`MigrationPlan::between`] computes that delta as per-site,
+//! per-table [`FragmentChange`]s with byte estimates; the execution engine
+//! (`vpart_engine::Deployment::apply_migration`) physically applies a plan
+//! and meters the bytes it actually moved with the *same* accounting, so
+//! plan estimates and engine measurements must agree exactly.
+//!
+//! Plans are deliberately *label-sensitive*: `between` diffs the two
+//! partitionings as given. Site labels are interchangeable to the solvers,
+//! so callers should first relabel the new partitioning to maximize overlap
+//! with the old one (see `vpart_online::migrate::canonicalize_against`) —
+//! a renumbered-but-identical layout then produces an empty plan.
+
+use crate::error::ModelError;
+use crate::ids::{AttrId, SiteId, TableId, TxnId};
+use crate::instance::Instance;
+use crate::partition::Partitioning;
+use serde::{Deserialize, Serialize};
+
+/// One site/table fragment delta: attributes to install and to drop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FragmentChange {
+    /// The site whose fragment changes.
+    pub site: SiteId,
+    /// The table whose fraction changes on that site.
+    pub table: TableId,
+    /// Attributes newly placed on the site (data must be shipped in),
+    /// in ascending id order.
+    pub installed: Vec<AttrId>,
+    /// Attributes removed from the site (local delete, free), ascending.
+    pub dropped: Vec<AttrId>,
+    /// Estimated bytes shipped to the site for the installs:
+    /// `(Σ_{a ∈ installed} w_a) × rows`.
+    pub bytes: f64,
+}
+
+/// One transaction re-homing (routing change; moves no data).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TxnMove {
+    /// The transaction.
+    pub txn: TxnId,
+    /// Its site under the old partitioning.
+    pub from: SiteId,
+    /// Its site under the new partitioning.
+    pub to: SiteId,
+}
+
+/// The full old → new delta.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MigrationPlan {
+    /// The incumbent layout the plan starts from.
+    pub from: Partitioning,
+    /// The target layout the plan produces.
+    pub to: Partitioning,
+    /// Fragment deltas, ordered by `(site, table)`.
+    pub changes: Vec<FragmentChange>,
+    /// Transaction re-homings, ordered by transaction id.
+    pub txn_moves: Vec<TxnMove>,
+    /// The uniform per-fragment row count the byte estimates assume (the
+    /// same parameter `vpart_engine::Deployment::new` materializes).
+    pub rows_per_fragment: usize,
+}
+
+impl MigrationPlan {
+    /// Diffs `from` → `to` over `instance`. Both partitionings must share
+    /// the instance's shape and site count and validate against it.
+    /// `rows_per_fragment` is clamped to at least 1, exactly as the
+    /// engine's `Deployment::new` clamps it, so estimates and the
+    /// migration meter agree even at the degenerate value 0.
+    pub fn between(
+        instance: &Instance,
+        from: &Partitioning,
+        to: &Partitioning,
+        rows_per_fragment: usize,
+    ) -> Result<Self, ModelError> {
+        if from.n_sites() != to.n_sites() {
+            return Err(ModelError::DimensionMismatch {
+                what: "migration target sites",
+                expected: from.n_sites(),
+                got: to.n_sites(),
+            });
+        }
+        from.validate(instance, false)?;
+        to.validate(instance, false)?;
+
+        let schema = instance.schema();
+        let rows_per_fragment = rows_per_fragment.max(1);
+        let rows = rows_per_fragment as f64;
+        let mut changes = Vec::new();
+        for s in 0..from.n_sites() {
+            let site = SiteId::from_index(s);
+            for t in 0..instance.n_tables() {
+                let table = TableId::from_index(t);
+                let mut installed = Vec::new();
+                let mut dropped = Vec::new();
+                for a in schema.table_attrs(table).map(AttrId::from_index) {
+                    match (from.has_attr(a, site), to.has_attr(a, site)) {
+                        (false, true) => installed.push(a),
+                        (true, false) => dropped.push(a),
+                        _ => {}
+                    }
+                }
+                if installed.is_empty() && dropped.is_empty() {
+                    continue;
+                }
+                // The exact expression the engine meter re-evaluates:
+                // summed width first, scaled by rows once.
+                let bytes = installed.iter().map(|&a| schema.width(a)).sum::<f64>() * rows;
+                changes.push(FragmentChange {
+                    site,
+                    table,
+                    installed,
+                    dropped,
+                    bytes,
+                });
+            }
+        }
+
+        let txn_moves = (0..instance.n_txns())
+            .map(TxnId::from_index)
+            .filter(|&t| from.site_of(t) != to.site_of(t))
+            .map(|t| TxnMove {
+                txn: t,
+                from: from.site_of(t),
+                to: to.site_of(t),
+            })
+            .collect();
+
+        Ok(Self {
+            from: from.clone(),
+            to: to.clone(),
+            changes,
+            txn_moves,
+            rows_per_fragment,
+        })
+    }
+
+    /// Total estimated bytes shipped between sites.
+    pub fn estimated_bytes(&self) -> f64 {
+        self.changes.iter().map(|c| c.bytes).sum()
+    }
+
+    /// Number of attribute installs across all fragment changes.
+    pub fn installs(&self) -> usize {
+        self.changes.iter().map(|c| c.installed.len()).sum()
+    }
+
+    /// Number of attribute drops across all fragment changes.
+    pub fn drops(&self) -> usize {
+        self.changes.iter().map(|c| c.dropped.len()).sum()
+    }
+
+    /// True when the plan changes nothing — the drifted re-solve landed on
+    /// the incumbent layout (possibly after relabeling).
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty() && self.txn_moves.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::workload::{QuerySpec, Workload};
+
+    /// R{a, b}, S{c}: T0 reads a+b, T1 reads c.
+    fn instance() -> Instance {
+        let mut sb = Schema::builder();
+        sb.table("R", &[("a", 4.0), ("b", 8.0)]).unwrap();
+        sb.table("S", &[("c", 2.0)]).unwrap();
+        let schema = sb.build().unwrap();
+        let mut wb = Workload::builder(&schema);
+        let q0 = wb
+            .add_query(QuerySpec::read("q0").access(&[AttrId(0), AttrId(1)]))
+            .unwrap();
+        let q1 = wb
+            .add_query(QuerySpec::read("q1").access(&[AttrId(2)]))
+            .unwrap();
+        wb.transaction("T0", &[q0]).unwrap();
+        wb.transaction("T1", &[q1]).unwrap();
+        Instance::new("mig", schema, wb.build().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn identical_layouts_produce_an_empty_plan() {
+        let ins = instance();
+        let p = Partitioning::single_site(&ins, 2).unwrap();
+        let plan = MigrationPlan::between(&ins, &p, &p, 16).unwrap();
+        assert!(plan.is_empty());
+        assert_eq!(plan.estimated_bytes(), 0.0);
+        assert_eq!(plan.installs() + plan.drops(), 0);
+    }
+
+    #[test]
+    fn install_drop_and_txn_moves_are_collected() {
+        let ins = instance();
+        let from = Partitioning::single_site(&ins, 2).unwrap();
+        // Move T1 (reads c) to site 1: c installs on site 1; then drop the
+        // now-unread c replica on site 0.
+        let to = Partitioning::minimal_for_x(&ins, vec![SiteId(0), SiteId(1)], 2).unwrap();
+        let plan = MigrationPlan::between(&ins, &from, &to, 10).unwrap();
+        assert_eq!(plan.txn_moves.len(), 1);
+        assert_eq!(plan.txn_moves[0].txn, TxnId(1));
+        assert_eq!(plan.txn_moves[0].to, SiteId(1));
+        // c: dropped from site 0, installed on site 1 → 2 bytes × 10 rows.
+        assert_eq!(plan.installs(), 1);
+        assert_eq!(plan.drops(), 1);
+        assert_eq!(plan.estimated_bytes(), 20.0);
+        let install = plan
+            .changes
+            .iter()
+            .find(|c| !c.installed.is_empty())
+            .unwrap();
+        assert_eq!(install.site, SiteId(1));
+        assert_eq!(install.table, TableId(1));
+        assert_eq!(install.installed, vec![AttrId(2)]);
+    }
+
+    #[test]
+    fn mismatched_site_counts_are_rejected() {
+        let ins = instance();
+        let a = Partitioning::single_site(&ins, 2).unwrap();
+        let b = Partitioning::single_site(&ins, 3).unwrap();
+        assert!(matches!(
+            MigrationPlan::between(&ins, &a, &b, 4),
+            Err(ModelError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let ins = instance();
+        let from = Partitioning::single_site(&ins, 2).unwrap();
+        let to = Partitioning::minimal_for_x(&ins, vec![SiteId(0), SiteId(1)], 2).unwrap();
+        let plan = MigrationPlan::between(&ins, &from, &to, 8).unwrap();
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: MigrationPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+    }
+}

@@ -1,0 +1,464 @@
+//! The adaptive control loop: observe → detect → re-solve → migrate.
+//!
+//! [`Watcher`] glues the subsystem together, one epoch at a time:
+//!
+//! ```text
+//!             feed observations (ingest chunks / traces / counts)
+//!                                   │
+//!  ┌────────────────────────────────▼─────────────────────────────────┐
+//!  │ tracker: OnlineWorkload (decay / window)                         │
+//!  └────────────────────────────────┬─────────────────────────────────┘
+//!                           snapshot() Instance
+//!                                   │
+//!             drift::assess_drift(incumbent | snapshot)
+//!                │ score ≤ threshold          │ score > threshold
+//!                ▼                            ▼
+//!           keep incumbent        warm re-solve (SA from incumbent)
+//!                                             │
+//!                          migrate::plan_migration(old → new)
+//!                                             │
+//!                          Deployment::apply_migration (bytes metered)
+//! ```
+//!
+//! The first epoch with traffic bootstraps the incumbent with a cold
+//! multi-start solve; every later epoch pays only the drift assessment
+//! unless the score crosses the threshold. All steps are deterministic
+//! for a fixed configuration and observation sequence.
+
+use crate::drift::{assess_drift, DriftConfig};
+use crate::migrate::plan_migration;
+use crate::tracker::OnlineWorkload;
+use crate::OnlineError;
+use std::time::Duration;
+use vpart_core::sa::{SaConfig, SaSolver};
+use vpart_core::CostConfig;
+use vpart_engine::Deployment;
+use vpart_model::{MigrationPlan, Partitioning};
+
+/// Watch-loop configuration.
+#[derive(Debug, Clone)]
+pub struct WatchConfig {
+    /// Number of sites to partition over.
+    pub sites: usize,
+    /// Cost model configuration.
+    pub cost: CostConfig,
+    /// Drift detector settings.
+    pub drift: DriftConfig,
+    /// Base RNG seed for the solves.
+    pub seed: u64,
+    /// Rows materialized per fragment when applying migrations (the
+    /// `Deployment` parameter; plan estimates use the same value).
+    pub rows_per_fragment: usize,
+    /// Restarts of the cold bootstrap solve (epoch 0).
+    pub cold_restarts: usize,
+    /// OS threads for the bootstrap solve.
+    pub threads: usize,
+}
+
+impl Default for WatchConfig {
+    fn default() -> Self {
+        Self {
+            sites: 2,
+            cost: CostConfig::default(),
+            drift: DriftConfig::default(),
+            seed: 0xC0FFEE,
+            rows_per_fragment: 64,
+            cold_restarts: 4,
+            threads: 4,
+        }
+    }
+}
+
+impl WatchConfig {
+    /// The warm re-solve configuration: a single fast chain annealed from
+    /// `incumbent`.
+    pub fn warm_sa(&self, incumbent: Partitioning) -> SaConfig {
+        SaConfig::fast_deterministic(self.seed).warm_started(incumbent)
+    }
+
+    /// The cold bootstrap configuration: classic multi-start.
+    pub fn cold_sa(&self) -> SaConfig {
+        SaConfig::fast_deterministic(self.seed).multi_start(self.cold_restarts, self.threads)
+    }
+}
+
+/// Re-solve statistics of one epoch.
+#[derive(Debug, Clone)]
+pub struct ResolveOutcome {
+    /// Wall-clock time of the solve.
+    pub elapsed: Duration,
+    /// Objective (6) of the new layout on the epoch snapshot.
+    pub objective6: f64,
+    /// Annealing chains run (1 for a warm re-solve).
+    pub restarts: usize,
+    /// True for the epoch-0 cold bootstrap, false for warm re-solves.
+    pub cold: bool,
+}
+
+/// Migration statistics of one epoch.
+#[derive(Debug, Clone)]
+pub struct MigrationOutcome {
+    /// The executed plan.
+    pub plan: MigrationPlan,
+    /// Plan-estimated bytes to ship.
+    pub estimated_bytes: f64,
+    /// Engine-metered bytes actually shipped by `apply_migration`.
+    pub measured_bytes: f64,
+    /// `measured_bytes == estimated_bytes`, exactly (the engine meter
+    /// re-derives the same accounting; any difference is a bug).
+    pub meter_matches: bool,
+}
+
+/// One epoch's full report.
+#[derive(Debug, Clone)]
+pub struct EpochOutcome {
+    /// The epoch that was closed (tracker numbering).
+    pub epoch: u64,
+    /// Caller-supplied label (e.g. the phase file).
+    pub label: String,
+    /// Snapshot size: transaction templates tracked.
+    pub templates: usize,
+    /// Objective (6) of the incumbent on this epoch's snapshot.
+    pub incumbent_cost: f64,
+    /// The drift detector's fresh bound (= incumbent cost at bootstrap).
+    pub bound: f64,
+    /// Relative drift score.
+    pub drift_score: f64,
+    /// Whether the detector triggered a re-solve.
+    pub triggered: bool,
+    /// Solve statistics when one ran (bootstrap or warm).
+    pub resolve: Option<ResolveOutcome>,
+    /// Migration statistics when a plan was applied.
+    pub migration: Option<MigrationOutcome>,
+}
+
+/// The adaptive repartitioning controller (see module docs).
+#[derive(Debug, Clone)]
+pub struct Watcher {
+    tracker: OnlineWorkload,
+    config: WatchConfig,
+    incumbent: Option<Partitioning>,
+}
+
+impl Watcher {
+    /// A watcher over `tracker` (which may already hold observations).
+    pub fn new(tracker: OnlineWorkload, config: WatchConfig) -> Result<Self, OnlineError> {
+        if config.sites == 0 {
+            return Err(OnlineError::BadConfig("sites must be positive".into()));
+        }
+        if config.cold_restarts == 0 || config.threads == 0 {
+            return Err(OnlineError::BadConfig(
+                "cold_restarts and threads must be positive".into(),
+            ));
+        }
+        if config.rows_per_fragment == 0 {
+            return Err(OnlineError::BadConfig(
+                "rows_per_fragment must be positive".into(),
+            ));
+        }
+        config.drift.validate()?;
+        Ok(Self {
+            tracker,
+            config,
+            incumbent: None,
+        })
+    }
+
+    /// The workload tracker, for feeding observations.
+    pub fn tracker_mut(&mut self) -> &mut OnlineWorkload {
+        &mut self.tracker
+    }
+
+    /// The workload tracker.
+    pub fn tracker(&self) -> &OnlineWorkload {
+        &self.tracker
+    }
+
+    /// The current incumbent partitioning (none before the first epoch).
+    pub fn incumbent(&self) -> Option<&Partitioning> {
+        self.incumbent.as_ref()
+    }
+
+    /// Closes the open epoch: snapshots the tracked mix, assesses drift,
+    /// re-solves and migrates when triggered, and advances the tracker.
+    pub fn end_epoch(&mut self, label: &str) -> Result<EpochOutcome, OnlineError> {
+        let snapshot = self.tracker.snapshot()?;
+        let cfg = &self.config;
+
+        let outcome = match &self.incumbent {
+            None => {
+                // Bootstrap: cold multi-start solve, no migration (there
+                // is nothing deployed yet).
+                let report = SaSolver::new(cfg.cold_sa())
+                    .solve(&snapshot, cfg.sites, &cfg.cost)
+                    .map_err(OnlineError::from)?;
+                let cost6 = report.breakdown.objective6;
+                self.incumbent = Some(report.partitioning.clone());
+                EpochOutcome {
+                    epoch: self.tracker.epoch(),
+                    label: label.to_string(),
+                    templates: self.tracker.n_templates(),
+                    incumbent_cost: cost6,
+                    bound: cost6,
+                    drift_score: 0.0,
+                    triggered: false,
+                    resolve: Some(ResolveOutcome {
+                        elapsed: report.elapsed,
+                        objective6: cost6,
+                        restarts: report.restarts.len(),
+                        cold: true,
+                    }),
+                    migration: None,
+                }
+            }
+            Some(incumbent) => {
+                // assess_drift adapts the incumbent onto the snapshot
+                // itself; reuse its adapted form instead of re-adapting.
+                let assessment = assess_drift(&snapshot, incumbent, &cfg.cost, &cfg.drift)?;
+                let adapted = assessment.adapted.clone();
+                let mut resolve = None;
+                let mut migration = None;
+                if assessment.triggered {
+                    // Warm re-solve from the better of incumbent / bound.
+                    let warm_from = if assessment.bound < assessment.incumbent_cost {
+                        assessment.bound_partitioning.clone()
+                    } else {
+                        adapted.clone()
+                    };
+                    let report = SaSolver::new(cfg.warm_sa(warm_from))
+                        .solve(&snapshot, cfg.sites, &cfg.cost)
+                        .map_err(OnlineError::from)?;
+                    resolve = Some(ResolveOutcome {
+                        elapsed: report.elapsed,
+                        objective6: report.breakdown.objective6,
+                        restarts: report.restarts.len(),
+                        cold: false,
+                    });
+
+                    let plan = plan_migration(
+                        &snapshot,
+                        &adapted,
+                        &report.partitioning,
+                        cfg.rows_per_fragment,
+                    )?;
+                    let mut deployment =
+                        Deployment::new(&snapshot, &adapted, cfg.rows_per_fragment)?;
+                    let applied = deployment.apply_migration(&plan)?;
+                    let estimated = plan.estimated_bytes();
+                    self.incumbent = Some(plan.to.clone());
+                    migration = Some(MigrationOutcome {
+                        estimated_bytes: estimated,
+                        measured_bytes: applied.bytes_moved,
+                        meter_matches: applied.bytes_moved == estimated,
+                        plan,
+                    });
+                } else {
+                    // The adapted incumbent may have grown new templates;
+                    // keep the adapted form as the incumbent.
+                    self.incumbent = Some(adapted);
+                }
+                EpochOutcome {
+                    epoch: self.tracker.epoch(),
+                    label: label.to_string(),
+                    templates: self.tracker.n_templates(),
+                    incumbent_cost: assessment.incumbent_cost,
+                    bound: assessment.bound,
+                    drift_score: assessment.score,
+                    triggered: assessment.triggered,
+                    resolve,
+                    migration,
+                }
+            }
+        };
+
+        self.tracker.advance_epoch();
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracker::{DecayMode, TrackerConfig};
+    use vpart_model::workload::QuerySpec;
+    use vpart_model::{AttrId, Instance, Schema, Workload};
+
+    fn schema() -> Schema {
+        let mut sb = Schema::builder();
+        sb.table("R", &[("r1", 50.0)]).unwrap();
+        sb.table("S", &[("s1", 50.0)]).unwrap();
+        sb.table("H", &[("h", 100.0)]).unwrap();
+        sb.build().unwrap()
+    }
+
+    /// Pinned R/S reader-writer pairs, two mobile readers of `h`, and an
+    /// `h` writer at `write_freq` — the replication-vs-centralization
+    /// flip of the drift tests.
+    fn phase(write_freq: f64) -> Instance {
+        let schema = schema();
+        let mut wb = Workload::builder(&schema);
+        let r_read = wb
+            .add_query(
+                QuerySpec::read("r_read")
+                    .access(&[AttrId(0)])
+                    .frequency(10.0),
+            )
+            .unwrap();
+        let r_write = wb
+            .add_query(
+                QuerySpec::write("r_write")
+                    .access(&[AttrId(0)])
+                    .frequency(10.0),
+            )
+            .unwrap();
+        let s_read = wb
+            .add_query(
+                QuerySpec::read("s_read")
+                    .access(&[AttrId(1)])
+                    .frequency(10.0),
+            )
+            .unwrap();
+        let s_write = wb
+            .add_query(
+                QuerySpec::write("s_write")
+                    .access(&[AttrId(1)])
+                    .frequency(10.0),
+            )
+            .unwrap();
+        let h_read_a = wb
+            .add_query(
+                QuerySpec::read("h_read_a")
+                    .access(&[AttrId(2)])
+                    .frequency(40.0),
+            )
+            .unwrap();
+        // Structurally distinct from h_read_a (2-row reads), so the
+        // tracker keeps the two mobile readers as separate templates.
+        let h_read_b = wb
+            .add_query(
+                QuerySpec::read("h_read_b")
+                    .access(&[AttrId(2)])
+                    .frequency(20.0)
+                    .rows(vpart_model::TableId(2), 2.0),
+            )
+            .unwrap();
+        let h_write = wb
+            .add_query(
+                QuerySpec::write("h_write")
+                    .access(&[AttrId(2)])
+                    .frequency(write_freq),
+            )
+            .unwrap();
+        wb.transaction("T0", &[r_read, r_write]).unwrap();
+        wb.transaction("T1", &[s_read, s_write]).unwrap();
+        wb.transaction("T2", &[h_read_a]).unwrap();
+        wb.transaction("T3", &[h_read_b]).unwrap();
+        wb.transaction("TW", &[h_write]).unwrap();
+        Instance::new("phase", schema, wb.build().unwrap()).unwrap()
+    }
+
+    fn watcher(threshold: f64) -> Watcher {
+        let tracker = OnlineWorkload::new(
+            "watch",
+            schema(),
+            TrackerConfig {
+                decay: DecayMode::Exponential { factor: 0.5 },
+                ..TrackerConfig::default()
+            },
+        )
+        .unwrap();
+        Watcher::new(
+            tracker,
+            WatchConfig {
+                cost: CostConfig::default().with_lambda(0.5),
+                drift: DriftConfig {
+                    threshold,
+                    ..DriftConfig::default()
+                },
+                ..WatchConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn stationary_epochs_never_trigger() {
+        let mut w = watcher(0.05);
+        for i in 0..3 {
+            w.tracker_mut().observe_instance(&phase(1.0)).unwrap();
+            let out = w.end_epoch(&format!("e{i}")).unwrap();
+            if i == 0 {
+                assert!(out.resolve.as_ref().unwrap().cold, "bootstrap");
+            } else {
+                assert!(!out.triggered, "epoch {i} drifted: {}", out.drift_score);
+                assert!(out.migration.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn drifted_epoch_triggers_and_migration_meter_matches() {
+        let mut w = watcher(0.05);
+        w.tracker_mut().observe_instance(&phase(1.0)).unwrap();
+        w.end_epoch("replicate-h").unwrap();
+        // The h-write stream explodes; decay keeps some history, the
+        // flip still dominates.
+        w.tracker_mut().observe_instance(&phase(300.0)).unwrap();
+        let out = w.end_epoch("centralize-h").unwrap();
+        assert!(
+            out.triggered,
+            "flip must trigger (score {})",
+            out.drift_score
+        );
+        let resolve = out.resolve.expect("warm re-solve ran");
+        assert!(!resolve.cold);
+        assert!(
+            resolve.objective6 <= out.incumbent_cost + 1e-9,
+            "never regresses"
+        );
+        let mig = out.migration.expect("a migration was planned");
+        assert!(mig.meter_matches, "engine meter == plan estimate");
+        assert_eq!(mig.measured_bytes, mig.estimated_bytes);
+        assert_eq!(w.incumbent().unwrap(), &mig.plan.to);
+    }
+
+    #[test]
+    fn zero_threshold_with_stationary_mix_plans_zero_movement() {
+        // threshold 0 re-solves every epoch; on a stationary mix the warm
+        // re-solve lands on (a relabeling of) the incumbent and the
+        // canonicalized plan moves nothing.
+        let mut w = watcher(0.0);
+        w.tracker_mut().observe_instance(&phase(1.0)).unwrap();
+        w.end_epoch("boot").unwrap();
+        w.tracker_mut().observe_instance(&phase(1.0)).unwrap();
+        let out = w.end_epoch("steady").unwrap();
+        if let Some(mig) = out.migration {
+            assert_eq!(
+                mig.estimated_bytes, 0.0,
+                "stationary re-solve must not move bytes"
+            );
+            assert!(mig.meter_matches);
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        let tracker = OnlineWorkload::new("v", schema(), TrackerConfig::default()).unwrap();
+        assert!(Watcher::new(
+            tracker.clone(),
+            WatchConfig {
+                sites: 0,
+                ..WatchConfig::default()
+            }
+        )
+        .is_err());
+        assert!(Watcher::new(
+            tracker,
+            WatchConfig {
+                cold_restarts: 0,
+                ..WatchConfig::default()
+            }
+        )
+        .is_err());
+    }
+}

@@ -8,6 +8,9 @@
 //! vpart solve    --schema schema.sql --log queries.log --sites 2 ...
 //! vpart ingest   --schema schema.sql --log queries.log [--out instance.json]
 //! vpart simulate --instance tpcc --sites 2 [--rounds 5] [--seed 42]
+//! vpart watch    --schema schema.sql --log p1.log,p2.log --sites 2
+//!                [--interval 2] [--decay 0.5 | --window 3]
+//!                [--drift-threshold 0.05] [--rows 64] [--json]
 //! ```
 
 use std::collections::HashMap;
@@ -36,6 +39,10 @@ fn usage() -> &'static str {
                       [--default-rows <n>] [--sample-rate <f>] [--confidence-min <n>]\n\
                       [--lenient] [--strict] [--json]\n\
        vpart simulate --instance <name> --sites <k> [--rounds <n>] [--seed <n>]\n\
+       vpart watch    --schema <ddl.sql> (--log <p1,p2,...> | --stats <p1,p2,...>\n\
+                      [--stats-format <fmt>]) --sites <k> [--interval <epochs>]\n\
+                      [--decay <f> | --window <n>] [--drift-threshold <f>]\n\
+                      [--rows <n>] [--restarts <n>] [--threads <n>] [--json]\n\
      \n\
      Instances: `tpcc`, any rnd class name (e.g. rndAt8x15, rndBt16x100u50), a\n\
      JSON instance file, a SQL schema + query log via --schema/--log, or a\n\
@@ -49,9 +56,20 @@ fn usage() -> &'static str {
      seed..seed+n) over at most --threads OS threads and keeps the best;\n\
      results depend only on (seed, restarts), not on --threads, unless\n\
      a chain is cut off by --time-limit (flagged in the restart stats).\n\
+     --probe-levels <n> races the chains portfolio-style: after n\n\
+     temperature levels the dominated half is cut off.\n\
+     `vpart watch` replays comma-separated workload phases in epochs\n\
+     (--interval epochs per phase) through the online repartitioning\n\
+     loop: a streaming tracker (exponential --decay or a sliding\n\
+     --window of epochs) snapshots the drifting mix, the incumbent is\n\
+     re-scored each epoch, a warm re-solve runs when its objective-(6)\n\
+     regression over a fresh bound exceeds --drift-threshold, and the\n\
+     resulting migration plan is applied on a --rows rows/fragment\n\
+     deployment whose byte meter must equal the plan estimate exactly.\n\
      Defaults: p = 8 (paper), lambda = 0.9 (see DESIGN.md on the\n\
      paper's λ), algo = sa, restarts = 1, threads = 1,\n\
-     stats-format = pgss-csv."
+     stats-format = pgss-csv; watch: interval = 2, decay = 0.5,\n\
+     drift-threshold = 0.05, rows = 64, restarts = 4, threads = 4."
 }
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -278,6 +296,7 @@ fn cmd_solve(flags: HashMap<String, String>) -> Result<(), String> {
     let time_limit: f64 = get(&flags, "time-limit", 300.0)?;
     let restarts: usize = get(&flags, "restarts", 1)?;
     let threads: usize = get(&flags, "threads", 1)?;
+    let probe_levels: usize = get(&flags, "probe-levels", 0)?;
     let algo_name = flags.get("algo").map(String::as_str).unwrap_or("sa");
     let disjoint = flags.contains_key("disjoint");
 
@@ -298,6 +317,7 @@ fn cmd_solve(flags: HashMap<String, String>) -> Result<(), String> {
                 time_limit: std::time::Duration::from_secs_f64(time_limit),
                 restarts,
                 threads,
+                probe_levels: (probe_levels > 0).then_some(probe_levels),
                 ..Default::default()
             })
         }
@@ -324,6 +344,7 @@ fn cmd_solve(flags: HashMap<String, String>) -> Result<(), String> {
                     "accepted": s.accepted,
                     "elapsed_secs": s.elapsed.as_secs_f64(),
                     "timed_out": s.timed_out,
+                    "cut_off": s.cut_off,
                     "winner": s.winner,
                 })
             })
@@ -385,7 +406,13 @@ fn cmd_solve(flags: HashMap<String, String>) -> Result<(), String> {
                 s.objective6,
                 s.iterations,
                 s.elapsed,
-                if s.timed_out { "  [timed out]" } else { "" },
+                if s.timed_out {
+                    "  [timed out]"
+                } else if s.cut_off {
+                    "  [cut at probe]"
+                } else {
+                    ""
+                },
                 if s.winner { "  <- winner" } else { "" }
             );
         }
@@ -451,6 +478,179 @@ fn cmd_simulate(flags: HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Ingests one watch phase file against the shared schema.
+fn ingest_phase(
+    schema_sql: &str,
+    path: &str,
+    flags: &HashMap<String, String>,
+) -> Result<Instance, String> {
+    let opts = ingest_options(flags)?.with_name(path.to_string());
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let out = match flags.get("stats") {
+        Some(_) => {
+            let format = match flags.get("stats-format").map(String::as_str) {
+                None => StatsFormat::PgssCsv,
+                Some(name) => StatsFormat::parse(name).ok_or_else(|| {
+                    format!("unknown --stats-format {name:?} (pgss-csv|pgss-json|perf-schema)")
+                })?,
+            };
+            vpart::ingest::ingest_stats(schema_sql, &text, format, &opts)
+        }
+        None => vpart::ingest::ingest(schema_sql, &text, &opts),
+    }
+    .map_err(|e| format!("{path}: {e}"))?;
+    if !out.report.is_lossless() || out.report.has_diagnostics() {
+        eprint!("{}", out.report);
+    }
+    Ok(out.instance)
+}
+
+fn cmd_watch(flags: HashMap<String, String>) -> Result<(), String> {
+    use vpart::online::{DecayMode, OnlineWorkload, TrackerConfig, WatchConfig, Watcher};
+
+    let schema_path = flags
+        .get("schema")
+        .ok_or_else(|| "--schema is required".to_owned())?;
+    let schema_sql = std::fs::read_to_string(schema_path)
+        .map_err(|e| format!("cannot read {schema_path}: {e}"))?;
+    let phases: Vec<String> = match (flags.get("log"), flags.get("stats")) {
+        (Some(_), Some(_)) => return Err("--log and --stats are mutually exclusive".into()),
+        (Some(paths), None) | (None, Some(paths)) => paths.split(',').map(str::to_owned).collect(),
+        (None, None) => return Err("--schema also needs --log or --stats".into()),
+    };
+
+    let sites: usize = get(&flags, "sites", 2)?;
+    let cost = cost_config(&flags)?;
+    let seed: u64 = get(&flags, "seed", 0xC0FFEE)?;
+    let interval: usize = get(&flags, "interval", 2)?;
+    let threshold: f64 = get(&flags, "drift-threshold", 0.05)?;
+    let rows: usize = get(&flags, "rows", 64)?;
+    let restarts: usize = get(&flags, "restarts", 4)?;
+    let threads: usize = get(&flags, "threads", 4)?;
+    if interval == 0 {
+        return Err("--interval must be positive".into());
+    }
+    let decay = match (flags.get("decay"), flags.get("window")) {
+        (Some(_), Some(_)) => return Err("--decay and --window are mutually exclusive".into()),
+        (None, Some(_)) => DecayMode::Window {
+            epochs: get(&flags, "window", 3usize)?,
+        },
+        _ => DecayMode::Exponential {
+            factor: get(&flags, "decay", 0.5f64)?,
+        },
+    };
+
+    // Phase instances share the schema by construction (same DDL text).
+    let parsed = vpart::ingest::parse_schema(&schema_sql, &ingest_options(&flags)?)
+        .map_err(|e| e.to_string())?;
+    let tracker = OnlineWorkload::new(
+        schema_path.clone(),
+        parsed.schema,
+        TrackerConfig {
+            decay,
+            ..TrackerConfig::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    let mut watcher = Watcher::new(
+        tracker,
+        WatchConfig {
+            sites,
+            cost,
+            drift: vpart::online::DriftConfig {
+                threshold,
+                ..Default::default()
+            },
+            seed,
+            rows_per_fragment: rows,
+            cold_restarts: restarts,
+            threads,
+        },
+    )
+    .map_err(|e| e.to_string())?;
+
+    let json = flags.contains_key("json");
+    let mut epochs_json: Vec<serde_json::Value> = Vec::new();
+    if !json {
+        println!(
+            "{:<5} {:<28} {:>9} {:>12} {:>12}  {:<14} {:>14}",
+            "epoch", "phase", "score", "incumbent", "bound", "action", "moved-bytes"
+        );
+    }
+    for phase_path in &phases {
+        let phase = ingest_phase(&schema_sql, phase_path, &flags)?;
+        for _ in 0..interval {
+            watcher
+                .tracker_mut()
+                .observe_instance(&phase)
+                .map_err(|e| e.to_string())?;
+            let out = watcher.end_epoch(phase_path).map_err(|e| e.to_string())?;
+            if let Some(m) = &out.migration {
+                if !m.meter_matches {
+                    return Err(format!(
+                        "epoch {}: migration meter {} != plan estimate {}",
+                        out.epoch, m.measured_bytes, m.estimated_bytes
+                    ));
+                }
+            }
+            if json {
+                epochs_json.push(serde_json::json!({
+                    "epoch": out.epoch,
+                    "phase": out.label,
+                    "templates": out.templates,
+                    "incumbent_objective6": out.incumbent_cost,
+                    "bound_objective6": out.bound,
+                    "drift_score": out.drift_score,
+                    "triggered": out.triggered,
+                    "resolve": out.resolve.as_ref().map(|r| serde_json::json!({
+                        "cold": r.cold,
+                        "objective6": r.objective6,
+                        "restarts": r.restarts,
+                        "elapsed_secs": r.elapsed.as_secs_f64(),
+                    })),
+                    "migration": out.migration.as_ref().map(|m| serde_json::json!({
+                        "fragment_changes": m.plan.changes.len(),
+                        "installs": m.plan.installs(),
+                        "drops": m.plan.drops(),
+                        "txn_moves": m.plan.txn_moves.len(),
+                        "estimated_bytes": m.estimated_bytes,
+                        "measured_bytes": m.measured_bytes,
+                        "meter_matches": m.meter_matches,
+                    })),
+                }));
+            } else {
+                let action = match (&out.resolve, &out.migration) {
+                    (Some(r), _) if r.cold => "cold solve".to_string(),
+                    (Some(_), Some(m)) => {
+                        format!("warm+migrate({}i/{}d)", m.plan.installs(), m.plan.drops())
+                    }
+                    (Some(_), None) => "warm re-solve".to_string(),
+                    _ => "keep".to_string(),
+                };
+                let moved = out
+                    .migration
+                    .as_ref()
+                    .map(|m| format!("{:.0}", m.measured_bytes))
+                    .unwrap_or_else(|| "-".to_string());
+                println!(
+                    "{:<5} {:<28} {:>9.4} {:>12.1} {:>12.1}  {:<14} {:>14}",
+                    out.epoch,
+                    out.label,
+                    out.drift_score,
+                    out.incumbent_cost,
+                    out.bound,
+                    action,
+                    moved
+                );
+            }
+        }
+    }
+    if json {
+        println!("{}", serde_json::Value::Array(epochs_json));
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -462,6 +662,7 @@ fn main() -> ExitCode {
         "solve" => parse_flags(&args[1..]).and_then(cmd_solve),
         "ingest" => parse_flags(&args[1..]).and_then(cmd_ingest),
         "simulate" => parse_flags(&args[1..]).and_then(cmd_simulate),
+        "watch" => parse_flags(&args[1..]).and_then(cmd_watch),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())

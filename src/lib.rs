@@ -15,6 +15,8 @@
 //! * [`ingest`] — SQL DDL + workload ingestion into instances (query
 //!   logs, `pg_stat_statements` / `performance_schema` dumps),
 //! * [`engine`] — an H-store-like row-store simulator validating the model,
+//! * [`online`] — adaptive repartitioning: streaming workload tracking,
+//!   drift-triggered warm re-solves and minimum-movement migration plans,
 //! * [`ilp`] — the from-scratch MILP solver substrate.
 //!
 //! ## Quick start
@@ -37,6 +39,7 @@ pub use vpart_ilp as ilp;
 pub use vpart_ingest as ingest;
 pub use vpart_instances as instances;
 pub use vpart_model as model;
+pub use vpart_online as online;
 
 use crate::core::{CoreError, CostConfig, SolveReport};
 use crate::model::Instance;
@@ -50,13 +53,17 @@ pub mod prelude {
         evaluate, CostBreakdown, CostConfig, IncrementalCost, RestartStat, SolveReport,
         WriteAccounting,
     };
-    pub use crate::engine::{Deployment, Trace};
+    pub use crate::engine::{Deployment, MigrationReport, Trace};
     pub use crate::ingest::{
         ConfidenceLevel, IngestError, IngestOptions, IngestReport, Ingestion, StatsFormat,
         WorkloadFrontend,
     };
     pub use crate::model::{
-        AttrId, Instance, Partitioning, QueryId, Schema, SiteId, TableId, TxnId, Workload,
+        AttrId, Instance, MigrationPlan, Partitioning, QueryId, Schema, SiteId, TableId, TxnId,
+        Workload,
+    };
+    pub use crate::online::{
+        DecayMode, DriftConfig, OnlineWorkload, TrackerConfig, WatchConfig, Watcher,
     };
     pub use crate::Algorithm;
 }
@@ -96,6 +103,14 @@ impl Algorithm {
             threads,
             ..Default::default()
         })
+    }
+
+    /// Warm re-solve: a single SA chain annealed from `incumbent` instead
+    /// of a random start (the online repartitioning repair step). The
+    /// result's objective (6) never regresses below the incumbent's, and
+    /// the solve costs a fraction of a cold multi-start.
+    pub fn resolve_from(incumbent: &model::Partitioning, seed: u64) -> Self {
+        Self::Sa(core::sa::SaConfig::fast_deterministic(seed).warm_started(incumbent.clone()))
     }
 }
 
@@ -137,5 +152,21 @@ mod tests {
         let qp = solve(&ins, 2, &Algorithm::Qp(qc), &cost).unwrap();
         qp.partitioning.validate(&ins, false).unwrap();
         assert!(qp.breakdown.objective6 <= sa.breakdown.objective6 + 1e-9);
+    }
+
+    #[test]
+    fn resolve_from_never_regresses_below_its_incumbent() {
+        let ins = instances::by_name("rndBt4x15").unwrap();
+        let cost = CostConfig::default();
+        let cold = solve(&ins, 2, &Algorithm::sa(1), &cost).unwrap();
+        let warm = solve(
+            &ins,
+            2,
+            &Algorithm::resolve_from(&cold.partitioning, 2),
+            &cost,
+        )
+        .unwrap();
+        warm.partitioning.validate(&ins, false).unwrap();
+        assert!(warm.breakdown.objective6 <= cold.breakdown.objective6 + 1e-9);
     }
 }

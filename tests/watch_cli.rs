@@ -1,0 +1,145 @@
+//! End-to-end CLI: the online repartitioning loop through `vpart watch`.
+
+use std::path::Path;
+use std::process::Command;
+
+fn data(file: &str) -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("examples/data")
+        .join(file)
+        .to_string_lossy()
+        .into_owned()
+}
+
+fn vpart(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_vpart"))
+        .args(args)
+        .output()
+        .expect("vpart binary runs")
+}
+
+#[test]
+fn watch_detects_drift_and_migrates_with_exact_meter() {
+    let phases = format!("{},{}", data("queries.log"), data("queries_drifted.log"));
+    let out = vpart(&[
+        "watch",
+        "--schema",
+        &data("schema.sql"),
+        "--log",
+        &phases,
+        "--sites",
+        "3",
+        "--lambda",
+        "0.5",
+        "--interval",
+        "2",
+        "--decay",
+        "0.5",
+        "--drift-threshold",
+        "0.05",
+        "--json",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let epochs: Vec<serde_json::Value> =
+        serde_json::from_str(std::str::from_utf8(&out.stdout).unwrap().trim()).unwrap();
+    assert_eq!(epochs.len(), 4, "2 phases × 2 epochs");
+
+    let field = |e: &serde_json::Value, path: &[&str]| -> Option<serde_json::Value> {
+        let mut cur = e.clone();
+        for key in path {
+            cur = cur.get(key)?.clone();
+        }
+        Some(cur)
+    };
+    let phase = |e: &serde_json::Value| field(e, &["phase"]).unwrap().as_str().unwrap().to_owned();
+    let triggered = |e: &serde_json::Value| field(e, &["triggered"]).unwrap().as_bool().unwrap();
+
+    // Epoch 0 bootstraps cold.
+    assert_eq!(
+        field(&epochs[0], &["resolve", "cold"]).and_then(|v| v.as_bool()),
+        Some(true)
+    );
+
+    // The steady phase never triggers; the drifted phase does at least
+    // once, with a migration whose meter equals the estimate exactly.
+    for e in &epochs[1..] {
+        if phase(e).ends_with("queries.log") {
+            assert!(!triggered(e), "steady epoch drifted");
+        }
+    }
+    let drifted: Vec<&serde_json::Value> = epochs
+        .iter()
+        .filter(|e| phase(e).ends_with("queries_drifted.log") && triggered(e))
+        .collect();
+    assert!(!drifted.is_empty(), "the drifted phase must trigger");
+    for e in &drifted {
+        assert_eq!(
+            field(e, &["resolve", "cold"]).and_then(|v| v.as_bool()),
+            Some(false),
+            "re-solves after bootstrap are warm"
+        );
+        let est = field(e, &["migration", "estimated_bytes"])
+            .and_then(|v| v.as_f64())
+            .expect("triggered epoch carries a migration");
+        let meas = field(e, &["migration", "measured_bytes"])
+            .and_then(|v| v.as_f64())
+            .unwrap();
+        assert_eq!(est, meas, "engine meter == plan estimate, exactly");
+        assert_eq!(
+            field(e, &["migration", "meter_matches"]).and_then(|v| v.as_bool()),
+            Some(true)
+        );
+        // The drifted re-fit actually moves data in this scenario.
+        assert!(meas > 0.0);
+    }
+}
+
+#[test]
+fn watch_window_mode_and_flag_validation() {
+    let phases = data("queries.log");
+    // Sliding-window decay runs end to end.
+    let out = vpart(&[
+        "watch",
+        "--schema",
+        &data("schema.sql"),
+        "--log",
+        &phases,
+        "--sites",
+        "2",
+        "--window",
+        "2",
+        "--interval",
+        "1",
+        "--json",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let epochs: Vec<serde_json::Value> =
+        serde_json::from_str(std::str::from_utf8(&out.stdout).unwrap().trim()).unwrap();
+    assert_eq!(epochs.len(), 1);
+
+    // --decay and --window are mutually exclusive.
+    let out = vpart(&[
+        "watch",
+        "--schema",
+        &data("schema.sql"),
+        "--log",
+        &phases,
+        "--decay",
+        "0.5",
+        "--window",
+        "2",
+    ]);
+    assert!(!out.status.success());
+    // A missing workload flag is reported.
+    let out = vpart(&["watch", "--schema", &data("schema.sql")]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--log or --stats"));
+}
