@@ -10,6 +10,7 @@ use crate::report::{SolveReport, Termination};
 use std::time::{Duration, Instant};
 use vpart_ilp::{SolveParams, SolveStatus};
 use vpart_model::{Instance, Partitioning};
+use vpart_obs::Obs;
 
 /// Configuration of the QP (exact) solver.
 #[derive(Debug, Clone)]
@@ -27,6 +28,11 @@ pub struct QpConfig {
     /// Optional warm-start partitioning (e.g. an SA solution). When `None`,
     /// the trivial single-site layout primes the incumbent.
     pub warm_start: Option<Partitioning>,
+    /// Observability sink. Off by default ([`Obs::disabled`]); when
+    /// enabled the solve records a `qp_solve` span plus the
+    /// `qp_branch_nodes_total` / `qp_lp_pivots_total` counters out of the
+    /// branch & bound statistics.
+    pub obs: Obs,
 }
 
 impl Default for QpConfig {
@@ -38,6 +44,7 @@ impl Default for QpConfig {
             mip_gap: 1e-3,
             node_limit: usize::MAX,
             warm_start: None,
+            obs: Obs::disabled(),
         }
     }
 }
@@ -120,6 +127,13 @@ impl QpSolver {
             return Err(CoreError::Model(vpart_model::ModelError::NoSites));
         }
         let start = Instant::now();
+        let span = self.config.obs.span_begin(
+            "qp_solve",
+            &[
+                ("n_sites", n_sites.into()),
+                ("reasonable_cuts", self.config.reasonable_cuts.into()),
+            ],
+        );
 
         // Reasonable-cuts reduction (§4).
         let reduction = if self.config.reasonable_cuts {
@@ -215,6 +229,22 @@ impl QpSolver {
         } else {
             Termination::LimitReached
         };
+        let obs = &self.config.obs;
+        if obs.is_enabled() {
+            obs.counter_add("qp_branch_nodes_total", sol.stats.nodes as f64);
+            obs.counter_add("qp_lp_pivots_total", sol.stats.lp_iterations as f64);
+            obs.observe_wall("solve_wall_seconds", start.elapsed().as_secs_f64());
+        }
+        obs.span_end(
+            span,
+            &[
+                ("nodes", sol.stats.nodes.into()),
+                ("lp_pivots", sol.stats.lp_iterations.into()),
+                ("exact", (termination == Termination::Optimal).into()),
+                ("objective6", breakdown.objective6.into()),
+                ("gap", sol.gap.into()),
+            ],
+        );
         Ok(SolveReport {
             partitioning: part,
             breakdown,

@@ -38,6 +38,15 @@ pub struct RestartStat {
     pub iterations: usize,
     /// Accepted moves.
     pub accepted: usize,
+    /// Rejected (rolled-back) moves; `accepted + rejected == iterations`.
+    pub rejected: usize,
+    /// Full accumulator rebuilds: the per-level drift-guard resync plus
+    /// every polish adoption that replaced the incremental state. High
+    /// counts relative to `levels` mean the polish kept beating the walk.
+    pub resyncs: usize,
+    /// Mean |Δ objective (6)| over accepted moves (0 when none were
+    /// accepted) — the scale of the steps the chain was taking.
+    pub mean_abs_delta: f64,
     /// Largest |incremental − recomputed| objective-(6) drift observed at
     /// the temperature-level checkpoints.
     pub max_drift: f64,

@@ -81,6 +81,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::{Duration, Instant};
 use vpart_model::{AttrId, Instance, Partitioning, SiteId, TxnId};
+use vpart_obs::{Obs, Span};
 
 /// How `findSolution(fix)` is solved.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -137,6 +138,13 @@ pub struct SaConfig {
     /// probe incumbent, and anneal only the survivors to freeze. `None`
     /// runs every chain to freeze (classic multi-start).
     pub probe_levels: Option<usize>,
+    /// Observability sink. Off by default ([`Obs::disabled`]); when
+    /// enabled the solve records `sa_solve`/`sa_chain` spans, per-level
+    /// `sa_level` events and the `sa_*_total` counter family. The inner
+    /// accept/reject loop only touches local counters — obs calls happen
+    /// once per temperature level and once per chain, keeping the
+    /// disabled-path overhead in the noise.
+    pub obs: Obs,
 }
 
 impl Default for SaConfig {
@@ -155,6 +163,7 @@ impl Default for SaConfig {
             threads: 1,
             warm_start: None,
             probe_levels: None,
+            obs: Obs::disabled(),
         }
     }
 }
@@ -260,10 +269,20 @@ struct ChainState<'a> {
     stale_levels: usize,
     iterations: usize,
     accepted: usize,
+    resyncs: usize,
+    abs_delta_sum: f64,
     max_drift: f64,
     timed_out: bool,
     frozen: bool,
     cut_off: bool,
+    /// Chain-scoped obs handle (parent = this chain's span).
+    obs: Obs,
+    span: Span,
+    /// Per-level (level, tau, accepted, iterations, best_objective6,
+    /// at_us) samples, buffered as PODs and rendered into `sa_level`
+    /// events at [`ChainState::finish`] — the trace lock and the field
+    /// allocations stay off the annealing loop.
+    level_log: Vec<(usize, f64, usize, usize, f64, u64)>,
 }
 
 impl<'a> ChainState<'a> {
@@ -274,10 +293,16 @@ impl<'a> ChainState<'a> {
         cost: &'a CostConfig,
         n_sites: usize,
         restart: usize,
+        solve_obs: &Obs,
     ) -> Self {
         let seed = cfg.seed.wrapping_add(restart as u64);
         let mut rng = StdRng::seed_from_u64(seed);
         let start = Instant::now();
+        let span = solve_obs.span_begin(
+            "sa_chain",
+            &[("restart", restart.into()), ("seed", seed.into())],
+        );
+        let obs = solve_obs.under(&span);
 
         // Line 3 + line 5: random x, S ← findSolution("x") — except for a
         // warm-started chain 0, which begins at the incumbent (or its
@@ -328,10 +353,15 @@ impl<'a> ChainState<'a> {
             stale_levels: 0,
             iterations: 0,
             accepted: 0,
+            resyncs: 0,
+            abs_delta_sum: 0.0,
             max_drift: 0.0,
             timed_out: false,
             frozen: false,
             cut_off: false,
+            obs,
+            span,
+            level_log: Vec::new(),
         }
     }
 
@@ -411,6 +441,7 @@ impl<'a> ChainState<'a> {
                 self.inc.commit();
                 self.current_cost = cand_cost;
                 self.accepted += 1;
+                self.abs_delta_sum += delta.abs();
                 if self.current_cost < self.best_cost {
                     self.best = self.inc.partitioning().clone();
                     self.best_cost = self.current_cost;
@@ -425,6 +456,7 @@ impl<'a> ChainState<'a> {
         // the accumulators, bounding float error from the add/subtract
         // chains of the inner loop.
         self.max_drift = self.max_drift.max(self.inc.resync());
+        self.resyncs += 1;
         self.current_cost = self.inc.objective6();
         // Checkpoint 2 — line 10's exact subproblem re-optimization
         // (`findSolution`), once per level instead of once per move.
@@ -444,6 +476,7 @@ impl<'a> ChainState<'a> {
             let c = fast_objective6(self.instance, self.coeffs, &polished, self.cost);
             if c < self.current_cost {
                 self.inc = IncrementalCost::new(self.instance, self.coeffs, self.cost, polished);
+                self.resyncs += 1;
                 self.current_cost = c;
                 if c < self.best_cost {
                     self.best = self.inc.partitioning().clone();
@@ -454,6 +487,19 @@ impl<'a> ChainState<'a> {
 
         self.tau *= cfg.rho;
         self.levels += 1;
+        // One POD push per temperature level (not per move); the records
+        // themselves are built in `finish`, so neither the inner loop
+        // above nor the level boundary touches the trace lock.
+        if self.obs.is_enabled() {
+            self.level_log.push((
+                self.levels,
+                self.tau,
+                self.accepted,
+                self.iterations,
+                self.best_cost,
+                self.obs.timestamp_us(),
+            ));
+        }
         if self.best_cost < improved_at_level_start - 1e-12 {
             self.stale_levels = 0;
         } else {
@@ -480,6 +526,52 @@ impl<'a> ChainState<'a> {
             self.best = polished;
             self.best_cost = polished_cost;
         }
+        let rejected = self.iterations - self.accepted;
+        let mean_abs_delta = if self.accepted > 0 {
+            self.abs_delta_sum / self.accepted as f64
+        } else {
+            0.0
+        };
+        if self.obs.is_enabled() {
+            for &(level, tau, accepted, iterations, best, at_us) in &self.level_log {
+                self.obs.event_at(
+                    "sa_level",
+                    at_us,
+                    &[
+                        ("level", level.into()),
+                        ("tau", tau.into()),
+                        ("accepted", accepted.into()),
+                        ("iterations", iterations.into()),
+                        ("best_objective6", best.into()),
+                    ],
+                );
+            }
+            self.obs
+                .counter_add("sa_moves_total", self.iterations as f64);
+            self.obs
+                .counter_add("sa_accepted_total", self.accepted as f64);
+            self.obs.counter_add("sa_rejected_total", rejected as f64);
+            self.obs
+                .counter_add("sa_resyncs_total", self.resyncs as f64);
+            if self.cut_off {
+                self.obs.counter_inc("sa_chains_cut_total");
+            }
+        }
+        self.obs.span_end(
+            self.span,
+            &[
+                ("seed", self.seed.into()),
+                ("levels", self.levels.into()),
+                ("iterations", self.iterations.into()),
+                ("accepted", self.accepted.into()),
+                ("rejected", rejected.into()),
+                ("resyncs", self.resyncs.into()),
+                ("mean_abs_delta", mean_abs_delta.into()),
+                ("objective6", self.best_cost.into()),
+                ("cut_off", self.cut_off.into()),
+                ("timed_out", self.timed_out.into()),
+            ],
+        );
         Chain {
             stat: RestartStat {
                 restart: self.restart,
@@ -489,6 +581,9 @@ impl<'a> ChainState<'a> {
                 levels: self.levels,
                 iterations: self.iterations,
                 accepted: self.accepted,
+                rejected,
+                resyncs: self.resyncs,
+                mean_abs_delta,
                 max_drift: self.max_drift,
                 elapsed: self.start.elapsed(),
                 timed_out: self.timed_out,
@@ -554,13 +649,23 @@ impl SaSolver {
             warm.validate(instance, false)?;
         }
         let start = Instant::now();
+        let solve_span = cfg.obs.span_begin(
+            "sa_solve",
+            &[
+                ("restarts", cfg.restarts.into()),
+                ("n_sites", n_sites.into()),
+                ("seed", cfg.seed.into()),
+                ("warm_started", cfg.warm_start.is_some().into()),
+            ],
+        );
+        let solve_obs = cfg.obs.under(&solve_span);
         let coeffs = CostCoefficients::compute(instance, cost);
 
         // Chains are lazily constructed inside the worker threads (the
         // initial findSolution pass is a full temperature-level's worth
         // of work, so serializing it on the caller thread would undercut
         // multi-thread solves).
-        let make = |r: usize| ChainState::new(cfg, instance, &coeffs, cost, n_sites, r);
+        let make = |r: usize| ChainState::new(cfg, instance, &coeffs, cost, n_sites, r, &solve_obs);
         let mut states: Vec<Option<ChainState>> = (0..cfg.restarts).map(|_| None).collect();
 
         // Portfolio mode: probe every chain for a fixed level budget, cut
@@ -629,11 +734,30 @@ impl SaSolver {
         } else {
             String::new()
         };
+        let elapsed = start.elapsed();
+        if cfg.obs.is_enabled() {
+            let ratio = if iterations > 0 {
+                accepted as f64 / iterations as f64
+            } else {
+                0.0
+            };
+            cfg.obs.gauge_set("sa_acceptance_ratio", ratio);
+            cfg.obs
+                .observe_wall("solve_wall_seconds", elapsed.as_secs_f64());
+        }
+        cfg.obs.span_end(
+            solve_span,
+            &[
+                ("winner_seed", stats[winner].seed.into()),
+                ("objective6", breakdown.objective6.into()),
+                ("chains_cut", cut_count.into()),
+            ],
+        );
         Ok(SolveReport {
             partitioning: best,
             breakdown,
             termination: Termination::Heuristic,
-            elapsed: start.elapsed(),
+            elapsed,
             detail: format!(
                 "sa: {} restart(s) on {} thread(s), {levels} levels, {iterations} iterations, \
                  {accepted} accepted, seed {} (winner {}{portfolio}{})",
@@ -927,6 +1051,57 @@ mod tests {
             SaSolver::default().solve(&ins, 0, &cfg),
             Err(CoreError::Model(vpart_model::ModelError::NoSites))
         ));
+    }
+
+    #[test]
+    fn obs_records_chain_spans_and_counters() {
+        let ins = separable();
+        let cfg = CostConfig::default();
+        let obs = Obs::enabled();
+        let mut sa = SaConfig::fast_deterministic(2).multi_start(2, 2);
+        sa.obs = obs.clone();
+        let r = SaSolver::new(sa).solve(&ins, 2, &cfg).unwrap();
+
+        // The enriched stats are internally consistent.
+        let mut iterations = 0usize;
+        for s in &r.restarts {
+            assert_eq!(s.accepted + s.rejected, s.iterations);
+            assert!(s.resyncs >= s.levels, "one drift-guard resync per level");
+            iterations += s.iterations;
+        }
+
+        let text = obs.metrics_prometheus();
+        assert!(text.contains(&format!("sa_moves_total {iterations}")));
+        assert!(text.contains("sa_acceptance_ratio"));
+        assert!(text.contains("solve_wall_seconds_bucket"));
+
+        // One sa_solve span, one sa_chain span per restart, nested.
+        let trace = obs.trace_json_lines();
+        let spans: Vec<serde_json::Value> = trace
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .filter(|v: &serde_json::Value| v.get("type").and_then(|t| t.as_str()) == Some("span"))
+            .collect();
+        let solve_id = spans
+            .iter()
+            .find(|s| s.get("name").and_then(|n| n.as_str()) == Some("sa_solve"))
+            .and_then(|s| s.get("id"))
+            .and_then(|i| i.as_u64())
+            .expect("sa_solve span recorded");
+        let chains: Vec<_> = spans
+            .iter()
+            .filter(|s| s.get("name").and_then(|n| n.as_str()) == Some("sa_chain"))
+            .collect();
+        assert_eq!(chains.len(), 2);
+        for c in chains {
+            assert_eq!(c.get("parent").and_then(|p| p.as_u64()), Some(solve_id));
+        }
+
+        // A disabled config records nothing and still solves identically.
+        let quiet = SaSolver::new(SaConfig::fast_deterministic(2).multi_start(2, 2))
+            .solve(&ins, 2, &cfg)
+            .unwrap();
+        assert_eq!(quiet.partitioning, r.partitioning);
     }
 
     #[test]

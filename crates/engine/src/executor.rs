@@ -4,6 +4,7 @@ use crate::storage::{Fragment, Site};
 use crate::trace::Trace;
 use std::fmt;
 use vpart_model::{AttrId, Instance, MigrationPlan, Partitioning, SiteId, TxnId};
+use vpart_obs::Obs;
 
 /// Errors raised by the execution engine.
 #[derive(Debug, Clone, PartialEq)]
@@ -154,6 +155,7 @@ pub struct Deployment<'a> {
     partitioning: Partitioning,
     sites: Vec<Site>,
     rows_per_fragment: usize,
+    obs: Obs,
 }
 
 impl<'a> Deployment<'a> {
@@ -191,7 +193,18 @@ impl<'a> Deployment<'a> {
             partitioning: partitioning.clone(),
             sites,
             rows_per_fragment: rows_per_fragment.max(1),
+            obs: Obs::disabled(),
         })
+    }
+
+    /// Attaches an observability sink: [`apply_migration`] then records an
+    /// `apply_migration` span and the `engine_*_total` meter counters
+    /// (migration bytes, installs, drops, re-routes). Off by default.
+    ///
+    /// [`apply_migration`]: Self::apply_migration
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The deployed partitioning.
@@ -233,6 +246,8 @@ impl<'a> Deployment<'a> {
         &mut self,
         plan: &MigrationPlan,
     ) -> Result<MigrationReport, EngineError> {
+        // Dropped without a record if the plan is rejected below.
+        let span = self.obs.span_begin("apply_migration", &[]);
         if plan.from != self.partitioning {
             return Err(EngineError::MigrationMismatch {
                 what: "plan.from is not the deployed partitioning",
@@ -328,12 +343,35 @@ impl<'a> Deployment<'a> {
         }
         self.partitioning = next;
 
+        let txns_rerouted = plan.txn_moves.len();
+        if self.obs.is_enabled() {
+            self.obs.counter_inc("engine_migrations_total");
+            self.obs
+                .counter_add("engine_migration_bytes_total", bytes_moved);
+            self.obs
+                .counter_add("engine_fragment_installs_total", installs as f64);
+            self.obs
+                .counter_add("engine_fragment_drops_total", drops as f64);
+            self.obs
+                .counter_add("engine_txns_rerouted_total", txns_rerouted as f64);
+            self.obs.span_end(
+                span,
+                &[
+                    ("bytes_moved", bytes_moved.into()),
+                    ("installs", installs.into()),
+                    ("drops", drops.into()),
+                    ("txns_rerouted", txns_rerouted.into()),
+                    ("changes", plan.changes.len().into()),
+                ],
+            );
+        }
+
         Ok(MigrationReport {
             bytes_moved,
             per_change_bytes,
             installs,
             drops,
-            txns_rerouted: plan.txn_moves.len(),
+            txns_rerouted,
         })
     }
 

@@ -1,0 +1,379 @@
+//! Trace inspection: turns a recorded JSONL trace back into an
+//! operator-facing summary (`vpart inspect <trace.jsonl>`).
+//!
+//! The summarizer understands the span names the instrumented layers
+//! emit — `sa_solve`/`sa_chain` (per-chain convergence), `qp_solve`
+//! (branch & bound work), `watch_epoch` (online timeline) and
+//! `apply_migration` — and degrades gracefully: unknown records still
+//! count toward the totals, and sections with no matching spans are
+//! omitted.
+
+use std::fmt::Write as _;
+
+use serde_json::Value;
+
+/// One `sa_chain` span, flattened.
+#[derive(Debug, Clone, Default)]
+pub struct ChainRow {
+    /// Chain seed.
+    pub seed: u64,
+    /// Temperature levels run.
+    pub levels: u64,
+    /// Proposed moves.
+    pub iterations: u64,
+    /// Accepted moves.
+    pub accepted: u64,
+    /// Rejected moves.
+    pub rejected: u64,
+    /// Full accumulator rebuilds (drift guard + polish adoptions).
+    pub resyncs: u64,
+    /// Final objective (6) value.
+    pub objective6: f64,
+    /// Mean absolute accepted delta.
+    pub mean_abs_delta: f64,
+    /// Chain hit the portfolio probe cut-off.
+    pub cut_off: bool,
+    /// Chain hit the time limit.
+    pub timed_out: bool,
+    /// Chain produced the winning partitioning.
+    pub winner: bool,
+    /// Wall time in milliseconds.
+    pub wall_ms: f64,
+}
+
+impl ChainRow {
+    /// Acceptance ratio over proposed moves (0 when no moves ran).
+    pub fn acceptance(&self) -> f64 {
+        if self.iterations == 0 {
+            0.0
+        } else {
+            self.accepted as f64 / self.iterations as f64
+        }
+    }
+}
+
+/// One `watch_epoch` span, flattened.
+#[derive(Debug, Clone, Default)]
+pub struct EpochRow {
+    /// Epoch index.
+    pub epoch: u64,
+    /// Drift score against the incumbent.
+    pub drift_score: f64,
+    /// Margin to the trigger threshold (score − threshold).
+    pub margin: f64,
+    /// Whether the epoch triggered a re-solve.
+    pub triggered: bool,
+    /// Bytes moved by the epoch's migration (0 when none).
+    pub migration_bytes: f64,
+    /// Distinct attributes in the tracker snapshot.
+    pub snapshot_attrs: u64,
+    /// Wall time in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// One `qp_solve` span, flattened.
+#[derive(Debug, Clone, Default)]
+pub struct QpRow {
+    /// Branch & bound nodes explored.
+    pub nodes: u64,
+    /// Simplex pivots across all LP relaxations.
+    pub lp_pivots: u64,
+    /// Whether the solve proved optimality.
+    pub exact: bool,
+    /// Final objective (6) value.
+    pub objective6: f64,
+    /// Wall time in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// A parsed and aggregated trace.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSummary {
+    /// Total records in the file.
+    pub records: usize,
+    /// Span records.
+    pub spans: usize,
+    /// Event records.
+    pub events: usize,
+    /// Per-chain convergence rows, in seed order.
+    pub chains: Vec<ChainRow>,
+    /// Online epoch rows, in epoch order.
+    pub epochs: Vec<EpochRow>,
+    /// QP solve rows, in trace order.
+    pub qp: Vec<QpRow>,
+    /// Total bytes moved across `apply_migration` spans.
+    pub migration_bytes: f64,
+}
+
+fn u(fields: &Value, key: &str) -> u64 {
+    fields.get(key).and_then(|v| v.as_u64()).unwrap_or(0)
+}
+
+fn f(fields: &Value, key: &str) -> f64 {
+    fields.get(key).and_then(|v| v.as_f64()).unwrap_or(0.0)
+}
+
+fn b(fields: &Value, key: &str) -> bool {
+    fields.get(key).and_then(|v| v.as_bool()).unwrap_or(false)
+}
+
+impl TraceSummary {
+    /// Parses a JSONL trace. Fails with a line-numbered message on the
+    /// first malformed line; blank lines are skipped.
+    pub fn from_jsonl(text: &str) -> Result<Self, String> {
+        let mut summary = Self::default();
+        let mut winner_seed: Option<u64> = None;
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let v: Value =
+                serde_json::from_str(line).map_err(|e| format!("line {}: {e:?}", lineno + 1))?;
+            summary.records += 1;
+            let kind = v.get("type").and_then(|t| t.as_str()).unwrap_or("");
+            match kind {
+                "span" => summary.spans += 1,
+                "event" => summary.events += 1,
+                other => {
+                    return Err(format!(
+                        "line {}: unknown record type {other:?}",
+                        lineno + 1
+                    ))
+                }
+            }
+            if kind != "span" {
+                continue;
+            }
+            let name = v.get("name").and_then(|n| n.as_str()).unwrap_or("");
+            let fields = v.get("fields").cloned().unwrap_or(Value::Null);
+            let wall_ms = u(&v, "dur_us") as f64 / 1000.0;
+            match name {
+                "sa_chain" => summary.chains.push(ChainRow {
+                    seed: u(&fields, "seed"),
+                    levels: u(&fields, "levels"),
+                    iterations: u(&fields, "iterations"),
+                    accepted: u(&fields, "accepted"),
+                    rejected: u(&fields, "rejected"),
+                    resyncs: u(&fields, "resyncs"),
+                    objective6: f(&fields, "objective6"),
+                    mean_abs_delta: f(&fields, "mean_abs_delta"),
+                    cut_off: b(&fields, "cut_off"),
+                    timed_out: b(&fields, "timed_out"),
+                    winner: false,
+                    wall_ms,
+                }),
+                "sa_solve" if fields.get("winner_seed").is_some() => {
+                    winner_seed = Some(u(&fields, "winner_seed"));
+                }
+                "watch_epoch" => summary.epochs.push(EpochRow {
+                    epoch: u(&fields, "epoch"),
+                    drift_score: f(&fields, "drift_score"),
+                    margin: f(&fields, "margin"),
+                    triggered: b(&fields, "triggered"),
+                    migration_bytes: f(&fields, "migration_bytes"),
+                    snapshot_attrs: u(&fields, "snapshot_attrs"),
+                    wall_ms,
+                }),
+                "qp_solve" => summary.qp.push(QpRow {
+                    nodes: u(&fields, "nodes"),
+                    lp_pivots: u(&fields, "lp_pivots"),
+                    exact: b(&fields, "exact"),
+                    objective6: f(&fields, "objective6"),
+                    wall_ms,
+                }),
+                "apply_migration" => {
+                    summary.migration_bytes += f(&fields, "bytes_moved");
+                }
+                _ => {}
+            }
+        }
+        if let Some(seed) = winner_seed {
+            for chain in &mut summary.chains {
+                chain.winner = chain.seed == seed;
+            }
+        }
+        summary.chains.sort_by_key(|c| c.seed);
+        summary.epochs.sort_by_key(|e| e.epoch);
+        Ok(summary)
+    }
+
+    /// Renders the operator-facing text report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "trace: {} records ({} spans, {} events)",
+            self.records, self.spans, self.events
+        );
+        if !self.chains.is_empty() {
+            let _ = writeln!(out, "\nper-chain convergence");
+            let _ = writeln!(
+                out,
+                "{:>12} {:>7} {:>9} {:>9} {:>9} {:>6} {:>8} {:>14} {:>9}  flags",
+                "seed",
+                "levels",
+                "moves",
+                "accepted",
+                "rejected",
+                "acc%",
+                "resyncs",
+                "objective6",
+                "wall_ms"
+            );
+            for c in &self.chains {
+                let mut flags = Vec::new();
+                if c.winner {
+                    flags.push("winner");
+                }
+                if c.cut_off {
+                    flags.push("cut_off");
+                }
+                if c.timed_out {
+                    flags.push("timed_out");
+                }
+                let _ = writeln!(
+                    out,
+                    "{:>12} {:>7} {:>9} {:>9} {:>9} {:>5.1}% {:>8} {:>14.3} {:>9.1}  {}",
+                    c.seed,
+                    c.levels,
+                    c.iterations,
+                    c.accepted,
+                    c.rejected,
+                    100.0 * c.acceptance(),
+                    c.resyncs,
+                    c.objective6,
+                    c.wall_ms,
+                    flags.join(","),
+                );
+            }
+        }
+        if !self.epochs.is_empty() {
+            let _ = writeln!(out, "\nepoch timeline");
+            let _ = writeln!(
+                out,
+                "{:>5} {:>9} {:>9} {:>9} {:>9} {:>15} {:>14}",
+                "epoch",
+                "wall_ms",
+                "drift",
+                "margin",
+                "trigger",
+                "migrated_bytes",
+                "snapshot_attrs"
+            );
+            for e in &self.epochs {
+                let _ = writeln!(
+                    out,
+                    "{:>5} {:>9.1} {:>9.4} {:>+9.4} {:>9} {:>15.0} {:>14}",
+                    e.epoch,
+                    e.wall_ms,
+                    e.drift_score,
+                    e.margin,
+                    if e.triggered { "yes" } else { "no" },
+                    e.migration_bytes,
+                    e.snapshot_attrs,
+                );
+            }
+            let _ = writeln!(
+                out,
+                "total migrated: {:.0} bytes over {} epochs ({} triggered)",
+                self.migration_bytes,
+                self.epochs.len(),
+                self.epochs.iter().filter(|e| e.triggered).count(),
+            );
+        }
+        for q in &self.qp {
+            let _ = writeln!(
+                out,
+                "\nqp solve: {} branch nodes, {} lp pivots, exact={}, objective6={:.3}, wall_ms={:.1}",
+                q.nodes, q.lp_pivots, q.exact, q.objective6, q.wall_ms
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Obs;
+
+    #[test]
+    fn round_trips_a_recorded_trace() {
+        let obs = Obs::enabled();
+        let solve = obs.span_begin("sa_solve", &[]);
+        for seed in [3u64, 1u64] {
+            let scoped = obs.under(&solve);
+            let chain = scoped.span_begin("sa_chain", &[("seed", seed.into())]);
+            scoped.span_end(
+                chain,
+                &[
+                    ("seed", seed.into()),
+                    ("levels", 4u64.into()),
+                    ("iterations", 100u64.into()),
+                    ("accepted", 25u64.into()),
+                    ("rejected", 75u64.into()),
+                    ("resyncs", 1u64.into()),
+                    ("objective6", 42.5f64.into()),
+                    ("cut_off", (seed == 3).into()),
+                    ("timed_out", false.into()),
+                ],
+            );
+        }
+        obs.span_end(solve, &[("winner_seed", 1u64.into())]);
+
+        let summary = TraceSummary::from_jsonl(&obs.trace_json_lines()).unwrap();
+        assert_eq!(summary.spans, 3);
+        assert_eq!(summary.chains.len(), 2);
+        // Sorted by seed; winner resolved from the sa_solve span.
+        assert_eq!(summary.chains[0].seed, 1);
+        assert!(summary.chains[0].winner);
+        assert!(!summary.chains[1].winner);
+        assert!(summary.chains[1].cut_off);
+        assert!((summary.chains[0].acceptance() - 0.25).abs() < 1e-12);
+
+        let text = summary.render();
+        assert!(text.contains("per-chain convergence"));
+        assert!(text.contains("winner"));
+        assert!(text.contains("cut_off"));
+    }
+
+    #[test]
+    fn summarizes_epochs_and_migrations() {
+        let obs = Obs::enabled();
+        let epoch = obs.span_begin("watch_epoch", &[]);
+        let scoped = obs.under(&epoch);
+        let mig = scoped.span_begin("apply_migration", &[]);
+        scoped.span_end(mig, &[("bytes_moved", 2048.0f64.into())]);
+        obs.span_end(
+            epoch,
+            &[
+                ("epoch", 0u64.into()),
+                ("drift_score", 0.3f64.into()),
+                ("margin", 0.05f64.into()),
+                ("triggered", true.into()),
+                ("migration_bytes", 2048.0f64.into()),
+                ("snapshot_attrs", 12u64.into()),
+            ],
+        );
+        let summary = TraceSummary::from_jsonl(&obs.trace_json_lines()).unwrap();
+        assert_eq!(summary.epochs.len(), 1);
+        assert!(summary.epochs[0].triggered);
+        assert_eq!(summary.migration_bytes, 2048.0);
+        assert!(summary.render().contains("epoch timeline"));
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_position() {
+        let err = TraceSummary::from_jsonl("{\"type\":\"span\"}\nnot json\n").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+        let err = TraceSummary::from_jsonl("{\"type\":\"mystery\"}\n").unwrap_err();
+        assert!(err.contains("unknown record type"), "{err}");
+    }
+
+    #[test]
+    fn empty_trace_summarizes_cleanly() {
+        let summary = TraceSummary::from_jsonl("\n\n").unwrap();
+        assert_eq!(summary.records, 0);
+        assert!(summary.render().starts_with("trace: 0 records"));
+    }
+}

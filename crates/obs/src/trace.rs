@@ -1,0 +1,226 @@
+//! Structured span/event tracing with a JSONL sink.
+//!
+//! A trace is a flat sequence of records, one JSON object per line:
+//!
+//! ```text
+//! {"type":"span","id":3,"parent":1,"name":"sa_chain","start_us":12,"dur_us":3400,"fields":{...}}
+//! {"type":"event","parent":3,"name":"sa_level","at_us":940,"fields":{...}}
+//! ```
+//!
+//! Spans nest through `parent` ids; timestamps are microseconds since the
+//! [`Obs`](crate::Obs) handle was enabled. Records are appended when a span
+//! *ends* (so a parent span serializes after its children — readers
+//! reconstruct the tree from ids, not from line order).
+
+use serde_json::Value;
+
+/// A field value attached to a span or event. Instrumented crates build
+/// these through `From` impls (`("seed", seed.into())`) so call sites never
+/// need `serde_json` directly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Boolean flag.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// Free text.
+    Str(String),
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        Self::Bool(v)
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        Self::U64(v)
+    }
+}
+
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        Self::U64(v as u64)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        Self::U64(v as u64)
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        Self::I64(v)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        Self::F64(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        Self::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        Self::Str(v)
+    }
+}
+
+impl FieldValue {
+    fn to_json(&self) -> Value {
+        match self {
+            Self::Bool(b) => Value::Bool(*b),
+            Self::U64(u) => Value::UInt(*u),
+            Self::I64(i) => Value::Int(*i),
+            Self::F64(f) => Value::Float(*f),
+            Self::Str(s) => Value::String(s.clone()),
+        }
+    }
+}
+
+/// A completed trace record (span or event), ready to serialize.
+#[derive(Debug, Clone)]
+pub enum Record {
+    /// A timed, possibly nested unit of work.
+    Span {
+        /// Unique id within the trace.
+        id: u64,
+        /// Enclosing span id; 0 when top-level.
+        parent: u64,
+        /// Span name (e.g. `sa_chain`).
+        name: String,
+        /// Start, microseconds since obs enable.
+        start_us: u64,
+        /// Duration in microseconds.
+        dur_us: u64,
+        /// Key/value payload.
+        fields: Vec<(String, FieldValue)>,
+    },
+    /// An instantaneous annotation inside a span.
+    Event {
+        /// Enclosing span id; 0 when top-level.
+        parent: u64,
+        /// Event name (e.g. `sa_level`).
+        name: String,
+        /// Timestamp, microseconds since obs enable.
+        at_us: u64,
+        /// Key/value payload.
+        fields: Vec<(String, FieldValue)>,
+    },
+}
+
+impl Record {
+    /// One JSONL line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let fields_json = |fields: &[(String, FieldValue)]| {
+            Value::Object(
+                fields
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.to_json()))
+                    .collect(),
+            )
+        };
+        let v = match self {
+            Self::Span {
+                id,
+                parent,
+                name,
+                start_us,
+                dur_us,
+                fields,
+            } => serde_json::json!({
+                "type": "span",
+                "id": *id,
+                "parent": *parent,
+                "name": name.as_str(),
+                "start_us": *start_us,
+                "dur_us": *dur_us,
+                "fields": fields_json(fields),
+            }),
+            Self::Event {
+                parent,
+                name,
+                at_us,
+                fields,
+            } => serde_json::json!({
+                "type": "event",
+                "parent": *parent,
+                "name": name.as_str(),
+                "at_us": *at_us,
+                "fields": fields_json(fields),
+            }),
+        };
+        v.to_string()
+    }
+}
+
+/// An in-flight span handle returned by
+/// [`Obs::span_begin`](crate::Obs::span_begin). Dropping it without calling
+/// `span_end` discards the span (no record is written); spans are explicit
+/// because most instrumented layers close them with result fields.
+#[derive(Debug)]
+pub struct Span {
+    pub(crate) id: u64,
+    pub(crate) parent: u64,
+    pub(crate) name: String,
+    pub(crate) start_us: u64,
+}
+
+impl Span {
+    /// The span's trace id (stable for the lifetime of the trace).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_render_parseable_json() {
+        let span = Record::Span {
+            id: 3,
+            parent: 1,
+            name: "sa_chain".into(),
+            start_us: 12,
+            dur_us: 3400,
+            fields: vec![
+                ("seed".into(), 7u64.into()),
+                ("objective6".into(), 1.5f64.into()),
+                ("cut_off".into(), false.into()),
+                ("note".into(), "warm".into()),
+            ],
+        };
+        let line = span.to_json_line();
+        let v: Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(v.get("type").and_then(|t| t.as_str()), Some("span"));
+        assert_eq!(v.get("id").and_then(|t| t.as_u64()), Some(3));
+        let fields = v.get("fields").unwrap();
+        assert_eq!(fields.get("seed").and_then(|s| s.as_u64()), Some(7));
+        assert_eq!(fields.get("objective6").and_then(|s| s.as_f64()), Some(1.5));
+
+        let event = Record::Event {
+            parent: 3,
+            name: "sa_level".into(),
+            at_us: 940,
+            fields: vec![("tau".into(), 0.5f64.into())],
+        };
+        let v: Value = serde_json::from_str(&event.to_json_line()).unwrap();
+        assert_eq!(v.get("type").and_then(|t| t.as_str()), Some("event"));
+        assert_eq!(v.get("at_us").and_then(|t| t.as_u64()), Some(940));
+    }
+}

@@ -29,11 +29,12 @@ use crate::drift::{assess_drift, DriftConfig};
 use crate::migrate::plan_migration;
 use crate::tracker::OnlineWorkload;
 use crate::OnlineError;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use vpart_core::sa::{SaConfig, SaSolver};
 use vpart_core::CostConfig;
 use vpart_engine::Deployment;
 use vpart_model::{MigrationPlan, Partitioning};
+use vpart_obs::Obs;
 
 /// Watch-loop configuration.
 #[derive(Debug, Clone)]
@@ -53,6 +54,12 @@ pub struct WatchConfig {
     pub cold_restarts: usize,
     /// OS threads for the bootstrap solve.
     pub threads: usize,
+    /// Observability sink. Off by default ([`Obs::disabled`]); when
+    /// enabled every epoch records a `watch_epoch` span (drift score,
+    /// threshold margin, migration bytes, snapshot size), the nested
+    /// solver and engine spans, the `watch_*` counter/gauge family and
+    /// the `epoch_wall_seconds` / `warm_resolve_wall_seconds` histograms.
+    pub obs: Obs,
 }
 
 impl Default for WatchConfig {
@@ -65,20 +72,27 @@ impl Default for WatchConfig {
             rows_per_fragment: 64,
             cold_restarts: 4,
             threads: 4,
+            obs: Obs::disabled(),
         }
     }
 }
 
 impl WatchConfig {
     /// The warm re-solve configuration: a single fast chain annealed from
-    /// `incumbent`.
+    /// `incumbent`. Inherits this config's observability sink.
     pub fn warm_sa(&self, incumbent: Partitioning) -> SaConfig {
-        SaConfig::fast_deterministic(self.seed).warm_started(incumbent)
+        let mut sa = SaConfig::fast_deterministic(self.seed).warm_started(incumbent);
+        sa.obs = self.obs.clone();
+        sa
     }
 
-    /// The cold bootstrap configuration: classic multi-start.
+    /// The cold bootstrap configuration: classic multi-start. Inherits
+    /// this config's observability sink.
     pub fn cold_sa(&self) -> SaConfig {
-        SaConfig::fast_deterministic(self.seed).multi_start(self.cold_restarts, self.threads)
+        let mut sa =
+            SaConfig::fast_deterministic(self.seed).multi_start(self.cold_restarts, self.threads);
+        sa.obs = self.obs.clone();
+        sa
     }
 }
 
@@ -130,6 +144,13 @@ pub struct EpochOutcome {
     pub resolve: Option<ResolveOutcome>,
     /// Migration statistics when a plan was applied.
     pub migration: Option<MigrationOutcome>,
+    /// Wall-clock time of the whole epoch (snapshot → drift → re-solve →
+    /// migration).
+    pub elapsed: Duration,
+    /// Snapshot size: distinct attributes in the epoch's snapshot
+    /// instance (with [`EpochOutcome::templates`], the tracker state
+    /// size).
+    pub snapshot_attrs: usize,
 }
 
 /// The adaptive repartitioning controller (see module docs).
@@ -182,14 +203,26 @@ impl Watcher {
     /// Closes the open epoch: snapshots the tracked mix, assesses drift,
     /// re-solves and migrates when triggered, and advances the tracker.
     pub fn end_epoch(&mut self, label: &str) -> Result<EpochOutcome, OnlineError> {
+        let epoch_start = Instant::now();
+        let span = self.config.obs.span_begin(
+            "watch_epoch",
+            &[
+                ("epoch", self.tracker.epoch().into()),
+                ("label", label.into()),
+            ],
+        );
+        // Nested solver / engine records parent under this epoch's span.
+        let scoped = self.config.obs.under(&span);
         let snapshot = self.tracker.snapshot()?;
         let cfg = &self.config;
 
-        let outcome = match &self.incumbent {
+        let mut outcome = match &self.incumbent {
             None => {
                 // Bootstrap: cold multi-start solve, no migration (there
                 // is nothing deployed yet).
-                let report = SaSolver::new(cfg.cold_sa())
+                let mut sa = cfg.cold_sa();
+                sa.obs = scoped.clone();
+                let report = SaSolver::new(sa)
                     .solve(&snapshot, cfg.sites, &cfg.cost)
                     .map_err(OnlineError::from)?;
                 let cost6 = report.breakdown.objective6;
@@ -209,6 +242,8 @@ impl Watcher {
                         cold: true,
                     }),
                     migration: None,
+                    elapsed: Duration::ZERO,
+                    snapshot_attrs: snapshot.n_attrs(),
                 }
             }
             Some(incumbent) => {
@@ -225,9 +260,13 @@ impl Watcher {
                     } else {
                         adapted.clone()
                     };
-                    let report = SaSolver::new(cfg.warm_sa(warm_from))
+                    let mut sa = cfg.warm_sa(warm_from);
+                    sa.obs = scoped.clone();
+                    let report = SaSolver::new(sa)
                         .solve(&snapshot, cfg.sites, &cfg.cost)
                         .map_err(OnlineError::from)?;
+                    cfg.obs
+                        .observe_wall("warm_resolve_wall_seconds", report.elapsed.as_secs_f64());
                     resolve = Some(ResolveOutcome {
                         elapsed: report.elapsed,
                         objective6: report.breakdown.objective6,
@@ -242,7 +281,8 @@ impl Watcher {
                         cfg.rows_per_fragment,
                     )?;
                     let mut deployment =
-                        Deployment::new(&snapshot, &adapted, cfg.rows_per_fragment)?;
+                        Deployment::new(&snapshot, &adapted, cfg.rows_per_fragment)?
+                            .with_obs(scoped.clone());
                     let applied = deployment.apply_migration(&plan)?;
                     let estimated = plan.estimated_bytes();
                     self.incumbent = Some(plan.to.clone());
@@ -267,9 +307,43 @@ impl Watcher {
                     triggered: assessment.triggered,
                     resolve,
                     migration,
+                    elapsed: Duration::ZERO,
+                    snapshot_attrs: snapshot.n_attrs(),
                 }
             }
         };
+        outcome.elapsed = epoch_start.elapsed();
+
+        let obs = &self.config.obs;
+        let migration_bytes = outcome.migration.as_ref().map_or(0.0, |m| m.measured_bytes);
+        if obs.is_enabled() {
+            obs.counter_inc("watch_epochs_total");
+            if outcome.triggered {
+                obs.counter_inc("watch_drift_triggers_total");
+            }
+            obs.gauge_set("watch_drift_score", outcome.drift_score);
+            obs.gauge_set(
+                "watch_drift_threshold_margin",
+                outcome.drift_score - self.config.drift.threshold,
+            );
+            obs.gauge_set("watch_tracker_templates", outcome.templates as f64);
+            obs.observe_wall("epoch_wall_seconds", outcome.elapsed.as_secs_f64());
+        }
+        obs.span_end(
+            span,
+            &[
+                ("epoch", outcome.epoch.into()),
+                ("drift_score", outcome.drift_score.into()),
+                (
+                    "margin",
+                    (outcome.drift_score - self.config.drift.threshold).into(),
+                ),
+                ("triggered", outcome.triggered.into()),
+                ("migration_bytes", migration_bytes.into()),
+                ("snapshot_attrs", outcome.snapshot_attrs.into()),
+                ("templates", outcome.templates.into()),
+            ],
+        );
 
         self.tracker.advance_epoch();
         Ok(outcome)
@@ -439,6 +513,76 @@ mod tests {
             );
             assert!(mig.meter_matches);
         }
+    }
+
+    #[test]
+    fn obs_records_epoch_spans_nested_solves_and_migration_meters() {
+        let obs = Obs::enabled();
+        let tracker = OnlineWorkload::new(
+            "watch",
+            schema(),
+            TrackerConfig {
+                decay: DecayMode::Exponential { factor: 0.5 },
+                ..TrackerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut w = Watcher::new(
+            tracker,
+            WatchConfig {
+                cost: CostConfig::default().with_lambda(0.5),
+                drift: DriftConfig {
+                    threshold: 0.05,
+                    ..DriftConfig::default()
+                },
+                obs: obs.clone(),
+                ..WatchConfig::default()
+            },
+        )
+        .unwrap();
+        w.tracker_mut().observe_instance(&phase(1.0)).unwrap();
+        let boot = w.end_epoch("boot").unwrap();
+        assert!(boot.elapsed > Duration::ZERO);
+        assert_eq!(boot.snapshot_attrs, 3);
+        w.tracker_mut().observe_instance(&phase(300.0)).unwrap();
+        let out = w.end_epoch("flip").unwrap();
+        assert!(out.triggered);
+
+        let text = obs.metrics_prometheus();
+        assert!(text.contains("watch_epochs_total 2"));
+        assert!(text.contains("watch_drift_triggers_total 1"));
+        assert!(text.contains("engine_migration_bytes_total"));
+        assert!(text.contains("epoch_wall_seconds_count 2"));
+        assert!(text.contains("warm_resolve_wall_seconds_count 1"));
+
+        // Solver and engine spans nest under their epoch's span.
+        let lines: Vec<serde_json::Value> = obs
+            .trace_json_lines()
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        let span_named = |name: &str| {
+            lines
+                .iter()
+                .filter(|v| {
+                    v.get("type").and_then(|t| t.as_str()) == Some("span")
+                        && v.get("name").and_then(|n| n.as_str()) == Some(name)
+                })
+                .collect::<Vec<_>>()
+        };
+        let epochs = span_named("watch_epoch");
+        assert_eq!(epochs.len(), 2);
+        let epoch_ids: Vec<u64> = epochs
+            .iter()
+            .map(|e| e.get("id").and_then(|i| i.as_u64()).unwrap())
+            .collect();
+        for nested in ["sa_solve", "apply_migration"] {
+            for s in span_named(nested) {
+                let parent = s.get("parent").and_then(|p| p.as_u64()).unwrap();
+                assert!(epoch_ids.contains(&parent), "{nested} not nested");
+            }
+        }
+        assert_eq!(span_named("apply_migration").len(), 1);
     }
 
     #[test]

@@ -11,7 +11,12 @@
 //! vpart watch    --schema schema.sql --log p1.log,p2.log --sites 2
 //!                [--interval 2] [--decay 0.5 | --window 3]
 //!                [--drift-threshold 0.05] [--rows 64] [--json]
+//! vpart inspect  trace.jsonl
 //! ```
+//!
+//! `solve` and `watch` take `--trace-out FILE` (structured span/event
+//! trace, JSONL) and `--metrics-out FILE` (Prometheus-style exposition);
+//! `inspect` summarizes a recorded trace.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -31,6 +36,7 @@ fn usage() -> &'static str {
                       [--p <f>] [--lambda <f>] [--disjoint] [--seed <n>]\n\
                       [--restarts <n>] [--threads <n>]\n\
                       [--time-limit <secs>] [--layout] [--json]\n\
+                      [--trace-out <file.jsonl>] [--metrics-out <file.prom>]\n\
        vpart solve    --schema <ddl.sql> --log <queries.log> --sites <k> [...]\n\
        vpart solve    --schema <ddl.sql> --stats <dump> --stats-format <fmt> ...\n\
        vpart ingest   --schema <ddl.sql> (--log <queries.log> |\n\
@@ -43,6 +49,8 @@ fn usage() -> &'static str {
                       [--stats-format <fmt>]) --sites <k> [--interval <epochs>]\n\
                       [--decay <f> | --window <n>] [--drift-threshold <f>]\n\
                       [--rows <n>] [--restarts <n>] [--threads <n>] [--json]\n\
+                      [--trace-out <file.jsonl>] [--metrics-out <file.prom>]\n\
+       vpart inspect  <trace.jsonl>\n\
      \n\
      Instances: `tpcc`, any rnd class name (e.g. rndAt8x15, rndBt16x100u50), a\n\
      JSON instance file, a SQL schema + query log via --schema/--log, or a\n\
@@ -66,6 +74,13 @@ fn usage() -> &'static str {
      regression over a fresh bound exceeds --drift-threshold, and the\n\
      resulting migration plan is applied on a --rows rows/fragment\n\
      deployment whose byte meter must equal the plan estimate exactly.\n\
+     Observability: --trace-out records a structured span/event trace\n\
+     (JSONL; per-chain annealing spans, per-epoch watch spans) and\n\
+     --metrics-out a Prometheus-style text exposition (sa_moves_total,\n\
+     sa_acceptance_ratio, solve_wall_seconds, watch_epochs_total,\n\
+     engine_migration_bytes_total, ...). Both are off by default and\n\
+     `vpart inspect <trace.jsonl>` renders a recorded trace as a\n\
+     per-chain convergence table and an epoch timeline.\n\
      Defaults: p = 8 (paper), lambda = 0.9 (see DESIGN.md on the\n\
      paper's λ), algo = sa, restarts = 1, threads = 1,\n\
      stats-format = pgss-csv; watch: interval = 2, decay = 0.5,\n\
@@ -192,6 +207,33 @@ fn load_instance(flags: &HashMap<String, String>) -> Result<Instance, String> {
     ))
 }
 
+/// An enabled [`Obs`] handle when `--trace-out` or `--metrics-out` was
+/// given, else the inert disabled handle (zero hot-path cost).
+fn obs_from_flags(flags: &HashMap<String, String>) -> Obs {
+    if flags.contains_key("trace-out") || flags.contains_key("metrics-out") {
+        Obs::enabled()
+    } else {
+        Obs::disabled()
+    }
+}
+
+/// Writes the recorded trace / metrics exposition to the `--trace-out` /
+/// `--metrics-out` paths. Notices go to stderr so `--json` stdout stays
+/// machine-parseable.
+fn write_obs_outputs(obs: &Obs, flags: &HashMap<String, String>) -> Result<(), String> {
+    if let Some(path) = flags.get("trace-out") {
+        obs.write_trace(std::path::Path::new(path))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote trace {path}");
+    }
+    if let Some(path) = flags.get("metrics-out") {
+        obs.write_metrics(std::path::Path::new(path))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote metrics {path}");
+    }
+    Ok(())
+}
+
 fn cost_config(flags: &HashMap<String, String>) -> Result<CostConfig, String> {
     let cfg = CostConfig::default()
         .with_p(get(flags, "p", 8.0)?)
@@ -299,6 +341,7 @@ fn cmd_solve(flags: HashMap<String, String>) -> Result<(), String> {
     let probe_levels: usize = get(&flags, "probe-levels", 0)?;
     let algo_name = flags.get("algo").map(String::as_str).unwrap_or("sa");
     let disjoint = flags.contains_key("disjoint");
+    let obs = obs_from_flags(&flags);
 
     let algorithm = match algo_name {
         "qp" => {
@@ -306,6 +349,7 @@ fn cmd_solve(flags: HashMap<String, String>) -> Result<(), String> {
             if disjoint {
                 qc = qc.disjoint();
             }
+            qc.obs = obs.clone();
             Algorithm::Qp(qc)
         }
         "sa" => {
@@ -318,9 +362,12 @@ fn cmd_solve(flags: HashMap<String, String>) -> Result<(), String> {
                 restarts,
                 threads,
                 probe_levels: (probe_levels > 0).then_some(probe_levels),
+                obs: obs.clone(),
                 ..Default::default()
             })
         }
+        // The exhaustive solver is tiny-instance ground truth; it stays
+        // uninstrumented and --trace-out records an empty trace for it.
         "exact" => Algorithm::Exact(ExactConfig::default()),
         other => return Err(format!("unknown algorithm {other:?} (qp|sa|exact)")),
     };
@@ -328,6 +375,7 @@ fn cmd_solve(flags: HashMap<String, String>) -> Result<(), String> {
     let single = Partitioning::single_site(&ins, 1).map_err(|e| e.to_string())?;
     let baseline = evaluate(&ins, &single, &cost).objective4;
     let r = vpart::solve(&ins, sites, &algorithm, &cost).map_err(|e| e.to_string())?;
+    write_obs_outputs(&obs, &flags)?;
 
     if flags.contains_key("json") {
         let restart_stats: Vec<serde_json::Value> = r
@@ -341,7 +389,10 @@ fn cmd_solve(flags: HashMap<String, String>) -> Result<(), String> {
                     "objective4": s.objective4,
                     "levels": s.levels,
                     "iterations": s.iterations,
-                    "accepted": s.accepted,
+                    "accepted_moves": s.accepted,
+                    "rejected_moves": s.rejected,
+                    "resyncs": s.resyncs,
+                    "mean_abs_delta": s.mean_abs_delta,
                     "elapsed_secs": s.elapsed.as_secs_f64(),
                     "timed_out": s.timed_out,
                     "cut_off": s.cut_off,
@@ -552,6 +603,7 @@ fn cmd_watch(flags: HashMap<String, String>) -> Result<(), String> {
         },
     )
     .map_err(|e| e.to_string())?;
+    let obs = obs_from_flags(&flags);
     let mut watcher = Watcher::new(
         tracker,
         WatchConfig {
@@ -565,6 +617,7 @@ fn cmd_watch(flags: HashMap<String, String>) -> Result<(), String> {
             rows_per_fragment: rows,
             cold_restarts: restarts,
             threads,
+            obs: obs.clone(),
         },
     )
     .map_err(|e| e.to_string())?;
@@ -602,6 +655,8 @@ fn cmd_watch(flags: HashMap<String, String>) -> Result<(), String> {
                     "bound_objective6": out.bound,
                     "drift_score": out.drift_score,
                     "triggered": out.triggered,
+                    "epoch_wall_secs": out.elapsed.as_secs_f64(),
+                    "snapshot_attrs": out.snapshot_attrs,
                     "resolve": out.resolve.as_ref().map(|r| serde_json::json!({
                         "cold": r.cold,
                         "objective6": r.objective6,
@@ -648,6 +703,20 @@ fn cmd_watch(flags: HashMap<String, String>) -> Result<(), String> {
     if json {
         println!("{}", serde_json::Value::Array(epochs_json));
     }
+    write_obs_outputs(&obs, &flags)?;
+    Ok(())
+}
+
+/// `vpart inspect <trace.jsonl>`: renders a recorded trace as a per-chain
+/// convergence table plus an epoch timeline.
+fn cmd_inspect(args: &[String]) -> Result<(), String> {
+    let path = match args {
+        [p] if !p.starts_with("--") => p,
+        _ => return Err("usage: vpart inspect <trace.jsonl>".to_owned()),
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let summary = TraceSummary::from_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+    print!("{}", summary.render());
     Ok(())
 }
 
@@ -663,6 +732,7 @@ fn main() -> ExitCode {
         "ingest" => parse_flags(&args[1..]).and_then(cmd_ingest),
         "simulate" => parse_flags(&args[1..]).and_then(cmd_simulate),
         "watch" => parse_flags(&args[1..]).and_then(cmd_watch),
+        "inspect" => cmd_inspect(&args[1..]),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())

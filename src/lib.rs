@@ -17,7 +17,9 @@
 //! * [`engine`] — an H-store-like row-store simulator validating the model,
 //! * [`online`] — adaptive repartitioning: streaming workload tracking,
 //!   drift-triggered warm re-solves and minimum-movement migration plans,
-//! * [`ilp`] — the from-scratch MILP solver substrate.
+//! * [`ilp`] — the from-scratch MILP solver substrate,
+//! * [`obs`] — observability: metrics registry, structured tracing and
+//!   trace inspection (`--trace-out` / `--metrics-out` / `vpart inspect`).
 //!
 //! ## Quick start
 //!
@@ -39,6 +41,7 @@ pub use vpart_ilp as ilp;
 pub use vpart_ingest as ingest;
 pub use vpart_instances as instances;
 pub use vpart_model as model;
+pub use vpart_obs as obs;
 pub use vpart_online as online;
 
 use crate::core::{CoreError, CostConfig, SolveReport};
@@ -62,6 +65,7 @@ pub mod prelude {
         AttrId, Instance, MigrationPlan, Partitioning, QueryId, Schema, SiteId, TableId, TxnId,
         Workload,
     };
+    pub use crate::obs::{Obs, TraceSummary};
     pub use crate::online::{
         DecayMode, DriftConfig, OnlineWorkload, TrackerConfig, WatchConfig, Watcher,
     };

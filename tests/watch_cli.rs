@@ -99,6 +99,68 @@ fn watch_detects_drift_and_migrates_with_exact_meter() {
 }
 
 #[test]
+fn watch_records_trace_metrics_and_epoch_timings() {
+    let trace = std::env::temp_dir().join(format!("vpart_{}_watch.jsonl", std::process::id()));
+    let metrics = std::env::temp_dir().join(format!("vpart_{}_watch.prom", std::process::id()));
+    let phases = format!("{},{}", data("queries.log"), data("queries_drifted.log"));
+    let out = vpart(&[
+        "watch",
+        "--schema",
+        &data("schema.sql"),
+        "--log",
+        &phases,
+        "--sites",
+        "3",
+        "--lambda",
+        "0.5",
+        "--interval",
+        "2",
+        "--drift-threshold",
+        "0.05",
+        "--json",
+        "--trace-out",
+        trace.to_str().unwrap(),
+        "--metrics-out",
+        metrics.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // stdout is the pure JSON epoch array; file notices are stderr-only.
+    let epochs: Vec<serde_json::Value> =
+        serde_json::from_str(std::str::from_utf8(&out.stdout).unwrap().trim()).unwrap();
+    assert_eq!(epochs.len(), 4);
+    for e in &epochs {
+        assert!(e.get("epoch_wall_secs").unwrap().as_f64().unwrap() > 0.0);
+        assert!(e.get("snapshot_attrs").unwrap().as_u64().unwrap() > 0);
+    }
+
+    // The trace round-trips: one watch_epoch span per epoch, and the
+    // drifted phase's migration shows up in the summary byte meter.
+    let summary =
+        vpart::obs::TraceSummary::from_jsonl(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+    assert_eq!(summary.epochs.len(), 4);
+    assert!(summary.migration_bytes > 0.0);
+    let inspected = vpart(&["inspect", trace.to_str().unwrap()]);
+    assert!(inspected.status.success());
+    let rendered = String::from_utf8_lossy(&inspected.stdout).into_owned();
+    assert!(rendered.contains("epoch timeline"));
+    assert!(rendered.contains("total migrated:"));
+
+    let prom = std::fs::read_to_string(&metrics).unwrap();
+    assert!(prom.contains("watch_epochs_total 4"));
+    assert!(prom.contains("watch_drift_triggers_total"));
+    assert!(prom.contains("engine_migration_bytes_total"));
+    assert!(prom.contains("epoch_wall_seconds_count 4"));
+
+    let _ = std::fs::remove_file(&trace);
+    let _ = std::fs::remove_file(&metrics);
+}
+
+#[test]
 fn watch_window_mode_and_flag_validation() {
     let phases = data("queries.log");
     // Sliding-window decay runs end to end.
