@@ -366,6 +366,8 @@ impl<'a> Deployment<'a> {
             );
         }
 
+        self.debug_check_storage_bookkeeping();
+
         Ok(MigrationReport {
             bytes_moved,
             per_change_bytes,
@@ -374,6 +376,65 @@ impl<'a> Deployment<'a> {
             txns_rerouted,
         })
     }
+
+    /// `debug-invariants` self-check: after a migration, the physical
+    /// fragments must agree exactly with the logical partitioning —
+    /// every `(site, table)` fraction holds precisely the attributes
+    /// `y` places there, with the matching width and row count, and no
+    /// empty fragments linger. Compiles to nothing without the feature.
+    #[cfg(feature = "debug-invariants")]
+    fn debug_check_storage_bookkeeping(&self) {
+        let schema = self.instance.schema();
+        for site in &self.sites {
+            for t in 0..self.instance.n_tables() {
+                let table = vpart_model::TableId::from_index(t);
+                let expected: Vec<AttrId> = schema
+                    .table_attrs(table)
+                    .map(AttrId::from_index)
+                    .filter(|&a| self.partitioning.has_attr(a, site.id))
+                    .collect();
+                match &site.fragments[t] {
+                    None => assert!(
+                        expected.is_empty(),
+                        "site {:?} table {:?}: partitioning places {:?} but no fragment exists",
+                        site.id,
+                        table,
+                        expected
+                    ),
+                    Some(f) => {
+                        assert!(
+                            !f.attrs.is_empty(),
+                            "site {:?} table {:?}: empty fragment not pruned",
+                            site.id,
+                            table
+                        );
+                        assert_eq!(
+                            f.attrs, expected,
+                            "site {:?} table {:?}: fragment attrs diverge from partitioning",
+                            site.id, table
+                        );
+                        let width: f64 = expected.iter().map(|&a| schema.width(a)).sum();
+                        assert!(
+                            (f.width - width).abs() <= 1e-9 * (1.0 + width),
+                            "site {:?} table {:?}: fragment width {} != schema width {width}",
+                            site.id,
+                            table,
+                            f.width
+                        );
+                        assert_eq!(
+                            f.rows, self.rows_per_fragment,
+                            "site {:?} table {:?}: fragment row count drifted",
+                            site.id, table
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[cfg(not(feature = "debug-invariants"))]
+    #[inline(always)]
+    fn debug_check_storage_bookkeeping(&self) {}
 
     /// Executes `trace`, metering bytes per the H-store-like semantics:
     ///
@@ -602,6 +663,29 @@ mod tests {
         assert_eq!(report.drops, 1);
         assert!(dep.stored_bytes() < before, "the replica is deleted");
         assert!(dep.sites()[1].fragment(vpart_model::TableId(0)).is_none());
+    }
+
+    /// With `debug-invariants` on, a chain of migrations keeps the
+    /// physical fragments in lockstep with the logical partitioning —
+    /// the self-check in `apply_migration` runs after every plan.
+    #[cfg(feature = "debug-invariants")]
+    #[test]
+    fn migration_chain_passes_the_bookkeeping_self_check() {
+        let ins = instance();
+        let base = Partitioning::single_site(&ins, 2).unwrap();
+        let mut dep = Deployment::new(&ins, &base, 8).unwrap();
+        let mut layouts = vec![base.clone()];
+        let mut grown = base.clone();
+        grown.add_replica(AttrId(1), SiteId(1));
+        layouts.push(grown.clone());
+        grown.move_txn(TxnId(1), SiteId(1));
+        layouts.push(grown);
+        layouts.push(base); // and all the way back
+        for pair in layouts.windows(2) {
+            let plan = vpart_model::MigrationPlan::between(&ins, &pair[0], &pair[1], 8).unwrap();
+            dep.apply_migration(&plan).unwrap();
+            assert_eq!(dep.partitioning(), &pair[1]);
+        }
     }
 
     #[test]

@@ -1273,11 +1273,13 @@ fn parse_update(stmt: &RawStatement, ctx: &StmtCtx) -> Result<Parsed, IngestErro
             return Err(syntax(stmt, 3, "`=` in a SET assignment"));
         };
         let target = &item[..eq];
-        let col_tok = target.last();
-        let Some(Tok::Ident(col)) = col_tok.map(|t| &t.tok) else {
+        let Some(col_tok) = target.last() else {
             return Err(syntax(stmt, 3, "a column name before `=`"));
         };
-        write.push(find_attr(ctx.schema, table, col, col_tok.unwrap().line)?);
+        let Tok::Ident(col) = &col_tok.tok else {
+            return Err(syntax(stmt, 3, "a column name before `=`"));
+        };
+        write.push(find_attr(ctx.schema, table, col, col_tok.line)?);
         scan_region(&item[eq + 1..], ctx.schema, &scopes, &mut acc, false)?;
     }
     if write.is_empty() {

@@ -231,7 +231,10 @@ impl Partitioning {
                 next += 1;
             }
         }
-        let perm: Vec<usize> = perm.into_iter().map(|s| s.expect("filled")).collect();
+        let perm: Vec<usize> = perm
+            .into_iter()
+            .map(|s| s.expect("both fill passes above cover every site slot"))
+            .collect();
         let x = self
             .x
             .iter()

@@ -40,10 +40,13 @@
 
 pub mod inspect;
 pub mod metrics;
+#[cfg(feature = "model-check")]
+pub mod model_check;
+pub(crate) mod sync;
 pub mod trace;
 
 pub use inspect::TraceSummary;
-pub use metrics::{Counter, Gauge, Histogram, Registry, WALL_SECONDS_BUCKETS};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, WALL_SECONDS_BUCKETS};
 pub use trace::{FieldValue, Record, Span};
 
 use std::path::Path;
@@ -152,6 +155,8 @@ impl Obs {
                 start_us: 0,
             };
         };
+        // ordering: Relaxed — ids only need to be unique, not ordered
+        // with any other memory; fetch_add is atomic regardless.
         let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
         let span = Span {
             id,

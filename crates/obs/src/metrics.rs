@@ -15,8 +15,10 @@
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
+
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::RwLock;
 
 /// A metric series identifier: a name plus ordered label pairs.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -79,15 +81,24 @@ struct AtomicF64(AtomicU64);
 
 impl AtomicF64 {
     fn get(&self) -> f64 {
+        // ordering: Relaxed — a single self-contained cell; readers need
+        // no happens-before edge with other memory, only the latest-ish
+        // value of this one scalar.
         f64::from_bits(self.0.load(Ordering::Relaxed))
     }
 
     fn set(&self, v: f64) {
+        // ordering: Relaxed — gauge sets publish one scalar, nothing else.
         self.0.store(v.to_bits(), Ordering::Relaxed);
     }
 
-    /// Lock-free add via a CAS loop.
+    /// Lock-free add via a CAS loop (exhaustively checked in
+    /// [`crate::model_check`]: no update is ever lost under any
+    /// interleaving).
     fn add(&self, delta: f64) {
+        // ordering: Relaxed — the CAS loop's correctness comes from the
+        // compare-exchange success/retry protocol itself, not from
+        // fencing; no other memory is published alongside the value.
         let mut cur = self.0.load(Ordering::Relaxed);
         loop {
             let next = (f64::from_bits(cur) + delta).to_bits();
@@ -144,13 +155,36 @@ impl Gauge {
 /// internally; exposition renders the Prometheus cumulative `le` form. A
 /// value lands in the first bucket whose upper bound is `>=` the value
 /// (inclusive, like Prometheus `le`), or in the implicit `+Inf` bucket.
+///
+/// The total observation count is **derived from the bucket cells**, not
+/// stored separately: an earlier revision kept a second `count` atomic
+/// incremented after the bucket, and the [`crate::model_check`] explorer
+/// found interleavings where a snapshot read `count != Σ buckets` (the
+/// reader ran between the two increments). Deriving the count from the
+/// same single pass that reads the buckets makes `count == Σ buckets`
+/// hold in every snapshot by construction, with no ordering requirements.
 #[derive(Debug)]
 pub struct Histogram {
     bounds: Vec<f64>,
     /// One slot per bound plus the `+Inf` overflow slot.
     buckets: Vec<AtomicU64>,
-    count: AtomicU64,
     sum: AtomicF64,
+}
+
+/// One consistent read of a [`Histogram`]: every field is derived from a
+/// single pass over the bucket cells, so `count` always equals the
+/// `+Inf` cumulative entry. `sum` may trail in-flight observations — the
+/// inherent slack of lock-free recording — but never includes a value
+/// whose bucket increment this snapshot missed *and* vice versa beyond
+/// that one in-flight observation per writer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Cumulative `(upper_bound, count)` pairs ending with `(+Inf, total)`.
+    pub cumulative: Vec<(f64, u64)>,
+    /// Total observations (`Σ buckets`, i.e. the `+Inf` entry).
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
 }
 
 impl Histogram {
@@ -158,7 +192,6 @@ impl Histogram {
         Self {
             bounds: bounds.to_vec(),
             buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
-            count: AtomicU64::new(0),
             sum: AtomicF64::default(),
         }
     }
@@ -170,14 +203,35 @@ impl Histogram {
             .iter()
             .position(|&b| v <= b)
             .unwrap_or(self.bounds.len());
+        // ordering: Relaxed — each bucket is an independent monotonic
+        // cell; snapshot consistency (count == Σ buckets) is structural
+        // (count is derived from the bucket reads), not fencing-based.
         self.buckets[slot].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.add(v);
     }
 
-    /// Total observations.
+    /// A consistent one-pass read of the histogram (see
+    /// [`HistogramSnapshot`] for its guarantees).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut acc = 0u64;
+        let mut cumulative = Vec::with_capacity(self.buckets.len());
+        for (i, slot) in self.buckets.iter().enumerate() {
+            // ordering: Relaxed — one read per cell; the derived count
+            // uses these same reads, so no cross-cell ordering is needed.
+            acc += slot.load(Ordering::Relaxed);
+            let bound = self.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+            cumulative.push((bound, acc));
+        }
+        HistogramSnapshot {
+            cumulative,
+            count: acc,
+            sum: self.sum.get(),
+        }
+    }
+
+    /// Total observations (derived from the buckets).
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        self.snapshot().count
     }
 
     /// Sum of observations.
@@ -187,14 +241,7 @@ impl Histogram {
 
     /// Cumulative `(upper_bound, count)` pairs ending with `(+Inf, total)`.
     pub fn cumulative(&self) -> Vec<(f64, u64)> {
-        let mut acc = 0u64;
-        let mut out = Vec::with_capacity(self.buckets.len());
-        for (i, slot) in self.buckets.iter().enumerate() {
-            acc += slot.load(Ordering::Relaxed);
-            let bound = self.bounds.get(i).copied().unwrap_or(f64::INFINITY);
-            out.push((bound, acc));
-        }
-        out
+        self.snapshot().cumulative
     }
 }
 
@@ -293,7 +340,10 @@ impl Registry {
         for (key, h) in self.histograms.read().expect("metrics lock").iter() {
             type_line(&mut out, &key.name, "histogram");
             let bucket_name = format!("{}_bucket", key.name);
-            for (bound, cum) in h.cumulative() {
+            // One snapshot per histogram so the rendered `_count` agrees
+            // with the bucket lines even while observers race.
+            let snap = h.snapshot();
+            for (bound, cum) in &snap.cumulative {
                 let le = if bound.is_infinite() {
                     "+Inf".to_string()
                 } else {
@@ -309,13 +359,13 @@ impl Registry {
                 out,
                 "{} {}",
                 render_series(&format!("{}_sum", key.name), &key.labels, &[]),
-                h.sum()
+                snap.sum
             );
             let _ = writeln!(
                 out,
                 "{} {}",
                 render_series(&format!("{}_count", key.name), &key.labels, &[]),
-                h.count()
+                snap.count
             );
         }
         out
@@ -340,8 +390,10 @@ impl Registry {
                 .expect("metrics lock")
                 .iter()
                 .map(|(k, h)| {
+                    // One snapshot so "count" equals the +Inf bucket.
+                    let snap = h.snapshot();
                     let buckets = Value::Array(
-                        h.cumulative()
+                        snap.cumulative
                             .into_iter()
                             .map(|(bound, cum)| {
                                 serde_json::json!({
@@ -359,8 +411,8 @@ impl Registry {
                         k.render(),
                         serde_json::json!({
                             "buckets": buckets,
-                            "sum": h.sum(),
-                            "count": h.count(),
+                            "sum": snap.sum,
+                            "count": snap.count,
                         }),
                     )
                 })
@@ -480,6 +532,37 @@ solve_wall_seconds_count 1
         );
         let h = snap.get("histograms").and_then(|h| h.get("h")).unwrap();
         assert_eq!(h.get("count").and_then(|v| v.as_u64()), Some(1));
+    }
+
+    #[test]
+    fn histogram_snapshots_stay_consistent_under_concurrent_observes() {
+        // Regression for the torn count/bucket race the model checker
+        // surfaced (count used to be a separate atomic incremented after
+        // the bucket cell): every snapshot taken while writers are mid-
+        // flight must satisfy count == Σ buckets. The exhaustive proof
+        // lives in model_check; this hammers the same invariant in-tier.
+        let reg = Registry::new();
+        let h = reg.histogram("lat", &[1.0, 5.0]);
+        let writers = 4;
+        let per_writer = 5_000;
+        std::thread::scope(|scope| {
+            for w in 0..writers {
+                let h = h.clone();
+                scope.spawn(move || {
+                    for i in 0..per_writer {
+                        h.observe(((w + i) % 7) as f64);
+                    }
+                });
+            }
+            for _ in 0..2_000 {
+                let snap = h.snapshot();
+                let bucket_sum = snap.cumulative.last().map(|(_, c)| *c).unwrap_or(0);
+                assert_eq!(snap.count, bucket_sum, "torn snapshot: {snap:?}");
+                assert!(snap.cumulative.windows(2).all(|x| x[0].1 <= x[1].1));
+                assert!(snap.count <= (writers * per_writer) as u64);
+            }
+        });
+        assert_eq!(h.count(), (writers * per_writer) as u64);
     }
 
     #[test]

@@ -1,0 +1,16 @@
+//! Sync-primitive facade for the metrics registry.
+//!
+//! The registry's hot-path types ([`crate::metrics`]) pull their atomics
+//! and locks from here instead of `std::sync` directly. Normally these
+//! re-export `std`; under the `model-check` feature they come from the
+//! vendored `interleave` shim, whose operations double as scheduling
+//! points so [`crate::model_check`] can exhaustively explore small
+//! interleavings of the real registry code (not a copy of it). Outside an
+//! `interleave::model` run the shim types delegate to `std`, so enabling
+//! the feature does not change ordinary test behavior.
+
+#[cfg(feature = "model-check")]
+pub(crate) use interleave::sync::{atomic, RwLock};
+
+#[cfg(not(feature = "model-check"))]
+pub(crate) use std::sync::{atomic, RwLock};

@@ -247,8 +247,47 @@ impl OnlineWorkload {
         for epoch in &mut self.window {
             epoch.push(0.0);
         }
+        self.debug_check_index_stability();
         i
     }
+
+    /// `debug-invariants` self-check: template indices are append-only
+    /// and every parallel array tracks them. Violations here would
+    /// silently remap transaction ids between snapshots, detaching a
+    /// deployed partitioning from the workload it was solved for.
+    /// Compiles to nothing without the feature.
+    #[cfg(feature = "debug-invariants")]
+    fn debug_check_index_stability(&self) {
+        let n = self.templates.len();
+        assert_eq!(
+            self.current.len(),
+            n,
+            "current[] out of step with templates"
+        );
+        assert_eq!(
+            self.decayed.len(),
+            n,
+            "decayed[] out of step with templates"
+        );
+        assert_eq!(
+            self.index.len(),
+            n,
+            "signature index out of step with templates"
+        );
+        for epoch in &self.window {
+            assert_eq!(epoch.len(), n, "window epoch out of step with templates");
+        }
+        let mut seen = vec![false; n];
+        for &i in self.index.values() {
+            assert!(i < n, "signature index points past the template table");
+            assert!(!seen[i], "two signatures map to template {i}");
+            seen[i] = true;
+        }
+    }
+
+    #[cfg(not(feature = "debug-invariants"))]
+    #[inline(always)]
+    fn debug_check_index_stability(&self) {}
 
     /// Observes `count` executions of template `template` in the open
     /// epoch.
@@ -317,6 +356,7 @@ impl OnlineWorkload {
             }
         }
         self.epoch += 1;
+        self.debug_check_index_stability();
         self.epoch
     }
 
@@ -531,6 +571,33 @@ mod tests {
             tr.observe(99, 1.0),
             Err(OnlineError::UnknownTemplate { template: 99 })
         ));
+    }
+
+    /// With `debug-invariants` on, heavy registration/epoch churn under
+    /// both decay modes keeps passing the index-stability self-check
+    /// (which runs on every registration and epoch close).
+    #[cfg(feature = "debug-invariants")]
+    #[test]
+    fn index_stability_self_check_survives_churn() {
+        for decay in [
+            DecayMode::Exponential { factor: 0.7 },
+            DecayMode::Window { epochs: 3 },
+        ] {
+            let cfg = TrackerConfig {
+                decay,
+                ..TrackerConfig::default()
+            };
+            let mut tr = OnlineWorkload::new("churn", schema(), cfg).unwrap();
+            for round in 0..50usize {
+                tr.observe_instance(&instance(1.0 + round as f64, 2.0))
+                    .unwrap();
+                if round % 4 == 0 {
+                    tr.advance_epoch();
+                }
+            }
+            assert_eq!(tr.n_templates(), 2, "structural merge stays stable");
+            tr.snapshot().unwrap();
+        }
     }
 
     #[test]

@@ -336,6 +336,11 @@ fn cmd_solve(flags: HashMap<String, String>) -> Result<(), String> {
     let cost = cost_config(&flags)?;
     let seed: u64 = get(&flags, "seed", 0xC0FFEE)?;
     let time_limit: f64 = get(&flags, "time-limit", 300.0)?;
+    if time_limit.is_nan() || time_limit <= 0.0 || !time_limit.is_finite() {
+        return Err(format!(
+            "--time-limit must be a positive number of seconds, got {time_limit}"
+        ));
+    }
     let restarts: usize = get(&flags, "restarts", 1)?;
     let threads: usize = get(&flags, "threads", 1)?;
     let probe_levels: usize = get(&flags, "probe-levels", 0)?;

@@ -1,0 +1,140 @@
+//! CLI hardening: malformed user input must produce a one-line error
+//! and exit code 1 — never a panic (exit 101) and never a backtrace.
+
+use std::process::Command;
+
+fn vpart(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_vpart"))
+        .args(args)
+        .output()
+        .expect("vpart binary runs")
+}
+
+/// Runs the CLI and asserts it failed *gracefully*: non-zero but not a
+/// panic, with a diagnostic mentioning `needle` on stderr.
+fn assert_clean_error(args: &[&str], needle: &str) {
+    let out = vpart(args);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success(), "{args:?} should fail\n{stderr}");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "{args:?} must exit 1, not crash: {stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "{args:?} panicked:\n{stderr}");
+    assert!(
+        stderr.contains(needle),
+        "{args:?} stderr should mention {needle:?}:\n{stderr}"
+    );
+}
+
+#[test]
+fn negative_time_limit_is_rejected_not_a_panic() {
+    // Regression: this used to reach Duration::from_secs_f64(-1.0) and
+    // panic with a float-conversion backtrace.
+    assert_clean_error(
+        &[
+            "solve",
+            "--instance",
+            "rndBt4x15",
+            "--sites",
+            "2",
+            "--time-limit",
+            "-1",
+        ],
+        "--time-limit",
+    );
+    assert_clean_error(
+        &[
+            "solve",
+            "--instance",
+            "rndBt4x15",
+            "--sites",
+            "2",
+            "--time-limit",
+            "NaN",
+        ],
+        "--time-limit",
+    );
+}
+
+#[test]
+fn malformed_flag_values_error_cleanly() {
+    assert_clean_error(
+        &["solve", "--instance", "rndBt4x15", "--sites", "-3"],
+        "--sites",
+    );
+    assert_clean_error(
+        &["solve", "--instance", "rndBt4x15", "--sites", "two"],
+        "--sites",
+    );
+    assert_clean_error(
+        &["solve", "--instance", "rndBt4x15", "--sites", "0"],
+        "at least one site",
+    );
+    assert_clean_error(
+        &[
+            "solve",
+            "--instance",
+            "rndBt4x15",
+            "--sites",
+            "2",
+            "--algo",
+            "bogus",
+        ],
+        "unknown algorithm",
+    );
+    assert_clean_error(
+        &["solve", "--instance", "no-such-instance", "--sites", "2"],
+        "unknown instance",
+    );
+    assert_clean_error(&["solve", "--instance"], "needs a value");
+    assert_clean_error(&["frobnicate"], "unknown command");
+}
+
+#[test]
+fn corrupt_instance_files_error_cleanly() {
+    let path = std::env::temp_dir().join(format!("vpart_corrupt_{}.json", std::process::id()));
+    std::fs::write(&path, "{\"schema\": [1, 2,").unwrap();
+    assert_clean_error(
+        &[
+            "solve",
+            "--instance",
+            path.to_str().unwrap(),
+            "--sites",
+            "2",
+        ],
+        "not a valid instance file",
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn watch_validates_online_config_flags() {
+    let dir = std::env::temp_dir();
+    let schema = dir.join(format!("vpart_cli_{}.sql", std::process::id()));
+    let log = dir.join(format!("vpart_cli_{}.log", std::process::id()));
+    std::fs::write(&schema, "CREATE TABLE r (a INT, b INT);\n").unwrap();
+    std::fs::write(&log, "SELECT a FROM r;\n").unwrap();
+    let (schema, log) = (
+        schema.to_str().unwrap().to_owned(),
+        log.to_str().unwrap().to_owned(),
+    );
+
+    for (flag, value, needle) in [
+        ("--decay", "1.5", "decay factor"),
+        ("--rows", "0", "rows_per_fragment"),
+        ("--drift-threshold", "-5", "drift threshold"),
+        ("--interval", "0", "--interval"),
+    ] {
+        assert_clean_error(
+            &[
+                "watch", "--schema", &schema, "--log", &log, "--sites", "2", flag, value,
+            ],
+            needle,
+        );
+    }
+
+    let _ = std::fs::remove_file(schema);
+    let _ = std::fs::remove_file(log);
+}

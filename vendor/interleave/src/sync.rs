@@ -1,0 +1,256 @@
+//! Model-aware drop-ins for `std::sync` primitives. Inside a
+//! [`crate::model`] execution every operation is a scheduling point;
+//! outside one they delegate to `std` untouched.
+
+use crate::{current_ctx, yield_point, Resource};
+
+/// Model-aware atomics ([`atomic::AtomicU64`]) plus the `std` `Ordering`.
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use super::yield_point;
+
+    /// Drop-in for `std::sync::atomic::AtomicU64`; every operation is a
+    /// scheduling point under a model. The memory ordering argument is
+    /// accepted for source compatibility — the explorer runs under
+    /// sequentially-consistent semantics (its scheduler mutex orders all
+    /// operations), so schedules it proves safe are safe for any
+    /// ordering, while `Relaxed`-specific reordering bugs are out of
+    /// scope (interleaving bugs, the common case, are not).
+    #[derive(Debug, Default)]
+    pub struct AtomicU64 {
+        inner: std::sync::atomic::AtomicU64,
+    }
+
+    impl AtomicU64 {
+        /// A new atomic holding `v`.
+        pub const fn new(v: u64) -> Self {
+            Self {
+                inner: std::sync::atomic::AtomicU64::new(v),
+            }
+        }
+
+        /// Model-aware `load`.
+        pub fn load(&self, order: Ordering) -> u64 {
+            yield_point();
+            self.inner.load(order)
+        }
+
+        /// Model-aware `store`.
+        pub fn store(&self, v: u64, order: Ordering) {
+            yield_point();
+            self.inner.store(v, order);
+        }
+
+        /// Model-aware `swap`.
+        pub fn swap(&self, v: u64, order: Ordering) -> u64 {
+            yield_point();
+            self.inner.swap(v, order)
+        }
+
+        /// Model-aware `fetch_add`.
+        pub fn fetch_add(&self, v: u64, order: Ordering) -> u64 {
+            yield_point();
+            self.inner.fetch_add(v, order)
+        }
+
+        /// Model-aware `compare_exchange`.
+        pub fn compare_exchange(
+            &self,
+            current: u64,
+            new: u64,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<u64, u64> {
+            yield_point();
+            self.inner.compare_exchange(current, new, success, failure)
+        }
+
+        /// Model-aware `compare_exchange_weak` (never fails spuriously —
+        /// the explorer covers genuine interference instead).
+        pub fn compare_exchange_weak(
+            &self,
+            current: u64,
+            new: u64,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<u64, u64> {
+            yield_point();
+            self.inner
+                .compare_exchange_weak(current, new, success, failure)
+        }
+    }
+}
+
+/// Distinct ids so blocked threads can be woken by the right release.
+static NEXT_LOCK_ID: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// How long a free-running (post-failure) or passthrough `try_*` loop may
+/// spin before concluding the execution cannot drain.
+const SPIN_LIMIT: usize = 100_000;
+
+/// Drop-in for `std::sync::RwLock`. Under a model, acquisition attempts
+/// are scheduling points and contended threads leave the runnable set
+/// until the holder releases (so lock waits are modeled, not spun).
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    inner: std::sync::RwLock<T>,
+    id: usize,
+}
+
+/// Read guard for [`RwLock`]; releasing wakes modeled waiters.
+pub struct RwLockReadGuard<'a, T> {
+    // Option so Drop can release the std guard before notifying waiters.
+    inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+    exec: Option<std::sync::Arc<crate::Execution>>,
+    lock_id: usize,
+}
+
+/// Write guard for [`RwLock`]; releasing wakes modeled waiters.
+pub struct RwLockWriteGuard<'a, T> {
+    inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+    exec: Option<std::sync::Arc<crate::Execution>>,
+    lock_id: usize,
+}
+
+impl<T> RwLock<T> {
+    /// A new lock holding `v`.
+    pub fn new(v: T) -> Self {
+        Self {
+            inner: std::sync::RwLock::new(v),
+            id: NEXT_LOCK_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        }
+    }
+
+    /// Model-aware shared acquisition.
+    pub fn read(&self) -> std::sync::LockResult<RwLockReadGuard<'_, T>> {
+        let Some((exec, me)) = current_ctx() else {
+            return wrap_read(self.inner.read(), None, self.id);
+        };
+        let mut spins = 0usize;
+        loop {
+            yield_point();
+            match self.inner.try_read() {
+                Ok(g) => {
+                    return Ok(RwLockReadGuard {
+                        inner: Some(g),
+                        exec: Some(exec.clone()),
+                        lock_id: self.id,
+                    })
+                }
+                Err(std::sync::TryLockError::Poisoned(p)) => {
+                    return wrap_read(Err(p), Some(exec.clone()), self.id)
+                }
+                Err(std::sync::TryLockError::WouldBlock) => {
+                    exec.block_on(me, Resource::Lock(self.id));
+                    spins += 1;
+                    assert!(spins <= SPIN_LIMIT, "interleave: lock never released");
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Model-aware exclusive acquisition.
+    pub fn write(&self) -> std::sync::LockResult<RwLockWriteGuard<'_, T>> {
+        let Some((exec, me)) = current_ctx() else {
+            return wrap_write(self.inner.write(), None, self.id);
+        };
+        let mut spins = 0usize;
+        loop {
+            yield_point();
+            match self.inner.try_write() {
+                Ok(g) => {
+                    return Ok(RwLockWriteGuard {
+                        inner: Some(g),
+                        exec: Some(exec.clone()),
+                        lock_id: self.id,
+                    })
+                }
+                Err(std::sync::TryLockError::Poisoned(p)) => {
+                    return wrap_write(Err(p), Some(exec.clone()), self.id)
+                }
+                Err(std::sync::TryLockError::WouldBlock) => {
+                    exec.block_on(me, Resource::Lock(self.id));
+                    spins += 1;
+                    assert!(spins <= SPIN_LIMIT, "interleave: lock never released");
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+fn wrap_read<'a, T>(
+    r: std::sync::LockResult<std::sync::RwLockReadGuard<'a, T>>,
+    exec: Option<std::sync::Arc<crate::Execution>>,
+    lock_id: usize,
+) -> std::sync::LockResult<RwLockReadGuard<'a, T>> {
+    let mk = |g, exec| RwLockReadGuard {
+        inner: Some(g),
+        exec,
+        lock_id,
+    };
+    match r {
+        Ok(g) => Ok(mk(g, exec)),
+        Err(p) => Err(std::sync::PoisonError::new(mk(p.into_inner(), exec))),
+    }
+}
+
+fn wrap_write<'a, T>(
+    r: std::sync::LockResult<std::sync::RwLockWriteGuard<'a, T>>,
+    exec: Option<std::sync::Arc<crate::Execution>>,
+    lock_id: usize,
+) -> std::sync::LockResult<RwLockWriteGuard<'a, T>> {
+    let mk = |g, exec| RwLockWriteGuard {
+        inner: Some(g),
+        exec,
+        lock_id,
+    };
+    match r {
+        Ok(g) => Ok(mk(g, exec)),
+        Err(p) => Err(std::sync::PoisonError::new(mk(p.into_inner(), exec))),
+    }
+}
+
+impl<T> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard live until drop")
+    }
+}
+
+impl<T> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard live until drop")
+    }
+}
+
+impl<T> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard live until drop")
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the underlying lock before waking modeled waiters so a
+        // woken thread's try_read() observes it free.
+        drop(self.inner.take());
+        if let Some(exec) = &self.exec {
+            exec.release(Resource::Lock(self.lock_id));
+        }
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        if let Some(exec) = &self.exec {
+            exec.release(Resource::Lock(self.lock_id));
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Model-aware drop-in for `std::thread::spawn`/`JoinHandle`. Inside a
+//! [`crate::model`] execution, spawned closures become logical threads of
+//! the scheduler; outside one this is a plain `std::thread::spawn`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+use crate::{clear_ctx, current_ctx, panic_msg, set_ctx, yield_point, Resource};
+
+enum Handle<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        exec: Arc<crate::Execution>,
+        id: usize,
+        result: Arc<Mutex<Option<std::thread::Result<T>>>>,
+    },
+}
+
+/// Join handle mirroring `std::thread::JoinHandle`.
+pub struct JoinHandle<T>(Handle<T>);
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result (`Err` with
+    /// the panic payload if it panicked). Under a model, joining is a
+    /// blocking operation the scheduler understands: the joiner leaves
+    /// the runnable set until the target retires.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            Handle::Std(h) => h.join(),
+            Handle::Model { exec, id, result } => {
+                if let Some((_, me)) = current_ctx() {
+                    while !exec.is_finished(id) {
+                        exec.block_on(me, Resource::Thread(id));
+                        // block_on returns immediately in free-run drain
+                        // mode; don't busy-wait the target off the CPU.
+                        std::thread::yield_now();
+                    }
+                } else {
+                    // Joined from outside the model (after a drain); the
+                    // OS thread is reaped by the model runner.
+                    while !exec.is_finished(id) {
+                        std::thread::yield_now();
+                    }
+                }
+                result
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .take()
+                    .expect("retired thread stored its result")
+            }
+        }
+    }
+}
+
+/// Spawns `f` as a logical thread of the active model (or a real thread
+/// when no model is active).
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let Some((exec, _me)) = current_ctx() else {
+        return JoinHandle(Handle::Std(std::thread::spawn(f)));
+    };
+    let id = exec.register_thread();
+    let result: Arc<Mutex<Option<std::thread::Result<T>>>> = Arc::new(Mutex::new(None));
+    let os_handle = {
+        let exec = exec.clone();
+        let result = result.clone();
+        std::thread::spawn(move || {
+            set_ctx(exec.clone(), id);
+            exec.wait_for_token(id);
+            let r = catch_unwind(AssertUnwindSafe(f));
+            if let Err(p) = &r {
+                exec.fail(panic_msg(p.as_ref()));
+            }
+            *result.lock().unwrap_or_else(|p| p.into_inner()) = Some(r);
+            clear_ctx();
+            exec.retire(id);
+        })
+    };
+    exec.track_handle(os_handle);
+    // The new thread is runnable: make its existence a scheduling point so
+    // it can be picked before the spawner's next operation.
+    yield_point();
+    JoinHandle(Handle::Model { exec, id, result })
+}

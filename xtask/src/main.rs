@@ -1,0 +1,141 @@
+//! `cargo xtask` — workspace automation entry point.
+//!
+//! Subcommands:
+//!
+//! * `lint [--json] [--rule <name>] [--root <path>]` — run the offline
+//!   lint engine over the workspace. Exit code 1 when violations are
+//!   found, 2 on usage/IO errors.
+//! * `lint --list-rules` — print rule names and what they enforce.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => cmd_lint(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("error: unknown xtask `{other}`\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage: cargo xtask <command>
+
+commands:
+  lint [--json] [--rule <name>] [--root <path>]
+                     run the workspace lint engine
+  lint --list-rules  describe the available rules
+  help               show this message
+";
+
+fn cmd_lint(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut rule: Option<String> = None;
+    let mut root: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--list-rules" => {
+                for r in xtask::rules::all() {
+                    println!("{:<16} {}", r.name(), r.description());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--rule" => match it.next() {
+                Some(r) => rule = Some(r.clone()),
+                None => {
+                    eprintln!("error: --rule needs a rule name");
+                    return ExitCode::from(2);
+                }
+            },
+            "--root" => match it.next() {
+                Some(p) => root = Some(p.clone()),
+                None => {
+                    eprintln!("error: --root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown lint flag `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if let Some(name) = &rule {
+        if !xtask::rules::all().iter().any(|r| r.name() == name) {
+            eprintln!("error: no rule named `{name}` (try --list-rules)");
+            return ExitCode::from(2);
+        }
+    }
+
+    let root = match root {
+        Some(p) => std::path::PathBuf::from(p),
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("error: cannot determine cwd: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match xtask::find_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("error: no workspace Cargo.toml above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let ws = match xtask::load_workspace(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("error: failed to read workspace at {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let diags = xtask::lint(&ws, rule.as_deref());
+    if json {
+        let arr: Vec<_> = diags.iter().map(|d| d.to_json()).collect();
+        let report = serde_json::json!({
+            "violations": arr,
+            "count": diags.len() as u64,
+            "files_scanned": ws.files.len() as u64,
+        });
+        match serde_json::to_string(&report) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("error: failed to serialize report: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        for d in &diags {
+            println!("{}", d.render());
+        }
+        if diags.is_empty() {
+            eprintln!(
+                "lint: clean — {} files scanned, {} rules",
+                ws.files.len(),
+                xtask::rules::all().len()
+            );
+        } else {
+            eprintln!("lint: {} violation(s)", diags.len());
+        }
+    }
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,492 @@
+//! The lint rules.
+//!
+//! Every rule is named (the name is what `--rule` selects and what
+//! `// lint: allow(<name>)` suppresses) and documents the discipline it
+//! enforces. Rules work off the [`crate::scan`] view: code with
+//! comments/literals blanked, comment text kept separately, and
+//! `#[cfg(test)]` extents marked — so a forbidden token in a doc
+//! example, a string, or a unit test never fires.
+
+use crate::scan::enclosing_fn_and_loop;
+use crate::{Diagnostic, FileKind, SourceFile, Workspace};
+
+pub trait Rule {
+    fn name(&self) -> &'static str;
+    fn description(&self) -> &'static str;
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>);
+}
+
+pub fn all() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(NoUnwrap),
+        Box::new(NoPanic),
+        Box::new(AtomicOrdering),
+        Box::new(VendorShim),
+        Box::new(Determinism),
+        Box::new(ObsDiscipline),
+    ]
+}
+
+/// Library crates held to the no-panic / no-unwrap discipline.
+const LIB_CRATES: &[&str] = &[
+    "crates/model",
+    "crates/core",
+    "crates/ingest",
+    "crates/online",
+    "crates/engine",
+    "crates/obs",
+];
+
+/// Crates on the solver path, where any nondeterminism breaks seed
+/// reproducibility (`Solution`s must be a pure function of input+seed).
+const SOLVER_CRATES: &[&str] = &["crates/model", "crates/core", "crates/ilp", "crates/online"];
+
+fn in_lib_crate(f: &SourceFile, crates: &[&str]) -> bool {
+    f.kind == FileKind::LibSource
+        && f.crate_dir
+            .as_deref()
+            .map(|d| crates.contains(&d))
+            .unwrap_or(false)
+}
+
+/// All byte offsets of `needle` within `hay`.
+fn find_all(hay: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(p) = hay[from..].find(needle) {
+        out.push(from + p);
+        from += p + needle.len();
+    }
+    out
+}
+
+/// True when the byte before `pos` is not part of an identifier, i.e.
+/// the match at `pos` starts a fresh token.
+fn token_start(hay: &str, pos: usize) -> bool {
+    pos == 0 || !hay.as_bytes()[pos - 1].is_ascii_alphanumeric() && hay.as_bytes()[pos - 1] != b'_'
+}
+
+fn diag(
+    rule: &'static str,
+    f: &SourceFile,
+    line_idx: usize,
+    col: usize,
+    message: String,
+    help: &str,
+) -> Diagnostic {
+    Diagnostic {
+        rule,
+        file: f.rel.clone(),
+        line: line_idx + 1,
+        col: col + 1,
+        message,
+        snippet: f.scanned.lines[line_idx].raw.clone(),
+        help: help.to_string(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// no_unwrap
+// ---------------------------------------------------------------------
+
+/// Library code must not call `.unwrap()`, and `.expect(...)` must carry
+/// a real justification message (a string literal of at least 10 chars
+/// explaining why the failure is impossible or fatal). Tests, benches,
+/// binaries and examples are exempt.
+pub struct NoUnwrap;
+
+impl Rule for NoUnwrap {
+    fn name(&self) -> &'static str {
+        "no_unwrap"
+    }
+    fn description(&self) -> &'static str {
+        "no `.unwrap()` and no unjustified `.expect()` in library crates"
+    }
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for f in ws.files.iter().filter(|f| in_lib_crate(f, LIB_CRATES)) {
+            for (i, line) in f.scanned.lines.iter().enumerate() {
+                if line.in_test || line.allows(self.name()) {
+                    continue;
+                }
+                for col in find_all(&line.code, ".unwrap()") {
+                    out.push(diag(
+                        self.name(),
+                        f,
+                        i,
+                        col,
+                        "`.unwrap()` in library code".into(),
+                        "return a typed error, or suppress with `// lint: allow(no_unwrap)`",
+                    ));
+                }
+                for col in find_all(&line.code, ".expect(") {
+                    let arg = &line.code[col + ".expect(".len()..];
+                    match expect_message_len(arg) {
+                        Some(n) if n >= 10 => {}
+                        Some(n) => out.push(diag(
+                            self.name(),
+                            f,
+                            i,
+                            col,
+                            format!(
+                                "`.expect()` message is too short ({n} chars) to justify the panic"
+                            ),
+                            "say *why* the value must exist, or suppress with `// lint: allow(no_unwrap)`",
+                        )),
+                        None => out.push(diag(
+                            self.name(),
+                            f,
+                            i,
+                            col,
+                            "`.expect()` without a literal justification message".into(),
+                            "use a string literal explaining the invariant, or suppress with `// lint: allow(no_unwrap)`",
+                        )),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// If `rest` (text after `.expect(`) starts with a string literal,
+/// return the literal's length; `None` for non-literal arguments.
+/// Multi-line literals count as long (the author clearly wrote prose).
+fn expect_message_len(rest: &str) -> Option<usize> {
+    let rest = rest.trim_start();
+    if !rest.starts_with('"') {
+        return None;
+    }
+    match rest[1..].find('"') {
+        Some(n) => Some(n),
+        None => Some(usize::MAX), // literal continues onto the next line
+    }
+}
+
+// ---------------------------------------------------------------------
+// no_panic
+// ---------------------------------------------------------------------
+
+/// Library code must not contain `panic!`, `unreachable!`, `todo!` or
+/// `unimplemented!`. `assert!`/`debug_assert!` are allowed: they state
+/// invariants rather than punt on error handling.
+pub struct NoPanic;
+
+impl Rule for NoPanic {
+    fn name(&self) -> &'static str {
+        "no_panic"
+    }
+    fn description(&self) -> &'static str {
+        "no panic!/unreachable!/todo!/unimplemented! in library crates"
+    }
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        const MACROS: &[&str] = &["panic!(", "unreachable!(", "todo!(", "unimplemented!("];
+        for f in ws.files.iter().filter(|f| in_lib_crate(f, LIB_CRATES)) {
+            for (i, line) in f.scanned.lines.iter().enumerate() {
+                if line.in_test || line.allows(self.name()) {
+                    continue;
+                }
+                for m in MACROS {
+                    for col in find_all(&line.code, m) {
+                        if !token_start(&line.code, col) {
+                            continue;
+                        }
+                        out.push(diag(
+                            self.name(),
+                            f,
+                            i,
+                            col,
+                            format!("`{}` in library code", &m[..m.len() - 1]),
+                            "bubble a typed error instead, or suppress with `// lint: allow(no_panic)`",
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// atomic_ordering
+// ---------------------------------------------------------------------
+
+/// Every use of a `std::sync::atomic` memory ordering must carry a
+/// nearby `// ordering: ...` comment justifying the choice (same line
+/// or within the 8 lines above, so one comment can cover a CAS loop).
+/// Unjustified `Relaxed` is how the histogram snapshot bug happened.
+pub struct AtomicOrdering;
+
+const ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+const ORDERING_WINDOW: usize = 8;
+
+impl Rule for AtomicOrdering {
+    fn name(&self) -> &'static str {
+        "atomic_ordering"
+    }
+    fn description(&self) -> &'static str {
+        "atomic Ordering:: uses need a nearby `// ordering:` justification"
+    }
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for f in ws.files.iter().filter(|f| {
+            !matches!(
+                f.kind,
+                FileKind::Vendor | FileKind::Xtask | FileKind::TestSource
+            )
+        }) {
+            for (i, line) in f.scanned.lines.iter().enumerate() {
+                if line.in_test || line.allows(self.name()) {
+                    continue;
+                }
+                for col in find_all(&line.code, "Ordering::") {
+                    let after = &line.code[col + "Ordering::".len()..];
+                    let variant = after
+                        .split(|c: char| !c.is_ascii_alphanumeric())
+                        .next()
+                        .unwrap_or("");
+                    if !ORDERINGS.contains(&variant) {
+                        continue; // cmp::Ordering or similar
+                    }
+                    let justified = (i.saturating_sub(ORDERING_WINDOW)..=i)
+                        .any(|j| f.scanned.lines[j].comment.contains("ordering:"));
+                    if !justified {
+                        out.push(diag(
+                            self.name(),
+                            f,
+                            i,
+                            col,
+                            format!(
+                                "`Ordering::{variant}` without an `// ordering:` justification"
+                            ),
+                            "add `// ordering: <why this ordering is sufficient>` nearby",
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// vendor_shim
+// ---------------------------------------------------------------------
+
+/// Offline discipline. Two checks: (a) no `std::net` or
+/// `process::Command` outside tests and xtask — this workspace builds
+/// and runs with no network and spawns no processes from library code;
+/// (b) every `vendor/` path dependency declared in the root manifest is
+/// actually consumed by at least one non-vendor crate, so dead shims
+/// cannot linger unnoticed.
+pub struct VendorShim;
+
+impl Rule for VendorShim {
+    fn name(&self) -> &'static str {
+        "vendor_shim"
+    }
+    fn description(&self) -> &'static str {
+        "no std::net/process::Command outside tests; vendored shims must be consumed"
+    }
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        const FORBIDDEN: &[&str] = &["std::net", "process::Command"];
+        for f in ws.files.iter().filter(|f| {
+            !matches!(
+                f.kind,
+                FileKind::Vendor | FileKind::Xtask | FileKind::TestSource | FileKind::BenchSource
+            )
+        }) {
+            for (i, line) in f.scanned.lines.iter().enumerate() {
+                if line.in_test || line.allows(self.name()) {
+                    continue;
+                }
+                for pat in FORBIDDEN {
+                    for col in find_all(&line.code, pat) {
+                        out.push(diag(
+                            self.name(),
+                            f,
+                            i,
+                            col,
+                            format!("`{pat}` breaks the offline/no-subprocess discipline"),
+                            "library code must stay offline; only tests may spawn or connect",
+                        ));
+                    }
+                }
+            }
+        }
+        // (b) vendored-shim surface: each vendor dep must be used.
+        let Some((root_rel, root_toml)) = ws.manifests.iter().find(|(p, _)| p == "Cargo.toml")
+        else {
+            return;
+        };
+        for dep in vendor_deps(root_toml) {
+            let used = ws.manifests.iter().any(|(p, text)| {
+                p != "Cargo.toml" && !p.starts_with("vendor/") && manifest_mentions_dep(text, &dep)
+            });
+            if !used {
+                out.push(Diagnostic {
+                    rule: self.name(),
+                    file: root_rel.clone(),
+                    line: 1,
+                    col: 1,
+                    message: format!(
+                        "vendored shim `{dep}` is declared but no workspace crate depends on it"
+                    ),
+                    snippet: format!("{dep} = {{ path = \"vendor/...\" }}"),
+                    help: "remove the dead shim or wire it into a consumer".to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// Names of `[workspace.dependencies]` entries whose path points into
+/// `vendor/` (line-lite TOML parse — shim manifests are simple).
+fn vendor_deps(root_toml: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for line in root_toml.lines() {
+        let line = line.trim();
+        if let Some(eq) = line.find('=') {
+            if line[eq..].contains("path") && line[eq..].contains("vendor/") {
+                let name = line[..eq].trim();
+                if !name.is_empty()
+                    && name
+                        .chars()
+                        .all(|c| c.is_alphanumeric() || c == '_' || c == '-')
+                {
+                    out.push(name.to_string());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Does a crate manifest depend on `dep` (directly or via
+/// `workspace = true`)?
+fn manifest_mentions_dep(text: &str, dep: &str) -> bool {
+    text.lines().any(|l| {
+        let l = l.trim();
+        (l.starts_with(&format!("{dep} "))
+            || l.starts_with(&format!("{dep}="))
+            || l.starts_with(&format!("{dep}.")))
+            && l.contains('=')
+    })
+}
+
+// ---------------------------------------------------------------------
+// determinism
+// ---------------------------------------------------------------------
+
+/// Solver-path crates must be deterministic: a `Solution` is a pure
+/// function of the instance and the seed. Wall-clock entropy and OS
+/// randomness are forbidden there (`Instant` is fine — it only feeds
+/// metrics, never decisions).
+pub struct Determinism;
+
+impl Rule for Determinism {
+    fn name(&self) -> &'static str {
+        "determinism"
+    }
+    fn description(&self) -> &'static str {
+        "no SystemTime::now/thread_rng/entropy sources in solver crates"
+    }
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        const FORBIDDEN: &[&str] = &[
+            "SystemTime::now",
+            "thread_rng",
+            "from_entropy",
+            "rand::random",
+        ];
+        for f in ws.files.iter().filter(|f| in_lib_crate(f, SOLVER_CRATES)) {
+            for (i, line) in f.scanned.lines.iter().enumerate() {
+                if line.in_test || line.allows(self.name()) {
+                    continue;
+                }
+                for pat in FORBIDDEN {
+                    for col in find_all(&line.code, pat) {
+                        if !token_start(&line.code, col) {
+                            continue;
+                        }
+                        out.push(diag(
+                            self.name(),
+                            f,
+                            i,
+                            col,
+                            format!("`{pat}` makes the solver path nondeterministic"),
+                            "thread the seeded RNG / caller-supplied timestamp through instead",
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// obs_discipline
+// ---------------------------------------------------------------------
+
+/// Observability must be free when disabled. Any `obs.<record>(...)`
+/// call inside a loop must sit in a function that checked
+/// `is_enabled()` first (the `Obs::disabled()` handle early-returns,
+/// but the *arguments* — formatted names, cloned strings — are
+/// evaluated before the call, so hot loops must skip the whole
+/// call site).
+pub struct ObsDiscipline;
+
+const OBS_METHODS: &[&str] = &[
+    "counter_add(",
+    "counter_inc(",
+    "gauge_set(",
+    "observe(",
+    "observe_wall(",
+    "event(",
+    "event_at(",
+];
+
+impl Rule for ObsDiscipline {
+    fn name(&self) -> &'static str {
+        "obs_discipline"
+    }
+    fn description(&self) -> &'static str {
+        "obs recording calls in loops need an is_enabled() guard in the enclosing fn"
+    }
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for f in ws.files.iter().filter(|f| f.kind == FileKind::LibSource) {
+            if f.crate_dir.as_deref() == Some("crates/obs") {
+                continue; // the registry itself is the recording machinery
+            }
+            for (i, line) in f.scanned.lines.iter().enumerate() {
+                if line.in_test || line.allows(self.name()) {
+                    continue;
+                }
+                for col in find_all(&line.code, "obs.") {
+                    if !token_start(&line.code, col) {
+                        continue; // e.g. `jobs.`
+                    }
+                    let after = &line.code[col + "obs.".len()..];
+                    let Some(m) = OBS_METHODS.iter().find(|m| after.starts_with(**m)) else {
+                        continue;
+                    };
+                    let (encl_fn, in_loop) = enclosing_fn_and_loop(&f.scanned.blocks, i);
+                    if !in_loop {
+                        continue;
+                    }
+                    let fn_start = encl_fn.map(|b| b.open_line).unwrap_or(0);
+                    let guarded = f.scanned.lines[fn_start..=i]
+                        .iter()
+                        .any(|l| l.code.contains("is_enabled("));
+                    if !guarded {
+                        out.push(diag(
+                            self.name(),
+                            f,
+                            i,
+                            col,
+                            format!(
+                                "`obs.{}...)` inside a loop without an `is_enabled()` guard",
+                                &m[..m.len() - 1]
+                            ),
+                            "check `obs.is_enabled()` before the loop so disabled runs pay nothing",
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}

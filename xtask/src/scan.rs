@@ -1,0 +1,466 @@
+//! Token-lite Rust source scanner.
+//!
+//! The lint rules do not need a full parse — they need to know, for every
+//! line, (a) what the *code* says with comments and literal contents
+//! removed, (b) what the *comments* say (justifications and suppressions
+//! live there), (c) whether the line sits inside a `#[cfg(test)]` module,
+//! and (d) the block structure around it (loops, functions). This module
+//! produces that view with a single character-level pass that tracks the
+//! handful of lexical states Rust has: line comments, nested block
+//! comments, string literals, raw strings, and char literals.
+//!
+//! Literal contents are replaced with `x` (same byte count) so column
+//! numbers in diagnostics stay true to the original text and so rules can
+//! still measure literal lengths (e.g. "is this `expect` message a real
+//! justification or a placeholder?") without being fooled by literals
+//! that *contain* code-like text.
+
+/// One scanned source line.
+#[derive(Debug)]
+pub struct Line {
+    /// Original text, for diagnostic snippets.
+    pub raw: String,
+    /// Code view: comments blanked to spaces, string/char literal
+    /// contents replaced with `x`. Byte positions match `raw`.
+    pub code: String,
+    /// Concatenated comment text on this line (without `//` / `/*`).
+    pub comment: String,
+    /// True when the line is inside a `#[cfg(test)]` item.
+    pub in_test: bool,
+    /// Rules suppressed on this line via `// lint: allow(rule,...)` on
+    /// the same line or the line directly above.
+    pub suppressed: Vec<String>,
+}
+
+impl Line {
+    pub fn allows(&self, rule: &str) -> bool {
+        self.suppressed.iter().any(|r| r == rule)
+    }
+}
+
+/// Block kinds the rules care about. Everything that is not a function
+/// body or a loop body is `Other` (match arms, struct literals, closures,
+/// impl blocks, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockKind {
+    Fn,
+    Loop,
+    Other,
+}
+
+/// One `{...}` region, in document order.
+#[derive(Debug)]
+pub struct Block {
+    pub kind: BlockKind,
+    /// Line index (0-based) of the opening `{`.
+    pub open_line: usize,
+    /// Line index of the closing `}` (== last line for unbalanced files).
+    pub close_line: usize,
+    /// Nesting depth of the opening brace (0 = top level).
+    pub depth: usize,
+}
+
+/// A fully scanned file.
+pub struct Scanned {
+    pub lines: Vec<Line>,
+    pub blocks: Vec<Block>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Lex {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+pub fn scan(source: &str) -> Scanned {
+    let mut lines = Vec::new();
+    let mut state = Lex::Code;
+    for raw_line in source.lines() {
+        let (code, comment, next) = scan_line(raw_line, state);
+        state = next;
+        lines.push(Line {
+            raw: raw_line.to_string(),
+            code,
+            comment,
+            in_test: false,
+            suppressed: Vec::new(),
+        });
+    }
+    apply_suppressions(&mut lines);
+    let blocks = find_blocks(&lines);
+    mark_test_extents(&mut lines, &blocks);
+    Scanned { lines, blocks }
+}
+
+/// Scan one line, returning (code view, comment text, state after EOL).
+fn scan_line(raw: &str, mut state: Lex) -> (String, String, Lex) {
+    let bytes: Vec<char> = raw.chars().collect();
+    let mut code = String::with_capacity(raw.len());
+    let mut comment = String::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        match state {
+            Lex::Code => match c {
+                '/' if next == Some('/') => {
+                    comment.extend(bytes[i + 2..].iter());
+                    code.extend(std::iter::repeat_n(' ', bytes.len() - i));
+                    i = bytes.len();
+                    state = Lex::LineComment;
+                }
+                '/' if next == Some('*') => {
+                    code.push_str("  ");
+                    i += 2;
+                    state = Lex::BlockComment(1);
+                }
+                'r' if next == Some('"') || next == Some('#') => {
+                    // Possible raw string r"..." / r#"..."#.
+                    let mut j = i + 1;
+                    let mut hashes = 0u32;
+                    while bytes.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&'"') {
+                        code.extend(bytes[i..=j].iter());
+                        i = j + 1;
+                        state = Lex::RawStr(hashes);
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                }
+                '"' => {
+                    code.push('"');
+                    i += 1;
+                    state = Lex::Str;
+                }
+                '\'' => {
+                    // Char literal vs lifetime. A lifetime is 'ident not
+                    // followed by a closing quote; a char literal always
+                    // closes within a few chars (possibly escaped).
+                    if is_char_literal(&bytes, i) {
+                        code.push('\'');
+                        i += 1;
+                        state = Lex::Char;
+                    } else {
+                        code.push('\'');
+                        i += 1;
+                    }
+                }
+                _ => {
+                    code.push(c);
+                    i += 1;
+                }
+            },
+            Lex::LineComment => unreachable!("line comment consumes to EOL"),
+            Lex::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    code.push_str("  ");
+                    i += 2;
+                    state = if depth == 1 {
+                        Lex::Code
+                    } else {
+                        Lex::BlockComment(depth - 1)
+                    };
+                } else if c == '/' && next == Some('*') {
+                    code.push_str("  ");
+                    i += 2;
+                    state = Lex::BlockComment(depth + 1);
+                } else {
+                    comment.push(c);
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            Lex::Str => match c {
+                '\\' => {
+                    code.push_str("xx");
+                    i += 2.min(bytes.len() - i);
+                    if i > bytes.len() {
+                        i = bytes.len();
+                    }
+                }
+                '"' => {
+                    code.push('"');
+                    i += 1;
+                    state = Lex::Code;
+                }
+                _ => {
+                    code.push('x');
+                    i += 1;
+                }
+            },
+            Lex::RawStr(hashes) => {
+                if c == '"' {
+                    let mut j = i + 1;
+                    let mut seen = 0u32;
+                    while seen < hashes && bytes.get(j) == Some(&'#') {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        code.push('"');
+                        for _ in 0..hashes {
+                            code.push('#');
+                        }
+                        i = j;
+                        state = Lex::Code;
+                    } else {
+                        code.push('x');
+                        i += 1;
+                    }
+                } else {
+                    code.push('x');
+                    i += 1;
+                }
+            }
+            Lex::Char => match c {
+                '\\' => {
+                    code.push_str("xx");
+                    i += 2.min(bytes.len() - i);
+                    if i > bytes.len() {
+                        i = bytes.len();
+                    }
+                }
+                '\'' => {
+                    code.push('\'');
+                    i += 1;
+                    state = Lex::Code;
+                }
+                _ => {
+                    code.push('x');
+                    i += 1;
+                }
+            },
+        }
+    }
+    // Line comments end at EOL; multi-line states persist.
+    if state == Lex::LineComment {
+        state = Lex::Code;
+    }
+    (code, comment, state)
+}
+
+/// Heuristic: at `bytes[i] == '\''`, is this a char literal (vs a
+/// lifetime like `'a` or `'static`)? Char literals close with `'` within
+/// a short window; lifetimes never do before a non-ident char.
+fn is_char_literal(bytes: &[char], i: usize) -> bool {
+    match bytes.get(i + 1) {
+        Some('\\') => true,
+        Some(&c) if c != '\'' => bytes.get(i + 2) == Some(&'\''),
+        _ => false,
+    }
+}
+
+/// Extract `lint: allow(a, b)` suppressions from comment text and apply
+/// them to the same line and the following line.
+fn apply_suppressions(lines: &mut [Line]) {
+    let mut pending: Vec<Vec<String>> = vec![Vec::new(); lines.len()];
+    for (idx, line) in lines.iter().enumerate() {
+        if let Some(rules) = parse_allow(&line.comment) {
+            pending[idx].extend(rules.iter().cloned());
+            if idx + 1 < lines.len() {
+                pending[idx + 1].extend(rules);
+            }
+        }
+    }
+    for (line, sup) in lines.iter_mut().zip(pending) {
+        line.suppressed = sup;
+    }
+}
+
+fn parse_allow(comment: &str) -> Option<Vec<String>> {
+    let at = comment.find("lint: allow(")?;
+    let rest = &comment[at + "lint: allow(".len()..];
+    let close = rest.find(')')?;
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        None
+    } else {
+        Some(rules)
+    }
+}
+
+/// Build the block structure from the code view. Each `{` opens a block
+/// whose kind is inferred from the statement text preceding it on the
+/// logical line (since the last `;`, `{`, or `}`).
+fn find_blocks(lines: &[Line]) -> Vec<Block> {
+    let mut blocks = Vec::new();
+    let mut stack: Vec<usize> = Vec::new(); // indices into `blocks`
+    let mut stmt = String::new(); // text since last ; { }
+    for (li, line) in lines.iter().enumerate() {
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    let kind = classify_block(&stmt);
+                    blocks.push(Block {
+                        kind,
+                        open_line: li,
+                        close_line: lines.len().saturating_sub(1),
+                        depth: stack.len(),
+                    });
+                    stack.push(blocks.len() - 1);
+                    stmt.clear();
+                }
+                '}' => {
+                    if let Some(bi) = stack.pop() {
+                        blocks[bi].close_line = li;
+                    }
+                    stmt.clear();
+                }
+                ';' => stmt.clear(),
+                _ => stmt.push(c),
+            }
+        }
+        stmt.push(' ');
+    }
+    blocks
+}
+
+fn classify_block(stmt: &str) -> BlockKind {
+    let mut kind = BlockKind::Other;
+    // The *last* keyword wins: `for x in foo() { ... }` has `for` first,
+    // but `fn f() { for ... }` sees `fn` then later the `for` opens its
+    // own block with a fresh stmt buffer.
+    for tok in stmt.split(|c: char| !c.is_alphanumeric() && c != '_') {
+        match tok {
+            "fn" => kind = BlockKind::Fn,
+            "for" | "while" | "loop" => kind = BlockKind::Loop,
+            // `match`/`if`/`else`/closures keep whatever we had; a bare
+            // `{` after them is Other unless a loop/fn keyword appeared.
+            _ => {}
+        }
+    }
+    kind
+}
+
+/// Mark lines covered by `#[cfg(test)]`-gated items (modules or single
+/// functions): from the attribute to the close of the first block opened
+/// at or below the attribute's nesting level.
+fn mark_test_extents(lines: &mut [Line], blocks: &[Block]) {
+    let attr_lines: Vec<usize> = lines
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| {
+            let c = &l.code;
+            c.contains("#[cfg(test)]")
+                || c.contains("#[cfg(all(test")
+                || c.contains("#[cfg(any(test")
+        })
+        .map(|(i, _)| i)
+        .collect();
+    for attr in attr_lines {
+        // First block opening at or after the attribute line.
+        if let Some(b) = blocks.iter().find(|b| b.open_line >= attr) {
+            let (from, to) = (attr, b.close_line);
+            for line in &mut lines[from..=to] {
+                line.in_test = true;
+            }
+        }
+    }
+}
+
+/// For a given line index, return the innermost enclosing `fn` block and
+/// whether any loop block sits between it and the line.
+pub fn enclosing_fn_and_loop(blocks: &[Block], line: usize) -> (Option<&Block>, bool) {
+    let mut best_fn: Option<&Block> = None;
+    for b in blocks {
+        if b.kind == BlockKind::Fn && b.open_line <= line && line <= b.close_line {
+            match best_fn {
+                Some(f) if b.depth <= f.depth => {}
+                _ => best_fn = Some(b),
+            }
+        }
+    }
+    let fn_depth = best_fn.map(|b| b.depth).unwrap_or(0);
+    let in_loop = blocks.iter().any(|b| {
+        b.kind == BlockKind::Loop
+            && b.depth > fn_depth
+            && b.open_line <= line
+            && line <= b.close_line
+            && best_fn.map(|f| b.open_line >= f.open_line).unwrap_or(true)
+    });
+    (best_fn, in_loop)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let s =
+            scan("let x = \"unwrap()\"; // .unwrap() here\nlet y = 1; /* panic!() */ let z = 2;\n");
+        assert!(!s.lines[0].code.contains("unwrap"));
+        assert!(s.lines[0].comment.contains(".unwrap()"));
+        assert!(!s.lines[1].code.contains("panic"));
+        assert!(s.lines[1].code.contains("let z"));
+    }
+
+    #[test]
+    fn multiline_block_comments_persist() {
+        let s = scan("/* start\n .unwrap() mid\n end */ let a = 1;\n");
+        assert!(!s.lines[1].code.contains("unwrap"));
+        assert!(s.lines[2].code.contains("let a"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let s = scan("let q = r#\"panic!(\"x\")\"#;\nlet w = 3;\n");
+        assert!(!s.lines[0].code.contains("panic"));
+        assert!(s.lines[1].code.contains("let w"));
+    }
+
+    #[test]
+    fn lifetimes_do_not_open_char_literals() {
+        let s = scan("fn f<'a>(x: &'a str) -> &'a str { x }\nlet c = '\"'; let d = 1;\n");
+        assert!(s.lines[0].code.contains("fn f"));
+        assert!(s.lines[1].code.contains("let d"));
+        assert!(!s.lines[1].code.contains('"') || s.lines[1].code.matches('"').count() == 0);
+    }
+
+    #[test]
+    fn string_literal_lengths_are_preserved() {
+        let s = scan("x.expect(\"short\");\n");
+        assert!(s.lines[0].code.contains("expect(\"xxxxx\")"));
+    }
+
+    #[test]
+    fn suppressions_cover_same_and_next_line() {
+        let s = scan("// lint: allow(no_unwrap)\nlet a = x.unwrap();\nlet b = y.unwrap();\n");
+        assert!(s.lines[1].allows("no_unwrap"));
+        assert!(!s.lines[2].allows("no_unwrap"));
+    }
+
+    #[test]
+    fn cfg_test_extent_covers_module() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let s = scan(src);
+        assert!(!s.lines[0].in_test);
+        assert!(s.lines[4].in_test);
+        assert!(!s.lines[6].in_test);
+    }
+
+    #[test]
+    fn blocks_classify_fns_and_loops() {
+        let src = "fn f() {\n    for i in 0..3 {\n        g(i);\n    }\n}\n";
+        let s = scan(src);
+        assert_eq!(s.blocks[0].kind, BlockKind::Fn);
+        assert_eq!(s.blocks[1].kind, BlockKind::Loop);
+        let (f, in_loop) = enclosing_fn_and_loop(&s.blocks, 2);
+        assert!(f.is_some());
+        assert!(in_loop);
+        let (_, top) = enclosing_fn_and_loop(&s.blocks, 0);
+        assert!(!top);
+    }
+}

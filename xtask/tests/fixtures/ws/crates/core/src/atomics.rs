@@ -1,0 +1,20 @@
+//! Fixture: atomic_ordering violations and exemptions.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn unjustified(a: &AtomicU64) -> u64 {
+    a.load(Ordering::Relaxed)
+}
+
+pub fn suppressed(a: &AtomicU64) {
+    // lint: allow(atomic_ordering)
+    a.store(1, Ordering::SeqCst);
+}
+
+pub fn justified(a: &AtomicU64) -> u64 {
+    // ordering: fixture justification comment
+    a.load(Ordering::Acquire)
+}
+
+pub fn cmp_ordering_is_not_atomic(x: u32, y: u32) -> std::cmp::Ordering {
+    x.cmp(&y)
+}

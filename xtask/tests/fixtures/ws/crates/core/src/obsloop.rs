@@ -1,0 +1,41 @@
+//! Fixture: obs_discipline violations and exemptions.
+
+pub struct Obs;
+impl Obs {
+    pub fn is_enabled(&self) -> bool {
+        true
+    }
+    pub fn counter_add(&self, _name: &str, _v: f64) {}
+}
+
+pub fn unguarded(obs: &Obs, xs: &[f64]) {
+    for x in xs {
+        obs.counter_add("x_total", *x);
+    }
+}
+
+pub fn guarded(obs: &Obs, xs: &[f64]) {
+    if !obs.is_enabled() {
+        return;
+    }
+    for x in xs {
+        obs.counter_add("x_total", *x);
+    }
+}
+
+pub fn suppressed(obs: &Obs, xs: &[f64]) {
+    for x in xs {
+        // lint: allow(obs_discipline)
+        obs.counter_add("x_total", *x);
+    }
+}
+
+pub fn not_in_loop(obs: &Obs) {
+    obs.counter_add("once_total", 1.0);
+}
+
+pub fn other_receiver(jobs: &Obs, xs: &[f64]) {
+    for x in xs {
+        jobs.counter_add("jobs_total", *x);
+    }
+}

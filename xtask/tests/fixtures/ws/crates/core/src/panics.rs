@@ -1,0 +1,22 @@
+//! Fixture: no_panic violations and exemptions.
+
+pub fn bad() {
+    panic!("boom");
+}
+
+pub fn unreach(x: u32) -> u32 {
+    match x {
+        0 => 1,
+        _ => unreachable!(),
+    }
+}
+
+pub fn suppressed() {
+    // lint: allow(no_panic)
+    todo!()
+}
+
+pub fn asserts_are_fine(x: u32) {
+    assert!(x < 10, "x out of range");
+    debug_assert!(x != 3);
+}

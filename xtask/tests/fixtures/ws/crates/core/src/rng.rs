@@ -1,0 +1,15 @@
+//! Fixture: determinism violations and exemptions.
+
+pub fn wall_clock_seed() -> u64 {
+    let _t = std::time::SystemTime::now();
+    0
+}
+
+pub fn os_entropy() {
+    let _r = thread_rng();
+}
+
+pub fn suppressed() {
+    // lint: allow(determinism)
+    let _r = thread_rng();
+}

@@ -1,0 +1,35 @@
+//! Fixture: no_unwrap violations and exemptions.
+
+pub fn bad(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn short_expect(v: Option<u32>) -> u32 {
+    v.expect("nope")
+}
+
+pub fn non_literal(v: Option<u32>, msg: &str) -> u32 {
+    v.expect(msg)
+}
+
+pub fn justified(v: Option<u32>) -> u32 {
+    v.expect("caller guarantees non-empty input by construction")
+}
+
+pub fn suppressed(v: Option<u32>) -> u32 {
+    // lint: allow(no_unwrap)
+    v.unwrap()
+}
+
+/// Doc example: `x.unwrap()` must not fire, nor "y.unwrap()" in strings.
+pub fn doc_mentions() -> &'static str {
+    "z.unwrap()"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        Some(1).unwrap();
+    }
+}

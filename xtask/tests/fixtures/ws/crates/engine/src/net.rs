@@ -1,0 +1,9 @@
+//! Fixture: vendor_shim file violations.
+
+pub fn connect() {
+    let _ = std::net::TcpStream::connect("127.0.0.1:1");
+}
+
+pub fn spawn() {
+    let _ = std::process::Command::new("ls");
+}

@@ -1,0 +1,6 @@
+//! Fixture: integration tests may spawn processes (CLI tests do).
+
+#[test]
+fn tests_may_use_command() {
+    let _ = std::process::Command::new("ls");
+}
