@@ -1,8 +1,9 @@
 //! CI benchmark smoke run: solves the TPC-C and web-shop instances,
 //! measures annealing-move throughput (incremental vs full
-//! re-evaluation), records wall time + objective, and writes a
-//! `BENCH_<sha>.json` artifact so the performance trajectory is tracked
-//! on every push.
+//! re-evaluation), replays both workloads through the columnar engine at
+//! production rate (txns/sec and true-byte model error), records wall
+//! time and objective, and writes a `BENCH_<sha>.json` artifact so the
+//! performance trajectory is tracked on every push.
 //!
 //! ```text
 //! cargo run --release -p vpart_bench --bin bench_smoke -- \
@@ -16,14 +17,20 @@
 //!
 //! `--check <baseline.json>` compares the fresh run against a previous
 //! artifact (matched by bench name) and exits non-zero when any solve
-//! wall time regresses by more than 25% or any objective worsens — the
-//! CI regression gate.
+//! wall time regresses by more than 25%, any objective worsens, any
+//! replay row's throughput drops by more than 25%, or any replay row's
+//! |model error| exceeds the pinned bound — the CI regression gate.
+//! Every failure line names the tripped row and metric with baseline vs
+//! current values.
 
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use vpart_core::qp::{QpConfig, QpSolver};
 use vpart_core::sa::{SaConfig, SaSolver};
-use vpart_core::{fast_objective6, CostCoefficients, CostConfig, IncrementalCost};
+use vpart_core::{
+    fast_objective6, predicted_txn_bytes, CostCoefficients, CostConfig, IncrementalCost,
+};
+use vpart_engine::{PredictedBytes, ReplayConfig, ReplayDeployment, ReplayStream};
 use vpart_model::{Instance, Partitioning, SiteId, TxnId};
 use vpart_obs::Obs;
 
@@ -52,6 +59,21 @@ const WALL_SLACK_SECS: f64 = 0.5;
 /// Relative objective tolerance for `--check` (rounding noise only —
 /// solves are seeded, so objectives are reproducible).
 const OBJECTIVE_TOLERANCE: f64 = 1e-9;
+/// `--check` floor on replay throughput relative to the baseline
+/// artifact's: a drop beyond this fraction fails the gate. Replay rows
+/// run for [`REPLAY_MIN_DURATION`] so the rate is averaged over many
+/// passes, which keeps this bound meaningful on a shared runner.
+const THROUGHPUT_TOLERANCE: f64 = 0.25;
+/// `--check` ceiling on the replay harness's |model error|. Both CI
+/// workloads have integer attribute widths, row counts and frequencies,
+/// so the true-byte meters agree with the fractional cost model exactly
+/// (measured ratio 0.0); the bound leaves headroom only for future
+/// fractional-width workloads, where quantization opens a real gap.
+const MODEL_ERROR_BOUND: f64 = 0.15;
+/// Replay benchmark rows keep re-running their pass until this much wall
+/// time has elapsed, so the reported txns/sec averages over enough passes
+/// to survive scheduler jitter.
+const REPLAY_MIN_DURATION: Duration = Duration::from_millis(200);
 
 /// One solver measurement for the artifact.
 fn measure(
@@ -246,8 +268,68 @@ fn obs_overhead(instance: &Instance, sites: usize) -> (serde_json::Value, serde_
     )
 }
 
+/// Trace-replay benchmark: solves the instance, expands the workload
+/// into a seeded execution stream, replays it through the columnar
+/// engine at production rate and reports txns/sec plus the true-byte
+/// model error against [`predicted_txn_bytes`]. Both numbers land in the
+/// artifact; `--check` gates a >[`THROUGHPUT_TOLERANCE`] throughput drop
+/// against the baseline and a |model error| above [`MODEL_ERROR_BOUND`]
+/// (the latter self-contained — no baseline fields needed).
+fn replay_benchmark(name: &str, instance: &Instance, sites: usize, seed: u64) -> serde_json::Value {
+    let cost = CostConfig::default();
+    let part = SaSolver::new(SaConfig::fast_deterministic(seed))
+        .solve(instance, sites, &cost)
+        .expect("SA solves the replay target")
+        .partitioning;
+    let stream = ReplayStream::weighted(instance, 500, seed);
+    let per = predicted_txn_bytes(instance, &part, &cost);
+    let counts = stream.counts(instance.n_txns());
+    let mut predicted = PredictedBytes::default();
+    for (t, &c) in counts.iter().enumerate() {
+        predicted.read += c as f64 * per[t].read;
+        predicted.written += c as f64 * per[t].written;
+        predicted.transferred += c as f64 * per[t].transferred;
+    }
+    let mut dep = ReplayDeployment::new(instance, &part, 256, 32).expect("replay target deploys");
+    let report = dep
+        .replay(
+            &stream,
+            &ReplayConfig::timed(4, REPLAY_MIN_DURATION),
+            Some(&predicted),
+        )
+        .expect("replay stream is non-empty and in range");
+    let me = report
+        .model_error
+        .expect("a prediction was supplied, so the error is computed");
+    let totals = report.totals();
+    let tput = report.throughput_txns_per_sec();
+    println!(
+        "{name:<28} {tput:>10.0} txns/sec   model error {:>+8.4}   ({} passes)",
+        me.overall_ratio, report.passes
+    );
+    serde_json::json!({
+        "name": name,
+        "instance": instance.name(),
+        "sites": sites,
+        "stream_len": report.stream_len,
+        "passes": report.passes,
+        "txns_replayed": report.txns_replayed,
+        "elapsed_secs": report.elapsed.as_secs_f64(),
+        "txns_per_sec": tput,
+        "bytes_read": totals.bytes_read,
+        "bytes_written": totals.bytes_written,
+        "bytes_transferred": report.transfer_bytes,
+        "model_error_ratio": me.overall_ratio,
+        "model_error_read": me.read_ratio,
+        "model_error_write": me.write_ratio,
+        "model_error_transfer": me.transfer_ratio,
+    })
+}
+
 /// `--check` comparison of this run against a previous artifact. Returns
-/// human-readable regression descriptions (empty = gate passes).
+/// human-readable regression descriptions (empty = gate passes). Every
+/// line names the tripped row and metric and shows baseline vs current,
+/// so a red CI run is actionable without re-running anything.
 fn check_against_baseline(
     baseline: &serde_json::Value,
     artifact: &serde_json::Value,
@@ -289,10 +371,11 @@ fn check_against_baseline(
         };
         if now_wall > base_wall * (1.0 + WALL_TOLERANCE) && now_wall > base_wall + WALL_SLACK_SECS {
             failures.push(format!(
-                "{name}: wall time regressed {:.3}s -> {:.3}s (> {:.0}% over baseline)",
+                "{name}: wall_secs baseline {:.3} -> current {:.3} (regressed > {:.0}% and > {}s slack)",
                 base_wall,
                 now_wall,
-                WALL_TOLERANCE * 100.0
+                WALL_TOLERANCE * 100.0,
+                WALL_SLACK_SECS
             ));
         }
         // Gate on objective (6) — what the solvers actually minimize —
@@ -306,7 +389,9 @@ fn check_against_baseline(
             };
         if let (Some(base_obj), Some(now_obj)) = (field_f64(base, key), field_f64(now, key)) {
             if now_obj > base_obj + OBJECTIVE_TOLERANCE * (1.0 + base_obj.abs()) {
-                failures.push(format!("{name}: {key} worsened {base_obj} -> {now_obj}"));
+                failures.push(format!(
+                    "{name}: {key} baseline {base_obj} -> current {now_obj} (seeded solves must not worsen)"
+                ));
             }
         }
     }
@@ -324,8 +409,56 @@ fn check_against_baseline(
     if let (Some(base), Some(now)) = (ratio(baseline), ratio(artifact)) {
         if now < base - ACCEPTANCE_COLLAPSE_DROP {
             failures.push(format!(
-                "sa_acceptance_ratio collapsed {base:.3} -> {now:.3} (> {ACCEPTANCE_COLLAPSE_DROP} drop)"
+                "metrics: sa_acceptance_ratio baseline {base:.3} -> current {now:.3} \
+                 (collapsed > {ACCEPTANCE_COLLAPSE_DROP} drop)"
             ));
+        }
+    }
+    // Replay throughput: matched by row name across the artifacts'
+    // "replay" arrays. The rows average over REPLAY_MIN_DURATION of
+    // passes, so a drop past the tolerance is a real engine regression,
+    // not a scheduler hiccup.
+    fn replay_rows(v: &serde_json::Value) -> &[serde_json::Value] {
+        v.get("replay").and_then(|r| r.as_array()).unwrap_or(&[])
+    }
+    let now_replay = replay_rows(artifact);
+    for base in replay_rows(baseline) {
+        let Some(name) = field_str(base, "name") else {
+            continue;
+        };
+        let Some(now) = now_replay
+            .iter()
+            .find(|b| field_str(b, "name").as_deref() == Some(&name))
+        else {
+            failures.push(format!(
+                "{name}: replay row present in baseline but not in this run"
+            ));
+            continue;
+        };
+        if let (Some(base_t), Some(now_t)) = (
+            field_f64(base, "txns_per_sec"),
+            field_f64(now, "txns_per_sec"),
+        ) {
+            if now_t < base_t * (1.0 - THROUGHPUT_TOLERANCE) {
+                failures.push(format!(
+                    "{name}: txns_per_sec baseline {base_t:.0} -> current {now_t:.0} \
+                     (regressed > {:.0}%)",
+                    THROUGHPUT_TOLERANCE * 100.0
+                ));
+            }
+        }
+    }
+    // Model error: self-contained — the true-byte meters must stay within
+    // the pinned bound of the cost model's prediction regardless of what
+    // the baseline recorded.
+    for row in now_replay {
+        let name = field_str(row, "name").unwrap_or_else(|| "replay".into());
+        match field_f64(row, "model_error_ratio") {
+            Some(e) if e.is_finite() && e.abs() <= MODEL_ERROR_BOUND => {}
+            Some(e) => failures.push(format!(
+                "{name}: model_error_ratio current {e:+.4} (|error| bound {MODEL_ERROR_BOUND})"
+            )),
+            None => failures.push(format!("{name}: replay row carries no model_error_ratio")),
         }
     }
     failures
@@ -517,6 +650,10 @@ fn main() -> ExitCode {
         annealing_throughput(&tpcc, 3),
         annealing_throughput(&shop, 2),
     ];
+    let replay = vec![
+        replay_benchmark("replay/tpcc-3-sites", &tpcc, 3, 1),
+        replay_benchmark("replay/web-shop-2-sites", &shop, 2, 7),
+    ];
     let (obs_bench, metrics_snapshot) = obs_overhead(&tpcc, 3);
 
     let criterion: Vec<serde_json::Value> = flag("--criterion")
@@ -532,6 +669,7 @@ fn main() -> ExitCode {
         "sha": sha,
         "benches": benches,
         "annealing_throughput": throughput,
+        "replay": replay,
         "obs_overhead": obs_bench,
         "metrics": metrics_snapshot,
         "criterion": criterion,

@@ -7,9 +7,12 @@
 //!   partitioning,
 //! * [`incremental`] — delta evaluation of objective (6) under point
 //!   mutations (the SA inner loop's fast path),
-//! * [`latency`] — the ψ-indicator latency term of Appendix A.
+//! * [`latency`] — the ψ-indicator latency term of Appendix A,
+//! * [`predict`] — the per-transaction byte decomposition consumed by the
+//!   replay harness for model-vs-measured validation.
 
 pub mod coeffs;
 pub mod incremental;
 pub mod latency;
 pub mod objective;
+pub mod predict;

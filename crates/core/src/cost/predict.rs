@@ -1,0 +1,210 @@
+//! Per-transaction predicted-byte decomposition.
+//!
+//! [`evaluate`](crate::cost::objective::evaluate) reports workload-level
+//! totals; the replay harness (`vpart_engine::replay`) needs the same
+//! quantities *per transaction* so a trace with arbitrary per-template
+//! execution counts can be priced: the model's prediction for a stream
+//! with counts `n_t` is `Σ_t n_t · TxnBytes[t]`.
+//!
+//! One "execution" of transaction `t` here means what one engine
+//! execution means: every query of `t` runs at its workload frequency
+//! (the cost model's totals are exactly one execution of every
+//! transaction). Summed over all transactions, the decomposition equals
+//! the [`CostBreakdown`](crate::cost::objective::CostBreakdown) totals —
+//! asserted by tests, since the two are computed by independent walks.
+
+use crate::config::{CostConfig, WriteAccounting};
+use vpart_model::{AttrId, Instance, Partitioning, TxnId};
+
+/// Predicted bytes for a single execution of one transaction.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TxnBytes {
+    /// Bytes read by storage access methods (whole fraction rows at the
+    /// home site, for every read query of the transaction).
+    pub read: f64,
+    /// Bytes written by storage access methods across all replica sites,
+    /// per the configured write-accounting strategy.
+    pub written: f64,
+    /// Bytes shipped to remote replicas (α-attribute replication traffic).
+    pub transferred: f64,
+}
+
+impl TxnBytes {
+    /// Total predicted bytes touched (read + written + transferred).
+    pub fn total(&self) -> f64 {
+        self.read + self.written + self.transferred
+    }
+}
+
+/// The model's per-transaction byte decomposition under `part`.
+///
+/// Entry `t` prices one execution of `TxnId(t)`; the component sums over
+/// all transactions equal the `read`/`write`/`transfer` fields of
+/// [`evaluate`](crate::cost::objective::evaluate).
+pub fn predicted_txn_bytes(
+    instance: &Instance,
+    part: &Partitioning,
+    config: &CostConfig,
+) -> Vec<TxnBytes> {
+    let n_sites = part.n_sites();
+    let mut out = Vec::with_capacity(instance.n_txns());
+    for t in 0..instance.n_txns() {
+        let txn = TxnId::from_index(t);
+        let home = part.site_of(txn);
+        let mut bytes = TxnBytes::default();
+        for &qid in &instance.workload().txn(txn).queries {
+            let q = instance.workload().query(qid);
+            if q.kind.is_write() {
+                for &(table, rows) in &q.table_rows {
+                    let mut relevant_sites = vec![false; n_sites];
+                    if config.write_accounting == WriteAccounting::RelevantAttributes {
+                        for &a in &q.attrs {
+                            if instance.schema().table_of(a) == table {
+                                for s in part.attr_sites(a) {
+                                    relevant_sites[s.index()] = true;
+                                }
+                            }
+                        }
+                    }
+                    for ai in instance.schema().table_attrs(table) {
+                        let a = AttrId::from_index(ai);
+                        let w = instance.schema().width(a) * q.frequency * rows;
+                        match config.write_accounting {
+                            WriteAccounting::AllAttributes => {
+                                bytes.written += w * part.replication(a) as f64;
+                            }
+                            WriteAccounting::NoAttributes => {}
+                            WriteAccounting::RelevantAttributes => {
+                                for s in part.attr_sites(a) {
+                                    if relevant_sites[s.index()] {
+                                        bytes.written += w;
+                                    }
+                                }
+                            }
+                        }
+                        if q.accesses_attr(a) {
+                            for s in part.attr_sites(a) {
+                                if s != home {
+                                    bytes.transferred += w;
+                                }
+                            }
+                        }
+                    }
+                }
+            } else {
+                for &(table, rows) in &q.table_rows {
+                    for ai in instance.schema().table_attrs(table) {
+                        let a = AttrId::from_index(ai);
+                        if part.has_attr(a, home) {
+                            bytes.read += instance.schema().width(a) * q.frequency * rows;
+                        }
+                    }
+                }
+            }
+        }
+        out.push(bytes);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::objective::evaluate;
+    use vpart_model::workload::QuerySpec;
+    use vpart_model::{Schema, SiteId, Workload};
+
+    /// R{k(4), v(8)}: T0 reads k (f=2); T1 writes v (f=1, 3 rows).
+    fn instance() -> Instance {
+        let mut sb = Schema::builder();
+        sb.table("R", &[("k", 4.0), ("v", 8.0)]).unwrap();
+        let schema = sb.build().unwrap();
+        let mut wb = Workload::builder(&schema);
+        let q0 = wb
+            .add_query(QuerySpec::read("q0").access(&[AttrId(0)]).frequency(2.0))
+            .unwrap();
+        let q1 = wb
+            .add_query(
+                QuerySpec::write("q1")
+                    .access(&[AttrId(1)])
+                    .rows(vpart_model::TableId(0), 3.0),
+            )
+            .unwrap();
+        wb.transaction("T0", &[q0]).unwrap();
+        wb.transaction("T1", &[q1]).unwrap();
+        Instance::new("predict", schema, wb.build().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn per_txn_bytes_by_hand() {
+        let ins = instance();
+        let cfg = CostConfig::default();
+        let part = Partitioning::single_site(&ins, 1).unwrap();
+        let per = predicted_txn_bytes(&ins, &part, &cfg);
+        // T0: reads whole fraction (k+v = 12) × f2 × 1 row = 24.
+        assert_eq!(
+            per[0],
+            TxnBytes {
+                read: 24.0,
+                written: 0.0,
+                transferred: 0.0
+            }
+        );
+        // T1: writes all attrs (12) × 3 rows on one replica = 36; no
+        // remote replicas → no transfer.
+        assert_eq!(
+            per[1],
+            TxnBytes {
+                read: 0.0,
+                written: 36.0,
+                transferred: 0.0
+            }
+        );
+        assert_eq!(per[1].total(), 36.0);
+    }
+
+    /// The per-transaction decomposition sums to the workload-level
+    /// breakdown, for every write-accounting strategy and with
+    /// replication in play — two independent walks agreeing.
+    #[test]
+    fn sums_match_evaluate() {
+        let ins = instance();
+        for wa in [
+            WriteAccounting::AllAttributes,
+            WriteAccounting::NoAttributes,
+            WriteAccounting::RelevantAttributes,
+        ] {
+            let cfg = CostConfig::default().with_write_accounting(wa);
+            let mut part = Partitioning::single_site(&ins, 2).unwrap();
+            part.add_replica(AttrId(1), SiteId(1));
+            let per = predicted_txn_bytes(&ins, &part, &cfg);
+            let b = evaluate(&ins, &part, &cfg);
+            let read: f64 = per.iter().map(|t| t.read).sum();
+            let written: f64 = per.iter().map(|t| t.written).sum();
+            let transferred: f64 = per.iter().map(|t| t.transferred).sum();
+            assert!((read - b.read).abs() < 1e-9, "{wa:?} read");
+            assert!((written - b.write).abs() < 1e-9, "{wa:?} write");
+            assert!((transferred - b.transfer).abs() < 1e-9, "{wa:?} transfer");
+        }
+    }
+
+    #[test]
+    fn sums_match_evaluate_on_tpcc_shaped_layouts() {
+        let ins = instance();
+        let cfg = CostConfig::default();
+        for x in [
+            vec![SiteId(0), SiteId(0)],
+            vec![SiteId(0), SiteId(1)],
+            vec![SiteId(1), SiteId(0)],
+        ] {
+            let part = Partitioning::minimal_for_x(&ins, x, 2).unwrap();
+            let per = predicted_txn_bytes(&ins, &part, &cfg);
+            let b = evaluate(&ins, &part, &cfg);
+            let total: f64 = per.iter().map(TxnBytes::total).sum();
+            assert!(
+                (total - (b.read + b.write + b.transfer)).abs() < 1e-9,
+                "decomposition total diverges"
+            );
+        }
+    }
+}

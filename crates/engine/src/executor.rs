@@ -33,6 +33,12 @@ pub enum EngineError {
         /// Which invariant broke.
         what: &'static str,
     },
+    /// A replay stream or configuration is unusable (empty stream,
+    /// out-of-range transaction ids, …).
+    InvalidReplay {
+        /// What was wrong with the replay request.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -47,6 +53,9 @@ impl fmt::Display for EngineError {
             }
             Self::CorruptPlan { what } => {
                 write!(f, "migration plan is inconsistent: {what}")
+            }
+            Self::InvalidReplay { what } => {
+                write!(f, "invalid replay request: {what}")
             }
         }
     }

@@ -32,9 +32,14 @@
 //! ```
 
 pub mod executor;
+pub mod replay;
 pub mod storage;
 pub mod trace;
 
 pub use executor::{Deployment, EngineError, ExecutionReport, MigrationReport, SiteMetrics};
-pub use storage::{Fragment, Site};
+pub use replay::{
+    PredictedBytes, ReplayConfig, ReplayDeployment, ReplayModelError, ReplayReport, ReplayStream,
+    SiteBytes,
+};
+pub use storage::{ColumnFragment, Fragment, Site};
 pub use trace::Trace;

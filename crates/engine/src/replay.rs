@@ -1,0 +1,925 @@
+//! Production-rate trace replay with true-byte metering.
+//!
+//! [`Deployment::execute`](crate::Deployment::execute) meters *fractional*
+//! bytes (average widths × fractional row counts) and therefore agrees
+//! with the cost model exactly — by construction. This module answers the
+//! harder question: how far is the model from what an executor moving
+//! **physical** bytes at full speed actually does?
+//!
+//! A [`ReplayDeployment`] materializes the partitioning as columnar
+//! storage ([`ColumnFragment`]) split into a fixed number of contiguous
+//! *row-range shards*. A [`ReplayStream`] expands an instance (or a
+//! recorded [`Trace`]) into a seeded, deterministic stream of row-level
+//! touches. The driver replays the stream with `std::thread::scope`
+//! workers, each owning a contiguous chunk of shards outright:
+//!
+//! * every worker walks the **whole** stream and executes only the
+//!   touches whose row falls in its shards — row ownership, no locks;
+//! * byte meters are per-shard `u64`s merged in shard order, so totals
+//!   are **bit-identical across thread counts** (the shard count, not the
+//!   thread count, fixes the summation structure);
+//! * pass 0 is the metered pass; subsequent passes repeat the same work
+//!   until the configured duration elapses and only feed the
+//!   throughput clock.
+//!
+//! The measured bytes are compared against the cost model's prediction
+//! ([`PredictedBytes`], computed by the caller from
+//! `vpart_core::predicted_txn_bytes` — the engine deliberately does not
+//! depend on the solver crates) yielding a [`ReplayModelError`]: the
+//! relative gap between predicted and true bytes, which quantifies the
+//! model's quantization error (average widths and fractional row counts
+//! vs. physical rounded-up columns and integer rows).
+
+use crate::storage::ColumnFragment;
+use crate::trace::Trace;
+use std::time::{Duration, Instant};
+use vpart_model::{AttrId, Instance, Partitioning, TxnId};
+use vpart_obs::Obs;
+
+use crate::executor::EngineError;
+
+/// Default shard count: fixed independently of `threads` so meter
+/// summation structure — and thus every byte total — is identical no
+/// matter how many workers replay the stream.
+pub const DEFAULT_SHARDS: usize = 32;
+
+const FNV_PRIME: u64 = 1099511628211;
+
+/// splitmix64 finalizer: the row-touch hash.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seeded, deterministic stream of transaction executions to replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayStream {
+    /// Transaction executions in order.
+    pub executions: Vec<TxnId>,
+    /// Seed for the row-touch hash (which table rows each execution hits).
+    pub seed: u64,
+}
+
+impl ReplayStream {
+    /// Every transaction exactly `rounds` times, round-robin.
+    pub fn uniform(instance: &Instance, rounds: usize, seed: u64) -> Self {
+        Self {
+            executions: Trace::uniform(instance, rounds).executions,
+            seed,
+        }
+    }
+
+    /// `total` executions sampled proportionally to each transaction's
+    /// total query frequency (seeded, deterministic).
+    pub fn weighted(instance: &Instance, total: usize, seed: u64) -> Self {
+        Self {
+            executions: Trace::weighted(instance, total, seed).executions,
+            seed,
+        }
+    }
+
+    /// Replays a recorded trace.
+    pub fn from_trace(trace: &Trace, seed: u64) -> Self {
+        Self {
+            executions: trace.executions.clone(),
+            seed,
+        }
+    }
+
+    /// Number of executions per pass.
+    pub fn len(&self) -> usize {
+        self.executions.len()
+    }
+
+    /// True if the stream has no executions.
+    pub fn is_empty(&self) -> bool {
+        self.executions.is_empty()
+    }
+
+    /// How many times each transaction appears.
+    pub fn counts(&self, n_txns: usize) -> Vec<usize> {
+        let mut c = vec![0; n_txns];
+        for t in &self.executions {
+            c[t.index()] += 1;
+        }
+        c
+    }
+}
+
+/// Replay driver knobs.
+#[derive(Debug, Clone)]
+pub struct ReplayConfig {
+    /// Worker threads (clamped to `[1, shards]`).
+    pub threads: usize,
+    /// Keep replaying whole passes until at least this much wall time has
+    /// elapsed (zero ⇒ exactly one pass — the fully deterministic mode).
+    pub min_duration: Duration,
+    /// Hard cap on passes regardless of duration.
+    pub max_passes: usize,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        Self {
+            threads: 1,
+            min_duration: Duration::ZERO,
+            max_passes: usize::MAX,
+        }
+    }
+}
+
+impl ReplayConfig {
+    /// `threads` workers, one metered pass, no timing passes.
+    pub fn deterministic(threads: usize) -> Self {
+        Self {
+            threads,
+            ..Self::default()
+        }
+    }
+
+    /// `threads` workers replaying for at least `min_duration`.
+    pub fn timed(threads: usize, min_duration: Duration) -> Self {
+        Self {
+            threads,
+            min_duration,
+            max_passes: usize::MAX,
+        }
+    }
+}
+
+/// The cost model's predicted bytes for one replay pass of a stream.
+///
+/// Callers build this by summing `vpart_core::predicted_txn_bytes` over
+/// the stream's per-transaction counts; the engine takes it as opaque
+/// numbers so the model and the meter stay independently implemented.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PredictedBytes {
+    /// Predicted bytes read by storage access methods.
+    pub read: f64,
+    /// Predicted bytes written by storage access methods.
+    pub written: f64,
+    /// Predicted bytes shipped between sites.
+    pub transferred: f64,
+}
+
+impl PredictedBytes {
+    /// Total predicted bytes.
+    pub fn total(&self) -> f64 {
+        self.read + self.written + self.transferred
+    }
+}
+
+/// Relative model-vs-measured gap, per component and overall.
+///
+/// Ratios are signed: `(measured − predicted) / predicted`. A component
+/// predicted as zero yields `0.0` when the meter also saw zero and
+/// `f64::INFINITY` otherwise (the model missed real traffic).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplayModelError {
+    /// What the model predicted for the metered pass.
+    pub predicted: PredictedBytes,
+    /// What the meter measured (physical bytes, exact integers as `f64`).
+    pub measured: PredictedBytes,
+    /// Signed relative error on bytes read.
+    pub read_ratio: f64,
+    /// Signed relative error on bytes written.
+    pub write_ratio: f64,
+    /// Signed relative error on bytes transferred.
+    pub transfer_ratio: f64,
+    /// Signed relative error on total bytes — the headline number.
+    pub overall_ratio: f64,
+}
+
+fn signed_ratio(measured: f64, predicted: f64) -> f64 {
+    if predicted <= f64::EPSILON {
+        if measured <= f64::EPSILON {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (measured - predicted) / predicted
+    }
+}
+
+impl ReplayModelError {
+    fn new(predicted: PredictedBytes, measured: PredictedBytes) -> Self {
+        Self {
+            predicted,
+            measured,
+            read_ratio: signed_ratio(measured.read, predicted.read),
+            write_ratio: signed_ratio(measured.written, predicted.written),
+            transfer_ratio: signed_ratio(measured.transferred, predicted.transferred),
+            overall_ratio: signed_ratio(measured.total(), predicted.total()),
+        }
+    }
+}
+
+/// Exact per-site physical byte meters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SiteBytes {
+    /// Physical bytes read by storage access methods.
+    pub bytes_read: u64,
+    /// Physical bytes written by storage access methods.
+    pub bytes_written: u64,
+}
+
+impl SiteBytes {
+    /// Total storage work on this site.
+    pub fn work(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+}
+
+/// Result of a replay run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayReport {
+    /// Per-site physical meters from the metered pass (pass 0).
+    pub per_site: Vec<SiteBytes>,
+    /// Physical bytes shipped between sites during the metered pass.
+    pub transfer_bytes: u64,
+    /// Executions per pass (the stream length).
+    pub stream_len: usize,
+    /// Whole passes replayed (≥ 1; pass 0 is the metered one).
+    pub passes: usize,
+    /// Total transaction executions across all passes.
+    pub txns_replayed: usize,
+    /// Physical rows read during the metered pass.
+    pub rows_read: u64,
+    /// Physical rows written during the metered pass.
+    pub rows_written: u64,
+    /// Checksum over read payloads of the metered pass (forces real data
+    /// movement; reproducibility probe — thread-count independent).
+    pub checksum: u64,
+    /// Wall time across all passes.
+    pub elapsed: Duration,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Row-range shards used.
+    pub shards: usize,
+    /// Model-vs-measured gap, when a prediction was supplied.
+    pub model_error: Option<ReplayModelError>,
+}
+
+impl ReplayReport {
+    /// Aggregated meters across sites.
+    pub fn totals(&self) -> SiteBytes {
+        let mut t = SiteBytes::default();
+        for s in &self.per_site {
+            t.bytes_read += s.bytes_read;
+            t.bytes_written += s.bytes_written;
+        }
+        t
+    }
+
+    /// Measured throughput in transaction executions per second.
+    pub fn throughput_txns_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.txns_replayed as f64 / secs
+    }
+
+    /// The meter fields that must be bit-identical across thread counts
+    /// and runs: per-site bytes, transfer, rows, stream length, checksum.
+    pub fn meter_fingerprint(&self) -> (Vec<SiteBytes>, u64, u64, u64, usize, u64) {
+        (
+            self.per_site.clone(),
+            self.transfer_bytes,
+            self.rows_read,
+            self.rows_written,
+            self.stream_len,
+            self.checksum,
+        )
+    }
+}
+
+/// Per-shard meter: owned by exactly one worker during a pass, merged in
+/// shard order afterwards — the key to thread-count-independent totals.
+#[derive(Debug, Clone, Default)]
+struct ShardMeter {
+    site_read: Vec<u64>,
+    site_written: Vec<u64>,
+    transfer: u64,
+    rows_read: u64,
+    rows_written: u64,
+    checksum: u64,
+}
+
+impl ShardMeter {
+    fn new(n_sites: usize) -> Self {
+        Self {
+            site_read: vec![0; n_sites],
+            site_written: vec![0; n_sites],
+            ..Self::default()
+        }
+    }
+}
+
+/// One site's storage inside one shard: columnar fragments per table plus
+/// a preallocated row-assembly buffer reused by every read.
+#[derive(Debug, Clone)]
+struct ShardSite {
+    fragments: Vec<Option<ColumnFragment>>,
+    buf: Vec<u8>,
+}
+
+/// One contiguous row-range shard: all sites' fragment segments for those
+/// rows, plus the shard's meter. A worker owns whole shards — every
+/// byte a touch moves lives inside the shard that owns its row.
+#[derive(Debug, Clone)]
+struct StoreShard {
+    sites: Vec<ShardSite>,
+    meter: ShardMeter,
+}
+
+/// Per-table touch plan of one query.
+#[derive(Debug, Clone)]
+struct TablePlan {
+    table_idx: usize,
+    /// Physical rows touched per repetition (`round(n).max(1)`).
+    n_phys: usize,
+    /// Physical transfer bytes per touched row: `Σ_{a∈α∩table}
+    /// ceil(w_a) × |replicas(a) ∖ {home}|` (writes only).
+    transfer_per_row: u64,
+}
+
+/// Precompiled execution plan of one query.
+#[derive(Debug, Clone)]
+struct QueryPlan {
+    write: bool,
+    /// Repetitions per execution (`round(f_q).max(1)` — engine semantics).
+    reps: usize,
+    /// Stable hash key distinguishing this query's touches.
+    key: u64,
+    tables: Vec<TablePlan>,
+}
+
+/// Precompiled plan of one transaction.
+#[derive(Debug, Clone)]
+struct TxnPlan {
+    home: usize,
+    queries: Vec<QueryPlan>,
+}
+
+/// A partitioning deployed as sharded columnar storage for replay.
+#[derive(Debug, Clone)]
+pub struct ReplayDeployment<'a> {
+    instance: &'a Instance,
+    partitioning: Partitioning,
+    shards: Vec<StoreShard>,
+    plans: Vec<TxnPlan>,
+    rows_per_table: usize,
+    rows_per_shard: usize,
+    obs: Obs,
+}
+
+impl<'a> ReplayDeployment<'a> {
+    /// Validates `partitioning` and materializes columnar storage:
+    /// `rows_per_table` rows of every table, vertically fractioned per
+    /// site, split into `shards` contiguous row-range shards.
+    pub fn new(
+        instance: &'a Instance,
+        partitioning: &Partitioning,
+        rows_per_table: usize,
+        shards: usize,
+    ) -> Result<Self, EngineError> {
+        partitioning.validate(instance, false)?;
+        let rows_per_table = rows_per_table.max(1);
+        let n_shards = shards.clamp(1, rows_per_table);
+        let rows_per_shard = rows_per_table.div_ceil(n_shards);
+        let schema = instance.schema();
+        let n_sites = partitioning.n_sites();
+        let n_tables = instance.n_tables();
+
+        let mut store = Vec::with_capacity(n_shards);
+        for s in 0..n_shards {
+            let base = s * rows_per_shard;
+            let rows = rows_per_shard.min(rows_per_table.saturating_sub(base));
+            let mut sites = Vec::with_capacity(n_sites);
+            for si in 0..n_sites {
+                let site_id = vpart_model::SiteId::from_index(si);
+                let mut fragments = Vec::with_capacity(n_tables);
+                let mut buf_len = 0usize;
+                for t in 0..n_tables {
+                    let table = vpart_model::TableId::from_index(t);
+                    let attrs: Vec<(AttrId, f64)> = schema
+                        .table_attrs(table)
+                        .map(AttrId::from_index)
+                        .filter(|&a| partitioning.has_attr(a, site_id))
+                        .map(|a| (a, schema.width(a)))
+                        .collect();
+                    if attrs.is_empty() || rows == 0 {
+                        fragments.push(None);
+                    } else {
+                        let frag = ColumnFragment::new(table, attrs, base, rows);
+                        buf_len = buf_len.max(frag.row_width());
+                        fragments.push(Some(frag));
+                    }
+                }
+                sites.push(ShardSite {
+                    fragments,
+                    buf: vec![0u8; buf_len],
+                });
+            }
+            store.push(StoreShard {
+                sites,
+                meter: ShardMeter::new(n_sites),
+            });
+        }
+
+        // Precompile per-transaction touch plans: everything the hot loop
+        // needs, resolved to indices and integer widths up front.
+        let mut plans = Vec::with_capacity(instance.n_txns());
+        for t in 0..instance.n_txns() {
+            let txn = TxnId::from_index(t);
+            let home = partitioning.site_of(txn);
+            let mut queries = Vec::new();
+            for &qid in &instance.workload().txn(txn).queries {
+                let q = instance.workload().query(qid);
+                let mut tables = Vec::with_capacity(q.table_rows.len());
+                for &(table, n) in &q.table_rows {
+                    let mut transfer_per_row = 0u64;
+                    if q.kind.is_write() {
+                        for &a in &q.attrs {
+                            if schema.table_of(a) == table {
+                                let w = (schema.width(a).ceil() as u64).max(1);
+                                let remote =
+                                    partitioning.attr_sites(a).filter(|&s| s != home).count()
+                                        as u64;
+                                transfer_per_row += w * remote;
+                            }
+                        }
+                    }
+                    tables.push(TablePlan {
+                        table_idx: table.index(),
+                        n_phys: n.round().max(1.0) as usize,
+                        transfer_per_row,
+                    });
+                }
+                queries.push(QueryPlan {
+                    write: q.kind.is_write(),
+                    reps: q.frequency.round().max(1.0) as usize,
+                    key: mix(0x5EED_0000_0000_0000 ^ qid.index() as u64),
+                    tables,
+                });
+            }
+            plans.push(TxnPlan {
+                home: home.index(),
+                queries,
+            });
+        }
+
+        Ok(Self {
+            instance,
+            partitioning: partitioning.clone(),
+            shards: store,
+            plans,
+            rows_per_table,
+            rows_per_shard,
+            obs: Obs::disabled(),
+        })
+    }
+
+    /// Attaches an observability sink: [`replay`](Self::replay) then
+    /// records a `replay` span, the `replay_txns_total` /
+    /// `replay_bytes_total` / `replay_passes_total` counters and the
+    /// `model_error_ratio` / `replay_txns_per_sec` gauges. Off by default.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The deployed partitioning.
+    pub fn partitioning(&self) -> &Partitioning {
+        &self.partitioning
+    }
+
+    /// The instance this deployment serves.
+    pub fn instance(&self) -> &Instance {
+        self.instance
+    }
+
+    /// Rows materialized per table.
+    pub fn rows_per_table(&self) -> usize {
+        self.rows_per_table
+    }
+
+    /// Row-range shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total physically materialized bytes across shards and sites.
+    pub fn stored_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .flat_map(|sh| &sh.sites)
+            .flat_map(|s| s.fragments.iter().flatten())
+            .map(ColumnFragment::payload_bytes)
+            .sum()
+    }
+
+    /// Replays `stream` and reports exact physical byte meters, optionally
+    /// judged against the model's `predicted` bytes for one pass.
+    ///
+    /// Pass 0 is metered; further whole passes run until
+    /// `config.min_duration` elapses (or `max_passes` is hit) and count
+    /// toward throughput only. Meters are bit-identical across thread
+    /// counts and repeated runs with the same stream and shard count.
+    pub fn replay(
+        &mut self,
+        stream: &ReplayStream,
+        config: &ReplayConfig,
+        predicted: Option<&PredictedBytes>,
+    ) -> Result<ReplayReport, EngineError> {
+        if stream.is_empty() {
+            return Err(EngineError::InvalidReplay {
+                what: "replay stream has no executions",
+            });
+        }
+        for t in &stream.executions {
+            if t.index() >= self.plans.len() {
+                return Err(EngineError::InvalidReplay {
+                    what: "stream references a transaction outside the instance",
+                });
+            }
+        }
+        let n_sites = self.partitioning.n_sites();
+        let n_shards = self.shards.len();
+        let threads = config.threads.clamp(1, n_shards);
+        let max_passes = config.max_passes.max(1);
+        let span = self.obs.span_begin(
+            "replay",
+            &[
+                ("stream_len", stream.len().into()),
+                ("threads", threads.into()),
+                ("shards", n_shards.into()),
+            ],
+        );
+
+        for shard in &mut self.shards {
+            shard.meter = ShardMeter::new(n_sites);
+        }
+
+        let start = Instant::now();
+        let mut passes = 0usize;
+        loop {
+            self.run_pass(stream, threads, passes == 0);
+            passes += 1;
+            if passes >= max_passes || start.elapsed() >= config.min_duration {
+                break;
+            }
+        }
+        let elapsed = start.elapsed();
+
+        // Merge in shard order: the summation structure depends only on
+        // the (fixed) shard count, never on the thread count.
+        let mut per_site = vec![SiteBytes::default(); n_sites];
+        let mut transfer = 0u64;
+        let mut rows_read = 0u64;
+        let mut rows_written = 0u64;
+        let mut checksum = 0u64;
+        for shard in &self.shards {
+            for (si, site) in per_site.iter_mut().enumerate() {
+                site.bytes_read += shard.meter.site_read[si];
+                site.bytes_written += shard.meter.site_written[si];
+            }
+            transfer += shard.meter.transfer;
+            rows_read += shard.meter.rows_read;
+            rows_written += shard.meter.rows_written;
+            checksum = checksum
+                .wrapping_mul(FNV_PRIME)
+                .wrapping_add(shard.meter.checksum);
+        }
+
+        let measured = PredictedBytes {
+            read: per_site.iter().map(|s| s.bytes_read as f64).sum(),
+            written: per_site.iter().map(|s| s.bytes_written as f64).sum(),
+            transferred: transfer as f64,
+        };
+        let model_error = predicted.map(|p| ReplayModelError::new(*p, measured));
+
+        let report = ReplayReport {
+            per_site,
+            transfer_bytes: transfer,
+            stream_len: stream.len(),
+            passes,
+            txns_replayed: passes * stream.len(),
+            rows_read,
+            rows_written,
+            checksum,
+            elapsed,
+            threads,
+            shards: n_shards,
+            model_error,
+        };
+
+        if self.obs.is_enabled() {
+            self.obs
+                .counter_add("replay_txns_total", report.txns_replayed as f64);
+            self.obs.counter_add(
+                "replay_bytes_total",
+                measured.total() * report.passes as f64,
+            );
+            self.obs
+                .counter_add("replay_passes_total", report.passes as f64);
+            self.obs
+                .gauge_set("replay_txns_per_sec", report.throughput_txns_per_sec());
+            if let Some(me) = &report.model_error {
+                self.obs.gauge_set("model_error_ratio", me.overall_ratio);
+            }
+            self.obs.span_end(
+                span,
+                &[
+                    ("passes", report.passes.into()),
+                    ("txns_replayed", report.txns_replayed.into()),
+                    ("bytes_read", report.totals().bytes_read.into()),
+                    ("bytes_written", report.totals().bytes_written.into()),
+                    ("transfer_bytes", report.transfer_bytes.into()),
+                    ("checksum", report.checksum.into()),
+                ],
+            );
+        }
+
+        Ok(report)
+    }
+
+    /// One whole pass over the stream: workers own disjoint shard chunks,
+    /// each walks the full stream and executes only its rows' touches.
+    fn run_pass(&mut self, stream: &ReplayStream, threads: usize, metered: bool) {
+        let plans = &self.plans;
+        let rows_per_table = self.rows_per_table as u64;
+        let rows_per_shard = self.rows_per_shard;
+        let n_shards = self.shards.len();
+        let chunk = n_shards.div_ceil(threads);
+        let seed = stream.seed;
+        std::thread::scope(|scope| {
+            for (ci, shard_chunk) in self.shards.chunks_mut(chunk).enumerate() {
+                let first_shard = ci * chunk;
+                scope.spawn(move || {
+                    let owned = first_shard..first_shard + shard_chunk.len();
+                    for (exec_idx, txn) in stream.executions.iter().enumerate() {
+                        let plan = &plans[txn.index()];
+                        let exec_key = mix(seed ^ (exec_idx as u64).wrapping_mul(0x9E37_79B9));
+                        let tag = (exec_idx % 251) as u8;
+                        for q in &plan.queries {
+                            for rep in 0..q.reps {
+                                let rep_key = exec_key ^ q.key ^ mix(rep as u64);
+                                for tp in &q.tables {
+                                    let tbl_key = rep_key ^ mix(0xAB1E ^ tp.table_idx as u64);
+                                    for j in 0..tp.n_phys {
+                                        let row =
+                                            (mix(tbl_key ^ j as u64) % rows_per_table) as usize;
+                                        let s = row / rows_per_shard;
+                                        if !owned.contains(&s) {
+                                            continue;
+                                        }
+                                        let shard = &mut shard_chunk[s - first_shard];
+                                        if q.write {
+                                            write_touch(shard, tp, row, tag, metered);
+                                        } else {
+                                            read_touch(shard, plan, tp, row, metered);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Writes one physical row of `tp`'s table on every replica site of the
+/// owning shard and meters physical bytes plus replication transfer.
+#[inline]
+fn write_touch(shard: &mut StoreShard, tp: &TablePlan, row: usize, tag: u8, metered: bool) {
+    let StoreShard { sites, meter } = shard;
+    for (si, site) in sites.iter_mut().enumerate() {
+        if let Some(frag) = site.fragments[tp.table_idx].as_mut() {
+            let w = frag.write_row(row, tag);
+            if metered {
+                meter.site_written[si] += w as u64;
+                meter.rows_written += 1;
+            }
+        }
+    }
+    // α attributes of this row travel to every remote replica — priced
+    // once per row, not per destination fragment.
+    if metered {
+        meter.transfer += tp.transfer_per_row;
+    }
+}
+
+/// Reads one physical row of `tp`'s table at the home site of the owning
+/// shard, assembling it into the site's preallocated buffer.
+#[inline]
+fn read_touch(shard: &mut StoreShard, plan: &TxnPlan, tp: &TablePlan, row: usize, metered: bool) {
+    let StoreShard { sites, meter } = shard;
+    let ShardSite { fragments, buf } = &mut sites[plan.home];
+    if let Some(frag) = fragments[tp.table_idx].as_ref() {
+        let n = frag.read_row_into(row, buf);
+        if metered {
+            meter.site_read[plan.home] += n as u64;
+            meter.rows_read += 1;
+            meter.checksum = meter
+                .checksum
+                .wrapping_mul(FNV_PRIME)
+                .wrapping_add(buf[0] as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpart_model::workload::QuerySpec;
+    use vpart_model::{Schema, SiteId, Workload};
+
+    /// R{a(4), b(8)}: T0 reads a (1 row); T1 writes b (2 rows).
+    fn instance() -> Instance {
+        let mut sb = Schema::builder();
+        sb.table("R", &[("a", 4.0), ("b", 8.0)]).unwrap();
+        let schema = sb.build().unwrap();
+        let mut wb = Workload::builder(&schema);
+        let q0 = wb
+            .add_query(QuerySpec::read("q0").access(&[AttrId(0)]))
+            .unwrap();
+        let q1 = wb
+            .add_query(
+                QuerySpec::write("q1")
+                    .access(&[AttrId(1)])
+                    .rows(vpart_model::TableId(0), 2.0),
+            )
+            .unwrap();
+        wb.transaction("T0", &[q0]).unwrap();
+        wb.transaction("T1", &[q1]).unwrap();
+        Instance::new("replay", schema, wb.build().unwrap()).unwrap()
+    }
+
+    /// Fractional widths: R{a(2.5)}: T0 reads a; physical width is 3.
+    fn fractional_instance() -> Instance {
+        let mut sb = Schema::builder();
+        sb.table("R", &[("a", 2.5)]).unwrap();
+        let schema = sb.build().unwrap();
+        let mut wb = Workload::builder(&schema);
+        let q0 = wb
+            .add_query(QuerySpec::read("q0").access(&[AttrId(0)]))
+            .unwrap();
+        wb.transaction("T0", &[q0]).unwrap();
+        Instance::new("frac", schema, wb.build().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn single_site_physical_meters_by_hand() {
+        let ins = instance();
+        let part = Partitioning::single_site(&ins, 1).unwrap();
+        let mut dep = ReplayDeployment::new(&ins, &part, 64, 4).unwrap();
+        let stream = ReplayStream::uniform(&ins, 1, 7);
+        let report = dep
+            .replay(&stream, &ReplayConfig::deterministic(1), None)
+            .unwrap();
+        let t = report.totals();
+        // T0 reads 1 physical row of the whole fraction: 4 + 8 = 12 bytes.
+        assert_eq!(t.bytes_read, 12);
+        // T1 writes 2 physical rows on the single replica: 2 × 12 = 24.
+        assert_eq!(t.bytes_written, 24);
+        assert_eq!(report.transfer_bytes, 0);
+        assert_eq!(report.rows_read, 1);
+        assert_eq!(report.rows_written, 2);
+        assert_eq!(report.passes, 1);
+        assert_eq!(report.txns_replayed, 2);
+        assert!(report.model_error.is_none());
+    }
+
+    #[test]
+    fn replication_generates_physical_transfer() {
+        let ins = instance();
+        let mut part = Partitioning::single_site(&ins, 2).unwrap();
+        part.add_replica(AttrId(1), SiteId(1)); // b replicated; T1 home = s0
+        let mut dep = ReplayDeployment::new(&ins, &part, 32, 4).unwrap();
+        let stream = ReplayStream::uniform(&ins, 1, 7);
+        let report = dep
+            .replay(&stream, &ReplayConfig::deterministic(1), None)
+            .unwrap();
+        // Transfer: b (8 bytes) × 2 physical rows to the remote replica.
+        assert_eq!(report.transfer_bytes, 16);
+        // Writes hit both fragments: 2 × 12 at site 0 + 2 × 8 at site 1.
+        assert_eq!(report.per_site[0].bytes_written, 24);
+        assert_eq!(report.per_site[1].bytes_written, 16);
+    }
+
+    #[test]
+    fn meters_are_thread_count_independent() {
+        let ins = instance();
+        let part = Partitioning::single_site(&ins, 1).unwrap();
+        let stream = ReplayStream::weighted(&ins, 200, 11);
+        let mut reference = None;
+        for threads in [1usize, 2, 3, 8] {
+            let mut dep = ReplayDeployment::new(&ins, &part, 100, 8).unwrap();
+            let report = dep
+                .replay(&stream, &ReplayConfig::deterministic(threads), None)
+                .unwrap();
+            let fp = report.meter_fingerprint();
+            match &reference {
+                None => reference = Some(fp),
+                Some(r) => assert_eq!(r, &fp, "meters diverge at {threads} threads"),
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_runs_are_deterministic() {
+        let ins = instance();
+        let part = Partitioning::single_site(&ins, 1).unwrap();
+        let stream = ReplayStream::weighted(&ins, 100, 5);
+        let run = |threads| {
+            ReplayDeployment::new(&ins, &part, 50, 8)
+                .unwrap()
+                .replay(&stream, &ReplayConfig::deterministic(threads), None)
+                .unwrap()
+                .meter_fingerprint()
+        };
+        assert_eq!(run(2), run(2));
+    }
+
+    #[test]
+    fn quantization_gap_shows_in_model_error() {
+        let ins = fractional_instance();
+        let part = Partitioning::single_site(&ins, 1).unwrap();
+        let mut dep = ReplayDeployment::new(&ins, &part, 16, 2).unwrap();
+        let stream = ReplayStream::uniform(&ins, 1, 3);
+        // Model predicts the fractional width 2.5 per read row.
+        let predicted = PredictedBytes {
+            read: 2.5,
+            written: 0.0,
+            transferred: 0.0,
+        };
+        let report = dep
+            .replay(&stream, &ReplayConfig::deterministic(1), Some(&predicted))
+            .unwrap();
+        assert_eq!(report.totals().bytes_read, 3, "physical width rounds up");
+        let me = report.model_error.expect("prediction was supplied");
+        assert!((me.read_ratio - 0.2).abs() < 1e-12, "3 vs 2.5 → +20%");
+        assert_eq!(me.transfer_ratio, 0.0, "zero predicted, zero measured");
+        assert!((me.overall_ratio - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timing_passes_scale_throughput_but_not_meters() {
+        let ins = instance();
+        let part = Partitioning::single_site(&ins, 1).unwrap();
+        let stream = ReplayStream::uniform(&ins, 5, 1);
+        let mut dep = ReplayDeployment::new(&ins, &part, 32, 4).unwrap();
+        let one = dep
+            .replay(&stream, &ReplayConfig::deterministic(1), None)
+            .unwrap();
+        let mut dep = ReplayDeployment::new(&ins, &part, 32, 4).unwrap();
+        let many = dep
+            .replay(
+                &stream,
+                &ReplayConfig {
+                    threads: 1,
+                    min_duration: Duration::from_millis(5),
+                    max_passes: 64,
+                },
+                None,
+            )
+            .unwrap();
+        assert!(many.passes >= 1);
+        assert_eq!(many.txns_replayed, many.passes * stream.len());
+        // Metered quantities come from pass 0 only.
+        assert_eq!(one.meter_fingerprint(), many.meter_fingerprint());
+        assert!(many.throughput_txns_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn empty_stream_is_rejected() {
+        let ins = instance();
+        let part = Partitioning::single_site(&ins, 1).unwrap();
+        let mut dep = ReplayDeployment::new(&ins, &part, 8, 2).unwrap();
+        let stream = ReplayStream {
+            executions: vec![],
+            seed: 0,
+        };
+        assert!(matches!(
+            dep.replay(&stream, &ReplayConfig::default(), None),
+            Err(EngineError::InvalidReplay { .. })
+        ));
+    }
+
+    #[test]
+    fn shard_count_clamps_to_rows() {
+        let ins = instance();
+        let part = Partitioning::single_site(&ins, 1).unwrap();
+        let dep = ReplayDeployment::new(&ins, &part, 4, 64).unwrap();
+        assert_eq!(dep.n_shards(), 4);
+        assert!(dep.stored_bytes() > 0);
+    }
+}

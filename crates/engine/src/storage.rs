@@ -5,6 +5,13 @@
 //! (the H-store/row-store assumption — access happens in quantums of whole
 //! fraction rows). Row payloads are materialized deterministically so the
 //! executor really moves bytes instead of just counting them.
+//!
+//! [`ColumnFragment`] is the replay harness's storage: the same vertical
+//! fraction, but laid out **columnarly** (one contiguous byte vector per
+//! attribute, physical — i.e. rounded-up — widths) and covering only a
+//! contiguous *row segment* of the table, so disjoint segments can be
+//! owned mutably by different replay workers. Reads assemble a fraction
+//! row into a caller-provided buffer; all meters are integer bytes.
 
 use vpart_model::{AttrId, SiteId, TableId};
 
@@ -74,6 +81,116 @@ impl Fragment {
     }
 }
 
+/// One columnar vertical table fraction covering a contiguous row segment.
+///
+/// Unlike [`Fragment`] (fractional average widths, whole-table rows), a
+/// `ColumnFragment` stores each attribute in its own contiguous column at
+/// its *physical* width (`ceil(w_a).max(1)` bytes) and holds only rows
+/// `base_row .. base_row + rows` of the table. The replay driver builds
+/// one per `(shard, site, table)` so each worker owns its shard's storage
+/// outright — no locks, no atomics, byte meters in exact `u64`.
+#[derive(Debug, Clone)]
+pub struct ColumnFragment {
+    /// The table this fraction belongs to.
+    pub table: TableId,
+    /// The attributes stored here, in global id order.
+    pub attrs: Vec<AttrId>,
+    /// First table row covered by this segment.
+    pub base_row: usize,
+    /// Rows in this segment.
+    pub rows: usize,
+    /// Physical per-attribute widths in bytes (`ceil(w_a).max(1)`).
+    widths: Vec<usize>,
+    /// One contiguous column per attribute (`rows × widths[i]` bytes).
+    columns: Vec<Vec<u8>>,
+    row_width: usize,
+}
+
+impl ColumnFragment {
+    /// Materializes the segment with a deterministic, row-global fill:
+    /// byte `j` of table row `r` in attribute `a`'s column depends only on
+    /// `(table, a, r, j)`, never on the segment boundaries — so checksums
+    /// are invariant under re-sharding.
+    pub fn new(table: TableId, attrs: Vec<(AttrId, f64)>, base_row: usize, rows: usize) -> Self {
+        let mut ids = Vec::with_capacity(attrs.len());
+        let mut widths = Vec::with_capacity(attrs.len());
+        let mut columns = Vec::with_capacity(attrs.len());
+        let mut row_width = 0usize;
+        for (a, w) in attrs {
+            let pw = (w.ceil() as usize).max(1);
+            let mut col = vec![0u8; rows * pw];
+            for (i, b) in col.iter_mut().enumerate() {
+                let r = base_row + i / pw;
+                let j = i % pw;
+                *b = ((r * pw + j) as u32)
+                    .wrapping_mul(2654435761)
+                    .wrapping_add(table.0 ^ (a.0 << 8))
+                    .to_le_bytes()[0];
+            }
+            ids.push(a);
+            widths.push(pw);
+            columns.push(col);
+            row_width += pw;
+        }
+        Self {
+            table,
+            attrs: ids,
+            base_row,
+            rows,
+            widths,
+            columns,
+            row_width,
+        }
+    }
+
+    /// Physical width of one fraction row (`Σ ceil(w_a).max(1)`).
+    pub fn row_width(&self) -> usize {
+        self.row_width
+    }
+
+    /// Physical width of attribute `a` here, or 0 when absent.
+    pub fn attr_width(&self, a: AttrId) -> usize {
+        match self.attrs.binary_search(&a) {
+            Ok(i) => self.widths[i],
+            Err(_) => 0,
+        }
+    }
+
+    /// Assembles table row `row` (a *global* row index inside this
+    /// segment) into `buf`, gathering each attribute's bytes from its
+    /// column. Returns the physical bytes read. `buf` must be at least
+    /// [`row_width`](Self::row_width) long — replay preallocates it once
+    /// per site and reuses it for every read.
+    pub fn read_row_into(&self, row: usize, buf: &mut [u8]) -> usize {
+        debug_assert!(row >= self.base_row && row < self.base_row + self.rows);
+        let local = row - self.base_row;
+        let mut at = 0usize;
+        for (w, col) in self.widths.iter().zip(&self.columns) {
+            buf[at..at + w].copy_from_slice(&col[local * w..(local + 1) * w]);
+            at += w;
+        }
+        at
+    }
+
+    /// Overwrites table row `row` of every column with `tag`; returns the
+    /// physical bytes written.
+    pub fn write_row(&mut self, row: usize, tag: u8) -> usize {
+        debug_assert!(row >= self.base_row && row < self.base_row + self.rows);
+        let local = row - self.base_row;
+        for (w, col) in self.widths.iter().zip(self.columns.iter_mut()) {
+            for b in &mut col[local * w..(local + 1) * w] {
+                *b = tag;
+            }
+        }
+        self.row_width
+    }
+
+    /// Physical payload size of this segment in bytes.
+    pub fn payload_bytes(&self) -> usize {
+        self.columns.iter().map(Vec::len).sum()
+    }
+}
+
 /// One site: a set of table fractions plus access counters.
 #[derive(Debug, Clone)]
 pub struct Site {
@@ -137,6 +254,40 @@ mod tests {
         let f = Fragment::new(TableId(1), vec![AttrId(5)], 2.5, 4);
         assert_eq!(f.payload_bytes(), 4 * 3);
         assert_eq!(f.width, 2.5);
+    }
+
+    #[test]
+    fn column_fragment_round_trip() {
+        let mut f = ColumnFragment::new(TableId(0), vec![(AttrId(0), 4.0), (AttrId(2), 2.5)], 0, 8);
+        // Physical widths round up: 4 + 3 = 7 bytes per row.
+        assert_eq!(f.row_width(), 7);
+        assert_eq!(f.payload_bytes(), 8 * 7);
+        assert_eq!(f.attr_width(AttrId(0)), 4);
+        assert_eq!(f.attr_width(AttrId(2)), 3);
+        assert_eq!(f.attr_width(AttrId(1)), 0);
+        let mut buf = vec![0u8; 7];
+        assert_eq!(f.read_row_into(3, &mut buf), 7);
+        let before = buf.clone();
+        assert_eq!(f.write_row(3, 0xCD), 7);
+        f.read_row_into(3, &mut buf);
+        assert_eq!(buf, vec![0xCD; 7]);
+        assert_ne!(before, buf);
+    }
+
+    /// The fill is row-global: the same table row carries the same bytes
+    /// no matter which segment materializes it.
+    #[test]
+    fn column_fragment_fill_is_segment_invariant() {
+        let attrs = vec![(AttrId(0), 4.0), (AttrId(1), 8.0)];
+        let whole = ColumnFragment::new(TableId(2), attrs.clone(), 0, 16);
+        let upper = ColumnFragment::new(TableId(2), attrs, 10, 6);
+        let mut a = vec![0u8; whole.row_width()];
+        let mut b = vec![0u8; upper.row_width()];
+        for row in 10..16 {
+            whole.read_row_into(row, &mut a);
+            upper.read_row_into(row, &mut b);
+            assert_eq!(a, b, "row {row} differs between segment layouts");
+        }
     }
 
     #[test]

@@ -93,7 +93,7 @@ impl AtomicF64 {
     }
 
     /// Lock-free add via a CAS loop (exhaustively checked in
-    /// [`crate::model_check`]: no update is ever lost under any
+    /// `model_check` (the `model-check` feature): no update is ever lost under any
     /// interleaving).
     fn add(&self, delta: f64) {
         // ordering: Relaxed — the CAS loop's correctness comes from the
@@ -158,7 +158,7 @@ impl Gauge {
 ///
 /// The total observation count is **derived from the bucket cells**, not
 /// stored separately: an earlier revision kept a second `count` atomic
-/// incremented after the bucket, and the [`crate::model_check`] explorer
+/// incremented after the bucket, and the `model_check` (the `model-check` feature) explorer
 /// found interleavings where a snapshot read `count != Σ buckets` (the
 /// reader ran between the two increments). Deriving the count from the
 /// same single pass that reads the buckets makes `count == Σ buckets`

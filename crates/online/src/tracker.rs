@@ -335,6 +335,42 @@ impl OnlineWorkload {
         Ok(total)
     }
 
+    /// Observes a replayed execution stream (`ReplayStream::executions` /
+    /// `Trace::executions` from `vpart_engine`) whose transaction ids
+    /// refer to `instance` — the watch loop's engine-speed feeding path.
+    ///
+    /// One engine execution of transaction `t` runs every query at its
+    /// workload frequency, which is `weight_t` tracker units (one unit =
+    /// one run of the dominant statement). Each entry therefore adds the
+    /// template's weight, so a stream containing every transaction once
+    /// accumulates exactly what [`observe_instance`] would — replay-fed
+    /// and log-fed trackers agree. New shapes register as new templates.
+    /// Returns the total weight observed.
+    ///
+    /// [`observe_instance`]: Self::observe_instance
+    pub fn observe_replay(
+        &mut self,
+        instance: &Instance,
+        executions: &[TxnId],
+    ) -> Result<f64, OnlineError> {
+        if *instance.schema() != self.schema {
+            return Err(OnlineError::SchemaMismatch);
+        }
+        let mut total = 0.0;
+        for &txn in executions {
+            if txn.index() >= instance.n_txns() {
+                return Err(OnlineError::UnknownTemplate {
+                    template: txn.index(),
+                });
+            }
+            let weight = template_weight(instance.workload(), txn);
+            let i = self.register(instance.workload(), txn);
+            self.current[i] += weight;
+            total += weight;
+        }
+        Ok(total)
+    }
+
     /// Closes the open epoch: commits its counts under the forgetting
     /// policy and starts a new one. Returns the new epoch number.
     pub fn advance_epoch(&mut self) -> u64 {
@@ -570,6 +606,32 @@ mod tests {
         assert!(matches!(
             tr.observe(99, 1.0),
             Err(OnlineError::UnknownTemplate { template: 99 })
+        ));
+    }
+
+    #[test]
+    fn replay_streams_feed_at_template_weight() {
+        let ins = instance(10.0, 4.0);
+        let mut tr = OnlineWorkload::from_instance(&ins, TrackerConfig::default()).unwrap();
+        // Two executions of the reader (weight 10), one of the writer (4).
+        let total = tr
+            .observe_replay(&ins, &[TxnId(0), TxnId(1), TxnId(0)])
+            .unwrap();
+        assert_eq!(total, 24.0);
+        assert_eq!(tr.effective_weights(), vec![20.0, 4.0]);
+        // A stream with every transaction exactly once matches
+        // observe_instance — replay-fed and log-fed trackers agree.
+        let mut by_stream = OnlineWorkload::from_instance(&ins, TrackerConfig::default()).unwrap();
+        by_stream
+            .observe_replay(&ins, &[TxnId(0), TxnId(1)])
+            .unwrap();
+        let mut by_log = OnlineWorkload::from_instance(&ins, TrackerConfig::default()).unwrap();
+        by_log.observe_instance(&ins).unwrap();
+        assert_eq!(by_stream.effective_weights(), by_log.effective_weights());
+        // Out-of-range ids and foreign schemas are rejected.
+        assert!(matches!(
+            tr.observe_replay(&ins, &[TxnId(7)]),
+            Err(OnlineError::UnknownTemplate { template: 7 })
         ));
     }
 

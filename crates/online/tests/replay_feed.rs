@@ -1,0 +1,86 @@
+//! Replayed traces feed the online tracker at engine speed: a tracker fed
+//! the engine's replayed execution stream must accumulate exactly what a
+//! log-fed tracker accumulates on the web-shop workload, and its snapshot
+//! must reproduce the same instance.
+
+use vpart_engine::{ReplayConfig, ReplayDeployment, ReplayStream};
+use vpart_model::{Instance, Partitioning, TxnId};
+use vpart_online::{OnlineWorkload, TrackerConfig};
+
+fn web_shop() -> Instance {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/data");
+    let schema = std::fs::read_to_string(format!("{dir}/schema.sql"))
+        .expect("examples/data/schema.sql is checked in");
+    let log = std::fs::read_to_string(format!("{dir}/queries.log"))
+        .expect("examples/data/queries.log is checked in");
+    vpart_ingest::ingest(
+        &schema,
+        &log,
+        &vpart_ingest::IngestOptions::default().with_name("web-shop"),
+    )
+    .expect("the checked-in workload ingests cleanly")
+    .instance
+}
+
+#[test]
+fn replay_fed_tracker_matches_log_fed_tracker_on_web_shop() {
+    let ins = web_shop();
+
+    // Log-fed: the ingest pipeline's instance observed directly.
+    let mut by_log = OnlineWorkload::from_instance(&ins, TrackerConfig::default())
+        .expect("tracker builds from the ingested instance");
+    by_log.observe_instance(&ins).expect("log feeds");
+
+    // Replay-fed: actually run the stream through the replay engine, then
+    // feed the stream the engine executed. One engine execution of a
+    // transaction is one template-weight's worth of traffic.
+    let part = Partitioning::single_site(&ins, 1).expect("single site");
+    let mut dep = ReplayDeployment::new(&ins, &part, 64, 8).expect("deploys");
+    let stream = ReplayStream::uniform(&ins, 1, 5);
+    let report = dep
+        .replay(&stream, &ReplayConfig::deterministic(2), None)
+        .expect("replays");
+    assert_eq!(report.txns_replayed, ins.n_txns());
+
+    let mut by_replay = OnlineWorkload::from_instance(&ins, TrackerConfig::default())
+        .expect("tracker builds from the ingested instance");
+    by_replay
+        .observe_replay(&ins, &stream.executions)
+        .expect("replayed stream feeds");
+
+    assert_eq!(
+        by_replay.effective_weights(),
+        by_log.effective_weights(),
+        "replay-fed and log-fed trackers must accumulate identically"
+    );
+
+    // And their snapshots materialize the same workload.
+    let a = by_replay.snapshot().expect("snapshot");
+    let b = by_log.snapshot().expect("snapshot");
+    assert_eq!(a.n_txns(), b.n_txns());
+    for q in 0..a.workload().queries().len() {
+        let qa = &a.workload().queries()[q];
+        let qb = &b.workload().queries()[q];
+        assert_eq!(qa.frequency, qb.frequency, "query {q} frequency differs");
+        assert_eq!(qa.attrs, qb.attrs);
+        assert_eq!(qa.table_rows, qb.table_rows);
+    }
+}
+
+#[test]
+fn weighted_replay_streams_accumulate_proportionally() {
+    let ins = web_shop();
+    let mut tr =
+        OnlineWorkload::from_instance(&ins, TrackerConfig::default()).expect("tracker builds");
+    // Three rounds of every transaction = 3× the one-round weights.
+    let mut one = OnlineWorkload::from_instance(&ins, TrackerConfig::default()).expect("tracker");
+    let single: Vec<TxnId> = (0..ins.n_txns()).map(TxnId::from_index).collect();
+    one.observe_replay(&ins, &single).expect("feeds");
+    let stream = ReplayStream::uniform(&ins, 3, 0);
+    tr.observe_replay(&ins, &stream.executions).expect("feeds");
+    let w1 = one.effective_weights();
+    let w3 = tr.effective_weights();
+    for (a, b) in w1.iter().zip(&w3) {
+        assert!((b - 3.0 * a).abs() < 1e-9, "3 rounds = 3× weight");
+    }
+}

@@ -8,6 +8,9 @@
 //! vpart solve    --schema schema.sql --log queries.log --sites 2 ...
 //! vpart ingest   --schema schema.sql --log queries.log [--out instance.json]
 //! vpart simulate --instance tpcc --sites 2 [--rounds 5] [--seed 42]
+//! vpart replay   --instance tpcc --sites 3 [--partitioning part.json]
+//!                [--threads 4] [--duration 1] [--txns 1000] [--rows 256]
+//!                [--shards 32] [--error-bound 0.15] [--json]
 //! vpart watch    --schema schema.sql --log p1.log,p2.log --sites 2
 //!                [--interval 2] [--decay 0.5 | --window 3]
 //!                [--drift-threshold 0.05] [--rows 64] [--json]
@@ -45,6 +48,12 @@ fn usage() -> &'static str {
                       [--default-rows <n>] [--sample-rate <f>] [--confidence-min <n>]\n\
                       [--lenient] [--strict] [--json]\n\
        vpart simulate --instance <name> --sites <k> [--rounds <n>] [--seed <n>]\n\
+       vpart replay   --instance <name|file.json> --sites <k>\n\
+                      [--partitioning <part.json>] [--threads <n>] [--shards <n>]\n\
+                      [--rows <n>] [--txns <n> | --rounds <n>] [--duration <secs>]\n\
+                      [--seed <n>] [--error-bound <f>] [--json]\n\
+                      [--trace-out <file.jsonl>] [--metrics-out <file.prom>]\n\
+       vpart replay   --schema <ddl.sql> --log <queries.log> --sites <k> [...]\n\
        vpart watch    --schema <ddl.sql> (--log <p1,p2,...> | --stats <p1,p2,...>\n\
                       [--stats-format <fmt>]) --sites <k> [--interval <epochs>]\n\
                       [--decay <f> | --window <n>] [--drift-threshold <f>]\n\
@@ -66,6 +75,16 @@ fn usage() -> &'static str {
      a chain is cut off by --time-limit (flagged in the restart stats).\n\
      --probe-levels <n> races the chains portfolio-style: after n\n\
      temperature levels the dominated half is cut off.\n\
+     `vpart replay` is the production-rate load harness: it deploys the\n\
+     partitioning (from --partitioning — a solve-output or bare\n\
+     partitioning JSON — or a fresh seeded SA solve) as sharded columnar\n\
+     storage, replays a seeded stream of --txns weighted executions (or\n\
+     --rounds uniform rounds) with --threads workers until --duration\n\
+     elapses, and reports txns/sec plus the model error: true physical\n\
+     bytes vs the cost model's prediction. Byte meters are bit-identical\n\
+     across thread counts (fixed --shards row-range shards). The replayed\n\
+     stream also feeds the online tracker (tracker weight in the output).\n\
+     --error-bound exits non-zero when |model error| exceeds the bound.\n\
      `vpart watch` replays comma-separated workload phases in epochs\n\
      (--interval epochs per phase) through the online repartitioning\n\
      loop: a streaming tracker (exponential --decay or a sliding\n\
@@ -84,7 +103,9 @@ fn usage() -> &'static str {
      Defaults: p = 8 (paper), lambda = 0.9 (see DESIGN.md on the\n\
      paper's λ), algo = sa, restarts = 1, threads = 1,\n\
      stats-format = pgss-csv; watch: interval = 2, decay = 0.5,\n\
-     drift-threshold = 0.05, rows = 64, restarts = 4, threads = 4."
+     drift-threshold = 0.05, rows = 64, restarts = 4, threads = 4;\n\
+     replay: threads = 4, shards = 32, rows = 256, txns = 1000,\n\
+     duration = 0 (one deterministic pass), seed = 42."
 }
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -534,6 +555,214 @@ fn cmd_simulate(flags: HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Loads `--partitioning`: either a bare [`Partitioning`] JSON or a
+/// `vpart solve --json` output (its `partitioning` field).
+fn load_partitioning(path: &str, ins: &Instance) -> Result<Partitioning, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let value: serde_json::Value =
+        serde_json::from_str(&json).map_err(|e| format!("{path} is not JSON: {e}"))?;
+    let inner = match value.get("partitioning") {
+        Some(p) => p.clone(),
+        None => value,
+    };
+    let part: Partitioning = serde_json::from_value(&inner)
+        .map_err(|e| format!("{path} holds no partitioning (bare or under `partitioning`): {e}"))?;
+    part.validate(ins, false)
+        .map_err(|e| format!("{path} does not fit this instance: {e}"))?;
+    Ok(part)
+}
+
+fn cmd_replay(flags: HashMap<String, String>) -> Result<(), String> {
+    use vpart::core::predicted_txn_bytes;
+    use vpart::engine::{PredictedBytes, ReplayConfig, ReplayDeployment, ReplayStream};
+    use vpart::online::{OnlineWorkload, TrackerConfig};
+
+    let ins = load_instance(&flags)?;
+    let sites: usize = get(&flags, "sites", 2)?;
+    let seed: u64 = get(&flags, "seed", 42)?;
+    let threads: usize = get(&flags, "threads", 4)?;
+    let shards: usize = get(&flags, "shards", 32)?;
+    let rows: usize = get(&flags, "rows", 256)?;
+    let txns: usize = get(&flags, "txns", 1000)?;
+    let duration: f64 = get(&flags, "duration", 0.0)?;
+    if !duration.is_finite() || duration < 0.0 {
+        return Err(format!(
+            "--duration must be a non-negative number of seconds, got {duration}"
+        ));
+    }
+    let cost = cost_config(&flags)?;
+    let obs = obs_from_flags(&flags);
+
+    let part = match flags.get("partitioning") {
+        Some(path) => load_partitioning(path, &ins)?,
+        None => {
+            SaSolver::new(SaConfig {
+                seed,
+                ..Default::default()
+            })
+            .solve(&ins, sites, &cost)
+            .map_err(|e| e.to_string())?
+            .partitioning
+        }
+    };
+
+    let stream = match flags.get("rounds") {
+        Some(_) => ReplayStream::uniform(&ins, get(&flags, "rounds", 1)?, seed),
+        None => ReplayStream::weighted(&ins, txns, seed),
+    };
+
+    // The cost model's prediction for one pass of this stream.
+    let per_txn = predicted_txn_bytes(&ins, &part, &cost);
+    let counts = stream.counts(ins.n_txns());
+    let mut predicted = PredictedBytes::default();
+    for (t, &c) in counts.iter().enumerate() {
+        predicted.read += c as f64 * per_txn[t].read;
+        predicted.written += c as f64 * per_txn[t].written;
+        predicted.transferred += c as f64 * per_txn[t].transferred;
+    }
+
+    let mut dep = ReplayDeployment::new(&ins, &part, rows, shards).map_err(|e| e.to_string())?;
+    dep = dep.with_obs(obs.clone());
+    let report = dep
+        .replay(
+            &stream,
+            &ReplayConfig {
+                threads,
+                min_duration: std::time::Duration::from_secs_f64(duration),
+                max_passes: usize::MAX,
+            },
+            Some(&predicted),
+        )
+        .map_err(|e| e.to_string())?;
+
+    // Feed the replayed stream back through the online tracker, the
+    // watch loop's engine-speed observation path.
+    let mut tracker =
+        OnlineWorkload::from_instance(&ins, TrackerConfig::default()).map_err(|e| e.to_string())?;
+    let tracker_weight = tracker
+        .observe_replay(&ins, &stream.executions)
+        .map_err(|e| e.to_string())?;
+
+    write_obs_outputs(&obs, &flags)?;
+
+    let me = report
+        .model_error
+        .as_ref()
+        .ok_or_else(|| "replay always carries a prediction here".to_owned())?;
+    let totals = report.totals();
+    if flags.contains_key("json") {
+        let per_site: Vec<serde_json::Value> = report
+            .per_site
+            .iter()
+            .map(|s| serde_json::json!({"bytes_read": s.bytes_read, "bytes_written": s.bytes_written}))
+            .collect();
+        let predicted_json = serde_json::json!({
+            "read": me.predicted.read,
+            "written": me.predicted.written,
+            "transferred": me.predicted.transferred,
+        });
+        let measured_json = serde_json::json!({
+            "read": me.measured.read,
+            "written": me.measured.written,
+            "transferred": me.measured.transferred,
+        });
+        let error_json = serde_json::json!({
+            "read": me.read_ratio,
+            "write": me.write_ratio,
+            "transfer": me.transfer_ratio,
+            "overall": me.overall_ratio,
+        });
+        // The thread-count-invariant meter block: byte-compare this
+        // across `--threads` values to assert determinism.
+        let meter_json = serde_json::json!({
+            "per_site": serde_json::Value::Array(per_site),
+            "transfer_bytes": report.transfer_bytes,
+            "rows_read": report.rows_read,
+            "rows_written": report.rows_written,
+            "stream_len": report.stream_len,
+            "checksum": report.checksum,
+        });
+        println!(
+            "{}",
+            serde_json::json!({
+                "instance": ins.name(),
+                "sites": part.n_sites(),
+                "threads": report.threads,
+                "shards": report.shards,
+                "rows_per_table": rows,
+                "stream_len": report.stream_len,
+                "seed": seed,
+                "passes": report.passes,
+                "txns_replayed": report.txns_replayed,
+                "elapsed_secs": report.elapsed.as_secs_f64(),
+                "txns_per_sec": report.throughput_txns_per_sec(),
+                "predicted": predicted_json,
+                "measured": measured_json,
+                "model_error_ratio": me.overall_ratio,
+                "model_error": error_json,
+                "meter": meter_json,
+                "tracker_weight": tracker_weight,
+                "tracker_templates": tracker.n_templates(),
+            })
+        );
+    } else {
+        println!(
+            "instance {} on {} sites: {} executions/pass, {} pass(es), {} threads, {} shards",
+            ins.name(),
+            part.n_sites(),
+            report.stream_len,
+            report.passes,
+            report.threads,
+            report.shards
+        );
+        println!(
+            "throughput       {:>14.0} txns/sec ({} txns in {:.3?})",
+            report.throughput_txns_per_sec(),
+            report.txns_replayed,
+            report.elapsed
+        );
+        println!("                 {:>14} {:>14}", "predicted", "measured");
+        println!(
+            "bytes read       {:>14.1} {:>14}",
+            me.predicted.read, totals.bytes_read
+        );
+        println!(
+            "bytes written    {:>14.1} {:>14}",
+            me.predicted.written, totals.bytes_written
+        );
+        println!(
+            "bytes shipped    {:>14.1} {:>14}",
+            me.predicted.transferred, report.transfer_bytes
+        );
+        println!(
+            "model error      {:+.4} overall (read {:+.4}, write {:+.4}, transfer {:+.4})",
+            me.overall_ratio, me.read_ratio, me.write_ratio, me.transfer_ratio
+        );
+        println!(
+            "rows touched     {} read, {} written; checksum {:#018x}",
+            report.rows_read, report.rows_written, report.checksum
+        );
+        println!(
+            "tracker          {} templates fed, total weight {:.1}",
+            tracker.n_templates(),
+            tracker_weight
+        );
+    }
+
+    if let Some(bound) = flags.get("error-bound") {
+        let bound: f64 = bound
+            .parse()
+            .map_err(|_| format!("invalid value for --error-bound: {bound:?}"))?;
+        if !me.overall_ratio.is_finite() || me.overall_ratio.abs() > bound {
+            return Err(format!(
+                "model error {:+.4} exceeds --error-bound {bound}",
+                me.overall_ratio
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Ingests one watch phase file against the shared schema.
 fn ingest_phase(
     schema_sql: &str,
@@ -736,6 +965,7 @@ fn main() -> ExitCode {
         "solve" => parse_flags(&args[1..]).and_then(cmd_solve),
         "ingest" => parse_flags(&args[1..]).and_then(cmd_ingest),
         "simulate" => parse_flags(&args[1..]).and_then(cmd_simulate),
+        "replay" => parse_flags(&args[1..]).and_then(cmd_replay),
         "watch" => parse_flags(&args[1..]).and_then(cmd_watch),
         "inspect" => cmd_inspect(&args[1..]),
         "help" | "--help" | "-h" => {

@@ -14,7 +14,9 @@
 //! * [`instances`] — TPC-C v5 and the paper's random instance classes,
 //! * [`ingest`] — SQL DDL + workload ingestion into instances (query
 //!   logs, `pg_stat_statements` / `performance_schema` dumps),
-//! * [`engine`] — an H-store-like row-store simulator validating the model,
+//! * [`engine`] — an H-store-like row-store simulator validating the
+//!   model, plus the production-rate trace-replay load harness
+//!   (`vpart replay`: true-byte meters vs the cost model's prediction),
 //! * [`online`] — adaptive repartitioning: streaming workload tracking,
 //!   drift-triggered warm re-solves and minimum-movement migration plans,
 //! * [`ilp`] — the from-scratch MILP solver substrate,
@@ -56,7 +58,10 @@ pub mod prelude {
         evaluate, CostBreakdown, CostConfig, IncrementalCost, RestartStat, SolveReport,
         WriteAccounting,
     };
-    pub use crate::engine::{Deployment, MigrationReport, Trace};
+    pub use crate::engine::{
+        Deployment, MigrationReport, PredictedBytes, ReplayConfig, ReplayDeployment,
+        ReplayModelError, ReplayReport, ReplayStream, Trace,
+    };
     pub use crate::ingest::{
         ConfidenceLevel, IngestError, IngestOptions, IngestReport, Ingestion, StatsFormat,
         WorkloadFrontend,

@@ -1,0 +1,138 @@
+//! End-to-end CLI: the production-rate trace replay harness through
+//! `vpart replay` — throughput + model-error reporting, thread-count
+//! independence of the byte meters, partitioning-file loading and flag
+//! validation.
+
+use std::path::Path;
+use std::process::Command;
+
+fn data(file: &str) -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("examples/data")
+        .join(file)
+        .to_string_lossy()
+        .into_owned()
+}
+
+fn vpart(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_vpart"))
+        .args(args)
+        .output()
+        .expect("vpart binary runs")
+}
+
+fn json_stdout(out: &std::process::Output) -> serde_json::Value {
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    serde_json::from_str(std::str::from_utf8(&out.stdout).unwrap().trim())
+        .expect("stdout is one JSON object")
+}
+
+#[test]
+fn replay_reports_throughput_and_bounded_model_error_on_tpcc() {
+    let out = vpart(&[
+        "replay",
+        "--instance",
+        "tpcc",
+        "--sites",
+        "3",
+        "--threads",
+        "2",
+        "--txns",
+        "200",
+        "--rows",
+        "64",
+        "--error-bound",
+        "0.15",
+        "--json",
+    ]);
+    let v = json_stdout(&out);
+    assert!(v.get("txns_per_sec").unwrap().as_f64().unwrap() > 0.0);
+    let err = v.get("model_error_ratio").unwrap().as_f64().unwrap();
+    assert!(
+        err.is_finite() && err.abs() <= 0.15,
+        "model error {err} out of bounds"
+    );
+    // Duration 0 (the default) is exactly one deterministic pass.
+    assert_eq!(v.get("passes").unwrap().as_u64(), Some(1));
+    assert_eq!(v.get("txns_replayed").unwrap().as_u64(), Some(200));
+    // The replayed stream feeds the online tracker.
+    assert!(v.get("tracker_weight").unwrap().as_f64().unwrap() > 0.0);
+    assert!(v.get("tracker_templates").unwrap().as_u64().unwrap() > 0);
+}
+
+#[test]
+fn replay_meters_are_identical_across_thread_counts() {
+    let run = |threads: &str| {
+        let out = vpart(&[
+            "replay",
+            "--schema",
+            &data("schema.sql"),
+            "--log",
+            &data("queries.log"),
+            "--sites",
+            "2",
+            "--threads",
+            threads,
+            "--txns",
+            "300",
+            "--rows",
+            "96",
+            "--json",
+        ]);
+        json_stdout(&out)
+    };
+    let (one, four) = (run("1"), run("4"));
+    assert_eq!(
+        one.get("meter"),
+        four.get("meter"),
+        "byte meters must be bit-identical across --threads"
+    );
+    assert_ne!(one.get("threads"), four.get("threads"));
+}
+
+#[test]
+fn replay_loads_a_solve_output_partitioning() {
+    let solve = vpart(&["solve", "--instance", "tpcc", "--sites", "3", "--json"]);
+    let solved = json_stdout(&solve);
+    assert!(solved.get("partitioning").is_some());
+    let path = std::env::temp_dir().join(format!("vpart_{}_solve.json", std::process::id()));
+    std::fs::write(&path, solve.stdout).expect("solve output writes");
+
+    let out = vpart(&[
+        "replay",
+        "--instance",
+        "tpcc",
+        "--sites",
+        "3",
+        "--partitioning",
+        path.to_str().unwrap(),
+        "--txns",
+        "100",
+        "--rows",
+        "64",
+        "--json",
+    ]);
+    let v = json_stdout(&out);
+    assert_eq!(v.get("sites").unwrap().as_u64(), Some(3));
+    assert!(v.get("txns_per_sec").unwrap().as_f64().unwrap() > 0.0);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn replay_flag_validation() {
+    // A negative duration is rejected.
+    let out = vpart(&["replay", "--instance", "tpcc", "--duration", "-1"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--duration"));
+    // A malformed error bound is rejected.
+    let out = vpart(&["replay", "--instance", "tpcc", "--error-bound", "abc"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--error-bound"));
+    // A workload source is required.
+    let out = vpart(&["replay", "--sites", "2"]);
+    assert!(!out.status.success());
+}
