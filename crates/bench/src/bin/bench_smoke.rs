@@ -18,8 +18,11 @@
 //! `--check <baseline.json>` compares the fresh run against a previous
 //! artifact (matched by bench name) and exits non-zero when any solve
 //! wall time regresses by more than 25%, any objective worsens, any
-//! replay row's throughput drops by more than 25%, or any replay row's
-//! |model error| exceeds the pinned bound — the CI regression gate.
+//! replay row's throughput drops by more than 25%, any replay row's
+//! |model error| exceeds the pinned bound, any batched migration ships
+//! slower than the pinned fraction of the baseline rate, or any
+//! migration meter drifts from its plan estimate — the CI regression
+//! gate.
 //! Every failure line names the tripped row and metric with baseline vs
 //! current values.
 
@@ -30,8 +33,11 @@ use vpart_core::sa::{SaConfig, SaSolver};
 use vpart_core::{
     fast_objective6, predicted_txn_bytes, CostCoefficients, CostConfig, IncrementalCost,
 };
-use vpart_engine::{PredictedBytes, ReplayConfig, ReplayDeployment, ReplayStream};
-use vpart_model::{Instance, Partitioning, SiteId, TxnId};
+use vpart_engine::{
+    Deployment, FaultInjector, MigrationJournal, PredictedBytes, ReplayConfig, ReplayDeployment,
+    ReplayStream,
+};
+use vpart_model::{Instance, MigrationPlan, Partitioning, SiteId, TxnId};
 use vpart_obs::Obs;
 
 /// Wall-time regression tolerance for `--check` (fraction of baseline).
@@ -74,6 +80,14 @@ const MODEL_ERROR_BOUND: f64 = 0.15;
 /// time has elapsed, so the reported txns/sec averages over enough passes
 /// to survive scheduler jitter.
 const REPLAY_MIN_DURATION: Duration = Duration::from_millis(200);
+/// `--check` floor on batched-migration shipping rate relative to the
+/// baseline's. Migration walls are short (milliseconds), so this is a
+/// deliberately loose tripwire for integer-factor regressions (an
+/// accidental O(n²) rebuild per batch), not for percent-level drift —
+/// current must stay above a quarter of the baseline rate.
+const MIGRATION_RATE_TOLERANCE: f64 = 0.75;
+/// Rows per fragment for the migration benchmark's deployments.
+const MIGRATION_ROWS: usize = 64;
 
 /// One solver measurement for the artifact.
 fn measure(
@@ -326,6 +340,94 @@ fn replay_benchmark(name: &str, instance: &Instance, sites: usize, seed: u64) ->
     })
 }
 
+/// Replay-driven migration benchmark: centralizes the instance, then
+/// migrates to a fresh SA solution through the crash-safe batched path —
+/// one `migrate_batches(.., 1)` step per boundary, exactly the
+/// rate-limited deployment mode — and meters the shipping rate. The same
+/// seeded replay stream is run at production rate on the source and
+/// target partitionings, so the row records what the migration buys
+/// (throughput after vs before) next to what it costs (bytes, batches,
+/// peak transient dual-resident width, wall time). `--check` gates the
+/// engine meter against the plan estimate exactly (self-contained) and
+/// the shipping rate against the baseline ([`MIGRATION_RATE_TOLERANCE`]).
+fn migration_benchmark(
+    name: &str,
+    instance: &Instance,
+    sites: usize,
+    seed: u64,
+) -> serde_json::Value {
+    let cost = CostConfig::default();
+    let from = Partitioning::single_site(instance, sites).expect("single-site source");
+    let to = SaSolver::new(SaConfig::fast_deterministic(seed))
+        .solve(instance, sites, &cost)
+        .expect("SA solves the migration target")
+        .partitioning;
+    let plan = MigrationPlan::between(instance, &from, &to, MIGRATION_ROWS).expect("plan builds");
+    let batched = plan
+        .batched(instance, plan.estimated_bytes() / 6.0)
+        .expect("plan batches");
+
+    // Production-rate replay on both endpoints of the migration.
+    let throughput = |part: &Partitioning| {
+        let mut dep =
+            ReplayDeployment::new(instance, part, 256, 32).expect("replay endpoint deploys");
+        dep.replay(
+            &ReplayStream::weighted(instance, 500, seed),
+            &ReplayConfig::timed(4, REPLAY_MIN_DURATION),
+            None,
+        )
+        .expect("endpoint replays")
+        .throughput_txns_per_sec()
+    };
+    let tput_before = throughput(&from);
+
+    // Best-of-3 timed migrations, stepped one batch per call through the
+    // write-ahead journal (each run on a fresh deployment + journal).
+    let mut wall = f64::INFINITY;
+    let mut bytes_moved = 0.0;
+    let mut steps = 0usize;
+    for _ in 0..3 {
+        let mut dep =
+            Deployment::new(instance, &from, MIGRATION_ROWS).expect("migration source deploys");
+        let mut journal = MigrationJournal::new();
+        let t = Instant::now();
+        let mut n = 0usize;
+        loop {
+            let report = dep
+                .migrate_batches(&batched, &mut journal, &mut FaultInjector::disabled(), 1)
+                .expect("batch applies");
+            n += 1;
+            if report.completed {
+                bytes_moved = report.bytes_moved;
+                break;
+            }
+        }
+        wall = wall.min(t.elapsed().as_secs_f64());
+        steps = n;
+    }
+    let rate = bytes_moved / wall.max(1e-12);
+    let tput_after = throughput(&to);
+    let change = tput_after / tput_before.max(1e-12) - 1.0;
+    println!(
+        "{name:<28} {bytes_moved:>10.0} B in {steps} batches   {rate:>12.0} B/s   replay {change:>+6.1}%",
+    );
+    serde_json::json!({
+        "name": name,
+        "instance": instance.name(),
+        "sites": sites,
+        "estimated_bytes": plan.estimated_bytes(),
+        "bytes_moved": bytes_moved,
+        "meters_exact": bytes_moved == plan.estimated_bytes(),
+        "batches": batched.n_batches(),
+        "peak_transient_bytes": batched.peak_transient_bytes,
+        "wall_secs": wall,
+        "bytes_per_sec": rate,
+        "replay_txns_per_sec_before": tput_before,
+        "replay_txns_per_sec_after": tput_after,
+        "replay_throughput_change_frac": change,
+    })
+}
+
 /// `--check` comparison of this run against a previous artifact. Returns
 /// human-readable regression descriptions (empty = gate passes). Every
 /// line names the tripped row and metric and shows baseline vs current,
@@ -459,6 +561,48 @@ fn check_against_baseline(
                 "{name}: model_error_ratio current {e:+.4} (|error| bound {MODEL_ERROR_BOUND})"
             )),
             None => failures.push(format!("{name}: replay row carries no model_error_ratio")),
+        }
+    }
+    // Batched migrations: the shipping rate is gated against the baseline
+    // and the engine meter against the plan estimate (self-contained —
+    // `meters_exact` is computed by the run itself, so a drifting meter
+    // fails even on the very first artifact after a change).
+    fn migration_rows(v: &serde_json::Value) -> &[serde_json::Value] {
+        v.get("migration").and_then(|r| r.as_array()).unwrap_or(&[])
+    }
+    let now_migration = migration_rows(artifact);
+    for base in migration_rows(baseline) {
+        let Some(name) = field_str(base, "name") else {
+            continue;
+        };
+        let Some(now) = now_migration
+            .iter()
+            .find(|b| field_str(b, "name").as_deref() == Some(&name))
+        else {
+            failures.push(format!(
+                "{name}: migration row present in baseline but not in this run"
+            ));
+            continue;
+        };
+        if let (Some(base_r), Some(now_r)) = (
+            field_f64(base, "bytes_per_sec"),
+            field_f64(now, "bytes_per_sec"),
+        ) {
+            if now_r < base_r * (1.0 - MIGRATION_RATE_TOLERANCE) {
+                failures.push(format!(
+                    "{name}: bytes_per_sec baseline {base_r:.0} -> current {now_r:.0} \
+                     (regressed > {:.0}%)",
+                    MIGRATION_RATE_TOLERANCE * 100.0
+                ));
+            }
+        }
+    }
+    for row in now_migration {
+        let name = field_str(row, "name").unwrap_or_else(|| "migration".into());
+        if row.get("meters_exact").and_then(|v| v.as_bool()) != Some(true) {
+            failures.push(format!(
+                "{name}: engine byte meter != plan estimate (meters_exact is not true)"
+            ));
         }
     }
     failures
@@ -654,6 +798,10 @@ fn main() -> ExitCode {
         replay_benchmark("replay/tpcc-3-sites", &tpcc, 3, 1),
         replay_benchmark("replay/web-shop-2-sites", &shop, 2, 7),
     ];
+    let migration = vec![
+        migration_benchmark("migration/tpcc-3-sites", &tpcc, 3, 1),
+        migration_benchmark("migration/web-shop-2-sites", &shop, 2, 7),
+    ];
     let (obs_bench, metrics_snapshot) = obs_overhead(&tpcc, 3);
 
     let criterion: Vec<serde_json::Value> = flag("--criterion")
@@ -670,6 +818,7 @@ fn main() -> ExitCode {
         "benches": benches,
         "annealing_throughput": throughput,
         "replay": replay,
+        "migration": migration,
         "obs_overhead": obs_bench,
         "metrics": metrics_snapshot,
         "criterion": criterion,

@@ -1,9 +1,14 @@
 //! Deployment and trace execution with byte-exact metering.
 
+use crate::faults::{FaultInjector, FP_MIGRATION_BATCH, FP_MIGRATION_ROLLBACK};
+use crate::journal::{JournalRecord, MigrationJournal};
 use crate::storage::{Fragment, Site};
 use crate::trace::Trace;
 use std::fmt;
-use vpart_model::{AttrId, Instance, MigrationPlan, Partitioning, SiteId, TxnId};
+use vpart_model::{
+    AttrId, BatchedMigrationPlan, Instance, MigrationOp, MigrationPlan, Partitioning, SiteId,
+    TableId, TxnId,
+};
 use vpart_obs::Obs;
 
 /// Errors raised by the execution engine.
@@ -39,6 +44,24 @@ pub enum EngineError {
         /// What was wrong with the replay request.
         what: &'static str,
     },
+    /// A deterministic fault-injection arm fired at a named fail point
+    /// (a simulated crash/abort; see [`crate::faults`]).
+    Injected {
+        /// The fail point that fired.
+        point: String,
+    },
+    /// A migration journal failed validation: damaged encoding, checksum
+    /// mismatch, impossible record sequence, or a fingerprint that does
+    /// not match the plan being recovered.
+    CorruptJournal {
+        /// What was wrong, naming the offending line where applicable.
+        what: String,
+    },
+    /// A fault-injection spec string could not be parsed.
+    InvalidFault {
+        /// What was wrong with the spec.
+        what: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -56,6 +79,15 @@ impl fmt::Display for EngineError {
             }
             Self::InvalidReplay { what } => {
                 write!(f, "invalid replay request: {what}")
+            }
+            Self::Injected { point } => {
+                write!(f, "injected fault at {point}")
+            }
+            Self::CorruptJournal { what } => {
+                write!(f, "migration journal is corrupt: {what}")
+            }
+            Self::InvalidFault { what } => {
+                write!(f, "invalid fault spec: {what}")
             }
         }
     }
@@ -155,6 +187,41 @@ pub struct MigrationReport {
     pub drops: usize,
     /// Transactions re-routed to a new home site.
     pub txns_rerouted: usize,
+}
+
+/// Result of running (part of) a [`BatchedMigrationPlan`] through the
+/// write-ahead journal: forward progress, rollback progress, and the
+/// durable byte meter derived from commit records (never double-counted
+/// across crashes and resumes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchedMigrationReport {
+    /// Durable metered bytes: `Σ` over the journal's commit records —
+    /// forward installs for a migration, re-installs for a rollback.
+    /// Identical across any crash/resume schedule of the same plan.
+    pub bytes_moved: f64,
+    /// Bytes shipped by batches committed in *this* call.
+    pub bytes_this_run: f64,
+    /// Batches committed (or undone, for rollbacks) in this call.
+    pub batches_applied: usize,
+    /// The batch boundary the deployment now sits at (committed − undone).
+    pub boundary: usize,
+    /// Total batches in the plan.
+    pub batches_total: usize,
+    /// Attribute replicas installed in this call.
+    pub installs: usize,
+    /// Attribute replicas dropped in this call.
+    pub drops: usize,
+    /// Transactions re-homed in this call.
+    pub txns_rerouted: usize,
+    /// The plan's peak transient dual-resident bytes (worst extra storage
+    /// at any boundary, priced by the cost model's widths).
+    pub peak_transient_bytes: f64,
+    /// True when this call continued a journal with prior progress.
+    pub resumed: bool,
+    /// True when the migration reached `plan.to` (forward) …
+    pub completed: bool,
+    /// … or `plan.from` again (rollback).
+    pub rolled_back: bool,
 }
 
 /// A partitioning physically deployed onto sites.
@@ -384,6 +451,456 @@ impl<'a> Deployment<'a> {
             drops,
             txns_rerouted,
         })
+    }
+
+    /// Runs a [`BatchedMigrationPlan`] to completion through a write-ahead
+    /// `journal`: each batch is journaled (`BatchBegin`), applied to
+    /// storage, then committed (`BatchCommit` with its metered bytes).
+    /// Passing a journal with prior progress *resumes* from its boundary —
+    /// already-committed batches are never re-applied and never re-counted,
+    /// so `bytes_moved` is identical across any crash/resume schedule.
+    ///
+    /// `faults` may arm the [`FP_MIGRATION_BATCH`] fail point, which fires
+    /// *after* a batch's ops hit storage but *before* its commit is
+    /// journaled — the worst-case crash window. After an
+    /// [`EngineError::Injected`] abort this deployment is mid-batch and
+    /// must be discarded; [`Deployment::recover`] rebuilds a clean one at
+    /// the journal's boundary.
+    pub fn migrate_batched(
+        &mut self,
+        plan: &BatchedMigrationPlan,
+        journal: &mut MigrationJournal,
+        faults: &mut FaultInjector,
+    ) -> Result<BatchedMigrationReport, EngineError> {
+        self.migrate_batches(plan, journal, faults, usize::MAX)
+    }
+
+    /// [`migrate_batched`](Self::migrate_batched), but commits at most
+    /// `max_batches` batches in this call (rate limiting: a control loop
+    /// can interleave batches with foreground work). The migration is
+    /// `Complete` only once a call commits the final batch.
+    pub fn migrate_batches(
+        &mut self,
+        plan: &BatchedMigrationPlan,
+        journal: &mut MigrationJournal,
+        faults: &mut FaultInjector,
+        max_batches: usize,
+    ) -> Result<BatchedMigrationReport, EngineError> {
+        let span = self.obs.span_begin("migrate_batched", &[]);
+        let resumed = !journal.is_empty();
+        if resumed {
+            self.check_journal_matches(plan, journal)?;
+            let st = journal.state();
+            if st.rolling_back || st.rolled_back {
+                return Err(EngineError::MigrationMismatch {
+                    what: "journal records a rollback; resume with rollback_migration",
+                });
+            }
+            if st.complete {
+                return Ok(self.batched_report(plan, journal, 0.0, 0, 0, 0, 0));
+            }
+        } else {
+            if plan.plan.from != self.partitioning {
+                return Err(EngineError::MigrationMismatch {
+                    what: "plan.from is not the deployed partitioning",
+                });
+            }
+            if plan.plan.rows_per_fragment.max(1) != self.rows_per_fragment {
+                return Err(EngineError::MigrationMismatch {
+                    what: "plan rows_per_fragment differs from the deployment's",
+                });
+            }
+            plan.plan.to.validate(self.instance, false)?;
+            if plan.boundary(plan.n_batches()) != plan.plan.to {
+                return Err(EngineError::CorruptPlan {
+                    what: "batches do not produce plan.to",
+                });
+            }
+            journal.append(JournalRecord::Start {
+                fingerprint: plan.fingerprint(),
+                batches: plan.n_batches(),
+                rows_per_fragment: self.rows_per_fragment,
+            })?;
+        }
+
+        let start = journal.state().boundary();
+        let mut bytes_this_run = 0.0f64;
+        let mut applied = 0usize;
+        let mut installs = 0usize;
+        let mut drops = 0usize;
+        let mut moves = 0usize;
+        for (k, batch) in plan.batches.iter().enumerate().skip(start) {
+            if applied >= max_batches {
+                break;
+            }
+            journal.append(JournalRecord::BatchBegin { batch: k })?;
+            let mut batch_bytes = 0.0f64;
+            for op in &batch.ops {
+                let (b, i, d, m) = self.apply_op(op, true);
+                batch_bytes += b;
+                installs += i;
+                drops += d;
+                moves += m;
+            }
+            // The crash window: ops applied, commit not yet durable. A
+            // fault here aborts mid-batch; recovery re-applies batch k
+            // from the journal's boundary and the meter (commit records
+            // only) never double-counts it.
+            faults.fail(FP_MIGRATION_BATCH)?;
+            journal.append(JournalRecord::BatchCommit {
+                batch: k,
+                bytes: batch_bytes,
+            })?;
+            bytes_this_run += batch_bytes;
+            applied += 1;
+            #[cfg(feature = "debug-invariants")]
+            {
+                // The durable meter must equal the plan's estimate for the
+                // committed prefix exactly — bit-identical f64 sums.
+                let expect: f64 = plan.batches[..=k].iter().map(|b| b.bytes).sum();
+                assert_eq!(
+                    journal.state().bytes_committed,
+                    expect,
+                    "journaled bytes diverge from the plan estimate at batch {k}"
+                );
+                assert_eq!(self.partitioning, plan.boundary(k + 1));
+            }
+            self.debug_check_storage_bookkeeping();
+        }
+
+        let st = journal.state();
+        if st.boundary() == plan.n_batches() && !st.complete {
+            if self.partitioning != plan.plan.to {
+                return Err(EngineError::CorruptPlan {
+                    what: "applying all batches did not reach plan.to",
+                });
+            }
+            journal.append(JournalRecord::Complete {
+                bytes_moved: st.bytes_committed,
+            })?;
+        }
+
+        let report = self.batched_report(
+            plan,
+            journal,
+            bytes_this_run,
+            applied,
+            installs,
+            drops,
+            moves,
+        );
+        let report = BatchedMigrationReport { resumed, ..report };
+        if self.obs.is_enabled() {
+            if report.completed {
+                self.obs.counter_inc("engine_migrations_total");
+            }
+            self.obs
+                .counter_add("engine_migration_bytes_total", bytes_this_run);
+            self.obs
+                .counter_add("engine_migration_batches_total", applied as f64);
+            self.obs
+                .counter_add("engine_fragment_installs_total", installs as f64);
+            self.obs
+                .counter_add("engine_fragment_drops_total", drops as f64);
+            self.obs
+                .counter_add("engine_txns_rerouted_total", moves as f64);
+            self.obs.span_end(
+                span,
+                &[
+                    ("bytes_this_run", bytes_this_run.into()),
+                    ("batches_applied", applied.into()),
+                    ("boundary", report.boundary.into()),
+                    ("completed", (report.completed as usize).into()),
+                ],
+            );
+        }
+        Ok(report)
+    }
+
+    /// Rolls a journaled migration back to `plan.from`: committed batches
+    /// are undone in reverse order (re-homings reversed, installed
+    /// replicas dropped, dropped replicas re-installed and re-metered),
+    /// each undo journaled write-ahead like forward batches. A journal
+    /// already mid-rollback resumes it; a crash between undo batches
+    /// (the [`FP_MIGRATION_ROLLBACK`] fail point) is recoverable the same
+    /// way as a forward crash.
+    pub fn rollback_migration(
+        &mut self,
+        plan: &BatchedMigrationPlan,
+        journal: &mut MigrationJournal,
+        faults: &mut FaultInjector,
+    ) -> Result<BatchedMigrationReport, EngineError> {
+        let span = self.obs.span_begin("rollback_migration", &[]);
+        if journal.is_empty() {
+            return Err(EngineError::MigrationMismatch {
+                what: "rollback without a started migration",
+            });
+        }
+        self.check_journal_matches(plan, journal)?;
+        let st = journal.state();
+        if st.complete {
+            return Err(EngineError::MigrationMismatch {
+                what: "cannot roll back a completed migration",
+            });
+        }
+        if st.rolled_back {
+            return Ok(self.batched_report(plan, journal, 0.0, 0, 0, 0, 0));
+        }
+        let resumed = st.rolling_back;
+        if !st.rolling_back {
+            journal.append(JournalRecord::RollbackBegin)?;
+        }
+
+        let mut bytes_this_run = 0.0f64;
+        let mut applied = 0usize;
+        let mut installs = 0usize;
+        let mut drops = 0usize;
+        let mut moves = 0usize;
+        while journal.state().boundary() > 0 {
+            let k = journal.state().boundary() - 1;
+            journal.append(JournalRecord::UndoBegin { batch: k })?;
+            let mut undo_bytes = 0.0f64;
+            for op in plan.batches[k].ops.iter().rev() {
+                let (b, i, d, m) = self.apply_op(op, false);
+                undo_bytes += b;
+                installs += i;
+                drops += d;
+                moves += m;
+            }
+            faults.fail(FP_MIGRATION_ROLLBACK)?;
+            journal.append(JournalRecord::UndoCommit {
+                batch: k,
+                bytes: undo_bytes,
+            })?;
+            bytes_this_run += undo_bytes;
+            applied += 1;
+            #[cfg(feature = "debug-invariants")]
+            assert_eq!(self.partitioning, plan.boundary(k));
+            self.debug_check_storage_bookkeeping();
+        }
+        if self.partitioning != plan.plan.from {
+            return Err(EngineError::CorruptPlan {
+                what: "undoing all batches did not reach plan.from",
+            });
+        }
+        journal.append(JournalRecord::RolledBack)?;
+
+        let report = self.batched_report(
+            plan,
+            journal,
+            bytes_this_run,
+            applied,
+            installs,
+            drops,
+            moves,
+        );
+        let report = BatchedMigrationReport { resumed, ..report };
+        if self.obs.is_enabled() {
+            self.obs.counter_inc("engine_migration_rollbacks_total");
+            self.obs
+                .counter_add("engine_migration_bytes_total", bytes_this_run);
+            self.obs.span_end(
+                span,
+                &[
+                    ("bytes_this_run", bytes_this_run.into()),
+                    ("batches_undone", applied.into()),
+                ],
+            );
+        }
+        Ok(report)
+    }
+
+    /// Rebuilds a deployment at a crashed migration's durable boundary:
+    /// the journal's committed batches (minus committed undos) applied to
+    /// `plan.from`. Fragment materialization is deterministic, so the
+    /// recovered fragment payloads are bit-identical to a deployment that
+    /// reached the same boundary without crashing. Continue with
+    /// [`migrate_batched`](Self::migrate_batched) (forward) or
+    /// [`rollback_migration`](Self::rollback_migration).
+    pub fn recover(
+        instance: &'a Instance,
+        plan: &BatchedMigrationPlan,
+        journal: &MigrationJournal,
+    ) -> Result<Self, EngineError> {
+        if let Some(fp) = journal.fingerprint() {
+            if fp != plan.fingerprint() {
+                return Err(EngineError::CorruptJournal {
+                    what: "journal fingerprint does not match the plan".to_string(),
+                });
+            }
+        } else if !journal.is_empty() {
+            return Err(EngineError::CorruptJournal {
+                what: "journal has records but no Start".to_string(),
+            });
+        }
+        let boundary = journal.state().boundary();
+        if boundary > plan.n_batches() {
+            return Err(EngineError::CorruptJournal {
+                what: "journal commits more batches than the plan holds".to_string(),
+            });
+        }
+        Self::new(
+            instance,
+            &plan.boundary(boundary),
+            plan.plan.rows_per_fragment,
+        )
+    }
+
+    /// A 64-bit fingerprint of the full deployment state: the logical
+    /// partitioning plus every fragment's attrs, row count and raw
+    /// physical payload. Two deployments with equal fingerprints hold
+    /// bit-identical storage — the equality the fault-sweep harness
+    /// asserts between crashed-and-recovered and uninterrupted runs.
+    pub fn state_fingerprint(&self) -> u64 {
+        let mut h = 0x9E37_79B9_7F4A_7C15_u64;
+        let put = |h: &mut u64, v: u64| {
+            let mut z = *h ^ v.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            *h = z ^ (z >> 31);
+        };
+        put(&mut h, self.partitioning.n_sites() as u64);
+        for t in (0..self.instance.n_txns()).map(TxnId::from_index) {
+            put(&mut h, self.partitioning.site_of(t).index() as u64);
+        }
+        for site in &self.sites {
+            for frag in site.fragments.iter().flatten() {
+                put(&mut h, frag.table.index() as u64);
+                put(&mut h, frag.attrs.len() as u64);
+                for a in &frag.attrs {
+                    put(&mut h, a.index() as u64);
+                }
+                put(&mut h, frag.rows as u64);
+                for &b in frag.payload() {
+                    put(&mut h, b as u64);
+                }
+            }
+        }
+        h
+    }
+
+    /// Applies one micro-op (or its inverse) to the partitioning and the
+    /// physical fragments, returning `(metered bytes, installs, drops,
+    /// moves)`. Data-shipping ops — forward installs, undo re-installs —
+    /// meter `w_a × rows`, the exact expression the plan priced.
+    fn apply_op(&mut self, op: &MigrationOp, forward: bool) -> (f64, usize, usize, usize) {
+        let schema = self.instance.schema();
+        match *op {
+            MigrationOp::Install { attr, site, .. } => {
+                let table = schema.table_of(attr);
+                if forward {
+                    self.partitioning.add_replica(attr, site);
+                    self.rebuild_fragment(site, table);
+                    (schema.width(attr) * self.rows_per_fragment as f64, 1, 0, 0)
+                } else {
+                    self.partitioning.remove_replica(attr, site);
+                    self.rebuild_fragment(site, table);
+                    (0.0, 0, 1, 0)
+                }
+            }
+            MigrationOp::Drop { attr, site } => {
+                let table = schema.table_of(attr);
+                if forward {
+                    self.partitioning.remove_replica(attr, site);
+                    self.rebuild_fragment(site, table);
+                    (0.0, 0, 1, 0)
+                } else {
+                    self.partitioning.add_replica(attr, site);
+                    self.rebuild_fragment(site, table);
+                    (schema.width(attr) * self.rows_per_fragment as f64, 1, 0, 0)
+                }
+            }
+            MigrationOp::MoveTxn { txn, from, to } => {
+                self.partitioning
+                    .move_txn(txn, if forward { to } else { from });
+                (0.0, 0, 0, 1)
+            }
+        }
+    }
+
+    /// Re-derives the `(site, table)` fragment from the current logical
+    /// partitioning. `Fragment::new` fills deterministically, so recovery
+    /// reaches bit-identical payloads however many times a batch replays.
+    fn rebuild_fragment(&mut self, site: SiteId, table: TableId) {
+        let schema = self.instance.schema();
+        let attrs: Vec<AttrId> = schema
+            .table_attrs(table)
+            .map(AttrId::from_index)
+            .filter(|&a| self.partitioning.has_attr(a, site))
+            .collect();
+        self.sites[site.index()].fragments[table.index()] = if attrs.is_empty() {
+            None
+        } else {
+            let width: f64 = attrs.iter().map(|&a| schema.width(a)).sum();
+            Some(Fragment::new(table, attrs, width, self.rows_per_fragment))
+        };
+    }
+
+    /// Shared resume-path validation: the journal must belong to `plan`
+    /// and the deployment must sit exactly at its durable boundary.
+    fn check_journal_matches(
+        &self,
+        plan: &BatchedMigrationPlan,
+        journal: &MigrationJournal,
+    ) -> Result<(), EngineError> {
+        match journal.fingerprint() {
+            Some(fp) if fp == plan.fingerprint() => {}
+            Some(_) => {
+                return Err(EngineError::CorruptJournal {
+                    what: "journal fingerprint does not match the plan".to_string(),
+                })
+            }
+            None => {
+                return Err(EngineError::CorruptJournal {
+                    what: "journal has records but no Start".to_string(),
+                })
+            }
+        }
+        let boundary = journal.state().boundary();
+        if boundary > plan.n_batches() {
+            return Err(EngineError::CorruptJournal {
+                what: "journal commits more batches than the plan holds".to_string(),
+            });
+        }
+        if self.partitioning != plan.boundary(boundary) {
+            return Err(EngineError::MigrationMismatch {
+                what: "deployment is not at the journal's batch boundary (recover() first)",
+            });
+        }
+        Ok(())
+    }
+
+    /// Assembles a report from the journal's durable state.
+    #[allow(clippy::too_many_arguments)]
+    fn batched_report(
+        &self,
+        plan: &BatchedMigrationPlan,
+        journal: &MigrationJournal,
+        bytes_this_run: f64,
+        batches_applied: usize,
+        installs: usize,
+        drops: usize,
+        txns_rerouted: usize,
+    ) -> BatchedMigrationReport {
+        let st = journal.state();
+        BatchedMigrationReport {
+            bytes_moved: if st.rolling_back || st.rolled_back {
+                st.bytes_undone
+            } else {
+                st.bytes_committed
+            },
+            bytes_this_run,
+            batches_applied,
+            boundary: st.boundary(),
+            batches_total: plan.n_batches(),
+            installs,
+            drops,
+            txns_rerouted,
+            peak_transient_bytes: plan.peak_transient_bytes,
+            resumed: true,
+            completed: st.complete,
+            rolled_back: st.rolled_back,
+        }
     }
 
     /// `debug-invariants` self-check: after a migration, the physical
@@ -739,5 +1256,224 @@ mod tests {
         replicated.add_replica(AttrId(1), SiteId(1));
         let dep2 = Deployment::new(&ins, &replicated, 100).unwrap();
         assert!(dep2.stored_bytes() > dep1.stored_bytes());
+    }
+
+    /// Everything relocates from site 0 to site 1 — a migration the
+    /// batcher must split across several batches at a small budget.
+    fn relocation_pair(ins: &Instance) -> (Partitioning, Partitioning) {
+        let from = Partitioning::single_site(ins, 2).unwrap();
+        let mut to = from.clone();
+        to.add_replica(AttrId(0), SiteId(1));
+        to.add_replica(AttrId(1), SiteId(1));
+        to.move_txn(TxnId(0), SiteId(1));
+        to.move_txn(TxnId(1), SiteId(1));
+        to.remove_replica(AttrId(0), SiteId(0));
+        to.remove_replica(AttrId(1), SiteId(0));
+        (from, to)
+    }
+
+    fn relocation_plan(ins: &Instance) -> vpart_model::BatchedMigrationPlan {
+        let (from, to) = relocation_pair(ins);
+        vpart_model::MigrationPlan::between(ins, &from, &to, 16)
+            .unwrap()
+            .batched(ins, 64.0)
+            .unwrap()
+    }
+
+    #[test]
+    fn batched_migration_matches_atomic_apply() {
+        let ins = instance();
+        let (from, to) = relocation_pair(&ins);
+        let plan = vpart_model::MigrationPlan::between(&ins, &from, &to, 16).unwrap();
+        let batched = plan.batched(&ins, 64.0).unwrap();
+        assert!(batched.n_batches() >= 2, "budget should split the plan");
+
+        let mut atomic = Deployment::new(&ins, &from, 16).unwrap();
+        let atomic_report = atomic.apply_migration(&plan).unwrap();
+
+        let mut dep = Deployment::new(&ins, &from, 16).unwrap();
+        let mut journal = MigrationJournal::new();
+        let report = dep
+            .migrate_batched(&batched, &mut journal, &mut FaultInjector::disabled())
+            .unwrap();
+        assert!(report.completed && !report.resumed);
+        assert_eq!(report.boundary, batched.n_batches());
+        assert_eq!(report.bytes_moved, atomic_report.bytes_moved);
+        assert_eq!(report.bytes_moved, plan.estimated_bytes());
+        assert_eq!(dep.partitioning(), &to);
+        assert_eq!(
+            dep.state_fingerprint(),
+            atomic.state_fingerprint(),
+            "batched and atomic migration must reach bit-identical storage"
+        );
+    }
+
+    /// Crash at every batch boundary (the window after ops hit storage
+    /// but before the commit is durable), recover from the journal and
+    /// resume: state and byte meter end bit-identical to a run that
+    /// never crashed.
+    #[test]
+    fn crash_at_every_boundary_recovers_bit_identically() {
+        let ins = instance();
+        let plan = relocation_plan(&ins);
+        let n = plan.n_batches();
+
+        let mut clean = Deployment::new(&ins, &plan.plan.from, 16).unwrap();
+        let mut clean_journal = MigrationJournal::new();
+        clean
+            .migrate_batched(&plan, &mut clean_journal, &mut FaultInjector::disabled())
+            .unwrap();
+        let clean_fp = clean.state_fingerprint();
+        let clean_bytes = clean_journal.state().bytes_committed;
+
+        for k in 1..=n {
+            let mut dep = Deployment::new(&ins, &plan.plan.from, 16).unwrap();
+            let mut journal = MigrationJournal::new();
+            let mut faults = FaultInjector::new(1);
+            faults
+                .arm_spec(&format!("migration.batch:nth={k}"))
+                .unwrap();
+            let err = dep
+                .migrate_batched(&plan, &mut journal, &mut faults)
+                .unwrap_err();
+            assert!(matches!(err, EngineError::Injected { .. }));
+            assert_eq!(
+                journal.state().boundary(),
+                k - 1,
+                "commit k never became durable"
+            );
+
+            // The journal survives as text; the crashed deployment does not.
+            let journal_text = journal.to_jsonl();
+            let mut journal = MigrationJournal::from_jsonl(&journal_text).unwrap();
+            let mut dep = Deployment::recover(&ins, &plan, &journal).unwrap();
+            let report = dep
+                .migrate_batched(&plan, &mut journal, &mut FaultInjector::disabled())
+                .unwrap();
+            assert!(report.resumed && report.completed);
+            assert_eq!(dep.state_fingerprint(), clean_fp, "crash at batch {k}");
+            assert_eq!(journal.state().bytes_committed, clean_bytes);
+            assert_eq!(report.bytes_moved, clean_bytes, "meter never double-counts");
+        }
+    }
+
+    #[test]
+    fn rollback_after_crash_restores_the_source_exactly() {
+        let ins = instance();
+        let plan = relocation_plan(&ins);
+        let pristine_fp = Deployment::new(&ins, &plan.plan.from, 16)
+            .unwrap()
+            .state_fingerprint();
+
+        let mut dep = Deployment::new(&ins, &plan.plan.from, 16).unwrap();
+        let mut journal = MigrationJournal::new();
+        let mut faults = FaultInjector::new(2);
+        faults.arm_spec("migration.batch:nth=2").unwrap();
+        dep.migrate_batched(&plan, &mut journal, &mut faults)
+            .unwrap_err();
+
+        let mut dep = Deployment::recover(&ins, &plan, &journal).unwrap();
+        let report = dep
+            .rollback_migration(&plan, &mut journal, &mut FaultInjector::disabled())
+            .unwrap();
+        assert!(report.rolled_back);
+        assert_eq!(dep.partitioning(), &plan.plan.from);
+        assert_eq!(dep.state_fingerprint(), pristine_fp);
+        // A rolled-back journal is terminal for both directions.
+        assert!(dep
+            .migrate_batched(&plan, &mut journal, &mut FaultInjector::disabled())
+            .is_err());
+        let again = dep
+            .rollback_migration(&plan, &mut journal, &mut FaultInjector::disabled())
+            .unwrap();
+        assert_eq!(again.batches_applied, 0, "rollback is idempotent");
+    }
+
+    /// A crash during rollback resumes the rollback the same way.
+    #[test]
+    fn rollback_crash_resumes_to_source() {
+        let ins = instance();
+        let plan = relocation_plan(&ins);
+        let mut dep = Deployment::new(&ins, &plan.plan.from, 16).unwrap();
+        let mut journal = MigrationJournal::new();
+        let mut faults = FaultInjector::new(3);
+        faults
+            .arm_spec(&format!("migration.batch:nth={}", plan.n_batches()))
+            .unwrap();
+        faults.arm_spec("migration.rollback:nth=1").unwrap();
+        dep.migrate_batched(&plan, &mut journal, &mut faults)
+            .unwrap_err();
+
+        let mut dep = Deployment::recover(&ins, &plan, &journal).unwrap();
+        dep.rollback_migration(&plan, &mut journal, &mut faults)
+            .unwrap_err();
+
+        let mut dep = Deployment::recover(&ins, &plan, &journal).unwrap();
+        let report = dep
+            .rollback_migration(&plan, &mut journal, &mut FaultInjector::disabled())
+            .unwrap();
+        assert!(report.rolled_back && report.resumed);
+        assert_eq!(dep.partitioning(), &plan.plan.from);
+    }
+
+    #[test]
+    fn rate_limited_batches_step_to_completion() {
+        let ins = instance();
+        let plan = relocation_plan(&ins);
+        let mut dep = Deployment::new(&ins, &plan.plan.from, 16).unwrap();
+        let mut journal = MigrationJournal::new();
+        let mut faults = FaultInjector::disabled();
+        let mut steps = 0usize;
+        let mut total = 0.0f64;
+        loop {
+            let r = dep
+                .migrate_batches(&plan, &mut journal, &mut faults, 1)
+                .unwrap();
+            total += r.bytes_this_run;
+            steps += 1;
+            if r.completed {
+                break;
+            }
+            assert_eq!(r.boundary, steps, "one batch per call");
+        }
+        assert_eq!(steps, plan.n_batches());
+        assert_eq!(total, plan.estimated_bytes());
+        assert_eq!(dep.partitioning(), &plan.plan.to);
+        // Re-running a complete migration is a observable no-op.
+        let again = dep
+            .migrate_batched(&plan, &mut journal, &mut FaultInjector::disabled())
+            .unwrap();
+        assert!(again.completed && again.resumed);
+        assert_eq!(again.batches_applied, 0);
+        assert_eq!(again.bytes_this_run, 0.0);
+    }
+
+    #[test]
+    fn journal_from_another_plan_is_rejected() {
+        let ins = instance();
+        let plan = relocation_plan(&ins);
+        let mut dep = Deployment::new(&ins, &plan.plan.from, 16).unwrap();
+        let mut journal = MigrationJournal::new();
+        dep.migrate_batches(&plan, &mut journal, &mut FaultInjector::disabled(), 1)
+            .unwrap();
+
+        // Same endpoints, different budget ⇒ different fingerprint.
+        let other = plan.plan.clone().batched(&ins, 1e9).unwrap();
+        assert_ne!(other.fingerprint(), plan.fingerprint());
+        assert!(matches!(
+            dep.migrate_batched(&other, &mut journal, &mut FaultInjector::disabled()),
+            Err(EngineError::CorruptJournal { .. })
+        ));
+        assert!(matches!(
+            Deployment::recover(&ins, &other, &journal),
+            Err(EngineError::CorruptJournal { .. })
+        ));
+        // A deployment that drifted off the journal's boundary must be
+        // rebuilt with recover() before resuming.
+        let mut stale = Deployment::new(&ins, &plan.plan.from, 16).unwrap();
+        let stale_err = stale
+            .migrate_batched(&plan, &mut journal, &mut FaultInjector::disabled())
+            .unwrap_err();
+        assert!(matches!(stale_err, EngineError::MigrationMismatch { .. }));
     }
 }

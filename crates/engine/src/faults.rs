@@ -1,0 +1,328 @@
+//! Deterministic, seeded fault injection.
+//!
+//! Production repartitioners fail in the middle of things: a migration
+//! batch aborts, a replay worker dies, a re-solve times out. This module
+//! makes those failures *schedulable*: code under test declares named fail
+//! points (`faults.fail("migration.batch")?`) and a [`FaultInjector`]
+//! decides — from a seed and a trigger schedule, never from the wall clock
+//! or OS entropy — whether each hit fires. Equal seeds and equal hit
+//! sequences fire identically on every platform, so a crash injected in a
+//! test is exactly reproducible, and a sweep harness can enumerate "crash
+//! at hit 1, at hit 2, …" exhaustively.
+//!
+//! Trigger schedules are parsed from compact spec strings (the CLI's
+//! `--fault` flag uses the same syntax):
+//!
+//! * `point:nth=3` — fire on the 3rd hit of `point`, once;
+//! * `point:prob=0.01` — fire each hit with probability 0.01, decided by a
+//!   splitmix64 stream seeded from the injector seed and the point name;
+//! * `point:once` — fire on the first hit, once.
+//!
+//! The default injector has no arms and every check is a cheap early-out,
+//! so production paths can keep their fail points permanently wired.
+
+use crate::executor::EngineError;
+
+/// The well-known fail point at migration batch boundaries: fires after a
+/// batch's ops are applied but *before* its commit record is journaled —
+/// the worst-case crash window for recovery to handle.
+pub const FP_MIGRATION_BATCH: &str = "migration.batch";
+/// Fail point hit once per replay pass, at the coordinator, after the pass
+/// ran but before its results are accepted (the pass is discarded and
+/// retried — meters stay bit-identical to a fault-free run).
+pub const FP_REPLAY_PASS: &str = "replay.pass";
+/// Fail point in the online control loop's re-solve step (a solver
+/// timeout / crash stand-in; the `Watcher` retries with backoff).
+pub const FP_WATCH_RESOLVE: &str = "watch.resolve";
+/// Fail point in the rollback path: fires between undo batches, so
+/// mid-rollback crashes are exercisable too.
+pub const FP_MIGRATION_ROLLBACK: &str = "migration.rollback";
+
+/// When an armed fail point fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultTrigger {
+    /// Fire on exactly the n-th hit (1-based), once.
+    Nth(u64),
+    /// Fire on each hit independently with this probability, decided by a
+    /// seeded splitmix64 stream (no OS entropy).
+    Prob(f64),
+    /// Fire on the first hit, once.
+    Once,
+}
+
+/// One armed fail point: a point name plus a trigger schedule.
+#[derive(Debug, Clone, PartialEq)]
+struct FaultArm {
+    point: String,
+    trigger: FaultTrigger,
+    hits: u64,
+    fired: u64,
+}
+
+/// A registry of armed fail points with deterministic trigger schedules.
+///
+/// Cloning an injector clones its full state (hit counters included), so a
+/// sweep harness can fork schedules mid-run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultInjector {
+    seed: u64,
+    arms: Vec<FaultArm>,
+}
+
+impl Default for FaultInjector {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl FaultInjector {
+    /// An injector with no armed points: every check is a no-op.
+    pub fn disabled() -> Self {
+        Self {
+            seed: 0,
+            arms: Vec::new(),
+        }
+    }
+
+    /// An injector whose probabilistic triggers draw from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            arms: Vec::new(),
+        }
+    }
+
+    /// Arms `point` with an explicit trigger.
+    pub fn arm(&mut self, point: &str, trigger: FaultTrigger) {
+        self.arms.push(FaultArm {
+            point: point.to_string(),
+            trigger,
+            hits: 0,
+            fired: 0,
+        });
+    }
+
+    /// Arms a fail point from a `point:trigger` spec string
+    /// (`migration.batch:nth=3`, `replay.pass:prob=0.01`,
+    /// `watch.resolve:once`). Returns [`EngineError::InvalidFault`] on
+    /// malformed specs.
+    pub fn arm_spec(&mut self, spec: &str) -> Result<(), EngineError> {
+        let bad = |what: String| EngineError::InvalidFault { what };
+        let (point, trig) = spec
+            .rsplit_once(':')
+            .ok_or_else(|| bad(format!("{spec:?}: expected `point:trigger`")))?;
+        if point.is_empty() {
+            return Err(bad(format!("{spec:?}: empty fail-point name")));
+        }
+        let trigger = if trig == "once" {
+            FaultTrigger::Once
+        } else if let Some(n) = trig.strip_prefix("nth=") {
+            let n: u64 = n
+                .parse()
+                .map_err(|_| bad(format!("{spec:?}: `nth=` wants an integer")))?;
+            if n == 0 {
+                return Err(bad(format!("{spec:?}: `nth=` is 1-based, got 0")));
+            }
+            FaultTrigger::Nth(n)
+        } else if let Some(p) = trig.strip_prefix("prob=") {
+            let p: f64 = p
+                .parse()
+                .map_err(|_| bad(format!("{spec:?}: `prob=` wants a number")))?;
+            if !(p > 0.0 && p <= 1.0) {
+                return Err(bad(format!(
+                    "{spec:?}: `prob=` wants a probability in (0, 1], got {p}"
+                )));
+            }
+            FaultTrigger::Prob(p)
+        } else {
+            return Err(bad(format!(
+                "{spec:?}: unknown trigger {trig:?} (want `nth=N`, `prob=P` or `once`)"
+            )));
+        };
+        self.arm(point, trigger);
+        Ok(())
+    }
+
+    /// Arms every spec in a comma-separated list (the CLI's `--fault`).
+    pub fn arm_specs(&mut self, specs: &str) -> Result<(), EngineError> {
+        for spec in specs.split(',').filter(|s| !s.is_empty()) {
+            self.arm_spec(spec)?;
+        }
+        Ok(())
+    }
+
+    /// True when no points are armed (the production fast path).
+    pub fn is_disabled(&self) -> bool {
+        self.arms.is_empty()
+    }
+
+    /// Registers one hit of `point` and reports whether an arm fired.
+    /// `Nth`/`Once` arms fire at most once; `Prob` arms may fire on any
+    /// hit, decided by `splitmix64(seed ⊕ hash(point) ⊕ hit_count)`.
+    pub fn hit(&mut self, point: &str) -> bool {
+        if self.arms.is_empty() {
+            return false;
+        }
+        let mut fired = false;
+        for arm in self.arms.iter_mut().filter(|a| a.point == point) {
+            arm.hits += 1;
+            let fires = match arm.trigger {
+                FaultTrigger::Nth(n) => arm.hits == n,
+                FaultTrigger::Once => arm.fired == 0,
+                FaultTrigger::Prob(p) => {
+                    let draw = splitmix64(self.seed ^ str_hash(point) ^ arm.hits);
+                    // Top 53 bits → uniform in [0, 1).
+                    ((draw >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+                }
+            };
+            if fires {
+                arm.fired += 1;
+                fired = true;
+            }
+        }
+        fired
+    }
+
+    /// [`hit`](Self::hit) as a fallible operation: returns
+    /// [`EngineError::Injected`] when an arm fires. The idiom at a fail
+    /// point is `faults.fail(FP_X)?;`.
+    pub fn fail(&mut self, point: &str) -> Result<(), EngineError> {
+        if self.hit(point) {
+            Err(EngineError::Injected {
+                point: point.to_string(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Total times any arm of `point` has fired (test introspection).
+    pub fn fired(&self, point: &str) -> u64 {
+        self.arms
+            .iter()
+            .filter(|a| a.point == point)
+            .map(|a| a.fired)
+            .sum()
+    }
+}
+
+/// The splitmix64 finalizer: a full-period bijective mixer.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over the point name: stable across processes and platforms.
+fn str_hash(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325_u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_injector_never_fires() {
+        let mut f = FaultInjector::disabled();
+        for _ in 0..100 {
+            assert!(!f.hit(FP_MIGRATION_BATCH));
+        }
+        assert!(f.is_disabled());
+        assert_eq!(f.fired(FP_MIGRATION_BATCH), 0);
+    }
+
+    #[test]
+    fn nth_fires_exactly_once_at_the_nth_hit() {
+        let mut f = FaultInjector::new(7);
+        f.arm_spec("p:nth=3").unwrap();
+        assert!(!f.hit("p"));
+        assert!(!f.hit("p"));
+        assert!(f.hit("p"));
+        for _ in 0..10 {
+            assert!(!f.hit("p"));
+        }
+        assert_eq!(f.fired("p"), 1);
+    }
+
+    #[test]
+    fn once_fires_on_the_first_hit_only() {
+        let mut f = FaultInjector::new(7);
+        f.arm_spec("p:once").unwrap();
+        assert!(f.hit("p"));
+        assert!(!f.hit("p"));
+        assert_eq!(f.fired("p"), 1);
+    }
+
+    #[test]
+    fn prob_is_seed_deterministic() {
+        let run = |seed| {
+            let mut f = FaultInjector::new(seed);
+            f.arm_spec("p:prob=0.5").unwrap();
+            (0..64).map(|_| f.hit("p")).collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2), "different seeds draw differently");
+        let fires = run(1).iter().filter(|&&b| b).count();
+        assert!(
+            fires > 10 && fires < 54,
+            "p=0.5 fires roughly half: {fires}"
+        );
+    }
+
+    #[test]
+    fn points_are_independent() {
+        let mut f = FaultInjector::new(7);
+        f.arm_spec("a:once").unwrap();
+        assert!(!f.hit("b"));
+        assert!(f.hit("a"));
+    }
+
+    #[test]
+    fn fail_maps_to_injected_error() {
+        let mut f = FaultInjector::new(7);
+        f.arm_spec("p:once").unwrap();
+        assert_eq!(
+            f.fail("p"),
+            Err(EngineError::Injected {
+                point: "p".to_string()
+            })
+        );
+        assert_eq!(f.fail("p"), Ok(()));
+    }
+
+    #[test]
+    fn comma_separated_specs_arm_multiple_points() {
+        let mut f = FaultInjector::new(7);
+        f.arm_specs("a:once,b:nth=2").unwrap();
+        assert!(f.hit("a"));
+        assert!(!f.hit("b"));
+        assert!(f.hit("b"));
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        let mut f = FaultInjector::new(7);
+        for bad in [
+            "noseparator",
+            ":once",
+            "p:nth=0",
+            "p:nth=x",
+            "p:prob=0",
+            "p:prob=1.5",
+            "p:prob=abc",
+            "p:sometimes",
+        ] {
+            assert!(
+                matches!(f.arm_spec(bad), Err(EngineError::InvalidFault { .. })),
+                "{bad:?} must be rejected"
+            );
+        }
+    }
+}

@@ -32,14 +32,23 @@
 //! ```
 
 pub mod executor;
+pub mod faults;
+pub mod journal;
 pub mod replay;
 pub mod storage;
 pub mod trace;
 
-pub use executor::{Deployment, EngineError, ExecutionReport, MigrationReport, SiteMetrics};
+pub use executor::{
+    BatchedMigrationReport, Deployment, EngineError, ExecutionReport, MigrationReport, SiteMetrics,
+};
+pub use faults::{
+    FaultInjector, FaultTrigger, FP_MIGRATION_BATCH, FP_MIGRATION_ROLLBACK, FP_REPLAY_PASS,
+    FP_WATCH_RESOLVE,
+};
+pub use journal::{JournalRecord, JournalState, MigrationJournal};
 pub use replay::{
     PredictedBytes, ReplayConfig, ReplayDeployment, ReplayModelError, ReplayReport, ReplayStream,
-    SiteBytes,
+    RowSkew, SiteBytes,
 };
 pub use storage::{ColumnFragment, Fragment, Site};
 pub use trace::Trace;

@@ -30,6 +30,7 @@
 //! model's quantization error (average widths and fractional row counts
 //! vs. physical rounded-up columns and integer rows).
 
+use crate::faults::{FaultInjector, FP_REPLAY_PASS};
 use crate::storage::ColumnFragment;
 use crate::trace::Trace;
 use std::time::{Duration, Instant};
@@ -109,26 +110,176 @@ impl ReplayStream {
     }
 }
 
+/// How the replay stream picks which physical row a touch hits.
+///
+/// The paper's cost model assumes uniform row touches; the skewed
+/// generators measure how far non-uniform access pushes the true-byte
+/// meters and throughput. All variants map the same deterministic
+/// splitmix64 touch hash, so skewed replays stay bit-identical across
+/// thread counts and runs.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum RowSkew {
+    /// Uniform over all rows (the paper's assumption; the default).
+    #[default]
+    Uniform,
+    /// Zipfian with parameter `theta ∈ (0, 1)` (YCSB's generator: larger
+    /// `theta` ⇒ heavier head; 0.99 is YCSB's default "zipfian").
+    Zipf {
+        /// The Zipf exponent.
+        theta: f64,
+    },
+    /// A hot set of `frac ∈ (0, 1)` of the rows receives `1 − frac` of
+    /// the touches (`hotspot:0.1` ⇒ 10% of rows take 90% of traffic).
+    Hotspot {
+        /// The hot fraction of rows.
+        frac: f64,
+    },
+}
+
+impl RowSkew {
+    /// Parses the CLI's `--skew` syntax: `uniform`, `zipf:<theta>` or
+    /// `hotspot:<frac>`.
+    pub fn parse(s: &str) -> Result<Self, EngineError> {
+        if s == "uniform" {
+            return Ok(Self::Uniform);
+        }
+        if let Some(t) = s.strip_prefix("zipf:") {
+            let theta: f64 = t.parse().map_err(|_| EngineError::InvalidReplay {
+                what: "zipf skew wants a numeric theta (e.g. zipf:0.99)",
+            })?;
+            if !(theta > 0.0 && theta < 1.0) {
+                return Err(EngineError::InvalidReplay {
+                    what: "zipf theta must be in (0, 1)",
+                });
+            }
+            return Ok(Self::Zipf { theta });
+        }
+        if let Some(fr) = s.strip_prefix("hotspot:") {
+            let frac: f64 = fr.parse().map_err(|_| EngineError::InvalidReplay {
+                what: "hotspot skew wants a numeric fraction (e.g. hotspot:0.2)",
+            })?;
+            if !(frac > 0.0 && frac < 1.0) {
+                return Err(EngineError::InvalidReplay {
+                    what: "hotspot fraction must be in (0, 1)",
+                });
+            }
+            return Ok(Self::Hotspot { frac });
+        }
+        Err(EngineError::InvalidReplay {
+            what: "unknown skew (want uniform, zipf:<theta> or hotspot:<frac>)",
+        })
+    }
+}
+
+/// A [`RowSkew`] compiled against a concrete row count: maps the uniform
+/// 64-bit touch hash to a row index. Pure and `Sync` — workers share it.
+#[derive(Debug, Clone, Copy)]
+enum SkewMap {
+    Uniform {
+        n: u64,
+    },
+    /// YCSB's zipfian mapper with `ζ(n, θ)` precomputed.
+    Zipf {
+        n: f64,
+        zetan: f64,
+        eta: f64,
+        alpha: f64,
+        half_pow_theta: f64,
+    },
+    Hotspot {
+        hot: u64,
+        cold: u64,
+        hot_traffic: f64,
+    },
+}
+
+impl SkewMap {
+    fn new(skew: RowSkew, n: u64) -> Self {
+        match skew {
+            RowSkew::Uniform => Self::Uniform { n },
+            RowSkew::Zipf { theta } => {
+                let zetan: f64 = (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+                let zeta2 = 1.0 + 0.5f64.powf(theta);
+                let nf = n as f64;
+                let eta = (1.0 - (2.0 / nf).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+                Self::Zipf {
+                    n: nf,
+                    zetan,
+                    eta,
+                    alpha: 1.0 / (1.0 - theta),
+                    half_pow_theta: 0.5f64.powf(theta),
+                }
+            }
+            RowSkew::Hotspot { frac } => {
+                let hot = (((n as f64) * frac).ceil() as u64).clamp(1, n);
+                Self::Hotspot {
+                    hot,
+                    cold: n - hot,
+                    hot_traffic: 1.0 - frac,
+                }
+            }
+        }
+    }
+
+    /// Maps the touch hash `h` to a row index in `[0, n)`.
+    #[inline]
+    fn map(&self, h: u64) -> usize {
+        // Top 53 bits of the hash → uniform u ∈ [0, 1).
+        let u = ((h >> 11) as f64) * (1.0 / (1u64 << 53) as f64);
+        match *self {
+            Self::Uniform { n } => (h % n) as usize,
+            Self::Zipf {
+                n,
+                zetan,
+                eta,
+                alpha,
+                half_pow_theta,
+            } => {
+                let uz = u * zetan;
+                if uz < 1.0 {
+                    0
+                } else if uz < 1.0 + half_pow_theta {
+                    1
+                } else {
+                    let r = (n * (eta * u - eta + 1.0).powf(alpha)) as usize;
+                    r.min(n as usize - 1)
+                }
+            }
+            Self::Hotspot {
+                hot,
+                cold,
+                hot_traffic,
+            } => {
+                // A second, independent hash picks the row within the
+                // chosen region (reusing `h` would correlate with `u`).
+                let h2 = mix(h ^ 0xD00D_F00D_0000_0001);
+                if cold == 0 || u < hot_traffic {
+                    (h2 % hot) as usize
+                } else {
+                    (hot + h2 % cold) as usize
+                }
+            }
+        }
+    }
+}
+
 /// Replay driver knobs.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct ReplayConfig {
-    /// Worker threads (clamped to `[1, shards]`).
+    /// Worker threads (clamped to `[1, shards]`). Zero is treated as 1.
     pub threads: usize,
     /// Keep replaying whole passes until at least this much wall time has
     /// elapsed (zero ⇒ exactly one pass — the fully deterministic mode).
     pub min_duration: Duration,
-    /// Hard cap on passes regardless of duration.
+    /// Hard cap on passes regardless of duration (zero is treated as 1).
     pub max_passes: usize,
-}
-
-impl Default for ReplayConfig {
-    fn default() -> Self {
-        Self {
-            threads: 1,
-            min_duration: Duration::ZERO,
-            max_passes: usize::MAX,
-        }
-    }
+    /// Row-touch distribution (uniform by default).
+    pub skew: RowSkew,
+    /// Fault injection: the [`FP_REPLAY_PASS`] point is hit once per
+    /// pass; a firing arm crashes that pass, which is discarded (meters
+    /// reset if it was the metered pass) and retried — so injected runs
+    /// end with meters bit-identical to fault-free ones.
+    pub faults: FaultInjector,
 }
 
 impl ReplayConfig {
@@ -136,6 +287,7 @@ impl ReplayConfig {
     pub fn deterministic(threads: usize) -> Self {
         Self {
             threads,
+            max_passes: 1,
             ..Self::default()
         }
     }
@@ -146,6 +298,7 @@ impl ReplayConfig {
             threads,
             min_duration,
             max_passes: usize::MAX,
+            ..Self::default()
         }
     }
 }
@@ -260,6 +413,9 @@ pub struct ReplayReport {
     pub threads: usize,
     /// Row-range shards used.
     pub shards: usize,
+    /// Passes crashed by an injected [`FP_REPLAY_PASS`] fault, discarded
+    /// and retried (they count toward neither `passes` nor the meters).
+    pub passes_injected: usize,
     /// Model-vs-measured gap, when a prediction was supplied.
     pub model_error: Option<ReplayModelError>,
 }
@@ -566,10 +722,37 @@ impl<'a> ReplayDeployment<'a> {
             shard.meter = ShardMeter::new(n_sites);
         }
 
+        let skew = SkewMap::new(config.skew, self.rows_per_table as u64);
+        let mut faults = config.faults.clone();
         let start = Instant::now();
         let mut passes = 0usize;
+        let mut passes_injected = 0usize;
         loop {
-            self.run_pass(stream, threads, passes == 0);
+            let metered = passes == 0;
+            self.run_pass(stream, threads, metered, skew);
+            if faults.hit(FP_REPLAY_PASS) {
+                // The pass crashed: recovery rolls its partial writes
+                // back to the durable fill, the metered pass also resets
+                // its meters, and the pass retries — so an injected run
+                // converges to the fault-free meters bit-for-bit.
+                passes_injected += 1;
+                if passes_injected >= 1024 {
+                    return Err(EngineError::Injected {
+                        point: FP_REPLAY_PASS.to_string(),
+                    });
+                }
+                for shard in &mut self.shards {
+                    for site in &mut shard.sites {
+                        for frag in site.fragments.iter_mut().flatten() {
+                            frag.refill();
+                        }
+                    }
+                    if metered {
+                        shard.meter = ShardMeter::new(n_sites);
+                    }
+                }
+                continue;
+            }
             passes += 1;
             if passes >= max_passes || start.elapsed() >= config.min_duration {
                 break;
@@ -616,6 +799,7 @@ impl<'a> ReplayDeployment<'a> {
             elapsed,
             threads,
             shards: n_shards,
+            passes_injected,
             model_error,
         };
 
@@ -651,9 +835,8 @@ impl<'a> ReplayDeployment<'a> {
 
     /// One whole pass over the stream: workers own disjoint shard chunks,
     /// each walks the full stream and executes only its rows' touches.
-    fn run_pass(&mut self, stream: &ReplayStream, threads: usize, metered: bool) {
+    fn run_pass(&mut self, stream: &ReplayStream, threads: usize, metered: bool, skew: SkewMap) {
         let plans = &self.plans;
-        let rows_per_table = self.rows_per_table as u64;
         let rows_per_shard = self.rows_per_shard;
         let n_shards = self.shards.len();
         let chunk = n_shards.div_ceil(threads);
@@ -673,8 +856,7 @@ impl<'a> ReplayDeployment<'a> {
                                 for tp in &q.tables {
                                     let tbl_key = rep_key ^ mix(0xAB1E ^ tp.table_idx as u64);
                                     for j in 0..tp.n_phys {
-                                        let row =
-                                            (mix(tbl_key ^ j as u64) % rows_per_table) as usize;
+                                        let row = skew.map(mix(tbl_key ^ j as u64));
                                         let s = row / rows_per_shard;
                                         if !owned.contains(&s) {
                                             continue;
@@ -888,6 +1070,7 @@ mod tests {
                     threads: 1,
                     min_duration: Duration::from_millis(5),
                     max_passes: 64,
+                    ..ReplayConfig::default()
                 },
                 None,
             )
@@ -921,5 +1104,134 @@ mod tests {
         let dep = ReplayDeployment::new(&ins, &part, 4, 64).unwrap();
         assert_eq!(dep.n_shards(), 4);
         assert!(dep.stored_bytes() > 0);
+    }
+
+    #[test]
+    fn skew_specs_parse_and_reject() {
+        assert_eq!(RowSkew::parse("uniform").unwrap(), RowSkew::Uniform);
+        assert_eq!(
+            RowSkew::parse("zipf:0.99").unwrap(),
+            RowSkew::Zipf { theta: 0.99 }
+        );
+        assert_eq!(
+            RowSkew::parse("hotspot:0.2").unwrap(),
+            RowSkew::Hotspot { frac: 0.2 }
+        );
+        for bad in [
+            "zipf",
+            "zipf:",
+            "zipf:abc",
+            "zipf:0",
+            "zipf:1.0",
+            "zipf:-0.5",
+            "hotspot:1.5",
+            "hotspot:0",
+            "hotspot:x",
+            "pareto:2",
+        ] {
+            assert!(
+                matches!(RowSkew::parse(bad), Err(EngineError::InvalidReplay { .. })),
+                "spec {bad:?} should be rejected"
+            );
+        }
+    }
+
+    /// The compiled maps really skew: hashed touches land on the head
+    /// (zipf) / hot set (hotspot) far more often than uniform would.
+    #[test]
+    fn skew_maps_concentrate_touches() {
+        let n = 1000u64;
+        let samples = 20_000u64;
+        let zipf = SkewMap::new(RowSkew::Zipf { theta: 0.99 }, n);
+        let hot = SkewMap::new(RowSkew::Hotspot { frac: 0.1 }, n);
+        let uni = SkewMap::new(RowSkew::Uniform, n);
+        let (mut z_head, mut h_hot, mut u_head) = (0u64, 0u64, 0u64);
+        for i in 0..samples {
+            let h = mix(0xBEEF ^ i);
+            let zr = zipf.map(h);
+            let hr = hot.map(h);
+            let ur = uni.map(h);
+            assert!(zr < n as usize && hr < n as usize && ur < n as usize);
+            z_head += u64::from(zr < 10);
+            h_hot += u64::from(hr < 100);
+            u_head += u64::from(ur < 10);
+        }
+        // Uniform puts ~1% in the top-10 rows; zipf(0.99) puts >30%.
+        assert!(u_head < samples / 20, "uniform head share too high");
+        assert!(z_head > samples * 3 / 10, "zipf head share too low");
+        // hotspot:0.1 routes ~90% of touches to the 10% hot set.
+        assert!(h_hot > samples * 8 / 10, "hotspot share too low");
+    }
+
+    /// Skewed replays keep the determinism contract: meters are
+    /// bit-identical across thread counts, and the skew visibly changes
+    /// which rows are touched (checksum) without changing byte totals.
+    #[test]
+    fn skewed_replay_is_thread_independent() {
+        let ins = instance();
+        let part = Partitioning::single_site(&ins, 1).unwrap();
+        let stream = ReplayStream::uniform(&ins, 40, 7);
+        let run = |threads: usize, skew: RowSkew| {
+            let mut dep = ReplayDeployment::new(&ins, &part, 64, 8).unwrap();
+            let cfg = ReplayConfig {
+                skew,
+                ..ReplayConfig::deterministic(threads)
+            };
+            dep.replay(&stream, &cfg, None).unwrap()
+        };
+        let zipf = RowSkew::Zipf { theta: 0.9 };
+        let a = run(1, zipf);
+        let b = run(4, zipf);
+        assert_eq!(a.meter_fingerprint(), b.meter_fingerprint());
+        let uniform = run(1, RowSkew::Uniform);
+        assert_eq!(
+            a.totals(),
+            uniform.totals(),
+            "byte totals are row-independent"
+        );
+        assert_ne!(
+            a.checksum, uniform.checksum,
+            "skew should touch different rows"
+        );
+    }
+
+    /// A pass crashed by an injected fault is discarded and retried: the
+    /// run completes with meters bit-identical to the fault-free run.
+    #[test]
+    fn injected_pass_crash_retries_to_identical_meters() {
+        let ins = instance();
+        let part = Partitioning::single_site(&ins, 1).unwrap();
+        let stream = ReplayStream::uniform(&ins, 20, 3);
+        let mut dep = ReplayDeployment::new(&ins, &part, 32, 4).unwrap();
+        let clean = dep
+            .replay(&stream, &ReplayConfig::deterministic(2), None)
+            .unwrap();
+        assert_eq!(clean.passes_injected, 0);
+
+        let mut dep = ReplayDeployment::new(&ins, &part, 32, 4).unwrap();
+        let mut cfg = ReplayConfig::deterministic(2);
+        cfg.faults = FaultInjector::new(11);
+        cfg.faults.arm_spec("replay.pass:nth=1").unwrap();
+        let faulted = dep.replay(&stream, &cfg, None).unwrap();
+        assert_eq!(faulted.passes_injected, 1);
+        assert_eq!(faulted.passes, 1);
+        assert_eq!(clean.meter_fingerprint(), faulted.meter_fingerprint());
+    }
+
+    /// A fault that fires on every pass can never finish: the driver
+    /// gives up with `Injected` instead of spinning forever.
+    #[test]
+    fn always_firing_pass_fault_errors_out() {
+        let ins = instance();
+        let part = Partitioning::single_site(&ins, 1).unwrap();
+        let stream = ReplayStream::uniform(&ins, 3, 3);
+        let mut dep = ReplayDeployment::new(&ins, &part, 8, 2).unwrap();
+        let mut cfg = ReplayConfig::deterministic(1);
+        cfg.faults = FaultInjector::new(5);
+        cfg.faults.arm_spec("replay.pass:prob=1.0").unwrap();
+        assert!(matches!(
+            dep.replay(&stream, &cfg, None),
+            Err(EngineError::Injected { .. })
+        ));
     }
 }

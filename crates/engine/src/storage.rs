@@ -79,6 +79,12 @@ impl Fragment {
     pub fn payload_bytes(&self) -> usize {
         self.data.len()
     }
+
+    /// The raw physical payload (row-major, `byte_width` bytes per row).
+    /// Recovery tests hash this to prove bit-identical fragment state.
+    pub fn payload(&self) -> &[u8] {
+        &self.data
+    }
 }
 
 /// One columnar vertical table fraction covering a contiguous row segment.
@@ -119,14 +125,7 @@ impl ColumnFragment {
         for (a, w) in attrs {
             let pw = (w.ceil() as usize).max(1);
             let mut col = vec![0u8; rows * pw];
-            for (i, b) in col.iter_mut().enumerate() {
-                let r = base_row + i / pw;
-                let j = i % pw;
-                *b = ((r * pw + j) as u32)
-                    .wrapping_mul(2654435761)
-                    .wrapping_add(table.0 ^ (a.0 << 8))
-                    .to_le_bytes()[0];
-            }
+            fill_column(&mut col, table, a, base_row, pw);
             ids.push(a);
             widths.push(pw);
             columns.push(col);
@@ -140,6 +139,21 @@ impl ColumnFragment {
             widths,
             columns,
             row_width,
+        }
+    }
+
+    /// Restores the deterministic initial fill — the replay harness's
+    /// crash recovery: a pass discarded by an injected fault rolls its
+    /// partial writes back to the durable (initial) payload.
+    pub fn refill(&mut self) {
+        let (table, base_row) = (self.table, self.base_row);
+        for ((&a, &pw), col) in self
+            .attrs
+            .iter()
+            .zip(&self.widths)
+            .zip(self.columns.iter_mut())
+        {
+            fill_column(col, table, a, base_row, pw);
         }
     }
 
@@ -188,6 +202,19 @@ impl ColumnFragment {
     /// Physical payload size of this segment in bytes.
     pub fn payload_bytes(&self) -> usize {
         self.columns.iter().map(Vec::len).sum()
+    }
+}
+
+/// Deterministic, row-global columnar fill: byte `j` of table row `r`
+/// depends only on `(table, a, r, j)` — see [`ColumnFragment::new`].
+fn fill_column(col: &mut [u8], table: TableId, a: AttrId, base_row: usize, pw: usize) {
+    for (i, b) in col.iter_mut().enumerate() {
+        let r = base_row + i / pw;
+        let j = i % pw;
+        *b = ((r * pw + j) as u32)
+            .wrapping_mul(2654435761)
+            .wrapping_add(table.0 ^ (a.0 << 8))
+            .to_le_bytes()[0];
     }
 }
 

@@ -127,6 +127,7 @@ fn throughput_reporting_counts_all_passes() {
                 threads: 2,
                 min_duration: std::time::Duration::from_millis(10),
                 max_passes: 1000,
+                ..ReplayConfig::default()
             },
             None,
         )

@@ -70,6 +70,12 @@ pub enum ModelError {
     ReplicationForbidden { attr: AttrId },
     /// Number of sites must be at least one.
     NoSites,
+    /// A migration batch byte budget was not strictly positive (NaN, zero
+    /// or negative). `f64::INFINITY` is allowed and means "one batch".
+    InvalidBatchBytes { bytes: f64 },
+    /// A migration plan failed an internal consistency check while being
+    /// split into batches (e.g. its changes do not take `from` to `to`).
+    InconsistentPlan { what: &'static str },
 }
 
 impl fmt::Display for ModelError {
@@ -137,6 +143,15 @@ impl fmt::Display for ModelError {
                 )
             }
             Self::NoSites => write!(f, "at least one site is required"),
+            Self::InvalidBatchBytes { bytes } => {
+                write!(
+                    f,
+                    "migration batch byte budget must be positive, got {bytes}"
+                )
+            }
+            Self::InconsistentPlan { what } => {
+                write!(f, "inconsistent migration plan: {what}")
+            }
         }
     }
 }

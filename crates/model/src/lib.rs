@@ -42,7 +42,9 @@ pub use bitset::{BitMatrix, BitSet};
 pub use error::ModelError;
 pub use ids::{AttrId, QueryId, SiteId, TableId, TxnId};
 pub use instance::{DerivedStats, Instance};
-pub use migration::{FragmentChange, MigrationPlan, TxnMove};
+pub use migration::{
+    BatchedMigrationPlan, FragmentChange, MigrationBatch, MigrationOp, MigrationPlan, TxnMove,
+};
 pub use partition::Partitioning;
 pub use schema::{Attribute, Schema, SchemaBuilder, Table};
 pub use workload::{Query, QueryKind, Transaction, Workload, WorkloadBuilder};

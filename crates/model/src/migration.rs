@@ -161,6 +161,440 @@ impl MigrationPlan {
     pub fn is_empty(&self) -> bool {
         self.changes.is_empty() && self.txn_moves.is_empty()
     }
+
+    /// Splits the plan into rate-limited [`MigrationBatch`]es of micro-ops,
+    /// each shipping at most `batch_bytes` of installs (a single install
+    /// wider than the budget still gets its own batch, so progress is
+    /// guaranteed).
+    ///
+    /// Ordering minimizes the peak transient dual-resident width: moves and
+    /// drops are *free* and applied eagerly the moment they become safe,
+    /// installs that unblock a pending transaction re-homing go first, and
+    /// every batch boundary is a valid [`Partitioning`] — reads stay
+    /// single-sited and no attribute is ever unplaced, so the deployment
+    /// can serve traffic (and crash, and recover) at any boundary.
+    ///
+    /// Safety rules for the greedy scheduler:
+    /// * `Install(a, s)` is always safe (adds a replica);
+    /// * `MoveTxn(t, →s')` is safe once every attribute `t` reads is
+    ///   present on `s'`;
+    /// * `Drop(a, s)` is safe once `a` is replicated elsewhere and no
+    ///   transaction currently homed on `s` reads `a`.
+    ///
+    /// With a plan produced by [`MigrationPlan::between`] this always
+    /// terminates: after all installs every move is safe (the target
+    /// validates), and after all moves every drop is safe. A tampered plan
+    /// that cannot make progress yields [`ModelError::InconsistentPlan`].
+    pub fn batched(
+        &self,
+        instance: &Instance,
+        batch_bytes: f64,
+    ) -> Result<BatchedMigrationPlan, ModelError> {
+        if batch_bytes.is_nan() || batch_bytes <= 0.0 {
+            return Err(ModelError::InvalidBatchBytes { bytes: batch_bytes });
+        }
+        if self.from.n_sites() != self.to.n_sites() {
+            return Err(ModelError::DimensionMismatch {
+                what: "migration target sites",
+                expected: self.from.n_sites(),
+                got: self.to.n_sites(),
+            });
+        }
+        // Plans may arrive deserialized; re-validate the endpoints.
+        self.from.validate(instance, false)?;
+        self.to.validate(instance, false)?;
+
+        let schema = instance.schema();
+        let rows = self.rows_per_fragment.max(1) as f64;
+
+        // Pending micro-ops in the plan's deterministic (site, table, attr)
+        // order.
+        let mut installs: Vec<(AttrId, SiteId, f64)> = Vec::new();
+        let mut drops: Vec<(AttrId, SiteId)> = Vec::new();
+        for ch in &self.changes {
+            for &a in &ch.installed {
+                if schema.table_of(a) != ch.table {
+                    return Err(ModelError::InconsistentPlan {
+                        what: "fragment change lists an attribute of another table",
+                    });
+                }
+                installs.push((a, ch.site, schema.width(a) * rows));
+            }
+            for &a in &ch.dropped {
+                drops.push((a, ch.site));
+            }
+        }
+        let mut moves: Vec<TxnMove> = self.txn_moves.clone();
+
+        // Which transactions read each attribute (drop-safety lookups).
+        let mut readers: Vec<Vec<TxnId>> = vec![Vec::new(); instance.n_attrs()];
+        for t in (0..instance.n_txns()).map(TxnId::from_index) {
+            for &a in instance.read_set(t) {
+                readers[a.index()].push(t);
+            }
+        }
+
+        // Installs some pending re-homing is waiting on come first (they
+        // unblock free moves, which in turn unblock free drops); ties keep
+        // the plan's (site, table, attr) order. Stable sort → deterministic.
+        let needed_by_move = |a: AttrId, s: SiteId| {
+            self.txn_moves
+                .iter()
+                .any(|mv| mv.to == s && instance.read_set(mv.txn).contains(&a))
+        };
+        installs.sort_by_key(|&(a, s, _)| usize::from(!needed_by_move(a, s)));
+
+        let mut state = self.from.clone();
+        let mut batches = Vec::new();
+        // Bytes currently stored beyond the incumbent layout (installs add,
+        // drops reclaim): the transient dual-resident width.
+        let mut stored_delta = 0.0_f64;
+        let mut peak = 0.0_f64;
+
+        // Applies every currently-safe free op (moves, then drops) until a
+        // fixpoint; each application can unblock further frees.
+        let drain_free = |state: &mut Partitioning,
+                          moves: &mut Vec<TxnMove>,
+                          drops: &mut Vec<(AttrId, SiteId)>,
+                          ops: &mut Vec<MigrationOp>,
+                          stored_delta: &mut f64| loop {
+            let mut progressed = false;
+            moves.retain(|mv| {
+                let safe = instance
+                    .read_set(mv.txn)
+                    .iter()
+                    .all(|&a| state.has_attr(a, mv.to));
+                if safe {
+                    state.move_txn(mv.txn, mv.to);
+                    ops.push(MigrationOp::MoveTxn {
+                        txn: mv.txn,
+                        from: mv.from,
+                        to: mv.to,
+                    });
+                    progressed = true;
+                }
+                !safe
+            });
+            drops.retain(|&(a, s)| {
+                let replicated = state.attr_sites(a).any(|site| site != s);
+                let safe = replicated && readers[a.index()].iter().all(|&t| state.site_of(t) != s);
+                if safe {
+                    state.remove_replica(a, s);
+                    *stored_delta -= schema.width(a) * rows;
+                    ops.push(MigrationOp::Drop { attr: a, site: s });
+                    progressed = true;
+                }
+                !safe
+            });
+            if !progressed {
+                break;
+            }
+        };
+
+        loop {
+            let mut ops = Vec::new();
+            let mut install_bytes = 0.0_f64;
+            drain_free(
+                &mut state,
+                &mut moves,
+                &mut drops,
+                &mut ops,
+                &mut stored_delta,
+            );
+            while let Some(&(a, s, b)) = installs.first() {
+                if install_bytes > 0.0 && install_bytes + b > batch_bytes {
+                    break;
+                }
+                installs.remove(0);
+                state.add_replica(a, s);
+                stored_delta += b;
+                install_bytes += b;
+                ops.push(MigrationOp::Install {
+                    attr: a,
+                    site: s,
+                    bytes: b,
+                });
+                drain_free(
+                    &mut state,
+                    &mut moves,
+                    &mut drops,
+                    &mut ops,
+                    &mut stored_delta,
+                );
+            }
+            if ops.is_empty() {
+                if installs.is_empty() && moves.is_empty() && drops.is_empty() {
+                    break;
+                }
+                return Err(ModelError::InconsistentPlan {
+                    what: "no safe micro-op available; plan cannot make progress",
+                });
+            }
+            // Every boundary must be servable: a crash here leaves a layout
+            // the deployment can keep running on.
+            state
+                .validate(instance, false)
+                .map_err(|_| ModelError::InconsistentPlan {
+                    what: "batch boundary is not a valid partitioning",
+                })?;
+            let transient = stored_delta.max(0.0);
+            peak = peak.max(transient);
+            batches.push(MigrationBatch {
+                ops,
+                bytes: install_bytes,
+                transient_bytes: transient,
+            });
+        }
+
+        if state != self.to {
+            return Err(ModelError::InconsistentPlan {
+                what: "applying all batches does not reach the target partitioning",
+            });
+        }
+        Ok(BatchedMigrationPlan {
+            plan: self.clone(),
+            batch_bytes,
+            batches,
+            peak_transient_bytes: peak,
+        })
+    }
+}
+
+/// One atomic micro-op of a batched migration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MigrationOp {
+    /// Ship one column fraction to a site (`w_a × rows` bytes — the only
+    /// op that moves data).
+    Install {
+        /// The attribute replicated onto the site.
+        attr: AttrId,
+        /// The receiving site.
+        site: SiteId,
+        /// Bytes shipped: `w_attr × rows_per_fragment`.
+        bytes: f64,
+    },
+    /// Delete a replica locally (free).
+    Drop {
+        /// The attribute removed.
+        attr: AttrId,
+        /// The site it is removed from.
+        site: SiteId,
+    },
+    /// Re-home a transaction (routing change; free).
+    MoveTxn {
+        /// The transaction.
+        txn: TxnId,
+        /// Its site before the move.
+        from: SiteId,
+        /// Its site after the move.
+        to: SiteId,
+    },
+}
+
+// The serde shim's derive does not cover payload enums; encode ops as a
+// tagged object by hand.
+impl Serialize for MigrationOp {
+    fn to_value(&self) -> serde::Value {
+        let fields = match *self {
+            Self::Install { attr, site, bytes } => vec![
+                ("op".to_string(), "install".to_value()),
+                ("attr".to_string(), attr.to_value()),
+                ("site".to_string(), site.to_value()),
+                ("bytes".to_string(), bytes.to_value()),
+            ],
+            Self::Drop { attr, site } => vec![
+                ("op".to_string(), "drop".to_value()),
+                ("attr".to_string(), attr.to_value()),
+                ("site".to_string(), site.to_value()),
+            ],
+            Self::MoveTxn { txn, from, to } => vec![
+                ("op".to_string(), "move_txn".to_value()),
+                ("txn".to_string(), txn.to_value()),
+                ("from".to_string(), from.to_value()),
+                ("to".to_string(), to.to_value()),
+            ],
+        };
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for MigrationOp {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let tag = v.expect_field("op")?.expect_str()?;
+        match tag {
+            "install" => Ok(Self::Install {
+                attr: AttrId::from_value(v.expect_field("attr")?)?,
+                site: SiteId::from_value(v.expect_field("site")?)?,
+                bytes: f64::from_value(v.expect_field("bytes")?)?,
+            }),
+            "drop" => Ok(Self::Drop {
+                attr: AttrId::from_value(v.expect_field("attr")?)?,
+                site: SiteId::from_value(v.expect_field("site")?)?,
+            }),
+            "move_txn" => Ok(Self::MoveTxn {
+                txn: TxnId::from_value(v.expect_field("txn")?)?,
+                from: SiteId::from_value(v.expect_field("from")?)?,
+                to: SiteId::from_value(v.expect_field("to")?)?,
+            }),
+            other => Err(serde::Error::custom(format!(
+                "unknown migration op tag {other:?}"
+            ))),
+        }
+    }
+}
+
+/// One rate-limited unit of a [`BatchedMigrationPlan`]. The engine journals
+/// and applies batches atomically: a crash can only land *between* batches.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MigrationBatch {
+    /// Micro-ops in application order.
+    pub ops: Vec<MigrationOp>,
+    /// Bytes shipped by this batch's installs (the metered quantity).
+    pub bytes: f64,
+    /// Bytes stored beyond the source layout at this batch's end boundary
+    /// (dual-resident replicas installed but whose doomed twins are not
+    /// yet dropped). Clamped at zero: drop-heavy plans shrink storage.
+    pub transient_bytes: f64,
+}
+
+impl MigrationBatch {
+    /// Applies this batch's ops to a partitioning (forward direction).
+    pub fn apply_to(&self, p: &mut Partitioning) {
+        for op in &self.ops {
+            match *op {
+                MigrationOp::Install { attr, site, .. } => p.add_replica(attr, site),
+                MigrationOp::Drop { attr, site } => p.remove_replica(attr, site),
+                MigrationOp::MoveTxn { txn, to, .. } => p.move_txn(txn, to),
+            }
+        }
+    }
+
+    /// Undoes this batch on a partitioning: inverse ops in reverse order.
+    /// Undoing a committed suffix retraces the forward path, so every
+    /// boundary reached during a rollback validates too.
+    pub fn undo_on(&self, p: &mut Partitioning) {
+        for op in self.ops.iter().rev() {
+            match *op {
+                MigrationOp::Install { attr, site, .. } => p.remove_replica(attr, site),
+                MigrationOp::Drop { attr, site } => p.add_replica(attr, site),
+                MigrationOp::MoveTxn { txn, from, .. } => p.move_txn(txn, from),
+            }
+        }
+    }
+
+    /// Bytes a journaled undo of this batch re-ships: every dropped
+    /// replica must be re-installed (`w_a × rows` each); un-installing and
+    /// re-homing are free.
+    pub fn undo_bytes(&self, instance: &Instance, rows_per_fragment: usize) -> f64 {
+        let rows = rows_per_fragment.max(1) as f64;
+        self.ops
+            .iter()
+            .map(|op| match *op {
+                MigrationOp::Drop { attr, .. } => instance.schema().width(attr) * rows,
+                _ => 0.0,
+            })
+            .sum()
+    }
+}
+
+/// A [`MigrationPlan`] split into crash-safe, rate-limited batches.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchedMigrationPlan {
+    /// The underlying atomic plan.
+    pub plan: MigrationPlan,
+    /// The per-batch install-byte budget the split honored.
+    pub batch_bytes: f64,
+    /// The batches, in application order.
+    pub batches: Vec<MigrationBatch>,
+    /// Peak `transient_bytes` over all batch boundaries: the worst extra
+    /// storage the migration needs beyond the incumbent layout.
+    pub peak_transient_bytes: f64,
+}
+
+impl BatchedMigrationPlan {
+    /// Number of batches.
+    pub fn n_batches(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// Total estimated bytes shipped (identical to the atomic plan's).
+    pub fn estimated_bytes(&self) -> f64 {
+        self.plan.estimated_bytes()
+    }
+
+    /// The partitioning at the boundary after the first `k` batches
+    /// (`k = 0` is the source, `k = n_batches()` the target). Every
+    /// boundary is a valid partitioning a deployment can serve from.
+    ///
+    /// # Panics
+    /// If `k > n_batches()`.
+    pub fn boundary(&self, k: usize) -> Partitioning {
+        assert!(k <= self.batches.len(), "boundary index out of range");
+        let mut p = self.plan.from.clone();
+        for b in &self.batches[..k] {
+            b.apply_to(&mut p);
+        }
+        p
+    }
+
+    /// A structural 64-bit fingerprint of the batched plan (splitmix64
+    /// fold over both endpoint layouts, the row count, the budget and
+    /// every micro-op). The engine's write-ahead journal records it so a
+    /// recovery refuses to replay a journal against the wrong plan. No
+    /// wall clock, no OS entropy: equal plans fingerprint equally across
+    /// processes and platforms.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0x9E37_79B9_7F4A_7C15_u64;
+        let mut put = |v: u64| h = fp_mix(h, v);
+        for p in [&self.plan.from, &self.plan.to] {
+            put(p.n_sites() as u64);
+            for t in (0..p.n_txns()).map(TxnId::from_index) {
+                put(p.site_of(t).index() as u64);
+            }
+            for a in (0..p.n_attrs()).map(AttrId::from_index) {
+                let mut bits = 0_u64;
+                for s in p.attr_sites(a) {
+                    bits = fp_mix(bits, s.index() as u64);
+                }
+                put(bits);
+            }
+        }
+        put(self.plan.rows_per_fragment as u64);
+        put(self.batch_bytes.to_bits());
+        put(self.batches.len() as u64);
+        for b in &self.batches {
+            for op in &b.ops {
+                match *op {
+                    MigrationOp::Install { attr, site, bytes } => {
+                        put(1);
+                        put(attr.index() as u64);
+                        put(site.index() as u64);
+                        put(bytes.to_bits());
+                    }
+                    MigrationOp::Drop { attr, site } => {
+                        put(2);
+                        put(attr.index() as u64);
+                        put(site.index() as u64);
+                    }
+                    MigrationOp::MoveTxn { txn, from, to } => {
+                        put(3);
+                        put(txn.index() as u64);
+                        put(from.index() as u64);
+                        put(to.index() as u64);
+                    }
+                }
+            }
+        }
+        h
+    }
+}
+
+/// One splitmix64-style fold step: mixes `v` into running hash `h`.
+fn fp_mix(h: u64, v: u64) -> u64 {
+    let mut z = h ^ v.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -242,5 +676,110 @@ mod tests {
         let json = serde_json::to_string(&plan).unwrap();
         let back: MigrationPlan = serde_json::from_str(&json).unwrap();
         assert_eq!(plan, back);
+    }
+
+    fn shop_plan(rows: usize) -> (Instance, MigrationPlan) {
+        let ins = instance();
+        let from = Partitioning::single_site(&ins, 2).unwrap();
+        let to = Partitioning::minimal_for_x(&ins, vec![SiteId(0), SiteId(1)], 2).unwrap();
+        let plan = MigrationPlan::between(&ins, &from, &to, rows).unwrap();
+        (ins, plan)
+    }
+
+    #[test]
+    fn unlimited_budget_yields_a_single_batch_reaching_the_target() {
+        let (ins, plan) = shop_plan(10);
+        let b = plan.batched(&ins, f64::INFINITY).unwrap();
+        assert_eq!(b.n_batches(), 1);
+        assert_eq!(b.boundary(0), plan.from);
+        assert_eq!(b.boundary(1), plan.to);
+        let total: f64 = b.batches.iter().map(|x| x.bytes).sum();
+        assert_eq!(total, plan.estimated_bytes());
+    }
+
+    #[test]
+    fn every_boundary_validates_and_budget_is_honored() {
+        let (ins, plan) = shop_plan(10);
+        // Budget smaller than any single install: one install per batch.
+        let b = plan.batched(&ins, 1.0).unwrap();
+        assert!(b.n_batches() >= 1);
+        for k in 0..=b.n_batches() {
+            b.boundary(k).validate(&ins, false).unwrap();
+        }
+        for batch in &b.batches {
+            let installs = batch
+                .ops
+                .iter()
+                .filter(|o| matches!(o, MigrationOp::Install { .. }))
+                .count();
+            assert!(installs <= 1, "tiny budget must isolate installs");
+        }
+        assert_eq!(b.boundary(b.n_batches()), plan.to);
+        let total: f64 = b.batches.iter().map(|x| x.bytes).sum();
+        assert_eq!(total, plan.estimated_bytes());
+    }
+
+    #[test]
+    fn eager_drops_bound_the_transient_width() {
+        let (ins, plan) = shop_plan(10);
+        let b = plan.batched(&ins, f64::INFINITY).unwrap();
+        // c (2 bytes × 10 rows) installs on site 1; the doomed site-0
+        // replica drops inside the same batch once T1 re-homes, so the
+        // boundary carries no dual-resident bytes.
+        assert_eq!(b.peak_transient_bytes, 0.0);
+        assert_eq!(b.batches.last().unwrap().transient_bytes, 0.0);
+    }
+
+    #[test]
+    fn undo_retraces_the_forward_path() {
+        let (ins, plan) = shop_plan(10);
+        let b = plan.batched(&ins, 1.0).unwrap();
+        let mut p = plan.to.clone();
+        for batch in b.batches.iter().rev() {
+            batch.undo_on(&mut p);
+            p.validate(&ins, false).unwrap();
+        }
+        assert_eq!(p, plan.from);
+        // Undoing re-installs every dropped replica: c on site 0.
+        let undo_total: f64 = b
+            .batches
+            .iter()
+            .map(|x| x.undo_bytes(&ins, plan.rows_per_fragment))
+            .sum();
+        assert_eq!(undo_total, 20.0);
+    }
+
+    #[test]
+    fn invalid_budgets_are_rejected() {
+        let (ins, plan) = shop_plan(10);
+        for bad in [0.0, -1.0, f64::NAN] {
+            assert!(matches!(
+                plan.batched(&ins, bad),
+                Err(ModelError::InvalidBatchBytes { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_discriminating() {
+        let (ins, plan) = shop_plan(10);
+        let a = plan.batched(&ins, f64::INFINITY).unwrap();
+        let b = plan.batched(&ins, f64::INFINITY).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = plan.batched(&ins, 1.0).unwrap();
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        let (ins2, plan2) = shop_plan(11);
+        let d = plan2.batched(&ins2, f64::INFINITY).unwrap();
+        assert_ne!(a.fingerprint(), d.fingerprint());
+    }
+
+    #[test]
+    fn batched_serde_round_trip() {
+        let (ins, plan) = shop_plan(10);
+        let b = plan.batched(&ins, 64.0).unwrap();
+        let json = serde_json::to_string(&b).unwrap();
+        let back: BatchedMigrationPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(b, back);
+        assert_eq!(b.fingerprint(), back.fingerprint());
     }
 }

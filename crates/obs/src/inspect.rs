@@ -101,7 +101,8 @@ pub struct TraceSummary {
     pub epochs: Vec<EpochRow>,
     /// QP solve rows, in trace order.
     pub qp: Vec<QpRow>,
-    /// Total bytes moved across `apply_migration` spans.
+    /// Total bytes moved across `apply_migration`, `migrate_batched` and
+    /// `rollback_migration` spans.
     pub migration_bytes: f64,
 }
 
@@ -183,6 +184,11 @@ impl TraceSummary {
                 }),
                 "apply_migration" => {
                     summary.migration_bytes += f(&fields, "bytes_moved");
+                }
+                // The crash-safe batched path reports the bytes committed
+                // (or re-installed, for rollbacks) by each call.
+                "migrate_batched" | "rollback_migration" => {
+                    summary.migration_bytes += f(&fields, "bytes_this_run");
                 }
                 _ => {}
             }

@@ -32,7 +32,7 @@ use crate::OnlineError;
 use std::time::{Duration, Instant};
 use vpart_core::sa::{SaConfig, SaSolver};
 use vpart_core::CostConfig;
-use vpart_engine::Deployment;
+use vpart_engine::{Deployment, FaultInjector, MigrationJournal, FP_WATCH_RESOLVE};
 use vpart_model::{MigrationPlan, Partitioning};
 use vpart_obs::Obs;
 
@@ -54,6 +54,29 @@ pub struct WatchConfig {
     pub cold_restarts: usize,
     /// OS threads for the bootstrap solve.
     pub threads: usize,
+    /// Hysteresis band: the drift detector must trigger this many
+    /// *consecutive* epochs before a re-solve runs (1 = react instantly).
+    /// Damps oscillating workloads that hover around the threshold.
+    pub hysteresis: usize,
+    /// Drift-aware amortization gate: when positive, a triggered re-solve
+    /// only migrates if the plan's byte cost is amortized by the
+    /// objective-(6) savings within this many epochs
+    /// (`plan bytes ≤ amortize_epochs × (incumbent − new cost)`).
+    /// Zero disables the gate.
+    pub amortize_epochs: usize,
+    /// Consecutive failed migration attempts tolerated before the watcher
+    /// enters degraded mode (serving the incumbent, no more attempts
+    /// until drift recedes). Failed attempts back off exponentially
+    /// (1, 2, 4, … epochs, capped at 16) before retrying.
+    pub max_retries: usize,
+    /// Byte budget per migration batch; migrations run through a
+    /// journaled [`Deployment::migrate_batched`]. Non-finite (the
+    /// default) ⇒ one batch.
+    pub migration_batch_bytes: f64,
+    /// Fault injection for the watch loop (the [`FP_WATCH_RESOLVE`]
+    /// point, plus the engine's migration points). Moved into the
+    /// watcher at construction so trigger state persists across epochs.
+    pub faults: FaultInjector,
     /// Observability sink. Off by default ([`Obs::disabled`]); when
     /// enabled every epoch records a `watch_epoch` span (drift score,
     /// threshold margin, migration bytes, snapshot size), the nested
@@ -72,6 +95,11 @@ impl Default for WatchConfig {
             rows_per_fragment: 64,
             cold_restarts: 4,
             threads: 4,
+            hysteresis: 1,
+            amortize_epochs: 0,
+            max_retries: 3,
+            migration_batch_bytes: f64::INFINITY,
+            faults: FaultInjector::disabled(),
             obs: Obs::disabled(),
         }
     }
@@ -96,6 +124,14 @@ impl WatchConfig {
     }
 }
 
+/// The drift-aware amortization decision: a plan is vetoed when its byte
+/// cost exceeds what `amortize_epochs` epochs of projected objective-(6)
+/// savings would pay back. Zero epochs disables the gate; negative
+/// savings pay for nothing, so any byte-moving plan is vetoed then.
+fn amortization_vetoes(amortize_epochs: usize, plan_bytes: f64, savings_per_epoch: f64) -> bool {
+    amortize_epochs > 0 && plan_bytes > amortize_epochs as f64 * savings_per_epoch.max(0.0)
+}
+
 /// Re-solve statistics of one epoch.
 #[derive(Debug, Clone)]
 pub struct ResolveOutcome {
@@ -116,11 +152,15 @@ pub struct MigrationOutcome {
     pub plan: MigrationPlan,
     /// Plan-estimated bytes to ship.
     pub estimated_bytes: f64,
-    /// Engine-metered bytes actually shipped by `apply_migration`.
+    /// Engine-metered bytes actually shipped by the batched migration.
     pub measured_bytes: f64,
     /// `measured_bytes == estimated_bytes`, exactly (the engine meter
     /// re-derives the same accounting; any difference is a bug).
     pub meter_matches: bool,
+    /// Batches the journaled migration committed.
+    pub batches: usize,
+    /// Peak dual-resident bytes across batch boundaries.
+    pub peak_transient_bytes: f64,
 }
 
 /// One epoch's full report.
@@ -151,6 +191,16 @@ pub struct EpochOutcome {
     /// instance (with [`EpochOutcome::templates`], the tracker state
     /// size).
     pub snapshot_attrs: usize,
+    /// Why a triggered epoch did *not* migrate (hysteresis, retry
+    /// backoff, amortization gate, degraded mode, or a failed attempt).
+    pub veto: Option<String>,
+    /// Consecutive failed migration attempts so far.
+    pub failures: usize,
+    /// Epochs left in the retry backoff window (0 ⇒ not backing off).
+    pub backoff_remaining: u64,
+    /// True once the watcher gave up migrating (`failures >
+    /// max_retries`) and is serving the incumbent until drift recedes.
+    pub degraded: bool,
 }
 
 /// The adaptive repartitioning controller (see module docs).
@@ -159,6 +209,16 @@ pub struct Watcher {
     tracker: OnlineWorkload,
     config: WatchConfig,
     incumbent: Option<Partitioning>,
+    faults: FaultInjector,
+    /// Consecutive triggered epochs (the hysteresis streak).
+    streak: usize,
+    /// Consecutive failed migration attempts.
+    failures: usize,
+    /// Epochs left before the next attempt is allowed.
+    backoff: u64,
+    degraded: bool,
+    retries_total: u64,
+    rollbacks_total: u64,
 }
 
 impl Watcher {
@@ -177,12 +237,44 @@ impl Watcher {
                 "rows_per_fragment must be positive".into(),
             ));
         }
+        if config.hysteresis == 0 {
+            return Err(OnlineError::BadConfig("hysteresis must be positive".into()));
+        }
+        if config.migration_batch_bytes.is_nan() || config.migration_batch_bytes <= 0.0 {
+            return Err(OnlineError::BadConfig(
+                "migration_batch_bytes must be positive".into(),
+            ));
+        }
         config.drift.validate()?;
+        let faults = config.faults.clone();
         Ok(Self {
             tracker,
             config,
             incumbent: None,
+            faults,
+            streak: 0,
+            failures: 0,
+            backoff: 0,
+            degraded: false,
+            retries_total: 0,
+            rollbacks_total: 0,
         })
+    }
+
+    /// True while the watcher has given up migrating and serves the
+    /// incumbent (exits when drift recedes below the threshold).
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Failed migration attempts over the watcher's lifetime.
+    pub fn retries_total(&self) -> u64 {
+        self.retries_total
+    }
+
+    /// Rollbacks executed after failed attempts over the lifetime.
+    pub fn rollbacks_total(&self) -> u64 {
+        self.rollbacks_total
     }
 
     /// The workload tracker, for feeding observations.
@@ -244,59 +336,170 @@ impl Watcher {
                     migration: None,
                     elapsed: Duration::ZERO,
                     snapshot_attrs: snapshot.n_attrs(),
+                    veto: None,
+                    failures: 0,
+                    backoff_remaining: 0,
+                    degraded: false,
                 }
             }
             Some(incumbent) => {
                 // assess_drift adapts the incumbent onto the snapshot
                 // itself; reuse its adapted form instead of re-adapting.
-                let assessment = assess_drift(&snapshot, incumbent, &cfg.cost, &cfg.drift)?;
+                let incumbent = incumbent.clone();
+                let assessment = assess_drift(&snapshot, &incumbent, &cfg.cost, &cfg.drift)?;
                 let adapted = assessment.adapted.clone();
                 let mut resolve = None;
                 let mut migration = None;
-                if assessment.triggered {
-                    // Warm re-solve from the better of incumbent / bound.
-                    let warm_from = if assessment.bound < assessment.incumbent_cost {
-                        assessment.bound_partitioning.clone()
-                    } else {
-                        adapted.clone()
-                    };
-                    let mut sa = cfg.warm_sa(warm_from);
-                    sa.obs = scoped.clone();
-                    let report = SaSolver::new(sa)
-                        .solve(&snapshot, cfg.sites, &cfg.cost)
-                        .map_err(OnlineError::from)?;
-                    cfg.obs
-                        .observe_wall("warm_resolve_wall_seconds", report.elapsed.as_secs_f64());
-                    resolve = Some(ResolveOutcome {
-                        elapsed: report.elapsed,
-                        objective6: report.breakdown.objective6,
-                        restarts: report.restarts.len(),
-                        cold: false,
-                    });
-
-                    let plan = plan_migration(
-                        &snapshot,
-                        &adapted,
-                        &report.partitioning,
-                        cfg.rows_per_fragment,
-                    )?;
-                    let mut deployment =
-                        Deployment::new(&snapshot, &adapted, cfg.rows_per_fragment)?
-                            .with_obs(scoped.clone());
-                    let applied = deployment.apply_migration(&plan)?;
-                    let estimated = plan.estimated_bytes();
-                    self.incumbent = Some(plan.to.clone());
-                    migration = Some(MigrationOutcome {
-                        estimated_bytes: estimated,
-                        measured_bytes: applied.bytes_moved,
-                        meter_matches: applied.bytes_moved == estimated,
-                        plan,
-                    });
+                let mut veto = None;
+                let mut next_incumbent = adapted.clone();
+                if !assessment.triggered {
+                    // No drift: reset the hysteresis streak; if the
+                    // watcher was degraded or backing off, the workload
+                    // now fits the incumbent again — recover.
+                    self.streak = 0;
+                    self.backoff = 0;
+                    if self.degraded || self.failures > 0 {
+                        self.degraded = false;
+                        self.failures = 0;
+                    }
                 } else {
-                    // The adapted incumbent may have grown new templates;
-                    // keep the adapted form as the incumbent.
-                    self.incumbent = Some(adapted);
+                    self.streak += 1;
+                    if self.degraded {
+                        veto =
+                            Some("degraded: serving the incumbent until drift recedes".to_string());
+                    } else if self.backoff > 0 {
+                        self.backoff -= 1;
+                        veto = Some(format!(
+                            "retry backoff: {} epoch(s) before the next attempt",
+                            self.backoff
+                        ));
+                    } else if self.streak < cfg.hysteresis {
+                        veto = Some(format!(
+                            "hysteresis: {}/{} consecutive triggered epochs",
+                            self.streak, cfg.hysteresis
+                        ));
+                    } else if let Err(e) = self.faults.fail(FP_WATCH_RESOLVE) {
+                        // An injected re-solve crash: a retryable failure.
+                        self.retries_total += 1;
+                        self.failures += 1;
+                        cfg.obs.counter_inc("migration_retries_total");
+                        if self.failures > cfg.max_retries {
+                            self.degraded = true;
+                            veto = Some(format!(
+                                "migration failed ({e}); degraded after {} attempts",
+                                self.failures
+                            ));
+                        } else {
+                            self.backoff = (1u64 << (self.failures - 1)).min(16);
+                            veto = Some(format!(
+                                "migration failed ({e}); retrying in {} epoch(s)",
+                                self.backoff
+                            ));
+                        }
+                    } else {
+                        // Warm re-solve from the better of incumbent / bound.
+                        let warm_from = if assessment.bound < assessment.incumbent_cost {
+                            assessment.bound_partitioning.clone()
+                        } else {
+                            adapted.clone()
+                        };
+                        let mut sa = cfg.warm_sa(warm_from);
+                        sa.obs = scoped.clone();
+                        let report = SaSolver::new(sa)
+                            .solve(&snapshot, cfg.sites, &cfg.cost)
+                            .map_err(OnlineError::from)?;
+                        cfg.obs.observe_wall(
+                            "warm_resolve_wall_seconds",
+                            report.elapsed.as_secs_f64(),
+                        );
+                        resolve = Some(ResolveOutcome {
+                            elapsed: report.elapsed,
+                            objective6: report.breakdown.objective6,
+                            restarts: report.restarts.len(),
+                            cold: false,
+                        });
+
+                        let plan = plan_migration(
+                            &snapshot,
+                            &adapted,
+                            &report.partitioning,
+                            cfg.rows_per_fragment,
+                        )?;
+                        let savings = assessment.incumbent_cost - report.breakdown.objective6;
+                        if amortization_vetoes(cfg.amortize_epochs, plan.estimated_bytes(), savings)
+                        {
+                            // Not worth moving yet: the drift hasn't grown
+                            // enough for the plan to pay for itself.
+                            veto = Some(format!(
+                                "amortization: plan ships {:.0} B but {} epoch(s) save only {:.0} B-equivalents",
+                                plan.estimated_bytes(),
+                                cfg.amortize_epochs,
+                                cfg.amortize_epochs as f64 * savings.max(0.0)
+                            ));
+                        } else {
+                            let batched = plan
+                                .batched(&snapshot, cfg.migration_batch_bytes)
+                                .map_err(OnlineError::from)?;
+                            let mut journal = MigrationJournal::new();
+                            let mut deployment =
+                                Deployment::new(&snapshot, &adapted, cfg.rows_per_fragment)?
+                                    .with_obs(scoped.clone());
+                            match deployment.migrate_batched(
+                                &batched,
+                                &mut journal,
+                                &mut self.faults,
+                            ) {
+                                Ok(applied) => {
+                                    let estimated = plan.estimated_bytes();
+                                    next_incumbent = plan.to.clone();
+                                    self.streak = 0;
+                                    self.failures = 0;
+                                    migration = Some(MigrationOutcome {
+                                        estimated_bytes: estimated,
+                                        measured_bytes: applied.bytes_moved,
+                                        meter_matches: applied.bytes_moved == estimated,
+                                        batches: applied.batches_applied,
+                                        peak_transient_bytes: applied.peak_transient_bytes,
+                                        plan,
+                                    });
+                                }
+                                Err(e) => {
+                                    // Crashed mid-migration. Recover a
+                                    // clean deployment at the journal's
+                                    // durable boundary and roll back to
+                                    // the incumbent; the epoch keeps
+                                    // serving the old layout.
+                                    let mut recovered =
+                                        Deployment::recover(&snapshot, &batched, &journal)?;
+                                    recovered.rollback_migration(
+                                        &batched,
+                                        &mut journal,
+                                        &mut FaultInjector::disabled(),
+                                    )?;
+                                    self.rollbacks_total += 1;
+                                    cfg.obs.counter_inc("migration_rollbacks_total");
+                                    self.retries_total += 1;
+                                    self.failures += 1;
+                                    cfg.obs.counter_inc("migration_retries_total");
+                                    if self.failures > cfg.max_retries {
+                                        self.degraded = true;
+                                        veto = Some(format!(
+                                            "migration failed ({e}); rolled back; degraded after {} attempts",
+                                            self.failures
+                                        ));
+                                    } else {
+                                        self.backoff = (1u64 << (self.failures - 1)).min(16);
+                                        veto = Some(format!(
+                                            "migration failed ({e}); rolled back; retrying in {} epoch(s)",
+                                            self.backoff
+                                        ));
+                                    }
+                                }
+                            }
+                        }
+                    }
                 }
+                self.incumbent = Some(next_incumbent);
                 EpochOutcome {
                     epoch: self.tracker.epoch(),
                     label: label.to_string(),
@@ -309,6 +512,10 @@ impl Watcher {
                     migration,
                     elapsed: Duration::ZERO,
                     snapshot_attrs: snapshot.n_attrs(),
+                    veto,
+                    failures: self.failures,
+                    backoff_remaining: self.backoff,
+                    degraded: self.degraded,
                 }
             }
         };
@@ -327,6 +534,7 @@ impl Watcher {
                 outcome.drift_score - self.config.drift.threshold,
             );
             obs.gauge_set("watch_tracker_templates", outcome.templates as f64);
+            obs.gauge_set("watch_degraded", f64::from(outcome.degraded));
             obs.observe_wall("epoch_wall_seconds", outcome.elapsed.as_secs_f64());
         }
         obs.span_end(
@@ -576,13 +784,13 @@ mod tests {
             .iter()
             .map(|e| e.get("id").and_then(|i| i.as_u64()).unwrap())
             .collect();
-        for nested in ["sa_solve", "apply_migration"] {
+        for nested in ["sa_solve", "migrate_batched"] {
             for s in span_named(nested) {
                 let parent = s.get("parent").and_then(|p| p.as_u64()).unwrap();
                 assert!(epoch_ids.contains(&parent), "{nested} not nested");
             }
         }
-        assert_eq!(span_named("apply_migration").len(), 1);
+        assert_eq!(span_named("migrate_batched").len(), 1);
     }
 
     #[test]
@@ -597,12 +805,215 @@ mod tests {
         )
         .is_err());
         assert!(Watcher::new(
-            tracker,
+            tracker.clone(),
             WatchConfig {
                 cold_restarts: 0,
                 ..WatchConfig::default()
             }
         )
         .is_err());
+        assert!(Watcher::new(
+            tracker.clone(),
+            WatchConfig {
+                hysteresis: 0,
+                ..WatchConfig::default()
+            }
+        )
+        .is_err());
+        assert!(Watcher::new(
+            tracker,
+            WatchConfig {
+                migration_batch_bytes: 0.0,
+                ..WatchConfig::default()
+            }
+        )
+        .is_err());
+    }
+
+    fn watcher_cfg(threshold: f64, tweak: impl FnOnce(&mut WatchConfig)) -> Watcher {
+        let tracker = OnlineWorkload::new(
+            "watch",
+            schema(),
+            TrackerConfig {
+                decay: DecayMode::Exponential { factor: 0.5 },
+                ..TrackerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut cfg = WatchConfig {
+            cost: CostConfig::default().with_lambda(0.5),
+            drift: DriftConfig {
+                threshold,
+                ..DriftConfig::default()
+            },
+            ..WatchConfig::default()
+        };
+        tweak(&mut cfg);
+        Watcher::new(tracker, cfg).unwrap()
+    }
+
+    #[test]
+    fn hysteresis_defers_the_resolve_until_the_streak_holds() {
+        let mut w = watcher_cfg(0.05, |c| c.hysteresis = 2);
+        w.tracker_mut().observe_instance(&phase(1.0)).unwrap();
+        w.end_epoch("boot").unwrap();
+
+        w.tracker_mut().observe_instance(&phase(300.0)).unwrap();
+        let first = w.end_epoch("flip-1").unwrap();
+        assert!(first.triggered);
+        assert!(first.resolve.is_none(), "hysteresis must defer the solve");
+        assert!(first.veto.as_deref().unwrap().contains("hysteresis"));
+
+        w.tracker_mut().observe_instance(&phase(300.0)).unwrap();
+        let second = w.end_epoch("flip-2").unwrap();
+        assert!(second.triggered);
+        assert!(second.resolve.is_some(), "streak of 2 unlocks the solve");
+        assert!(second.veto.is_none());
+        assert!(second.migration.is_some());
+    }
+
+    /// An injected crash mid-migration rolls back, backs off one epoch,
+    /// then the retry completes — ending at the same layout a fault-free
+    /// watcher reaches.
+    #[test]
+    fn injected_migration_crash_rolls_back_backs_off_and_retries() {
+        let obs = Obs::enabled();
+        let mut w = watcher_cfg(0.05, |c| {
+            let mut f = FaultInjector::new(9);
+            f.arm_spec("migration.batch:nth=1").unwrap();
+            c.faults = f;
+            c.migration_batch_bytes = 1000.0;
+            c.obs = obs.clone();
+        });
+        w.tracker_mut().observe_instance(&phase(1.0)).unwrap();
+        w.end_epoch("boot").unwrap();
+        let incumbent_before = w.incumbent().unwrap().clone();
+
+        w.tracker_mut().observe_instance(&phase(300.0)).unwrap();
+        let failed = w.end_epoch("crash").unwrap();
+        assert!(failed.triggered && failed.migration.is_none());
+        let veto = failed.veto.as_deref().unwrap();
+        assert!(veto.contains("rolled back"), "veto: {veto}");
+        assert_eq!(failed.failures, 1);
+        assert_eq!(failed.backoff_remaining, 1);
+        assert!(!failed.degraded);
+        assert_eq!(w.retries_total(), 1);
+        assert_eq!(w.rollbacks_total(), 1);
+        assert_eq!(
+            w.incumbent().unwrap(),
+            &incumbent_before,
+            "rollback keeps the incumbent deployed"
+        );
+
+        w.tracker_mut().observe_instance(&phase(300.0)).unwrap();
+        let waiting = w.end_epoch("backoff").unwrap();
+        assert!(waiting.veto.as_deref().unwrap().contains("backoff"));
+
+        w.tracker_mut().observe_instance(&phase(300.0)).unwrap();
+        let retried = w.end_epoch("retry").unwrap();
+        assert!(
+            retried.migration.is_some(),
+            "retry succeeds: {:?}",
+            retried.veto
+        );
+        assert_eq!(retried.failures, 0);
+        let mig = retried.migration.unwrap();
+        assert!(mig.meter_matches);
+        assert!(mig.batches >= 1);
+
+        let text = obs.metrics_prometheus();
+        assert!(text.contains("migration_retries_total 1"));
+        assert!(text.contains("migration_rollbacks_total 1"));
+    }
+
+    /// Exhausted retries degrade the watcher; it serves the incumbent
+    /// until drift recedes, then recovers.
+    #[test]
+    fn exhausted_retries_degrade_until_drift_recedes() {
+        let mut w = watcher_cfg(0.05, |c| {
+            c.max_retries = 0;
+            let mut f = FaultInjector::new(4);
+            f.arm_spec("migration.batch:prob=1.0").unwrap();
+            c.faults = f;
+        });
+        w.tracker_mut().observe_instance(&phase(1.0)).unwrap();
+        w.end_epoch("boot").unwrap();
+
+        w.tracker_mut().observe_instance(&phase(300.0)).unwrap();
+        let failed = w.end_epoch("crash").unwrap();
+        assert!(failed.degraded, "max_retries 0 degrades on first failure");
+        assert!(w.is_degraded());
+
+        w.tracker_mut().observe_instance(&phase(300.0)).unwrap();
+        let held = w.end_epoch("held").unwrap();
+        assert!(held.degraded);
+        assert!(held.veto.as_deref().unwrap().contains("degraded"));
+        assert!(held.resolve.is_none(), "degraded mode never re-solves");
+
+        // The write storm ends; decay drains it and drift recedes.
+        let mut recovered = false;
+        for i in 0..15 {
+            w.tracker_mut().observe_instance(&phase(1.0)).unwrap();
+            let out = w.end_epoch(&format!("calm-{i}")).unwrap();
+            if !out.triggered {
+                assert!(!out.degraded, "receded drift must clear degradation");
+                recovered = true;
+                break;
+            }
+        }
+        assert!(recovered, "drift never receded under decay");
+        assert!(!w.is_degraded());
+    }
+
+    /// An injected re-solve crash counts as a retryable failure without
+    /// a rollback (nothing was deployed yet).
+    #[test]
+    fn injected_resolve_crash_is_retryable() {
+        let mut w = watcher_cfg(0.05, |c| {
+            let mut f = FaultInjector::new(6);
+            f.arm_spec("watch.resolve:nth=1").unwrap();
+            c.faults = f;
+        });
+        w.tracker_mut().observe_instance(&phase(1.0)).unwrap();
+        w.end_epoch("boot").unwrap();
+        w.tracker_mut().observe_instance(&phase(300.0)).unwrap();
+        let failed = w.end_epoch("crash").unwrap();
+        assert!(failed.veto.as_deref().unwrap().contains("watch.resolve"));
+        assert_eq!(w.retries_total(), 1);
+        assert_eq!(w.rollbacks_total(), 0, "no deployment to roll back");
+    }
+
+    /// The amortization arithmetic: a plan is vetoed exactly when its
+    /// byte cost exceeds the window's projected savings.
+    #[test]
+    fn amortization_gate_arithmetic() {
+        // Disabled gate lets anything through.
+        assert!(!amortization_vetoes(0, 1e12, 0.0));
+        // Free plans always pass.
+        assert!(!amortization_vetoes(1, 0.0, 0.0));
+        assert!(!amortization_vetoes(1, -0.0, 123.0));
+        // Paid back within the window ⇒ pass; beyond it ⇒ veto.
+        assert!(!amortization_vetoes(4, 100.0, 25.0));
+        assert!(amortization_vetoes(3, 100.0, 25.0));
+        // Negative savings (the re-solve found nothing better) can never
+        // pay for movement.
+        assert!(amortization_vetoes(10, 1.0, -5.0));
+        assert!(!amortization_vetoes(10, 0.0, -5.0));
+    }
+
+    /// Gate wiring: with the gate armed, the canonical flip's free
+    /// (zero-byte) centralization plan still migrates — only plans that
+    /// actually ship bytes can be vetoed.
+    #[test]
+    fn amortization_gate_passes_free_plans() {
+        let mut w = watcher_cfg(0.05, |c| c.amortize_epochs = 1);
+        w.tracker_mut().observe_instance(&phase(1.0)).unwrap();
+        w.end_epoch("boot").unwrap();
+        w.tracker_mut().observe_instance(&phase(300.0)).unwrap();
+        let out = w.end_epoch("flip").unwrap();
+        assert!(out.triggered);
+        let mig = out.migration.expect("free plan passes the gate");
+        assert_eq!(mig.estimated_bytes.abs(), 0.0);
+        assert!(out.veto.is_none());
     }
 }

@@ -10,11 +10,15 @@
 //! vpart simulate --instance tpcc --sites 2 [--rounds 5] [--seed 42]
 //! vpart replay   --instance tpcc --sites 3 [--partitioning part.json]
 //!                [--threads 4] [--duration 1] [--txns 1000] [--rows 256]
-//!                [--shards 32] [--error-bound 0.15] [--json]
+//!                [--shards 32] [--skew zipf:0.99] [--fault replay.pass:nth=1]
+//!                [--error-bound 0.15] [--json]
 //! vpart watch    --schema schema.sql --log p1.log,p2.log --sites 2
 //!                [--interval 2] [--decay 0.5 | --window 3]
-//!                [--drift-threshold 0.05] [--rows 64] [--json]
+//!                [--drift-threshold 0.05] [--rows 64] [--hysteresis 1]
+//!                [--amortize-epochs 0] [--max-retries 3]
+//!                [--migration-batch-bytes 4096] [--fault spec] [--json]
 //! vpart inspect  trace.jsonl
+//! vpart inspect  --journal journal.jsonl
 //! ```
 //!
 //! `solve` and `watch` take `--trace-out FILE` (structured span/event
@@ -51,15 +55,19 @@ fn usage() -> &'static str {
        vpart replay   --instance <name|file.json> --sites <k>\n\
                       [--partitioning <part.json>] [--threads <n>] [--shards <n>]\n\
                       [--rows <n>] [--txns <n> | --rounds <n>] [--duration <secs>]\n\
-                      [--seed <n>] [--error-bound <f>] [--json]\n\
+                      [--seed <n>] [--skew uniform|zipf:<theta>|hotspot:<frac>]\n\
+                      [--fault <point:trigger,...>] [--error-bound <f>] [--json]\n\
                       [--trace-out <file.jsonl>] [--metrics-out <file.prom>]\n\
        vpart replay   --schema <ddl.sql> --log <queries.log> --sites <k> [...]\n\
        vpart watch    --schema <ddl.sql> (--log <p1,p2,...> | --stats <p1,p2,...>\n\
                       [--stats-format <fmt>]) --sites <k> [--interval <epochs>]\n\
                       [--decay <f> | --window <n>] [--drift-threshold <f>]\n\
-                      [--rows <n>] [--restarts <n>] [--threads <n>] [--json]\n\
+                      [--rows <n>] [--restarts <n>] [--threads <n>]\n\
+                      [--hysteresis <epochs>] [--amortize-epochs <n>]\n\
+                      [--max-retries <n>] [--migration-batch-bytes <B>]\n\
+                      [--fault <point:trigger,...>] [--json]\n\
                       [--trace-out <file.jsonl>] [--metrics-out <file.prom>]\n\
-       vpart inspect  <trace.jsonl>\n\
+       vpart inspect  <trace.jsonl> | --journal <journal.jsonl>\n\
      \n\
      Instances: `tpcc`, any rnd class name (e.g. rndAt8x15, rndBt16x100u50), a\n\
      JSON instance file, a SQL schema + query log via --schema/--log, or a\n\
@@ -85,6 +93,16 @@ fn usage() -> &'static str {
      across thread counts (fixed --shards row-range shards). The replayed\n\
      stream also feeds the online tracker (tracker weight in the output).\n\
      --error-bound exits non-zero when |model error| exceeds the bound.\n\
+     --skew picks the row-touch distribution inside each table\n\
+     (uniform, zipf:<theta> with 0<theta<1, or hotspot:<frac> sending\n\
+     1-frac of the traffic to the first frac of the rows); skew changes\n\
+     which rows are touched (checksum) but not byte totals.\n\
+     --fault arms deterministic fail points (comma-separated\n\
+     `point:nth=N|prob=P|once` specs, seeded from --seed): replay.pass\n\
+     crashes a pass (discarded and retried, meters bit-identical),\n\
+     migration.batch / migration.rollback / watch.resolve crash the\n\
+     watch loop's migration machinery (rolled back, retried with\n\
+     backoff, degraded after --max-retries failures).\n\
      `vpart watch` replays comma-separated workload phases in epochs\n\
      (--interval epochs per phase) through the online repartitioning\n\
      loop: a streaming tracker (exponential --decay or a sliding\n\
@@ -93,19 +111,32 @@ fn usage() -> &'static str {
      regression over a fresh bound exceeds --drift-threshold, and the\n\
      resulting migration plan is applied on a --rows rows/fragment\n\
      deployment whose byte meter must equal the plan estimate exactly.\n\
+     Migrations are batched (--migration-batch-bytes caps the install\n\
+     bytes per batch) through a write-ahead journal; re-solves wait for\n\
+     --hysteresis consecutive triggered epochs, --amortize-epochs vetoes\n\
+     plans whose movement cost exceeds the projected savings horizon,\n\
+     and failed migrations roll back and retry with exponential backoff\n\
+     until --max-retries is exhausted, after which the watcher serves\n\
+     the incumbent in degraded mode (exit code 1 if still degraded at\n\
+     the end of the run).\n\
      Observability: --trace-out records a structured span/event trace\n\
      (JSONL; per-chain annealing spans, per-epoch watch spans) and\n\
      --metrics-out a Prometheus-style text exposition (sa_moves_total,\n\
      sa_acceptance_ratio, solve_wall_seconds, watch_epochs_total,\n\
      engine_migration_bytes_total, ...). Both are off by default and\n\
      `vpart inspect <trace.jsonl>` renders a recorded trace as a\n\
-     per-chain convergence table and an epoch timeline.\n\
+     per-chain convergence table and an epoch timeline;\n\
+     `vpart inspect --journal <file>` summarizes a migration journal\n\
+     (boundary, byte meters, rollback state) and detects corruption\n\
+     (checksum mismatch, truncation, illegal record sequences).\n\
      Defaults: p = 8 (paper), lambda = 0.9 (see DESIGN.md on the\n\
      paper's λ), algo = sa, restarts = 1, threads = 1,\n\
      stats-format = pgss-csv; watch: interval = 2, decay = 0.5,\n\
-     drift-threshold = 0.05, rows = 64, restarts = 4, threads = 4;\n\
-     replay: threads = 4, shards = 32, rows = 256, txns = 1000,\n\
-     duration = 0 (one deterministic pass), seed = 42."
+     drift-threshold = 0.05, rows = 64, restarts = 4, threads = 4,\n\
+     hysteresis = 1, amortize-epochs = 0 (off), max-retries = 3,\n\
+     migration-batch-bytes = unlimited; replay: threads = 4,\n\
+     shards = 32, rows = 256, txns = 1000, duration = 0 (one\n\
+     deterministic pass), seed = 42, skew = uniform."
 }
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -574,7 +605,9 @@ fn load_partitioning(path: &str, ins: &Instance) -> Result<Partitioning, String>
 
 fn cmd_replay(flags: HashMap<String, String>) -> Result<(), String> {
     use vpart::core::predicted_txn_bytes;
-    use vpart::engine::{PredictedBytes, ReplayConfig, ReplayDeployment, ReplayStream};
+    use vpart::engine::{
+        FaultInjector, PredictedBytes, ReplayConfig, ReplayDeployment, ReplayStream, RowSkew,
+    };
     use vpart::online::{OnlineWorkload, TrackerConfig};
 
     let ins = load_instance(&flags)?;
@@ -589,6 +622,14 @@ fn cmd_replay(flags: HashMap<String, String>) -> Result<(), String> {
         return Err(format!(
             "--duration must be a non-negative number of seconds, got {duration}"
         ));
+    }
+    let skew = match flags.get("skew") {
+        Some(spec) => RowSkew::parse(spec).map_err(|e| e.to_string())?,
+        None => RowSkew::Uniform,
+    };
+    let mut faults = FaultInjector::new(seed);
+    if let Some(specs) = flags.get("fault") {
+        faults.arm_specs(specs).map_err(|e| e.to_string())?;
     }
     let cost = cost_config(&flags)?;
     let obs = obs_from_flags(&flags);
@@ -630,6 +671,8 @@ fn cmd_replay(flags: HashMap<String, String>) -> Result<(), String> {
                 threads,
                 min_duration: std::time::Duration::from_secs_f64(duration),
                 max_passes: usize::MAX,
+                skew,
+                faults,
             },
             Some(&predicted),
         )
@@ -693,6 +736,7 @@ fn cmd_replay(flags: HashMap<String, String>) -> Result<(), String> {
                 "stream_len": report.stream_len,
                 "seed": seed,
                 "passes": report.passes,
+                "passes_injected": report.passes_injected,
                 "txns_replayed": report.txns_replayed,
                 "elapsed_secs": report.elapsed.as_secs_f64(),
                 "txns_per_sec": report.throughput_txns_per_sec(),
@@ -742,6 +786,12 @@ fn cmd_replay(flags: HashMap<String, String>) -> Result<(), String> {
             "rows touched     {} read, {} written; checksum {:#018x}",
             report.rows_read, report.rows_written, report.checksum
         );
+        if report.passes_injected > 0 {
+            println!(
+                "faults           {} injected pass(es) discarded and retried",
+                report.passes_injected
+            );
+        }
         println!(
             "tracker          {} templates fed, total weight {:.1}",
             tracker.n_templates(),
@@ -812,6 +862,14 @@ fn cmd_watch(flags: HashMap<String, String>) -> Result<(), String> {
     let rows: usize = get(&flags, "rows", 64)?;
     let restarts: usize = get(&flags, "restarts", 4)?;
     let threads: usize = get(&flags, "threads", 4)?;
+    let hysteresis: usize = get(&flags, "hysteresis", 1)?;
+    let amortize_epochs: usize = get(&flags, "amortize-epochs", 0)?;
+    let max_retries: usize = get(&flags, "max-retries", 3)?;
+    let migration_batch_bytes: f64 = get(&flags, "migration-batch-bytes", f64::INFINITY)?;
+    let mut faults = vpart::engine::FaultInjector::new(seed);
+    if let Some(specs) = flags.get("fault") {
+        faults.arm_specs(specs).map_err(|e| e.to_string())?;
+    }
     if interval == 0 {
         return Err("--interval must be positive".into());
     }
@@ -851,6 +909,11 @@ fn cmd_watch(flags: HashMap<String, String>) -> Result<(), String> {
             rows_per_fragment: rows,
             cold_restarts: restarts,
             threads,
+            hysteresis,
+            amortize_epochs,
+            max_retries,
+            migration_batch_bytes,
+            faults,
             obs: obs.clone(),
         },
     )
@@ -891,6 +954,10 @@ fn cmd_watch(flags: HashMap<String, String>) -> Result<(), String> {
                     "triggered": out.triggered,
                     "epoch_wall_secs": out.elapsed.as_secs_f64(),
                     "snapshot_attrs": out.snapshot_attrs,
+                    "veto": out.veto,
+                    "failures": out.failures,
+                    "backoff_remaining": out.backoff_remaining,
+                    "degraded": out.degraded,
                     "resolve": out.resolve.as_ref().map(|r| serde_json::json!({
                         "cold": r.cold,
                         "objective6": r.objective6,
@@ -905,6 +972,8 @@ fn cmd_watch(flags: HashMap<String, String>) -> Result<(), String> {
                         "estimated_bytes": m.estimated_bytes,
                         "measured_bytes": m.measured_bytes,
                         "meter_matches": m.meter_matches,
+                        "batches": m.batches,
+                        "peak_transient_bytes": m.peak_transient_bytes,
                     })),
                 }));
             } else {
@@ -914,7 +983,18 @@ fn cmd_watch(flags: HashMap<String, String>) -> Result<(), String> {
                         format!("warm+migrate({}i/{}d)", m.plan.installs(), m.plan.drops())
                     }
                     (Some(_), None) => "warm re-solve".to_string(),
-                    _ => "keep".to_string(),
+                    // A vetoed epoch serves the incumbent; the first words
+                    // of the veto reason name why (hysteresis, retry
+                    // backoff, amortization, migration failed, degraded).
+                    _ => match &out.veto {
+                        Some(v) => v
+                            .split(&[':', '('][..])
+                            .next()
+                            .unwrap_or("veto")
+                            .trim()
+                            .to_string(),
+                        None => "keep".to_string(),
+                    },
                 };
                 let moved = out
                     .migration
@@ -936,21 +1016,98 @@ fn cmd_watch(flags: HashMap<String, String>) -> Result<(), String> {
     }
     if json {
         println!("{}", serde_json::Value::Array(epochs_json));
+    } else if watcher.retries_total() > 0 {
+        println!(
+            "migrations: {} retry(ies), {} rollback(s)",
+            watcher.retries_total(),
+            watcher.rollbacks_total()
+        );
     }
     write_obs_outputs(&obs, &flags)?;
+    if watcher.is_degraded() {
+        return Err(format!(
+            "watch ended degraded: {} migration failure(s) exhausted --max-retries {} \
+             ({} rollback(s)); the incumbent is still being served",
+            watcher.retries_total(),
+            max_retries,
+            watcher.rollbacks_total()
+        ));
+    }
     Ok(())
 }
 
 /// `vpart inspect <trace.jsonl>`: renders a recorded trace as a per-chain
-/// convergence table plus an epoch timeline.
+/// convergence table plus an epoch timeline. `vpart inspect --journal
+/// <file>` summarizes a migration journal instead, rejecting corrupt ones.
 fn cmd_inspect(args: &[String]) -> Result<(), String> {
-    let path = match args {
-        [p] if !p.starts_with("--") => p,
-        _ => return Err("usage: vpart inspect <trace.jsonl>".to_owned()),
-    };
+    match args {
+        [p] if !p.starts_with("--") => {
+            let text = std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))?;
+            let summary = TraceSummary::from_jsonl(&text).map_err(|e| format!("{p}: {e}"))?;
+            print!("{}", summary.render());
+            Ok(())
+        }
+        [flag, p] if flag == "--journal" => inspect_journal(p),
+        _ => Err(
+            "usage: vpart inspect <trace.jsonl> | vpart inspect --journal <journal.jsonl>"
+                .to_owned(),
+        ),
+    }
+}
+
+/// Renders a migration journal's durable state: plan identity, batch
+/// boundary, byte meters and rollback status. Corruption (checksum
+/// mismatch, truncated lines, illegal sequences) surfaces as an error.
+fn inspect_journal(path: &str) -> Result<(), String> {
+    use vpart::engine::{JournalRecord, MigrationJournal};
+
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let summary = TraceSummary::from_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
-    print!("{}", summary.render());
+    let journal = MigrationJournal::from_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+    if journal.is_empty() {
+        println!("journal {path}: empty (migration not started)");
+        return Ok(());
+    }
+    let st = journal.state();
+    let Some(&JournalRecord::Start {
+        fingerprint,
+        batches,
+        rows_per_fragment,
+    }) = journal.records().first()
+    else {
+        // from_jsonl enforces Start-first; an empty journal returned above.
+        return Err(format!("{path}: journal does not begin with Start"));
+    };
+    println!("journal          {path}");
+    println!("records          {}", journal.records().len());
+    println!("plan fingerprint {fingerprint:#018x}");
+    println!("plan batches     {batches} ({rows_per_fragment} rows/fragment)");
+    println!(
+        "boundary         {} (committed {}, undone {})",
+        st.boundary(),
+        st.committed,
+        st.undone
+    );
+    println!("bytes committed  {:.1}", st.bytes_committed);
+    if st.undone > 0 || st.rolling_back || st.rolled_back {
+        println!("bytes undone     {:.1}", st.bytes_undone);
+    }
+    let status = if st.complete {
+        "complete (deployment reached plan.to)".to_string()
+    } else if st.rolled_back {
+        "rolled back (deployment back at plan.from)".to_string()
+    } else if st.rolling_back {
+        format!(
+            "rolling back ({} of {} committed batch(es) still to undo)",
+            st.boundary(),
+            st.committed
+        )
+    } else {
+        format!(
+            "in flight ({} of {batches} batch(es) committed; resume or roll back)",
+            st.committed
+        )
+    };
+    println!("status           {status}");
     Ok(())
 }
 

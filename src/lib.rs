@@ -17,8 +17,12 @@
 //! * [`engine`] — an H-store-like row-store simulator validating the
 //!   model, plus the production-rate trace-replay load harness
 //!   (`vpart replay`: true-byte meters vs the cost model's prediction),
+//!   crash-safe batched migrations through a write-ahead journal, and
+//!   deterministic seeded fault injection (`--fault`),
 //! * [`online`] — adaptive repartitioning: streaming workload tracking,
 //!   drift-triggered warm re-solves and minimum-movement migration plans,
+//!   with hysteresis, movement-cost amortization, retry backoff and
+//!   degraded-mode fallbacks around the migration machinery,
 //! * [`ilp`] — the from-scratch MILP solver substrate,
 //! * [`obs`] — observability: metrics registry, structured tracing and
 //!   trace inspection (`--trace-out` / `--metrics-out` / `vpart inspect`).
@@ -59,16 +63,17 @@ pub mod prelude {
         WriteAccounting,
     };
     pub use crate::engine::{
-        Deployment, MigrationReport, PredictedBytes, ReplayConfig, ReplayDeployment,
-        ReplayModelError, ReplayReport, ReplayStream, Trace,
+        BatchedMigrationReport, Deployment, FaultInjector, FaultTrigger, JournalRecord,
+        JournalState, MigrationJournal, MigrationReport, PredictedBytes, ReplayConfig,
+        ReplayDeployment, ReplayModelError, ReplayReport, ReplayStream, RowSkew, Trace,
     };
     pub use crate::ingest::{
         ConfidenceLevel, IngestError, IngestOptions, IngestReport, Ingestion, StatsFormat,
         WorkloadFrontend,
     };
     pub use crate::model::{
-        AttrId, Instance, MigrationPlan, Partitioning, QueryId, Schema, SiteId, TableId, TxnId,
-        Workload,
+        AttrId, BatchedMigrationPlan, Instance, MigrationBatch, MigrationPlan, Partitioning,
+        QueryId, Schema, SiteId, TableId, TxnId, Workload,
     };
     pub use crate::obs::{Obs, TraceSummary};
     pub use crate::online::{

@@ -126,6 +126,11 @@ fn watch_validates_online_config_flags() {
         ("--rows", "0", "rows_per_fragment"),
         ("--drift-threshold", "-5", "drift threshold"),
         ("--interval", "0", "--interval"),
+        ("--hysteresis", "0", "hysteresis"),
+        ("--migration-batch-bytes", "0", "migration_batch_bytes"),
+        ("--max-retries", "never", "--max-retries"),
+        ("--fault", "watch.resolve:prob=2", "prob"),
+        ("--fault", "nocolonhere", "point:trigger"),
     ] {
         assert_clean_error(
             &[
@@ -137,4 +142,83 @@ fn watch_validates_online_config_flags() {
 
     let _ = std::fs::remove_file(schema);
     let _ = std::fs::remove_file(log);
+}
+
+#[test]
+fn replay_rejects_malformed_skew_and_fault_specs() {
+    for (flag, value, needle) in [
+        ("--skew", "zipf:2", "zipf theta"),
+        ("--skew", "zipf:abc", "zipf"),
+        ("--skew", "hotspot:1.5", "hotspot fraction"),
+        ("--skew", "pareto", "unknown skew"),
+        ("--fault", "replay.pass:sometimes", "unknown trigger"),
+        ("--fault", "replay.pass:nth=0", "1-based"),
+        ("--fault", ":once", "empty fail-point"),
+    ] {
+        assert_clean_error(
+            &[
+                "replay",
+                "--instance",
+                "rndBt4x15",
+                "--sites",
+                "2",
+                flag,
+                value,
+            ],
+            needle,
+        );
+    }
+}
+
+#[test]
+fn corrupt_and_missing_journals_error_cleanly() {
+    assert_clean_error(
+        &["inspect", "--journal", "/nonexistent/journal.jsonl"],
+        "cannot read",
+    );
+
+    let dir = std::env::temp_dir();
+    // Garbage is reported as corruption naming the line, not a panic.
+    let garbage = dir.join(format!(
+        "vpart_journal_garbage_{}.jsonl",
+        std::process::id()
+    ));
+    std::fs::write(&garbage, "this is not a journal\n").unwrap();
+    assert_clean_error(
+        &["inspect", "--journal", garbage.to_str().unwrap()],
+        "line 1",
+    );
+    let _ = std::fs::remove_file(&garbage);
+
+    // A bit-flipped record in an otherwise valid journal trips the
+    // per-line checksum.
+    use vpart::prelude::{JournalRecord, MigrationJournal};
+    let mut journal = MigrationJournal::new();
+    journal
+        .append(JournalRecord::Start {
+            fingerprint: 0xFEED,
+            batches: 2,
+            rows_per_fragment: 8,
+        })
+        .unwrap();
+    journal
+        .append(JournalRecord::BatchBegin { batch: 0 })
+        .unwrap();
+    journal
+        .append(JournalRecord::BatchCommit {
+            batch: 0,
+            bytes: 32.0,
+        })
+        .unwrap();
+    let tampered = journal.to_jsonl().replacen("32", "33", 1);
+    let path = dir.join(format!(
+        "vpart_journal_tampered_{}.jsonl",
+        std::process::id()
+    ));
+    std::fs::write(&path, tampered).unwrap();
+    assert_clean_error(
+        &["inspect", "--journal", path.to_str().unwrap()],
+        "checksum mismatch",
+    );
+    let _ = std::fs::remove_file(&path);
 }

@@ -1,0 +1,146 @@
+//! Crash-safety sweep: inject a fault at *every* batch boundary of a real
+//! migration and assert that recovery — resume or rollback — reaches a
+//! fragment state and byte meter bit-identical to the uninterrupted run.
+//!
+//! Two workloads: TPC-C (the paper's benchmark) and the web-shop schema +
+//! query log shipped under `examples/data`. The journal is round-tripped
+//! through its JSONL form at each crash, so on-disk persistence is in the
+//! loop, not just the in-memory journal.
+
+use vpart::core::sa::{SaConfig, SaSolver};
+use vpart::core::CostConfig;
+use vpart::ingest::IngestOptions;
+use vpart::model::{BatchedMigrationPlan, Instance, MigrationPlan, Partitioning};
+use vpart::prelude::{Deployment, FaultInjector, MigrationJournal};
+
+const ROWS_PER_FRAGMENT: usize = 8;
+
+fn webshop() -> Instance {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/data");
+    let schema = std::fs::read_to_string(dir.join("schema.sql")).expect("schema readable");
+    let log = std::fs::read_to_string(dir.join("queries.log")).expect("log readable");
+    vpart::ingest::ingest(&schema, &log, &IngestOptions::default())
+        .expect("web-shop ingests")
+        .instance
+}
+
+/// A centralize→distribute migration: guaranteed to install replicas on
+/// fresh sites, i.e. to ship a non-trivial number of bytes in ≥ 2 batches.
+fn batched_plan(ins: &Instance, sites: usize) -> BatchedMigrationPlan {
+    let from = Partitioning::single_site(ins, sites).expect("single-site start");
+    let to = SaSolver::new(SaConfig::fast_deterministic(1))
+        .solve(ins, sites, &CostConfig::default())
+        .expect("SA solves")
+        .partitioning;
+    let plan = MigrationPlan::between(ins, &from, &to, ROWS_PER_FRAGMENT).expect("plan builds");
+    assert!(
+        plan.estimated_bytes() > 0.0,
+        "the sweep needs a migration that actually ships bytes"
+    );
+    let batched = plan
+        .batched(ins, plan.estimated_bytes() / 6.0)
+        .expect("plan batches");
+    assert!(batched.n_batches() >= 2, "the sweep needs ≥ 2 boundaries");
+    batched
+}
+
+/// The uninterrupted reference run: fingerprint + durable meter.
+fn clean_run(ins: &Instance, batched: &BatchedMigrationPlan) -> (u64, f64) {
+    let mut dep = Deployment::new(ins, &batched.plan.from, ROWS_PER_FRAGMENT).expect("deploys");
+    let mut journal = MigrationJournal::new();
+    let report = dep
+        .migrate_batched(batched, &mut journal, &mut FaultInjector::disabled())
+        .expect("fault-free migration completes");
+    assert_eq!(report.batches_applied, batched.n_batches());
+    (dep.state_fingerprint(), report.bytes_moved)
+}
+
+/// Crashes at boundary `k` (1-based), persists the journal through JSONL,
+/// recovers, and returns the recovered deployment + journal.
+fn crash_and_recover<'a>(
+    ins: &'a Instance,
+    batched: &BatchedMigrationPlan,
+    k: usize,
+) -> (Deployment<'a>, MigrationJournal) {
+    let mut dep = Deployment::new(ins, &batched.plan.from, ROWS_PER_FRAGMENT).expect("deploys");
+    let mut journal = MigrationJournal::new();
+    let mut faults = FaultInjector::new(0xDEAD);
+    faults
+        .arm_spec(&format!("migration.batch:nth={k}"))
+        .expect("spec parses");
+    let err = dep
+        .migrate_batched(batched, &mut journal, &mut faults)
+        .expect_err("the armed batch must crash");
+    assert!(
+        matches!(err, vpart::engine::EngineError::Injected { .. }),
+        "crash at boundary {k}: {err}"
+    );
+    // The fault fires after batch k's ops but before its commit record:
+    // durable progress is exactly k - 1 batches.
+    assert_eq!(journal.state().boundary(), k - 1);
+
+    // Persist across the "crash": JSONL out, JSONL back in.
+    let durable = MigrationJournal::from_jsonl(&journal.to_jsonl()).expect("journal survives");
+    assert_eq!(durable.state(), journal.state());
+    let recovered = Deployment::recover(ins, batched, &durable).expect("recovery succeeds");
+    (recovered, durable)
+}
+
+fn sweep_resume(ins: &Instance, sites: usize) {
+    let batched = batched_plan(ins, sites);
+    let (clean_fp, clean_bytes) = clean_run(ins, &batched);
+    for k in 1..=batched.n_batches() {
+        let (mut dep, mut journal) = crash_and_recover(ins, &batched, k);
+        let report = dep
+            .migrate_batched(&batched, &mut journal, &mut FaultInjector::disabled())
+            .expect("resume completes");
+        assert_eq!(
+            dep.state_fingerprint(),
+            clean_fp,
+            "crash at boundary {k}: resumed state must be bit-identical"
+        );
+        assert_eq!(
+            report.bytes_moved, clean_bytes,
+            "crash at boundary {k}: the durable meter must never double-count"
+        );
+        assert!(journal.state().complete);
+    }
+}
+
+fn sweep_rollback(ins: &Instance, sites: usize) {
+    let batched = batched_plan(ins, sites);
+    let source_fp = Deployment::new(ins, &batched.plan.from, ROWS_PER_FRAGMENT)
+        .expect("deploys")
+        .state_fingerprint();
+    for k in 1..=batched.n_batches() {
+        let (mut dep, mut journal) = crash_and_recover(ins, &batched, k);
+        dep.rollback_migration(&batched, &mut journal, &mut FaultInjector::disabled())
+            .expect("rollback completes");
+        assert_eq!(
+            dep.state_fingerprint(),
+            source_fp,
+            "crash at boundary {k}: rollback must restore the source exactly"
+        );
+        assert!(journal.state().rolled_back);
+    }
+}
+
+#[test]
+fn tpcc_resume_sweep_is_bit_identical() {
+    sweep_resume(&vpart::instances::tpcc(), 3);
+}
+
+#[test]
+fn tpcc_rollback_sweep_restores_the_source() {
+    sweep_rollback(&vpart::instances::tpcc(), 3);
+}
+
+#[test]
+fn webshop_resume_sweep_is_bit_identical() {
+    sweep_resume(&webshop(), 2);
+}
+
+#[test]
+fn webshop_rollback_sweep_restores_the_source() {
+    sweep_rollback(&webshop(), 2);
+}

@@ -127,6 +127,67 @@ fn qp_solves_record_node_and_pivot_counters() {
 }
 
 #[test]
+fn inspect_journal_summarizes_migration_state() {
+    use vpart::prelude::{JournalRecord, MigrationJournal};
+
+    // An in-flight journal: 1 of 3 batches committed, the second begun.
+    let mut journal = MigrationJournal::new();
+    journal
+        .append(JournalRecord::Start {
+            fingerprint: 0xFEED_BEEF,
+            batches: 3,
+            rows_per_fragment: 8,
+        })
+        .unwrap();
+    journal
+        .append(JournalRecord::BatchBegin { batch: 0 })
+        .unwrap();
+    journal
+        .append(JournalRecord::BatchCommit {
+            batch: 0,
+            bytes: 64.0,
+        })
+        .unwrap();
+    journal
+        .append(JournalRecord::BatchBegin { batch: 1 })
+        .unwrap();
+    let path = scratch("inflight_journal.jsonl");
+    std::fs::write(&path, journal.to_jsonl()).unwrap();
+
+    let out = vpart(&["inspect", "--journal", path.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let rendered = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(rendered.contains("0x00000000feedbeef"), "{rendered}");
+    assert!(rendered.contains("boundary         1"), "{rendered}");
+    assert!(rendered.contains("bytes committed  64.0"), "{rendered}");
+    assert!(rendered.contains("in flight (1 of 3"), "{rendered}");
+
+    // Rolling the journal back flips the reported status.
+    journal.append(JournalRecord::RollbackBegin).unwrap();
+    journal
+        .append(JournalRecord::UndoBegin { batch: 0 })
+        .unwrap();
+    journal
+        .append(JournalRecord::UndoCommit {
+            batch: 0,
+            bytes: 16.0,
+        })
+        .unwrap();
+    journal.append(JournalRecord::RolledBack).unwrap();
+    std::fs::write(&path, journal.to_jsonl()).unwrap();
+    let out = vpart(&["inspect", "--journal", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let rendered = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(rendered.contains("rolled back"), "{rendered}");
+    assert!(rendered.contains("bytes undone     16.0"), "{rendered}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn inspect_rejects_bad_usage_and_malformed_traces() {
     // No positional path.
     let out = vpart(&["inspect"]);

@@ -123,6 +123,72 @@ fn replay_loads_a_solve_output_partitioning() {
 }
 
 #[test]
+fn replay_fault_injection_leaves_meters_bit_identical() {
+    let run = |fault: Option<&str>| {
+        let mut args = vec![
+            "replay",
+            "--instance",
+            "tpcc",
+            "--sites",
+            "3",
+            "--txns",
+            "150",
+            "--rows",
+            "64",
+            "--json",
+        ];
+        if let Some(spec) = fault {
+            args.extend(["--fault", spec]);
+        }
+        json_stdout(&vpart(&args))
+    };
+    let clean = run(None);
+    let injected = run(Some("replay.pass:nth=1"));
+    assert_eq!(clean.get("passes_injected").unwrap().as_u64(), Some(0));
+    assert_eq!(injected.get("passes_injected").unwrap().as_u64(), Some(1));
+    assert_eq!(
+        clean.get("meter"),
+        injected.get("meter"),
+        "a crashed-and-retried pass must not perturb the byte meters"
+    );
+}
+
+#[test]
+fn replay_skew_steers_rows_but_not_byte_totals() {
+    let run = |skew: Option<&str>| {
+        let mut args = vec![
+            "replay",
+            "--instance",
+            "tpcc",
+            "--sites",
+            "3",
+            "--txns",
+            "150",
+            "--rows",
+            "64",
+            "--json",
+        ];
+        if let Some(spec) = skew {
+            args.extend(["--skew", spec]);
+        }
+        json_stdout(&vpart(&args))
+    };
+    let uniform = run(None);
+    let zipf = run(Some("zipf:0.99"));
+    // Reads touch whole-row widths, so totals are skew-independent …
+    assert_eq!(uniform.get("measured"), zipf.get("measured"));
+    // … but which rows were touched is not.
+    assert_ne!(
+        uniform.get("meter").unwrap().get("checksum"),
+        zipf.get("meter").unwrap().get("checksum"),
+        "zipf skew must steer the row touches"
+    );
+    // An explicit uniform spec is the default, bit for bit.
+    let explicit = run(Some("uniform"));
+    assert_eq!(uniform.get("meter"), explicit.get("meter"));
+}
+
+#[test]
 fn replay_flag_validation() {
     // A negative duration is rejected.
     let out = vpart(&["replay", "--instance", "tpcc", "--duration", "-1"]);

@@ -161,6 +161,116 @@ fn watch_records_trace_metrics_and_epoch_timings() {
 }
 
 #[test]
+fn watch_exits_degraded_when_migrations_keep_failing() {
+    // Every migration batch crashes and --max-retries 0 means the first
+    // failure already degrades the watcher; drift never recedes, so the
+    // run ends degraded: exit code 1 with a diagnostic naming the mode.
+    let phases = format!("{},{}", data("queries.log"), data("queries_drifted.log"));
+    let out = vpart(&[
+        "watch",
+        "--schema",
+        &data("schema.sql"),
+        "--log",
+        &phases,
+        "--sites",
+        "3",
+        "--lambda",
+        "0.5",
+        "--interval",
+        "2",
+        "--decay",
+        "0.5",
+        "--drift-threshold",
+        "0.05",
+        "--max-retries",
+        "0",
+        "--fault",
+        "migration.batch:prob=1.0",
+        "--json",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "degraded watch must exit 1");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!stderr.contains("panicked"), "{stderr}");
+    assert!(stderr.contains("degraded"), "{stderr}");
+
+    // The JSON epoch log is still emitted and records the failure path:
+    // a rolled-back migration attempt, then degraded incumbent service.
+    let epochs: Vec<serde_json::Value> =
+        serde_json::from_str(std::str::from_utf8(&out.stdout).unwrap().trim()).unwrap();
+    assert_eq!(epochs.len(), 4);
+    assert!(epochs
+        .iter()
+        .any(|e| e.get("degraded").unwrap().as_bool() == Some(true)));
+    assert!(epochs.iter().any(|e| {
+        e.get("veto")
+            .and_then(|v| v.as_str())
+            .is_some_and(|v| v.contains("rolled back"))
+    }));
+    assert!(
+        epochs
+            .iter()
+            .all(|e| matches!(e.get("migration"), Some(serde_json::Value::Null))),
+        "no migration may complete under an always-firing fault"
+    );
+}
+
+#[test]
+fn watch_retries_after_a_one_shot_migration_fault() {
+    // A single injected crash rolls back, backs off one epoch, then the
+    // retried migration completes with an exact meter — exit code 0.
+    let phases = format!("{},{}", data("queries.log"), data("queries_drifted.log"));
+    let out = vpart(&[
+        "watch",
+        "--schema",
+        &data("schema.sql"),
+        "--log",
+        &phases,
+        "--sites",
+        "3",
+        "--lambda",
+        "0.5",
+        "--interval",
+        "4",
+        "--decay",
+        "0.5",
+        "--drift-threshold",
+        "0.05",
+        "--fault",
+        "migration.batch:once",
+        "--json",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let epochs: Vec<serde_json::Value> =
+        serde_json::from_str(std::str::from_utf8(&out.stdout).unwrap().trim()).unwrap();
+    let failed: Vec<_> = epochs
+        .iter()
+        .filter(|e| {
+            e.get("veto")
+                .and_then(|v| v.as_str())
+                .is_some_and(|v| v.contains("rolled back"))
+        })
+        .collect();
+    assert_eq!(failed.len(), 1, "exactly one attempt crashes");
+    let migrated: Vec<_> = epochs
+        .iter()
+        .filter(|e| !matches!(e.get("migration"), Some(serde_json::Value::Null)))
+        .collect();
+    assert!(
+        !migrated.is_empty(),
+        "the retried migration must land: {epochs:?}"
+    );
+    for e in &migrated {
+        let m = e.get("migration").unwrap();
+        assert_eq!(m.get("meter_matches").unwrap().as_bool(), Some(true));
+        assert!(m.get("batches").unwrap().as_u64().unwrap() >= 1);
+    }
+}
+
+#[test]
 fn watch_window_mode_and_flag_validation() {
     let phases = data("queries.log");
     // Sliding-window decay runs end to end.
