@@ -282,6 +282,80 @@ fn obs_overhead(instance: &Instance, sites: usize) -> (serde_json::Value, serde_
     )
 }
 
+/// Health-sampler overhead: the same deterministic watch-epoch loop run
+/// with observability enabled, with vs without a
+/// [`HealthMonitor`](vpart_obs::HealthMonitor)
+/// attached (registry sampling + rule evaluation each epoch),
+/// interleaved min-of-6 so runner drift hits both variants alike. The
+/// epoch-0 cold solve runs off the clock in both variants; the timed
+/// epochs are the steady-state re-score path the sampler piggybacks on.
+/// Gated under `--check` by the same tolerance as the obs-overhead row
+/// (self-contained — no baseline fields needed).
+fn sampler_overhead(instance: &Instance, sites: usize) -> serde_json::Value {
+    use vpart_obs::HealthMonitor;
+    use vpart_online::{OnlineWorkload, TrackerConfig, WatchConfig, Watcher};
+
+    const EPOCHS: usize = 24;
+    let run = |with_monitor: bool| {
+        let tracker = OnlineWorkload::from_instance(instance, TrackerConfig::default())
+            .expect("tracker builds");
+        let mut watcher = Watcher::new(
+            tracker,
+            WatchConfig {
+                sites,
+                obs: Obs::enabled(),
+                ..WatchConfig::default()
+            },
+        )
+        .expect("watcher builds");
+        if with_monitor {
+            watcher = watcher.with_health(HealthMonitor::with_builtin_rules(64));
+        }
+        // Epoch 0 bootstraps the incumbent (a cold solve) — identical
+        // work in both variants, excluded from the clock.
+        watcher
+            .tracker_mut()
+            .observe_instance(instance)
+            .expect("tracker observes");
+        watcher.end_epoch("bench-boot").expect("boot epoch ends");
+        let t = Instant::now();
+        for _ in 0..EPOCHS {
+            watcher
+                .tracker_mut()
+                .observe_instance(instance)
+                .expect("tracker observes");
+            watcher.end_epoch("bench").expect("epoch ends");
+        }
+        t.elapsed().as_secs_f64()
+    };
+    let _ = run(false); // warm caches off the clock
+    let mut plain_wall = f64::INFINITY;
+    let mut sampled_wall = f64::INFINITY;
+    for _ in 0..6 {
+        plain_wall = plain_wall.min(run(false));
+        sampled_wall = sampled_wall.min(run(true));
+    }
+    let overhead = sampled_wall / plain_wall - 1.0;
+    println!(
+        "obs-sampler-overhead/{:<7} plain {:>10.0} epochs/s   sampled {:>10.0} epochs/s   {:>+6.1}%",
+        instance.name(),
+        EPOCHS as f64 / plain_wall,
+        EPOCHS as f64 / sampled_wall,
+        overhead * 100.0,
+    );
+    serde_json::json!({
+        "name": format!("obs-sampler-overhead/{}", instance.name()),
+        "instance": instance.name(),
+        "sites": sites,
+        "epochs": EPOCHS,
+        "plain_wall_secs": plain_wall,
+        "sampled_wall_secs": sampled_wall,
+        "plain_epochs_per_sec": EPOCHS as f64 / plain_wall,
+        "sampled_epochs_per_sec": EPOCHS as f64 / sampled_wall,
+        "overhead_frac": overhead,
+    })
+}
+
 /// Trace-replay benchmark: solves the instance, expands the workload
 /// into a seeded execution stream, replays it through the columnar
 /// engine at production rate and reports txns/sec plus the true-byte
@@ -803,6 +877,7 @@ fn main() -> ExitCode {
         migration_benchmark("migration/web-shop-2-sites", &shop, 2, 7),
     ];
     let (obs_bench, metrics_snapshot) = obs_overhead(&tpcc, 3);
+    let sampler_bench = sampler_overhead(&shop, 2);
 
     let criterion: Vec<serde_json::Value> = flag("--criterion")
         .and_then(|path| std::fs::read_to_string(path).ok())
@@ -820,6 +895,7 @@ fn main() -> ExitCode {
         "replay": replay,
         "migration": migration,
         "obs_overhead": obs_bench,
+        "obs_sampler_overhead": sampler_bench,
         "metrics": metrics_snapshot,
         "criterion": criterion,
     });
@@ -871,6 +947,25 @@ fn main() -> ExitCode {
             if on > off * (1.0 + OBS_OVERHEAD_TOLERANCE) && on > off + OBS_OVERHEAD_SLACK_SECS {
                 failures.push(format!(
                     "obs overhead: enabled {on:.4}s vs disabled {off:.4}s (> {:.0}% over)",
+                    OBS_OVERHEAD_TOLERANCE * 100.0
+                ));
+            }
+        }
+        // The health sampler (per-epoch registry sample + rule sweep)
+        // rides the same budget: attaching a monitor must stay within
+        // tolerance of the plain obs-enabled watch loop. Self-contained
+        // like the obs-overhead gate.
+        {
+            let f = |key: &str| {
+                sampler_bench
+                    .get(key)
+                    .and_then(|v| v.as_f64())
+                    .unwrap_or(0.0)
+            };
+            let (off, on) = (f("plain_wall_secs"), f("sampled_wall_secs"));
+            if on > off * (1.0 + OBS_OVERHEAD_TOLERANCE) && on > off + OBS_OVERHEAD_SLACK_SECS {
+                failures.push(format!(
+                    "obs sampler overhead: sampled {on:.4}s vs plain {off:.4}s (> {:.0}% over)",
                     OBS_OVERHEAD_TOLERANCE * 100.0
                 ));
             }

@@ -486,7 +486,14 @@ impl<'a> Deployment<'a> {
         faults: &mut FaultInjector,
         max_batches: usize,
     ) -> Result<BatchedMigrationReport, EngineError> {
-        let span = self.obs.span_begin("migrate_batched", &[]);
+        let span = self.obs.span_begin(
+            "migrate_batched",
+            &[
+                ("batches", plan.n_batches().into()),
+                ("fingerprint", plan.fingerprint().into()),
+                ("rows_per_fragment", self.rows_per_fragment.into()),
+            ],
+        );
         let resumed = !journal.is_empty();
         if resumed {
             self.check_journal_matches(plan, journal)?;
@@ -542,11 +549,22 @@ impl<'a> Deployment<'a> {
                 drops += d;
                 moves += m;
             }
+            if self.obs.is_enabled() {
+                self.obs.event(
+                    "migration_batch.applied",
+                    &[("batch", k.into()), ("bytes", batch_bytes.into())],
+                );
+            }
             // The crash window: ops applied, commit not yet durable. A
             // fault here aborts mid-batch; recovery re-applies batch k
             // from the journal's boundary and the meter (commit records
-            // only) never double-counts it.
-            faults.fail(FP_MIGRATION_BATCH)?;
+            // only) never double-counts it. The flight recorder dumps its
+            // ring before the error propagates, so the black box carries
+            // the crashing batch's span context.
+            if let Err(e) = faults.fail(FP_MIGRATION_BATCH) {
+                let _ = self.obs.dump_flight(FP_MIGRATION_BATCH);
+                return Err(e);
+            }
             journal.append(JournalRecord::BatchCommit {
                 batch: k,
                 bytes: batch_bytes,
@@ -630,7 +648,13 @@ impl<'a> Deployment<'a> {
         journal: &mut MigrationJournal,
         faults: &mut FaultInjector,
     ) -> Result<BatchedMigrationReport, EngineError> {
-        let span = self.obs.span_begin("rollback_migration", &[]);
+        let span = self.obs.span_begin(
+            "rollback_migration",
+            &[
+                ("batches", plan.n_batches().into()),
+                ("fingerprint", plan.fingerprint().into()),
+            ],
+        );
         if journal.is_empty() {
             return Err(EngineError::MigrationMismatch {
                 what: "rollback without a started migration",
@@ -667,7 +691,16 @@ impl<'a> Deployment<'a> {
                 drops += d;
                 moves += m;
             }
-            faults.fail(FP_MIGRATION_ROLLBACK)?;
+            if self.obs.is_enabled() {
+                self.obs.event(
+                    "migration_batch.undone",
+                    &[("batch", k.into()), ("bytes", undo_bytes.into())],
+                );
+            }
+            if let Err(e) = faults.fail(FP_MIGRATION_ROLLBACK) {
+                let _ = self.obs.dump_flight(FP_MIGRATION_ROLLBACK);
+                return Err(e);
+            }
             journal.append(JournalRecord::UndoCommit {
                 batch: k,
                 bytes: undo_bytes,

@@ -35,7 +35,7 @@ use crate::storage::ColumnFragment;
 use crate::trace::Trace;
 use std::time::{Duration, Instant};
 use vpart_model::{AttrId, Instance, Partitioning, TxnId};
-use vpart_obs::Obs;
+use vpart_obs::{HealthMonitor, Obs};
 
 use crate::executor::EngineError;
 
@@ -532,6 +532,7 @@ pub struct ReplayDeployment<'a> {
     rows_per_table: usize,
     rows_per_shard: usize,
     obs: Obs,
+    health: Option<HealthMonitor>,
 }
 
 impl<'a> ReplayDeployment<'a> {
@@ -638,6 +639,7 @@ impl<'a> ReplayDeployment<'a> {
             rows_per_table,
             rows_per_shard,
             obs: Obs::disabled(),
+            health: None,
         })
     }
 
@@ -648,6 +650,20 @@ impl<'a> ReplayDeployment<'a> {
     pub fn with_obs(mut self, obs: Obs) -> Self {
         self.obs = obs;
         self
+    }
+
+    /// Attaches a live health monitor: [`replay`](Self::replay) ticks it
+    /// once per completed pass (logical clock = pass index) plus a
+    /// closing tick that sees the end-of-run gauges. Requires an enabled
+    /// obs handle (see [`with_obs`](Self::with_obs)) to have any effect.
+    pub fn with_health(mut self, monitor: HealthMonitor) -> Self {
+        self.health = Some(monitor);
+        self
+    }
+
+    /// The attached health monitor, if any.
+    pub fn health(&self) -> Option<&HealthMonitor> {
+        self.health.as_ref()
     }
 
     /// The deployed partitioning.
@@ -737,6 +753,9 @@ impl<'a> ReplayDeployment<'a> {
                 // converges to the fault-free meters bit-for-bit.
                 passes_injected += 1;
                 if passes_injected >= 1024 {
+                    // Fatal: the black box (when armed) gets the last-N
+                    // records before the error surfaces.
+                    let _ = self.obs.dump_flight(FP_REPLAY_PASS);
                     return Err(EngineError::Injected {
                         point: FP_REPLAY_PASS.to_string(),
                     });
@@ -754,6 +773,17 @@ impl<'a> ReplayDeployment<'a> {
                 continue;
             }
             passes += 1;
+            if self.obs.is_enabled() {
+                // Per-pass accounting (instead of one bulk add after the
+                // loop) so the health monitor's per-pass samples see the
+                // counters grow and can derive rates.
+                self.obs
+                    .counter_add("replay_txns_total", stream.len() as f64);
+                self.obs.counter_inc("replay_passes_total");
+                if let Some(health) = &mut self.health {
+                    health.tick((passes - 1) as u64, &self.obs);
+                }
+            }
             if passes >= max_passes || start.elapsed() >= config.min_duration {
                 break;
             }
@@ -804,14 +834,10 @@ impl<'a> ReplayDeployment<'a> {
         };
 
         if self.obs.is_enabled() {
-            self.obs
-                .counter_add("replay_txns_total", report.txns_replayed as f64);
             self.obs.counter_add(
                 "replay_bytes_total",
                 measured.total() * report.passes as f64,
             );
-            self.obs
-                .counter_add("replay_passes_total", report.passes as f64);
             self.obs
                 .gauge_set("replay_txns_per_sec", report.throughput_txns_per_sec());
             if let Some(me) = &report.model_error {
@@ -828,6 +854,14 @@ impl<'a> ReplayDeployment<'a> {
                     ("checksum", report.checksum.into()),
                 ],
             );
+        }
+        if let Some(health) = &mut self.health {
+            if self.obs.is_enabled() {
+                // A closing tick one past the last pass index, so the
+                // end-of-run gauges (model error, throughput) are
+                // sampled and judged by the alert rules.
+                health.tick(report.passes as u64, &self.obs);
+            }
         }
 
         Ok(report)

@@ -1,0 +1,73 @@
+//! The crash flight recorder at a real fault point: arm the ring, crash a
+//! batched migration mid-flight, and check the dumped black box carries
+//! the crashing batch's span context and round-trips through the trace
+//! summarizer.
+
+use vpart_core::sa::{SaConfig, SaSolver};
+use vpart_core::CostConfig;
+use vpart_engine::{Deployment, EngineError, FaultInjector, MigrationJournal};
+use vpart_instances::tpcc;
+use vpart_model::{BatchedMigrationPlan, Instance, MigrationPlan, Partitioning};
+use vpart_obs::{Obs, TraceSummary};
+
+const ROWS: usize = 8;
+
+fn batched(ins: &Instance) -> BatchedMigrationPlan {
+    let from = Partitioning::single_site(ins, 3).expect("single-site start");
+    let to = SaSolver::new(SaConfig::fast_deterministic(1))
+        .solve(ins, 3, &CostConfig::default())
+        .expect("SA solves TPC-C")
+        .partitioning;
+    let plan = MigrationPlan::between(ins, &from, &to, ROWS).expect("plan builds");
+    let b = plan
+        .batched(ins, plan.estimated_bytes() / 4.0)
+        .expect("plan batches");
+    assert!(b.n_batches() >= 2);
+    b
+}
+
+#[test]
+fn fault_dump_carries_crashing_batch_span_context() {
+    let dir = std::env::temp_dir().join(format!("vpart-flight-engine-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("flight dir creates");
+
+    let ins = tpcc();
+    let plan = batched(&ins);
+    let obs = Obs::enabled();
+    assert!(obs.arm_flight(&dir, 64));
+
+    let mut dep = Deployment::new(&ins, &plan.plan.from, ROWS)
+        .expect("deploys")
+        .with_obs(obs.clone());
+    let mut journal = MigrationJournal::new();
+    let mut faults = FaultInjector::new(1);
+    faults
+        .arm_spec("migration.batch:nth=2")
+        .expect("spec parses");
+    let err = dep
+        .migrate_batched(&plan, &mut journal, &mut faults)
+        .expect_err("armed migration must crash");
+    assert!(matches!(err, EngineError::Injected { .. }));
+
+    let path = dir.join("flight_migration.batch.jsonl");
+    let text = std::fs::read_to_string(&path).expect("fault dump written");
+
+    // The black box holds the migration's span context: the span-open
+    // event with the plan fingerprint, the per-batch applied events up to
+    // and including the crashing batch (nth=2 → batch index 1), and the
+    // dump marker naming the fault point.
+    assert!(text.contains("migrate_batched.begin"), "{text}");
+    assert!(text.contains("fingerprint"), "{text}");
+    assert!(
+        text.contains("\"name\":\"migration_batch.applied\""),
+        "{text}"
+    );
+    assert!(text.contains("\"batch\":1"), "crashing batch index: {text}");
+    assert!(text.contains("\"point\":\"migration.batch\""), "{text}");
+
+    // And it is plain trace JSONL: the summarizer reads it unchanged.
+    let summary = TraceSummary::from_jsonl(&text).expect("dump parses as a trace");
+    assert!(summary.events >= 3, "begin + 2 batch events + marker");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

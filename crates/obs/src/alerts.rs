@@ -1,0 +1,784 @@
+//! Declarative alert/SLO rules evaluated against the time-series store.
+//!
+//! An [`AlertRule`] names a metric and a breach condition — a threshold
+//! ([`AlertKind::Above`] / [`AlertKind::Below`] / [`AlertKind::AbsAbove`]),
+//! a rate-of-change bound ([`AlertKind::RateAbove`]), or an absence check
+//! ([`AlertKind::Absence`]) — plus a `for_ticks` hysteresis: the condition
+//! must hold for that many *consecutive* logical ticks before the rule
+//! fires. [`AlertEngine::evaluate`] runs every rule against the newest
+//! sample each tick and drives a firing → resolved state machine; every
+//! transition is appended to the engine's history **and** emitted as an
+//! `alert` trace event through the [`Obs`] handle, so a recorded trace
+//! carries the exact alert timeline and `vpart monitor` can reproduce it
+//! bit-for-bit offline.
+//!
+//! [`builtin_rules`] covers the failure modes the stack already exhibits:
+//! simulated-annealing acceptance collapse, cost-model error out of
+//! bound, watcher degraded-mode entry, and migration retry buildup.
+//!
+//! [`HealthMonitor`] is the one-stop glue — a store plus an engine ticked
+//! together from the watch/replay loops — and [`HealthSnapshot`] parses
+//! the JSON it writes (`vpart watch --health-out`) back for `vpart
+//! inspect --health` and `vpart monitor --metrics`.
+
+use std::path::Path;
+
+use serde_json::Value;
+
+use crate::series::TimeSeriesStore;
+use crate::Obs;
+
+/// How loud a rule is. Critical alerts gate `--alerts-exit`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Worth surfacing, not worth failing a run over.
+    Warning,
+    /// Still-firing at exit fails the run under `--alerts-exit`.
+    Critical,
+}
+
+impl Severity {
+    /// Stable lowercase name used in JSON and trace events.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Critical => "critical",
+        }
+    }
+
+    /// Parses [`Severity::as_str`] output.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "warning" => Ok(Severity::Warning),
+            "critical" => Ok(Severity::Critical),
+            other => Err(format!("unknown severity {other:?} (warning|critical)")),
+        }
+    }
+}
+
+/// The breach condition of a rule (see module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlertKind {
+    /// Breach while the metric's newest value exceeds the bound.
+    Above(f64),
+    /// Breach while the newest value is below the bound.
+    Below(f64),
+    /// Breach while `|value|` exceeds the bound (two-sided threshold,
+    /// e.g. a signed model-error ratio drifting out of band).
+    AbsAbove(f64),
+    /// Breach while the counter's per-tick rate exceeds the bound
+    /// (needs two samples before it can breach).
+    RateAbove(f64),
+    /// Breach while the metric is missing from the newest sample — a
+    /// liveness check on something that should always be exported.
+    Absence,
+}
+
+impl AlertKind {
+    fn kind_str(&self) -> &'static str {
+        match self {
+            AlertKind::Above(_) => "above",
+            AlertKind::Below(_) => "below",
+            AlertKind::AbsAbove(_) => "abs_above",
+            AlertKind::RateAbove(_) => "rate_above",
+            AlertKind::Absence => "absence",
+        }
+    }
+
+    fn bound(&self) -> Option<f64> {
+        match self {
+            AlertKind::Above(b)
+            | AlertKind::Below(b)
+            | AlertKind::AbsAbove(b)
+            | AlertKind::RateAbove(b) => Some(*b),
+            AlertKind::Absence => None,
+        }
+    }
+}
+
+/// One declarative alert rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertRule {
+    /// Unique rule name (the key of the alert timeline).
+    pub name: String,
+    /// The metric (rendered series name) the rule watches.
+    pub metric: String,
+    /// Breach condition.
+    pub kind: AlertKind,
+    /// Consecutive breaching ticks required before the rule fires (≥ 1).
+    pub for_ticks: u64,
+    /// Loudness; critical rules gate `--alerts-exit`.
+    pub severity: Severity,
+}
+
+impl AlertRule {
+    /// A rule with `for_ticks = 1` (fires on the first breach).
+    pub fn new(name: &str, metric: &str, kind: AlertKind, severity: Severity) -> Self {
+        Self {
+            name: name.to_string(),
+            metric: metric.to_string(),
+            kind,
+            for_ticks: 1,
+            severity,
+        }
+    }
+
+    /// Sets the hysteresis window (clamped to ≥ 1).
+    pub fn for_ticks(mut self, ticks: u64) -> Self {
+        self.for_ticks = ticks.max(1);
+        self
+    }
+
+    /// Whether the newest sample breaches this rule, and the observed
+    /// value driving the decision (0 for a satisfied absence rule).
+    fn breach(&self, store: &TimeSeriesStore) -> (bool, f64) {
+        match &self.kind {
+            AlertKind::Above(b) => match store.value(&self.metric) {
+                Some(v) => (v > *b, v),
+                None => (false, 0.0),
+            },
+            AlertKind::Below(b) => match store.value(&self.metric) {
+                Some(v) => (v < *b, v),
+                None => (false, 0.0),
+            },
+            AlertKind::AbsAbove(b) => match store.value(&self.metric) {
+                Some(v) => (v.abs() > *b, v),
+                None => (false, 0.0),
+            },
+            AlertKind::RateAbove(b) => match store.counter_rate(&self.metric) {
+                Some(r) => (r > *b, r),
+                None => (false, 0.0),
+            },
+            AlertKind::Absence => match store.value(&self.metric) {
+                Some(v) => (false, v),
+                None => (true, 0.0),
+            },
+        }
+    }
+}
+
+/// A firing or resolved edge in a rule's state machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertTransition {
+    /// Logical tick the edge happened at.
+    pub tick: u64,
+    /// Rule name.
+    pub rule: String,
+    /// `"firing"` or `"resolved"`.
+    pub state: &'static str,
+    /// Rule severity.
+    pub severity: Severity,
+    /// Metric value (or rate) observed at the edge.
+    pub value: f64,
+}
+
+impl AlertTransition {
+    /// The transition as a JSON object — the exact shape `vpart monitor`
+    /// reproduces from recorded `alert` trace events, so key order and
+    /// value formatting here define the bit-identity contract.
+    pub fn to_json(&self) -> Value {
+        serde_json::json!({
+            "tick": self.tick,
+            "rule": self.rule.clone(),
+            "state": self.state,
+            "severity": self.severity.as_str(),
+            "value": Value::Float(self.value),
+        })
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct RuleState {
+    /// Consecutive breaching ticks so far (reset on any non-breach).
+    streak: u64,
+    firing: bool,
+    /// Tick the rule last started firing at (meaningful while `firing`).
+    since: u64,
+}
+
+/// Evaluates a rule set against a [`TimeSeriesStore`] each tick (see
+/// module docs).
+#[derive(Debug, Clone)]
+pub struct AlertEngine {
+    rules: Vec<AlertRule>,
+    states: Vec<RuleState>,
+    history: Vec<AlertTransition>,
+}
+
+impl AlertEngine {
+    /// An engine over `rules`. Duplicate rule names are rejected — the
+    /// timeline keys transitions by name.
+    pub fn new(rules: Vec<AlertRule>) -> Result<Self, String> {
+        for (i, r) in rules.iter().enumerate() {
+            if rules[..i].iter().any(|p| p.name == r.name) {
+                return Err(format!("duplicate alert rule name {:?}", r.name));
+            }
+        }
+        let states = vec![RuleState::default(); rules.len()];
+        Ok(Self {
+            rules,
+            states,
+            history: Vec::new(),
+        })
+    }
+
+    /// The rule set.
+    pub fn rules(&self) -> &[AlertRule] {
+        &self.rules
+    }
+
+    /// Every firing/resolved edge so far, in evaluation order.
+    pub fn transitions(&self) -> &[AlertTransition] {
+        &self.history
+    }
+
+    /// Rules currently firing, with the tick they started firing at.
+    pub fn firing(&self) -> Vec<(&AlertRule, u64)> {
+        self.rules
+            .iter()
+            .zip(&self.states)
+            .filter(|(_, s)| s.firing)
+            .map(|(r, s)| (r, s.since))
+            .collect()
+    }
+
+    /// Whether any [`Severity::Critical`] rule is currently firing.
+    pub fn any_critical_firing(&self) -> bool {
+        self.rules
+            .iter()
+            .zip(&self.states)
+            .any(|(r, s)| s.firing && r.severity == Severity::Critical)
+    }
+
+    /// Runs every rule against the store's newest sample at logical time
+    /// `tick`, returning the edges produced this tick. Each edge is also
+    /// recorded in the history and emitted as an `alert` trace event on
+    /// `obs`.
+    pub fn evaluate(
+        &mut self,
+        tick: u64,
+        store: &TimeSeriesStore,
+        obs: &Obs,
+    ) -> Vec<AlertTransition> {
+        let mut edges = Vec::new();
+        for (rule, state) in self.rules.iter().zip(&mut self.states) {
+            let (breach, value) = rule.breach(store);
+            if breach {
+                state.streak += 1;
+                if !state.firing && state.streak >= rule.for_ticks {
+                    state.firing = true;
+                    state.since = tick;
+                    edges.push(AlertTransition {
+                        tick,
+                        rule: rule.name.clone(),
+                        state: "firing",
+                        severity: rule.severity,
+                        value,
+                    });
+                }
+            } else {
+                state.streak = 0;
+                if state.firing {
+                    state.firing = false;
+                    edges.push(AlertTransition {
+                        tick,
+                        rule: rule.name.clone(),
+                        state: "resolved",
+                        severity: rule.severity,
+                        value,
+                    });
+                }
+            }
+        }
+        for edge in &edges {
+            obs.event(
+                "alert",
+                &[
+                    ("tick", edge.tick.into()),
+                    ("rule", edge.rule.as_str().into()),
+                    ("state", edge.state.into()),
+                    ("severity", edge.severity.as_str().into()),
+                    ("value", edge.value.into()),
+                ],
+            );
+        }
+        self.history.extend(edges.iter().cloned());
+        edges
+    }
+
+    /// Deterministic JSON: the rule set, the full transition history, and
+    /// the names currently firing.
+    pub fn snapshot_json(&self) -> Value {
+        let rules: Vec<Value> = self
+            .rules
+            .iter()
+            .map(|r| {
+                serde_json::json!({
+                    "name": r.name.clone(),
+                    "metric": r.metric.clone(),
+                    "kind": r.kind.kind_str(),
+                    "bound": r.kind.bound().map(Value::Float).unwrap_or(Value::Null),
+                    "for_ticks": r.for_ticks,
+                    "severity": r.severity.as_str(),
+                })
+            })
+            .collect();
+        let transitions: Vec<Value> = self.history.iter().map(AlertTransition::to_json).collect();
+        let firing: Vec<Value> = self
+            .firing()
+            .iter()
+            .map(|(r, since)| {
+                serde_json::json!({
+                    "rule": r.name.clone(),
+                    "severity": r.severity.as_str(),
+                    "since": *since,
+                })
+            })
+            .collect();
+        serde_json::json!({
+            "rules": Value::Array(rules),
+            "transitions": Value::Array(transitions),
+            "firing": Value::Array(firing),
+        })
+    }
+}
+
+/// The built-in rule set: the failure modes the stack already exhibits.
+///
+/// | rule | metric | condition | for | severity |
+/// |---|---|---|---|---|
+/// | `sa-acceptance-collapse` | `sa_acceptance_ratio` | `< 0.01` | 2 | warning |
+/// | `model-error-out-of-bound` | `model_error_ratio` | `\|v\| > 0.15` | 1 | critical |
+/// | `watch-degraded` | `watch_degraded` | `> 0.5` | 1 | critical |
+/// | `migration-retry-buildup` | `migration_retries_total` | rate `> 0` | 2 | warning |
+pub fn builtin_rules() -> Vec<AlertRule> {
+    vec![
+        AlertRule::new(
+            "sa-acceptance-collapse",
+            "sa_acceptance_ratio",
+            AlertKind::Below(0.01),
+            Severity::Warning,
+        )
+        .for_ticks(2),
+        AlertRule::new(
+            "model-error-out-of-bound",
+            "model_error_ratio",
+            AlertKind::AbsAbove(0.15),
+            Severity::Critical,
+        ),
+        AlertRule::new(
+            "watch-degraded",
+            "watch_degraded",
+            AlertKind::Above(0.5),
+            Severity::Critical,
+        ),
+        AlertRule::new(
+            "migration-retry-buildup",
+            "migration_retries_total",
+            AlertKind::RateAbove(0.0),
+            Severity::Warning,
+        )
+        .for_ticks(2),
+    ]
+}
+
+/// Parses a JSON rules file: an array of objects with `name`, `metric`,
+/// `kind` (`above`|`below`|`abs_above`|`rate_above`|`absence`), `bound`
+/// (required except for `absence`), and optional `for_ticks` (default 1)
+/// and `severity` (default `warning`).
+pub fn rules_from_json(text: &str) -> Result<Vec<AlertRule>, String> {
+    let v: Value = serde_json::from_str(text).map_err(|e| format!("rules file: {e}"))?;
+    let arr = v.as_array().ok_or("rules file must be a JSON array")?;
+    let mut rules = Vec::with_capacity(arr.len());
+    for (i, r) in arr.iter().enumerate() {
+        let field = |key: &str| -> Result<&str, String> {
+            r.get(key)
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("rule {i}: missing string field {key:?}"))
+        };
+        let name = field("name")?;
+        let metric = field("metric")?;
+        let kind_str = field("kind")?;
+        let bound = || -> Result<f64, String> {
+            r.get("bound").and_then(Value::as_f64).ok_or_else(|| {
+                format!("rule {i} ({name}): kind {kind_str:?} needs a numeric \"bound\"")
+            })
+        };
+        let kind = match kind_str {
+            "above" => AlertKind::Above(bound()?),
+            "below" => AlertKind::Below(bound()?),
+            "abs_above" => AlertKind::AbsAbove(bound()?),
+            "rate_above" => AlertKind::RateAbove(bound()?),
+            "absence" => AlertKind::Absence,
+            other => {
+                return Err(format!(
+                    "rule {i} ({name}): unknown kind {other:?} (above|below|abs_above|rate_above|absence)"
+                ))
+            }
+        };
+        let severity = match r.get("severity").and_then(Value::as_str) {
+            Some(s) => Severity::parse(s).map_err(|e| format!("rule {i} ({name}): {e}"))?,
+            None => Severity::Warning,
+        };
+        let for_ticks = r.get("for_ticks").and_then(Value::as_u64).unwrap_or(1);
+        rules.push(AlertRule::new(name, metric, kind, severity).for_ticks(for_ticks));
+    }
+    AlertEngine::new(rules).map(|e| e.rules)
+}
+
+// ---------------------------------------------------------------------------
+// HealthMonitor: store + engine glue for the watch/replay loops
+// ---------------------------------------------------------------------------
+
+/// Default ring capacity used by the CLI's `--health-out`.
+pub const DEFAULT_HEALTH_CAPACITY: usize = 256;
+
+/// A [`TimeSeriesStore`] and [`AlertEngine`] ticked together on the
+/// caller's logical clock. This is what `vpart watch`/`vpart replay`
+/// attach when `--health-out` or `--alerts-exit` is given.
+#[derive(Debug, Clone)]
+pub struct HealthMonitor {
+    store: TimeSeriesStore,
+    alerts: AlertEngine,
+}
+
+impl HealthMonitor {
+    /// A monitor with the given ring capacity and rule set.
+    pub fn new(capacity: usize, rules: Vec<AlertRule>) -> Result<Self, String> {
+        Ok(Self {
+            store: TimeSeriesStore::new(capacity),
+            alerts: AlertEngine::new(rules)?,
+        })
+    }
+
+    /// A monitor with the [`builtin_rules`].
+    pub fn with_builtin_rules(capacity: usize) -> Self {
+        Self {
+            store: TimeSeriesStore::new(capacity),
+            alerts: AlertEngine::new(builtin_rules()).expect("builtin rules are valid"),
+        }
+    }
+
+    /// Samples `obs`'s registry at `tick` and evaluates every rule,
+    /// returning this tick's transitions. No-op on a disabled handle.
+    pub fn tick(&mut self, tick: u64, obs: &Obs) -> Vec<AlertTransition> {
+        let Some(registry) = obs.registry() else {
+            return Vec::new();
+        };
+        self.store.sample(tick, registry);
+        self.alerts.evaluate(tick, &self.store, obs)
+    }
+
+    /// The underlying time-series ring.
+    pub fn store(&self) -> &TimeSeriesStore {
+        &self.store
+    }
+
+    /// The underlying alert engine.
+    pub fn alerts(&self) -> &AlertEngine {
+        &self.alerts
+    }
+
+    /// Whether any critical rule is currently firing (the
+    /// `--alerts-exit` gate).
+    pub fn any_critical_firing(&self) -> bool {
+        self.alerts.any_critical_firing()
+    }
+
+    /// The combined health snapshot: `{"series": ..., "alerts": ...}`.
+    pub fn snapshot_json(&self) -> Value {
+        serde_json::json!({
+            "series": self.store.snapshot_json(),
+            "alerts": self.alerts.snapshot_json(),
+        })
+    }
+
+    /// Writes [`HealthMonitor::snapshot_json`] (pretty-printed) to
+    /// `path` — the `--health-out` sink, overwritten each tick.
+    pub fn write_snapshot(&self, path: &Path) -> std::io::Result<()> {
+        let mut text = serde_json::to_string_pretty(&self.snapshot_json())
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        text.push('\n');
+        std::fs::write(path, text)
+    }
+}
+
+/// A parsed `--health-out` snapshot (the read side of
+/// [`HealthMonitor::write_snapshot`]), used by `vpart inspect --health`
+/// and `vpart monitor --metrics`.
+#[derive(Debug, Clone)]
+pub struct HealthSnapshot {
+    /// The reconstructed sample ring.
+    pub series: TimeSeriesStore,
+    /// Alert transition history, as `(tick, rule, state, severity, value)`.
+    pub transitions: Vec<(u64, String, String, String, f64)>,
+    /// Rule names still firing when the snapshot was written.
+    pub firing: Vec<String>,
+}
+
+impl HealthSnapshot {
+    /// Parses [`HealthMonitor::snapshot_json`] output.
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        let series = TimeSeriesStore::from_snapshot_json(
+            v.get("series").ok_or("health snapshot has no \"series\"")?,
+        )?;
+        let alerts = v.get("alerts").ok_or("health snapshot has no \"alerts\"")?;
+        let mut transitions = Vec::new();
+        for (i, t) in alerts
+            .get("transitions")
+            .and_then(Value::as_array)
+            .unwrap_or(&Vec::new())
+            .iter()
+            .enumerate()
+        {
+            let str_field = |key: &str| -> Result<String, String> {
+                t.get(key)
+                    .and_then(Value::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("transition {i}: missing {key:?}"))
+            };
+            transitions.push((
+                t.get("tick")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("transition {i}: missing \"tick\""))?,
+                str_field("rule")?,
+                str_field("state")?,
+                str_field("severity")?,
+                t.get("value").and_then(Value::as_f64).unwrap_or(0.0),
+            ));
+        }
+        let firing = alerts
+            .get("firing")
+            .and_then(Value::as_array)
+            .map(|arr| {
+                arr.iter()
+                    .filter_map(|f| f.get("rule").and_then(Value::as_str).map(str::to_string))
+                    .collect()
+            })
+            .unwrap_or_default();
+        Ok(Self {
+            series,
+            transitions,
+            firing,
+        })
+    }
+
+    /// Parses a snapshot file from disk.
+    pub fn from_path(path: &Path) -> Result<Self, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let v: Value =
+            serde_json::from_str(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        Self::from_json(&v)
+    }
+
+    /// Ticks whose sample shows `watch_degraded == 1` (degraded epochs).
+    pub fn degraded_ticks(&self) -> Vec<u64> {
+        self.series
+            .samples()
+            .filter(|s| s.gauges.get("watch_degraded").copied().unwrap_or(0.0) > 0.5)
+            .map(|s| s.tick)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    fn store_with(ticks: &[(u64, f64)], metric: &str, gauge: bool) -> TimeSeriesStore {
+        let reg = Registry::new();
+        let mut store = TimeSeriesStore::new(16);
+        for &(tick, v) in ticks {
+            if gauge {
+                reg.gauge(metric).set(v);
+            } else {
+                let cur = store.value(metric).unwrap_or(0.0);
+                reg.counter(metric).add(v - cur);
+            }
+            store.sample(tick, &reg);
+        }
+        store
+    }
+
+    fn eval_seq(rule: AlertRule, values: &[f64]) -> Vec<(u64, &'static str)> {
+        let metric = rule.metric.clone();
+        let reg = Registry::new();
+        let mut store = TimeSeriesStore::new(16);
+        let mut engine = AlertEngine::new(vec![rule]).expect("engine builds");
+        let obs = Obs::disabled();
+        let mut edges = Vec::new();
+        for (tick, v) in values.iter().enumerate() {
+            reg.gauge(&metric).set(*v);
+            store.sample(tick as u64, &reg);
+            for e in engine.evaluate(tick as u64, &store, &obs) {
+                edges.push((e.tick, e.state));
+            }
+        }
+        edges
+    }
+
+    #[test]
+    fn hysteresis_delays_firing_until_streak_reached() {
+        let rule =
+            AlertRule::new("hot", "g", AlertKind::Above(10.0), Severity::Warning).for_ticks(3);
+        // Breaches at ticks 1,2 then dips — streak resets, never fires.
+        assert_eq!(
+            eval_seq(rule.clone(), &[0.0, 20.0, 20.0, 5.0, 20.0]),
+            vec![]
+        );
+        // Three consecutive breaches (ticks 1..=3) fire exactly at tick 3.
+        assert_eq!(
+            eval_seq(rule, &[0.0, 20.0, 20.0, 20.0, 5.0]),
+            vec![(3, "firing"), (4, "resolved")]
+        );
+    }
+
+    #[test]
+    fn flapping_metric_fires_and_resolves_each_cycle() {
+        let rule = AlertRule::new("flap", "g", AlertKind::Above(1.0), Severity::Critical);
+        assert_eq!(
+            eval_seq(rule, &[2.0, 0.0, 2.0, 0.0]),
+            vec![
+                (0, "firing"),
+                (1, "resolved"),
+                (2, "firing"),
+                (3, "resolved")
+            ]
+        );
+    }
+
+    #[test]
+    fn absence_rule_fires_until_metric_appears() {
+        let rule = AlertRule::new("gone", "present", AlertKind::Absence, Severity::Warning);
+        let reg = Registry::new();
+        let mut store = TimeSeriesStore::new(8);
+        let mut engine = AlertEngine::new(vec![rule]).expect("engine builds");
+        let obs = Obs::disabled();
+        reg.gauge("other").set(1.0);
+        store.sample(0, &reg);
+        let e0 = engine.evaluate(0, &store, &obs);
+        assert_eq!(e0.len(), 1);
+        assert_eq!((e0[0].tick, e0[0].state), (0, "firing"));
+        reg.gauge("present").set(1.0);
+        store.sample(1, &reg);
+        let e1 = engine.evaluate(1, &store, &obs);
+        assert_eq!((e1[0].tick, e1[0].state), (1, "resolved"));
+        assert!(!engine.any_critical_firing());
+    }
+
+    #[test]
+    fn rate_rule_breaches_on_counter_slope() {
+        let store = store_with(&[(0, 0.0), (1, 0.0), (2, 3.0)], "retries_total", false);
+        let mut engine = AlertEngine::new(vec![AlertRule::new(
+            "buildup",
+            "retries_total",
+            AlertKind::RateAbove(0.0),
+            Severity::Warning,
+        )])
+        .expect("engine builds");
+        let edges = engine.evaluate(2, &store, &Obs::disabled());
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].value, 3.0);
+    }
+
+    #[test]
+    fn transitions_are_recorded_as_trace_events() {
+        let obs = Obs::enabled();
+        let reg = Registry::new();
+        let mut store = TimeSeriesStore::new(8);
+        let mut engine = AlertEngine::new(vec![AlertRule::new(
+            "deg",
+            "watch_degraded",
+            AlertKind::Above(0.5),
+            Severity::Critical,
+        )])
+        .expect("engine builds");
+        reg.gauge("watch_degraded").set(1.0);
+        store.sample(0, &reg);
+        engine.evaluate(0, &store, &obs);
+        assert!(engine.any_critical_firing());
+        let line = obs
+            .trace_json_lines()
+            .lines()
+            .find(|l| l.contains("\"alert\""))
+            .map(str::to_string)
+            .expect("alert event recorded");
+        let v: Value = serde_json::from_str(&line).expect("alert event parses");
+        let fields = v.get("fields").expect("alert event has fields");
+        assert_eq!(fields.get("rule").and_then(Value::as_str), Some("deg"));
+        assert_eq!(fields.get("state").and_then(Value::as_str), Some("firing"));
+        assert_eq!(
+            fields.get("severity").and_then(Value::as_str),
+            Some("critical")
+        );
+    }
+
+    #[test]
+    fn builtin_rules_build_and_watch_degraded_cycles() {
+        let obs = Obs::enabled();
+        let mut monitor = HealthMonitor::with_builtin_rules(32);
+        obs.gauge_set("watch_degraded", 0.0);
+        assert!(monitor.tick(0, &obs).is_empty());
+        obs.gauge_set("watch_degraded", 1.0);
+        let fired = monitor.tick(1, &obs);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].rule, "watch-degraded");
+        assert!(monitor.any_critical_firing());
+        obs.gauge_set("watch_degraded", 0.0);
+        let resolved = monitor.tick(2, &obs);
+        assert_eq!(resolved[0].state, "resolved");
+        assert!(!monitor.any_critical_firing());
+    }
+
+    #[test]
+    fn monitor_is_inert_on_disabled_obs() {
+        let mut monitor = HealthMonitor::with_builtin_rules(8);
+        assert!(monitor.tick(0, &Obs::disabled()).is_empty());
+        assert!(monitor.store().is_empty());
+    }
+
+    #[test]
+    fn rules_file_round_trip_and_validation() {
+        let text = r#"[
+            {"name": "qps-stall", "metric": "replay_txns_total", "kind": "rate_above", "bound": 100.0,
+             "for_ticks": 3, "severity": "critical"},
+            {"name": "no-epochs", "metric": "watch_epochs_total", "kind": "absence"}
+        ]"#;
+        let rules = rules_from_json(text).expect("valid rules parse");
+        assert_eq!(rules.len(), 2);
+        assert_eq!(rules[0].kind, AlertKind::RateAbove(100.0));
+        assert_eq!(rules[0].for_ticks, 3);
+        assert_eq!(rules[0].severity, Severity::Critical);
+        assert_eq!(rules[1].kind, AlertKind::Absence);
+        assert_eq!(rules[1].severity, Severity::Warning);
+
+        for bad in [
+            r#"{"not": "an array"}"#,
+            r#"[{"name": "x", "metric": "m", "kind": "sideways"}]"#,
+            r#"[{"name": "x", "metric": "m", "kind": "above"}]"#,
+            r#"[{"name": "x", "metric": "m", "kind": "absence"},
+                {"name": "x", "metric": "m", "kind": "absence"}]"#,
+        ] {
+            assert!(rules_from_json(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn health_snapshot_round_trips() {
+        let obs = Obs::enabled();
+        let mut monitor = HealthMonitor::with_builtin_rules(16);
+        obs.gauge_set("watch_degraded", 1.0);
+        monitor.tick(0, &obs);
+        obs.gauge_set("watch_degraded", 0.0);
+        monitor.tick(1, &obs);
+        let snap = HealthSnapshot::from_json(&monitor.snapshot_json()).expect("snapshot parses");
+        assert_eq!(snap.transitions.len(), 2);
+        assert_eq!(snap.transitions[0].1, "watch-degraded");
+        assert_eq!(snap.transitions[0].2, "firing");
+        assert_eq!(snap.transitions[1].2, "resolved");
+        assert!(snap.firing.is_empty());
+        assert_eq!(snap.degraded_ticks(), vec![0]);
+    }
+}

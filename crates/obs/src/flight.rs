@@ -1,0 +1,157 @@
+//! Crash flight recorder: a bounded ring of recent trace records.
+//!
+//! When armed (via [`Obs::arm_flight`](crate::Obs::arm_flight)), every
+//! record that reaches the trace buffer is *also* serialized into a
+//! fixed-capacity in-memory ring — the black box. On a crash the ring is
+//! dumped as `flight_<point>.jsonl` into the armed directory:
+//!
+//! * fault sites (the PR 9 `FaultInjector` points in the engine) dump
+//!   with the point name, e.g. `flight_migration.batch.jsonl`, right
+//!   before the injected error propagates;
+//! * a process-wide panic hook
+//!   ([`Obs::install_flight_panic_hook`](crate::Obs::install_flight_panic_hook))
+//!   dumps `flight_panic.jsonl` before delegating to the previous hook.
+//!
+//! A dump is plain trace JSONL — the last N span/event records, closed by
+//! one `flight.dump` marker event — so `vpart inspect` and
+//! [`TraceSummary::from_jsonl`](crate::inspect::TraceSummary::from_jsonl)
+//! read it unchanged. The ring holds *serialized lines*, so dumping from
+//! a panic hook does no record formatting, only IO.
+
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+
+/// Default ring capacity armed by the CLI's `--flight-dir`.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 256;
+
+/// The armed ring (held inside the `Obs` handle behind a mutex).
+#[derive(Debug)]
+pub(crate) struct FlightRing {
+    dir: PathBuf,
+    capacity: usize,
+    lines: VecDeque<String>,
+    /// Records pushed past capacity (oldest dropped).
+    dropped: u64,
+}
+
+impl FlightRing {
+    pub(crate) fn new(dir: &Path, capacity: usize) -> Self {
+        Self {
+            dir: dir.to_path_buf(),
+            capacity: capacity.max(1),
+            lines: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Appends one serialized record line, evicting the oldest at
+    /// capacity.
+    pub(crate) fn push(&mut self, line: String) {
+        self.lines.push_back(line);
+        while self.lines.len() > self.capacity {
+            self.lines.pop_front();
+            self.dropped += 1;
+        }
+    }
+
+    /// Writes the ring as `flight_<point>.jsonl` in the armed directory,
+    /// appending a `flight.dump` marker event stamped `at_us`. Path
+    /// separators and whitespace in `point` are sanitized to `_`.
+    pub(crate) fn dump(&self, point: &str, at_us: u64) -> std::io::Result<PathBuf> {
+        let safe: String = point
+            .chars()
+            .map(|c| {
+                if c == '/' || c == '\\' || c.is_whitespace() {
+                    '_'
+                } else {
+                    c
+                }
+            })
+            .collect();
+        let path = self.dir.join(format!("flight_{safe}.jsonl"));
+        let mut text = String::new();
+        for line in &self.lines {
+            text.push_str(line);
+            text.push('\n');
+        }
+        let marker = crate::trace::Record::Event {
+            parent: 0,
+            name: "flight.dump".to_string(),
+            at_us,
+            fields: vec![
+                ("point".to_string(), point.into()),
+                ("records".to_string(), (self.lines.len() as u64).into()),
+                ("dropped".to_string(), self.dropped.into()),
+            ],
+        };
+        text.push_str(&marker.to_json_line());
+        text.push('\n');
+        std::fs::write(&path, text)?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::inspect::TraceSummary;
+    use crate::Obs;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("vpart-flight-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create flight test dir");
+        dir
+    }
+
+    #[test]
+    fn dump_on_fault_round_trips_through_trace_summary() {
+        let dir = tmp_dir("fault");
+        let obs = Obs::enabled();
+        assert!(obs.arm_flight(&dir, 4));
+        assert!(obs.flight_armed());
+        // 6 events through a capacity-4 ring: the first two fall out.
+        for i in 0..6u64 {
+            obs.event("step", &[("i", i.into())]);
+        }
+        let path = obs.dump_flight("migration.batch").expect("dump succeeds");
+        assert!(path.ends_with("flight_migration.batch.jsonl"));
+        let text = std::fs::read_to_string(&path).expect("dump readable");
+        let summary = TraceSummary::from_jsonl(&text).expect("dump is valid trace JSONL");
+        // 4 ring events + the flight.dump marker.
+        assert_eq!(summary.events, 5);
+        assert!(text.contains("\"i\":2"), "oldest surviving record");
+        assert!(!text.contains("\"i\":1"), "evicted record must be gone");
+        assert!(text.contains("\"dropped\":2"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dump_on_panic_via_installed_hook() {
+        let dir = tmp_dir("panic");
+        let obs = Obs::enabled();
+        obs.arm_flight(&dir, 16);
+        obs.event("before_crash", &[("ctx", "batch 3".into())]);
+        obs.install_flight_panic_hook();
+        let result = std::panic::catch_unwind(|| panic!("injected test crash"));
+        assert!(result.is_err());
+        // Restore the default hook so later test panics print normally.
+        let _ = std::panic::take_hook();
+        let path = dir.join("flight_panic.jsonl");
+        let text = std::fs::read_to_string(&path).expect("panic dump written");
+        assert!(text.contains("before_crash"));
+        assert!(text.contains("batch 3"));
+        TraceSummary::from_jsonl(&text).expect("panic dump is valid trace JSONL");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disabled_or_unarmed_handles_never_dump() {
+        let disabled = Obs::disabled();
+        assert!(!disabled.arm_flight(std::path::Path::new("/nonexistent"), 8));
+        assert!(!disabled.flight_armed());
+        assert!(disabled.dump_flight("x").is_none());
+
+        let unarmed = Obs::enabled();
+        assert!(!unarmed.flight_armed());
+        assert!(unarmed.dump_flight("x").is_none());
+    }
+}

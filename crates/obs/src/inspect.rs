@@ -63,12 +63,49 @@ pub struct EpochRow {
     pub margin: f64,
     /// Whether the epoch triggered a re-solve.
     pub triggered: bool,
+    /// Whether the watcher was in degraded mode at the end of the epoch.
+    pub degraded: bool,
     /// Bytes moved by the epoch's migration (0 when none).
     pub migration_bytes: f64,
     /// Distinct attributes in the tracker snapshot.
     pub snapshot_attrs: u64,
     /// Wall time in milliseconds.
     pub wall_ms: f64,
+}
+
+/// One `alert` event (a firing/resolved edge recorded by the alert
+/// engine), flattened. The field set mirrors
+/// [`AlertTransition`](crate::alerts::AlertTransition) exactly, so a
+/// timeline rebuilt from a recorded trace is bit-identical to the one in
+/// a live health snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct AlertEvent {
+    /// Microseconds since the trace started.
+    pub at_us: u64,
+    /// Logical tick (epoch/pass index) of the edge.
+    pub tick: u64,
+    /// Rule name.
+    pub rule: String,
+    /// `"firing"` or `"resolved"`.
+    pub state: String,
+    /// Rule severity (`"warning"` / `"critical"`).
+    pub severity: String,
+    /// Metric value (or rate) observed at the edge.
+    pub value: f64,
+}
+
+impl AlertEvent {
+    /// The edge as a JSON object in the health-snapshot transition shape
+    /// (`tick`, `rule`, `state`, `severity`, `value` — no `at_us`).
+    pub fn to_transition_json(&self) -> Value {
+        serde_json::json!({
+            "tick": self.tick,
+            "rule": self.rule.clone(),
+            "state": self.state.clone(),
+            "severity": self.severity.clone(),
+            "value": Value::Float(self.value),
+        })
+    }
 }
 
 /// One `qp_solve` span, flattened.
@@ -99,6 +136,8 @@ pub struct TraceSummary {
     pub chains: Vec<ChainRow>,
     /// Online epoch rows, in epoch order.
     pub epochs: Vec<EpochRow>,
+    /// Alert firing/resolved edges, in trace order.
+    pub alerts: Vec<AlertEvent>,
     /// QP solve rows, in trace order.
     pub qp: Vec<QpRow>,
     /// Total bytes moved across `apply_migration`, `migrate_batched` and
@@ -142,11 +181,28 @@ impl TraceSummary {
                     ))
                 }
             }
-            if kind != "span" {
-                continue;
-            }
             let name = v.get("name").and_then(|n| n.as_str()).unwrap_or("");
             let fields = v.get("fields").cloned().unwrap_or(Value::Null);
+            if kind != "span" {
+                if name == "alert" {
+                    let s = |key: &str| {
+                        fields
+                            .get(key)
+                            .and_then(|v| v.as_str())
+                            .unwrap_or("")
+                            .to_string()
+                    };
+                    summary.alerts.push(AlertEvent {
+                        at_us: u(&v, "at_us"),
+                        tick: u(&fields, "tick"),
+                        rule: s("rule"),
+                        state: s("state"),
+                        severity: s("severity"),
+                        value: f(&fields, "value"),
+                    });
+                }
+                continue;
+            }
             let wall_ms = u(&v, "dur_us") as f64 / 1000.0;
             match name {
                 "sa_chain" => summary.chains.push(ChainRow {
@@ -171,6 +227,7 @@ impl TraceSummary {
                     drift_score: f(&fields, "drift_score"),
                     margin: f(&fields, "margin"),
                     triggered: b(&fields, "triggered"),
+                    degraded: b(&fields, "degraded"),
                     migration_bytes: f(&fields, "migration_bytes"),
                     snapshot_attrs: u(&fields, "snapshot_attrs"),
                     wall_ms,
@@ -201,6 +258,25 @@ impl TraceSummary {
         summary.chains.sort_by_key(|c| c.seed);
         summary.epochs.sort_by_key(|e| e.epoch);
         Ok(summary)
+    }
+
+    /// Rules whose most recent alert edge in the trace is `firing`, in
+    /// first-seen order.
+    pub fn firing_rules(&self) -> Vec<&str> {
+        let mut order: Vec<&str> = Vec::new();
+        for a in &self.alerts {
+            if !order.contains(&a.rule.as_str()) {
+                order.push(&a.rule);
+            }
+        }
+        order.retain(|rule| {
+            self.alerts
+                .iter()
+                .rev()
+                .find(|a| a.rule == *rule)
+                .is_some_and(|a| a.state == "firing")
+        });
+        order
     }
 
     /// Renders the operator-facing text report.
@@ -257,35 +333,59 @@ impl TraceSummary {
             let _ = writeln!(out, "\nepoch timeline");
             let _ = writeln!(
                 out,
-                "{:>5} {:>9} {:>9} {:>9} {:>9} {:>15} {:>14}",
+                "{:>5} {:>9} {:>9} {:>9} {:>9} {:>9} {:>15} {:>14}",
                 "epoch",
                 "wall_ms",
                 "drift",
                 "margin",
                 "trigger",
+                "degraded",
                 "migrated_bytes",
                 "snapshot_attrs"
             );
             for e in &self.epochs {
                 let _ = writeln!(
                     out,
-                    "{:>5} {:>9.1} {:>9.4} {:>+9.4} {:>9} {:>15.0} {:>14}",
+                    "{:>5} {:>9.1} {:>9.4} {:>+9.4} {:>9} {:>9} {:>15.0} {:>14}",
                     e.epoch,
                     e.wall_ms,
                     e.drift_score,
                     e.margin,
                     if e.triggered { "yes" } else { "no" },
+                    if e.degraded { "yes" } else { "no" },
                     e.migration_bytes,
                     e.snapshot_attrs,
                 );
             }
             let _ = writeln!(
                 out,
-                "total migrated: {:.0} bytes over {} epochs ({} triggered)",
+                "total migrated: {:.0} bytes over {} epochs ({} triggered, {} degraded)",
                 self.migration_bytes,
                 self.epochs.len(),
                 self.epochs.iter().filter(|e| e.triggered).count(),
+                self.epochs.iter().filter(|e| e.degraded).count(),
             );
+        }
+        if !self.alerts.is_empty() {
+            let _ = writeln!(out, "\nalert timeline");
+            let _ = writeln!(
+                out,
+                "{:>6} {:>10} {:>9}  {:<28} {:>12}",
+                "tick", "state", "severity", "rule", "value"
+            );
+            for a in &self.alerts {
+                let _ = writeln!(
+                    out,
+                    "{:>6} {:>10} {:>9}  {:<28} {:>12.4}",
+                    a.tick, a.state, a.severity, a.rule, a.value,
+                );
+            }
+            let firing: Vec<&str> = self.firing_rules();
+            if firing.is_empty() {
+                let _ = writeln!(out, "all alerts resolved at end of trace");
+            } else {
+                let _ = writeln!(out, "still firing: {}", firing.join(", "));
+            }
         }
         for q in &self.qp {
             let _ = writeln!(
@@ -366,6 +466,50 @@ mod tests {
         assert!(summary.epochs[0].triggered);
         assert_eq!(summary.migration_bytes, 2048.0);
         assert!(summary.render().contains("epoch timeline"));
+    }
+
+    #[test]
+    fn parses_alert_events_into_a_timeline() {
+        let obs = Obs::enabled();
+        obs.event(
+            "alert",
+            &[
+                ("tick", 3u64.into()),
+                ("rule", "watch-degraded".into()),
+                ("state", "firing".into()),
+                ("severity", "critical".into()),
+                ("value", 1.0f64.into()),
+            ],
+        );
+        obs.event("checkpoint", &[("k", 1u64.into())]);
+        obs.event(
+            "alert",
+            &[
+                ("tick", 7u64.into()),
+                ("rule", "watch-degraded".into()),
+                ("state", "resolved".into()),
+                ("severity", "critical".into()),
+                ("value", 0.0f64.into()),
+            ],
+        );
+        let summary = TraceSummary::from_jsonl(&obs.trace_json_lines()).unwrap();
+        assert_eq!(summary.events, 3);
+        assert_eq!(summary.alerts.len(), 2);
+        assert_eq!(summary.alerts[0].tick, 3);
+        assert_eq!(summary.alerts[0].state, "firing");
+        assert_eq!(summary.alerts[1].state, "resolved");
+        assert!(summary.firing_rules().is_empty());
+        let text = summary.render();
+        assert!(text.contains("alert timeline"), "{text}");
+        assert!(text.contains("watch-degraded"), "{text}");
+        assert!(text.contains("all alerts resolved"), "{text}");
+
+        // The transition shape matches the live snapshot exactly.
+        let json = serde_json::to_string(&summary.alerts[0].to_transition_json()).unwrap();
+        assert_eq!(
+            json,
+            "{\"tick\":3,\"rule\":\"watch-degraded\",\"state\":\"firing\",\"severity\":\"critical\",\"value\":1}"
+        );
     }
 
     #[test]

@@ -10,7 +10,12 @@
 //! * structured span/event [`trace`]-ing with a JSONL sink carrying nested
 //!   timings and key=value fields (`vpart solve|watch --trace-out`);
 //! * an [`inspect`] summarizer that renders a recorded trace as per-chain
-//!   convergence tables and epoch timelines (`vpart inspect`).
+//!   convergence tables and epoch timelines (`vpart inspect`);
+//! * a live health layer: a logical-clock [`series`] ring sampling the
+//!   registry, an [`alerts`] rules engine with hysteresis driving a
+//!   firing→resolved state machine, and a [`flight`] crash recorder that
+//!   dumps the last-N records on faults and panics (`vpart monitor`,
+//!   `vpart watch --health-out`).
 //!
 //! The entry point is the [`Obs`] handle. Observability is **off by
 //! default**: [`Obs::disabled`] (also `Obs::default()`) carries no
@@ -38,15 +43,24 @@
 //! assert_eq!(trace.lines().filter(|l| l.contains("\"type\":\"span\"")).count(), 3);
 //! ```
 
+pub mod alerts;
+pub mod flight;
 pub mod inspect;
 pub mod metrics;
 #[cfg(feature = "model-check")]
 pub mod model_check;
+pub mod series;
 pub(crate) mod sync;
 pub mod trace;
 
-pub use inspect::TraceSummary;
+pub use alerts::{
+    builtin_rules, rules_from_json, AlertEngine, AlertKind, AlertRule, AlertTransition,
+    HealthMonitor, HealthSnapshot, Severity, DEFAULT_HEALTH_CAPACITY,
+};
+pub use flight::DEFAULT_FLIGHT_CAPACITY;
+pub use inspect::{AlertEvent, TraceSummary};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, WALL_SECONDS_BUCKETS};
+pub use series::{SeriesSample, TimeSeriesStore};
 pub use trace::{FieldValue, Record, Span};
 
 use std::path::Path;
@@ -60,6 +74,8 @@ struct Inner {
     registry: Registry,
     trace: Mutex<Vec<Record>>,
     next_id: AtomicU64,
+    /// Armed flight-recorder ring (None until [`Obs::arm_flight`]).
+    flight: Mutex<Option<flight::FlightRing>>,
 }
 
 /// The observability handle (see crate docs). Cheap to clone; a disabled
@@ -85,6 +101,7 @@ impl Obs {
                 registry: Registry::new(),
                 trace: Mutex::new(Vec::new()),
                 next_id: AtomicU64::new(1),
+                flight: Mutex::new(None),
             })),
             parent: 0,
         }
@@ -237,8 +254,68 @@ impl Obs {
 
     fn record(&self, record: Record) {
         if let Some(inner) = &self.inner {
+            // Feed the black box first: the ring stores serialized lines
+            // so a crash dump is pure IO. Only pay for serialization when
+            // a ring is actually armed.
+            if let Ok(mut flight) = inner.flight.lock() {
+                if let Some(ring) = flight.as_mut() {
+                    ring.push(record.to_json_line());
+                }
+            }
             inner.trace.lock().expect("trace lock").push(record);
         }
+    }
+
+    // ----- flight recorder -----------------------------------------------
+
+    /// Arms the crash flight recorder: from now on the last `capacity`
+    /// records are mirrored into an in-memory ring, dumped into `dir` as
+    /// `flight_<point>.jsonl` by [`Obs::dump_flight`] or the panic hook.
+    /// Returns `false` on a disabled handle (nothing armed).
+    pub fn arm_flight(&self, dir: &Path, capacity: usize) -> bool {
+        let Some(inner) = &self.inner else {
+            return false;
+        };
+        if let Ok(mut flight) = inner.flight.lock() {
+            *flight = Some(flight::FlightRing::new(dir, capacity));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether a flight ring is currently armed.
+    pub fn flight_armed(&self) -> bool {
+        self.inner
+            .as_deref()
+            .and_then(|i| i.flight.lock().ok().map(|f| f.is_some()))
+            .unwrap_or(false)
+    }
+
+    /// Dumps the armed ring as `flight_<point>.jsonl`, returning the
+    /// written path. `None` when disabled, unarmed, or on IO failure —
+    /// the dump is best-effort by design: it runs on crash paths where a
+    /// secondary failure must not mask the original error.
+    pub fn dump_flight(&self, point: &str) -> Option<std::path::PathBuf> {
+        let inner = self.inner.as_deref()?;
+        let at_us = Self::now_us(inner);
+        let flight = inner.flight.lock().ok()?;
+        flight.as_ref()?.dump(point, at_us).ok()
+    }
+
+    /// Installs a process-wide panic hook that dumps the armed ring as
+    /// `flight_panic.jsonl` before delegating to the previously installed
+    /// hook. No-op on a disabled handle. Install once, after arming.
+    pub fn install_flight_panic_hook(&self) {
+        if !self.is_enabled() {
+            return;
+        }
+        let obs = self.clone();
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let _ = obs.dump_flight("panic");
+            prev(info);
+        }));
     }
 
     // ----- export --------------------------------------------------------

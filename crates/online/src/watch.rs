@@ -34,7 +34,7 @@ use vpart_core::sa::{SaConfig, SaSolver};
 use vpart_core::CostConfig;
 use vpart_engine::{Deployment, FaultInjector, MigrationJournal, FP_WATCH_RESOLVE};
 use vpart_model::{MigrationPlan, Partitioning};
-use vpart_obs::Obs;
+use vpart_obs::{HealthMonitor, Obs};
 
 /// Watch-loop configuration.
 #[derive(Debug, Clone)]
@@ -219,6 +219,8 @@ pub struct Watcher {
     degraded: bool,
     retries_total: u64,
     rollbacks_total: u64,
+    /// Optional live health layer, ticked once per epoch.
+    health: Option<HealthMonitor>,
 }
 
 impl Watcher {
@@ -258,7 +260,22 @@ impl Watcher {
             degraded: false,
             retries_total: 0,
             rollbacks_total: 0,
+            health: None,
         })
+    }
+
+    /// Attaches a live health monitor: each epoch, after the epoch's
+    /// metrics land, the monitor samples the registry at the epoch index
+    /// and evaluates its alert rules. Requires an enabled `config.obs`
+    /// to have any effect.
+    pub fn with_health(mut self, monitor: HealthMonitor) -> Self {
+        self.health = Some(monitor);
+        self
+    }
+
+    /// The attached health monitor, if any.
+    pub fn health(&self) -> Option<&HealthMonitor> {
+        self.health.as_ref()
     }
 
     /// True while the watcher has given up migrating and serves the
@@ -380,6 +397,7 @@ impl Watcher {
                         ));
                     } else if let Err(e) = self.faults.fail(FP_WATCH_RESOLVE) {
                         // An injected re-solve crash: a retryable failure.
+                        let _ = cfg.obs.dump_flight(FP_WATCH_RESOLVE);
                         self.retries_total += 1;
                         self.failures += 1;
                         cfg.obs.counter_inc("migration_retries_total");
@@ -550,8 +568,17 @@ impl Watcher {
                 ("migration_bytes", migration_bytes.into()),
                 ("snapshot_attrs", outcome.snapshot_attrs.into()),
                 ("templates", outcome.templates.into()),
+                ("degraded", outcome.degraded.into()),
             ],
         );
+
+        if let Some(health) = &mut self.health {
+            if self.config.obs.is_enabled() {
+                // Logical clock = epoch index; the tick both samples the
+                // registry and runs the alert rules.
+                health.tick(outcome.epoch, &self.config.obs);
+            }
+        }
 
         self.tracker.advance_epoch();
         Ok(outcome)
@@ -981,6 +1008,57 @@ mod tests {
         assert!(failed.veto.as_deref().unwrap().contains("watch.resolve"));
         assert_eq!(w.retries_total(), 1);
         assert_eq!(w.rollbacks_total(), 0, "no deployment to roll back");
+    }
+
+    /// The live health layer rides the epoch clock: an injected
+    /// migration crash flips the watcher into degraded mode and the
+    /// built-in `watch-degraded` alert fires; once drift recedes and the
+    /// watcher recovers, the alert resolves. Both edges also land in the
+    /// trace as `alert` events.
+    #[test]
+    fn health_monitor_fires_and_resolves_degraded_alert() {
+        let obs = Obs::enabled();
+        let mut w = watcher_cfg(0.05, |c| {
+            c.max_retries = 0;
+            let mut f = FaultInjector::new(4);
+            f.arm_spec("migration.batch:prob=1.0").unwrap();
+            c.faults = f;
+            c.obs = obs.clone();
+        })
+        .with_health(HealthMonitor::with_builtin_rules(32));
+        w.tracker_mut().observe_instance(&phase(1.0)).unwrap();
+        w.end_epoch("boot").unwrap();
+        assert!(!w.health().unwrap().any_critical_firing());
+
+        w.tracker_mut().observe_instance(&phase(300.0)).unwrap();
+        let failed = w.end_epoch("crash").unwrap();
+        assert!(failed.degraded);
+        assert!(w.health().unwrap().any_critical_firing(), "alert must fire");
+
+        for i in 0..15 {
+            w.tracker_mut().observe_instance(&phase(1.0)).unwrap();
+            if !w.end_epoch(&format!("calm{i}")).unwrap().degraded {
+                break;
+            }
+        }
+        assert!(!w.is_degraded(), "drift must recede in the calm phase");
+        let health = w.health().unwrap();
+        assert!(!health.any_critical_firing(), "alert must resolve");
+        let edges: Vec<&str> = health
+            .alerts()
+            .transitions()
+            .iter()
+            .filter(|t| t.rule == "watch-degraded")
+            .map(|t| t.state)
+            .collect();
+        assert_eq!(edges, vec!["firing", "resolved"]);
+        let trace = obs.trace_json_lines();
+        assert!(
+            trace
+                .lines()
+                .any(|l| l.contains("\"name\":\"alert\"") && l.contains("watch-degraded")),
+            "alert transitions must be recorded as trace events"
+        );
     }
 
     /// The amortization arithmetic: a plan is vetoed exactly when its

@@ -17,20 +17,29 @@
 //!                [--drift-threshold 0.05] [--rows 64] [--hysteresis 1]
 //!                [--amortize-epochs 0] [--max-retries 3]
 //!                [--migration-batch-bytes 4096] [--fault spec] [--json]
-//! vpart inspect  trace.jsonl
-//! vpart inspect  --journal journal.jsonl
+//! vpart inspect  trace.jsonl [--health health.json]
+//! vpart inspect  --journal journal.jsonl [--health health.json]
+//! vpart monitor  trace.jsonl [--follow] [--metrics health.json]
+//!                [--rules rules.json] [--json]
 //! ```
 //!
 //! `solve` and `watch` take `--trace-out FILE` (structured span/event
 //! trace, JSONL) and `--metrics-out FILE` (Prometheus-style exposition);
-//! `inspect` summarizes a recorded trace.
+//! `inspect` summarizes a recorded trace. `watch` and `replay` also take
+//! the live-health flags `--health-out FILE` (time-series + alert
+//! snapshot, rewritten each tick), `--alerts-exit` (exit non-zero while
+//! a critical alert fires), `--rules FILE` (declarative alert rules
+//! replacing the built-ins) and `--flight-dir DIR` (crash flight
+//! recorder); `monitor` renders the health view of a recorded trace.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
 use std::process::ExitCode;
 use vpart::core::{evaluate, CostConfig};
 use vpart::engine::{Deployment, Trace};
 use vpart::ingest::{IngestOptions, StatsFormat};
 use vpart::model::{report, Partitioning};
+use vpart::obs::{AlertEvent, HealthMonitor, HealthSnapshot, TimeSeriesStore};
 use vpart::prelude::*;
 use vpart::Algorithm;
 
@@ -58,6 +67,8 @@ fn usage() -> &'static str {
                       [--seed <n>] [--skew uniform|zipf:<theta>|hotspot:<frac>]\n\
                       [--fault <point:trigger,...>] [--error-bound <f>] [--json]\n\
                       [--trace-out <file.jsonl>] [--metrics-out <file.prom>]\n\
+                      [--health-out <file.json>] [--alerts-exit]\n\
+                      [--rules <rules.json>] [--flight-dir <dir>]\n\
        vpart replay   --schema <ddl.sql> --log <queries.log> --sites <k> [...]\n\
        vpart watch    --schema <ddl.sql> (--log <p1,p2,...> | --stats <p1,p2,...>\n\
                       [--stats-format <fmt>]) --sites <k> [--interval <epochs>]\n\
@@ -67,7 +78,13 @@ fn usage() -> &'static str {
                       [--max-retries <n>] [--migration-batch-bytes <B>]\n\
                       [--fault <point:trigger,...>] [--json]\n\
                       [--trace-out <file.jsonl>] [--metrics-out <file.prom>]\n\
-       vpart inspect  <trace.jsonl> | --journal <journal.jsonl>\n\
+                      [--health-out <file.json>] [--alerts-exit]\n\
+                      [--rules <rules.json>] [--flight-dir <dir>]\n\
+       vpart inspect  <trace.jsonl> [--health <health.json>] |\n\
+                      --journal <journal.jsonl> [--health <health.json>] |\n\
+                      --health <health.json>\n\
+       vpart monitor  <trace.jsonl> [--follow] [--poll-ms <n>] [--max-polls <n>]\n\
+                      [--metrics <health.json>] [--rules <rules.json>] [--json]\n\
      \n\
      Instances: `tpcc`, any rnd class name (e.g. rndAt8x15, rndBt16x100u50), a\n\
      JSON instance file, a SQL schema + query log via --schema/--log, or a\n\
@@ -119,6 +136,23 @@ fn usage() -> &'static str {
      until --max-retries is exhausted, after which the watcher serves\n\
      the incumbent in degraded mode (exit code 1 if still degraded at\n\
      the end of the run).\n\
+     Live health (watch and replay): --health-out writes a combined\n\
+     time-series + alert snapshot (JSON, rewritten each epoch/pass) from\n\
+     a fixed-capacity sample ring ticked on the run's logical clock;\n\
+     built-in rules watch SA acceptance collapse, model error out of\n\
+     bound, degraded-mode entry and migration retry build-up, and\n\
+     --rules <file> swaps in declarative JSON rules (threshold /\n\
+     rate-of-change / absence with for_ticks hysteresis). --alerts-exit\n\
+     exits non-zero while a critical alert is still firing.\n\
+     --flight-dir arms the crash flight recorder: the last trace records\n\
+     ride in a bounded ring and are dumped as flight_<point>.jsonl when\n\
+     a fault point trips or the process panics. `vpart monitor` renders\n\
+     the alert timeline of a recorded trace (bit-identical to the\n\
+     snapshot's transition history), re-evaluates rules over the sample\n\
+     ring (--metrics <health.json> or rebuilt from epoch spans), and\n\
+     with --follow tails the trace file printing alert edges as they\n\
+     land; `vpart inspect ... --health <file>` merges the snapshot's\n\
+     degraded-epoch and alert history into the inspection report.\n\
      Observability: --trace-out records a structured span/event trace\n\
      (JSONL; per-chain annealing spans, per-epoch watch spans) and\n\
      --metrics-out a Prometheus-style text exposition (sa_moves_total,\n\
@@ -147,7 +181,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             .strip_prefix("--")
             .ok_or_else(|| format!("unexpected argument {:?}", args[i]))?;
         match key {
-            "disjoint" | "layout" | "json" | "lenient" | "strict" => {
+            "disjoint" | "layout" | "json" | "lenient" | "strict" | "follow" | "alerts-exit" => {
                 flags.insert(key.to_owned(), "true".to_owned());
                 i += 1;
             }
@@ -259,14 +293,101 @@ fn load_instance(flags: &HashMap<String, String>) -> Result<Instance, String> {
     ))
 }
 
-/// An enabled [`Obs`] handle when `--trace-out` or `--metrics-out` was
-/// given, else the inert disabled handle (zero hot-path cost).
+/// An enabled [`Obs`] handle when any observability sink was requested
+/// (`--trace-out`, `--metrics-out`, `--health-out`, `--alerts-exit`,
+/// `--rules`, `--flight-dir`), else the inert disabled handle (zero
+/// hot-path cost).
 fn obs_from_flags(flags: &HashMap<String, String>) -> Obs {
-    if flags.contains_key("trace-out") || flags.contains_key("metrics-out") {
+    let sinks = [
+        "trace-out",
+        "metrics-out",
+        "health-out",
+        "alerts-exit",
+        "rules",
+        "flight-dir",
+    ];
+    if sinks.iter().any(|k| flags.contains_key(*k)) {
         Obs::enabled()
     } else {
         Obs::disabled()
     }
+}
+
+/// A [`HealthMonitor`] when a health flag (`--health-out`,
+/// `--alerts-exit`, `--rules`) was given. `--rules FILE` replaces the
+/// built-in rule set with declarative rules parsed from JSON.
+fn health_from_flags(flags: &HashMap<String, String>) -> Result<Option<HealthMonitor>, String> {
+    let wanted = ["health-out", "alerts-exit", "rules"];
+    if !wanted.iter().any(|k| flags.contains_key(*k)) {
+        return Ok(None);
+    }
+    let monitor = match flags.get("rules") {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let rules = vpart::obs::rules_from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+            HealthMonitor::new(vpart::obs::DEFAULT_HEALTH_CAPACITY, rules)?
+        }
+        None => HealthMonitor::with_builtin_rules(vpart::obs::DEFAULT_HEALTH_CAPACITY),
+    };
+    Ok(Some(monitor))
+}
+
+/// Arms the crash flight recorder when `--flight-dir` was given: the
+/// most recent trace records ride in a bounded in-memory ring and are
+/// dumped as `<dir>/flight_<point>.jsonl` when a fault point trips or
+/// the process panics.
+fn arm_flight_from_flags(obs: &Obs, flags: &HashMap<String, String>) -> Result<(), String> {
+    if let Some(dir) = flags.get("flight-dir") {
+        std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+        obs.arm_flight(
+            std::path::Path::new(dir),
+            vpart::obs::DEFAULT_FLIGHT_CAPACITY,
+        );
+        obs.install_flight_panic_hook();
+    }
+    Ok(())
+}
+
+/// Writes the `--health-out` snapshot. Called once per tick so the file
+/// on disk is fresh even if the run dies mid-way.
+fn write_health_snapshot(
+    health: Option<&HealthMonitor>,
+    flags: &HashMap<String, String>,
+) -> Result<(), String> {
+    if let (Some(path), Some(h)) = (flags.get("health-out"), health) {
+        h.write_snapshot(std::path::Path::new(path))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// The `--alerts-exit` gate: non-zero exit when any critical rule is
+/// still firing at the end of the run.
+fn alerts_exit_check(
+    health: Option<&HealthMonitor>,
+    flags: &HashMap<String, String>,
+) -> Result<(), String> {
+    if !flags.contains_key("alerts-exit") {
+        return Ok(());
+    }
+    let Some(h) = health else {
+        return Ok(());
+    };
+    if h.any_critical_firing() {
+        let rules: Vec<String> = h
+            .alerts()
+            .firing()
+            .iter()
+            .filter(|(r, _)| r.severity == vpart::obs::Severity::Critical)
+            .map(|(r, since)| format!("{} (since tick {since})", r.name))
+            .collect();
+        return Err(format!(
+            "--alerts-exit: critical alert(s) still firing: {}",
+            rules.join(", ")
+        ));
+    }
+    Ok(())
 }
 
 /// Writes the recorded trace / metrics exposition to the `--trace-out` /
@@ -664,6 +785,10 @@ fn cmd_replay(flags: HashMap<String, String>) -> Result<(), String> {
 
     let mut dep = ReplayDeployment::new(&ins, &part, rows, shards).map_err(|e| e.to_string())?;
     dep = dep.with_obs(obs.clone());
+    if let Some(monitor) = health_from_flags(&flags)? {
+        dep = dep.with_health(monitor);
+    }
+    arm_flight_from_flags(&obs, &flags)?;
     let report = dep
         .replay(
             &stream,
@@ -687,6 +812,10 @@ fn cmd_replay(flags: HashMap<String, String>) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
 
     write_obs_outputs(&obs, &flags)?;
+    write_health_snapshot(dep.health(), &flags)?;
+    if let Some(path) = flags.get("health-out") {
+        eprintln!("wrote health snapshot {path}");
+    }
 
     let me = report
         .model_error
@@ -810,6 +939,7 @@ fn cmd_replay(flags: HashMap<String, String>) -> Result<(), String> {
             ));
         }
     }
+    alerts_exit_check(dep.health(), &flags)?;
     Ok(())
 }
 
@@ -918,6 +1048,10 @@ fn cmd_watch(flags: HashMap<String, String>) -> Result<(), String> {
         },
     )
     .map_err(|e| e.to_string())?;
+    if let Some(monitor) = health_from_flags(&flags)? {
+        watcher = watcher.with_health(monitor);
+    }
+    arm_flight_from_flags(&obs, &flags)?;
 
     let json = flags.contains_key("json");
     let mut epochs_json: Vec<serde_json::Value> = Vec::new();
@@ -943,6 +1077,9 @@ fn cmd_watch(flags: HashMap<String, String>) -> Result<(), String> {
                     ));
                 }
             }
+            // Overwritten each epoch so the on-disk snapshot stays fresh
+            // even if a later epoch crashes the process.
+            write_health_snapshot(watcher.health(), &flags)?;
             if json {
                 epochs_json.push(serde_json::json!({
                     "epoch": out.epoch,
@@ -1024,6 +1161,10 @@ fn cmd_watch(flags: HashMap<String, String>) -> Result<(), String> {
         );
     }
     write_obs_outputs(&obs, &flags)?;
+    if let Some(path) = flags.get("health-out") {
+        eprintln!("wrote health snapshot {path}");
+    }
+    alerts_exit_check(watcher.health(), &flags)?;
     if watcher.is_degraded() {
         return Err(format!(
             "watch ended degraded: {} migration failure(s) exhausted --max-retries {} \
@@ -1036,9 +1177,61 @@ fn cmd_watch(flags: HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Loads and renders a `--health-out` snapshot: sample-ring shape, alert
+/// transition history, rules still firing, and the degraded epochs.
+fn render_health(path: &str) -> Result<String, String> {
+    let h = HealthSnapshot::from_path(std::path::Path::new(path))?;
+    let mut out = String::new();
+    let _ = writeln!(out, "health snapshot  {path}");
+    let ticks: Vec<u64> = h.series.samples().map(|s| s.tick).collect();
+    match (ticks.first(), ticks.last()) {
+        (Some(a), Some(b)) => {
+            let _ = writeln!(
+                out,
+                "samples          {} (ticks {a}..{b}, {} evicted)",
+                ticks.len(),
+                h.series.evicted()
+            );
+        }
+        _ => {
+            let _ = writeln!(out, "samples          0");
+        }
+    }
+    let degraded = h.degraded_ticks();
+    if degraded.is_empty() {
+        let _ = writeln!(out, "degraded ticks   none");
+    } else {
+        let list: Vec<String> = degraded.iter().map(u64::to_string).collect();
+        let _ = writeln!(
+            out,
+            "degraded ticks   {} of {}: {}",
+            degraded.len(),
+            ticks.len(),
+            list.join(", ")
+        );
+    }
+    if !h.transitions.is_empty() {
+        let _ = writeln!(out, "alert history");
+        for (tick, rule, state, severity, value) in &h.transitions {
+            let _ = writeln!(
+                out,
+                "{tick:>6} {state:>10} {severity:>9}  {rule:<28} {value:>12.4}"
+            );
+        }
+    }
+    if h.firing.is_empty() {
+        let _ = writeln!(out, "firing           none");
+    } else {
+        let _ = writeln!(out, "firing           {}", h.firing.join(", "));
+    }
+    Ok(out)
+}
+
 /// `vpart inspect <trace.jsonl>`: renders a recorded trace as a per-chain
 /// convergence table plus an epoch timeline. `vpart inspect --journal
 /// <file>` summarizes a migration journal instead, rejecting corrupt ones.
+/// Either form (and the bare form `vpart inspect --health <snap>`) takes
+/// `--health <snapshot.json>` to merge in the recorded health view.
 fn cmd_inspect(args: &[String]) -> Result<(), String> {
     match args {
         [p] if !p.starts_with("--") => {
@@ -1047,9 +1240,27 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
             print!("{}", summary.render());
             Ok(())
         }
+        [p, flag, snap] if !p.starts_with("--") && flag == "--health" => {
+            let text = std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))?;
+            let summary = TraceSummary::from_jsonl(&text).map_err(|e| format!("{p}: {e}"))?;
+            print!("{}", summary.render());
+            print!("\n{}", render_health(snap)?);
+            Ok(())
+        }
+        [flag, snap] if flag == "--health" => {
+            print!("{}", render_health(snap)?);
+            Ok(())
+        }
         [flag, p] if flag == "--journal" => inspect_journal(p),
+        [f1, p, f2, snap] if f1 == "--journal" && f2 == "--health" => {
+            inspect_journal(p)?;
+            print!("\n{}", render_health(snap)?);
+            Ok(())
+        }
         _ => Err(
-            "usage: vpart inspect <trace.jsonl> | vpart inspect --journal <journal.jsonl>"
+            "usage: vpart inspect <trace.jsonl> [--health <snap.json>] | \
+             vpart inspect --journal <journal.jsonl> [--health <snap.json>] | \
+             vpart inspect --health <snap.json>"
                 .to_owned(),
         ),
     }
@@ -1111,6 +1322,232 @@ fn inspect_journal(path: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Rebuilds a gauge/counter sample ring from a trace's `watch_epoch`
+/// spans so rules can be re-evaluated without a `--metrics` snapshot.
+fn store_from_trace(summary: &TraceSummary) -> TimeSeriesStore {
+    let mut store = TimeSeriesStore::new(vpart::obs::DEFAULT_HEALTH_CAPACITY);
+    for (i, e) in summary.epochs.iter().enumerate() {
+        let mut counters = BTreeMap::new();
+        counters.insert("watch_epochs_total".to_string(), (i + 1) as f64);
+        let mut gauges = BTreeMap::new();
+        gauges.insert("watch_drift_score".to_string(), e.drift_score);
+        gauges.insert("watch_drift_threshold_margin".to_string(), e.margin);
+        gauges.insert(
+            "watch_degraded".to_string(),
+            if e.degraded { 1.0 } else { 0.0 },
+        );
+        store.record(e.epoch, counters, gauges);
+    }
+    store
+}
+
+/// Replays a rule set tick-by-tick over a reconstructed sample ring and
+/// returns the transitions it would have produced.
+fn evaluate_rules_over(
+    store: &TimeSeriesStore,
+    rules: Vec<vpart::obs::AlertRule>,
+) -> Result<Vec<vpart::obs::AlertTransition>, String> {
+    let mut engine = vpart::obs::AlertEngine::new(rules)?;
+    let mut replayed = TimeSeriesStore::new(store.capacity());
+    let obs = Obs::disabled();
+    for s in store.samples() {
+        replayed.record(s.tick, s.counters.clone(), s.gauges.clone());
+        engine.evaluate(s.tick, &replayed, &obs);
+    }
+    Ok(engine.transitions().to_vec())
+}
+
+/// `--follow`: tails the trace file, printing each `alert` event as it
+/// lands (text columns, or one JSON transition per line with `--json`).
+/// `--max-polls` bounds the loop (0 = follow forever); `--poll-ms` sets
+/// the poll interval. A truncated/rewritten file restarts from the top.
+fn monitor_follow(path: &str, flags: &HashMap<String, String>, json: bool) -> Result<(), String> {
+    let poll_ms: u64 = get(flags, "poll-ms", 500u64)?;
+    let max_polls: u64 = get(flags, "max-polls", 0u64)?;
+    eprintln!("following {path} for alert edges (poll every {poll_ms} ms)");
+    let mut offset = 0usize;
+    let mut polls = 0u64;
+    loop {
+        let text = std::fs::read_to_string(path).unwrap_or_default();
+        if text.len() < offset {
+            offset = 0;
+        }
+        let new = &text[offset..];
+        let complete = new.rfind('\n').map(|i| i + 1).unwrap_or(0);
+        for line in new[..complete].lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let Ok(v) = serde_json::from_str::<serde_json::Value>(line) else {
+                continue;
+            };
+            if v.get("name").and_then(|n| n.as_str()) != Some("alert") {
+                continue;
+            }
+            let fields = v.get("fields").cloned().unwrap_or(serde_json::Value::Null);
+            let s = |k: &str| fields.get(k).and_then(|x| x.as_str()).unwrap_or("");
+            let tick = fields.get("tick").and_then(|x| x.as_u64()).unwrap_or(0);
+            let value = fields.get("value").and_then(|x| x.as_f64()).unwrap_or(0.0);
+            if json {
+                println!(
+                    "{}",
+                    serde_json::json!({
+                        "tick": tick,
+                        "rule": s("rule"),
+                        "state": s("state"),
+                        "severity": s("severity"),
+                        "value": serde_json::Value::Float(value),
+                    })
+                );
+            } else {
+                println!(
+                    "{:>6} {:>10} {:>9}  {:<28} {:>12.4}",
+                    tick,
+                    s("state"),
+                    s("severity"),
+                    s("rule"),
+                    value
+                );
+            }
+        }
+        offset += complete;
+        polls += 1;
+        if max_polls > 0 && polls >= max_polls {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(poll_ms));
+    }
+    Ok(())
+}
+
+/// `vpart monitor <trace.jsonl>`: the health view of a recorded trace —
+/// the alert timeline (bit-identical to the transitions a live
+/// `--health-out` snapshot records), per-epoch degradation, and a rule
+/// re-evaluation over the sample ring (`--metrics <snapshot.json>` when
+/// given, else one rebuilt from the trace's epoch spans). `--rules FILE`
+/// swaps the built-in rule set; `--follow` tails the file instead.
+fn cmd_monitor(args: &[String]) -> Result<(), String> {
+    const USAGE: &str = "usage: vpart monitor <trace.jsonl> [--follow] [--poll-ms <n>] \
+                         [--max-polls <n>] [--metrics <snapshot.json>] [--rules <file>] [--json]";
+    let Some((path, rest)) = args.split_first() else {
+        return Err(USAGE.to_owned());
+    };
+    if path.starts_with("--") {
+        return Err(USAGE.to_owned());
+    }
+    let flags = parse_flags(rest)?;
+    let json = flags.contains_key("json");
+    if flags.contains_key("follow") {
+        return monitor_follow(path, &flags, json);
+    }
+
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let summary = TraceSummary::from_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+    let health = match flags.get("metrics") {
+        Some(p) => Some(HealthSnapshot::from_path(std::path::Path::new(p))?),
+        None => None,
+    };
+    let rules = match flags.get("rules") {
+        Some(p) => {
+            let t = std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))?;
+            vpart::obs::rules_from_json(&t).map_err(|e| format!("{p}: {e}"))?
+        }
+        None => vpart::obs::builtin_rules(),
+    };
+    let store = match &health {
+        Some(h) => h.series.clone(),
+        None => store_from_trace(&summary),
+    };
+    let rule_eval = evaluate_rules_over(&store, rules)?;
+
+    if json {
+        let alerts: Vec<serde_json::Value> = summary
+            .alerts
+            .iter()
+            .map(AlertEvent::to_transition_json)
+            .collect();
+        let firing: Vec<serde_json::Value> = summary
+            .firing_rules()
+            .iter()
+            .map(|r| serde_json::Value::String((*r).to_string()))
+            .collect();
+        let epochs: Vec<serde_json::Value> = summary
+            .epochs
+            .iter()
+            .map(|e| {
+                serde_json::json!({
+                    "epoch": e.epoch,
+                    "drift_score": e.drift_score,
+                    "margin": e.margin,
+                    "triggered": e.triggered,
+                    "degraded": e.degraded,
+                })
+            })
+            .collect();
+        let eval_json: Vec<serde_json::Value> = rule_eval.iter().map(|t| t.to_json()).collect();
+        let health_json = match &health {
+            Some(h) => {
+                let transitions: Vec<serde_json::Value> = h
+                    .transitions
+                    .iter()
+                    .map(|(tick, rule, state, severity, value)| {
+                        serde_json::json!({
+                            "tick": tick,
+                            "rule": rule,
+                            "state": state,
+                            "severity": severity,
+                            "value": serde_json::Value::Float(*value),
+                        })
+                    })
+                    .collect();
+                serde_json::json!({
+                    "samples": h.series.len(),
+                    "evicted": h.series.evicted(),
+                    "degraded_ticks": h.degraded_ticks(),
+                    "firing": h.firing,
+                    "transitions": serde_json::Value::Array(transitions),
+                })
+            }
+            None => serde_json::Value::Null,
+        };
+        println!(
+            "{}",
+            serde_json::json!({
+                "trace": serde_json::json!({
+                    "records": summary.records,
+                    "spans": summary.spans,
+                    "events": summary.events,
+                }),
+                "alerts": serde_json::Value::Array(alerts),
+                "firing": serde_json::Value::Array(firing),
+                "epochs": serde_json::Value::Array(epochs),
+                "rule_eval": serde_json::Value::Array(eval_json),
+                "health": health_json,
+            })
+        );
+        return Ok(());
+    }
+
+    print!("{}", summary.render());
+    if !rule_eval.is_empty() {
+        println!("\nrule re-evaluation over sample ring");
+        for t in &rule_eval {
+            println!(
+                "{:>6} {:>10} {:>9}  {:<28} {:>12.4}",
+                t.tick,
+                t.state,
+                t.severity.as_str(),
+                t.rule,
+                t.value
+            );
+        }
+    }
+    if let Some(p) = flags.get("metrics") {
+        print!("\n{}", render_health(p)?);
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -1125,6 +1562,7 @@ fn main() -> ExitCode {
         "replay" => parse_flags(&args[1..]).and_then(cmd_replay),
         "watch" => parse_flags(&args[1..]).and_then(cmd_watch),
         "inspect" => cmd_inspect(&args[1..]),
+        "monitor" => cmd_monitor(&args[1..]),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())

@@ -1,0 +1,285 @@
+//! End-to-end CLI: `vpart monitor` over the checked-in recorded trace
+//! under `tests/data/` (a web-shop watch run with a `migration.batch`
+//! fault armed: the built-in `watch-degraded` alert fires at tick 2 and
+//! resolves at tick 5), plus the live `--health-out`/`--alerts-exit`
+//! path on `vpart watch`.
+
+use std::path::Path;
+use std::process::Command;
+use vpart::obs::TraceSummary;
+
+fn fixture(file: &str) -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/data")
+        .join(file)
+        .to_string_lossy()
+        .into_owned()
+}
+
+fn vpart(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_vpart"))
+        .args(args)
+        .output()
+        .expect("vpart binary runs")
+}
+
+/// A per-test scratch path that does not collide across parallel tests.
+fn scratch(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("vpart_{}_{name}", std::process::id()))
+}
+
+#[test]
+fn monitor_renders_the_recorded_alert_timeline() {
+    let out = vpart(&["monitor", &fixture("health_watch_trace.jsonl")]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("alert timeline"), "{text}");
+    assert!(text.contains("watch-degraded"), "{text}");
+    assert!(text.contains("firing"), "{text}");
+    assert!(text.contains("resolved"), "{text}");
+    assert!(text.contains("all alerts resolved"), "{text}");
+    // The epoch table carries the degraded column from the span fields.
+    assert!(text.contains("3 degraded"), "{text}");
+    // Rules re-evaluated over the trace-rebuilt ring reproduce the edges.
+    assert!(text.contains("rule re-evaluation"), "{text}");
+}
+
+#[test]
+fn monitor_json_timeline_is_bit_identical_to_the_recorded_events() {
+    let trace_path = fixture("health_watch_trace.jsonl");
+    let out = vpart(&["monitor", &trace_path, "--json"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report: serde_json::Value =
+        serde_json::from_str(std::str::from_utf8(&out.stdout).unwrap().trim())
+            .expect("stdout is one JSON document");
+
+    // `.alerts` is exactly the transition list a live health snapshot
+    // records: same JSON shape, key order and value formatting.
+    let text = std::fs::read_to_string(&trace_path).unwrap();
+    let summary = TraceSummary::from_jsonl(&text).expect("fixture trace parses");
+    assert_eq!(summary.alerts.len(), 2, "fire + resolve");
+    let expected: Vec<String> = summary
+        .alerts
+        .iter()
+        .map(|a| serde_json::to_string(&a.to_transition_json()).unwrap())
+        .collect();
+    let got: Vec<String> = report
+        .get("alerts")
+        .and_then(|a| a.as_array())
+        .expect("alerts array")
+        .iter()
+        .map(|v| serde_json::to_string(v).unwrap())
+        .collect();
+    assert_eq!(got, expected);
+    assert!(got[0].contains("\"rule\":\"watch-degraded\""), "{got:?}");
+    assert!(got[0].contains("\"state\":\"firing\""), "{got:?}");
+    assert!(got[1].contains("\"state\":\"resolved\""), "{got:?}");
+
+    // Nothing is firing at end of trace, and the degraded epochs show in
+    // the epoch list.
+    assert_eq!(
+        report
+            .get("firing")
+            .and_then(|f| f.as_array())
+            .unwrap()
+            .len(),
+        0
+    );
+    let epochs = report.get("epochs").and_then(|e| e.as_array()).unwrap();
+    let degraded = epochs
+        .iter()
+        .filter(|e| e.get("degraded").and_then(|d| d.as_bool()) == Some(true))
+        .count();
+    assert_eq!(degraded, 3, "epochs 2..=4 ran degraded");
+
+    // Re-running the monitor reproduces the report byte-for-byte.
+    let again = vpart(&["monitor", &trace_path, "--json"]);
+    assert_eq!(out.stdout, again.stdout, "monitor output must be stable");
+}
+
+#[test]
+fn monitor_merges_the_health_snapshot_and_matches_its_transitions() {
+    let out = vpart(&[
+        "monitor",
+        &fixture("health_watch_trace.jsonl"),
+        "--metrics",
+        &fixture("health_watch_snapshot.json"),
+        "--json",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report: serde_json::Value =
+        serde_json::from_str(std::str::from_utf8(&out.stdout).unwrap().trim()).unwrap();
+
+    // The trace-derived timeline and the snapshot's transition history
+    // agree element-for-element (the CI chaos job diffs these with jq).
+    let alerts = report.get("alerts").and_then(|a| a.as_array()).unwrap();
+    let snap_transitions = report
+        .get("health")
+        .and_then(|h| h.get("transitions"))
+        .and_then(|t| t.as_array())
+        .expect("health.transitions");
+    assert_eq!(alerts.len(), snap_transitions.len());
+    for (a, t) in alerts.iter().zip(snap_transitions) {
+        assert_eq!(
+            serde_json::to_string(a).unwrap(),
+            serde_json::to_string(t).unwrap()
+        );
+    }
+
+    // The snapshot's ring flags the same degraded ticks.
+    let ticks = report
+        .get("health")
+        .and_then(|h| h.get("degraded_ticks"))
+        .and_then(|t| t.as_array())
+        .unwrap();
+    let ticks: Vec<u64> = ticks.iter().filter_map(|v| v.as_u64()).collect();
+    assert_eq!(ticks, vec![2, 3, 4]);
+}
+
+#[test]
+fn monitor_follow_streams_alert_edges_from_a_static_file() {
+    let out = vpart(&[
+        "monitor",
+        &fixture("health_watch_trace.jsonl"),
+        "--follow",
+        "--max-polls",
+        "2",
+        "--poll-ms",
+        "1",
+        "--json",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // One JSON transition per line, each edge exactly once (the second
+    // poll sees no new bytes).
+    let lines: Vec<&str> = std::str::from_utf8(&out.stdout)
+        .unwrap()
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .collect();
+    assert_eq!(lines.len(), 2, "{lines:?}");
+    let first: serde_json::Value = serde_json::from_str(lines[0]).unwrap();
+    assert_eq!(
+        first.get("state").and_then(|s| s.as_str()),
+        Some("firing"),
+        "{lines:?}"
+    );
+    let second: serde_json::Value = serde_json::from_str(lines[1]).unwrap();
+    assert_eq!(
+        second.get("state").and_then(|s| s.as_str()),
+        Some("resolved")
+    );
+}
+
+#[test]
+fn inspect_health_summarizes_degraded_epochs() {
+    let out = vpart(&[
+        "inspect",
+        "--health",
+        &fixture("health_watch_snapshot.json"),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("degraded ticks   3 of 6: 2, 3, 4"), "{text}");
+    assert!(text.contains("alert history"), "{text}");
+    assert!(text.contains("firing           none"), "{text}");
+
+    // Merged with the trace: both the epoch table and the health
+    // snapshot render in one report.
+    let out = vpart(&[
+        "inspect",
+        &fixture("health_watch_trace.jsonl"),
+        "--health",
+        &fixture("health_watch_snapshot.json"),
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("epoch timeline"), "{text}");
+    assert!(text.contains("health snapshot"), "{text}");
+}
+
+#[test]
+fn monitor_rejects_bad_usage() {
+    let out = vpart(&["monitor"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage: vpart monitor"));
+
+    let out = vpart(&["monitor", "--json"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage: vpart monitor"));
+
+    let out = vpart(&["monitor", "/nonexistent/trace.jsonl"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn watch_rules_file_drives_a_custom_alert() {
+    // A declarative rule on the always-present epoch counter: fires from
+    // the second epoch on and never resolves, so --alerts-exit trips.
+    let rules = scratch("rules.json");
+    std::fs::write(
+        &rules,
+        r#"[{"name": "epochs-moving", "metric": "watch_epochs_total",
+             "kind": "rate_above", "bound": 0.0, "severity": "critical"}]"#,
+    )
+    .unwrap();
+    let schema = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/data/schema.sql");
+    let log = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/data/queries.log");
+    let health = scratch("custom_rule_health.json");
+    let out = vpart(&[
+        "watch",
+        "--schema",
+        schema.to_str().unwrap(),
+        "--log",
+        log.to_str().unwrap(),
+        "--sites",
+        "2",
+        "--interval",
+        "2",
+        "--rules",
+        rules.to_str().unwrap(),
+        "--health-out",
+        health.to_str().unwrap(),
+        "--alerts-exit",
+    ]);
+    assert!(!out.status.success(), "custom critical rule must gate exit");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--alerts-exit"), "{stderr}");
+    assert!(stderr.contains("epochs-moving"), "{stderr}");
+
+    // The snapshot records the custom rule's firing state.
+    let snap: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&health).unwrap()).unwrap();
+    let firing = snap
+        .get("alerts")
+        .and_then(|a| a.get("firing"))
+        .and_then(|f| f.as_array())
+        .unwrap();
+    assert_eq!(firing.len(), 1);
+    assert_eq!(
+        firing[0].get("rule").and_then(|r| r.as_str()),
+        Some("epochs-moving")
+    );
+    let _ = std::fs::remove_file(&rules);
+    let _ = std::fs::remove_file(&health);
+}

@@ -427,7 +427,10 @@ impl Rule for Determinism {
 /// `is_enabled()` first (the `Obs::disabled()` handle early-returns,
 /// but the *arguments* — formatted names, cloned strings — are
 /// evaluated before the call, so hot loops must skip the whole
-/// call site).
+/// call site). The same discipline applies to the health layer's
+/// per-tick entry points: `store.sample(...)`, `alerts.evaluate(...)`
+/// and `health.tick(...)` walk the whole registry/rule set, so a loop
+/// that drives them must be gated the same way.
 pub struct ObsDiscipline;
 
 const OBS_METHODS: &[&str] = &[
@@ -438,6 +441,16 @@ const OBS_METHODS: &[&str] = &[
     "observe_wall(",
     "event(",
     "event_at(",
+];
+
+/// `(receiver, methods)` pairs the discipline covers: the idiomatic
+/// local names for the obs handle, the time-series store, the alert
+/// engine and the combined health monitor.
+const OBS_RECEIVERS: &[(&str, &[&str])] = &[
+    ("obs.", OBS_METHODS),
+    ("store.", &["sample("]),
+    ("alerts.", &["evaluate("]),
+    ("health.", &["tick("]),
 ];
 
 impl Rule for ObsDiscipline {
@@ -456,34 +469,38 @@ impl Rule for ObsDiscipline {
                 if line.in_test || line.allows(self.name()) {
                     continue;
                 }
-                for col in find_all(&line.code, "obs.") {
-                    if !token_start(&line.code, col) {
-                        continue; // e.g. `jobs.`
-                    }
-                    let after = &line.code[col + "obs.".len()..];
-                    let Some(m) = OBS_METHODS.iter().find(|m| after.starts_with(**m)) else {
-                        continue;
-                    };
-                    let (encl_fn, in_loop) = enclosing_fn_and_loop(&f.scanned.blocks, i);
-                    if !in_loop {
-                        continue;
-                    }
-                    let fn_start = encl_fn.map(|b| b.open_line).unwrap_or(0);
-                    let guarded = f.scanned.lines[fn_start..=i]
-                        .iter()
-                        .any(|l| l.code.contains("is_enabled("));
-                    if !guarded {
-                        out.push(diag(
-                            self.name(),
-                            f,
-                            i,
-                            col,
-                            format!(
-                                "`obs.{}...)` inside a loop without an `is_enabled()` guard",
-                                &m[..m.len() - 1]
-                            ),
-                            "check `obs.is_enabled()` before the loop so disabled runs pay nothing",
-                        ));
+                for (receiver, methods) in OBS_RECEIVERS {
+                    for col in find_all(&line.code, receiver) {
+                        if !token_start(&line.code, col) {
+                            continue; // e.g. `jobs.`
+                        }
+                        let after = &line.code[col + receiver.len()..];
+                        let Some(m) = methods.iter().find(|m| after.starts_with(**m)) else {
+                            continue;
+                        };
+                        let (encl_fn, in_loop) = enclosing_fn_and_loop(&f.scanned.blocks, i);
+                        if !in_loop {
+                            continue;
+                        }
+                        let fn_start = encl_fn.map(|b| b.open_line).unwrap_or(0);
+                        let guarded = f.scanned.lines[fn_start..=i]
+                            .iter()
+                            .any(|l| l.code.contains("is_enabled("));
+                        if !guarded {
+                            out.push(diag(
+                                self.name(),
+                                f,
+                                i,
+                                col,
+                                format!(
+                                    "`{receiver}{}...)` inside a loop without an `is_enabled()` \
+                                     guard",
+                                    &m[..m.len() - 1]
+                                ),
+                                "check `obs.is_enabled()` before the loop so disabled runs pay \
+                                 nothing",
+                            ));
+                        }
                     }
                 }
             }

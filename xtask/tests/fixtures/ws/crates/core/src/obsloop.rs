@@ -39,3 +39,57 @@ pub fn other_receiver(jobs: &Obs, xs: &[f64]) {
         jobs.counter_add("jobs_total", *x);
     }
 }
+
+pub struct Store;
+impl Store {
+    pub fn sample(&mut self, _tick: u64) {}
+}
+
+pub struct Health;
+impl Health {
+    pub fn tick(&mut self, _tick: u64) {}
+}
+
+pub fn unguarded_sampler(obs: &Obs, store: &mut Store, ticks: &[u64]) {
+    let _ = obs;
+    for t in ticks {
+        store.sample(*t);
+    }
+}
+
+pub fn guarded_sampler(obs: &Obs, store: &mut Store, ticks: &[u64]) {
+    if !obs.is_enabled() {
+        return;
+    }
+    for t in ticks {
+        store.sample(*t);
+    }
+}
+
+pub fn unguarded_health(health: &mut Health, ticks: &[u64]) {
+    for t in ticks {
+        health.tick(*t);
+    }
+}
+
+pub fn suppressed_health(health: &mut Health, ticks: &[u64]) {
+    for t in ticks {
+        // lint: allow(obs_discipline)
+        health.tick(*t);
+    }
+}
+
+pub fn sampler_outside_loop(store: &mut Store) {
+    store.sample(0);
+}
+
+pub struct Alerts;
+impl Alerts {
+    pub fn evaluate(&mut self, _tick: u64) {}
+}
+
+pub fn unguarded_alerts(alerts: &mut Alerts, ticks: &[u64]) {
+    for t in ticks {
+        alerts.evaluate(*t);
+    }
+}

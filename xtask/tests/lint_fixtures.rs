@@ -93,9 +93,16 @@ fn obs_discipline_fires_only_on_unguarded_loops() {
     let diags = lint_fixture(None);
     assert_eq!(
         hits(&diags, "obs_discipline"),
-        vec![("crates/core/src/obsloop.rs".to_string(), 13)],
+        vec![
+            ("crates/core/src/obsloop.rs".to_string(), 13),
+            ("crates/core/src/obsloop.rs".to_string(), 56),
+            ("crates/core/src/obsloop.rs".to_string(), 71),
+            ("crates/core/src/obsloop.rs".to_string(), 93),
+        ],
         "guarded loops, suppressed sites, non-loop calls and non-obs \
-         receivers (`jobs.`) must be exempt"
+         receivers (`jobs.`) must be exempt; the health layer's \
+         store.sample / health.tick / alerts.evaluate entry points are \
+         covered the same way"
     );
 }
 
